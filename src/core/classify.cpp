@@ -1,0 +1,161 @@
+#include "core/classify.hpp"
+
+#include <set>
+
+#include "core/cosim.hpp"
+#include "core/symmem.hpp"
+#include "rv32/csr.hpp"
+#include "rv32/instr.hpp"
+
+namespace rvsym::core {
+
+namespace {
+
+using rv32::Opcode;
+
+bool specImplementsCsr(std::uint16_t addr) {
+  using namespace rv32::csr;
+  switch (addr) {
+    case kMvendorid:
+    case kMarchid:
+    case kMimpid:
+    case kMhartid:
+    case kMstatus:
+    case kMisa:
+    case kMedeleg:
+    case kMideleg:
+    case kMie:
+    case kMtvec:
+    case kMcounteren:
+    case kMscratch:
+    case kMepc:
+    case kMcause:
+    case kMtval:
+    case kMip:
+    case kMcycle:
+    case kMinstret:
+    case kMcycleh:
+    case kMinstreth:
+    case kCycle:
+    case kTime:
+    case kInstret:
+    case kCycleh:
+    case kTimeh:
+    case kInstreth:
+      return true;
+    default:
+      return isMhpmcounter(addr) || isMhpmcounterh(addr) || isMhpmevent(addr);
+  }
+}
+
+}  // namespace
+
+std::optional<Finding> classifyErrorPath(const symex::PathRecord& record) {
+  std::string field;
+  std::uint32_t pc = 0;
+  if (!parseMismatchMessage(record.message, field, pc)) return std::nullopt;
+  if (!record.has_test) return std::nullopt;
+
+  const auto word = record.test.lookup(SymbolicInstrMemory::variableName(pc));
+  if (!word) return std::nullopt;
+  const auto instr = static_cast<std::uint32_t>(*word);
+  const rv32::Decoded d = rv32::decode(instr);
+
+  Finding f;
+  f.witness_instr = instr;
+  f.example = rv32::disassemble(instr);
+  f.voter_field = field;
+  f.subject = rv32::opcodeName(d.op);
+
+  // --- Alignment family (load/store trap-vs-support) -----------------------
+  if ((rv32::isLoad(d.op) || rv32::isStore(d.op)) &&
+      (field == "trap" || field == "trap_cause")) {
+    f.description = "Missing alignment check";
+    f.r_class = "M";
+    // Upper-case mnemonic as in Table I.
+    for (char& c : f.subject) c = static_cast<char>(std::toupper(c));
+    return f;
+  }
+
+  // --- WFI ------------------------------------------------------------------
+  if (d.op == Opcode::Wfi) {
+    f.subject = "WFI";
+    f.description = "Missing WFI instruction";
+    f.r_class = "E";
+    return f;
+  }
+
+  // --- CSR family -------------------------------------------------------------
+  if (rv32::isCsrOp(d.op)) {
+    const std::uint16_t csr = d.csr;
+    const char* name = rv32::csrName(csr);
+    using namespace rv32::csr;
+
+    if (!specImplementsCsr(csr)) {
+      f.subject = "unimpl. CSRs";
+      f.description = "Missing trap at access";
+      f.r_class = "E";
+      return f;
+    }
+    f.subject = name ? name : "csr";
+
+    if (csr == kMedeleg || csr == kMideleg) {
+      f.description = std::string("VP traps at ") + f.subject + " read";
+      f.r_class = "E*";
+      return f;
+    }
+    if (csr == kMarchid || csr == kMvendorid || csr == kMimpid ||
+        csr == kMhartid) {
+      f.description = "Missing trap at write";
+      f.r_class = "E";
+      return f;
+    }
+    if (csr == kMip || csr == kMcycle || csr == kMinstret ||
+        csr == kMcycleh || csr == kMinstreth) {
+      if (field == "trap" || field == "trap_cause") {
+        f.description = "Trap at write access";
+        f.r_class = "E";
+      } else {
+        f.description = "Cycle Count Mismatch";
+        f.r_class = "M";
+      }
+      return f;
+    }
+    if (isUnprivilegedCounter(csr)) {
+      f.description = "unimpl. Unprivileged CSR";
+      f.r_class = "M";
+      return f;
+    }
+    if (isMhpmcounter(csr) || isMhpmcounterh(csr) || isMhpmevent(csr) ||
+        csr == kMscratch || csr == kMcounteren) {
+      if (isMhpmcounter(csr)) f.subject = "mhpmcounter3-31";
+      if (isMhpmcounterh(csr)) f.subject = "mhpmcounter3-31h";
+      if (isMhpmevent(csr)) f.subject = "mhpmevent3-31";
+      f.description = "unimpl. Privileged CSR";
+      f.r_class = "M";
+      return f;
+    }
+    f.description = "CSR behaviour differs (" + field + ")";
+    f.r_class = "M";
+    return f;
+  }
+
+  // --- Fallback: injected-fault style divergences -----------------------------
+  f.description = "behaviour differs (" + field + ")";
+  f.r_class = "E";
+  return f;
+}
+
+std::vector<Finding> classifyReport(const symex::EngineReport& report) {
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  for (const symex::PathRecord& p : report.paths) {
+    if (p.end != symex::PathEnd::Error) continue;
+    if (std::optional<Finding> f = classifyErrorPath(p)) {
+      if (seen.insert(f->key()).second) findings.push_back(std::move(*f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace rvsym::core

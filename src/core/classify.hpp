@@ -1,0 +1,36 @@
+// Mismatch classification into the paper's Table I taxonomy.
+//
+// Takes an error path produced by the engine (voter-mismatch message +
+// solved test vector), recovers the witness instruction from the
+// symbolic instruction memory's variable, and buckets the finding into
+// the Table I categories with the E / E* / M result class.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symex/engine.hpp"
+
+namespace rvsym::core {
+
+struct Finding {
+  std::string subject;      ///< Table I column 1: instruction or CSR name
+  std::string example;      ///< column 2: disassembled witness instruction
+  std::string description;  ///< column 3
+  std::string r_class;      ///< column 4: "E", "E*" or "M"
+  std::uint32_t witness_instr = 0;
+  std::string voter_field;
+  /// Dedup key: one Table-I row per (subject, description).
+  std::string key() const { return subject + "|" + description; }
+};
+
+/// Classifies one error path. Returns nullopt when the record is not a
+/// parseable voter mismatch.
+std::optional<Finding> classifyErrorPath(const symex::PathRecord& record);
+
+/// Classifies and deduplicates all error paths of a report, preserving
+/// first-seen order.
+std::vector<Finding> classifyReport(const symex::EngineReport& report);
+
+}  // namespace rvsym::core

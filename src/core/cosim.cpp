@@ -1,0 +1,170 @@
+#include "core/cosim.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rv32/fields.hpp"
+
+namespace rvsym::core {
+
+using expr::ExprRef;
+using symex::ExecState;
+
+CoSimulation::CoSimulation(expr::ExprBuilder& eb, CosimConfig config)
+    : eb_(eb), config_(std::move(config)) {}
+
+std::string formatMismatchMessage(const Mismatch& m, std::uint32_t pc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", pc);
+  return "voter mismatch [" + m.field + "] pc=" + buf + ": " + m.detail;
+}
+
+bool parseMismatchMessage(const std::string& message, std::string& field,
+                          std::uint32_t& pc) {
+  const auto lb = message.find('[');
+  const auto rb = message.find(']');
+  const auto pcpos = message.find("pc=");
+  if (lb == std::string::npos || rb == std::string::npos ||
+      pcpos == std::string::npos)
+    return false;
+  field = message.substr(lb + 1, rb - lb - 1);
+  pc = static_cast<std::uint32_t>(
+      std::strtoul(message.c_str() + pcpos + 3, nullptr, 16));
+  return true;
+}
+
+InstrConstraint CoSimulation::blockSystemInstructions() {
+  return [](ExecState& st, const ExprRef& instr) {
+    expr::ExprBuilder& eb = st.builder();
+    st.assume(eb.ne(rv32::sym::opcode(eb, instr), eb.constant(0x73, 7)));
+  };
+}
+
+InstrConstraint CoSimulation::onlyMajorOpcode(std::uint32_t opcode7) {
+  return [opcode7](ExecState& st, const ExprRef& instr) {
+    expr::ExprBuilder& eb = st.builder();
+    st.assume(eb.eq(rv32::sym::opcode(eb, instr), eb.constant(opcode7, 7)));
+  };
+}
+
+InstrConstraint CoSimulation::onlySystemInstructions() {
+  return onlyMajorOpcode(0x73);
+}
+
+InstrConstraint CoSimulation::onlyCsrAddress(std::uint16_t csr_addr) {
+  return [csr_addr](ExecState& st, const ExprRef& instr) {
+    expr::ExprBuilder& eb = st.builder();
+    st.assume(eb.eq(rv32::sym::opcode(eb, instr), eb.constant(0x73, 7)));
+    // funct3 != 0 keeps the word a CSR access (not ECALL/WFI/...).
+    st.assume(eb.ne(rv32::sym::funct3(eb, instr), eb.constant(0, 3)));
+    st.assume(eb.eq(rv32::sym::csrAddr(eb, instr),
+                    eb.constant(csr_addr, 12)));
+  };
+}
+
+void CoSimulation::runPath(ExecState& st) {
+  // Fresh testbench per path (the engine replays from reset).
+  InitialImage image;
+  SymbolicInstrMemory imem(config_.instr_constraint);
+  SymbolicDataMemory rtl_mem(image);
+  SymbolicDataMemory iss_mem(image);
+
+  rtl::RtlConfig rtl_cfg = config_.rtl;
+  rtl_cfg.faults = rtl_cfg.faults | config_.faults;
+  rtl::MicroRv32Core core(eb_, rtl_cfg);
+  // E0-E2: clear decode-table mask bits (decoder don't-cares).
+  for (const CosimConfig::DecodeDontCare& dc : config_.decode_dont_cares)
+    for (rv32::DecodePattern& p : core.decodeTableMut())
+      if (p.op == dc.op) p.mask &= ~(1u << dc.bit);
+
+  iss::Iss iss(eb_, imem, iss_mem, config_.iss);
+  Voter voter;
+  RvfiMonitor rtl_monitor;
+  RvfiMonitor iss_monitor;
+
+  // Sliced symbolic registers: the same symbolic word goes into both
+  // register files so only genuine behavioural differences can diverge.
+  for (unsigned i = 1; i <= config_.num_symbolic_regs && i < 32; ++i) {
+    const ExprRef v = st.makeSymbolic("reg_x" + std::to_string(i), 32);
+    core.regs().set(eb_, i, v);
+    iss.regs().set(eb_, i, v);
+  }
+
+  if (config_.post_init_hook) config_.post_init_hook(st);
+
+  unsigned retired = 0;
+  const unsigned waits = config_.bus_wait_states;
+  unsigned ibus_delay = waits;
+  unsigned dbus_delay = waits;
+  const unsigned cycle_limit =
+      config_.cycle_limit != 0
+          ? config_.cycle_limit
+          : (40 + 24 * waits) * config_.instr_limit + 24;
+
+  for (unsigned cycle = 0; cycle < cycle_limit; ++cycle) {
+    // Testbench interrupt injection: raise the line on both models.
+    if (config_.irq_line >= 0 && cycle == config_.irq_at_cycle) {
+      core.csrs().setInterruptLine(static_cast<unsigned>(config_.irq_line),
+                                   true);
+      iss.csrs().setInterruptLine(static_cast<unsigned>(config_.irq_line),
+                                  true);
+    }
+    core.tick(st);
+
+    // --- IBus protocol: answer a fetch, hold ready for one cycle. ---------
+    if (core.ibus.fetch_enable && !core.ibus.instruction_ready) {
+      if (ibus_delay > 0) {
+        --ibus_delay;  // wait state: core stalls in WaitInstr
+      } else {
+        core.ibus.instruction = imem.fetch(st, core.ibus.address);
+        core.ibus.instruction_ready = true;
+        ibus_delay = waits;
+      }
+    } else if (!core.ibus.fetch_enable) {
+      core.ibus.instruction_ready = false;
+    }
+
+    // --- DBus protocol: strobe-based, ready for one cycle. -----------------
+    if (core.dbus.enable && !core.dbus.data_ready) {
+      if (dbus_delay > 0) {
+        --dbus_delay;  // wait state: core stalls in MemWait
+      } else {
+        dbus_delay = waits;
+        if (core.dbus.write) {
+          rtl_mem.storeStrobed(st, core.dbus.address, core.dbus.strobe,
+                               core.dbus.wdata);
+          core.dbus.rdata = eb_.constant(0, 32);
+        } else {
+          core.dbus.rdata =
+              rtl_mem.loadStrobed(st, core.dbus.address, core.dbus.strobe);
+        }
+        core.dbus.data_ready = true;
+      }
+    } else if (!core.dbus.enable) {
+      core.dbus.data_ready = false;
+    }
+
+    // --- Voter: on RTL retirement, step the ISS and compare. ---------------
+    if (core.rvfi.valid) {
+      st.countInstruction();
+      const iss::RetireInfo iss_result = iss.step(st);
+      if (config_.enable_rvfi_monitor) {
+        if (auto v = rtl_monitor.check(st, core.rvfi.info))
+          st.fail("rvfi monitor (rtl): " + *v);
+        if (auto v = iss_monitor.check(st, iss_result))
+          st.fail("rvfi monitor (iss): " + *v);
+      }
+      if (std::optional<Mismatch> m =
+              voter.compare(st, core.rvfi.info, iss_result)) {
+        std::uint32_t pc = 0;
+        if (core.rvfi.info.pc && core.rvfi.info.pc->isConstant())
+          pc = static_cast<std::uint32_t>(core.rvfi.info.pc->constantValue());
+        st.fail(formatMismatchMessage(*m, pc));
+      }
+      if (++retired >= config_.instr_limit) return;  // execution controller
+    }
+  }
+  // Clock-cycle limit reached: also a normal path end (§IV-D).
+}
+
+}  // namespace rvsym::core

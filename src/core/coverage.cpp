@@ -1,0 +1,60 @@
+#include "core/coverage.hpp"
+
+#include <sstream>
+
+namespace rvsym::core {
+
+using rv32::Opcode;
+
+void CoverageCollector::addTestVector(const symex::TestVector& vector) {
+  for (const symex::TestValue& v : vector.values) {
+    if (v.name.rfind("instr@", 0) != 0) continue;
+    const auto word = static_cast<std::uint32_t>(v.value);
+    ++total_words_;
+    words_.insert(word);
+    const rv32::Decoded d = rv32::decode(word);
+    if (d.op == Opcode::Illegal) {
+      ++illegal_words_;
+      continue;
+    }
+    opcodes_.insert(d.op);
+    ++per_opcode_count_[d.op];
+    if (rv32::isCsrOp(d.op)) csrs_.insert(d.csr);
+  }
+}
+
+void CoverageCollector::addReport(const symex::EngineReport& report) {
+  for (const symex::PathRecord& p : report.paths)
+    if (p.has_test) addTestVector(p.test);
+}
+
+double CoverageCollector::opcodeCoveragePercent() const {
+  return 100.0 * static_cast<double>(opcodes_.size()) /
+         static_cast<double>(rv32::decodeTable().size());
+}
+
+std::set<Opcode> CoverageCollector::uncoveredOpcodes() const {
+  std::set<Opcode> missing;
+  for (const rv32::DecodePattern& p : rv32::decodeTable())
+    if (opcodes_.count(p.op) == 0) missing.insert(p.op);
+  return missing;
+}
+
+std::string CoverageCollector::summary() const {
+  std::ostringstream os;
+  os << "test-set coverage: " << opcodes_.size() << "/"
+     << rv32::decodeTable().size() << " opcodes ("
+     << static_cast<int>(opcodeCoveragePercent() + 0.5) << "%), "
+     << csrs_.size() << " CSR addresses, " << words_.size()
+     << " distinct instruction words, illegal encodings "
+     << (illegal_words_ > 0 ? "covered" : "NOT covered") << "\n";
+  const std::set<Opcode> missing = uncoveredOpcodes();
+  if (!missing.empty()) {
+    os << "uncovered opcodes:";
+    for (Opcode op : missing) os << " " << rv32::opcodeName(op);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rvsym::core

@@ -1,0 +1,52 @@
+#include "core/monitor.hpp"
+
+namespace rvsym::core {
+
+using expr::ExprRef;
+
+std::optional<std::string> RvfiMonitor::check(symex::ExecState& st,
+                                              const iss::RetireInfo& r) {
+  ++checked_;
+  expr::ExprBuilder& eb = st.builder();
+
+  if (!r.pc || !r.next_pc) return "rvfi: missing pc/next_pc";
+
+  // PC chaining.
+  if (have_prev_ && !st.mustBeTrue(eb.eq(r.pc, prev_next_pc_)))
+    return "rvfi: pc does not chain from previous next_pc";
+  prev_next_pc_ = r.next_pc;
+  have_prev_ = true;
+
+  // Trap discipline.
+  if (r.trap) {
+    if (r.rd_index) return "rvfi: trapping retirement writes a register";
+    if (r.mem_valid) return "rvfi: trapping retirement accesses memory";
+    if (r.cause > 15) return "rvfi: implausible trap cause";
+  }
+
+  // x0 discipline.
+  if (r.rd_index) {
+    if (!r.rd_value) return "rvfi: rd_index without rd_value";
+    const ExprRef zero = eb.constant(0, 32);
+    const ExprRef x0_ok =
+        eb.boolOr(eb.ne(r.rd_index, eb.constant(0, 5)),
+                  eb.eq(r.rd_value, zero));
+    if (!st.mustBeTrue(x0_ok)) return "rvfi: nonzero value reported for x0";
+  }
+
+  // Memory channel sanity.
+  if (r.mem_valid) {
+    if (r.mem_size != 1 && r.mem_size != 2 && r.mem_size != 4)
+      return "rvfi: invalid memory access size";
+    if (!r.mem_addr || !r.mem_data) return "rvfi: incomplete memory channel";
+  }
+
+  // Control-flow alignment (IALIGN=32; trap vectors are masked).
+  const ExprRef aligned =
+      eb.eq(eb.andOp(r.next_pc, eb.constant(3, 32)), eb.constant(0, 32));
+  if (!st.mustBeTrue(aligned)) return "rvfi: misaligned next_pc";
+
+  return std::nullopt;
+}
+
+}  // namespace rvsym::core

@@ -1,0 +1,45 @@
+// RVFI self-consistency monitor (riscv-formal's checking role).
+//
+// The paper positions its co-simulation against riscv-formal's BMC-based
+// checks; this monitor implements the complementary per-retirement
+// consistency properties riscv-formal enforces on the RVFI stream, so a
+// single processor model can be sanity-checked WITHOUT a reference
+// model:
+//   * PC chaining: each retirement starts where the previous one ended;
+//   * x0 discipline: a write to x0 must report the value 0;
+//   * trap discipline: trapping instructions retire no register write
+//     and no memory access, and report a valid cause;
+//   * memory channel sanity: sizes in {1,2,4}, access address present;
+//   * control-flow alignment: next_pc is IALIGN-aligned.
+//
+// Checks over symbolic values are answered with mustBeTrue (a violation
+// needs only one satisfying assignment to be real).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "iss/retire.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::core {
+
+class RvfiMonitor {
+ public:
+  /// Checks one retirement; returns a violation description, if any.
+  /// Maintains the chaining state across calls.
+  std::optional<std::string> check(symex::ExecState& st,
+                                   const iss::RetireInfo& r);
+
+  /// Resets the chaining state (new program / new path).
+  void reset() { have_prev_ = false; }
+
+  std::uint64_t checkedRetirements() const { return checked_; }
+
+ private:
+  bool have_prev_ = false;
+  expr::ExprRef prev_next_pc_;
+  std::uint64_t checked_ = 0;
+};
+
+}  // namespace rvsym::core

@@ -1,0 +1,55 @@
+#include "core/procconfig.hpp"
+
+namespace rvsym::core {
+
+namespace {
+
+iss::CsrConfig deriveCsrConfig(const ProcessorConfig& pc) {
+  iss::CsrConfig c;  // spec-correct defaults, no quirks
+  c.has_unprivileged_counters = pc.full_csr_set;
+  c.has_mhpm = pc.full_csr_set;
+  c.has_mscratch = pc.full_csr_set;
+  c.has_mcounteren = pc.full_csr_set;
+  c.trap_on_unimplemented = pc.spec_traps;
+  c.trap_on_readonly_write = pc.spec_traps;
+  c.cycle_counts_instructions = pc.abstract_timing;
+  return c;
+}
+
+}  // namespace
+
+rtl::RtlConfig ProcessorConfig::rtlConfig() const {
+  rtl::RtlConfig c;
+  c.csr = deriveCsrConfig(*this);
+  c.support_misaligned = misaligned_access_support;
+  c.missing_wfi = !implement_wfi;
+  c.enable_interrupts = interrupts;
+  // Instruction-consistent counting on both sides.
+  c.count_instret_at_execute = false;
+  c.reset_pc = reset_pc;
+  return c;
+}
+
+iss::IssConfig ProcessorConfig::issConfig() const {
+  iss::IssConfig c;
+  c.csr = deriveCsrConfig(*this);
+  c.trap_misaligned = !misaligned_access_support;
+  c.enable_interrupts = interrupts;
+  c.trap_on_wfi = !implement_wfi;
+  c.reset_pc = reset_pc;
+  return c;
+}
+
+ProcessorConfig ProcessorConfig::specCompliant() { return ProcessorConfig{}; }
+
+ProcessorConfig ProcessorConfig::minimalController() {
+  ProcessorConfig pc;
+  pc.misaligned_access_support = true;
+  pc.implement_wfi = true;
+  pc.full_csr_set = false;
+  pc.spec_traps = false;
+  pc.interrupts = false;
+  return pc;
+}
+
+}  // namespace rvsym::core

@@ -1,0 +1,33 @@
+#include "core/session.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rvsym::core {
+
+VerificationSession::VerificationSession(expr::ExprBuilder& eb,
+                                         SessionOptions options)
+    : eb_(eb), options_(std::move(options)) {}
+
+SessionReport VerificationSession::run() {
+  CoSimulation cosim(eb_, options_.cosim);
+  symex::Engine engine(eb_, options_.engine);
+  SessionReport report;
+  report.engine = engine.run(cosim.program());
+  report.findings = classifyReport(report.engine);
+  return report;
+}
+
+std::string renderFindingsTable(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << std::left << std::setw(20) << "Instruction & CSR" << std::setw(34)
+     << "Example" << std::setw(28) << "Description" << "R\n";
+  os << std::string(85, '-') << "\n";
+  for (const Finding& f : findings) {
+    os << std::left << std::setw(20) << f.subject << std::setw(34) << f.example
+       << std::setw(28) << f.description << f.r_class << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rvsym::core

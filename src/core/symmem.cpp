@@ -1,0 +1,108 @@
+#include "core/symmem.hpp"
+
+#include <cstdio>
+
+namespace rvsym::core {
+
+using expr::ExprRef;
+using symex::ExecState;
+
+namespace {
+
+std::string hex8(std::uint32_t v) {
+  char buf[12];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SymbolicInstrMemory::variableName(std::uint32_t addr) {
+  return "instr@" + hex8(addr);
+}
+
+ExprRef SymbolicInstrMemory::fetch(ExecState& st, std::uint32_t addr) {
+  auto it = cache_.find(addr);
+  if (it != cache_.end()) return it->second;
+  const ExprRef word = st.makeSymbolic(variableName(addr), 32);
+  if (constraint_) constraint_(st, word);
+  cache_.emplace(addr, word);
+  return word;
+}
+
+std::string InitialImage::variableName(std::uint32_t addr) {
+  return "mem@" + hex8(addr);
+}
+
+ExprRef InitialImage::byteAt(ExecState& st, std::uint32_t addr) {
+  return st.makeSymbolic(variableName(addr), 8);
+}
+
+ExprRef SymbolicDataMemory::byteAt(ExecState& st, std::uint32_t addr) {
+  auto it = overlay_.find(addr);
+  if (it != overlay_.end()) return it->second;
+  return image_.byteAt(st, addr);
+}
+
+void SymbolicDataMemory::setByte(std::uint32_t addr, ExprRef value8) {
+  overlay_[addr] = std::move(value8);
+}
+
+ExprRef SymbolicDataMemory::loadByte(ExecState& st, const ExprRef& addr) {
+  const auto a = static_cast<std::uint32_t>(st.concretize(addr));
+  return byteAt(st, a);
+}
+
+ExprRef SymbolicDataMemory::loadHalf(ExecState& st, const ExprRef& addr) {
+  const auto a = static_cast<std::uint32_t>(st.concretize(addr));
+  return st.builder().concat(byteAt(st, a + 1), byteAt(st, a));
+}
+
+ExprRef SymbolicDataMemory::loadWord(ExecState& st, const ExprRef& addr) {
+  const auto a = static_cast<std::uint32_t>(st.concretize(addr));
+  expr::ExprBuilder& eb = st.builder();
+  return eb.concat(eb.concat(byteAt(st, a + 3), byteAt(st, a + 2)),
+                   eb.concat(byteAt(st, a + 1), byteAt(st, a)));
+}
+
+void SymbolicDataMemory::storeByte(ExecState& st, const ExprRef& addr,
+                                   const ExprRef& value8) {
+  const auto a = static_cast<std::uint32_t>(st.concretize(addr));
+  setByte(a, value8);
+}
+
+void SymbolicDataMemory::storeHalf(ExecState& st, const ExprRef& addr,
+                                   const ExprRef& value16) {
+  const auto a = static_cast<std::uint32_t>(st.concretize(addr));
+  expr::ExprBuilder& eb = st.builder();
+  setByte(a, eb.extract(value16, 0, 8));
+  setByte(a + 1, eb.extract(value16, 8, 8));
+}
+
+void SymbolicDataMemory::storeWord(ExecState& st, const ExprRef& addr,
+                                   const ExprRef& value32) {
+  const auto a = static_cast<std::uint32_t>(st.concretize(addr));
+  expr::ExprBuilder& eb = st.builder();
+  for (unsigned i = 0; i < 4; ++i)
+    setByte(a + i, eb.extract(value32, i * 8, 8));
+}
+
+ExprRef SymbolicDataMemory::loadStrobed(ExecState& st, std::uint32_t word_addr,
+                                        std::uint8_t /*strobe*/) {
+  expr::ExprBuilder& eb = st.builder();
+  // The memory returns the full word; the core consumes the strobed lanes.
+  return eb.concat(
+      eb.concat(byteAt(st, word_addr + 3), byteAt(st, word_addr + 2)),
+      eb.concat(byteAt(st, word_addr + 1), byteAt(st, word_addr)));
+}
+
+void SymbolicDataMemory::storeStrobed(ExecState& st, std::uint32_t word_addr,
+                                      std::uint8_t strobe,
+                                      const ExprRef& wdata) {
+  expr::ExprBuilder& eb = st.builder();
+  for (unsigned lane = 0; lane < 4; ++lane)
+    if (strobe & (1u << lane))
+      setByte(word_addr + lane, eb.extract(wdata, lane * 8, 8));
+}
+
+}  // namespace rvsym::core

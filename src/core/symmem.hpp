@@ -1,0 +1,97 @@
+// Symbolic memories (paper §IV-C).
+//
+// SymbolicInstrMemory: read-only, shared between the RTL core and the
+// ISS. Each address gets one fresh symbolic 32-bit word on first fetch
+// (klee_make_symbolic) and is cached so both processors always see the
+// identical instruction — the paper's guard against false mismatches.
+// A scenario constraint hook (klee_assume) can restrict generation, e.g.
+// to block CSR instructions for the Table II experiments.
+//
+// SymbolicDataMemory: one per processor, but both are initialized from a
+// shared InitialImage, so every byte starts as the *same* symbolic value
+// in both memories (again preventing false mismatches); writes go to the
+// private overlay. The ISS binds via DataMemoryIf; the RTL core reaches
+// the same object through the strobe-based interface the testbench
+// drives from the DBus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "expr/builder.hpp"
+#include "iss/mem_if.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::core {
+
+/// Scenario hook applied to each freshly generated instruction word.
+using InstrConstraint =
+    std::function<void(symex::ExecState&, const expr::ExprRef&)>;
+
+class SymbolicInstrMemory final : public iss::InstrSourceIf {
+ public:
+  explicit SymbolicInstrMemory(InstrConstraint constraint = nullptr)
+      : constraint_(std::move(constraint)) {}
+
+  expr::ExprRef fetch(symex::ExecState& st, std::uint32_t addr) override;
+
+  /// Name of the symbolic variable backing address `addr` (for test-vector
+  /// lookup).
+  static std::string variableName(std::uint32_t addr);
+
+  std::size_t generatedWords() const { return cache_.size(); }
+
+ private:
+  InstrConstraint constraint_;
+  std::unordered_map<std::uint32_t, expr::ExprRef> cache_;
+};
+
+/// Shared initial memory content: byte `addr` is the same symbolic
+/// variable for every memory constructed over the same image. Subclasses
+/// may return concrete content instead (e.g. the fuzzer's random image).
+class InitialImage {
+ public:
+  virtual ~InitialImage() = default;
+  virtual expr::ExprRef byteAt(symex::ExecState& st, std::uint32_t addr);
+  static std::string variableName(std::uint32_t addr);
+};
+
+class SymbolicDataMemory final : public iss::DataMemoryIf {
+ public:
+  explicit SymbolicDataMemory(InitialImage& image) : image_(image) {}
+
+  // --- ISS binding (sign handling is the ISS's job) -----------------------
+  expr::ExprRef loadByte(symex::ExecState& st,
+                         const expr::ExprRef& addr) override;
+  expr::ExprRef loadHalf(symex::ExecState& st,
+                         const expr::ExprRef& addr) override;
+  expr::ExprRef loadWord(symex::ExecState& st,
+                         const expr::ExprRef& addr) override;
+  void storeByte(symex::ExecState& st, const expr::ExprRef& addr,
+                 const expr::ExprRef& value8) override;
+  void storeHalf(symex::ExecState& st, const expr::ExprRef& addr,
+                 const expr::ExprRef& value16) override;
+  void storeWord(symex::ExecState& st, const expr::ExprRef& addr,
+                 const expr::ExprRef& value32) override;
+
+  // --- Strobe-based testbench interface (paper §IV-C.2) --------------------
+  /// Returns the full 32-bit word at the (concrete, word-aligned)
+  /// address; the strobe documents which lanes the core will consume.
+  expr::ExprRef loadStrobed(symex::ExecState& st, std::uint32_t word_addr,
+                            std::uint8_t strobe);
+  /// Writes the byte lanes selected by `strobe` from `wdata`.
+  void storeStrobed(symex::ExecState& st, std::uint32_t word_addr,
+                    std::uint8_t strobe, const expr::ExprRef& wdata);
+
+  // --- Concrete byte access (tests, replay) ----------------------------------
+  expr::ExprRef byteAt(symex::ExecState& st, std::uint32_t addr);
+  void setByte(std::uint32_t addr, expr::ExprRef value8);
+
+ private:
+  InitialImage& image_;
+  std::unordered_map<std::uint32_t, expr::ExprRef> overlay_;
+};
+
+}  // namespace rvsym::core

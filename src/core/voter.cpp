@@ -1,0 +1,79 @@
+#include "core/voter.hpp"
+
+#include <sstream>
+
+#include "rv32/instr.hpp"
+
+namespace rvsym::core {
+
+using expr::ExprRef;
+using symex::ExecState;
+
+namespace {
+
+/// Forks on "a != b"; returns true on the differing side.
+bool mayDiffer(ExecState& st, const ExprRef& a, const ExprRef& b) {
+  return st.branch(st.builder().ne(a, b));
+}
+
+}  // namespace
+
+std::optional<Mismatch> Voter::compare(ExecState& st,
+                                       const iss::RetireInfo& rtl,
+                                       const iss::RetireInfo& iss) {
+  // Trap presence is concrete control state in both models.
+  if (rtl.trap != iss.trap) {
+    std::ostringstream os;
+    os << "rtl " << (rtl.trap ? "traps" : "does not trap") << " (cause "
+       << rtl.cause << "), iss " << (iss.trap ? "traps" : "does not trap")
+       << " (cause " << iss.cause << ")";
+    return Mismatch{"trap", os.str()};
+  }
+  if (rtl.trap && iss.trap && rtl.cause != iss.cause) {
+    std::ostringstream os;
+    os << "trap cause differs: rtl " << rtl.cause << ", iss " << iss.cause;
+    return Mismatch{"trap_cause", os.str()};
+  }
+
+  if (mayDiffer(st, rtl.pc, iss.pc))
+    return Mismatch{"pc", "retired PC differs"};
+  if (mayDiffer(st, rtl.next_pc, iss.next_pc))
+    return Mismatch{"next_pc", "next PC differs"};
+
+  const bool rtl_rd = rtl.rd_index != nullptr;
+  const bool iss_rd = iss.rd_index != nullptr;
+  if (rtl_rd != iss_rd) {
+    return Mismatch{"rd_channel",
+                    rtl_rd ? "rtl writes a register, iss does not"
+                           : "iss writes a register, rtl does not"};
+  }
+  if (rtl_rd) {
+    if (mayDiffer(st, rtl.rd_index, iss.rd_index))
+      return Mismatch{"rd_index", "destination register differs"};
+    if (mayDiffer(st, rtl.rd_value, iss.rd_value))
+      return Mismatch{"rd_value", "destination register value differs"};
+  }
+
+  if (rtl.mem_valid != iss.mem_valid) {
+    return Mismatch{"mem_channel",
+                    rtl.mem_valid ? "rtl accesses memory, iss does not"
+                                  : "iss accesses memory, rtl does not"};
+  }
+  if (rtl.mem_valid) {
+    if (rtl.mem_is_store != iss.mem_is_store)
+      return Mismatch{"mem_dir", "load/store direction differs"};
+    if (rtl.mem_size != iss.mem_size)
+      return Mismatch{"mem_size", "access size differs"};
+    if (mayDiffer(st, rtl.mem_addr, iss.mem_addr))
+      return Mismatch{"mem_addr", "access address differs"};
+    if (mayDiffer(st, rtl.mem_data, iss.mem_data))
+      return Mismatch{"mem_data", "access data differs"};
+  }
+  return std::nullopt;
+}
+
+std::string Voter::describe(const Mismatch& m) {
+  return "voter mismatch [" + m.field + "]: " + m.detail;
+}
+
+}  // namespace rvsym::core

@@ -1,0 +1,36 @@
+// The voter (paper §IV-D): compares the RVFI-style retirement record of
+// the RTL core against the ISS step result. Each field comparison is a
+// symbolic branch — if any satisfying assignment makes the two models
+// disagree, the path forks and the disagreeing side reports a mismatch
+// (KLEE's assertion-violation behaviour). When the models agree on every
+// reachable assignment, no fork happens and verification continues.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "iss/retire.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::core {
+
+struct Mismatch {
+  std::string field;   ///< which channel diverged: trap / next_pc / rd_value / ...
+  std::string detail;  ///< human-readable explanation
+};
+
+class Voter {
+ public:
+  /// Compares the two retirement records under the current path
+  /// constraints. Returns a mismatch description on the path where the
+  /// models diverge; returns nullopt on the (possibly constrained)
+  /// agreeing path.
+  std::optional<Mismatch> compare(symex::ExecState& st,
+                                  const iss::RetireInfo& rtl,
+                                  const iss::RetireInfo& iss);
+
+  /// Renders a mismatch as the voter's exception message.
+  static std::string describe(const Mismatch& m);
+};
+
+}  // namespace rvsym::core

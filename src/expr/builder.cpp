@@ -1,0 +1,321 @@
+#include "expr/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "expr/eval.hpp"
+
+namespace rvsym::expr {
+
+namespace {
+
+bool isCommutative(Kind k) {
+  switch (k) {
+    case Kind::Add:
+    case Kind::Mul:
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Xor:
+    case Kind::Eq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExprBuilder::ExprBuilder() {
+  true_ = constant(1, 1);
+  false_ = constant(0, 1);
+}
+
+ExprRef ExprBuilder::intern(Kind kind, unsigned width, std::uint64_t value,
+                            std::array<ExprRef, 3> ops, std::string name) {
+  assert(width >= 1 && width <= 64);
+  auto node = std::make_shared<const Expr>(kind, width, value, std::move(ops),
+                                           std::move(name));
+  auto [it, inserted] = intern_.try_emplace(node, node);
+  return it->second;
+}
+
+ExprRef ExprBuilder::constant(std::uint64_t value, unsigned width) {
+  return intern(Kind::Constant, width, value, {});
+}
+
+ExprRef ExprBuilder::variable(const std::string& name, unsigned width) {
+  auto it = vars_by_name_.find(name);
+  if (it != vars_by_name_.end()) {
+    if (it->second->width() != width)
+      throw std::invalid_argument("variable '" + name +
+                                  "' redeclared with different width");
+    return it->second;
+  }
+  const std::uint64_t id = variables_.size();
+  auto node = std::make_shared<const Expr>(Kind::Variable, width, id,
+                                           std::array<ExprRef, 3>{}, name);
+  variables_.push_back(node);
+  vars_by_name_.emplace(name, node);
+  intern_.emplace(node, node);
+  return node;
+}
+
+ExprRef ExprBuilder::binary(Kind kind, ExprRef a, ExprRef b) {
+  assert(a && b);
+  assert(a->width() == b->width());
+  const bool is_cmp = kind == Kind::Eq || kind == Kind::Ult ||
+                      kind == Kind::Ule || kind == Kind::Slt ||
+                      kind == Kind::Sle;
+  const unsigned result_width = is_cmp ? 1 : a->width();
+  if (a->isConstant() && b->isConstant())
+    return constant(applyOp(kind, a->width(), a->constantValue(),
+                            b->constantValue()),
+                    result_width);
+  if (isCommutative(kind) && a->isConstant()) std::swap(a, b);
+  return intern(kind, result_width, 0, {std::move(a), std::move(b), nullptr});
+}
+
+// --- Arithmetic -----------------------------------------------------------
+
+ExprRef ExprBuilder::add(ExprRef a, ExprRef b) {
+  if (b->isZero()) return a;
+  if (a->isZero()) return b;
+  return binary(Kind::Add, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::sub(ExprRef a, ExprRef b) {
+  if (b->isZero()) return a;
+  if (a.get() == b.get()) return constant(0, a->width());
+  return binary(Kind::Sub, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::mul(ExprRef a, ExprRef b) {
+  if (a->isZero()) return a;
+  if (b->isZero()) return b;
+  if (a->isConstantValue(1)) return b;
+  if (b->isConstantValue(1)) return a;
+  return binary(Kind::Mul, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::udiv(ExprRef a, ExprRef b) {
+  if (b->isConstantValue(1)) return a;
+  return binary(Kind::UDiv, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::sdiv(ExprRef a, ExprRef b) {
+  if (b->isConstantValue(1)) return a;
+  return binary(Kind::SDiv, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::urem(ExprRef a, ExprRef b) {
+  if (b->isConstantValue(1)) return constant(0, a->width());
+  return binary(Kind::URem, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::srem(ExprRef a, ExprRef b) {
+  if (b->isConstantValue(1)) return constant(0, a->width());
+  return binary(Kind::SRem, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::neg(ExprRef a) {
+  if (a->isConstant())
+    return constant(applyOp(Kind::Neg, a->width(), a->constantValue(), 0),
+                    a->width());
+  if (a->kind() == Kind::Neg) return a->operand(0);
+  const unsigned w = a->width();
+  return intern(Kind::Neg, w, 0, {std::move(a), nullptr, nullptr});
+}
+
+// --- Bitwise ----------------------------------------------------------------
+
+ExprRef ExprBuilder::andOp(ExprRef a, ExprRef b) {
+  if (a->isZero()) return a;
+  if (b->isZero()) return b;
+  if (a->isAllOnes()) return b;
+  if (b->isAllOnes()) return a;
+  if (a.get() == b.get()) return a;
+  return binary(Kind::And, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::orOp(ExprRef a, ExprRef b) {
+  if (a->isZero()) return b;
+  if (b->isZero()) return a;
+  if (a->isAllOnes()) return a;
+  if (b->isAllOnes()) return b;
+  if (a.get() == b.get()) return a;
+  return binary(Kind::Or, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::xorOp(ExprRef a, ExprRef b) {
+  if (a->isZero()) return b;
+  if (b->isZero()) return a;
+  if (a.get() == b.get()) return constant(0, a->width());
+  if (a->isAllOnes()) return notOp(std::move(b));
+  if (b->isAllOnes()) return notOp(std::move(a));
+  return binary(Kind::Xor, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::notOp(ExprRef a) {
+  if (a->isConstant())
+    return constant(~a->constantValue(), a->width());
+  if (a->kind() == Kind::Not) return a->operand(0);
+  const unsigned w = a->width();
+  return intern(Kind::Not, w, 0, {std::move(a), nullptr, nullptr});
+}
+
+// --- Shifts -----------------------------------------------------------------
+
+ExprRef ExprBuilder::shl(ExprRef a, ExprRef amount) {
+  if (amount->isZero() || a->isZero()) return a;
+  return binary(Kind::Shl, std::move(a), std::move(amount));
+}
+
+ExprRef ExprBuilder::lshr(ExprRef a, ExprRef amount) {
+  if (amount->isZero() || a->isZero()) return a;
+  return binary(Kind::LShr, std::move(a), std::move(amount));
+}
+
+ExprRef ExprBuilder::ashr(ExprRef a, ExprRef amount) {
+  if (amount->isZero() || a->isZero()) return a;
+  return binary(Kind::AShr, std::move(a), std::move(amount));
+}
+
+// --- Comparisons -------------------------------------------------------------
+
+ExprRef ExprBuilder::eq(ExprRef a, ExprRef b) {
+  if (a.get() == b.get()) return true_;
+  if (a->width() == 1) {
+    // Boolean equality simplifies to the operand or its negation.
+    if (b->isConstant()) return b->constantValue() ? a : notOp(std::move(a));
+    if (a->isConstant()) return a->constantValue() ? b : notOp(std::move(b));
+  }
+  // eq(concat(hi, lo), c)  ==>  eq(hi, c_hi) && eq(lo, c_lo); lets the
+  // known-bits fast path see through byte-assembled words.
+  if (b->isConstant() && a->kind() == Kind::Concat) {
+    const unsigned lo_w = a->operand(1)->width();
+    ExprRef hi_eq = eq(a->operand(0),
+                       constant(b->constantValue() >> lo_w,
+                                a->operand(0)->width()));
+    ExprRef lo_eq = eq(a->operand(1), constant(b->constantValue(), lo_w));
+    return andOp(std::move(hi_eq), std::move(lo_eq));
+  }
+  return binary(Kind::Eq, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::ult(ExprRef a, ExprRef b) {
+  if (a.get() == b.get()) return false_;
+  if (b->isZero()) return false_;
+  if (a->isZero()) {
+    const unsigned bw = b->width();
+    return ne(std::move(b), constant(0, bw));
+  }
+  return binary(Kind::Ult, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::ule(ExprRef a, ExprRef b) {
+  if (a.get() == b.get()) return true_;
+  if (a->isZero()) return true_;
+  if (b->isAllOnes()) return true_;
+  return binary(Kind::Ule, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::slt(ExprRef a, ExprRef b) {
+  if (a.get() == b.get()) return false_;
+  return binary(Kind::Slt, std::move(a), std::move(b));
+}
+
+ExprRef ExprBuilder::sle(ExprRef a, ExprRef b) {
+  if (a.get() == b.get()) return true_;
+  return binary(Kind::Sle, std::move(a), std::move(b));
+}
+
+// --- Structure ----------------------------------------------------------------
+
+ExprRef ExprBuilder::concat(ExprRef hi, ExprRef lo) {
+  const unsigned w = hi->width() + lo->width();
+  assert(w <= 64);
+  if (hi->isConstant() && lo->isConstant())
+    return constant((hi->constantValue() << lo->width()) | lo->constantValue(),
+                    w);
+  if (hi->isZero()) return zext(std::move(lo), w);
+  // Merge adjacent extracts of the same expression.
+  if (hi->kind() == Kind::Extract && lo->kind() == Kind::Extract &&
+      hi->operand(0).get() == lo->operand(0).get() &&
+      hi->extractLow() == lo->extractLow() + lo->width()) {
+    return extract(hi->operand(0), lo->extractLow(), w);
+  }
+  return intern(Kind::Concat, w, 0, {std::move(hi), std::move(lo), nullptr});
+}
+
+ExprRef ExprBuilder::extract(ExprRef e, unsigned low, unsigned width) {
+  assert(low + width <= e->width());
+  if (low == 0 && width == e->width()) return e;
+  if (e->isConstant())
+    return constant(e->constantValue() >> low, width);
+  if (e->kind() == Kind::Extract)
+    return extract(e->operand(0), e->extractLow() + low, width);
+  if (e->kind() == Kind::Concat) {
+    const unsigned lo_w = e->operand(1)->width();
+    if (low + width <= lo_w) return extract(e->operand(1), low, width);
+    if (low >= lo_w) return extract(e->operand(0), low - lo_w, width);
+  }
+  if (e->kind() == Kind::ZExt || e->kind() == Kind::SExt) {
+    const unsigned inner_w = e->operand(0)->width();
+    if (low + width <= inner_w) return extract(e->operand(0), low, width);
+    if (e->kind() == Kind::ZExt && low >= inner_w) return constant(0, width);
+  }
+  // Distribute over ite so decoder fields stay field-shaped.
+  if (e->kind() == Kind::Ite) {
+    if (e->operand(1)->isConstant() && e->operand(2)->isConstant())
+      return ite(e->operand(0), extract(e->operand(1), low, width),
+                 extract(e->operand(2), low, width));
+  }
+  return intern(Kind::Extract, width, low, {std::move(e), nullptr, nullptr});
+}
+
+ExprRef ExprBuilder::zext(ExprRef e, unsigned width) {
+  assert(width >= e->width());
+  if (width == e->width()) return e;
+  if (e->isConstant()) return constant(e->constantValue(), width);
+  if (e->kind() == Kind::ZExt) return zext(e->operand(0), width);
+  return intern(Kind::ZExt, width, 0, {std::move(e), nullptr, nullptr});
+}
+
+ExprRef ExprBuilder::sext(ExprRef e, unsigned width) {
+  assert(width >= e->width());
+  if (width == e->width()) return e;
+  if (e->isConstant())
+    return constant(
+        static_cast<std::uint64_t>(signExtend(e->constantValue(), e->width())),
+        width);
+  if (e->kind() == Kind::SExt) return sext(e->operand(0), width);
+  return intern(Kind::SExt, width, 0, {std::move(e), nullptr, nullptr});
+}
+
+ExprRef ExprBuilder::ite(ExprRef cond, ExprRef then_e, ExprRef else_e) {
+  assert(cond->width() == 1);
+  assert(then_e->width() == else_e->width());
+  if (cond->isConstant()) return cond->constantValue() ? then_e : else_e;
+  if (then_e.get() == else_e.get()) return then_e;
+  if (then_e->width() == 1) {
+    if (then_e->isConstantValue(1) && else_e->isConstantValue(0)) return cond;
+    if (then_e->isConstantValue(0) && else_e->isConstantValue(1))
+      return notOp(std::move(cond));
+  }
+  const unsigned w = then_e->width();
+  return intern(Kind::Ite, w, 0,
+                {std::move(cond), std::move(then_e), std::move(else_e)});
+}
+
+// --- Convenience ----------------------------------------------------------------
+
+ExprRef ExprBuilder::eqConst(const ExprRef& e, std::uint64_t v) {
+  return eq(e, constant(v, e->width()));
+}
+
+ExprRef ExprBuilder::bit(const ExprRef& e, unsigned bit_index) {
+  return extract(e, bit_index, 1);
+}
+
+}  // namespace rvsym::expr

@@ -1,0 +1,118 @@
+// ExprBuilder — the only way to create expressions.
+//
+// Responsibilities:
+//  * hash-consing: structurally identical nodes share one allocation, so
+//    pointer equality is structural equality;
+//  * constant folding: any operator over constants collapses to a
+//    Constant node using the reference semantics from eval.hpp;
+//  * light algebraic simplification (identity/absorbing elements,
+//    x-x, x^x, eq(x,x), extract-of-concat, nested extract, ...) chosen to
+//    keep the decoder-heavy workloads of the co-simulation small.
+//
+// A builder also owns the variable namespace: variable ids are assigned
+// consecutively and names are unique (a repeated name gets the same id
+// and width back; conflicting widths are an error).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace rvsym::expr {
+
+class ExprBuilder {
+ public:
+  ExprBuilder();
+
+  // --- Leaves -----------------------------------------------------------
+  ExprRef constant(std::uint64_t value, unsigned width);
+  ExprRef boolConst(bool v) { return constant(v ? 1 : 0, 1); }
+  ExprRef trueExpr() { return true_; }
+  ExprRef falseExpr() { return false_; }
+
+  /// Creates (or retrieves) the free variable `name`. Repeated calls with
+  /// the same name return the identical node; the width must match.
+  ExprRef variable(const std::string& name, unsigned width);
+  /// Number of variables created so far.
+  std::size_t numVariables() const { return variables_.size(); }
+  /// Variable node by id (ids are dense, 0-based).
+  const ExprRef& variableById(std::uint64_t id) const { return variables_.at(id); }
+
+  // --- Arithmetic -------------------------------------------------------
+  ExprRef add(ExprRef a, ExprRef b);
+  ExprRef sub(ExprRef a, ExprRef b);
+  ExprRef mul(ExprRef a, ExprRef b);
+  ExprRef udiv(ExprRef a, ExprRef b);
+  ExprRef sdiv(ExprRef a, ExprRef b);
+  ExprRef urem(ExprRef a, ExprRef b);
+  ExprRef srem(ExprRef a, ExprRef b);
+  ExprRef neg(ExprRef a);
+
+  // --- Bitwise ----------------------------------------------------------
+  ExprRef andOp(ExprRef a, ExprRef b);
+  ExprRef orOp(ExprRef a, ExprRef b);
+  ExprRef xorOp(ExprRef a, ExprRef b);
+  ExprRef notOp(ExprRef a);
+
+  // --- Shifts -----------------------------------------------------------
+  ExprRef shl(ExprRef a, ExprRef amount);
+  ExprRef lshr(ExprRef a, ExprRef amount);
+  ExprRef ashr(ExprRef a, ExprRef amount);
+
+  // --- Comparisons (result width 1) --------------------------------------
+  ExprRef eq(ExprRef a, ExprRef b);
+  ExprRef ne(ExprRef a, ExprRef b) { return notOp(eq(std::move(a), std::move(b))); }
+  ExprRef ult(ExprRef a, ExprRef b);
+  ExprRef ule(ExprRef a, ExprRef b);
+  ExprRef ugt(ExprRef a, ExprRef b) { return ult(std::move(b), std::move(a)); }
+  ExprRef uge(ExprRef a, ExprRef b) { return ule(std::move(b), std::move(a)); }
+  ExprRef slt(ExprRef a, ExprRef b);
+  ExprRef sle(ExprRef a, ExprRef b);
+  ExprRef sgt(ExprRef a, ExprRef b) { return slt(std::move(b), std::move(a)); }
+  ExprRef sge(ExprRef a, ExprRef b) { return sle(std::move(b), std::move(a)); }
+
+  // --- Structure ---------------------------------------------------------
+  ExprRef concat(ExprRef hi, ExprRef lo);
+  ExprRef extract(ExprRef e, unsigned low, unsigned width);
+  ExprRef zext(ExprRef e, unsigned width);
+  ExprRef sext(ExprRef e, unsigned width);
+  ExprRef ite(ExprRef cond, ExprRef then_e, ExprRef else_e);
+
+  // --- Convenience -------------------------------------------------------
+  /// eq(e, constant(v, e.width))
+  ExprRef eqConst(const ExprRef& e, std::uint64_t v);
+  /// Single bit `e[bit]` as a width-1 expression.
+  ExprRef bit(const ExprRef& e, unsigned bit_index);
+  /// Boolean connectives over width-1 expressions.
+  ExprRef boolAnd(ExprRef a, ExprRef b) { return andOp(std::move(a), std::move(b)); }
+  ExprRef boolOr(ExprRef a, ExprRef b) { return orOp(std::move(a), std::move(b)); }
+  ExprRef boolNot(ExprRef a) { return notOp(std::move(a)); }
+
+  /// Interning statistics.
+  std::size_t numInternedNodes() const { return intern_.size(); }
+
+ private:
+  ExprRef intern(Kind kind, unsigned width, std::uint64_t value,
+                 std::array<ExprRef, 3> ops, std::string name = {});
+  ExprRef binary(Kind kind, ExprRef a, ExprRef b);
+
+  struct Hash {
+    std::size_t operator()(const ExprRef& e) const { return e->hash(); }
+  };
+  struct Eq {
+    bool operator()(const ExprRef& a, const ExprRef& b) const {
+      return a->shallowEquals(*b);
+    }
+  };
+  std::unordered_map<ExprRef, ExprRef, Hash, Eq> intern_;
+  std::unordered_map<std::string, ExprRef> vars_by_name_;
+  std::vector<ExprRef> variables_;
+  ExprRef true_;
+  ExprRef false_;
+};
+
+}  // namespace rvsym::expr

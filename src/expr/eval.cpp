@@ -1,0 +1,123 @@
+#include "expr/eval.hpp"
+
+#include <cassert>
+
+namespace rvsym::expr {
+
+std::uint64_t applyOp(Kind kind, unsigned width, std::uint64_t a,
+                      std::uint64_t b) {
+  const std::uint64_t mask = widthMask(width);
+  a &= mask;
+  b &= mask;
+  const std::int64_t sa = signExtend(a, width);
+  const std::int64_t sb = signExtend(b, width);
+  const std::int64_t smin = signExtend(std::uint64_t{1} << (width - 1), width);
+
+  switch (kind) {
+    case Kind::Add: return (a + b) & mask;
+    case Kind::Sub: return (a - b) & mask;
+    case Kind::Mul: return (a * b) & mask;
+    case Kind::UDiv: return b == 0 ? mask : (a / b) & mask;
+    case Kind::SDiv:
+      if (b == 0) return mask;  // -1
+      if (sa == smin && sb == -1) return a;
+      return static_cast<std::uint64_t>(sa / sb) & mask;
+    case Kind::URem: return b == 0 ? a : (a % b) & mask;
+    case Kind::SRem:
+      if (b == 0) return a;
+      if (sa == smin && sb == -1) return 0;
+      return static_cast<std::uint64_t>(sa % sb) & mask;
+    case Kind::And: return a & b;
+    case Kind::Or: return a | b;
+    case Kind::Xor: return a ^ b;
+    case Kind::Not: return ~a & mask;
+    case Kind::Neg: return (~a + 1) & mask;
+    case Kind::Shl: return b >= width ? 0 : (a << b) & mask;
+    case Kind::LShr: return b >= width ? 0 : (a >> b) & mask;
+    case Kind::AShr: {
+      if (b >= width) return sa < 0 ? mask : 0;
+      return static_cast<std::uint64_t>(sa >> b) & mask;
+    }
+    case Kind::Eq: return a == b ? 1 : 0;
+    case Kind::Ult: return a < b ? 1 : 0;
+    case Kind::Ule: return a <= b ? 1 : 0;
+    case Kind::Slt: return sa < sb ? 1 : 0;
+    case Kind::Sle: return sa <= sb ? 1 : 0;
+    default:
+      assert(false && "applyOp: not a value operator");
+      return 0;
+  }
+}
+
+namespace {
+
+std::uint64_t evalNode(const Expr* e,
+                       const Assignment& asg,
+                       std::unordered_map<const Expr*, std::uint64_t>& memo);
+
+std::uint64_t evalOperand(const Expr* e, int i, const Assignment& asg,
+                          std::unordered_map<const Expr*, std::uint64_t>& memo) {
+  return evalNode(e->operand(i).get(), asg, memo);
+}
+
+std::uint64_t evalNode(const Expr* e,
+                       const Assignment& asg,
+                       std::unordered_map<const Expr*, std::uint64_t>& memo) {
+  auto it = memo.find(e);
+  if (it != memo.end()) return it->second;
+
+  std::uint64_t result = 0;
+  switch (e->kind()) {
+    case Kind::Constant:
+      result = e->constantValue();
+      break;
+    case Kind::Variable:
+      result = asg.get(e->variableId()) & widthMask(e->width());
+      break;
+    case Kind::Concat: {
+      const std::uint64_t hi = evalOperand(e, 0, asg, memo);
+      const std::uint64_t lo = evalOperand(e, 1, asg, memo);
+      result = (hi << e->operand(1)->width()) | lo;
+      break;
+    }
+    case Kind::Extract: {
+      const std::uint64_t v = evalOperand(e, 0, asg, memo);
+      result = (v >> e->extractLow()) & widthMask(e->width());
+      break;
+    }
+    case Kind::ZExt:
+      result = evalOperand(e, 0, asg, memo);
+      break;
+    case Kind::SExt: {
+      const std::uint64_t v = evalOperand(e, 0, asg, memo);
+      result = static_cast<std::uint64_t>(
+                   signExtend(v, e->operand(0)->width())) &
+               widthMask(e->width());
+      break;
+    }
+    case Kind::Ite:
+      result = evalOperand(e, 0, asg, memo) != 0
+                   ? evalOperand(e, 1, asg, memo)
+                   : evalOperand(e, 2, asg, memo);
+      break;
+    default: {
+      const unsigned opw = e->operand(0)->width();
+      const std::uint64_t a = evalOperand(e, 0, asg, memo);
+      const std::uint64_t b =
+          e->numOperands() > 1 ? evalOperand(e, 1, asg, memo) : 0;
+      result = applyOp(e->kind(), opw, a, b);
+      break;
+    }
+  }
+  memo.emplace(e, result);
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t evaluate(const ExprRef& e, const Assignment& asg) {
+  std::unordered_map<const Expr*, std::uint64_t> memo;
+  return evalNode(e.get(), asg, memo);
+}
+
+}  // namespace rvsym::expr

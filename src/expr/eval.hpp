@@ -1,0 +1,43 @@
+// Concrete reference semantics for expressions.
+//
+// `evaluate` interprets an expression DAG under a variable assignment.
+// This is the single source of truth for the bit-vector semantics: the
+// constant folder in ExprBuilder and the solver's bit-blaster are both
+// tested against it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "expr/expr.hpp"
+
+namespace rvsym::expr {
+
+/// Maps variable ids to concrete values (masked to the variable width on
+/// use). Missing variables evaluate to 0.
+class Assignment {
+ public:
+  void set(std::uint64_t var_id, std::uint64_t value) { values_[var_id] = value; }
+  std::uint64_t get(std::uint64_t var_id) const {
+    auto it = values_.find(var_id);
+    return it == values_.end() ? 0 : it->second;
+  }
+  bool contains(std::uint64_t var_id) const { return values_.count(var_id) != 0; }
+  const std::unordered_map<std::uint64_t, std::uint64_t>& values() const {
+    return values_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> values_;
+};
+
+/// Applies the semantics of a non-structural binary/unary operator.
+/// `a`, `b` are operand values masked to `width` (the operand width);
+/// the result is masked to the result width of the operator.
+std::uint64_t applyOp(Kind kind, unsigned width, std::uint64_t a, std::uint64_t b);
+
+/// Evaluates `e` under `asg` (memoized over the DAG). Result is masked to
+/// e->width().
+std::uint64_t evaluate(const ExprRef& e, const Assignment& asg);
+
+}  // namespace rvsym::expr

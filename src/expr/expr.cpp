@@ -1,0 +1,88 @@
+#include "expr/expr.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace rvsym::expr {
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::Constant: return "const";
+    case Kind::Variable: return "var";
+    case Kind::Add: return "add";
+    case Kind::Sub: return "sub";
+    case Kind::Mul: return "mul";
+    case Kind::UDiv: return "udiv";
+    case Kind::SDiv: return "sdiv";
+    case Kind::URem: return "urem";
+    case Kind::SRem: return "srem";
+    case Kind::And: return "and";
+    case Kind::Or: return "or";
+    case Kind::Xor: return "xor";
+    case Kind::Not: return "not";
+    case Kind::Neg: return "neg";
+    case Kind::Shl: return "shl";
+    case Kind::LShr: return "lshr";
+    case Kind::AShr: return "ashr";
+    case Kind::Eq: return "eq";
+    case Kind::Ult: return "ult";
+    case Kind::Ule: return "ule";
+    case Kind::Slt: return "slt";
+    case Kind::Sle: return "sle";
+    case Kind::Concat: return "concat";
+    case Kind::Extract: return "extract";
+    case Kind::ZExt: return "zext";
+    case Kind::SExt: return "sext";
+    case Kind::Ite: return "ite";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t combineHash(std::size_t seed, std::size_t v) {
+  // boost::hash_combine-style mixing.
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Expr::Expr(Kind kind, unsigned width, std::uint64_t value,
+           std::array<ExprRef, 3> ops, std::string name)
+    : kind_(kind),
+      width_(width),
+      value_(kind == Kind::Constant ? (value & widthMask(width)) : value),
+      ops_(std::move(ops)),
+      name_(std::move(name)) {
+  std::size_t h = combineHash(static_cast<std::size_t>(kind_), width_);
+  h = combineHash(h, static_cast<std::size_t>(value_));
+  for (int i = 0; i < arity(kind_); ++i)
+    h = combineHash(h, std::hash<const Expr*>{}(ops_[static_cast<size_t>(i)].get()));
+  hash_ = h;
+}
+
+bool Expr::shallowEquals(const Expr& other) const {
+  if (kind_ != other.kind_ || width_ != other.width_ || value_ != other.value_)
+    return false;
+  for (int i = 0; i < arity(kind_); ++i)
+    if (ops_[static_cast<size_t>(i)].get() !=
+        other.ops_[static_cast<size_t>(i)].get())
+      return false;
+  // Variable identity is the id; names are informational only.
+  return true;
+}
+
+std::size_t Expr::dagSize() const {
+  std::unordered_set<const Expr*> seen;
+  std::vector<const Expr*> stack{this};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (!seen.insert(e).second) continue;
+    for (int i = 0; i < e->numOperands(); ++i)
+      stack.push_back(e->operand(i).get());
+  }
+  return seen.size();
+}
+
+}  // namespace rvsym::expr

@@ -1,0 +1,159 @@
+// rvsym — symbolic bit-vector expression library.
+//
+// Immutable, hash-consed expression DAG over fixed-width bit-vectors
+// (1..64 bits). Expressions are created exclusively through ExprBuilder
+// (builder.hpp), which interns structurally identical nodes so that
+// pointer equality implies structural equality.
+//
+// Semantics follow the RISC-V-friendly conventions documented per Kind
+// below; the concrete reference semantics live in eval.hpp and are the
+// single source of truth used by both the constant folder and the
+// bit-blaster tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rvsym::expr {
+
+/// Expression node kinds. Arity and width rules are listed per kind.
+enum class Kind : std::uint8_t {
+  // Nullary.
+  Constant,  ///< `value` holds the bits (masked to width).
+  Variable,  ///< free bit-vector variable; `value` holds the variable id.
+
+  // Binary arithmetic; operands and result share one width.
+  Add,
+  Sub,
+  Mul,
+  UDiv,  ///< x / 0 == all-ones (RISC-V DIVU convention)
+  SDiv,  ///< x / 0 == -1; MIN / -1 == MIN (RISC-V DIV convention)
+  URem,  ///< x % 0 == x
+  SRem,  ///< x % 0 == x; MIN % -1 == 0
+
+  // Bitwise; operands and result share one width.
+  And,
+  Or,
+  Xor,
+  Not,  ///< unary
+  Neg,  ///< unary two's complement negate
+
+  // Shifts. Operand 0 is the value, operand 1 the (unsigned) amount;
+  // both share the result width. Amounts >= width yield 0 (Shl/LShr)
+  // or the sign fill (AShr).
+  Shl,
+  LShr,
+  AShr,
+
+  // Comparisons; operands share a width, result has width 1.
+  Eq,
+  Ult,
+  Ule,
+  Slt,
+  Sle,
+
+  // Structure.
+  Concat,   ///< operand 0 = high bits, operand 1 = low bits; width = sum
+  Extract,  ///< bits [value, value + width) of operand 0
+  ZExt,     ///< zero-extend operand 0 to width
+  SExt,     ///< sign-extend operand 0 to width
+  Ite,      ///< operand 0 (width 1) ? operand 1 : operand 2
+};
+
+/// Number of operands for a kind.
+constexpr int arity(Kind k) {
+  switch (k) {
+    case Kind::Constant:
+    case Kind::Variable:
+      return 0;
+    case Kind::Not:
+    case Kind::Neg:
+    case Kind::Extract:
+    case Kind::ZExt:
+    case Kind::SExt:
+      return 1;
+    case Kind::Ite:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+/// Human-readable mnemonic for printing and diagnostics.
+const char* kindName(Kind k);
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Returns the all-ones mask for a width in [1, 64].
+constexpr std::uint64_t widthMask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Sign-extends `v` (masked to `width`) to a signed 64-bit value.
+constexpr std::int64_t signExtend(std::uint64_t v, unsigned width) {
+  v &= widthMask(width);
+  if (width < 64 && (v >> (width - 1)) != 0) v |= ~widthMask(width);
+  return static_cast<std::int64_t>(v);
+}
+
+/// One immutable DAG node. Construct only via ExprBuilder.
+class Expr {
+ public:
+  Expr(Kind kind, unsigned width, std::uint64_t value,
+       std::array<ExprRef, 3> ops, std::string name);
+
+  Kind kind() const { return kind_; }
+  unsigned width() const { return width_; }
+
+  bool isConstant() const { return kind_ == Kind::Constant; }
+  bool isVariable() const { return kind_ == Kind::Variable; }
+
+  /// Constant bits (Constant), variable id (Variable) or low bit (Extract).
+  std::uint64_t rawValue() const { return value_; }
+
+  /// Constant value masked to width. Precondition: isConstant().
+  std::uint64_t constantValue() const { return value_ & widthMask(width_); }
+
+  /// Constant interpreted as signed. Precondition: isConstant().
+  std::int64_t constantSValue() const { return signExtend(value_, width_); }
+
+  /// True iff this is the constant `v` (masked).
+  bool isConstantValue(std::uint64_t v) const {
+    return isConstant() && constantValue() == (v & widthMask(width_));
+  }
+  bool isZero() const { return isConstantValue(0); }
+  bool isAllOnes() const { return isConstantValue(widthMask(width_)); }
+
+  /// Variable id. Precondition: isVariable().
+  std::uint64_t variableId() const { return value_; }
+  /// Variable name (empty for non-variables).
+  const std::string& name() const { return name_; }
+
+  /// Extract low bit index. Precondition: kind() == Kind::Extract.
+  unsigned extractLow() const { return static_cast<unsigned>(value_); }
+
+  int numOperands() const { return arity(kind_); }
+  const ExprRef& operand(int i) const { return ops_[static_cast<size_t>(i)]; }
+
+  std::size_t hash() const { return hash_; }
+
+  /// Structural equality assuming operands are already interned
+  /// (compares operand pointers, not operand structure).
+  bool shallowEquals(const Expr& other) const;
+
+  /// Total number of distinct nodes reachable from this one.
+  std::size_t dagSize() const;
+
+ private:
+  Kind kind_;
+  unsigned width_;
+  std::uint64_t value_;
+  std::array<ExprRef, 3> ops_;
+  std::string name_;
+  std::size_t hash_;
+};
+
+}  // namespace rvsym::expr

@@ -1,0 +1,86 @@
+#include "expr/print.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace rvsym::expr {
+
+namespace {
+
+void countUses(const Expr* e, std::unordered_map<const Expr*, int>& uses) {
+  if (++uses[e] > 1) return;
+  for (int i = 0; i < e->numOperands(); ++i)
+    countUses(e->operand(i).get(), uses);
+}
+
+struct Printer {
+  const std::unordered_map<const Expr*, int>& uses;
+  std::unordered_map<const Expr*, int> labels;
+  std::ostringstream defs;
+  int next_label = 0;
+
+  std::string render(const Expr* e) {
+    auto lit = labels.find(e);
+    if (lit != labels.end()) return "%" + std::to_string(lit->second);
+
+    std::string body = renderBody(e);
+    if (e->numOperands() > 0 && uses.at(e) > 1) {
+      const int label = next_label++;
+      labels.emplace(e, label);
+      defs << "%" << label << " = " << body << "\n";
+      return "%" + std::to_string(label);
+    }
+    return body;
+  }
+
+  std::string renderBody(const Expr* e) {
+    std::ostringstream os;
+    switch (e->kind()) {
+      case Kind::Constant: {
+        os << "#x" << std::hex << e->constantValue() << std::dec << ":"
+           << e->width();
+        return os.str();
+      }
+      case Kind::Variable:
+        return "(var " + (e->name().empty()
+                              ? "v" + std::to_string(e->variableId())
+                              : e->name()) +
+               ":" + std::to_string(e->width()) + ")";
+      case Kind::Extract:
+        os << "(extract " << e->extractLow() << " " << e->width() << " "
+           << render(e->operand(0).get()) << ")";
+        return os.str();
+      default: {
+        os << "(" << kindName(e->kind());
+        if (e->kind() == Kind::ZExt || e->kind() == Kind::SExt)
+          os << " " << e->width();
+        for (int i = 0; i < e->numOperands(); ++i)
+          os << " " << render(e->operand(i).get());
+        os << ")";
+        return os.str();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string toString(const ExprRef& e) {
+  if (!e) return "<null>";
+  std::unordered_map<const Expr*, int> uses;
+  countUses(e.get(), uses);
+  Printer p{uses, {}, {}, 0};
+  std::string root = p.render(e.get());
+  std::string defs = p.defs.str();
+  return defs.empty() ? root : defs + root;
+}
+
+std::string summary(const ExprRef& e) {
+  if (!e) return "<null>";
+  std::ostringstream os;
+  os << kindName(e->kind()) << ":" << e->width() << " (" << e->dagSize()
+     << " nodes)";
+  return os.str();
+}
+
+}  // namespace rvsym::expr

@@ -1,0 +1,19 @@
+// Debug printing for expressions: compact s-expression rendering with
+// shared-subtree naming for large DAGs.
+#pragma once
+
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace rvsym::expr {
+
+/// Renders `e` as an s-expression, e.g. `(add (var rs1_val) #x00000004:32)`.
+/// Subtrees referenced more than once are printed once and then referred to
+/// by a `%N` label to keep output linear in DAG size.
+std::string toString(const ExprRef& e);
+
+/// One-line summary: kind, width and DAG size.
+std::string summary(const ExprRef& e);
+
+}  // namespace rvsym::expr

@@ -1,0 +1,48 @@
+// The injected-error set E0-E9 of the paper's performance evaluation
+// (§V-B), as a registry the Table II bench and the examples share.
+//
+// E0-E2 are decoder faults ("mark a bit as don't care in the decode
+// table"), realized by clearing a mask bit of the instruction's decode
+// pattern; E3-E9 are datapath faults realized by ExecFaults switches in
+// the RTL core.
+//
+// Note on E2: the paper's text names SRLI for both E1 and E2; we read E2
+// as the arithmetic right shift SRAI (the same funct7 bit), which keeps
+// the ten errors distinct (documented in DESIGN.md).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/cosim.hpp"
+
+namespace rvsym::fault {
+
+struct InjectedError {
+  const char* id;           ///< "E0" .. "E9"
+  const char* target;       ///< affected instruction
+  const char* description;  ///< paper's description
+
+  /// Decoder fault (E0-E2): clear this mask bit of the target's pattern.
+  bool has_dont_care = false;
+  core::CosimConfig::DecodeDontCare dont_care{};
+
+  /// Datapath fault (E3-E9).
+  bool rtl::ExecFaults::*flag = nullptr;
+
+  /// Applies this error to a co-simulation configuration.
+  void apply(core::CosimConfig& config) const;
+};
+
+/// All ten errors, in paper order.
+std::span<const InjectedError> allErrors();
+
+/// Corner-case extension errors X0/X1 (not from the paper): single-value
+/// bugs used to demonstrate the fuzzing-vs-symbolic-execution gap.
+std::span<const InjectedError> extensionErrors();
+
+/// Lookup by id ("E0".."E9", "X0".."X1"); throws std::out_of_range on
+/// unknown ids.
+const InjectedError& errorById(const std::string& id);
+
+}  // namespace rvsym::fault

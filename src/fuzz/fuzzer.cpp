@@ -1,0 +1,167 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <chrono>
+
+#include "core/voter.hpp"
+#include "iss/iss.hpp"
+#include "rtl/core.hpp"
+#include "rv32/encode.hpp"
+#include "rv32/instr.hpp"
+
+namespace rvsym::fuzz {
+
+using expr::ExprRef;
+
+expr::ExprRef RandomImage::byteAt(symex::ExecState& st, std::uint32_t addr) {
+  // splitmix-style hash of (seed, addr): stable per test, concrete.
+  std::uint64_t z = (static_cast<std::uint64_t>(seed_) << 32) | addr;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return st.builder().constant(z & 0xFF, 8);
+}
+
+std::uint64_t CosimFuzzer::next(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+
+std::uint32_t CosimFuzzer::randomInstruction(std::uint64_t& rng_state,
+                                             const FuzzOptions& options) {
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    std::uint32_t word = static_cast<std::uint32_t>(next(rng_state));
+    if (next(rng_state) % 100 < options.valid_bias_percent) {
+      // Mutate a valid encoding: keep the pattern bits, randomize the rest.
+      const auto table = rv32::decodeTable();
+      const rv32::DecodePattern& p =
+          table[next(rng_state) % table.size()];
+      word = (word & ~p.mask) | p.match;
+      if (options.small_reg_bias) {
+        // Rewrite rd/rs1/rs2 into x0..x3.
+        word &= ~((31u << 7) | (31u << 15) | (31u << 20));
+        word |= (next(rng_state) & 3u) << 7;
+        word |= (next(rng_state) & 3u) << 15;
+        word |= (next(rng_state) & 3u) << 20;
+        // Re-apply the pattern (shift encodings etc. fix rs2/funct7).
+        word = (word & ~p.mask) | p.match;
+      }
+    }
+    if (options.block_system && (word & 0x7F) == 0x73) continue;
+    return word;
+  }
+  return rv32::enc::nop();
+}
+
+FuzzReport CosimFuzzer::run(const core::CosimConfig& config,
+                            const FuzzOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  FuzzReport report;
+  std::uint64_t rng = (static_cast<std::uint64_t>(options.seed) << 1) | 1;
+
+  expr::ExprBuilder eb;
+
+  while ((options.max_tests == 0 || report.tests < options.max_tests) &&
+         (options.max_seconds == 0 || elapsed() < options.max_seconds)) {
+    ++report.tests;
+    const std::uint32_t test_seed = static_cast<std::uint32_t>(next(rng));
+
+    symex::ExecState st(eb, {}, {});
+    RandomImage image(test_seed);
+    core::SymbolicDataMemory rtl_mem(image);
+    core::SymbolicDataMemory iss_mem(image);
+
+    // Concrete random instruction stream, cached per address like the
+    // symbolic instruction memory.
+    struct FuzzInstrSource final : iss::InstrSourceIf {
+      std::uint64_t rng;
+      const FuzzOptions& options;
+      expr::ExprBuilder& eb;
+      std::unordered_map<std::uint32_t, std::uint32_t> cache;
+      std::uint32_t first_word = 0;
+      FuzzInstrSource(std::uint64_t r, const FuzzOptions& o,
+                      expr::ExprBuilder& b)
+          : rng(r), options(o), eb(b) {}
+      ExprRef fetch(symex::ExecState&, std::uint32_t addr) override {
+        auto it = cache.find(addr);
+        if (it == cache.end()) {
+          const std::uint32_t word =
+              CosimFuzzer::randomInstruction(rng, options);
+          if (cache.empty()) first_word = word;
+          it = cache.emplace(addr, word).first;
+        }
+        return eb.constant(it->second, 32);
+      }
+    } imem(next(rng), options, eb);
+
+    rtl::RtlConfig rtl_cfg = config.rtl;
+    rtl_cfg.faults = rtl_cfg.faults | config.faults;
+    rtl::MicroRv32Core core(eb, rtl_cfg);
+    for (const core::CosimConfig::DecodeDontCare& dc :
+         config.decode_dont_cares)
+      for (rv32::DecodePattern& p : core.decodeTableMut())
+        if (p.op == dc.op) p.mask &= ~(1u << dc.bit);
+
+    iss::Iss iss(eb, imem, iss_mem, config.iss);
+    core::Voter voter;
+
+    for (unsigned i = 1; i <= options.num_random_regs && i < 32; ++i) {
+      const ExprRef v = eb.constant(next(rng) & 0xFFFFFFFF, 32);
+      core.regs().set(eb, i, v);
+      iss.regs().set(eb, i, v);
+    }
+
+    unsigned retired = 0;
+    const unsigned cycle_limit = 40 * options.instr_limit + 24;
+    bool mismatch = false;
+    try {
+      for (unsigned cycle = 0; cycle < cycle_limit && !mismatch; ++cycle) {
+        core.tick(st);
+        if (core.ibus.fetch_enable && !core.ibus.instruction_ready) {
+          core.ibus.instruction = imem.fetch(st, core.ibus.address);
+          core.ibus.instruction_ready = true;
+        } else if (!core.ibus.fetch_enable) {
+          core.ibus.instruction_ready = false;
+        }
+        if (core.dbus.enable && !core.dbus.data_ready) {
+          if (core.dbus.write)
+            rtl_mem.storeStrobed(st, core.dbus.address, core.dbus.strobe,
+                                 core.dbus.wdata);
+          else
+            core.dbus.rdata =
+                rtl_mem.loadStrobed(st, core.dbus.address, core.dbus.strobe);
+          core.dbus.data_ready = true;
+        } else if (!core.dbus.enable) {
+          core.dbus.data_ready = false;
+        }
+        if (core.rvfi.valid) {
+          ++report.instructions;
+          const iss::RetireInfo iss_r = iss.step(st);
+          if (std::optional<core::Mismatch> m =
+                  voter.compare(st, core.rvfi.info, iss_r)) {
+            mismatch = true;
+            report.found = true;
+            report.mismatch_message = core::Voter::describe(*m);
+            report.witness_instr = imem.first_word;
+          }
+          if (++retired >= options.instr_limit) break;
+        }
+      }
+    } catch (const symex::PathTerminated&) {
+      // A fully concrete test never forks; a termination here would be an
+      // infeasible assume from the config's constraint hook — skip it.
+    }
+    if (report.found) break;
+  }
+
+  report.seconds = elapsed();
+  return report;
+}
+
+}  // namespace rvsym::fuzz

@@ -1,0 +1,76 @@
+// Concrete random-testing baseline (the paper's point of comparison).
+//
+// The paper motivates symbolic execution by the incompleteness of
+// randomized/fuzzing approaches: "even a state-of-the-art fuzzing-based
+// approach is still susceptible to miss corner case bugs". This module
+// is that baseline: the SAME co-simulation testbench (RTL core + ISS +
+// voter), but driven by concrete random stimuli — random instruction
+// words (with a valid-encoding mutation bias, riscv-dv style), random
+// register values and random memory content. Every value folds to a
+// constant, so no solver is involved and throughput is high; the
+// comparison bench measures tests-to-detection against the symbolic
+// engine's time-to-detection.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <string>
+
+#include "core/cosim.hpp"
+#include "core/symmem.hpp"
+
+namespace rvsym::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t max_tests = 100000;  ///< 0 = unlimited
+  double max_seconds = 30;           ///< 0 = unlimited
+  std::uint32_t seed = 0xF022ED;
+  /// Fraction (0..100) of tests whose instruction words are mutated from
+  /// valid encodings instead of being uniformly random words.
+  unsigned valid_bias_percent = 75;
+  /// Bias register fields towards x0..x3 so the randomized register
+  /// window actually gets exercised.
+  bool small_reg_bias = true;
+  /// Skip SYSTEM-opcode instructions (the Table II "RV32I only" setup).
+  bool block_system = true;
+  /// Number of randomized registers (mirrors num_symbolic_regs).
+  unsigned num_random_regs = 2;
+  unsigned instr_limit = 1;
+};
+
+struct FuzzReport {
+  bool found = false;
+  std::uint64_t tests = 0;         ///< co-simulation runs executed
+  std::uint64_t instructions = 0;  ///< retired instruction pairs
+  double seconds = 0;
+  std::string mismatch_message;    ///< voter message of the detection
+  std::uint32_t witness_instr = 0; ///< first instruction of the failing test
+};
+
+/// Deterministic pseudo-random initial memory image: byte (seed, addr).
+class RandomImage final : public core::InitialImage {
+ public:
+  explicit RandomImage(std::uint32_t seed) : seed_(seed) {}
+  expr::ExprRef byteAt(symex::ExecState& st, std::uint32_t addr) override;
+
+ private:
+  std::uint32_t seed_;
+};
+
+class CosimFuzzer {
+ public:
+  /// Runs random concrete co-simulations of `config` (bugs/faults taken
+  /// from it; instruction constraints are ignored — the fuzzer generates
+  /// its own stimuli) until a voter mismatch or the budget runs out.
+  FuzzReport run(const core::CosimConfig& config, const FuzzOptions& options);
+
+  /// One random instruction word under the generation policy.
+  static std::uint32_t randomInstruction(std::uint64_t& rng_state,
+                                         const FuzzOptions& options);
+
+ private:
+  /// xorshift64* PRNG step.
+  static std::uint64_t next(std::uint64_t& s);
+};
+
+}  // namespace rvsym::fuzz

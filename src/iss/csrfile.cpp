@@ -1,0 +1,301 @@
+#include "iss/csrfile.hpp"
+
+namespace rvsym::iss {
+
+using expr::ExprRef;
+using namespace rv32::csr;
+
+CsrConfig CsrConfig::riscvVp() {
+  CsrConfig c;  // full CSR set, spec-correct defaults...
+  c.trap_on_medeleg_read = true;   // ...except the two authentic VP bugs.
+  c.trap_on_mideleg_read = true;
+  c.cycle_counts_instructions = true;
+  return c;
+}
+
+CsrConfig CsrConfig::microrv32() {
+  CsrConfig c;
+  c.has_unprivileged_counters = false;
+  c.has_mhpm = false;
+  c.has_mscratch = false;
+  c.has_mcounteren = false;
+  c.has_medeleg_mideleg = true;   // implemented, readable without trap
+  c.trap_on_unimplemented = false;  // bug: missing illegal-instruction trap
+  c.trap_on_readonly_write = false; // bug: missing trap at RO write
+  c.trap_on_counter_write = true;   // bug: mip/mcycle/minstret/...h writes trap
+  c.cycle_counts_instructions = false;  // real clock-cycle counting
+  return c;
+}
+
+CsrConfig CsrConfig::specCorrect() { return CsrConfig{}; }
+
+CsrFile::CsrFile(expr::ExprBuilder& eb, CsrConfig config)
+    : eb_(eb), config_(config) {
+  const ExprRef zero = eb_.constant(0, 32);
+  mstatus_ = zero;
+  mtvec_ = zero;
+  mepc_ = zero;
+  mcause_ = zero;
+  mtval_ = zero;
+  mie_ = zero;
+  mip_ = zero;
+  mscratch_ = zero;
+  medeleg_ = zero;
+  mideleg_ = zero;
+  mcounteren_ = zero;
+  cycle_ = eb_.constant(0, 64);
+  instret_ = eb_.constant(0, 64);
+}
+
+ExprRef CsrFile::word(std::uint32_t v) const { return eb_.constant(v, 32); }
+
+bool CsrFile::isImplemented(std::uint16_t addr) const {
+  switch (addr) {
+    case kMvendorid:
+    case kMarchid:
+    case kMimpid:
+    case kMhartid:
+    case kMstatus:
+    case kMisa:
+    case kMie:
+    case kMtvec:
+    case kMepc:
+    case kMcause:
+    case kMip:
+    case kMcycle:
+    case kMinstret:
+    case kMcycleh:
+    case kMinstreth:
+      return true;
+    case kMtval:
+      return config_.has_mtval;
+    case kMedeleg:
+    case kMideleg:
+      return config_.has_medeleg_mideleg;
+    case kMscratch:
+      return config_.has_mscratch;
+    case kMcounteren:
+      return config_.has_mcounteren;
+    case kCycle:
+    case kTime:
+    case kInstret:
+    case kCycleh:
+    case kTimeh:
+    case kInstreth:
+      return config_.has_unprivileged_counters;
+    default:
+      if (isMhpmcounter(addr) || isMhpmcounterh(addr) || isMhpmevent(addr))
+        return config_.has_mhpm;
+      return false;
+  }
+}
+
+std::uint16_t CsrFile::resolve(symex::ExecState& st, const ExprRef& addr) {
+  expr::ExprBuilder& eb = st.builder();
+  if (addr->isConstant()) {
+    const auto a = static_cast<std::uint16_t>(addr->constantValue());
+    return isImplemented(a) ? a : kUnimplemented;
+  }
+
+  static constexpr std::uint16_t kSingles[] = {
+      kMstatus, kMisa,   kMie,     kMtvec,    kMepc,    kMcause,  kMip,
+      kMtval,   kMedeleg, kMideleg, kMscratch, kMcounteren,
+      kMvendorid, kMarchid, kMimpid, kMhartid,
+      kMcycle,  kMinstret, kMcycleh, kMinstreth,
+      kCycle,   kTime,    kInstret, kCycleh,   kTimeh,   kInstreth,
+  };
+  for (std::uint16_t a : kSingles) {
+    if (!isImplemented(a)) continue;
+    if (st.branch(eb.eqConst(addr, a))) return a;
+  }
+  if (config_.has_mhpm) {
+    struct Range {
+      std::uint16_t lo, hi;
+    };
+    static constexpr Range kRanges[] = {
+        {kMhpmcounter3, 0xB1F}, {kMhpmcounter3h, 0xB9F}, {kMhpmevent3, 0x33F}};
+    for (const Range& r : kRanges) {
+      const ExprRef in_range =
+          eb.boolAnd(eb.uge(addr, eb.constant(r.lo, 12)),
+                     eb.ule(addr, eb.constant(r.hi, 12)));
+      if (st.branch(in_range))
+        return static_cast<std::uint16_t>(st.concretize(addr));
+    }
+  }
+  return kUnimplemented;
+}
+
+CsrFile::ReadResult CsrFile::read(std::uint16_t addr) {
+  if (addr == kUnimplemented) {
+    if (config_.trap_on_unimplemented) return {true, nullptr};
+    return {false, word(0)};  // MicroRV32: reads as zero, no trap
+  }
+  switch (addr) {
+    case kMvendorid: return {false, word(config_.mvendorid)};
+    case kMarchid: return {false, word(config_.marchid)};
+    case kMimpid: return {false, word(config_.mimpid)};
+    case kMhartid: return {false, word(config_.mhartid)};
+    case kMstatus: return {false, mstatus_};
+    case kMisa: return {false, word(config_.misa)};
+    case kMie: return {false, mie_};
+    case kMtvec: return {false, mtvec_};
+    case kMepc: return {false, mepc_};
+    case kMcause: return {false, mcause_};
+    case kMtval: return {false, mtval_};
+    case kMip: return {false, mip_};
+    case kMedeleg:
+      if (config_.trap_on_medeleg_read) return {true, nullptr};  // VP bug E*
+      return {false, medeleg_};
+    case kMideleg:
+      if (config_.trap_on_mideleg_read) return {true, nullptr};  // VP bug E*
+      return {false, mideleg_};
+    case kMscratch: return {false, mscratch_};
+    case kMcounteren: return {false, mcounteren_};
+    case kMcycle:
+    case kCycle:
+    case kTime:
+      return {false, eb_.extract(cycle_, 0, 32)};
+    case kMcycleh:
+    case kCycleh:
+    case kTimeh:
+      return {false, eb_.extract(cycle_, 32, 32)};
+    case kMinstret:
+    case kInstret:
+      return {false, eb_.extract(instret_, 0, 32)};
+    case kMinstreth:
+    case kInstreth:
+      return {false, eb_.extract(instret_, 32, 32)};
+    default: {
+      auto it = hpm_.find(addr);
+      return {false, it == hpm_.end() ? word(0) : it->second};
+    }
+  }
+}
+
+bool CsrFile::write(std::uint16_t addr, const ExprRef& value) {
+  if (addr == kUnimplemented) {
+    if (config_.trap_on_unimplemented) return true;
+    return false;  // MicroRV32: silently ignored
+  }
+  if (isReadOnlyAddress(addr)) {
+    // mvendorid/marchid/mhartid/... and the unprivileged counter shadows.
+    return config_.trap_on_readonly_write;
+  }
+  switch (addr) {
+    case kMip:
+    case kMcycle:
+    case kMinstret:
+    case kMcycleh:
+    case kMinstreth:
+      if (config_.trap_on_counter_write) return true;  // MicroRV32 bug
+      break;
+    default:
+      break;
+  }
+  switch (addr) {
+    case kMstatus: {
+      // WARL: only MIE (bit 3) and MPIE (bit 7) are writable here; MPP is
+      // hardwired to M (0b11 at bits 12:11).
+      const ExprRef masked = eb_.andOp(value, word(0x88));
+      mstatus_ = eb_.orOp(masked, word(0x3u << 11));
+      return false;
+    }
+    case kMisa:
+      return false;  // WARL, writes ignored
+    case kMie:
+      mie_ = value;
+      return false;
+    case kMtvec:
+      // Direct mode only: low two bits are hardwired to zero.
+      mtvec_ = eb_.andOp(value, word(~3u));
+      return false;
+    case kMepc:
+      mepc_ = eb_.andOp(value, word(~3u));
+      return false;
+    case kMcause:
+      mcause_ = value;
+      return false;
+    case kMtval:
+      mtval_ = value;
+      return false;
+    case kMip:
+      mip_ = value;
+      return false;
+    case kMedeleg:
+      medeleg_ = value;
+      return false;
+    case kMideleg:
+      mideleg_ = value;
+      return false;
+    case kMscratch:
+      mscratch_ = value;
+      return false;
+    case kMcounteren:
+      mcounteren_ = value;
+      return false;
+    case kMcycle:
+      cycle_ = eb_.concat(eb_.extract(cycle_, 32, 32), value);
+      return false;
+    case kMcycleh:
+      cycle_ = eb_.concat(value, eb_.extract(cycle_, 0, 32));
+      return false;
+    case kMinstret:
+      instret_ = eb_.concat(eb_.extract(instret_, 32, 32), value);
+      return false;
+    case kMinstreth:
+      instret_ = eb_.concat(value, eb_.extract(instret_, 0, 32));
+      return false;
+    default:
+      if (isMhpmcounter(addr) || isMhpmcounterh(addr) || isMhpmevent(addr)) {
+        hpm_[addr] = value;
+        return false;
+      }
+      return false;
+  }
+}
+
+void CsrFile::tickCycle() { cycle_ = eb_.add(cycle_, eb_.constant(1, 64)); }
+
+void CsrFile::tickInstret() {
+  instret_ = eb_.add(instret_, eb_.constant(1, 64));
+}
+
+void CsrFile::setInterruptLine(unsigned bit, bool level) {
+  const std::uint32_t mask = 1u << bit;
+  if (level)
+    mip_ = eb_.orOp(mip_, word(mask));
+  else
+    mip_ = eb_.andOp(mip_, word(~mask));
+}
+
+ExprRef CsrFile::interruptRequest(unsigned bit) const {
+  const std::uint32_t mask = 1u << bit;
+  const ExprRef global = eb_.ne(eb_.andOp(mstatus_, word(0x8)), word(0));
+  const ExprRef enabled = eb_.ne(eb_.andOp(mie_, word(mask)), word(0));
+  const ExprRef pending = eb_.ne(eb_.andOp(mip_, word(mask)), word(0));
+  return eb_.boolAnd(global, eb_.boolAnd(enabled, pending));
+}
+
+ExprRef CsrFile::enterTrap(const ExprRef& pc, std::uint32_t cause,
+                           const ExprRef& tval) {
+  mepc_ = eb_.andOp(pc, word(~3u));
+  mcause_ = word(cause);
+  if (config_.has_mtval) mtval_ = tval ? tval : word(0);
+  // MPIE <- MIE; MIE <- 0; MPP stays M.
+  const ExprRef mie_bit = eb_.andOp(mstatus_, word(0x8));
+  const ExprRef mpie = eb_.shl(mie_bit, word(4));
+  mstatus_ = eb_.orOp(eb_.andOp(mstatus_, word(~0x88u)),
+                      eb_.orOp(mpie, word(0x3u << 11)));
+  return mtvec_;
+}
+
+ExprRef CsrFile::doMret() {
+  // MIE <- MPIE; MPIE <- 1.
+  const ExprRef mpie_bit = eb_.andOp(mstatus_, word(0x80));
+  const ExprRef mie = eb_.lshr(mpie_bit, word(4));
+  mstatus_ = eb_.orOp(eb_.andOp(mstatus_, word(~0x88u)),
+                      eb_.orOp(mie, word(0x80)));
+  return mepc_;
+}
+
+}  // namespace rvsym::iss

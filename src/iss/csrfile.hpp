@@ -1,0 +1,145 @@
+// Configurable machine-mode CSR file shared by the ISS and the RTL core
+// model.
+//
+// One implementation serves both processors: CsrConfig selects which CSR
+// groups exist and which (authentic) bugs are active. CsrConfig::riscvVp()
+// reproduces the RISC-V VP reference ISS including its two real bugs
+// (trap on medeleg/mideleg READ — the E* rows of Table I);
+// CsrConfig::microrv32() reproduces the MicroRV32 RTL core including its
+// CSR errors (missing illegal-instruction traps, trap-on-write for the
+// writable counters, missing counters/mscratch/mcounteren);
+// CsrConfig::specCorrect() is the fully compliant configuration used as
+// the fixed DUT for the error-injection experiments (Table II).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "expr/builder.hpp"
+#include "rv32/csr.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::iss {
+
+struct CsrConfig {
+  // --- Implemented CSR groups ----------------------------------------------
+  bool has_unprivileged_counters = true;  ///< cycle/time/instret (+h)
+  bool has_mhpm = true;                   ///< mhpmcounter3-31(+h), mhpmevent3-31
+  bool has_mscratch = true;
+  bool has_mcounteren = true;
+  bool has_medeleg_mideleg = true;
+  bool has_mtval = true;
+
+  // --- Behaviours (defaults are specification-correct) ----------------------
+  /// Authentic RISC-V VP bugs: trap on *read* of medeleg / mideleg (E*).
+  bool trap_on_medeleg_read = false;
+  bool trap_on_mideleg_read = false;
+  /// Raise illegal-instruction on access to unimplemented CSRs
+  /// (MicroRV32 bug: does not — "Missing trap at access").
+  bool trap_on_unimplemented = true;
+  /// Raise illegal-instruction on writes to read-only CSRs
+  /// (MicroRV32 bug: does not — "Missing trap at write").
+  bool trap_on_readonly_write = true;
+  /// MicroRV32 bug: writes to mip/mcycle/minstret/mcycleh/minstreth trap.
+  bool trap_on_counter_write = false;
+  /// Abstract ISS timing: mcycle advances once per retired instruction.
+  /// The RTL core advances it once per clock tick (several per
+  /// instruction), which yields the paper's "Cycle Count Mismatch".
+  bool cycle_counts_instructions = true;
+
+  // --- Identification values -------------------------------------------------
+  std::uint32_t mvendorid = 0;
+  std::uint32_t marchid = 0;
+  std::uint32_t mimpid = 0;
+  std::uint32_t mhartid = 0;
+  std::uint32_t misa = (1u << 30) | (1u << 8);  // RV32 + I
+
+  static CsrConfig riscvVp();
+  static CsrConfig microrv32();
+  static CsrConfig specCorrect();
+};
+
+class CsrFile {
+ public:
+  /// Marker returned by resolve() for addresses outside the implemented set.
+  static constexpr std::uint16_t kUnimplemented = 0xFFFF;
+
+  CsrFile(expr::ExprBuilder& eb, CsrConfig config);
+
+  const CsrConfig& config() const { return config_; }
+
+  /// Maps a (possibly symbolic) 12-bit CSR address expression onto a
+  /// concrete implemented address or kUnimplemented, forking the path as
+  /// needed. Ranged CSRs (mhpmcounter*, mhpmevent*) fork once per range
+  /// and concretize inside it.
+  std::uint16_t resolve(symex::ExecState& st, const expr::ExprRef& addr);
+
+  struct ReadResult {
+    bool trap = false;
+    expr::ExprRef value;  // valid iff !trap
+  };
+  /// Reads a resolved address. May trap per configuration.
+  ReadResult read(std::uint16_t addr);
+
+  /// Writes a resolved address. Returns true if the access traps.
+  bool write(std::uint16_t addr, const expr::ExprRef& value);
+
+  /// Is `addr` inside this configuration's implemented set?
+  bool isImplemented(std::uint16_t addr) const;
+
+  // --- Counters --------------------------------------------------------------
+  void tickCycle();     ///< advance mcycle by one (64-bit)
+  void tickInstret();   ///< advance minstret by one (64-bit)
+  const expr::ExprRef& cycle64() const { return cycle_; }
+  const expr::ExprRef& instret64() const { return instret_; }
+
+  // --- Interrupts ---------------------------------------------------------------
+  /// Asserts/deasserts an interrupt line (mip bit) from the testbench.
+  void setInterruptLine(unsigned bit, bool level);
+  /// Width-1 condition: interrupt `bit` is pending, enabled in mie, and
+  /// globally enabled (mstatus.MIE).
+  expr::ExprRef interruptRequest(unsigned bit) const;
+
+  // --- Trap entry / return -----------------------------------------------------
+  /// Performs the machine-trap state update (mepc/mcause/mtval/mstatus)
+  /// and returns the trap target PC (mtvec base).
+  expr::ExprRef enterTrap(const expr::ExprRef& pc, std::uint32_t cause,
+                          const expr::ExprRef& tval);
+  /// MRET: restores mstatus and returns the resume PC (mepc).
+  expr::ExprRef doMret();
+
+  // Direct state access for tests and reset conventions.
+  const expr::ExprRef& mtvec() const { return mtvec_; }
+  const expr::ExprRef& mepc() const { return mepc_; }
+  const expr::ExprRef& mcause() const { return mcause_; }
+  void setMtvec(const expr::ExprRef& v) { mtvec_ = v; }
+
+ private:
+  expr::ExprRef word(std::uint32_t v) const;
+
+  expr::ExprBuilder& eb_;
+  CsrConfig config_;
+
+  // Trap/state CSRs (symbolic-capable storage).
+  expr::ExprRef mstatus_;
+  expr::ExprRef mtvec_;
+  expr::ExprRef mepc_;
+  expr::ExprRef mcause_;
+  expr::ExprRef mtval_;
+  expr::ExprRef mie_;
+  expr::ExprRef mip_;
+  expr::ExprRef mscratch_;
+  expr::ExprRef medeleg_;
+  expr::ExprRef mideleg_;
+  expr::ExprRef mcounteren_;
+
+  // 64-bit counters; ticks fold to constants until an explicit CSR write
+  // stores a symbolic value.
+  expr::ExprRef cycle_;
+  expr::ExprRef instret_;
+
+  // mhpmcounter3-31 (+h) and mhpmevent3-31 storage, keyed by address.
+  std::unordered_map<std::uint16_t, expr::ExprRef> hpm_;
+};
+
+}  // namespace rvsym::iss

@@ -1,0 +1,368 @@
+#include "iss/iss.hpp"
+
+#include "rv32/fields.hpp"
+
+namespace rvsym::iss {
+
+using expr::ExprRef;
+using rv32::Cause;
+using rv32::Opcode;
+using symex::ExecState;
+
+namespace {
+
+constexpr std::uint32_t causeCode(Cause c) {
+  return static_cast<std::uint32_t>(c);
+}
+
+}  // namespace
+
+Iss::Iss(expr::ExprBuilder& eb, InstrSourceIf& isrc, DataMemoryIf& dmem,
+         IssConfig config)
+    : eb_(eb),
+      isrc_(isrc),
+      dmem_(dmem),
+      config_(config),
+      regs_(eb),
+      csrs_(eb, config.csr),
+      pc_(eb.constant(config.reset_pc, 32)) {}
+
+Opcode Iss::decodeSymbolic(ExecState& st, const ExprRef& instr) {
+  for (const rv32::DecodePattern& p : rv32::decodeTable())
+    if (st.branch(rv32::sym::matches(eb_, instr, p))) return p.op;
+  return Opcode::Illegal;
+}
+
+void Iss::raiseTrap(RetireInfo& r, Cause cause, const ExprRef& tval) {
+  r.trap = true;
+  r.cause = causeCode(cause);
+  r.rd_index = nullptr;
+  r.rd_value = nullptr;
+  r.mem_valid = false;
+  r.next_pc = csrs_.enterTrap(r.pc, causeCode(cause), tval);
+  pc_ = r.next_pc;
+}
+
+RetireInfo Iss::step(ExecState& st) {
+  RetireInfo r;
+
+  // Machine interrupts are taken between instructions, by priority
+  // MEI > MSI > MTI; taking one redirects the fetch to the handler.
+  if (config_.enable_interrupts) {
+    static constexpr struct { unsigned bit; std::uint32_t cause; } kIrqs[] = {
+        {11, 0x8000000Bu}, {3, 0x80000003u}, {7, 0x80000007u}};
+    for (const auto& irq : kIrqs) {
+      if (st.branch(csrs_.interruptRequest(irq.bit))) {
+        pc_ = csrs_.enterTrap(pc_, irq.cause, eb_.constant(0, 32));
+        break;
+      }
+    }
+  }
+
+  // Fetch: pin the PC to a concrete address so the shared symbolic
+  // instruction memory serves the ISS and the RTL core identically.
+  const auto fetch_addr = static_cast<std::uint32_t>(st.concretize(pc_));
+  pc_ = eb_.constant(fetch_addr, 32);
+  r.pc = pc_;
+  r.instr = isrc_.fetch(st, fetch_addr);
+  const ExprRef instr = r.instr;
+
+  const ExprRef word4 = eb_.constant(4, 32);
+  r.next_pc = eb_.add(pc_, word4);
+
+  const Opcode op = decodeSymbolic(st, instr);
+
+  const ExprRef rd_idx = rv32::sym::rd(eb_, instr);
+  const ExprRef rs1_val = regs_.read(eb_, rv32::sym::rs1(eb_, instr));
+  const ExprRef rs2_val = regs_.read(eb_, rv32::sym::rs2(eb_, instr));
+
+  // Records the rd write in both the register file and the RVFI channel
+  // (normalized to zero for x0, as RVFI requires).
+  const auto writeRd = [&](const ExprRef& value) {
+    regs_.write(eb_, rd_idx, value);
+    r.rd_index = rd_idx;
+    r.rd_value = eb_.ite(eb_.eqConst(rd_idx, 0), eb_.constant(0, 32), value);
+  };
+
+  // Forks on data-access misalignment when the VP-style check is active.
+  const auto misaligned = [&](const ExprRef& addr, unsigned bytes) {
+    if (!config_.trap_misaligned || bytes == 1) return false;
+    return st.branch(
+        eb_.ne(eb_.andOp(addr, eb_.constant(bytes - 1, 32)),
+               eb_.constant(0, 32)));
+  };
+
+  // Checks a (possibly symbolic) control-transfer target for IALIGN=32.
+  const auto fetchMisaligned = [&](const ExprRef& target) {
+    return st.branch(eb_.ne(eb_.andOp(target, eb_.constant(3, 32)),
+                            eb_.constant(0, 32)));
+  };
+
+  const auto finishCounters = [&](bool retired) {
+    csrs_.tickCycle();  // abstract timing: one "cycle" per step
+    if (retired) csrs_.tickInstret();
+  };
+
+  switch (op) {
+    case Opcode::Lui:
+      writeRd(rv32::sym::immU(eb_, instr));
+      break;
+    case Opcode::Auipc:
+      writeRd(eb_.add(pc_, rv32::sym::immU(eb_, instr)));
+      break;
+    case Opcode::Jal: {
+      const ExprRef target = eb_.add(pc_, rv32::sym::immJ(eb_, instr));
+      if (fetchMisaligned(target)) {
+        raiseTrap(r, Cause::MisalignedFetch, target);
+        finishCounters(false);
+        return r;
+      }
+      writeRd(eb_.add(pc_, word4));
+      r.next_pc = target;
+      break;
+    }
+    case Opcode::Jalr: {
+      const ExprRef target =
+          eb_.andOp(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)),
+                    eb_.constant(~1u, 32));
+      if (fetchMisaligned(target)) {
+        raiseTrap(r, Cause::MisalignedFetch, target);
+        finishCounters(false);
+        return r;
+      }
+      writeRd(eb_.add(pc_, word4));
+      r.next_pc = target;
+      break;
+    }
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu: {
+      ExprRef cond;
+      switch (op) {
+        case Opcode::Beq: cond = eb_.eq(rs1_val, rs2_val); break;
+        case Opcode::Bne: cond = eb_.ne(rs1_val, rs2_val); break;
+        case Opcode::Blt: cond = eb_.slt(rs1_val, rs2_val); break;
+        case Opcode::Bge: cond = eb_.sge(rs1_val, rs2_val); break;
+        case Opcode::Bltu: cond = eb_.ult(rs1_val, rs2_val); break;
+        default: cond = eb_.uge(rs1_val, rs2_val); break;
+      }
+      if (st.branch(cond)) {
+        const ExprRef target = eb_.add(pc_, rv32::sym::immB(eb_, instr));
+        if (fetchMisaligned(target)) {
+          raiseTrap(r, Cause::MisalignedFetch, target);
+          finishCounters(false);
+          return r;
+        }
+        r.next_pc = target;
+      }
+      break;
+    }
+    case Opcode::Lb:
+    case Opcode::Lh:
+    case Opcode::Lw:
+    case Opcode::Lbu:
+    case Opcode::Lhu: {
+      const ExprRef addr = eb_.add(rs1_val, rv32::sym::immI(eb_, instr));
+      const unsigned bytes =
+          op == Opcode::Lw ? 4 : (op == Opcode::Lh || op == Opcode::Lhu) ? 2 : 1;
+      if (misaligned(addr, bytes)) {
+        raiseTrap(r, Cause::MisalignedLoad, addr);
+        finishCounters(false);
+        return r;
+      }
+      ExprRef raw, value;
+      switch (op) {
+        case Opcode::Lb:
+          raw = dmem_.loadByte(st, addr);
+          value = eb_.sext(raw, 32);
+          break;
+        case Opcode::Lbu:
+          raw = dmem_.loadByte(st, addr);
+          value = eb_.zext(raw, 32);
+          break;
+        case Opcode::Lh:
+          raw = dmem_.loadHalf(st, addr);
+          value = eb_.sext(raw, 32);
+          break;
+        case Opcode::Lhu:
+          raw = dmem_.loadHalf(st, addr);
+          value = eb_.zext(raw, 32);
+          break;
+        default:
+          raw = dmem_.loadWord(st, addr);
+          value = raw;
+          break;
+      }
+      writeRd(value);
+      r.mem_valid = true;
+      r.mem_is_store = false;
+      r.mem_size = bytes;
+      r.mem_addr = addr;
+      r.mem_data = eb_.zext(raw, 32);
+      break;
+    }
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw: {
+      const ExprRef addr = eb_.add(rs1_val, rv32::sym::immS(eb_, instr));
+      const unsigned bytes = op == Opcode::Sw ? 4 : op == Opcode::Sh ? 2 : 1;
+      if (misaligned(addr, bytes)) {
+        raiseTrap(r, Cause::MisalignedStore, addr);
+        finishCounters(false);
+        return r;
+      }
+      const ExprRef data = eb_.extract(rs2_val, 0, bytes * 8);
+      switch (op) {
+        case Opcode::Sb: dmem_.storeByte(st, addr, data); break;
+        case Opcode::Sh: dmem_.storeHalf(st, addr, data); break;
+        default: dmem_.storeWord(st, addr, data); break;
+      }
+      r.mem_valid = true;
+      r.mem_is_store = true;
+      r.mem_size = bytes;
+      r.mem_addr = addr;
+      r.mem_data = eb_.zext(data, 32);
+      break;
+    }
+    case Opcode::Addi:
+      writeRd(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Slti:
+      writeRd(eb_.zext(eb_.slt(rs1_val, rv32::sym::immI(eb_, instr)), 32));
+      break;
+    case Opcode::Sltiu:
+      writeRd(eb_.zext(eb_.ult(rs1_val, rv32::sym::immI(eb_, instr)), 32));
+      break;
+    case Opcode::Xori:
+      writeRd(eb_.xorOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Ori:
+      writeRd(eb_.orOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Andi:
+      writeRd(eb_.andOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Slli:
+      writeRd(eb_.shl(rs1_val, eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      break;
+    case Opcode::Srli:
+      writeRd(eb_.lshr(rs1_val, eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      break;
+    case Opcode::Srai:
+      writeRd(eb_.ashr(rs1_val, eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      break;
+    case Opcode::Add:
+      writeRd(eb_.add(rs1_val, rs2_val));
+      break;
+    case Opcode::Sub:
+      writeRd(eb_.sub(rs1_val, rs2_val));
+      break;
+    case Opcode::Sll:
+      writeRd(eb_.shl(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      break;
+    case Opcode::Slt:
+      writeRd(eb_.zext(eb_.slt(rs1_val, rs2_val), 32));
+      break;
+    case Opcode::Sltu:
+      writeRd(eb_.zext(eb_.ult(rs1_val, rs2_val), 32));
+      break;
+    case Opcode::Xor:
+      writeRd(eb_.xorOp(rs1_val, rs2_val));
+      break;
+    case Opcode::Srl:
+      writeRd(eb_.lshr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      break;
+    case Opcode::Sra:
+      writeRd(eb_.ashr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      break;
+    case Opcode::Or:
+      writeRd(eb_.orOp(rs1_val, rs2_val));
+      break;
+    case Opcode::And:
+      writeRd(eb_.andOp(rs1_val, rs2_val));
+      break;
+    case Opcode::Fence:
+      break;  // no-op in this memory model
+    case Opcode::Wfi:
+      if (config_.trap_on_wfi) {
+        raiseTrap(r, Cause::IllegalInstr, instr);
+        finishCounters(false);
+        return r;
+      }
+      break;  // the VP implements WFI; NOP semantics are spec-legal
+    case Opcode::Ecall:
+      raiseTrap(r, Cause::EcallFromM, eb_.constant(0, 32));
+      finishCounters(false);
+      return r;
+    case Opcode::Ebreak:
+      raiseTrap(r, Cause::Breakpoint, r.pc);
+      finishCounters(false);
+      return r;
+    case Opcode::Mret:
+      r.next_pc = csrs_.doMret();
+      break;
+    case Opcode::Csrrw:
+    case Opcode::Csrrs:
+    case Opcode::Csrrc:
+    case Opcode::Csrrwi:
+    case Opcode::Csrrsi:
+    case Opcode::Csrrci: {
+      const bool is_imm = op == Opcode::Csrrwi || op == Opcode::Csrrsi ||
+                          op == Opcode::Csrrci;
+      const bool is_rw = op == Opcode::Csrrw || op == Opcode::Csrrwi;
+      const ExprRef src = is_imm ? rv32::sym::zimm(eb_, instr) : rs1_val;
+      const ExprRef src_field = is_imm ? rv32::sym::zimm(eb_, instr)
+                                       : eb_.zext(rv32::sym::rs1(eb_, instr), 32);
+
+      const std::uint16_t addr =
+          csrs_.resolve(st, rv32::sym::csrAddr(eb_, instr));
+
+      // CSRRW with rd=x0 skips the read (and its side effects); CSRRS/C
+      // with a zero source skips the write.
+      const bool do_read =
+          !is_rw || !st.branch(eb_.eqConst(rd_idx, 0));
+      const bool do_write =
+          is_rw || st.branch(eb_.ne(src_field, eb_.constant(0, 32)));
+
+      ExprRef old = eb_.constant(0, 32);
+      if (do_read) {
+        const CsrFile::ReadResult rr = csrs_.read(addr);
+        if (rr.trap) {
+          raiseTrap(r, Cause::IllegalInstr, instr);
+          finishCounters(false);
+          return r;
+        }
+        old = rr.value;
+      }
+      if (do_write) {
+        ExprRef new_value;
+        if (is_rw)
+          new_value = src;
+        else if (op == Opcode::Csrrs || op == Opcode::Csrrsi)
+          new_value = eb_.orOp(old, src);
+        else
+          new_value = eb_.andOp(old, eb_.notOp(src));
+        if (csrs_.write(addr, new_value)) {
+          raiseTrap(r, Cause::IllegalInstr, instr);
+          finishCounters(false);
+          return r;
+        }
+      }
+      writeRd(old);
+      break;
+    }
+    case Opcode::Illegal:
+      raiseTrap(r, Cause::IllegalInstr, instr);
+      finishCounters(false);
+      return r;
+  }
+
+  finishCounters(true);
+  pc_ = r.next_pc;
+  return r;
+}
+
+}  // namespace rvsym::iss

@@ -1,0 +1,76 @@
+// The reference Instruction Set Simulator (RISC-V VP substitute).
+//
+// Instruction-accurate RV32I + Zicsr + machine-mode interpreter over
+// symbolic words: it fetches through InstrSourceIf, decodes by walking
+// the mask/match table with symbolic branches, executes with expression
+// arithmetic, and accesses data through the paper's dedicated
+// load-byte/half/word, store-byte/half/word binding (sign extension done
+// here in the ISS, as §IV-C.2 describes).
+//
+// Authentic reference-model behaviours:
+//  * misaligned loads/stores RAISE TRAPS (the VP checks alignment; the
+//    RTL core supports misaligned accesses — Table I's M rows);
+//  * the CSR file is CsrConfig::riscvVp() by default, including the two
+//    real VP bugs on medeleg/mideleg reads (Table I's E* rows);
+//  * WFI executes as a NOP, as the privileged spec permits;
+//  * timing is abstract: mcycle advances once per retired instruction.
+#pragma once
+
+#include <cstdint>
+
+#include "expr/builder.hpp"
+#include "iss/csrfile.hpp"
+#include "iss/mem_if.hpp"
+#include "iss/retire.hpp"
+#include "rv32/instr.hpp"
+#include "rv32/regfile.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::iss {
+
+struct IssConfig {
+  CsrConfig csr = CsrConfig::riscvVp();
+  /// Trap on misaligned data accesses (the VP behaviour). The
+  /// RTL-compatible test configuration switches this off.
+  bool trap_misaligned = true;
+  /// Take machine interrupts (MEI/MSI/MTI by priority) before fetch.
+  bool enable_interrupts = true;
+  /// Raise an illegal-instruction trap on WFI instead of executing it as
+  /// a NOP (for deriving configurations whose core leaves WFI out).
+  bool trap_on_wfi = false;
+  std::uint32_t reset_pc = 0x80000000;
+};
+
+class Iss {
+ public:
+  Iss(expr::ExprBuilder& eb, InstrSourceIf& isrc, DataMemoryIf& dmem,
+      IssConfig config = {});
+
+  /// Executes one instruction; returns its retirement record.
+  RetireInfo step(symex::ExecState& st);
+
+  // --- State access ------------------------------------------------------
+  rv32::RegFile& regs() { return regs_; }
+  const rv32::RegFile& regs() const { return regs_; }
+  CsrFile& csrs() { return csrs_; }
+  const expr::ExprRef& pc() const { return pc_; }
+  void setPc(const expr::ExprRef& pc) { pc_ = pc; }
+  const IssConfig& config() const { return config_; }
+
+ private:
+  /// Decodes by walking the pattern table with symbolic branches.
+  rv32::Opcode decodeSymbolic(symex::ExecState& st, const expr::ExprRef& instr);
+
+  /// Enters a machine trap; fills the retire record and advances the PC.
+  void raiseTrap(RetireInfo& r, rv32::Cause cause, const expr::ExprRef& tval);
+
+  expr::ExprBuilder& eb_;
+  InstrSourceIf& isrc_;
+  DataMemoryIf& dmem_;
+  IssConfig config_;
+  rv32::RegFile regs_;
+  CsrFile csrs_;
+  expr::ExprRef pc_;
+};
+
+}  // namespace rvsym::iss

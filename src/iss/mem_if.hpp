@@ -1,0 +1,47 @@
+// Memory interfaces between the processor models and the co-simulation's
+// symbolic memories.
+//
+// The ISS binds to DataMemoryIf exactly as the paper describes the VP
+// binding: dedicated load byte/half/word and store byte/half/word entry
+// points, with sign/zero extension performed by the ISS itself.
+// Instruction fetch goes through InstrSourceIf with a concrete address
+// (the co-simulation concretizes the PC before fetching so that the ISS
+// and the RTL core always receive the identical instruction word).
+#pragma once
+
+#include "expr/builder.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::iss {
+
+class DataMemoryIf {
+ public:
+  virtual ~DataMemoryIf() = default;
+
+  /// 8/16/32-bit loads; the returned expression has exactly that width.
+  virtual expr::ExprRef loadByte(symex::ExecState& st,
+                                 const expr::ExprRef& addr) = 0;
+  virtual expr::ExprRef loadHalf(symex::ExecState& st,
+                                 const expr::ExprRef& addr) = 0;
+  virtual expr::ExprRef loadWord(symex::ExecState& st,
+                                 const expr::ExprRef& addr) = 0;
+
+  virtual void storeByte(symex::ExecState& st, const expr::ExprRef& addr,
+                         const expr::ExprRef& value8) = 0;
+  virtual void storeHalf(symex::ExecState& st, const expr::ExprRef& addr,
+                         const expr::ExprRef& value16) = 0;
+  virtual void storeWord(symex::ExecState& st, const expr::ExprRef& addr,
+                         const expr::ExprRef& value32) = 0;
+};
+
+class InstrSourceIf {
+ public:
+  virtual ~InstrSourceIf() = default;
+
+  /// Returns the 32-bit instruction at the concrete address `addr`.
+  /// Repeated fetches of one address must return the identical
+  /// expression (generate-once caching lives behind this interface).
+  virtual expr::ExprRef fetch(symex::ExecState& st, std::uint32_t addr) = 0;
+};
+
+}  // namespace rvsym::iss

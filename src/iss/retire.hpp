@@ -1,0 +1,34 @@
+// RetireInfo — the RVFI-style retirement record both processor models
+// produce for every executed instruction. The voter compares two of
+// these (paper §IV-D: "the results contain values like the actual and
+// old PC and the value of the target register of the executed
+// instruction"), plus the memory-access channel RVFI also exposes.
+#pragma once
+
+#include "expr/expr.hpp"
+
+namespace rvsym::iss {
+
+struct RetireInfo {
+  expr::ExprRef pc;       ///< PC of the retired instruction
+  expr::ExprRef next_pc;  ///< PC after it
+  expr::ExprRef instr;    ///< the instruction word
+
+  bool trap = false;
+  std::uint32_t cause = 0;  ///< mcause value when trap
+
+  /// Destination register channel. rd_index is the 5-bit rd field (null
+  /// when the instruction has no rd); rd_value is already normalized to
+  /// zero when rd is x0, as RVFI requires.
+  expr::ExprRef rd_index;
+  expr::ExprRef rd_value;
+
+  /// Memory-access channel.
+  bool mem_valid = false;
+  bool mem_is_store = false;
+  unsigned mem_size = 0;   ///< access size in bytes (1, 2, 4)
+  expr::ExprRef mem_addr;  ///< 32-bit effective address
+  expr::ExprRef mem_data;  ///< stored data / loaded raw data, zext to 32
+};
+
+}  // namespace rvsym::iss

@@ -1,0 +1,536 @@
+#include "rtl/core.hpp"
+
+#include <cassert>
+
+#include "rv32/fields.hpp"
+
+namespace rvsym::rtl {
+
+using expr::ExprRef;
+using rv32::Cause;
+using rv32::Opcode;
+using symex::ExecState;
+
+RtlConfig fixedRtlConfig() {
+  RtlConfig c;
+  c.csr = iss::CsrConfig::specCorrect();
+  // Match the reference ISS behaviours so that only injected faults
+  // diverge: trap on misaligned accesses, implement WFI, count cycles
+  // like the abstract ISS timing model.
+  c.support_misaligned = false;
+  c.missing_wfi = false;
+  c.count_instret_at_execute = false;
+  c.csr.cycle_counts_instructions = true;
+  return c;
+}
+
+MicroRv32Core::MicroRv32Core(expr::ExprBuilder& eb, RtlConfig config)
+    : eb_(eb),
+      config_(config),
+      decode_table_(rv32::decodeTable().begin(), rv32::decodeTable().end()),
+      regs_(eb),
+      csrs_(eb, config.csr),
+      pc_(eb.constant(config.reset_pc, 32)) {}
+
+Opcode MicroRv32Core::decodeSymbolic(ExecState& st, const ExprRef& instr) {
+  // First match wins: E0-E2 widen a row by clearing mask bits, making
+  // formerly-reserved encodings decode as the (faulty) row.
+  for (const rv32::DecodePattern& p : decode_table_)
+    if (st.branch(rv32::sym::matches(eb_, instr, p))) return p.op;
+  return Opcode::Illegal;
+}
+
+unsigned MicroRv32Core::resolveLow2(ExecState& st, const ExprRef& addr) {
+  const ExprRef low2 = eb_.extract(addr, 0, 2);
+  for (unsigned k = 0; k < 3; ++k)
+    if (st.branch(eb_.eqConst(low2, k))) return k;
+  return 3;
+}
+
+std::vector<MicroRv32Core::Txn> MicroRv32Core::planAccess(
+    std::uint32_t addr, unsigned bytes) const {
+  std::vector<Txn> txns;
+  const unsigned offset = addr & 3;
+  if (bytes == 4 && offset == 0) {
+    txns.push_back({addr, 0b1111, 0, 4});
+    return txns;
+  }
+  if (bytes == 2 && offset == 0) {
+    txns.push_back({addr, 0b0011, 0, 2});
+    return txns;
+  }
+  if (bytes == 2 && offset == 2) {
+    txns.push_back({addr & ~3u, 0b1100, 0, 2});
+    return txns;
+  }
+  // Everything else (single bytes and misaligned accesses) is issued as
+  // byte transactions — the only remaining legal strobes.
+  for (unsigned i = 0; i < bytes; ++i) {
+    const std::uint32_t byte_addr = addr + i;
+    txns.push_back({byte_addr & ~3u,
+                    static_cast<std::uint8_t>(1u << (byte_addr & 3)),
+                    static_cast<std::uint8_t>(i), 1});
+  }
+  return txns;
+}
+
+void MicroRv32Core::issueTxn(const Txn& txn) {
+  dbus.enable = true;
+  dbus.write = mem_op_ == Opcode::Sb || mem_op_ == Opcode::Sh ||
+               mem_op_ == Opcode::Sw;
+  dbus.address = txn.word_addr;
+  dbus.strobe = txn.strobe;
+  if (dbus.write) {
+    // Place the store bytes on their lanes; unselected lanes are zero.
+    ExprRef word = eb_.constant(0, 32);
+    for (unsigned i = 0; i < txn.num_bytes; ++i) {
+      const unsigned byte_index = txn.first_byte + i;
+      const unsigned lane = (mem_addr_c_ + byte_index) & 3;
+      const ExprRef byte = eb_.extract(store_data_, byte_index * 8, 8);
+      word = eb_.orOp(
+          word, eb_.shl(eb_.zext(byte, 32), eb_.constant(lane * 8, 32)));
+    }
+    dbus.wdata = word;
+  } else {
+    dbus.wdata = eb_.constant(0, 32);
+  }
+}
+
+void MicroRv32Core::raiseTrap(Cause cause, const ExprRef& tval) {
+  pending_.trap = true;
+  pending_.cause = static_cast<std::uint32_t>(cause);
+  pending_.rd_index = nullptr;
+  pending_.rd_value = nullptr;
+  pending_.mem_valid = false;
+  pending_.next_pc =
+      csrs_.enterTrap(pending_.pc, static_cast<std::uint32_t>(cause), tval);
+  state_ = State::WriteBack;
+}
+
+void MicroRv32Core::setRdChannel(const ExprRef& rd_idx, const ExprRef& value) {
+  regs_.write(eb_, rd_idx, value);
+  pending_.rd_index = rd_idx;
+  pending_.rd_value =
+      eb_.ite(eb_.eqConst(rd_idx, 0), eb_.constant(0, 32), value);
+}
+
+void MicroRv32Core::retire() {
+  // In the ISS-compatible timing configuration, mcycle advances once per
+  // retirement instead of once per clock tick.
+  if (config_.csr.cycle_counts_instructions) csrs_.tickCycle();
+  rvfi.valid = true;
+  rvfi.info = pending_;
+  pc_ = pending_.next_pc;
+  if (!pending_.trap && !config_.count_instret_at_execute)
+    csrs_.tickInstret();
+  state_ = State::Fetch;
+}
+
+void MicroRv32Core::tick(ExecState& st) {
+  if (!config_.csr.cycle_counts_instructions)
+    csrs_.tickCycle();  // authentic wall-clock cycle counting (per tick)
+  ++cycle_count_;
+  rvfi.valid = false;
+
+  switch (state_) {
+    case State::Fetch: {
+      // Interrupts are sampled at fetch, priority MEI > MSI > MTI,
+      // mirroring the reference model's between-instruction semantics.
+      if (config_.enable_interrupts) {
+        static constexpr struct {
+          unsigned bit;
+          std::uint32_t cause;
+        } kIrqs[] = {{11, 0x8000000Bu}, {3, 0x80000003u}, {7, 0x80000007u}};
+        for (const auto& irq : kIrqs) {
+          if (st.branch(csrs_.interruptRequest(irq.bit))) {
+            pc_ = csrs_.enterTrap(pc_, irq.cause, eb_.constant(0, 32));
+            break;
+          }
+        }
+      }
+      pc_concrete_ = static_cast<std::uint32_t>(st.concretize(pc_));
+      pc_ = eb_.constant(pc_concrete_, 32);
+      ibus.address = pc_concrete_;
+      ibus.fetch_enable = true;
+      state_ = State::WaitInstr;
+      break;
+    }
+    case State::WaitInstr:
+      if (ibus.instruction_ready) {
+        instr_ = ibus.instruction;
+        ibus.fetch_enable = false;
+        state_ = State::Execute;
+      }
+      break;
+    case State::Execute:
+      execute(st);
+      break;
+    case State::MemIssue:
+      issueTxn(txns_[txn_index_]);
+      state_ = State::MemWait;
+      break;
+    case State::MemWait:
+      if (dbus.data_ready) {
+        const Txn& txn = txns_[txn_index_];
+        if (!dbus.write) {
+          for (unsigned i = 0; i < txn.num_bytes; ++i) {
+            const unsigned byte_index = txn.first_byte + i;
+            unsigned lane = (mem_addr_c_ + byte_index) & 3;
+            if (config_.faults.lbu_endianness_flip && mem_op_ == Opcode::Lbu)
+              lane ^= 3;  // E7
+            load_bytes_[byte_index] = eb_.extract(dbus.rdata, lane * 8, 8);
+          }
+        }
+        dbus.enable = false;
+        ++txn_index_;
+        if (txn_index_ < txns_.size()) {
+          state_ = State::MemIssue;
+        } else if (dbus.write) {
+          state_ = State::WriteBack;
+        } else {
+          finishLoad(st);
+          state_ = State::WriteBack;
+        }
+      }
+      break;
+    case State::WriteBack:
+      retire();
+      break;
+  }
+}
+
+void MicroRv32Core::finishLoad(ExecState&) {
+  // Assemble the loaded value from the captured lanes.
+  ExprRef raw;
+  switch (mem_bytes_) {
+    case 1:
+      raw = load_bytes_[0];
+      break;
+    case 2:
+      raw = eb_.concat(load_bytes_[1], load_bytes_[0]);
+      break;
+    default:
+      raw = eb_.concat(eb_.concat(load_bytes_[3], load_bytes_[2]),
+                       eb_.concat(load_bytes_[1], load_bytes_[0]));
+      break;
+  }
+
+  ExprRef value;
+  switch (mem_op_) {
+    case Opcode::Lb:
+      value = config_.faults.lb_no_sign_extend ? eb_.zext(raw, 32)   // E8
+                                               : eb_.sext(raw, 32);
+      break;
+    case Opcode::Lbu:
+      value = eb_.zext(raw, 32);
+      break;
+    case Opcode::Lh:
+      value = eb_.sext(raw, 32);
+      break;
+    case Opcode::Lhu:
+      value = eb_.zext(raw, 32);
+      break;
+    default:  // Lw
+      if (config_.faults.lw_low_half_only)  // E9
+        value = eb_.zext(eb_.extract(raw, 0, 16), 32);
+      else
+        value = raw;
+      break;
+  }
+  setRdChannel(rd_idx_pending_, value);
+  pending_.mem_valid = true;
+  pending_.mem_is_store = false;
+  pending_.mem_size = mem_bytes_;
+  pending_.mem_addr = eb_.constant(mem_addr_c_, 32);
+  pending_.mem_data = eb_.zext(raw, 32);
+}
+
+void MicroRv32Core::execute(ExecState& st) {
+  if (config_.count_instret_at_execute) csrs_.tickInstret();
+  pending_ = iss::RetireInfo{};
+  pending_.pc = pc_;
+  pending_.instr = instr_;
+  const ExprRef word4 = eb_.constant(4, 32);
+  pending_.next_pc = eb_.add(pc_, word4);
+
+  const ExprRef instr = instr_;
+  const Opcode op = decodeSymbolic(st, instr);
+
+  const ExprRef rd_idx = rv32::sym::rd(eb_, instr);
+  const ExprRef rs1_val = regs_.read(eb_, rv32::sym::rs1(eb_, instr));
+  const ExprRef rs2_val = regs_.read(eb_, rv32::sym::rs2(eb_, instr));
+
+  const auto fetchMisaligned = [&](const ExprRef& target) {
+    return st.branch(eb_.ne(eb_.andOp(target, eb_.constant(3, 32)),
+                            eb_.constant(0, 32)));
+  };
+
+  // Starts a data access: forks over the low address bits, applies the
+  // misalignment policy, concretizes and plans bus transactions.
+  const auto startMem = [&](const ExprRef& addr_e, unsigned bytes,
+                            Opcode memop) -> bool {
+    const unsigned low2 = bytes == 1 ? 0 : resolveLow2(st, addr_e);
+    const bool is_misaligned =
+        (bytes == 4 && low2 != 0) || (bytes == 2 && (low2 & 1) != 0);
+    if (is_misaligned && !config_.support_misaligned) {
+      raiseTrap(memop == Opcode::Sb || memop == Opcode::Sh ||
+                        memop == Opcode::Sw
+                    ? Cause::MisalignedStore
+                    : Cause::MisalignedLoad,
+                addr_e);
+      return false;
+    }
+    mem_op_ = memop;
+    mem_bytes_ = bytes;
+    mem_addr_c_ = static_cast<std::uint32_t>(st.concretize(addr_e));
+    txns_ = planAccess(mem_addr_c_, bytes);
+    txn_index_ = 0;
+    rd_idx_pending_ = rd_idx;
+    issueTxn(txns_[0]);
+    state_ = State::MemWait;
+    return true;
+  };
+
+  switch (op) {
+    case Opcode::Lui:
+      setRdChannel(rd_idx, rv32::sym::immU(eb_, instr));
+      break;
+    case Opcode::Auipc:
+      setRdChannel(rd_idx, eb_.add(pc_, rv32::sym::immU(eb_, instr)));
+      break;
+    case Opcode::Jal: {
+      const ExprRef target = eb_.add(pc_, rv32::sym::immJ(eb_, instr));
+      if (fetchMisaligned(target)) {
+        raiseTrap(Cause::MisalignedFetch, target);
+        return;
+      }
+      setRdChannel(rd_idx, eb_.add(pc_, word4));
+      if (!config_.faults.jal_no_pc_update)  // E5 keeps pc+4
+        pending_.next_pc = target;
+      break;
+    }
+    case Opcode::Jalr: {
+      const ExprRef target =
+          eb_.andOp(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)),
+                    eb_.constant(~1u, 32));
+      if (fetchMisaligned(target)) {
+        raiseTrap(Cause::MisalignedFetch, target);
+        return;
+      }
+      setRdChannel(rd_idx, eb_.add(pc_, word4));
+      pending_.next_pc = target;
+      break;
+    }
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu: {
+      ExprRef cond;
+      switch (op) {
+        case Opcode::Beq: cond = eb_.eq(rs1_val, rs2_val); break;
+        case Opcode::Bne:
+          cond = config_.faults.bne_behaves_as_beq
+                     ? eb_.eq(rs1_val, rs2_val)  // E6
+                     : eb_.ne(rs1_val, rs2_val);
+          break;
+        case Opcode::Blt:
+          cond = eb_.slt(rs1_val, rs2_val);
+          if (config_.faults.blt_wrong_at_int_min)  // X1: INT_MIN corner case
+            cond = eb_.ite(eb_.eqConst(rs1_val, 0x80000000u),
+                           eb_.notOp(cond), cond);
+          break;
+        case Opcode::Bge: cond = eb_.sge(rs1_val, rs2_val); break;
+        case Opcode::Bltu: cond = eb_.ult(rs1_val, rs2_val); break;
+        default: cond = eb_.uge(rs1_val, rs2_val); break;
+      }
+      if (st.branch(cond)) {
+        const ExprRef target = eb_.add(pc_, rv32::sym::immB(eb_, instr));
+        if (fetchMisaligned(target)) {
+          raiseTrap(Cause::MisalignedFetch, target);
+          return;
+        }
+        pending_.next_pc = target;
+      }
+      break;
+    }
+    case Opcode::Lb:
+    case Opcode::Lbu:
+      if (!startMem(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)), 1, op))
+        return;
+      return;  // retirement continues in the memory states
+    case Opcode::Lh:
+    case Opcode::Lhu:
+      if (!startMem(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)), 2, op))
+        return;
+      return;
+    case Opcode::Lw:
+      if (!startMem(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)), 4, op))
+        return;
+      return;
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw: {
+      const unsigned bytes = op == Opcode::Sw ? 4 : op == Opcode::Sh ? 2 : 1;
+      store_data_ = eb_.extract(rs2_val, 0, bytes * 8);
+      const ExprRef addr_e = eb_.add(rs1_val, rv32::sym::immS(eb_, instr));
+      if (!startMem(addr_e, bytes, op)) return;
+      pending_.mem_valid = true;
+      pending_.mem_is_store = true;
+      pending_.mem_size = bytes;
+      pending_.mem_addr = eb_.constant(mem_addr_c_, 32);
+      pending_.mem_data = eb_.zext(store_data_, 32);
+      return;
+    }
+    case Opcode::Addi: {
+      ExprRef v = eb_.add(rs1_val, rv32::sym::immI(eb_, instr));
+      if (config_.faults.addi_result_bit0_stuck0)  // E3
+        v = eb_.andOp(v, eb_.constant(~1u, 32));
+      setRdChannel(rd_idx, v);
+      break;
+    }
+    case Opcode::Slti:
+      setRdChannel(rd_idx,
+                   eb_.zext(eb_.slt(rs1_val, rv32::sym::immI(eb_, instr)), 32));
+      break;
+    case Opcode::Sltiu:
+      setRdChannel(rd_idx,
+                   eb_.zext(eb_.ult(rs1_val, rv32::sym::immI(eb_, instr)), 32));
+      break;
+    case Opcode::Xori:
+      setRdChannel(rd_idx, eb_.xorOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Ori:
+      setRdChannel(rd_idx, eb_.orOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Andi:
+      setRdChannel(rd_idx, eb_.andOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      break;
+    case Opcode::Slli:
+      setRdChannel(rd_idx, eb_.shl(rs1_val,
+                                   eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      break;
+    case Opcode::Srli:
+      setRdChannel(rd_idx, eb_.lshr(rs1_val,
+                                    eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      break;
+    case Opcode::Srai:
+      setRdChannel(rd_idx, eb_.ashr(rs1_val,
+                                    eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      break;
+    case Opcode::Add: {
+      ExprRef v = eb_.add(rs1_val, rs2_val);
+      if (config_.faults.add_wrong_on_magic)  // X0: single-value corner case
+        v = eb_.ite(eb_.eqConst(rs2_val, 0xCAFEBABE),
+                    eb_.xorOp(v, eb_.constant(1, 32)), v);
+      setRdChannel(rd_idx, v);
+      break;
+    }
+    case Opcode::Sub: {
+      ExprRef v = eb_.sub(rs1_val, rs2_val);
+      if (config_.faults.sub_result_bit31_stuck0)  // E4
+        v = eb_.andOp(v, eb_.constant(0x7FFFFFFFu, 32));
+      setRdChannel(rd_idx, v);
+      break;
+    }
+    case Opcode::Sll:
+      setRdChannel(rd_idx,
+                   eb_.shl(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      break;
+    case Opcode::Slt:
+      setRdChannel(rd_idx, eb_.zext(eb_.slt(rs1_val, rs2_val), 32));
+      break;
+    case Opcode::Sltu:
+      setRdChannel(rd_idx, eb_.zext(eb_.ult(rs1_val, rs2_val), 32));
+      break;
+    case Opcode::Xor:
+      setRdChannel(rd_idx, eb_.xorOp(rs1_val, rs2_val));
+      break;
+    case Opcode::Srl:
+      setRdChannel(rd_idx,
+                   eb_.lshr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      break;
+    case Opcode::Sra:
+      setRdChannel(rd_idx,
+                   eb_.ashr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      break;
+    case Opcode::Or:
+      setRdChannel(rd_idx, eb_.orOp(rs1_val, rs2_val));
+      break;
+    case Opcode::And:
+      setRdChannel(rd_idx, eb_.andOp(rs1_val, rs2_val));
+      break;
+    case Opcode::Fence:
+      break;
+    case Opcode::Wfi:
+      if (config_.missing_wfi) {
+        // Authentic MicroRV32 error: WFI is not implemented at all and
+        // erroneously raises an (illegal-instruction) trap.
+        raiseTrap(Cause::IllegalInstr, instr);
+        return;
+      }
+      break;  // NOP implementation, as the spec allows
+    case Opcode::Ecall:
+      raiseTrap(Cause::EcallFromM, eb_.constant(0, 32));
+      return;
+    case Opcode::Ebreak:
+      raiseTrap(Cause::Breakpoint, pending_.pc);
+      return;
+    case Opcode::Mret:
+      pending_.next_pc = csrs_.doMret();
+      break;
+    case Opcode::Csrrw:
+    case Opcode::Csrrs:
+    case Opcode::Csrrc:
+    case Opcode::Csrrwi:
+    case Opcode::Csrrsi:
+    case Opcode::Csrrci: {
+      const bool is_imm = op == Opcode::Csrrwi || op == Opcode::Csrrsi ||
+                          op == Opcode::Csrrci;
+      const bool is_rw = op == Opcode::Csrrw || op == Opcode::Csrrwi;
+      const ExprRef src = is_imm ? rv32::sym::zimm(eb_, instr) : rs1_val;
+      const ExprRef src_field = is_imm
+                                    ? rv32::sym::zimm(eb_, instr)
+                                    : eb_.zext(rv32::sym::rs1(eb_, instr), 32);
+
+      const std::uint16_t addr =
+          csrs_.resolve(st, rv32::sym::csrAddr(eb_, instr));
+      const bool do_read = !is_rw || !st.branch(eb_.eqConst(rd_idx, 0));
+      const bool do_write =
+          is_rw || st.branch(eb_.ne(src_field, eb_.constant(0, 32)));
+
+      ExprRef old = eb_.constant(0, 32);
+      if (do_read) {
+        const iss::CsrFile::ReadResult rr = csrs_.read(addr);
+        if (rr.trap) {
+          raiseTrap(Cause::IllegalInstr, instr);
+          return;
+        }
+        old = rr.value;
+      }
+      if (do_write) {
+        ExprRef new_value;
+        if (is_rw)
+          new_value = src;
+        else if (op == Opcode::Csrrs || op == Opcode::Csrrsi)
+          new_value = eb_.orOp(old, src);
+        else
+          new_value = eb_.andOp(old, eb_.notOp(src));
+        if (csrs_.write(addr, new_value)) {
+          raiseTrap(Cause::IllegalInstr, instr);
+          return;
+        }
+      }
+      setRdChannel(rd_idx, old);
+      break;
+    }
+    case Opcode::Illegal:
+      raiseTrap(Cause::IllegalInstr, instr);
+      return;
+  }
+
+  state_ = State::WriteBack;
+}
+
+}  // namespace rvsym::rtl

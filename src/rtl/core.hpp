@@ -1,0 +1,194 @@
+// MicroRV32-class RTL core model (verilated-Verilog substitute).
+//
+// A cycle-accurate multi-cycle FSM core written the way verilator output
+// is consumed: a module object with public port structs (IBus, DBus,
+// RVFI) and a tick() clock edge. Control signals are concrete bools;
+// data signals are symbolic expressions.
+//
+// Bus protocol (paper §IV-C):
+//  * IBus: core raises fetch_enable with a concrete address; the
+//    testbench answers with instruction + instruction_ready for one cycle.
+//  * DBus: strobe-based (AXI/Wishbone-style). Valid strobes are 0001,
+//    0010, 0100, 1000 (byte), 0011, 1100 (half) and 1111 (word); the
+//    address is word-aligned and the strobe selects byte lanes. A
+//    misaligned access is split into several legal transactions.
+//
+// Authentic MicroRV32 behaviours (Table I), all switchable:
+//  * fully supports misaligned loads/stores (no trap) — the ISS traps;
+//  * WFI is not implemented and raises an illegal-instruction trap;
+//  * CSR bugs via CsrConfig::microrv32() (missing traps for
+//    unimplemented/read-only CSRs, trap-on-write for writable counters,
+//    missing counters/mscratch/mcounteren, per-clock mcycle).
+//
+// Fault-injection hooks (Table II): the decode table is per-instance and
+// mutable (E0-E2 clear mask bits), and ExecFaults switches the datapath
+// faults E3-E9.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "iss/csrfile.hpp"
+#include "iss/retire.hpp"
+#include "rv32/instr.hpp"
+#include "rv32/regfile.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::rtl {
+
+/// Datapath fault switches for the injected errors E3-E9 (§V-B), plus
+/// two corner-case extension faults (X0, X1) used by the fuzzing
+/// comparison: bugs that only trigger on a single input value, which
+/// random testing essentially never hits but symbolic execution solves
+/// for directly (the paper's motivating claim).
+struct ExecFaults {
+  bool addi_result_bit0_stuck0 = false;  ///< E3
+  bool sub_result_bit31_stuck0 = false;  ///< E4
+  bool jal_no_pc_update = false;         ///< E5
+  bool bne_behaves_as_beq = false;       ///< E6
+  bool lbu_endianness_flip = false;      ///< E7
+  bool lb_no_sign_extend = false;        ///< E8
+  bool lw_low_half_only = false;         ///< E9
+  /// X0: ADD result corrupted only when rs2 == 0xCAFEBABE.
+  bool add_wrong_on_magic = false;
+  /// X1: BLT decides wrongly only when rs1 == INT32_MIN.
+  bool blt_wrong_at_int_min = false;
+
+  /// Combines two fault sets (a fault is active if set in either).
+  ExecFaults operator|(const ExecFaults& o) const {
+    ExecFaults r;
+    r.addi_result_bit0_stuck0 = addi_result_bit0_stuck0 || o.addi_result_bit0_stuck0;
+    r.sub_result_bit31_stuck0 = sub_result_bit31_stuck0 || o.sub_result_bit31_stuck0;
+    r.jal_no_pc_update = jal_no_pc_update || o.jal_no_pc_update;
+    r.bne_behaves_as_beq = bne_behaves_as_beq || o.bne_behaves_as_beq;
+    r.lbu_endianness_flip = lbu_endianness_flip || o.lbu_endianness_flip;
+    r.lb_no_sign_extend = lb_no_sign_extend || o.lb_no_sign_extend;
+    r.lw_low_half_only = lw_low_half_only || o.lw_low_half_only;
+    r.add_wrong_on_magic = add_wrong_on_magic || o.add_wrong_on_magic;
+    r.blt_wrong_at_int_min = blt_wrong_at_int_min || o.blt_wrong_at_int_min;
+    return r;
+  }
+};
+
+struct RtlConfig {
+  iss::CsrConfig csr = iss::CsrConfig::microrv32();
+  /// Authentic MicroRV32: misaligned loads/stores are fully supported
+  /// (no trap). Set false for the spec-matching "fixed" core that traps
+  /// like the reference ISS.
+  bool support_misaligned = true;
+  /// Authentic MicroRV32: WFI is missing and traps as illegal.
+  bool missing_wfi = true;
+  /// Authentic MicroRV32 pipeline behaviour: minstret is advanced when an
+  /// instruction enters execution, so a CSR read of minstret observes the
+  /// current instruction already counted — the ISS counts at retirement.
+  /// This is the "deviating counting logic" mismatch of Table I.
+  bool count_instret_at_execute = true;
+  /// Take machine interrupts (MEI/MSI/MTI by priority) at fetch.
+  bool enable_interrupts = true;
+  std::uint32_t reset_pc = 0x80000000;
+  ExecFaults faults;
+};
+
+/// A fixed core with no Table-I bugs: the DUT base for Table II.
+RtlConfig fixedRtlConfig();
+
+struct IBusPort {
+  // core -> testbench
+  bool fetch_enable = false;
+  std::uint32_t address = 0;
+  // testbench -> core
+  bool instruction_ready = false;
+  expr::ExprRef instruction;
+};
+
+struct DBusPort {
+  // core -> testbench
+  bool enable = false;
+  bool write = false;
+  std::uint32_t address = 0;   ///< word-aligned
+  std::uint8_t strobe = 0;     ///< byte-lane select, see header comment
+  expr::ExprRef wdata;         ///< 32-bit store data (lanes per strobe)
+  // testbench -> core
+  bool data_ready = false;
+  expr::ExprRef rdata;         ///< full 32-bit word at `address`
+};
+
+struct RvfiPort {
+  bool valid = false;  ///< high for exactly one tick per retirement
+  iss::RetireInfo info;
+};
+
+class MicroRv32Core {
+ public:
+  MicroRv32Core(expr::ExprBuilder& eb, RtlConfig config = {});
+
+  /// One clock edge. The testbench services bus requests between ticks.
+  void tick(symex::ExecState& st);
+
+  IBusPort ibus;
+  DBusPort dbus;
+  RvfiPort rvfi;
+
+  /// The per-instance decode table (mutable for E0-E2 injection).
+  std::vector<rv32::DecodePattern>& decodeTableMut() { return decode_table_; }
+  ExecFaults& faults() { return config_.faults; }
+
+  rv32::RegFile& regs() { return regs_; }
+  iss::CsrFile& csrs() { return csrs_; }
+  const expr::ExprRef& pc() const { return pc_; }
+  void setPc(const expr::ExprRef& pc) { pc_ = pc; }
+  const RtlConfig& config() const { return config_; }
+  std::uint64_t cycleCount() const { return cycle_count_; }
+
+ private:
+  enum class State { Fetch, WaitInstr, Execute, MemIssue, MemWait, WriteBack };
+
+  /// One strobed bus transaction of a (possibly split) access.
+  struct Txn {
+    std::uint32_t word_addr = 0;
+    std::uint8_t strobe = 0;
+    std::uint8_t first_byte = 0;  ///< index of the access byte in lane 0..3
+    std::uint8_t num_bytes = 0;
+  };
+
+  void execute(symex::ExecState& st);
+  void finishLoad(symex::ExecState& st);
+  rv32::Opcode decodeSymbolic(symex::ExecState& st, const expr::ExprRef& instr);
+  /// Forks over the two low address bits and returns them concretely.
+  unsigned resolveLow2(symex::ExecState& st, const expr::ExprRef& addr);
+  /// Splits an access at `addr` of `bytes` bytes into legal transactions.
+  std::vector<Txn> planAccess(std::uint32_t addr, unsigned bytes) const;
+  void issueTxn(const Txn& txn);
+  void raiseTrap(rv32::Cause cause, const expr::ExprRef& tval);
+  void setRdChannel(const expr::ExprRef& rd_idx, const expr::ExprRef& value);
+  void retire();
+
+  expr::ExprBuilder& eb_;
+  RtlConfig config_;
+  std::vector<rv32::DecodePattern> decode_table_;
+  rv32::RegFile regs_;
+  iss::CsrFile csrs_;
+
+  State state_ = State::Fetch;
+  expr::ExprRef pc_;
+  std::uint32_t pc_concrete_ = 0;
+  expr::ExprRef instr_;
+  std::uint64_t cycle_count_ = 0;
+
+  // In-flight retirement record, filled across Execute/Mem/WriteBack.
+  iss::RetireInfo pending_;
+
+  // In-flight memory access.
+  rv32::Opcode mem_op_ = rv32::Opcode::Illegal;
+  std::uint32_t mem_addr_c_ = 0;
+  unsigned mem_bytes_ = 0;
+  std::vector<Txn> txns_;
+  std::size_t txn_index_ = 0;
+  expr::ExprRef store_data_;               // up to 32 bits
+  std::array<expr::ExprRef, 4> load_bytes_;
+  expr::ExprRef rd_idx_pending_;
+};
+
+}  // namespace rvsym::rtl

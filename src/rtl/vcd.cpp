@@ -1,0 +1,117 @@
+#include "rtl/vcd.hpp"
+
+namespace rvsym::rtl {
+
+namespace {
+
+enum SignalIndex {
+  kClk = 0,
+  kFetchEnable,
+  kIMemAddress,
+  kIMemInstruction,
+  kIMemReady,
+  kDMemEnable,
+  kDMemWrite,
+  kDMemAddress,
+  kDMemStrobe,
+  kDMemWdata,
+  kDMemRdata,
+  kDMemReady,
+  kRvfiValid,
+  kRvfiPc,
+  kRvfiNextPc,
+  kRvfiTrap,
+  kNumSignals,
+};
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, const MicroRv32Core& core,
+                     const std::string& top_name)
+    : out_(out), core_(core) {
+  const struct {
+    const char* name;
+    unsigned width;
+  } defs[kNumSignals] = {
+      {"clk", 1},
+      {"imem_fetchEnable", 1},
+      {"imem_address", 32},
+      {"imem_instruction", 32},
+      {"imem_instructionReady", 1},
+      {"dmem_enable", 1},
+      {"dmem_write", 1},
+      {"dmem_address", 32},
+      {"dmem_wrStrobe", 4},
+      {"dmem_writeData", 32},
+      {"dmem_readData", 32},
+      {"dmem_dataReady", 1},
+      {"rvfi_valid", 1},
+      {"rvfi_pc_rdata", 32},
+      {"rvfi_pc_wdata", 32},
+      {"rvfi_trap", 1},
+  };
+  char id = '!';
+  for (const auto& d : defs) {
+    signals_.push_back(Signal{d.name, d.width, id++, {}});
+  }
+  writeHeader(top_name);
+}
+
+void VcdWriter::writeHeader(const std::string& top_name) {
+  out_ << "$date rvsym $end\n";
+  out_ << "$version rvsym MicroRV32 core model $end\n";
+  out_ << "$timescale 1ns $end\n";
+  out_ << "$scope module " << top_name << " $end\n";
+  for (const Signal& s : signals_) {
+    out_ << "$var wire " << s.width << " " << s.id << " " << s.name;
+    if (s.width > 1) out_ << " [" << (s.width - 1) << ":0]";
+    out_ << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+std::string VcdWriter::formatBits(std::uint64_t v, unsigned width) const {
+  std::string bits;
+  for (unsigned i = width; i-- > 0;) bits += ((v >> i) & 1) ? '1' : '0';
+  return bits;
+}
+
+std::string VcdWriter::formatValue(const expr::ExprRef& e,
+                                   unsigned width) const {
+  if (!e) return std::string(width, 'x');
+  if (!e->isConstant()) return std::string(width, 'x');
+  return formatBits(e->constantValue(), width);
+}
+
+void VcdWriter::emit(Signal& sig, const std::string& value) {
+  if (value == sig.last) return;
+  sig.last = value;
+  if (sig.width == 1)
+    out_ << value << sig.id << "\n";
+  else
+    out_ << "b" << value << " " << sig.id << "\n";
+}
+
+void VcdWriter::sample() {
+  out_ << "#" << time_++ << "\n";
+  emit(signals_[kClk], time_ % 2 == 1 ? "1" : "0");
+  emit(signals_[kFetchEnable], core_.ibus.fetch_enable ? "1" : "0");
+  emit(signals_[kIMemAddress], formatBits(core_.ibus.address, 32));
+  emit(signals_[kIMemInstruction], formatValue(core_.ibus.instruction, 32));
+  emit(signals_[kIMemReady], core_.ibus.instruction_ready ? "1" : "0");
+  emit(signals_[kDMemEnable], core_.dbus.enable ? "1" : "0");
+  emit(signals_[kDMemWrite], core_.dbus.write ? "1" : "0");
+  emit(signals_[kDMemAddress], formatBits(core_.dbus.address, 32));
+  emit(signals_[kDMemStrobe], formatBits(core_.dbus.strobe, 4));
+  emit(signals_[kDMemWdata], formatValue(core_.dbus.wdata, 32));
+  emit(signals_[kDMemRdata], formatValue(core_.dbus.rdata, 32));
+  emit(signals_[kDMemReady], core_.dbus.data_ready ? "1" : "0");
+  emit(signals_[kRvfiValid], core_.rvfi.valid ? "1" : "0");
+  if (core_.rvfi.valid) {
+    emit(signals_[kRvfiPc], formatValue(core_.rvfi.info.pc, 32));
+    emit(signals_[kRvfiNextPc], formatValue(core_.rvfi.info.next_pc, 32));
+    emit(signals_[kRvfiTrap], core_.rvfi.info.trap ? "1" : "0");
+  }
+}
+
+}  // namespace rvsym::rtl

@@ -1,0 +1,48 @@
+// VCD (Value Change Dump) trace writer for the RTL core model — the
+// standard EDA waveform format, so concrete co-simulation runs can be
+// inspected in GTKWave and friends exactly like a verilated simulation.
+//
+// Symbolic (non-constant) data values are dumped as 'x', matching how a
+// real simulator renders unknowns.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/core.hpp"
+
+namespace rvsym::rtl {
+
+class VcdWriter {
+ public:
+  /// Binds to a core and writes the VCD header to `out`. The stream must
+  /// outlive the writer.
+  VcdWriter(std::ostream& out, const MicroRv32Core& core,
+            const std::string& top_name = "microrv32");
+
+  /// Samples every traced signal at the current time step and emits the
+  /// changes. Call once per core tick (after testbench servicing).
+  void sample();
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    char id;
+    std::string last;  // last emitted value string
+  };
+
+  void writeHeader(const std::string& top_name);
+  std::string formatValue(const expr::ExprRef& e, unsigned width) const;
+  std::string formatBits(std::uint64_t v, unsigned width) const;
+  void emit(Signal& sig, const std::string& value);
+
+  std::ostream& out_;
+  const MicroRv32Core& core_;
+  std::vector<Signal> signals_;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace rvsym::rtl

@@ -1,0 +1,54 @@
+#include <cstdio>
+#include "rv32/csr.hpp"
+
+namespace rvsym::rv32 {
+
+const char* csrName(std::uint16_t addr) {
+  using namespace csr;
+  switch (addr) {
+    case kMvendorid: return "mvendorid";
+    case kMarchid: return "marchid";
+    case kMimpid: return "mimpid";
+    case kMhartid: return "mhartid";
+    case kMstatus: return "mstatus";
+    case kMisa: return "misa";
+    case kMedeleg: return "medeleg";
+    case kMideleg: return "mideleg";
+    case kMie: return "mie";
+    case kMtvec: return "mtvec";
+    case kMcounteren: return "mcounteren";
+    case kMscratch: return "mscratch";
+    case kMepc: return "mepc";
+    case kMcause: return "mcause";
+    case kMtval: return "mtval";
+    case kMip: return "mip";
+    case kMcycle: return "mcycle";
+    case kMinstret: return "minstret";
+    case kMcycleh: return "mcycleh";
+    case kMinstreth: return "minstreth";
+    case kCycle: return "cycle";
+    case kTime: return "time";
+    case kInstret: return "instret";
+    case kCycleh: return "cycleh";
+    case kTimeh: return "timeh";
+    case kInstreth: return "instreth";
+    default:
+      break;
+  }
+  static thread_local char buf[20];
+  if (csr::isMhpmcounter(addr)) {
+    std::snprintf(buf, sizeof buf, "mhpmcounter%u", addr - 0xB00);
+    return buf;
+  }
+  if (csr::isMhpmcounterh(addr)) {
+    std::snprintf(buf, sizeof buf, "mhpmcounter%uh", addr - 0xB80);
+    return buf;
+  }
+  if (csr::isMhpmevent(addr)) {
+    std::snprintf(buf, sizeof buf, "mhpmevent%u", addr - 0x320);
+    return buf;
+  }
+  return nullptr;
+}
+
+}  // namespace rvsym::rv32

@@ -1,0 +1,91 @@
+// Control and Status Register address map (machine mode + unprivileged
+// counters) for RV32, covering every CSR named in the paper's Table I.
+#pragma once
+
+#include <cstdint>
+
+namespace rvsym::rv32 {
+
+namespace csr {
+
+// Machine information (read-only).
+constexpr std::uint16_t kMvendorid = 0xF11;
+constexpr std::uint16_t kMarchid = 0xF12;
+constexpr std::uint16_t kMimpid = 0xF13;
+constexpr std::uint16_t kMhartid = 0xF14;
+
+// Machine trap setup.
+constexpr std::uint16_t kMstatus = 0x300;
+constexpr std::uint16_t kMisa = 0x301;
+constexpr std::uint16_t kMedeleg = 0x302;
+constexpr std::uint16_t kMideleg = 0x303;
+constexpr std::uint16_t kMie = 0x304;
+constexpr std::uint16_t kMtvec = 0x305;
+constexpr std::uint16_t kMcounteren = 0x306;
+
+// Machine trap handling.
+constexpr std::uint16_t kMscratch = 0x340;
+constexpr std::uint16_t kMepc = 0x341;
+constexpr std::uint16_t kMcause = 0x342;
+constexpr std::uint16_t kMtval = 0x343;
+constexpr std::uint16_t kMip = 0x344;
+
+// Machine counters.
+constexpr std::uint16_t kMcycle = 0xB00;
+constexpr std::uint16_t kMinstret = 0xB02;
+constexpr std::uint16_t kMhpmcounter3 = 0xB03;   // ..0xB1F (3..31)
+constexpr std::uint16_t kMcycleh = 0xB80;
+constexpr std::uint16_t kMinstreth = 0xB82;
+constexpr std::uint16_t kMhpmcounter3h = 0xB83;  // ..0xB9F
+
+// Machine counter setup.
+constexpr std::uint16_t kMhpmevent3 = 0x323;     // ..0x33F
+
+// Unprivileged counters (read-only shadows).
+constexpr std::uint16_t kCycle = 0xC00;
+constexpr std::uint16_t kTime = 0xC01;
+constexpr std::uint16_t kInstret = 0xC02;
+constexpr std::uint16_t kCycleh = 0xC80;
+constexpr std::uint16_t kTimeh = 0xC81;
+constexpr std::uint16_t kInstreth = 0xC82;
+
+/// CSRs whose top two address bits are 11 are architecturally read-only;
+/// a write access must raise an illegal-instruction exception.
+constexpr bool isReadOnlyAddress(std::uint16_t addr) {
+  return (addr >> 10) == 0x3;
+}
+
+/// Minimum privilege level encoded in bits [9:8] (0=U .. 3=M).
+constexpr unsigned minPrivilege(std::uint16_t addr) {
+  return (addr >> 8) & 0x3;
+}
+
+constexpr bool isMhpmcounter(std::uint16_t addr) {
+  return addr >= kMhpmcounter3 && addr <= 0xB1F;
+}
+constexpr bool isMhpmcounterh(std::uint16_t addr) {
+  return addr >= kMhpmcounter3h && addr <= 0xB9F;
+}
+constexpr bool isMhpmevent(std::uint16_t addr) {
+  return addr >= kMhpmevent3 && addr <= 0x33F;
+}
+constexpr bool isUnprivilegedCounter(std::uint16_t addr) {
+  switch (addr) {
+    case kCycle:
+    case kTime:
+    case kInstret:
+    case kCycleh:
+    case kTimeh:
+    case kInstreth:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace csr
+
+/// CSR name for diagnostics; nullptr for addresses outside the map.
+const char* csrName(std::uint16_t addr);
+
+}  // namespace rvsym::rv32

@@ -1,0 +1,116 @@
+// Instruction encoders (a tiny assembler) for tests, examples and
+// workload generators. All functions return the 32-bit instruction word.
+//
+// Immediates are taken as signed 32-bit values and truncated to the
+// format's field width, matching assembler semantics for in-range values.
+#pragma once
+
+#include <cstdint>
+
+namespace rvsym::rv32::enc {
+
+using u32 = std::uint32_t;
+
+constexpr u32 rType(u32 funct7, u32 rs2, u32 rs1, u32 funct3, u32 rd,
+                    u32 opcode) {
+  return (funct7 << 25) | ((rs2 & 31) << 20) | ((rs1 & 31) << 15) |
+         (funct3 << 12) | ((rd & 31) << 7) | opcode;
+}
+
+constexpr u32 iType(std::int32_t imm, u32 rs1, u32 funct3, u32 rd,
+                    u32 opcode) {
+  return (static_cast<u32>(imm & 0xFFF) << 20) | ((rs1 & 31) << 15) |
+         (funct3 << 12) | ((rd & 31) << 7) | opcode;
+}
+
+constexpr u32 sType(std::int32_t imm, u32 rs2, u32 rs1, u32 funct3,
+                    u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 5) & 0x7F) << 25) | ((rs2 & 31) << 20) |
+         ((rs1 & 31) << 15) | (funct3 << 12) | ((u & 0x1F) << 7) | opcode;
+}
+
+constexpr u32 bType(std::int32_t imm, u32 rs2, u32 rs1, u32 funct3,
+                    u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) |
+         ((rs2 & 31) << 20) | ((rs1 & 31) << 15) | (funct3 << 12) |
+         (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7) | opcode;
+}
+
+constexpr u32 uType(std::int32_t imm, u32 rd, u32 opcode) {
+  return (static_cast<u32>(imm) & 0xFFFFF000u) | ((rd & 31) << 7) | opcode;
+}
+
+constexpr u32 jType(std::int32_t imm, u32 rd, u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xFF) << 12) |
+         ((rd & 31) << 7) | opcode;
+}
+
+// --- RV32I -------------------------------------------------------------------
+
+constexpr u32 lui(u32 rd, std::int32_t imm) { return uType(imm, rd, 0x37); }
+constexpr u32 auipc(u32 rd, std::int32_t imm) { return uType(imm, rd, 0x17); }
+constexpr u32 jal(u32 rd, std::int32_t off) { return jType(off, rd, 0x6F); }
+constexpr u32 jalr(u32 rd, u32 rs1, std::int32_t off) {
+  return iType(off, rs1, 0, rd, 0x67);
+}
+
+constexpr u32 beq(u32 rs1, u32 rs2, std::int32_t off) { return bType(off, rs2, rs1, 0, 0x63); }
+constexpr u32 bne(u32 rs1, u32 rs2, std::int32_t off) { return bType(off, rs2, rs1, 1, 0x63); }
+constexpr u32 blt(u32 rs1, u32 rs2, std::int32_t off) { return bType(off, rs2, rs1, 4, 0x63); }
+constexpr u32 bge(u32 rs1, u32 rs2, std::int32_t off) { return bType(off, rs2, rs1, 5, 0x63); }
+constexpr u32 bltu(u32 rs1, u32 rs2, std::int32_t off) { return bType(off, rs2, rs1, 6, 0x63); }
+constexpr u32 bgeu(u32 rs1, u32 rs2, std::int32_t off) { return bType(off, rs2, rs1, 7, 0x63); }
+
+constexpr u32 lb(u32 rd, u32 rs1, std::int32_t off) { return iType(off, rs1, 0, rd, 0x03); }
+constexpr u32 lh(u32 rd, u32 rs1, std::int32_t off) { return iType(off, rs1, 1, rd, 0x03); }
+constexpr u32 lw(u32 rd, u32 rs1, std::int32_t off) { return iType(off, rs1, 2, rd, 0x03); }
+constexpr u32 lbu(u32 rd, u32 rs1, std::int32_t off) { return iType(off, rs1, 4, rd, 0x03); }
+constexpr u32 lhu(u32 rd, u32 rs1, std::int32_t off) { return iType(off, rs1, 5, rd, 0x03); }
+
+constexpr u32 sb(u32 rs2, u32 rs1, std::int32_t off) { return sType(off, rs2, rs1, 0, 0x23); }
+constexpr u32 sh(u32 rs2, u32 rs1, std::int32_t off) { return sType(off, rs2, rs1, 1, 0x23); }
+constexpr u32 sw(u32 rs2, u32 rs1, std::int32_t off) { return sType(off, rs2, rs1, 2, 0x23); }
+
+constexpr u32 addi(u32 rd, u32 rs1, std::int32_t imm) { return iType(imm, rs1, 0, rd, 0x13); }
+constexpr u32 slti(u32 rd, u32 rs1, std::int32_t imm) { return iType(imm, rs1, 2, rd, 0x13); }
+constexpr u32 sltiu(u32 rd, u32 rs1, std::int32_t imm) { return iType(imm, rs1, 3, rd, 0x13); }
+constexpr u32 xori(u32 rd, u32 rs1, std::int32_t imm) { return iType(imm, rs1, 4, rd, 0x13); }
+constexpr u32 ori(u32 rd, u32 rs1, std::int32_t imm) { return iType(imm, rs1, 6, rd, 0x13); }
+constexpr u32 andi(u32 rd, u32 rs1, std::int32_t imm) { return iType(imm, rs1, 7, rd, 0x13); }
+
+constexpr u32 slli(u32 rd, u32 rs1, u32 shamt) { return rType(0x00, shamt, rs1, 1, rd, 0x13); }
+constexpr u32 srli(u32 rd, u32 rs1, u32 shamt) { return rType(0x00, shamt, rs1, 5, rd, 0x13); }
+constexpr u32 srai(u32 rd, u32 rs1, u32 shamt) { return rType(0x20, shamt, rs1, 5, rd, 0x13); }
+
+constexpr u32 add(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 0, rd, 0x33); }
+constexpr u32 sub(u32 rd, u32 rs1, u32 rs2) { return rType(0x20, rs2, rs1, 0, rd, 0x33); }
+constexpr u32 sll(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 1, rd, 0x33); }
+constexpr u32 slt(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 2, rd, 0x33); }
+constexpr u32 sltu(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 3, rd, 0x33); }
+constexpr u32 xor_(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 4, rd, 0x33); }
+constexpr u32 srl(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 5, rd, 0x33); }
+constexpr u32 sra(u32 rd, u32 rs1, u32 rs2) { return rType(0x20, rs2, rs1, 5, rd, 0x33); }
+constexpr u32 or_(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 6, rd, 0x33); }
+constexpr u32 and_(u32 rd, u32 rs1, u32 rs2) { return rType(0x00, rs2, rs1, 7, rd, 0x33); }
+
+constexpr u32 fence() { return 0x0000000F; }
+constexpr u32 ecall() { return 0x00000073; }
+constexpr u32 ebreak() { return 0x00100073; }
+constexpr u32 mret() { return 0x30200073; }
+constexpr u32 wfi() { return 0x10500073; }
+constexpr u32 nop() { return addi(0, 0, 0); }
+
+// --- Zicsr ---------------------------------------------------------------------
+
+constexpr u32 csrrw(u32 rd, u32 csr, u32 rs1) { return iType(static_cast<std::int32_t>(csr << 20) >> 20, rs1, 1, rd, 0x73); }
+constexpr u32 csrrs(u32 rd, u32 csr, u32 rs1) { return iType(static_cast<std::int32_t>(csr << 20) >> 20, rs1, 2, rd, 0x73); }
+constexpr u32 csrrc(u32 rd, u32 csr, u32 rs1) { return iType(static_cast<std::int32_t>(csr << 20) >> 20, rs1, 3, rd, 0x73); }
+constexpr u32 csrrwi(u32 rd, u32 csr, u32 zimm) { return iType(static_cast<std::int32_t>(csr << 20) >> 20, zimm, 5, rd, 0x73); }
+constexpr u32 csrrsi(u32 rd, u32 csr, u32 zimm) { return iType(static_cast<std::int32_t>(csr << 20) >> 20, zimm, 6, rd, 0x73); }
+constexpr u32 csrrci(u32 rd, u32 csr, u32 zimm) { return iType(static_cast<std::int32_t>(csr << 20) >> 20, zimm, 7, rd, 0x73); }
+
+}  // namespace rvsym::rv32::enc

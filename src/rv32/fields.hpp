@@ -1,0 +1,63 @@
+// Symbolic instruction-field extraction, shared by the ISS and the RTL
+// core model. All helpers take the 32-bit instruction expression and
+// return field expressions; immediates are returned sign-extended to 32
+// bits exactly as the ISA specifies per format.
+#pragma once
+
+#include "expr/builder.hpp"
+#include "rv32/instr.hpp"
+
+namespace rvsym::rv32::sym {
+
+using expr::ExprBuilder;
+using expr::ExprRef;
+
+inline ExprRef opcode(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 0, 7); }
+inline ExprRef rd(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 7, 5); }
+inline ExprRef funct3(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 12, 3); }
+inline ExprRef rs1(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 15, 5); }
+inline ExprRef rs2(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 20, 5); }
+inline ExprRef funct7(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 25, 7); }
+inline ExprRef shamt(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 20, 5); }
+inline ExprRef csrAddr(ExprBuilder& eb, const ExprRef& i) { return eb.extract(i, 20, 12); }
+/// rs1 field reused as a zero-extended immediate by CSR*I.
+inline ExprRef zimm(ExprBuilder& eb, const ExprRef& i) {
+  return eb.zext(eb.extract(i, 15, 5), 32);
+}
+
+inline ExprRef immI(ExprBuilder& eb, const ExprRef& i) {
+  return eb.sext(eb.extract(i, 20, 12), 32);
+}
+
+inline ExprRef immS(ExprBuilder& eb, const ExprRef& i) {
+  return eb.sext(eb.concat(eb.extract(i, 25, 7), eb.extract(i, 7, 5)), 32);
+}
+
+inline ExprRef immB(ExprBuilder& eb, const ExprRef& i) {
+  // imm[12|10:5|4:1|11] scattered over bits 31|30:25|11:8|7; bit 0 is 0.
+  ExprRef hi = eb.concat(eb.extract(i, 31, 1), eb.extract(i, 7, 1));
+  ExprRef mid = eb.concat(eb.extract(i, 25, 6), eb.extract(i, 8, 4));
+  ExprRef all = eb.concat(hi, eb.concat(mid, eb.constant(0, 1)));
+  return eb.sext(all, 32);
+}
+
+inline ExprRef immU(ExprBuilder& eb, const ExprRef& i) {
+  return eb.concat(eb.extract(i, 12, 20), eb.constant(0, 12));
+}
+
+inline ExprRef immJ(ExprBuilder& eb, const ExprRef& i) {
+  // imm[20|10:1|11|19:12] over bits 31|30:21|20|19:12; bit 0 is 0.
+  ExprRef hi = eb.concat(eb.extract(i, 31, 1), eb.extract(i, 12, 8));
+  ExprRef mid = eb.concat(eb.extract(i, 20, 1), eb.extract(i, 21, 10));
+  ExprRef all = eb.concat(hi, eb.concat(mid, eb.constant(0, 1)));
+  return eb.sext(all, 32);
+}
+
+/// `instr & mask == match` as a width-1 expression.
+inline ExprRef matches(ExprBuilder& eb, const ExprRef& i,
+                       const DecodePattern& p) {
+  return eb.eq(eb.andOp(i, eb.constant(p.mask, 32)),
+               eb.constant(p.match, 32));
+}
+
+}  // namespace rvsym::rv32::sym

@@ -1,0 +1,460 @@
+#include "rv32/instr.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "rv32/csr.hpp"
+
+namespace rvsym::rv32 {
+
+namespace {
+
+constexpr std::uint32_t kOpcodeMask = 0x0000007F;
+constexpr std::uint32_t kF3Mask = 0x0000707F;       // opcode + funct3
+constexpr std::uint32_t kF7F3Mask = 0xFE00707F;     // opcode + funct3 + funct7
+constexpr std::uint32_t kFullMask = 0xFFFFFFFF;
+
+constexpr std::uint32_t f3(std::uint32_t op, std::uint32_t funct3) {
+  return op | (funct3 << 12);
+}
+constexpr std::uint32_t f7(std::uint32_t op, std::uint32_t funct3,
+                           std::uint32_t funct7) {
+  return op | (funct3 << 12) | (funct7 << 25);
+}
+
+// Order is irrelevant: patterns are pairwise disjoint.
+constexpr std::array<DecodePattern, 47> kDecodeTable{{
+    {Opcode::Lui, kOpcodeMask, 0x37},
+    {Opcode::Auipc, kOpcodeMask, 0x17},
+    {Opcode::Jal, kOpcodeMask, 0x6F},
+    {Opcode::Jalr, kF3Mask, f3(0x67, 0)},
+    {Opcode::Beq, kF3Mask, f3(0x63, 0)},
+    {Opcode::Bne, kF3Mask, f3(0x63, 1)},
+    {Opcode::Blt, kF3Mask, f3(0x63, 4)},
+    {Opcode::Bge, kF3Mask, f3(0x63, 5)},
+    {Opcode::Bltu, kF3Mask, f3(0x63, 6)},
+    {Opcode::Bgeu, kF3Mask, f3(0x63, 7)},
+    {Opcode::Lb, kF3Mask, f3(0x03, 0)},
+    {Opcode::Lh, kF3Mask, f3(0x03, 1)},
+    {Opcode::Lw, kF3Mask, f3(0x03, 2)},
+    {Opcode::Lbu, kF3Mask, f3(0x03, 4)},
+    {Opcode::Lhu, kF3Mask, f3(0x03, 5)},
+    {Opcode::Sb, kF3Mask, f3(0x23, 0)},
+    {Opcode::Sh, kF3Mask, f3(0x23, 1)},
+    {Opcode::Sw, kF3Mask, f3(0x23, 2)},
+    {Opcode::Addi, kF3Mask, f3(0x13, 0)},
+    {Opcode::Slti, kF3Mask, f3(0x13, 2)},
+    {Opcode::Sltiu, kF3Mask, f3(0x13, 3)},
+    {Opcode::Xori, kF3Mask, f3(0x13, 4)},
+    {Opcode::Ori, kF3Mask, f3(0x13, 6)},
+    {Opcode::Andi, kF3Mask, f3(0x13, 7)},
+    {Opcode::Slli, kF7F3Mask, f7(0x13, 1, 0x00)},
+    {Opcode::Srli, kF7F3Mask, f7(0x13, 5, 0x00)},
+    {Opcode::Srai, kF7F3Mask, f7(0x13, 5, 0x20)},
+    {Opcode::Add, kF7F3Mask, f7(0x33, 0, 0x00)},
+    {Opcode::Sub, kF7F3Mask, f7(0x33, 0, 0x20)},
+    {Opcode::Sll, kF7F3Mask, f7(0x33, 1, 0x00)},
+    {Opcode::Slt, kF7F3Mask, f7(0x33, 2, 0x00)},
+    {Opcode::Sltu, kF7F3Mask, f7(0x33, 3, 0x00)},
+    {Opcode::Xor, kF7F3Mask, f7(0x33, 4, 0x00)},
+    {Opcode::Srl, kF7F3Mask, f7(0x33, 5, 0x00)},
+    {Opcode::Sra, kF7F3Mask, f7(0x33, 5, 0x20)},
+    {Opcode::Or, kF7F3Mask, f7(0x33, 6, 0x00)},
+    {Opcode::And, kF7F3Mask, f7(0x33, 7, 0x00)},
+    {Opcode::Fence, kF3Mask, f3(0x0F, 0)},
+    {Opcode::Ecall, kFullMask, 0x00000073},
+    {Opcode::Ebreak, kFullMask, 0x00100073},
+    {Opcode::Mret, kFullMask, 0x30200073},
+    {Opcode::Wfi, kFullMask, 0x10500073},
+    {Opcode::Csrrw, kF3Mask, f3(0x73, 1)},
+    {Opcode::Csrrs, kF3Mask, f3(0x73, 2)},
+    {Opcode::Csrrc, kF3Mask, f3(0x73, 3)},
+    {Opcode::Csrrwi, kF3Mask, f3(0x73, 5)},
+    {Opcode::Csrrsi, kF3Mask, f3(0x73, 6)},
+    // Csrrci handled below: f3(0x73, 7).
+}};
+
+// Csrrci shares the table shape; kept separate so the array size above
+// stays in sync with the initializer count.
+constexpr DecodePattern kCsrrci{Opcode::Csrrci, kF3Mask, f3(0x73, 7)};
+
+std::array<DecodePattern, 48> buildFullTable() {
+  std::array<DecodePattern, 48> t{};
+  for (std::size_t i = 0; i < kDecodeTable.size(); ++i) t[i] = kDecodeTable[i];
+  t[47] = kCsrrci;
+  return t;
+}
+
+const std::array<DecodePattern, 48>& fullTable() {
+  static const std::array<DecodePattern, 48> table = buildFullTable();
+  return table;
+}
+
+}  // namespace
+
+std::span<const DecodePattern> decodeTable() { return fullTable(); }
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::Illegal: return "illegal";
+    case Opcode::Lui: return "lui";
+    case Opcode::Auipc: return "auipc";
+    case Opcode::Jal: return "jal";
+    case Opcode::Jalr: return "jalr";
+    case Opcode::Beq: return "beq";
+    case Opcode::Bne: return "bne";
+    case Opcode::Blt: return "blt";
+    case Opcode::Bge: return "bge";
+    case Opcode::Bltu: return "bltu";
+    case Opcode::Bgeu: return "bgeu";
+    case Opcode::Lb: return "lb";
+    case Opcode::Lh: return "lh";
+    case Opcode::Lw: return "lw";
+    case Opcode::Lbu: return "lbu";
+    case Opcode::Lhu: return "lhu";
+    case Opcode::Sb: return "sb";
+    case Opcode::Sh: return "sh";
+    case Opcode::Sw: return "sw";
+    case Opcode::Addi: return "addi";
+    case Opcode::Slti: return "slti";
+    case Opcode::Sltiu: return "sltiu";
+    case Opcode::Xori: return "xori";
+    case Opcode::Ori: return "ori";
+    case Opcode::Andi: return "andi";
+    case Opcode::Slli: return "slli";
+    case Opcode::Srli: return "srli";
+    case Opcode::Srai: return "srai";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Sll: return "sll";
+    case Opcode::Slt: return "slt";
+    case Opcode::Sltu: return "sltu";
+    case Opcode::Xor: return "xor";
+    case Opcode::Srl: return "srl";
+    case Opcode::Sra: return "sra";
+    case Opcode::Or: return "or";
+    case Opcode::And: return "and";
+    case Opcode::Fence: return "fence";
+    case Opcode::Ecall: return "ecall";
+    case Opcode::Ebreak: return "ebreak";
+    case Opcode::Csrrw: return "csrrw";
+    case Opcode::Csrrs: return "csrrs";
+    case Opcode::Csrrc: return "csrrc";
+    case Opcode::Csrrwi: return "csrrwi";
+    case Opcode::Csrrsi: return "csrrsi";
+    case Opcode::Csrrci: return "csrrci";
+    case Opcode::Mret: return "mret";
+    case Opcode::Wfi: return "wfi";
+  }
+  return "?";
+}
+
+bool isCsrOp(Opcode op) {
+  switch (op) {
+    case Opcode::Csrrw:
+    case Opcode::Csrrs:
+    case Opcode::Csrrc:
+    case Opcode::Csrrwi:
+    case Opcode::Csrrsi:
+    case Opcode::Csrrci:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isLoad(Opcode op) {
+  switch (op) {
+    case Opcode::Lb:
+    case Opcode::Lh:
+    case Opcode::Lw:
+    case Opcode::Lbu:
+    case Opcode::Lhu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isStore(Opcode op) {
+  return op == Opcode::Sb || op == Opcode::Sh || op == Opcode::Sw;
+}
+
+bool readsRs2(Opcode op) {
+  switch (op) {
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu:
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Sll:
+    case Opcode::Slt:
+    case Opcode::Sltu:
+    case Opcode::Xor:
+    case Opcode::Srl:
+    case Opcode::Sra:
+    case Opcode::Or:
+    case Opcode::And:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool readsRs1(Opcode op) {
+  switch (op) {
+    case Opcode::Lui:
+    case Opcode::Auipc:
+    case Opcode::Jal:
+    case Opcode::Fence:
+    case Opcode::Ecall:
+    case Opcode::Ebreak:
+    case Opcode::Mret:
+    case Opcode::Wfi:
+    case Opcode::Csrrwi:
+    case Opcode::Csrrsi:
+    case Opcode::Csrrci:
+    case Opcode::Illegal:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool writesRd(Opcode op) {
+  switch (op) {
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu:
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw:
+    case Opcode::Fence:
+    case Opcode::Ecall:
+    case Opcode::Ebreak:
+    case Opcode::Mret:
+    case Opcode::Wfi:
+    case Opcode::Illegal:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::int32_t immI(std::uint32_t insn) {
+  return static_cast<std::int32_t>(insn) >> 20;
+}
+
+std::int32_t immS(std::uint32_t insn) {
+  return ((static_cast<std::int32_t>(insn) >> 20) & ~0x1F) |
+         static_cast<std::int32_t>((insn >> 7) & 0x1F);
+}
+
+std::int32_t immB(std::uint32_t insn) {
+  const std::uint32_t v = ((insn >> 31) << 12) | (((insn >> 7) & 1) << 11) |
+                          (((insn >> 25) & 0x3F) << 5) |
+                          (((insn >> 8) & 0xF) << 1);
+  return static_cast<std::int32_t>(v << 19) >> 19;
+}
+
+std::int32_t immU(std::uint32_t insn) {
+  return static_cast<std::int32_t>(insn & 0xFFFFF000);
+}
+
+std::int32_t immJ(std::uint32_t insn) {
+  const std::uint32_t v = ((insn >> 31) << 20) |
+                          (((insn >> 12) & 0xFF) << 12) |
+                          (((insn >> 20) & 1) << 11) |
+                          (((insn >> 21) & 0x3FF) << 1);
+  return static_cast<std::int32_t>(v << 11) >> 11;
+}
+
+Decoded decode(std::uint32_t insn) {
+  Decoded d;
+  for (const DecodePattern& p : decodeTable()) {
+    if ((insn & p.mask) == p.match) {
+      d.op = p.op;
+      break;
+    }
+  }
+  if (d.op == Opcode::Illegal) return d;
+
+  d.rd = static_cast<std::uint8_t>((insn >> 7) & 0x1F);
+  d.rs1 = static_cast<std::uint8_t>((insn >> 15) & 0x1F);
+  d.rs2 = static_cast<std::uint8_t>((insn >> 20) & 0x1F);
+  d.funct3 = static_cast<std::uint8_t>((insn >> 12) & 0x7);
+  d.shamt = static_cast<std::uint8_t>((insn >> 20) & 0x1F);
+  d.zimm = d.rs1;
+  d.csr = static_cast<std::uint16_t>(insn >> 20);
+
+  switch (d.op) {
+    case Opcode::Lui:
+    case Opcode::Auipc:
+      d.imm = immU(insn);
+      break;
+    case Opcode::Jal:
+      d.imm = immJ(insn);
+      break;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu:
+      d.imm = immB(insn);
+      break;
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw:
+      d.imm = immS(insn);
+      break;
+    default:
+      d.imm = immI(insn);
+      break;
+  }
+  return d;
+}
+
+const char* regName(unsigned index) {
+  static constexpr std::array<const char*, 32> names{
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return index < 32 ? names[index] : "?";
+}
+
+std::string disassemble(std::uint32_t insn) {
+  const Decoded d = decode(insn);
+  std::ostringstream os;
+  const auto r = [](unsigned i) { return std::string("x") + std::to_string(i); };
+
+  switch (d.op) {
+    case Opcode::Illegal:
+      os << ".word 0x" << std::hex << insn;
+      return os.str();
+    case Opcode::Lui:
+    case Opcode::Auipc:
+      os << opcodeName(d.op) << " " << r(d.rd) << ", 0x" << std::hex
+         << (static_cast<std::uint32_t>(d.imm) >> 12);
+      return os.str();
+    case Opcode::Jal:
+      os << "jal " << r(d.rd) << ", " << d.imm;
+      return os.str();
+    case Opcode::Jalr:
+      os << "jalr " << r(d.rd) << ", " << d.imm << "(" << r(d.rs1) << ")";
+      return os.str();
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu:
+      os << opcodeName(d.op) << " " << r(d.rs1) << ", " << r(d.rs2) << ", "
+         << d.imm;
+      return os.str();
+    case Opcode::Lb:
+    case Opcode::Lh:
+    case Opcode::Lw:
+    case Opcode::Lbu:
+    case Opcode::Lhu:
+      os << opcodeName(d.op) << " " << r(d.rd) << ", " << d.imm << "("
+         << r(d.rs1) << ")";
+      return os.str();
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw:
+      os << opcodeName(d.op) << " " << r(d.rs2) << ", " << d.imm << "("
+         << r(d.rs1) << ")";
+      return os.str();
+    case Opcode::Slli:
+    case Opcode::Srli:
+    case Opcode::Srai:
+      os << opcodeName(d.op) << " " << r(d.rd) << ", " << r(d.rs1) << ", "
+         << static_cast<unsigned>(d.shamt);
+      return os.str();
+    case Opcode::Addi:
+    case Opcode::Slti:
+    case Opcode::Sltiu:
+    case Opcode::Xori:
+    case Opcode::Ori:
+    case Opcode::Andi:
+      os << opcodeName(d.op) << " " << r(d.rd) << ", " << r(d.rs1) << ", "
+         << d.imm;
+      return os.str();
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Sll:
+    case Opcode::Slt:
+    case Opcode::Sltu:
+    case Opcode::Xor:
+    case Opcode::Srl:
+    case Opcode::Sra:
+    case Opcode::Or:
+    case Opcode::And:
+      os << opcodeName(d.op) << " " << r(d.rd) << ", " << r(d.rs1) << ", "
+         << r(d.rs2);
+      return os.str();
+    case Opcode::Csrrw:
+    case Opcode::Csrrs:
+    case Opcode::Csrrc: {
+      const char* csr_name = csrName(d.csr);
+      os << opcodeName(d.op) << " " << r(d.rd) << ", ";
+      if (csr_name)
+        os << csr_name;
+      else
+        os << "0x" << std::hex << d.csr << std::dec;
+      os << ", " << r(d.rs1);
+      return os.str();
+    }
+    case Opcode::Csrrwi:
+    case Opcode::Csrrsi:
+    case Opcode::Csrrci: {
+      const char* csr_name = csrName(d.csr);
+      os << opcodeName(d.op) << " " << r(d.rd) << ", ";
+      if (csr_name)
+        os << csr_name;
+      else
+        os << "0x" << std::hex << d.csr << std::dec;
+      os << ", " << static_cast<unsigned>(d.zimm);
+      return os.str();
+    }
+    case Opcode::Fence:
+      return "fence";
+    case Opcode::Ecall:
+      return "ecall";
+    case Opcode::Ebreak:
+      return "ebreak";
+    case Opcode::Mret:
+      return "mret";
+    case Opcode::Wfi:
+      return "wfi";
+  }
+  return "?";
+}
+
+const char* causeName(Cause c) {
+  switch (c) {
+    case Cause::MisalignedFetch: return "instruction address misaligned";
+    case Cause::FetchAccess: return "instruction access fault";
+    case Cause::IllegalInstr: return "illegal instruction";
+    case Cause::Breakpoint: return "breakpoint";
+    case Cause::MisalignedLoad: return "load address misaligned";
+    case Cause::LoadAccess: return "load access fault";
+    case Cause::MisalignedStore: return "store address misaligned";
+    case Cause::StoreAccess: return "store access fault";
+    case Cause::EcallFromU: return "ecall from U-mode";
+    case Cause::EcallFromM: return "ecall from M-mode";
+  }
+  return "?";
+}
+
+}  // namespace rvsym::rv32

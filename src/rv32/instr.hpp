@@ -1,0 +1,109 @@
+// RV32I + Zicsr + machine-mode privileged instruction definitions:
+// opcode enumeration, mask/match decode table, concrete decoder and
+// immediate extraction.
+//
+// The decode table is the ground truth shared by the ISS, the RTL core
+// and the fault injector: the paper's E0-E2 faults are "mark a bit as
+// don't care in the decode table of instruction X", which maps here to
+// clearing a bit in DecodePattern::mask.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rvsym::rv32 {
+
+enum class Opcode : std::uint8_t {
+  Illegal,
+  // RV32I
+  Lui, Auipc, Jal, Jalr,
+  Beq, Bne, Blt, Bge, Bltu, Bgeu,
+  Lb, Lh, Lw, Lbu, Lhu,
+  Sb, Sh, Sw,
+  Addi, Slti, Sltiu, Xori, Ori, Andi,
+  Slli, Srli, Srai,
+  Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+  Fence, Ecall, Ebreak,
+  // Zicsr
+  Csrrw, Csrrs, Csrrc, Csrrwi, Csrrsi, Csrrci,
+  // Privileged (machine mode)
+  Mret, Wfi,
+};
+
+const char* opcodeName(Opcode op);
+
+/// Is this a CSR access instruction (Zicsr)?
+bool isCsrOp(Opcode op);
+/// Is this a load (Lb..Lhu)?
+bool isLoad(Opcode op);
+/// Is this a store (Sb..Sw)?
+bool isStore(Opcode op);
+/// Does this opcode read rs2 (R-type, branches, stores)?
+bool readsRs2(Opcode op);
+/// Does this opcode read rs1? (everything except Lui/Auipc/Jal/
+/// Fence/Ecall/Ebreak/Mret/Wfi/CSR*I)
+bool readsRs1(Opcode op);
+/// Does this opcode write rd?
+bool writesRd(Opcode op);
+
+/// One row of the decode table: `instr & mask == match` selects `op`.
+/// The table is disjoint: at most one row matches any word.
+struct DecodePattern {
+  Opcode op;
+  std::uint32_t mask;
+  std::uint32_t match;
+};
+
+/// The full RV32I+Zicsr+priv decode table.
+std::span<const DecodePattern> decodeTable();
+
+/// Fully decoded instruction (concrete path: tests, disassembler,
+/// mismatch classification).
+struct Decoded {
+  Opcode op = Opcode::Illegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t funct3 = 0;
+  std::int32_t imm = 0;     ///< selected & sign-extended per format
+  std::uint16_t csr = 0;    ///< CSR address (I-type imm, zero-extended)
+  std::uint8_t shamt = 0;   ///< shift amount for Slli/Srli/Srai
+  std::uint8_t zimm = 0;    ///< rs1 field as immediate for CSR*I
+};
+
+/// Decodes a concrete instruction word. Unknown encodings yield
+/// op == Opcode::Illegal.
+Decoded decode(std::uint32_t insn);
+
+/// Immediate extraction per format (sign-extended to 32 bits).
+std::int32_t immI(std::uint32_t insn);
+std::int32_t immS(std::uint32_t insn);
+std::int32_t immB(std::uint32_t insn);
+std::int32_t immU(std::uint32_t insn);
+std::int32_t immJ(std::uint32_t insn);
+
+/// Renders `insn` as human-readable assembly, e.g. "addi x1, x2, -5" or
+/// "csrrw x0, mcycle, x1". Unknown words render as ".word 0x...".
+std::string disassemble(std::uint32_t insn);
+
+/// ABI register name (x0 -> "zero", x2 -> "sp", ...).
+const char* regName(unsigned index);
+
+/// Machine trap causes (mcause values).
+enum class Cause : std::uint32_t {
+  MisalignedFetch = 0,
+  FetchAccess = 1,
+  IllegalInstr = 2,
+  Breakpoint = 3,
+  MisalignedLoad = 4,
+  LoadAccess = 5,
+  MisalignedStore = 6,
+  StoreAccess = 7,
+  EcallFromU = 8,
+  EcallFromM = 11,
+};
+
+const char* causeName(Cause c);
+
+}  // namespace rvsym::rv32

@@ -1,0 +1,67 @@
+// Mux-based register file over symbolic words.
+//
+// Reads and writes with a symbolic 5-bit index are lowered to ite chains
+// (exactly the mux structure of a hardware register file), so a symbolic
+// register index does not fork the path. x0 reads as zero and ignores
+// writes. For concrete indices everything folds to a direct access.
+//
+// Note: KLEE applied to an array-indexed software register file would
+// fork over the index instead; the mux lowering explores the same
+// behaviours in a single path and is how the verilated RTL code looks
+// anyway. This reduces absolute path counts relative to the paper
+// without changing which mismatches are reachable (see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cassert>
+
+#include "expr/builder.hpp"
+
+namespace rvsym::rv32 {
+
+class RegFile {
+ public:
+  /// Initializes every register (including x0) to constant zero.
+  explicit RegFile(expr::ExprBuilder& eb) {
+    regs_.fill(eb.constant(0, 32));
+  }
+
+  /// Direct access for concrete indices.
+  const expr::ExprRef& get(unsigned index) const { return regs_[index]; }
+  void set(expr::ExprBuilder& eb, unsigned index, expr::ExprRef value) {
+    assert(index < 32);
+    if (index == 0) {
+      regs_[0] = eb.constant(0, 32);
+      return;
+    }
+    regs_[index] = std::move(value);
+  }
+
+  /// Read with a (possibly symbolic) 5-bit index.
+  expr::ExprRef read(expr::ExprBuilder& eb, const expr::ExprRef& index) const {
+    assert(index->width() == 5);
+    if (index->isConstant()) return regs_[index->constantValue()];
+    expr::ExprRef acc = regs_[31];
+    for (int i = 30; i >= 0; --i)
+      acc = eb.ite(eb.eqConst(index, static_cast<std::uint64_t>(i)),
+                   regs_[static_cast<std::size_t>(i)], acc);
+    return acc;
+  }
+
+  /// Write with a (possibly symbolic) 5-bit index; x0 is untouched.
+  void write(expr::ExprBuilder& eb, const expr::ExprRef& index,
+             const expr::ExprRef& value) {
+    assert(index->width() == 5);
+    if (index->isConstant()) {
+      set(eb, static_cast<unsigned>(index->constantValue()), value);
+      return;
+    }
+    for (unsigned i = 1; i < 32; ++i)
+      regs_[i] = eb.ite(eb.eqConst(index, i), value, regs_[i]);
+  }
+
+ private:
+  std::array<expr::ExprRef, 32> regs_;
+};
+
+}  // namespace rvsym::rv32

@@ -1,0 +1,370 @@
+#include "solver/bitblast.hpp"
+
+#include <cassert>
+
+namespace rvsym::solver {
+
+using expr::Expr;
+using expr::ExprRef;
+using expr::Kind;
+
+BitBlaster::BitBlaster(SatSolver& sat, expr::ExprBuilder& eb)
+    : sat_(sat), eb_(eb) {
+  const Var v = sat_.newVar();
+  true_lit_ = mkLit(v);
+  sat_.addClause(true_lit_);
+}
+
+Lit BitBlaster::mkAnd(Lit a, Lit b) {
+  if (isFalseLit(a) || isFalseLit(b)) return litConst(false);
+  if (isTrueLit(a)) return b;
+  if (isTrueLit(b)) return a;
+  if (a == b) return a;
+  if (a == ~b) return litConst(false);
+  const Lit out = mkLit(sat_.newVar());
+  sat_.addClause(~out, a);
+  sat_.addClause(~out, b);
+  sat_.addClause(out, ~a, ~b);
+  return out;
+}
+
+Lit BitBlaster::mkXor(Lit a, Lit b) {
+  if (isFalseLit(a)) return b;
+  if (isFalseLit(b)) return a;
+  if (isTrueLit(a)) return ~b;
+  if (isTrueLit(b)) return ~a;
+  if (a == b) return litConst(false);
+  if (a == ~b) return litConst(true);
+  const Lit out = mkLit(sat_.newVar());
+  sat_.addClause(~out, a, b);
+  sat_.addClause(~out, ~a, ~b);
+  sat_.addClause(out, ~a, b);
+  sat_.addClause(out, a, ~b);
+  return out;
+}
+
+Lit BitBlaster::mkMux(Lit sel, Lit t, Lit f) {
+  if (isTrueLit(sel)) return t;
+  if (isFalseLit(sel)) return f;
+  if (t == f) return t;
+  if (isTrueLit(t) && isFalseLit(f)) return sel;
+  if (isFalseLit(t) && isTrueLit(f)) return ~sel;
+  const Lit out = mkLit(sat_.newVar());
+  sat_.addClause(~sel, ~t, out);
+  sat_.addClause(~sel, t, ~out);
+  sat_.addClause(sel, ~f, out);
+  sat_.addClause(sel, f, ~out);
+  return out;
+}
+
+Lit BitBlaster::mkAndReduce(const std::vector<Lit>& ls) {
+  Lit acc = litConst(true);
+  for (Lit l : ls) acc = mkAnd(acc, l);
+  return acc;
+}
+
+Lit BitBlaster::mkOrReduce(const std::vector<Lit>& ls) {
+  Lit acc = litConst(false);
+  for (Lit l : ls) acc = mkOr(acc, l);
+  return acc;
+}
+
+std::vector<Lit> BitBlaster::addCircuit(const std::vector<Lit>& a,
+                                        const std::vector<Lit>& b,
+                                        Lit carry_in) {
+  assert(a.size() == b.size());
+  std::vector<Lit> sum(a.size());
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = mkXor(a[i], b[i]);
+    sum[i] = mkXor(axb, carry);
+    // carry_out = (a & b) | (carry & (a ^ b))
+    carry = mkOr(mkAnd(a[i], b[i]), mkAnd(carry, axb));
+  }
+  return sum;
+}
+
+std::vector<Lit> BitBlaster::mulCircuit(const std::vector<Lit>& a,
+                                        const std::vector<Lit>& b) {
+  const std::size_t w = a.size();
+  std::vector<Lit> acc(w, litConst(false));
+  for (std::size_t i = 0; i < w; ++i) {
+    if (isFalseLit(b[i])) continue;
+    // partial = (a << i) & b[i]
+    std::vector<Lit> partial(w, litConst(false));
+    for (std::size_t j = 0; i + j < w; ++j)
+      partial[i + j] = mkAnd(a[j], b[i]);
+    acc = addCircuit(acc, partial, litConst(false));
+  }
+  return acc;
+}
+
+std::pair<std::vector<Lit>, std::vector<Lit>> BitBlaster::udivCircuit(
+    const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  const std::size_t w = a.size();
+  // Restoring division, MSB-first, with a (w+1)-bit partial remainder.
+  std::vector<Lit> rem(w + 1, litConst(false));
+  std::vector<Lit> bext(b);
+  bext.push_back(litConst(false));
+  std::vector<Lit> q(w, litConst(false));
+  for (std::size_t step = 0; step < w; ++step) {
+    const std::size_t i = w - 1 - step;
+    // rem = (rem << 1) | a[i]
+    for (std::size_t k = w; k > 0; --k) rem[k] = rem[k - 1];
+    rem[0] = a[i];
+    // ge = rem >= bext  <=>  !(rem < bext)
+    const Lit ge = ~ultCircuit(rem, bext);
+    q[i] = ge;
+    // rem = ge ? rem - bext : rem
+    std::vector<Lit> nb(w + 1);
+    for (std::size_t k = 0; k <= w; ++k) nb[k] = ~bext[k];
+    const std::vector<Lit> diff = addCircuit(rem, nb, litConst(true));
+    for (std::size_t k = 0; k <= w; ++k) rem[k] = mkMux(ge, diff[k], rem[k]);
+  }
+  // RISC-V conventions: x / 0 = all-ones, x % 0 = x.
+  const Lit bz = ~mkOrReduce(b);
+  std::vector<Lit> quot(w), remainder(w);
+  for (std::size_t k = 0; k < w; ++k) {
+    quot[k] = mkMux(bz, litConst(true), q[k]);
+    remainder[k] = mkMux(bz, a[k], rem[k]);
+  }
+  return {quot, remainder};
+}
+
+std::vector<Lit> BitBlaster::shiftCircuit(Kind kind, const std::vector<Lit>& a,
+                                          const std::vector<Lit>& amount) {
+  const std::size_t w = a.size();
+  const Lit sign_bit = a[w - 1];
+  const Lit fill = kind == Kind::AShr ? sign_bit : litConst(false);
+
+  std::vector<Lit> cur(a);
+  // Barrel stages for amount bits 2^k < w.
+  for (std::size_t k = 0; (std::size_t{1} << k) < w && k < amount.size(); ++k) {
+    const Lit sel = amount[k];
+    const std::size_t shift = std::size_t{1} << k;
+    std::vector<Lit> next(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      Lit shifted;
+      if (kind == Kind::Shl)
+        shifted = i >= shift ? cur[i - shift] : litConst(false);
+      else
+        shifted = i + shift < w ? cur[i + shift] : fill;
+      next[i] = mkMux(sel, shifted, cur[i]);
+    }
+    cur = std::move(next);
+  }
+  // Amounts >= w force the fill value.
+  std::vector<Lit> high_bits;
+  for (std::size_t k = 0; k < amount.size(); ++k)
+    if ((std::size_t{1} << k) >= w) high_bits.push_back(amount[k]);
+  // For non-power-of-two widths also catch in-range stage overflow:
+  // amount in [w, 2^ceil(log2 w)) — compare the low stage bits against w.
+  std::size_t stage_bits = 0;
+  while ((std::size_t{1} << stage_bits) < w) ++stage_bits;
+  if ((std::size_t{1} << stage_bits) != w && stage_bits <= amount.size()) {
+    // low = amount[0..stage_bits); overflow_low = low >= w
+    std::vector<Lit> low(amount.begin(),
+                         amount.begin() + static_cast<long>(
+                                              std::min(stage_bits, amount.size())));
+    std::vector<Lit> wconst(low.size());
+    for (std::size_t k = 0; k < low.size(); ++k)
+      wconst[k] = litConst(((w >> k) & 1) != 0);
+    high_bits.push_back(~ultCircuit(low, wconst));
+  }
+  const Lit overflow = mkOrReduce(high_bits);
+  std::vector<Lit> out(w);
+  for (std::size_t i = 0; i < w; ++i) out[i] = mkMux(overflow, fill, cur[i]);
+  return out;
+}
+
+Lit BitBlaster::ultCircuit(const std::vector<Lit>& a,
+                           const std::vector<Lit>& b) {
+  assert(a.size() == b.size());
+  // LSB-to-MSB mux chain: lt_i = (a_i == b_i) ? lt_{i-1} : b_i.
+  Lit lt = litConst(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit eq_i = ~mkXor(a[i], b[i]);
+    lt = mkMux(eq_i, lt, b[i]);
+  }
+  return lt;
+}
+
+Lit BitBlaster::eqCircuit(const std::vector<Lit>& a,
+                          const std::vector<Lit>& b) {
+  assert(a.size() == b.size());
+  Lit acc = litConst(true);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = mkAnd(acc, ~mkXor(a[i], b[i]));
+  return acc;
+}
+
+const std::vector<Lit>& BitBlaster::blast(const ExprRef& e) {
+  auto it = cache_.find(e.get());
+  if (it != cache_.end()) return it->second;
+  std::vector<Lit> bits = lower(e);
+  assert(bits.size() == e->width());
+  pinned_.push_back(e);
+  return cache_.emplace(e.get(), std::move(bits)).first->second;
+}
+
+std::vector<Lit> BitBlaster::lower(const ExprRef& e) {
+  const unsigned w = e->width();
+  switch (e->kind()) {
+    case Kind::Constant: {
+      std::vector<Lit> bits(w);
+      for (unsigned i = 0; i < w; ++i)
+        bits[i] = litConst(((e->constantValue() >> i) & 1) != 0);
+      return bits;
+    }
+    case Kind::Variable: {
+      std::vector<Lit> bits(w);
+      for (unsigned i = 0; i < w; ++i) bits[i] = mkLit(sat_.newVar());
+      return bits;
+    }
+    case Kind::Add:
+      return addCircuit(blast(e->operand(0)), blast(e->operand(1)),
+                        litConst(false));
+    case Kind::Sub: {
+      std::vector<Lit> nb = blast(e->operand(1));
+      for (Lit& l : nb) l = ~l;
+      return addCircuit(blast(e->operand(0)), nb, litConst(true));
+    }
+    case Kind::Neg: {
+      std::vector<Lit> na = blast(e->operand(0));
+      for (Lit& l : na) l = ~l;
+      std::vector<Lit> zero(w, litConst(false));
+      return addCircuit(na, zero, litConst(true));
+    }
+    case Kind::Mul:
+      return mulCircuit(blast(e->operand(0)), blast(e->operand(1)));
+    case Kind::UDiv:
+      return udivCircuit(blast(e->operand(0)), blast(e->operand(1))).first;
+    case Kind::URem:
+      return udivCircuit(blast(e->operand(0)), blast(e->operand(1))).second;
+    case Kind::SDiv:
+    case Kind::SRem: {
+      // Desugar to unsigned division with sign fixups (RISC-V semantics).
+      const ExprRef a = e->operand(0);
+      const ExprRef b = e->operand(1);
+      const ExprRef zero = eb_.constant(0, w);
+      const ExprRef a_neg = eb_.slt(a, zero);
+      const ExprRef b_neg = eb_.slt(b, zero);
+      const ExprRef abs_a = eb_.ite(a_neg, eb_.neg(a), a);
+      const ExprRef abs_b = eb_.ite(b_neg, eb_.neg(b), b);
+      ExprRef result;
+      if (e->kind() == Kind::SDiv) {
+        const ExprRef q = eb_.udiv(abs_a, abs_b);
+        result = eb_.ite(eb_.eq(b, zero), eb_.constant(~0ULL, w),
+                         eb_.ite(eb_.xorOp(a_neg, b_neg), eb_.neg(q), q));
+      } else {
+        const ExprRef r = eb_.urem(abs_a, abs_b);
+        result =
+            eb_.ite(eb_.eq(b, zero), a, eb_.ite(a_neg, eb_.neg(r), r));
+      }
+      return blast(result);
+    }
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Xor: {
+      const std::vector<Lit>& a = blast(e->operand(0));
+      const std::vector<Lit>& b = blast(e->operand(1));
+      std::vector<Lit> bits(w);
+      for (unsigned i = 0; i < w; ++i)
+        bits[i] = e->kind() == Kind::And   ? mkAnd(a[i], b[i])
+                  : e->kind() == Kind::Or ? mkOr(a[i], b[i])
+                                          : mkXor(a[i], b[i]);
+      return bits;
+    }
+    case Kind::Not: {
+      std::vector<Lit> bits = blast(e->operand(0));
+      for (Lit& l : bits) l = ~l;
+      return bits;
+    }
+    case Kind::Shl:
+    case Kind::LShr:
+    case Kind::AShr:
+      return shiftCircuit(e->kind(), blast(e->operand(0)),
+                          blast(e->operand(1)));
+    case Kind::Eq:
+      return {eqCircuit(blast(e->operand(0)), blast(e->operand(1)))};
+    case Kind::Ult:
+      return {ultCircuit(blast(e->operand(0)), blast(e->operand(1)))};
+    case Kind::Ule:
+      return {~ultCircuit(blast(e->operand(1)), blast(e->operand(0)))};
+    case Kind::Slt: {
+      // slt(a, b) == ult(a ^ MSB, b ^ MSB)
+      std::vector<Lit> a = blast(e->operand(0));
+      std::vector<Lit> b = blast(e->operand(1));
+      a.back() = ~a.back();
+      b.back() = ~b.back();
+      return {ultCircuit(a, b)};
+    }
+    case Kind::Sle: {
+      std::vector<Lit> a = blast(e->operand(0));
+      std::vector<Lit> b = blast(e->operand(1));
+      a.back() = ~a.back();
+      b.back() = ~b.back();
+      return {~ultCircuit(b, a)};
+    }
+    case Kind::Concat: {
+      const std::vector<Lit>& hi = blast(e->operand(0));
+      const std::vector<Lit>& lo = blast(e->operand(1));
+      std::vector<Lit> bits(lo);
+      bits.insert(bits.end(), hi.begin(), hi.end());
+      return bits;
+    }
+    case Kind::Extract: {
+      const std::vector<Lit>& inner = blast(e->operand(0));
+      return {inner.begin() + e->extractLow(),
+              inner.begin() + e->extractLow() + w};
+    }
+    case Kind::ZExt: {
+      std::vector<Lit> bits = blast(e->operand(0));
+      bits.resize(w, litConst(false));
+      return bits;
+    }
+    case Kind::SExt: {
+      std::vector<Lit> bits = blast(e->operand(0));
+      const Lit s = bits.back();
+      bits.resize(w, s);
+      return bits;
+    }
+    case Kind::Ite: {
+      const Lit sel = blastBool(e->operand(0));
+      const std::vector<Lit>& t = blast(e->operand(1));
+      const std::vector<Lit>& f = blast(e->operand(2));
+      std::vector<Lit> bits(w);
+      for (unsigned i = 0; i < w; ++i) bits[i] = mkMux(sel, t[i], f[i]);
+      return bits;
+    }
+  }
+  assert(false && "unreachable");
+  return {};
+}
+
+Lit BitBlaster::blastBool(const ExprRef& e) {
+  assert(e->width() == 1);
+  return blast(e)[0];
+}
+
+bool BitBlaster::assertTrue(const ExprRef& e) {
+  return sat_.addClause(blastBool(e));
+}
+
+std::uint64_t BitBlaster::modelValue(const expr::ExprRef& e) {
+  const std::vector<Lit>& bits = blast(e);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bool bit;
+    if (isTrueLit(bits[i]))
+      bit = true;
+    else if (isFalseLit(bits[i]))
+      bit = false;
+    else
+      bit = sat_.modelValueBool(bits[i]);
+    if (bit) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+}  // namespace rvsym::solver

@@ -1,0 +1,80 @@
+// Tseitin bit-blaster: lowers bit-vector expressions onto a SatSolver.
+//
+// Each expression node is lowered once per blaster (DAG-aware cache) into a
+// little-endian vector of SAT literals. Gate construction short-circuits on
+// constant inputs, so concretely-determined subcircuits cost nothing.
+//
+// Signed division/remainder are desugared at the expression level (using
+// the owning ExprBuilder) into unsigned division plus sign fixups following
+// the RISC-V M conventions, which keeps the circuit zoo small and testable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "expr/expr.hpp"
+#include "solver/sat.hpp"
+
+namespace rvsym::solver {
+
+class BitBlaster {
+ public:
+  BitBlaster(SatSolver& sat, expr::ExprBuilder& eb);
+
+  /// Lowers `e`; returns its literals, LSB first.
+  const std::vector<Lit>& blast(const expr::ExprRef& e);
+
+  /// Lowers a width-1 expression to a single literal.
+  Lit blastBool(const expr::ExprRef& e);
+
+  /// Asserts that the width-1 expression `e` holds (unit clause).
+  /// Returns false if the solver became trivially unsat.
+  bool assertTrue(const expr::ExprRef& e);
+
+  /// Reads the value of `e` back from the solver model (after Sat).
+  std::uint64_t modelValue(const expr::ExprRef& e);
+
+  /// The literal that is constant true in this blaster.
+  Lit trueLit() const { return true_lit_; }
+
+  std::size_t cacheSize() const { return cache_.size(); }
+
+ private:
+  // Gate constructors with constant short-circuiting.
+  Lit litConst(bool v) const { return v ? true_lit_ : ~true_lit_; }
+  bool isTrueLit(Lit l) const { return l == true_lit_; }
+  bool isFalseLit(Lit l) const { return l == ~true_lit_; }
+  Lit mkAnd(Lit a, Lit b);
+  Lit mkOr(Lit a, Lit b) { return ~mkAnd(~a, ~b); }
+  Lit mkXor(Lit a, Lit b);
+  Lit mkMux(Lit sel, Lit t, Lit f);
+  Lit mkAndReduce(const std::vector<Lit>& ls);
+  Lit mkOrReduce(const std::vector<Lit>& ls);
+
+  // Word-level circuits (all vectors LSB first).
+  std::vector<Lit> addCircuit(const std::vector<Lit>& a,
+                              const std::vector<Lit>& b, Lit carry_in);
+  std::vector<Lit> mulCircuit(const std::vector<Lit>& a,
+                              const std::vector<Lit>& b);
+  /// Restoring divider; returns {quotient, remainder} with the RISC-V
+  /// x/0 conventions applied.
+  std::pair<std::vector<Lit>, std::vector<Lit>> udivCircuit(
+      const std::vector<Lit>& a, const std::vector<Lit>& b);
+  std::vector<Lit> shiftCircuit(expr::Kind kind, const std::vector<Lit>& a,
+                                const std::vector<Lit>& amount);
+  Lit ultCircuit(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  Lit eqCircuit(const std::vector<Lit>& a, const std::vector<Lit>& b);
+
+  std::vector<Lit> lower(const expr::ExprRef& e);
+
+  SatSolver& sat_;
+  expr::ExprBuilder& eb_;
+  Lit true_lit_;
+  std::unordered_map<const expr::Expr*, std::vector<Lit>> cache_;
+  // Keeps blasted expressions alive so cache keys stay valid.
+  std::vector<expr::ExprRef> pinned_;
+};
+
+}  // namespace rvsym::solver

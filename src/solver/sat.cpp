@@ -1,0 +1,476 @@
+#include "solver/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rvsym::solver {
+
+namespace {
+
+/// Luby restart sequence scaled by `base`.
+std::uint64_t lubyLimit(std::uint64_t base, int i) {
+  // Find the subsequence and index within it.
+  int size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return base << seq;
+}
+
+}  // namespace
+
+Var SatSolver::newVar() {
+  const Var v = numVars();
+  assigns_.push_back(LBool::Undef);
+  model_.push_back(LBool::Undef);
+  polarity_.push_back(true);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapInsert(v);
+  return v;
+}
+
+bool SatSolver::addClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(decisionLevel() == 0);
+
+  // Sort, remove duplicates, detect tautologies and false literals.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.x < b.x; });
+  std::vector<Lit> out;
+  Lit prev = kLitUndef;
+  for (Lit l : lits) {
+    if (value(l) == LBool::True || l == ~prev) return true;  // satisfied/taut
+    if (value(l) != LBool::False && l != prev) out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    uncheckedEnqueue(out[0], kNoReason);
+    ok_ = (propagate() == kNoReason);
+    return ok_;
+  }
+
+  const ClauseRef cref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(out), 0.0, false, false});
+  attachClause(cref);
+  return true;
+}
+
+void SatSolver::attachClause(ClauseRef cref) {
+  const Clause& c = clauses_[static_cast<size_t>(cref)];
+  assert(c.lits.size() >= 2);
+  watches_[static_cast<size_t>((~c.lits[0]).x)].push_back({cref, c.lits[1]});
+  watches_[static_cast<size_t>((~c.lits[1]).x)].push_back({cref, c.lits[0]});
+}
+
+void SatSolver::uncheckedEnqueue(Lit l, ClauseRef from) {
+  assert(value(l) == LBool::Undef);
+  const Var v = var(l);
+  assigns_[static_cast<size_t>(v)] = sign(l) ? LBool::False : LBool::True;
+  level_[static_cast<size_t>(v)] = decisionLevel();
+  reason_[static_cast<size_t>(v)] = from;
+  trail_.push_back(l);
+}
+
+void SatSolver::cancelUntil(int level) {
+  if (decisionLevel() <= level) return;
+  const int bound = trail_lim_[static_cast<size_t>(level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = var(trail_[static_cast<size_t>(i)]);
+    polarity_[static_cast<size_t>(v)] = sign(trail_[static_cast<size_t>(i)]);
+    assigns_[static_cast<size_t>(v)] = LBool::Undef;
+    reason_[static_cast<size_t>(v)] = kNoReason;
+    if (heap_pos_[static_cast<size_t>(v)] < 0) heapInsert(v);
+  }
+  trail_.resize(static_cast<size_t>(bound));
+  trail_lim_.resize(static_cast<size_t>(level));
+  qhead_ = bound;
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[static_cast<size_t>(qhead_++)];
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[static_cast<size_t>(p.x)];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      // Blocker check: clause already satisfied.
+      if (value(w.blocker) == LBool::True) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[static_cast<size_t>(w.cref)];
+      if (c.deleted) {
+        ++i;  // drop watcher of deleted clause
+        continue;
+      }
+      // Normalize so that the false literal is lits[1].
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      ++i;
+
+      const Lit first = c.lits[0];
+      if (value(first) == LBool::True) {
+        ws[j++] = {w.cref, first};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<size_t>((~c.lits[1]).x)].push_back(
+              {w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+
+      // Clause is unit or conflicting.
+      ws[j++] = {w.cref, first};
+      if (value(first) == LBool::False) {
+        // Conflict: copy remaining watchers and return.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = static_cast<int>(trail_.size());
+        return w.cref;
+      }
+      uncheckedEnqueue(first, w.cref);
+    }
+    ws.resize(j);
+  }
+  return kNoReason;
+}
+
+void SatSolver::varBumpActivity(Var v) {
+  activity_[static_cast<size_t>(v)] += var_inc_;
+  if (activity_[static_cast<size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  const int pos = heap_pos_[static_cast<size_t>(v)];
+  if (pos >= 0) heapPercolateUp(pos);
+}
+
+void SatSolver::claBumpActivity(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (ClauseRef cr : learnts_)
+      clauses_[static_cast<size_t>(cr)].activity *= 1e-20;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void SatSolver::heapInsert(Var v) {
+  heap_pos_[static_cast<size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heapPercolateUp(static_cast<int>(heap_.size()) - 1);
+}
+
+void SatSolver::heapPercolateUp(int i) {
+  const Var v = heap_[static_cast<size_t>(i)];
+  const double act = activity_[static_cast<size_t>(v)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    const Var pv = heap_[static_cast<size_t>(parent)];
+    if (activity_[static_cast<size_t>(pv)] >= act) break;
+    heap_[static_cast<size_t>(i)] = pv;
+    heap_pos_[static_cast<size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<size_t>(i)] = v;
+  heap_pos_[static_cast<size_t>(v)] = i;
+}
+
+void SatSolver::heapPercolateDown(int i) {
+  const Var v = heap_[static_cast<size_t>(i)];
+  const double act = activity_[static_cast<size_t>(v)];
+  const int n = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[static_cast<size_t>(heap_[static_cast<size_t>(child + 1)])] >
+            activity_[static_cast<size_t>(heap_[static_cast<size_t>(child)])])
+      ++child;
+    const Var cv = heap_[static_cast<size_t>(child)];
+    if (act >= activity_[static_cast<size_t>(cv)]) break;
+    heap_[static_cast<size_t>(i)] = cv;
+    heap_pos_[static_cast<size_t>(cv)] = i;
+    i = child;
+  }
+  heap_[static_cast<size_t>(i)] = v;
+  heap_pos_[static_cast<size_t>(v)] = i;
+}
+
+Var SatSolver::heapRemoveMin() {
+  const Var v = heap_[0];
+  heap_pos_[static_cast<size_t>(v)] = -1;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[static_cast<size_t>(last)] = 0;
+    heapPercolateDown(0);
+  }
+  return v;
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!heapEmpty()) {
+    const Var v = heapRemoveMin();
+    if (value(v) == LBool::Undef)
+      return mkLit(v, polarity_[static_cast<size_t>(v)]);
+  }
+  return kLitUndef;
+}
+
+void SatSolver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt,
+                        int& out_btlevel) {
+  int path_count = 0;
+  Lit p = kLitUndef;
+  out_learnt.clear();
+  out_learnt.push_back(kLitUndef);  // placeholder for the asserting literal
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  do {
+    assert(confl != kNoReason);
+    Clause& c = clauses_[static_cast<size_t>(confl)];
+    if (c.learnt) claBumpActivity(c);
+
+    for (std::size_t k = (p == kLitUndef ? 0 : 1); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = var(q);
+      if (seen_[static_cast<size_t>(v)] || level_[static_cast<size_t>(v)] == 0)
+        continue;
+      seen_[static_cast<size_t>(v)] = 1;
+      varBumpActivity(v);
+      if (level_[static_cast<size_t>(v)] >= decisionLevel())
+        ++path_count;
+      else
+        out_learnt.push_back(q);
+    }
+
+    // Select next literal on the trail to expand.
+    while (!seen_[static_cast<size_t>(var(trail_[static_cast<size_t>(index)]))])
+      --index;
+    p = trail_[static_cast<size_t>(index--)];
+    confl = reason_[static_cast<size_t>(var(p))];
+    seen_[static_cast<size_t>(var(p))] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Minimize: drop literals implied by the rest of the clause.
+  analyze_toclear_ = out_learnt;
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i)
+    abstract_levels |=
+        1u << (level_[static_cast<size_t>(var(out_learnt[i]))] & 31);
+  std::size_t j = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Var v = var(out_learnt[i]);
+    if (reason_[static_cast<size_t>(v)] == kNoReason ||
+        !litRedundant(out_learnt[i], abstract_levels))
+      out_learnt[j++] = out_learnt[i];
+  }
+  out_learnt.resize(j);
+
+  // Find backtrack level: max level among lits[1..].
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i)
+      if (level_[static_cast<size_t>(var(out_learnt[i]))] >
+          level_[static_cast<size_t>(var(out_learnt[max_i]))])
+        max_i = i;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[static_cast<size_t>(var(out_learnt[1]))];
+  }
+
+  for (Lit l : analyze_toclear_) seen_[static_cast<size_t>(var(l))] = 0;
+}
+
+bool SatSolver::litRedundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef r = reason_[static_cast<size_t>(var(q))];
+    assert(r != kNoReason);
+    const Clause& c = clauses_[static_cast<size_t>(r)];
+    for (std::size_t i = 1; i < c.lits.size(); ++i) {
+      const Lit p = c.lits[i];
+      const Var v = var(p);
+      if (seen_[static_cast<size_t>(v)] || level_[static_cast<size_t>(v)] == 0)
+        continue;
+      if (reason_[static_cast<size_t>(v)] != kNoReason &&
+          ((1u << (level_[static_cast<size_t>(v)] & 31)) & abstract_levels) !=
+              0) {
+        seen_[static_cast<size_t>(v)] = 1;
+        analyze_stack_.push_back(p);
+        analyze_toclear_.push_back(p);
+      } else {
+        // Cannot be removed: undo the markings added by this check.
+        for (std::size_t k = top; k < analyze_toclear_.size(); ++k)
+          seen_[static_cast<size_t>(var(analyze_toclear_[k]))] = 0;
+        analyze_toclear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void SatSolver::reduceDB() {
+  // Remove the least active half of the learnt clauses.
+  std::sort(learnts_.begin(), learnts_.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<size_t>(a)].activity <
+           clauses_[static_cast<size_t>(b)].activity;
+  });
+  const std::size_t keep_from = learnts_.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(learnts_.size() - keep_from);
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    Clause& c = clauses_[static_cast<size_t>(learnts_[i])];
+    // Keep clauses that are reasons for current assignments.
+    bool locked = false;
+    if (c.lits.size() >= 1) {
+      const Var v = var(c.lits[0]);
+      locked = reason_[static_cast<size_t>(v)] == learnts_[i] &&
+               value(c.lits[0]) == LBool::True;
+    }
+    if (i >= keep_from || locked || c.lits.size() == 2) {
+      kept.push_back(learnts_[i]);
+    } else {
+      c.deleted = true;  // watchers are dropped lazily in propagate()
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+SatSolver::Result SatSolver::search(const std::vector<Lit>& assumptions,
+                                    std::uint64_t conflict_budget) {
+  int restart_count = 0;
+  std::uint64_t conflicts_total = 0;
+  std::size_t max_learnts = clauses_.size() / 3 + 1000;
+
+  while (true) {
+    std::uint64_t restart_limit = lubyLimit(100, restart_count);
+    std::uint64_t conflicts_this_restart = 0;
+
+    while (true) {
+      const ClauseRef confl = propagate();
+      if (confl != kNoReason) {
+        ++stats_.conflicts;
+        ++conflicts_total;
+        ++conflicts_this_restart;
+        if (decisionLevel() == 0) return Result::Unsat;
+
+        std::vector<Lit> learnt;
+        int btlevel = 0;
+        analyze(confl, learnt, btlevel);
+        // Never backtrack past the assumptions.
+        cancelUntil(std::max(btlevel, 0));
+        if (learnt.size() == 1) {
+          if (decisionLevel() != 0) cancelUntil(0);
+          if (value(learnt[0]) == LBool::Undef)
+            uncheckedEnqueue(learnt[0], kNoReason);
+          else if (value(learnt[0]) == LBool::False)
+            return Result::Unsat;
+        } else {
+          const ClauseRef cref = static_cast<ClauseRef>(clauses_.size());
+          clauses_.push_back(Clause{std::move(learnt), 0.0, true, false});
+          learnts_.push_back(cref);
+          ++stats_.learnt_clauses;
+          claBumpActivity(clauses_[static_cast<size_t>(cref)]);
+          attachClause(cref);
+          // The asserting literal propagates at the backtrack level.
+          if (decisionLevel() < btlevel) {
+            // Backtracked past assumption re-establishment; re-enter loop.
+          }
+          if (value(clauses_[static_cast<size_t>(cref)].lits[0]) ==
+              LBool::Undef)
+            uncheckedEnqueue(clauses_[static_cast<size_t>(cref)].lits[0],
+                             cref);
+        }
+        varDecayActivity();
+        claDecayActivity();
+
+        if (conflict_budget != 0 && conflicts_total >= conflict_budget)
+          return Result::Unknown;
+        if (conflicts_this_restart >= restart_limit) {
+          cancelUntil(0);
+          ++stats_.restarts;
+          ++restart_count;
+          break;  // restart
+        }
+        if (learnts_.size() > max_learnts) {
+          max_learnts = max_learnts * 11 / 10;
+          reduceDB();
+        }
+        continue;
+      }
+
+      // No conflict: extend with assumptions first, then decide.
+      Lit next = kLitUndef;
+      while (decisionLevel() < static_cast<int>(assumptions.size())) {
+        const Lit a = assumptions[static_cast<size_t>(decisionLevel())];
+        if (value(a) == LBool::True) {
+          newDecisionLevel();  // already satisfied; dummy level
+        } else if (value(a) == LBool::False) {
+          return Result::Unsat;  // conflicting assumption
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == kLitUndef) {
+        ++stats_.decisions;
+        next = pickBranchLit();
+        if (next == kLitUndef) {
+          // All variables assigned: model found.
+          model_ = assigns_;
+          return Result::Sat;
+        }
+      }
+      newDecisionLevel();
+      uncheckedEnqueue(next, kNoReason);
+    }
+  }
+}
+
+SatSolver::Result SatSolver::solve(const std::vector<Lit>& assumptions,
+                                   std::uint64_t max_conflicts) {
+  ++stats_.solves;
+  if (!ok_) return Result::Unsat;
+  cancelUntil(0);
+  const Result r = search(assumptions, max_conflicts);
+  cancelUntil(0);
+  if (r == Result::Unsat && assumptions.empty()) ok_ = false;
+  return r;
+}
+
+}  // namespace rvsym::solver

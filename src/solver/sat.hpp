@@ -1,0 +1,157 @@
+// Minimal-but-real CDCL SAT solver (MiniSat lineage).
+//
+// Features: two-watched-literal propagation, first-UIP conflict analysis
+// with recursive clause minimization, VSIDS decision heuristic over a
+// binary heap, phase saving, Luby restarts, learned-clause database
+// reduction, and incremental solving under assumptions (clauses may be
+// added between solve() calls).
+//
+// This is the decision procedure behind the bit-vector solver used by the
+// symbolic co-simulation engine; instances are small (thousands of
+// variables) but are issued at high rate, so the implementation favours
+// cheap incremental reuse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rvsym::solver {
+
+using Var = int;  // 0-based
+
+/// A literal: variable + sign, packed as 2*var + sign (sign=1 is negated).
+struct Lit {
+  int x = -2;
+
+  constexpr bool operator==(const Lit&) const = default;
+};
+
+constexpr Lit mkLit(Var v, bool neg = false) { return Lit{v * 2 + (neg ? 1 : 0)}; }
+constexpr Lit operator~(Lit l) { return Lit{l.x ^ 1}; }
+constexpr bool sign(Lit l) { return (l.x & 1) != 0; }
+constexpr Var var(Lit l) { return l.x >> 1; }
+constexpr Lit kLitUndef{-2};
+
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lboolXor(LBool b, bool flip) {
+  if (b == LBool::Undef) return b;
+  return (b == LBool::True) != flip ? LBool::True : LBool::False;
+}
+
+class SatSolver {
+ public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  struct Stats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnt_clauses = 0;
+    std::uint64_t solves = 0;
+  };
+
+  SatSolver() = default;
+
+  /// Creates a fresh variable and returns it.
+  Var newVar();
+  int numVars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause. Returns false iff the solver became trivially
+  /// unsatisfiable (conflicting unit at level 0).
+  bool addClause(std::vector<Lit> lits);
+  bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+  bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+  bool addClause(Lit a, Lit b, Lit c) {
+    return addClause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solves under the given assumptions. `max_conflicts` of 0 means no
+  /// budget (never returns Unknown).
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::uint64_t max_conflicts = 0);
+
+  /// Model access after solve() returned Sat.
+  LBool modelValue(Var v) const { return model_[static_cast<size_t>(v)]; }
+  bool modelValueBool(Lit l) const {
+    return lboolXor(model_[static_cast<size_t>(var(l))], sign(l)) == LBool::True;
+  }
+
+  bool okay() const { return ok_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+  using ClauseRef = int;
+  static constexpr ClauseRef kNoReason = -1;
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  // -- Assignment trail ----------------------------------------------------
+  LBool value(Var v) const { return assigns_[static_cast<size_t>(v)]; }
+  LBool value(Lit l) const {
+    return lboolXor(assigns_[static_cast<size_t>(var(l))], sign(l));
+  }
+  int decisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void newDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void uncheckedEnqueue(Lit l, ClauseRef from);
+  void cancelUntil(int level);
+
+  // -- Search --------------------------------------------------------------
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel);
+  bool litRedundant(Lit l, std::uint32_t abstract_levels);
+  Lit pickBranchLit();
+  Result search(const std::vector<Lit>& assumptions, std::uint64_t conflict_budget);
+  void reduceDB();
+  void attachClause(ClauseRef cref);
+
+  // -- VSIDS ----------------------------------------------------------------
+  void varBumpActivity(Var v);
+  void varDecayActivity() { var_inc_ *= (1.0 / 0.95); }
+  void claBumpActivity(Clause& c);
+  void claDecayActivity() { cla_inc_ *= (1.0 / 0.999); }
+  void heapInsert(Var v);
+  void heapPercolateUp(int i);
+  void heapPercolateDown(int i);
+  Var heapRemoveMin();
+  bool heapEmpty() const { return heap_.empty(); }
+
+  std::vector<Clause> clauses_;
+  std::vector<ClauseRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit.x
+
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<bool> polarity_;  // saved phases (true = last assigned false)
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  std::vector<int> heap_;       // binary min-heap of vars by -activity
+  std::vector<int> heap_pos_;   // var -> index in heap_ (-1 if absent)
+
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+
+  bool ok_ = true;
+  Stats stats_;
+};
+
+}  // namespace rvsym::solver

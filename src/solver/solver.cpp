@@ -1,0 +1,86 @@
+#include "solver/solver.hpp"
+
+namespace rvsym::solver {
+
+PathSolver::PathSolver(expr::ExprBuilder& eb)
+    : eb_(eb), blaster_(sat_, eb) {}
+
+bool PathSolver::addConstraint(const expr::ExprRef& cond) {
+  constraints_.push_back(cond);
+  if (cond->isConstant()) return cond->constantValue() != 0;
+  return blaster_.assertTrue(cond);
+}
+
+CheckResult PathSolver::check(const expr::ExprRef& assumption,
+                              std::uint64_t max_conflicts) {
+  ++stats_.checks;
+  if (assumption->isConstant()) {
+    ++stats_.constant_fastpath;
+    if (assumption->constantValue() == 0) {
+      ++stats_.unsat;
+      return CheckResult::Unsat;
+    }
+    return checkPath(max_conflicts);
+  }
+  if (!sat_.okay()) {
+    ++stats_.unsat;
+    return CheckResult::Unsat;
+  }
+  const Lit a = blaster_.blastBool(assumption);
+  switch (sat_.solve({a}, max_conflicts)) {
+    case SatSolver::Result::Sat:
+      ++stats_.sat;
+      return CheckResult::Sat;
+    case SatSolver::Result::Unsat:
+      ++stats_.unsat;
+      return CheckResult::Unsat;
+    case SatSolver::Result::Unknown:
+      ++stats_.unknown;
+      return CheckResult::Unknown;
+  }
+  return CheckResult::Unknown;
+}
+
+CheckResult PathSolver::checkPath(std::uint64_t max_conflicts) {
+  if (!sat_.okay()) {
+    ++stats_.unsat;
+    return CheckResult::Unsat;
+  }
+  switch (sat_.solve({}, max_conflicts)) {
+    case SatSolver::Result::Sat:
+      ++stats_.sat;
+      return CheckResult::Sat;
+    case SatSolver::Result::Unsat:
+      ++stats_.unsat;
+      return CheckResult::Unsat;
+    case SatSolver::Result::Unknown:
+      ++stats_.unknown;
+      return CheckResult::Unknown;
+  }
+  return CheckResult::Unknown;
+}
+
+std::optional<expr::Assignment> PathSolver::model(
+    const expr::ExprRef& assumption) {
+  ++stats_.model_queries;
+  if (!sat_.okay()) return std::nullopt;
+
+  std::vector<Lit> assumptions;
+  if (assumption) {
+    if (assumption->isConstant()) {
+      if (assumption->constantValue() == 0) return std::nullopt;
+    } else {
+      assumptions.push_back(blaster_.blastBool(assumption));
+    }
+  }
+  if (sat_.solve(assumptions) != SatSolver::Result::Sat) return std::nullopt;
+
+  expr::Assignment asg;
+  for (std::uint64_t id = 0; id < eb_.numVariables(); ++id) {
+    const expr::ExprRef& v = eb_.variableById(id);
+    asg.set(id, blaster_.modelValue(v));
+  }
+  return asg;
+}
+
+}  // namespace rvsym::solver

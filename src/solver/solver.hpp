@@ -1,0 +1,68 @@
+// PathSolver — the incremental bit-vector query interface used by the
+// symbolic execution engine.
+//
+// One PathSolver accompanies one execution path: constraints are added
+// permanently as the path progresses (they only ever grow), while branch
+// feasibility checks are solved under a single assumption literal, which
+// lets the underlying CDCL solver reuse everything it has learned on this
+// path so far.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "expr/eval.hpp"
+#include "expr/expr.hpp"
+#include "solver/bitblast.hpp"
+#include "solver/sat.hpp"
+
+namespace rvsym::solver {
+
+enum class CheckResult { Sat, Unsat, Unknown };
+
+struct QueryStats {
+  std::uint64_t checks = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t constant_fastpath = 0;
+  std::uint64_t model_queries = 0;
+};
+
+class PathSolver {
+ public:
+  explicit PathSolver(expr::ExprBuilder& eb);
+
+  /// Permanently conjoins `cond` (width 1) to the path condition.
+  /// Returns false if the path condition became syntactically unsat.
+  bool addConstraint(const expr::ExprRef& cond);
+
+  /// Is `assumption` satisfiable together with all constraints so far?
+  /// `max_conflicts` of 0 means unbounded.
+  CheckResult check(const expr::ExprRef& assumption,
+                    std::uint64_t max_conflicts = 0);
+
+  /// Is the current path condition itself satisfiable?
+  CheckResult checkPath(std::uint64_t max_conflicts = 0);
+
+  /// Solves the path condition (optionally plus `assumption`) and returns
+  /// a satisfying assignment covering every variable created in the
+  /// builder (unconstrained variables default to 0).
+  std::optional<expr::Assignment> model(
+      const expr::ExprRef& assumption = nullptr);
+
+  const std::vector<expr::ExprRef>& constraints() const { return constraints_; }
+  const QueryStats& stats() const { return stats_; }
+  const SatSolver::Stats& satStats() const { return sat_.stats(); }
+
+ private:
+  expr::ExprBuilder& eb_;
+  SatSolver sat_;
+  BitBlaster blaster_;
+  std::vector<expr::ExprRef> constraints_;
+  QueryStats stats_;
+};
+
+}  // namespace rvsym::solver

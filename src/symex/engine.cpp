@@ -1,0 +1,136 @@
+#include "symex/engine.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace rvsym::symex {
+
+const PathRecord* EngineReport::firstError() const {
+  for (const PathRecord& p : paths)
+    if (p.end == PathEnd::Error) return &p;
+  return nullptr;
+}
+
+Engine::Engine(expr::ExprBuilder& eb, EngineOptions options)
+    : eb_(eb), options_(options) {}
+
+std::vector<bool> Engine::popNext() {
+  assert(!worklist_.empty());
+  std::vector<bool> item;
+  switch (options_.searcher) {
+    case EngineOptions::Searcher::Dfs:
+      item = std::move(worklist_.back());
+      worklist_.pop_back();
+      break;
+    case EngineOptions::Searcher::Bfs:
+      item = std::move(worklist_.front());
+      worklist_.pop_front();
+      break;
+    case EngineOptions::Searcher::Random: {
+      // xorshift32; deterministic for a fixed seed.
+      rng_state_ ^= rng_state_ << 13;
+      rng_state_ ^= rng_state_ >> 17;
+      rng_state_ ^= rng_state_ << 5;
+      const std::size_t i = rng_state_ % worklist_.size();
+      item = std::move(worklist_[i]);
+      worklist_.erase(worklist_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  return item;
+}
+
+EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  EngineReport report;
+  rng_state_ = options_.random_seed == 0 ? 1 : options_.random_seed;
+
+  worklist_.clear();
+  worklist_.push_back({});
+
+  const ExecState::Limits limits{options_.max_decisions_per_path,
+                                 options_.solver_max_conflicts,
+                                 options_.take_true_first,
+                                 options_.use_known_bits};
+
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  while (!worklist_.empty()) {
+    if (options_.max_paths != 0 &&
+        report.totalPaths() - report.unexplored_forks >= options_.max_paths) {
+      report.stopped_early = true;
+      break;
+    }
+    if (options_.max_seconds != 0 && elapsed() >= options_.max_seconds) {
+      report.stopped_early = true;
+      break;
+    }
+    if (options_.max_instructions != 0 &&
+        report.instructions >= options_.max_instructions) {
+      report.stopped_early = true;
+      break;
+    }
+
+    ExecState state(eb_, popNext(), limits);
+    PathRecord record;
+    try {
+      program(state);
+      record.end = PathEnd::Completed;
+    } catch (const PathTerminated& t) {
+      record.end = t.end;
+      record.message = t.message;
+    }
+    record.instructions = state.stats().instructions;
+    record.decisions = state.decisions();
+
+    // Schedule forks discovered on this path (even if it later aborted:
+    // each fork was feasible at discovery time).
+    for (const std::vector<bool>& alt : state.pendingForks())
+      worklist_.push_back(alt);
+
+    // Aggregate.
+    report.instructions += state.stats().instructions;
+    report.branches += state.stats().branches;
+    report.const_decided += state.stats().const_decided;
+    report.knownbits_decided += state.stats().knownbits_decided;
+    report.solver_decided += state.stats().solver_decided;
+    report.solver_checks += state.solverStats().checks;
+
+    switch (record.end) {
+      case PathEnd::Completed: ++report.completed_paths; break;
+      case PathEnd::Error: ++report.error_paths; break;
+      case PathEnd::Infeasible: ++report.infeasible_paths; break;
+      case PathEnd::SolverLimit:
+      case PathEnd::Budget: ++report.limited_paths; break;
+    }
+
+    if (options_.collect_test_vectors &&
+        (record.end == PathEnd::Completed || record.end == PathEnd::Error)) {
+      if (std::optional<TestVector> tv = state.solveTestVector()) {
+        record.test = std::move(*tv);
+        record.has_test = true;
+        ++report.test_vectors;
+      }
+    }
+
+    const bool is_error = record.end == PathEnd::Error;
+    const bool store =
+        is_error || options_.max_stored_paths == 0 ||
+        report.paths.size() < options_.max_stored_paths;
+    if (store) report.paths.push_back(std::move(record));
+
+    if (is_error && options_.stop_on_error) {
+      report.stopped_early = true;
+      break;
+    }
+  }
+
+  report.unexplored_forks = worklist_.size();
+  report.seconds = elapsed();
+  return report;
+}
+
+}  // namespace rvsym::symex

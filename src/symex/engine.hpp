@@ -1,0 +1,111 @@
+// Engine — explores all paths of a symbolic program (the KLEE substitute).
+//
+// The program is an arbitrary callable taking an ExecState. The engine
+// maintains a worklist of decision prefixes, re-executes the program per
+// prefix (replay-based forking) and aggregates per-path outcomes into an
+// EngineReport whose counters mirror the numbers the paper reports from
+// KLEE: completed paths, partial paths, executed instructions, wall time,
+// and generated test vectors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::symex {
+
+struct EngineOptions {
+  enum class Searcher { Dfs, Bfs, Random };
+  Searcher searcher = Searcher::Dfs;
+  /// Direction taken first at a two-sided fork.
+  bool take_true_first = true;
+  /// Stop after this many paths (0 = unlimited).
+  std::uint64_t max_paths = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double max_seconds = 0;
+  /// Total executed-instruction budget (0 = unlimited).
+  std::uint64_t max_instructions = 0;
+  /// Per-path decision budget (0 = unlimited).
+  std::uint64_t max_decisions_per_path = 100000;
+  /// SAT conflict budget per query (0 = unlimited).
+  std::uint64_t solver_max_conflicts = 0;
+  /// Stop exploring on the first Error path (KLEE --exit-on-error).
+  bool stop_on_error = true;
+  /// Solve and store a test vector for Completed and Error paths.
+  bool collect_test_vectors = true;
+  /// Seed for the Random searcher.
+  std::uint32_t random_seed = 0x5eed5eed;
+  /// Known-bits fast path (disable only for ablation benchmarks).
+  bool use_known_bits = true;
+  /// Keep at most this many non-error path records in the report
+  /// (counters are exact regardless). 0 = keep all.
+  std::uint64_t max_stored_paths = 0;
+};
+
+struct PathRecord {
+  PathEnd end = PathEnd::Completed;
+  std::string message;
+  TestVector test;
+  bool has_test = false;
+  std::uint64_t instructions = 0;
+  std::vector<bool> decisions;
+};
+
+struct EngineReport {
+  // Paper-facing counters.
+  std::uint64_t completed_paths = 0;  ///< "Paths" in Table II
+  std::uint64_t error_paths = 0;
+  std::uint64_t infeasible_paths = 0;
+  std::uint64_t limited_paths = 0;    ///< solver/budget terminations
+  std::uint64_t unexplored_forks = 0; ///< worklist left when the run stopped
+  std::uint64_t instructions = 0;     ///< "# Exec. Instr." in Table II
+  double seconds = 0;                 ///< "Time [s]" in Table II
+  std::uint64_t test_vectors = 0;
+
+  // Engine internals.
+  std::uint64_t branches = 0;
+  std::uint64_t const_decided = 0;
+  std::uint64_t knownbits_decided = 0;
+  std::uint64_t solver_decided = 0;
+  std::uint64_t solver_checks = 0;
+  bool stopped_early = false;
+
+  std::vector<PathRecord> paths;
+
+  /// "Partial Paths" in Table II: every path KLEE could not run to its
+  /// normal end, plus forks that were never scheduled.
+  std::uint64_t partialPaths() const {
+    return error_paths + infeasible_paths + limited_paths + unexplored_forks;
+  }
+  std::uint64_t totalPaths() const {
+    return completed_paths + partialPaths();
+  }
+  /// First Error record, if any.
+  const PathRecord* firstError() const;
+};
+
+class Engine {
+ public:
+  Engine(expr::ExprBuilder& eb, EngineOptions options);
+
+  /// Runs `program` on every path. The callable may throw PathTerminated
+  /// (via ExecState helpers); any other exception propagates.
+  EngineReport run(const std::function<void(ExecState&)>& program);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  std::vector<bool> popNext();
+
+  expr::ExprBuilder& eb_;
+  EngineOptions options_;
+  std::deque<std::vector<bool>> worklist_;
+  std::uint32_t rng_state_ = 0;
+};
+
+}  // namespace rvsym::symex

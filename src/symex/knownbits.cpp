@@ -1,0 +1,268 @@
+#include "symex/knownbits.hpp"
+
+namespace rvsym::symex {
+
+using expr::Expr;
+using expr::ExprRef;
+using expr::Kind;
+using expr::widthMask;
+
+void KnownBitsTracker::recordVariableBits(std::uint64_t var_id, unsigned lo,
+                                          unsigned width, std::uint64_t bits) {
+  KnownBits& kb = facts_[var_id];
+  const std::uint64_t field_mask = widthMask(width) << lo;
+  kb.mask |= field_mask;
+  kb.value = (kb.value & ~field_mask) | ((bits << lo) & field_mask);
+}
+
+void KnownBitsTracker::assumeEqConst(const ExprRef& lhs, std::uint64_t c) {
+  c &= widthMask(lhs->width());
+  switch (lhs->kind()) {
+    case Kind::Variable:
+      recordVariableBits(lhs->variableId(), 0, lhs->width(), c);
+      return;
+    case Kind::Extract: {
+      const ExprRef& inner = lhs->operand(0);
+      if (inner->isVariable())
+        recordVariableBits(inner->variableId(), lhs->extractLow(),
+                           lhs->width(), c);
+      return;
+    }
+    case Kind::Concat: {
+      const unsigned lo_w = lhs->operand(1)->width();
+      assumeEqConst(lhs->operand(1), c & widthMask(lo_w));
+      assumeEqConst(lhs->operand(0), c >> lo_w);
+      return;
+    }
+    case Kind::ZExt: {
+      // zext(x) == c is only satisfiable when the high bits of c are 0;
+      // infeasibility is the solver's business, the low bits are ours.
+      assumeEqConst(lhs->operand(0), c & widthMask(lhs->operand(0)->width()));
+      return;
+    }
+    case Kind::And: {
+      // (x & mask) == c: every mask bit of x is known to equal the
+      // corresponding bit of c — the decoder-pattern fact
+      // `instr & mask == match` lands here.
+      const ExprRef& a = lhs->operand(0);
+      const ExprRef& b = lhs->operand(1);
+      if (b->isConstant() && a->isVariable()) {
+        const std::uint64_t mask = b->constantValue();
+        KnownBits& kb = facts_[a->variableId()];
+        kb.mask |= mask;
+        kb.value = (kb.value & ~mask) | (c & mask);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void KnownBitsTracker::assumeTrue(const ExprRef& cond) {
+  switch (cond->kind()) {
+    case Kind::Eq: {
+      const ExprRef& a = cond->operand(0);
+      const ExprRef& b = cond->operand(1);
+      if (b->isConstant())
+        assumeEqConst(a, b->constantValue());
+      else if (a->isConstant())
+        assumeEqConst(b, a->constantValue());
+      return;
+    }
+    case Kind::And:
+      // (a && b) == true implies both.
+      assumeTrue(cond->operand(0));
+      assumeTrue(cond->operand(1));
+      return;
+    case Kind::Not: {
+      const ExprRef& inner = cond->operand(0);
+      // !(x) with x a single extracted bit: that bit is 0.
+      if (inner->kind() == Kind::Extract && inner->width() == 1 &&
+          inner->operand(0)->isVariable())
+        recordVariableBits(inner->operand(0)->variableId(),
+                           inner->extractLow(), 1, 0);
+      else if (inner->isVariable() && inner->width() == 1)
+        recordVariableBits(inner->variableId(), 0, 1, 0);
+      // !(a == c) gives no bit-level knowledge; skip.
+      return;
+    }
+    case Kind::Extract:
+      if (cond->width() == 1 && cond->operand(0)->isVariable())
+        recordVariableBits(cond->operand(0)->variableId(), cond->extractLow(),
+                           1, 1);
+      return;
+    case Kind::Variable:
+      if (cond->width() == 1) recordVariableBits(cond->variableId(), 0, 1, 1);
+      return;
+    default:
+      return;
+  }
+}
+
+KnownBits KnownBitsTracker::variableFacts(std::uint64_t var_id) const {
+  auto it = facts_.find(var_id);
+  return it == facts_.end() ? KnownBits{} : it->second;
+}
+
+KnownBits KnownBitsTracker::compute(const ExprRef& e) const {
+  const std::uint64_t wmask = widthMask(e->width());
+  switch (e->kind()) {
+    case Kind::Constant:
+      return {wmask, e->constantValue()};
+    case Kind::Variable: {
+      KnownBits kb = variableFacts(e->variableId());
+      kb.mask &= wmask;
+      kb.value &= kb.mask;
+      return kb;
+    }
+    case Kind::Extract: {
+      const KnownBits inner = compute(e->operand(0));
+      return {(inner.mask >> e->extractLow()) & wmask,
+              (inner.value >> e->extractLow()) & wmask};
+    }
+    case Kind::Concat: {
+      const KnownBits hi = compute(e->operand(0));
+      const KnownBits lo = compute(e->operand(1));
+      const unsigned lo_w = e->operand(1)->width();
+      return {(hi.mask << lo_w) | lo.mask, (hi.value << lo_w) | lo.value};
+    }
+    case Kind::ZExt: {
+      const KnownBits inner = compute(e->operand(0));
+      const std::uint64_t high =
+          wmask & ~widthMask(e->operand(0)->width());
+      return {inner.mask | high, inner.value};
+    }
+    case Kind::SExt: {
+      const KnownBits inner = compute(e->operand(0));
+      const unsigned iw = e->operand(0)->width();
+      const std::uint64_t sign_bit = std::uint64_t{1} << (iw - 1);
+      if ((inner.mask & sign_bit) == 0)
+        return {inner.mask & widthMask(iw - 1), inner.value & widthMask(iw - 1)};
+      const std::uint64_t high = wmask & ~widthMask(iw);
+      const bool sign = (inner.value & sign_bit) != 0;
+      return {inner.mask | high, inner.value | (sign ? high : 0)};
+    }
+    case Kind::And: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      // Bit known if: both known, or either known-zero.
+      const std::uint64_t known_zero =
+          (a.mask & ~a.value) | (b.mask & ~b.value);
+      const std::uint64_t both = a.mask & b.mask;
+      return {both | known_zero, (a.value & b.value) & ~known_zero};
+    }
+    case Kind::Or: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      const std::uint64_t known_one = (a.mask & a.value) | (b.mask & b.value);
+      const std::uint64_t both = a.mask & b.mask;
+      return {both | known_one, (a.value | b.value) | known_one};
+    }
+    case Kind::Xor: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      const std::uint64_t both = a.mask & b.mask;
+      return {both, (a.value ^ b.value) & both};
+    }
+    case Kind::Not: {
+      const KnownBits a = compute(e->operand(0));
+      return {a.mask, ~a.value & a.mask & wmask};
+    }
+    case Kind::Shl: {
+      if (e->operand(1)->isConstant()) {
+        const std::uint64_t sh = e->operand(1)->constantValue();
+        if (sh >= e->width()) return {wmask, 0};
+        const KnownBits a = compute(e->operand(0));
+        return {((a.mask << sh) | widthMask(static_cast<unsigned>(sh))) & wmask,
+                (a.value << sh) & wmask};
+      }
+      return {};
+    }
+    case Kind::LShr: {
+      if (e->operand(1)->isConstant()) {
+        const std::uint64_t sh = e->operand(1)->constantValue();
+        if (sh >= e->width()) return {wmask, 0};
+        const KnownBits a = compute(e->operand(0));
+        const std::uint64_t amask = a.mask & wmask;
+        const std::uint64_t high =
+            wmask & ~(wmask >> sh);
+        return {(amask >> sh) | high, (a.value & wmask) >> sh};
+      }
+      return {};
+    }
+    case Kind::Ite: {
+      const KnownBits c = compute(e->operand(0));
+      if (c.allKnown(1))
+        return compute(c.value ? e->operand(1) : e->operand(2));
+      const KnownBits t = compute(e->operand(1));
+      const KnownBits f = compute(e->operand(2));
+      const std::uint64_t agree = t.mask & f.mask & ~(t.value ^ f.value);
+      return {agree, t.value & agree};
+    }
+    case Kind::Eq: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      const unsigned w = e->operand(0)->width();
+      // Any commonly-known disagreeing bit decides inequality.
+      if ((a.mask & b.mask & (a.value ^ b.value)) != 0) return {1, 0};
+      if (a.allKnown(w) && b.allKnown(w) && a.value == b.value) return {1, 1};
+      return {};
+    }
+    case Kind::Ult: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      const unsigned w = e->operand(0)->width();
+      if (a.allKnown(w) && b.allKnown(w)) return {1, a.value < b.value ? 1u : 0u};
+      return {};
+    }
+    case Kind::Ule: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      const unsigned w = e->operand(0)->width();
+      if (a.allKnown(w) && b.allKnown(w))
+        return {1, a.value <= b.value ? 1u : 0u};
+      return {};
+    }
+    case Kind::Slt:
+    case Kind::Sle: {
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      const unsigned w = e->operand(0)->width();
+      if (a.allKnown(w) && b.allKnown(w)) {
+        const std::int64_t sa = expr::signExtend(a.value, w);
+        const std::int64_t sb = expr::signExtend(b.value, w);
+        const bool r = e->kind() == Kind::Slt ? sa < sb : sa <= sb;
+        return {1, r ? 1u : 0u};
+      }
+      return {};
+    }
+    case Kind::Add: {
+      // Propagate known low bits through the carry chain.
+      const KnownBits a = compute(e->operand(0));
+      const KnownBits b = compute(e->operand(1));
+      KnownBits out;
+      std::uint64_t carry_known = 1, carry = 0;  // carry-in 0 is known
+      for (unsigned i = 0; i < e->width(); ++i) {
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        if (!carry_known || !(a.mask & bit) || !(b.mask & bit)) break;
+        const std::uint64_t av = (a.value >> i) & 1, bv = (b.value >> i) & 1;
+        const std::uint64_t s = av + bv + carry;
+        out.mask |= bit;
+        out.value |= (s & 1) << i;
+        carry = s >> 1;
+      }
+      return out;
+    }
+    default:
+      return {};
+  }
+}
+
+std::optional<bool> KnownBitsTracker::tryEvalBool(const ExprRef& cond) const {
+  const KnownBits kb = compute(cond);
+  if (kb.allKnown(1)) return (kb.value & 1) != 0;
+  return std::nullopt;
+}
+
+}  // namespace rvsym::symex

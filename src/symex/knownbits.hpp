@@ -1,0 +1,58 @@
+// Known-bits abstract domain over path constraints.
+//
+// The co-simulation's hottest branch pattern is `extract(instr, lo, w) ==
+// constant` — instruction decoding in both the ISS and the RTL core. Once
+// a path has assumed a handful of such facts, almost every later decoder
+// branch is already decided. This analyzer records bit-level knowledge
+// per variable from assumed constraints and evaluates branch conditions
+// against it, answering definitely-true/definitely-false without touching
+// the SAT solver. It is sound (never claims knowledge it does not have)
+// and deliberately incomplete; the solver remains the fallback.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "expr/expr.hpp"
+
+namespace rvsym::symex {
+
+/// Bit-level knowledge about a value: for every bit i with mask bit set,
+/// the value bit is known to be value[i].
+struct KnownBits {
+  std::uint64_t mask = 0;
+  std::uint64_t value = 0;  // bits outside mask are zero
+
+  bool allKnown(unsigned width) const {
+    return (mask & expr::widthMask(width)) == expr::widthMask(width);
+  }
+  /// Do the known bits contradict constant `c`?
+  bool contradicts(std::uint64_t c) const { return ((c ^ value) & mask) != 0; }
+};
+
+class KnownBitsTracker {
+ public:
+  /// Records the facts implied by an assumed (true) width-1 constraint.
+  void assumeTrue(const expr::ExprRef& cond);
+
+  /// Attempts to decide a width-1 condition from tracked knowledge.
+  std::optional<bool> tryEvalBool(const expr::ExprRef& cond) const;
+
+  /// Computes the known bits of an arbitrary expression (bottom-up
+  /// propagation through the supported operators).
+  KnownBits compute(const expr::ExprRef& e) const;
+
+  /// Facts recorded for a variable (empty knowledge if none).
+  KnownBits variableFacts(std::uint64_t var_id) const;
+
+ private:
+  void recordVariableBits(std::uint64_t var_id, unsigned lo, unsigned width,
+                          std::uint64_t bits);
+  /// Handles `lhs == c` facts, descending into extracts/concats.
+  void assumeEqConst(const expr::ExprRef& lhs, std::uint64_t c);
+
+  std::unordered_map<std::uint64_t, KnownBits> facts_;
+};
+
+}  // namespace rvsym::symex

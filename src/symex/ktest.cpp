@@ -1,0 +1,74 @@
+#include "symex/ktest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rvsym::symex {
+
+namespace {
+constexpr const char* kMagic = "rvtest-v1";
+}
+
+std::string serializeTestVector(const TestVector& vector) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << vector.values.size() << "\n";
+  for (const TestValue& v : vector.values) {
+    os << v.name << " " << v.width << " " << std::hex << v.value << std::dec
+       << "\n";
+  }
+  return os.str();
+}
+
+std::optional<TestVector> parseTestVector(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  if (!(is >> magic) || magic != kMagic) return std::nullopt;
+  std::size_t count = 0;
+  if (!(is >> count)) return std::nullopt;
+  TestVector tv;
+  tv.values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TestValue v;
+    if (!(is >> v.name >> v.width >> std::hex >> v.value >> std::dec))
+      return std::nullopt;
+    if (v.width == 0 || v.width > 64) return std::nullopt;
+    tv.values.push_back(std::move(v));
+  }
+  return tv;
+}
+
+bool saveTestVector(const TestVector& vector, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serializeTestVector(vector);
+  return static_cast<bool>(out);
+}
+
+std::optional<TestVector> loadTestVector(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parseTestVector(buffer.str());
+}
+
+std::size_t exportReportVectors(const EngineReport& report,
+                                const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return 0;
+  std::size_t written = 0;
+  for (const PathRecord& p : report.paths) {
+    if (!p.has_test) continue;
+    char name[32];
+    std::snprintf(name, sizeof name, "test%06zu.rvtest", written + 1);
+    if (saveTestVector(p.test, directory + "/" + name)) ++written;
+  }
+  return written;
+}
+
+}  // namespace rvsym::symex

@@ -1,0 +1,38 @@
+// KTest-style test-vector files.
+//
+// KLEE persists each explored path's inputs as a .ktest file that can be
+// replayed later; this module provides the equivalent for rvsym test
+// vectors: a small, versioned, self-describing text format
+// (one "name width hex-value" triple per line) with save/load round
+// tripping, plus a directory writer that numbers vectors the way KLEE
+// numbers test%06d.ktest files.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symex/engine.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::symex {
+
+/// Serializes a vector to the rvtest text format.
+std::string serializeTestVector(const TestVector& vector);
+
+/// Parses the rvtest text format; nullopt on malformed input.
+std::optional<TestVector> parseTestVector(const std::string& text);
+
+/// Writes one vector to `path`. Returns false on I/O failure.
+bool saveTestVector(const TestVector& vector, const std::string& path);
+
+/// Reads one vector from `path`.
+std::optional<TestVector> loadTestVector(const std::string& path);
+
+/// Writes every stored test vector of a report into `directory` as
+/// test000001.rvtest, test000002.rvtest, ... (creating the directory).
+/// Returns the number of files written.
+std::size_t exportReportVectors(const EngineReport& report,
+                                const std::string& directory);
+
+}  // namespace rvsym::symex

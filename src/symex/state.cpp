@@ -1,0 +1,167 @@
+#include "symex/state.hpp"
+
+#include <cassert>
+
+namespace rvsym::symex {
+
+using expr::ExprRef;
+
+const char* pathEndName(PathEnd end) {
+  switch (end) {
+    case PathEnd::Completed: return "completed";
+    case PathEnd::Error: return "error";
+    case PathEnd::Infeasible: return "infeasible";
+    case PathEnd::SolverLimit: return "solver-limit";
+    case PathEnd::Budget: return "budget";
+  }
+  return "?";
+}
+
+std::optional<std::uint64_t> TestVector::lookup(const std::string& name) const {
+  for (const TestValue& v : values)
+    if (v.name == name) return v.value;
+  return std::nullopt;
+}
+
+ExecState::ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
+                     Limits limits)
+    : eb_(eb), solver_(eb), forced_(std::move(forced_decisions)),
+      limits_(limits) {}
+
+ExprRef ExecState::makeSymbolic(const std::string& name, unsigned width) {
+  return eb_.variable(name, width);
+}
+
+void ExecState::addConstraintChecked(const ExprRef& cond) {
+  if (!solver_.addConstraint(cond))
+    throw PathTerminated{PathEnd::Infeasible, "constraint folded to false"};
+  known_.assumeTrue(cond);
+}
+
+void ExecState::assume(const ExprRef& cond) {
+  ++stats_.assumes;
+  assert(cond->width() == 1);
+  if (cond->isConstant()) {
+    if (cond->constantValue() == 0)
+      throw PathTerminated{PathEnd::Infeasible, "assume(false)"};
+    return;
+  }
+  switch (solver_.check(cond, limits_.solver_max_conflicts)) {
+    case solver::CheckResult::Unsat:
+      throw PathTerminated{PathEnd::Infeasible, "assume() infeasible"};
+    case solver::CheckResult::Unknown:
+      throw PathTerminated{PathEnd::SolverLimit, "assume() solver budget"};
+    case solver::CheckResult::Sat:
+      break;
+  }
+  addConstraintChecked(cond);
+}
+
+bool ExecState::branch(const ExprRef& cond) {
+  ++stats_.branches;
+  assert(cond->width() == 1);
+
+  // Stage 1: constant fold.
+  if (cond->isConstant()) {
+    ++stats_.const_decided;
+    return cond->constantValue() != 0;
+  }
+  // Stage 2: known-bits fast path. Sound: the knowledge was derived from
+  // this path's constraints, so no constraint needs to be recorded.
+  if (limits_.use_known_bits) {
+    if (std::optional<bool> kb = known_.tryEvalBool(cond)) {
+      ++stats_.knownbits_decided;
+      return *kb;
+    }
+  }
+
+  // Stage 3: solver. Every branch reaching this stage records a decision
+  // bit so replays stay aligned with the original run.
+  ++stats_.solver_decided;
+  if (limits_.max_decisions != 0 && decisions_.size() >= limits_.max_decisions)
+    throw PathTerminated{PathEnd::Budget, "max decisions per path"};
+
+  if (cursor_ < forced_.size()) {
+    // Replay: trust the recorded direction (it was feasible when found).
+    const bool dir = forced_[cursor_++];
+    decisions_.push_back(dir);
+    addConstraintChecked(dir ? cond : eb_.notOp(cond));
+    return dir;
+  }
+
+  const solver::CheckResult true_r =
+      solver_.check(cond, limits_.solver_max_conflicts);
+  if (true_r == solver::CheckResult::Unknown)
+    throw PathTerminated{PathEnd::SolverLimit, "branch() solver budget"};
+  const ExprRef not_cond = eb_.notOp(cond);
+  const solver::CheckResult false_r =
+      solver_.check(not_cond, limits_.solver_max_conflicts);
+  if (false_r == solver::CheckResult::Unknown)
+    throw PathTerminated{PathEnd::SolverLimit, "branch() solver budget"};
+
+  const bool true_ok = true_r == solver::CheckResult::Sat;
+  const bool false_ok = false_r == solver::CheckResult::Sat;
+  if (!true_ok && !false_ok)
+    throw PathTerminated{PathEnd::Infeasible, "branch() with unsat path"};
+
+  bool dir;
+  if (true_ok && false_ok) {
+    ++stats_.forks;
+    dir = limits_.take_true_first;
+    std::vector<bool> alt = decisions_;
+    alt.push_back(!dir);
+    pending_forks_.push_back(std::move(alt));
+  } else {
+    dir = true_ok;
+  }
+  decisions_.push_back(dir);
+  addConstraintChecked(dir ? cond : not_cond);
+  return dir;
+}
+
+std::uint64_t ExecState::concretize(const ExprRef& e) {
+  ++stats_.concretizations;
+  if (e->isConstant()) return e->constantValue();
+  std::optional<expr::Assignment> m = solver_.model();
+  if (!m)
+    throw PathTerminated{PathEnd::Infeasible, "concretize() on unsat path"};
+  const std::uint64_t v = expr::evaluate(e, *m);
+  addConstraintChecked(eb_.eqConst(e, v));
+  return v;
+}
+
+void ExecState::fail(std::string message) {
+  throw PathTerminated{PathEnd::Error, std::move(message)};
+}
+
+void ExecState::finish() {
+  throw PathTerminated{PathEnd::Completed, {}};
+}
+
+bool ExecState::mustBeTrue(const ExprRef& cond) {
+  if (cond->isConstant()) return cond->constantValue() != 0;
+  if (std::optional<bool> kb = known_.tryEvalBool(cond)) return *kb;
+  return solver_.check(eb_.notOp(cond), limits_.solver_max_conflicts) ==
+         solver::CheckResult::Unsat;
+}
+
+std::optional<expr::Assignment> ExecState::counterexample(const ExprRef& cond) {
+  return solver_.model(eb_.notOp(cond));
+}
+
+std::optional<expr::Assignment> ExecState::pathModel() {
+  return solver_.model();
+}
+
+std::optional<TestVector> ExecState::solveTestVector() {
+  std::optional<expr::Assignment> m = solver_.model();
+  if (!m) return std::nullopt;
+  TestVector tv;
+  for (std::uint64_t id = 0; id < eb_.numVariables(); ++id) {
+    const ExprRef& v = eb_.variableById(id);
+    tv.values.push_back(TestValue{v->name(), v->width(), m->get(id)});
+  }
+  return tv;
+}
+
+}  // namespace rvsym::symex

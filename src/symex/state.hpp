@@ -1,0 +1,152 @@
+// ExecState — one symbolic execution path.
+//
+// This is the paper's "symbolic execution interface": the co-simulation
+// calls makeSymbolic (klee_make_symbolic), assume (klee_assume) and
+// branches on symbolic conditions. Forking is replay-based: a path is
+// identified by the sequence of solver-undetermined branch decisions it
+// took; the engine re-runs the program with a forced decision prefix to
+// explore an alternative.
+//
+// Decision recording invariant: a decision bit is recorded for every
+// branch that reaches the solver stage (i.e. was not decided by constant
+// folding or the known-bits fast path). Both one-sided and two-sided
+// solver outcomes record a bit, so replays stay aligned; only two-sided
+// branches push a pending fork.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "expr/eval.hpp"
+#include "expr/expr.hpp"
+#include "solver/solver.hpp"
+#include "symex/knownbits.hpp"
+
+namespace rvsym::symex {
+
+/// Why a path stopped.
+enum class PathEnd {
+  Completed,   ///< program ran to its normal end (e.g. instruction limit)
+  Error,       ///< ExecState::fail() — e.g. the voter found a mismatch
+  Infeasible,  ///< an assume() contradicted the path constraints
+  SolverLimit, ///< a solver budget was exhausted mid-path
+  Budget,      ///< an engine budget (decisions per path) was exhausted
+};
+
+const char* pathEndName(PathEnd end);
+
+/// Thrown to unwind the program when a path terminates early.
+struct PathTerminated {
+  PathEnd end;
+  std::string message;
+};
+
+/// One named symbolic input with its solved concrete value (the KLEE
+/// "ktest" analog).
+struct TestValue {
+  std::string name;
+  unsigned width = 0;
+  std::uint64_t value = 0;
+};
+
+struct TestVector {
+  std::vector<TestValue> values;
+
+  /// Value by name; nullopt if the vector has no such input.
+  std::optional<std::uint64_t> lookup(const std::string& name) const;
+};
+
+/// Per-path statistics, aggregated by the engine.
+struct PathStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t const_decided = 0;
+  std::uint64_t knownbits_decided = 0;
+  std::uint64_t solver_decided = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t assumes = 0;
+  std::uint64_t concretizations = 0;
+};
+
+class ExecState {
+ public:
+  struct Limits {
+    std::uint64_t max_decisions = 0;       // 0 = unlimited
+    std::uint64_t solver_max_conflicts = 0;
+    bool take_true_first = true;
+    /// Disables the known-bits fast path (ablation benchmarking only).
+    bool use_known_bits = true;
+  };
+
+  ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
+            Limits limits);
+
+  expr::ExprBuilder& builder() { return eb_; }
+
+  // --- The symbolic execution interface (paper §IV-C) ---------------------
+  /// klee_make_symbolic: returns the (interned) symbolic variable `name`.
+  expr::ExprRef makeSymbolic(const std::string& name, unsigned width);
+
+  /// klee_assume: conjoins `cond` to the path constraints; terminates the
+  /// path as Infeasible if the constraints become unsatisfiable.
+  void assume(const expr::ExprRef& cond);
+
+  /// Data-dependent branch; returns the direction taken on this path and
+  /// may schedule the opposite direction as a pending fork.
+  bool branch(const expr::ExprRef& cond);
+
+  /// Pins `e` to a concrete value consistent with the path constraints
+  /// (KLEE-style address concretization) and returns it.
+  std::uint64_t concretize(const expr::ExprRef& e);
+
+  /// Terminates this path as an Error (voter mismatch).
+  [[noreturn]] void fail(std::string message);
+
+  /// Terminates this path as Completed (e.g. execution-controller limit).
+  [[noreturn]] void finish();
+
+  // --- Queries -------------------------------------------------------------
+  /// True iff `cond` holds on every assignment satisfying the path.
+  bool mustBeTrue(const expr::ExprRef& cond);
+  /// A model of the path constraints where `cond` is false, if any.
+  std::optional<expr::Assignment> counterexample(const expr::ExprRef& cond);
+  /// A model of the current path constraints.
+  std::optional<expr::Assignment> pathModel();
+
+  // --- Accounting ------------------------------------------------------------
+  void countInstruction(std::uint64_t n = 1) { stats_.instructions += n; }
+  const PathStats& stats() const { return stats_; }
+
+  // --- Engine internals -------------------------------------------------------
+  const std::vector<bool>& decisions() const { return decisions_; }
+  /// Pending forks discovered on this path: full decision prefixes for the
+  /// unexplored directions, in discovery order.
+  const std::vector<std::vector<bool>>& pendingForks() const {
+    return pending_forks_;
+  }
+  /// Solves the final path constraints into a test vector.
+  std::optional<TestVector> solveTestVector();
+  const solver::QueryStats& solverStats() const { return solver_.stats(); }
+  const std::vector<expr::ExprRef>& constraints() const {
+    return solver_.constraints();
+  }
+
+ private:
+  void addConstraintChecked(const expr::ExprRef& cond);
+
+  expr::ExprBuilder& eb_;
+  solver::PathSolver solver_;
+  KnownBitsTracker known_;
+  std::vector<bool> forced_;
+  std::size_t cursor_ = 0;
+  std::vector<bool> decisions_;
+  std::vector<std::vector<bool>> pending_forks_;
+  Limits limits_;
+  PathStats stats_;
+};
+
+}  // namespace rvsym::symex

@@ -1,0 +1,356 @@
+// Unit and property tests for the expression library: reference
+// semantics, constant folding, hash-consing, simplification rules and
+// the evaluator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "expr/eval.hpp"
+#include "expr/expr.hpp"
+#include "expr/print.hpp"
+
+namespace rvsym::expr {
+namespace {
+
+// --- Reference semantics ---------------------------------------------------
+
+TEST(ApplyOp, AddWraps) {
+  EXPECT_EQ(applyOp(Kind::Add, 8, 0xFF, 0x01), 0x00u);
+  EXPECT_EQ(applyOp(Kind::Add, 32, 0xFFFFFFFFu, 2), 1u);
+  EXPECT_EQ(applyOp(Kind::Add, 64, ~0ULL, 1), 0u);
+}
+
+TEST(ApplyOp, SubWraps) {
+  EXPECT_EQ(applyOp(Kind::Sub, 8, 0, 1), 0xFFu);
+  EXPECT_EQ(applyOp(Kind::Sub, 32, 5, 7), 0xFFFFFFFEu);
+}
+
+TEST(ApplyOp, DivisionByZeroConventions) {
+  // RISC-V: x / 0 == all-ones, x % 0 == x.
+  EXPECT_EQ(applyOp(Kind::UDiv, 32, 1234, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(applyOp(Kind::URem, 32, 1234, 0), 1234u);
+  EXPECT_EQ(applyOp(Kind::SDiv, 32, 1234, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(applyOp(Kind::SRem, 32, 1234, 0), 1234u);
+}
+
+TEST(ApplyOp, SignedDivisionOverflow) {
+  // MIN / -1 == MIN; MIN % -1 == 0.
+  EXPECT_EQ(applyOp(Kind::SDiv, 32, 0x80000000u, 0xFFFFFFFFu), 0x80000000u);
+  EXPECT_EQ(applyOp(Kind::SRem, 32, 0x80000000u, 0xFFFFFFFFu), 0u);
+  EXPECT_EQ(applyOp(Kind::SDiv, 8, 0x80, 0xFF), 0x80u);
+}
+
+TEST(ApplyOp, SignedDivisionRoundsTowardZero) {
+  // -7 / 2 == -3 (0xFFFFFFFD), -7 % 2 == -1.
+  EXPECT_EQ(applyOp(Kind::SDiv, 32, static_cast<std::uint32_t>(-7), 2),
+            static_cast<std::uint32_t>(-3));
+  EXPECT_EQ(applyOp(Kind::SRem, 32, static_cast<std::uint32_t>(-7), 2),
+            static_cast<std::uint32_t>(-1));
+}
+
+TEST(ApplyOp, ShiftsSaturate) {
+  EXPECT_EQ(applyOp(Kind::Shl, 32, 1, 31), 0x80000000u);
+  EXPECT_EQ(applyOp(Kind::Shl, 32, 1, 32), 0u);
+  EXPECT_EQ(applyOp(Kind::LShr, 32, 0x80000000u, 31), 1u);
+  EXPECT_EQ(applyOp(Kind::LShr, 32, 0x80000000u, 40), 0u);
+  EXPECT_EQ(applyOp(Kind::AShr, 32, 0x80000000u, 31), 0xFFFFFFFFu);
+  EXPECT_EQ(applyOp(Kind::AShr, 32, 0x80000000u, 99), 0xFFFFFFFFu);
+  EXPECT_EQ(applyOp(Kind::AShr, 32, 0x40000000u, 99), 0u);
+}
+
+TEST(ApplyOp, SignedComparisons) {
+  EXPECT_EQ(applyOp(Kind::Slt, 32, 0xFFFFFFFFu, 0), 1u);  // -1 < 0
+  EXPECT_EQ(applyOp(Kind::Slt, 32, 0, 0xFFFFFFFFu), 0u);
+  EXPECT_EQ(applyOp(Kind::Sle, 8, 0x80, 0x7F), 1u);  // -128 <= 127
+  EXPECT_EQ(applyOp(Kind::Ult, 32, 0xFFFFFFFFu, 0), 0u);
+}
+
+TEST(SignExtendHelper, Works) {
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0x7F, 8), 127);
+  EXPECT_EQ(signExtend(0x80000000u, 32), INT64_C(-2147483648));
+}
+
+// --- Hash consing -------------------------------------------------------------
+
+TEST(Interning, StructurallyEqualNodesAreIdentical) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  auto y = eb.variable("y", 32);
+  auto a = eb.add(x, y);
+  auto b = eb.add(x, y);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), eb.add(y, x).get());  // not canonicalized across vars
+}
+
+TEST(Interning, SameNameSameVariable) {
+  ExprBuilder eb;
+  auto x1 = eb.variable("x", 32);
+  auto x2 = eb.variable("x", 32);
+  EXPECT_EQ(x1.get(), x2.get());
+  EXPECT_THROW(eb.variable("x", 16), std::invalid_argument);
+}
+
+TEST(Interning, ConstantsInterned) {
+  ExprBuilder eb;
+  EXPECT_EQ(eb.constant(42, 32).get(), eb.constant(42, 32).get());
+  EXPECT_NE(eb.constant(42, 32).get(), eb.constant(42, 16).get());
+}
+
+// --- Folding and simplification ------------------------------------------------
+
+TEST(Folding, BinaryOverConstants) {
+  ExprBuilder eb;
+  auto e = eb.add(eb.constant(3, 32), eb.constant(4, 32));
+  ASSERT_TRUE(e->isConstant());
+  EXPECT_EQ(e->constantValue(), 7u);
+}
+
+TEST(Folding, ComparisonNarrowsToWidthOne) {
+  ExprBuilder eb;
+  auto e = eb.ult(eb.constant(3, 32), eb.constant(4, 32));
+  ASSERT_TRUE(e->isConstant());
+  EXPECT_EQ(e->width(), 1u);
+  EXPECT_EQ(e->constantValue(), 1u);
+}
+
+TEST(Simplify, Identities) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  auto zero = eb.constant(0, 32);
+  auto ones = eb.constant(0xFFFFFFFFu, 32);
+  EXPECT_EQ(eb.add(x, zero).get(), x.get());
+  EXPECT_EQ(eb.sub(x, zero).get(), x.get());
+  EXPECT_TRUE(eb.sub(x, x)->isZero());
+  EXPECT_TRUE(eb.xorOp(x, x)->isZero());
+  EXPECT_EQ(eb.andOp(x, ones).get(), x.get());
+  EXPECT_TRUE(eb.andOp(x, zero)->isZero());
+  EXPECT_EQ(eb.orOp(x, zero).get(), x.get());
+  EXPECT_EQ(eb.orOp(x, ones).get(), ones.get());
+  EXPECT_EQ(eb.notOp(eb.notOp(x)).get(), x.get());
+  EXPECT_EQ(eb.neg(eb.neg(x)).get(), x.get());
+  EXPECT_TRUE(eb.eq(x, x)->isConstantValue(1));
+  EXPECT_TRUE(eb.ult(x, x)->isZero());
+  EXPECT_TRUE(eb.ule(x, x)->isConstantValue(1));
+}
+
+TEST(Simplify, ExtractOfExtract) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  auto inner = eb.extract(x, 8, 16);
+  auto outer = eb.extract(inner, 4, 8);
+  EXPECT_EQ(outer->kind(), Kind::Extract);
+  EXPECT_EQ(outer->operand(0).get(), x.get());
+  EXPECT_EQ(outer->extractLow(), 12u);
+  EXPECT_EQ(outer->width(), 8u);
+}
+
+TEST(Simplify, ExtractOfConcatRoutes) {
+  ExprBuilder eb;
+  auto hi = eb.variable("hi", 16);
+  auto lo = eb.variable("lo", 16);
+  auto c = eb.concat(hi, lo);
+  EXPECT_EQ(eb.extract(c, 0, 16).get(), lo.get());
+  EXPECT_EQ(eb.extract(c, 16, 16).get(), hi.get());
+  EXPECT_EQ(eb.extract(c, 4, 8)->operand(0).get(), lo.get());
+}
+
+TEST(Simplify, ConcatOfAdjacentExtractsMerges) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  auto low = eb.extract(x, 0, 8);
+  auto high = eb.extract(x, 8, 8);
+  auto merged = eb.concat(high, low);
+  EXPECT_EQ(merged->kind(), Kind::Extract);
+  EXPECT_EQ(merged->width(), 16u);
+  EXPECT_EQ(merged->extractLow(), 0u);
+}
+
+TEST(Simplify, FullWidthExtractIsIdentity) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  EXPECT_EQ(eb.extract(x, 0, 32).get(), x.get());
+}
+
+TEST(Simplify, EqOverConcatSplits) {
+  ExprBuilder eb;
+  auto hi = eb.variable("h", 8);
+  auto lo = eb.variable("l", 8);
+  auto cond = eb.eq(eb.concat(hi, lo), eb.constant(0x1234, 16));
+  // Must be a conjunction of the two field equalities.
+  ASSERT_EQ(cond->kind(), Kind::And);
+}
+
+TEST(Simplify, IteCollapses) {
+  ExprBuilder eb;
+  auto c = eb.variable("c", 1);
+  auto x = eb.variable("x", 32);
+  auto y = eb.variable("y", 32);
+  EXPECT_EQ(eb.ite(eb.trueExpr(), x, y).get(), x.get());
+  EXPECT_EQ(eb.ite(eb.falseExpr(), x, y).get(), y.get());
+  EXPECT_EQ(eb.ite(c, x, x).get(), x.get());
+  EXPECT_EQ(eb.ite(c, eb.trueExpr(), eb.falseExpr()).get(), c.get());
+}
+
+TEST(Simplify, BoolEqCollapses) {
+  ExprBuilder eb;
+  auto c = eb.variable("c", 1);
+  EXPECT_EQ(eb.eq(c, eb.trueExpr()).get(), c.get());
+  EXPECT_EQ(eb.eq(c, eb.falseExpr()).get(), eb.notOp(c).get());
+}
+
+// --- Evaluator vs builder folding: property sweep --------------------------------
+
+using OpCase = std::tuple<Kind, unsigned>;
+
+class BinaryOpProperty : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(BinaryOpProperty, FoldingMatchesEvaluator) {
+  const auto [kind, width] = GetParam();
+  ExprBuilder eb;
+  auto x = eb.variable("x", width);
+  auto y = eb.variable("y", width);
+
+  std::mt19937_64 rng(0xC0FFEE ^ (static_cast<unsigned>(kind) << 8) ^ width);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng() & widthMask(width);
+    const std::uint64_t b = rng() & widthMask(width);
+
+    // Symbolic evaluation path.
+    ExprRef sym;
+    switch (kind) {
+      case Kind::Add: sym = eb.add(x, y); break;
+      case Kind::Sub: sym = eb.sub(x, y); break;
+      case Kind::Mul: sym = eb.mul(x, y); break;
+      case Kind::UDiv: sym = eb.udiv(x, y); break;
+      case Kind::SDiv: sym = eb.sdiv(x, y); break;
+      case Kind::URem: sym = eb.urem(x, y); break;
+      case Kind::SRem: sym = eb.srem(x, y); break;
+      case Kind::And: sym = eb.andOp(x, y); break;
+      case Kind::Or: sym = eb.orOp(x, y); break;
+      case Kind::Xor: sym = eb.xorOp(x, y); break;
+      case Kind::Shl: sym = eb.shl(x, y); break;
+      case Kind::LShr: sym = eb.lshr(x, y); break;
+      case Kind::AShr: sym = eb.ashr(x, y); break;
+      case Kind::Eq: sym = eb.eq(x, y); break;
+      case Kind::Ult: sym = eb.ult(x, y); break;
+      case Kind::Ule: sym = eb.ule(x, y); break;
+      case Kind::Slt: sym = eb.slt(x, y); break;
+      case Kind::Sle: sym = eb.sle(x, y); break;
+      default: FAIL() << "unhandled kind";
+    }
+    Assignment asg;
+    asg.set(x->variableId(), a);
+    asg.set(y->variableId(), b);
+    const std::uint64_t via_eval = evaluate(sym, asg);
+
+    // Constant-folding path.
+    ExprRef folded;
+    auto ca = eb.constant(a, width);
+    auto cb = eb.constant(b, width);
+    switch (kind) {
+      case Kind::Add: folded = eb.add(ca, cb); break;
+      case Kind::Sub: folded = eb.sub(ca, cb); break;
+      case Kind::Mul: folded = eb.mul(ca, cb); break;
+      case Kind::UDiv: folded = eb.udiv(ca, cb); break;
+      case Kind::SDiv: folded = eb.sdiv(ca, cb); break;
+      case Kind::URem: folded = eb.urem(ca, cb); break;
+      case Kind::SRem: folded = eb.srem(ca, cb); break;
+      case Kind::And: folded = eb.andOp(ca, cb); break;
+      case Kind::Or: folded = eb.orOp(ca, cb); break;
+      case Kind::Xor: folded = eb.xorOp(ca, cb); break;
+      case Kind::Shl: folded = eb.shl(ca, cb); break;
+      case Kind::LShr: folded = eb.lshr(ca, cb); break;
+      case Kind::AShr: folded = eb.ashr(ca, cb); break;
+      case Kind::Eq: folded = eb.eq(ca, cb); break;
+      case Kind::Ult: folded = eb.ult(ca, cb); break;
+      case Kind::Ule: folded = eb.ule(ca, cb); break;
+      case Kind::Slt: folded = eb.slt(ca, cb); break;
+      case Kind::Sle: folded = eb.sle(ca, cb); break;
+      default: FAIL() << "unhandled kind";
+    }
+    ASSERT_TRUE(folded->isConstant());
+    EXPECT_EQ(folded->constantValue(), via_eval)
+        << kindName(kind) << " w=" << width << " a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAllWidths, BinaryOpProperty,
+    ::testing::Combine(
+        ::testing::Values(Kind::Add, Kind::Sub, Kind::Mul, Kind::UDiv,
+                          Kind::SDiv, Kind::URem, Kind::SRem, Kind::And,
+                          Kind::Or, Kind::Xor, Kind::Shl, Kind::LShr,
+                          Kind::AShr, Kind::Eq, Kind::Ult, Kind::Ule,
+                          Kind::Slt, Kind::Sle),
+        ::testing::Values(1u, 8u, 12u, 32u, 64u)),
+    [](const ::testing::TestParamInfo<OpCase>& info) {
+      return std::string(kindName(std::get<0>(info.param))) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Structural operators under evaluation -------------------------------------
+
+TEST(Evaluator, ConcatExtractExtend) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 16);
+  Assignment asg;
+  asg.set(x->variableId(), 0xABCD);
+
+  EXPECT_EQ(evaluate(eb.extract(x, 4, 8), asg), 0xBCu);
+  EXPECT_EQ(evaluate(eb.concat(x, x), asg), 0xABCDABCDu);
+  EXPECT_EQ(evaluate(eb.zext(x, 32), asg), 0xABCDu);
+  EXPECT_EQ(evaluate(eb.sext(x, 32), asg), 0xFFFFABCDu);
+  auto pos = eb.variable("pos", 16);
+  asg.set(pos->variableId(), 0x7BCD);
+  EXPECT_EQ(evaluate(eb.sext(pos, 32), asg), 0x7BCDu);
+}
+
+TEST(Evaluator, IteSelects) {
+  ExprBuilder eb;
+  auto c = eb.variable("c", 1);
+  auto x = eb.variable("x", 32);
+  auto y = eb.variable("y", 32);
+  auto e = eb.ite(c, x, y);
+  Assignment asg;
+  asg.set(x->variableId(), 111);
+  asg.set(y->variableId(), 222);
+  asg.set(c->variableId(), 1);
+  EXPECT_EQ(evaluate(e, asg), 111u);
+  asg.set(c->variableId(), 0);
+  EXPECT_EQ(evaluate(e, asg), 222u);
+}
+
+TEST(Evaluator, SharedSubtreesEvaluateOnce) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 64);
+  // Build a deep balanced DAG: without memoization this would be 2^40 work.
+  ExprRef e = x;
+  for (int i = 0; i < 40; ++i) e = eb.add(e, e);
+  Assignment asg;
+  asg.set(x->variableId(), 1);
+  EXPECT_EQ(evaluate(e, asg), (std::uint64_t{1} << 40));
+}
+
+TEST(Printer, RendersBasics) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  auto e = eb.add(x, eb.constant(4, 32));
+  const std::string s = toString(e);
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+TEST(DagSize, CountsDistinctNodes) {
+  ExprBuilder eb;
+  auto x = eb.variable("x", 32);
+  auto sum = eb.add(x, x);
+  EXPECT_EQ(sum->dagSize(), 2u);
+}
+
+}  // namespace
+}  // namespace rvsym::expr

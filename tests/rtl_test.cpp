@@ -1,0 +1,374 @@
+// Tests for the MicroRV32-class RTL core model: bus protocol conformance,
+// multi-cycle timing, per-instruction RVFI results, strobe planning for
+// aligned and misaligned accesses, the authentic-bug switches, and every
+// injected fault E0-E9 on a concrete witness.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/symmem.hpp"
+#include "expr/builder.hpp"
+#include "rtl/core.hpp"
+#include "rv32/csr.hpp"
+#include "rv32/encode.hpp"
+
+namespace rvsym::rtl {
+namespace {
+
+using expr::ExprBuilder;
+using expr::ExprRef;
+using namespace rv32;
+
+constexpr std::uint32_t kResetPc = 0x80000000;
+
+struct RtlBench : ::testing::Test {
+  ExprBuilder eb;
+  symex::ExecState st{eb, {}, {}};
+  core::InitialImage image;
+  core::SymbolicDataMemory mem{image};
+  std::unordered_map<std::uint32_t, std::uint32_t> program;
+  std::unique_ptr<MicroRv32Core> core;
+
+  struct BusTrace {
+    unsigned fetches = 0;
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> data_txns;  // addr,strobe
+  } trace;
+
+  void makeCore(RtlConfig cfg = {}) {
+    core = std::make_unique<MicroRv32Core>(eb, cfg);
+  }
+
+  void setReg(unsigned i, std::uint32_t v) {
+    core->regs().set(eb, i, eb.constant(v, 32));
+  }
+  std::uint32_t reg(unsigned i) {
+    const ExprRef& e = core->regs().get(i);
+    EXPECT_TRUE(e->isConstant());
+    return static_cast<std::uint32_t>(e->constantValue());
+  }
+  void setMemByte(std::uint32_t addr, std::uint8_t v) {
+    mem.setByte(addr, eb.constant(v, 8));
+  }
+  std::uint8_t memByte(std::uint32_t addr) {
+    const ExprRef b = mem.byteAt(st, addr);
+    EXPECT_TRUE(b->isConstant());
+    return static_cast<std::uint8_t>(b->constantValue());
+  }
+
+  /// Drives the clock + testbench protocol until the next retirement.
+  iss::RetireInfo stepOne(std::uint32_t instruction_word) {
+    program[constantPc()] = instruction_word;
+    for (int cycles = 0; cycles < 200; ++cycles) {
+      core->tick(st);
+      if (core->ibus.fetch_enable && !core->ibus.instruction_ready) {
+        auto it = program.find(core->ibus.address);
+        const std::uint32_t word = it == program.end() ? 0 : it->second;
+        core->ibus.instruction = eb.constant(word, 32);
+        core->ibus.instruction_ready = true;
+        ++trace.fetches;
+      } else if (!core->ibus.fetch_enable) {
+        core->ibus.instruction_ready = false;
+      }
+      if (core->dbus.enable && !core->dbus.data_ready) {
+        trace.data_txns.emplace_back(core->dbus.address, core->dbus.strobe);
+        if (core->dbus.write)
+          mem.storeStrobed(st, core->dbus.address, core->dbus.strobe,
+                           core->dbus.wdata);
+        else
+          core->dbus.rdata =
+              mem.loadStrobed(st, core->dbus.address, core->dbus.strobe);
+        core->dbus.data_ready = true;
+      } else if (!core->dbus.enable) {
+        core->dbus.data_ready = false;
+      }
+      if (core->rvfi.valid) return core->rvfi.info;
+    }
+    ADD_FAILURE() << "core did not retire within 200 cycles";
+    return {};
+  }
+
+  std::uint32_t constantPc() {
+    EXPECT_TRUE(core->pc()->isConstant());
+    return static_cast<std::uint32_t>(core->pc()->constantValue());
+  }
+};
+
+// --- Basic execution & timing ----------------------------------------------------
+
+TEST_F(RtlBench, AddRetiresWithRvfi) {
+  makeCore();
+  setReg(1, 5);
+  setReg(2, 7);
+  const iss::RetireInfo r = stepOne(enc::add(3, 1, 2));
+  EXPECT_FALSE(r.trap);
+  EXPECT_EQ(reg(3), 12u);
+  ASSERT_TRUE(r.pc->isConstant());
+  EXPECT_EQ(r.pc->constantValue(), kResetPc);
+  ASSERT_TRUE(r.next_pc->isConstant());
+  EXPECT_EQ(r.next_pc->constantValue(), kResetPc + 4);
+  ASSERT_TRUE(r.rd_value->isConstant());
+  EXPECT_EQ(r.rd_value->constantValue(), 12u);
+}
+
+TEST_F(RtlBench, MultiCycleTiming) {
+  makeCore();
+  const std::uint64_t before = core->cycleCount();
+  stepOne(enc::nop());
+  const std::uint64_t alu_cycles = core->cycleCount() - before;
+  // Fetch handshake + execute + writeback: strictly more than one cycle.
+  EXPECT_GE(alu_cycles, 3u);
+  EXPECT_LE(alu_cycles, 8u);
+
+  setReg(1, 0x100);
+  const std::uint64_t before_mem = core->cycleCount();
+  stepOne(enc::lw(2, 1, 0));
+  const std::uint64_t mem_cycles = core->cycleCount() - before_mem;
+  EXPECT_GT(mem_cycles, alu_cycles);  // memory adds bus cycles
+}
+
+TEST_F(RtlBench, RvfiValidForExactlyOneTick) {
+  makeCore();
+  stepOne(enc::nop());
+  EXPECT_TRUE(core->rvfi.valid);
+  core->tick(st);
+  EXPECT_FALSE(core->rvfi.valid);
+}
+
+// --- Strobe planning -----------------------------------------------------------------
+
+TEST_F(RtlBench, AlignedWordUsesSingleFullStrobe) {
+  makeCore();
+  setReg(1, 0x100);
+  setReg(2, 0xCAFEBABE);
+  stepOne(enc::sw(2, 1, 0));
+  ASSERT_EQ(trace.data_txns.size(), 1u);
+  EXPECT_EQ(trace.data_txns[0], (std::pair<std::uint32_t, std::uint8_t>{
+                                    0x100, 0b1111}));
+  EXPECT_EQ(memByte(0x100), 0xBE);
+  EXPECT_EQ(memByte(0x103), 0xCA);
+}
+
+TEST_F(RtlBench, AlignedHalfStrobes) {
+  makeCore();
+  setReg(1, 0x100);
+  setReg(2, 0x1234);
+  stepOne(enc::sh(2, 1, 0));
+  stepOne(enc::sh(2, 1, 2));
+  ASSERT_EQ(trace.data_txns.size(), 2u);
+  EXPECT_EQ(trace.data_txns[0].second, 0b0011);
+  EXPECT_EQ(trace.data_txns[1].second, 0b1100);
+  EXPECT_EQ(trace.data_txns[1].first, 0x100u);  // word-aligned address
+  EXPECT_EQ(memByte(0x102), 0x34);
+  EXPECT_EQ(memByte(0x103), 0x12);
+}
+
+TEST_F(RtlBench, ByteStrobeSelectsLane) {
+  makeCore();
+  setReg(1, 0x100);
+  setReg(2, 0xAB);
+  stepOne(enc::sb(2, 1, 3));
+  ASSERT_EQ(trace.data_txns.size(), 1u);
+  EXPECT_EQ(trace.data_txns[0].second, 0b1000);
+  EXPECT_EQ(memByte(0x103), 0xAB);
+}
+
+TEST_F(RtlBench, MisalignedWordSplitsIntoByteTransactions) {
+  makeCore();  // authentic: misaligned supported
+  setReg(1, 0x101);
+  setReg(2, 0x44332211);
+  const iss::RetireInfo r = stepOne(enc::sw(2, 1, 0));
+  EXPECT_FALSE(r.trap);
+  ASSERT_EQ(trace.data_txns.size(), 4u);
+  EXPECT_EQ(trace.data_txns[0].second, 0b0010);  // 0x101 lane 1
+  EXPECT_EQ(trace.data_txns[3].second, 0b0001);  // 0x104 lane 0
+  EXPECT_EQ(trace.data_txns[3].first, 0x104u);
+  EXPECT_EQ(memByte(0x101), 0x11);
+  EXPECT_EQ(memByte(0x104), 0x44);
+}
+
+TEST_F(RtlBench, MisalignedLoadAssemblesCorrectly) {
+  makeCore();
+  for (unsigned i = 0; i < 6; ++i)
+    setMemByte(0x100 + i, static_cast<std::uint8_t>(0x10 * (i + 1)));
+  setReg(1, 0x101);
+  stepOne(enc::lw(3, 1, 0));
+  EXPECT_EQ(reg(3), 0x50403020u);
+}
+
+// --- Authentic bug switches -------------------------------------------------------------
+
+TEST_F(RtlBench, AuthenticCoreSupportsMisaligned) {
+  makeCore();  // default: authentic MicroRV32
+  setReg(1, 0x102);
+  setMemByte(0x102, 0xCD);
+  setMemByte(0x103, 0xAB);
+  const iss::RetireInfo r = stepOne(enc::lh(3, 1, 1));  // address 0x103
+  EXPECT_FALSE(r.trap) << "MicroRV32 supports misaligned accesses";
+}
+
+TEST_F(RtlBench, FixedCoreTrapsOnMisaligned) {
+  makeCore(fixedRtlConfig());
+  setReg(1, 0x103);
+  const iss::RetireInfo r = stepOne(enc::lh(3, 1, 0));
+  EXPECT_TRUE(r.trap);
+  EXPECT_EQ(r.cause, static_cast<std::uint32_t>(Cause::MisalignedLoad));
+}
+
+TEST_F(RtlBench, AuthenticWfiTraps) {
+  makeCore();
+  const iss::RetireInfo r = stepOne(enc::wfi());
+  EXPECT_TRUE(r.trap) << "MicroRV32 is missing WFI";
+  EXPECT_EQ(r.cause, static_cast<std::uint32_t>(Cause::IllegalInstr));
+}
+
+TEST_F(RtlBench, FixedWfiIsNop) {
+  makeCore(fixedRtlConfig());
+  const iss::RetireInfo r = stepOne(enc::wfi());
+  EXPECT_FALSE(r.trap);
+}
+
+TEST_F(RtlBench, AuthenticCsrBugs) {
+  makeCore();
+  // Missing trap at access of unimplemented CSRs: reads as zero.
+  iss::RetireInfo r = stepOne(enc::csrrwi(1, 0x400, 0));
+  EXPECT_FALSE(r.trap);
+  EXPECT_EQ(reg(1), 0u);
+  // Missing trap at write to read-only id registers.
+  r = stepOne(enc::csrrw(0, csr::kMarchid, 0));
+  EXPECT_FALSE(r.trap);
+  // Trap at write access to mcycle / mip.
+  r = stepOne(enc::csrrw(0, csr::kMcycle, 0));
+  EXPECT_TRUE(r.trap);
+}
+
+TEST_F(RtlBench, FixedCsrBehaviour) {
+  makeCore(fixedRtlConfig());
+  iss::RetireInfo r = stepOne(enc::csrrwi(1, 0x400, 0));
+  EXPECT_TRUE(r.trap);  // spec: illegal instruction
+  core->setPc(eb.constant(kResetPc + 0x40, 32));
+  r = stepOne(enc::csrrw(0, csr::kMarchid, 0));
+  EXPECT_TRUE(r.trap);
+  core->setPc(eb.constant(kResetPc + 0x80, 32));
+  r = stepOne(enc::csrrw(0, csr::kMcycle, 0));
+  EXPECT_FALSE(r.trap);
+}
+
+TEST_F(RtlBench, CycleCountsPerClockTick) {
+  makeCore();  // authentic: mcycle counts real cycles
+  stepOne(enc::nop());
+  stepOne(enc::csrrs(1, csr::kMcycle, 0));
+  // Far more cycles than the 1 instruction an ISS would count.
+  EXPECT_GT(reg(1), 1u);
+}
+
+// --- Injected faults E0-E9 on concrete witnesses ------------------------------------------
+
+TEST_F(RtlBench, E0ReservedEncodingDecodesAsSlli) {
+  makeCore(fixedRtlConfig());
+  for (DecodePattern& p : core->decodeTableMut())
+    if (p.op == Opcode::Slli) p.mask &= ~(1u << 25);
+  setReg(1, 1);
+  const std::uint32_t reserved = enc::slli(3, 1, 4) | (1u << 25);
+  const iss::RetireInfo r = stepOne(reserved);
+  EXPECT_FALSE(r.trap) << "faulty decoder accepts the reserved encoding";
+  EXPECT_EQ(reg(3), 0x10u);
+}
+
+TEST_F(RtlBench, E3AddiLowBitStuckAtZero) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.addi_result_bit0_stuck0 = true;
+  makeCore(cfg);
+  setReg(1, 2);
+  stepOne(enc::addi(3, 1, 1));  // 3 -> faulty 2
+  EXPECT_EQ(reg(3), 2u);
+}
+
+TEST_F(RtlBench, E4SubHighBitStuckAtZero) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.sub_result_bit31_stuck0 = true;
+  makeCore(cfg);
+  setReg(1, 0);
+  setReg(2, 1);
+  stepOne(enc::sub(3, 1, 2));  // -1 -> faulty 0x7FFFFFFF
+  EXPECT_EQ(reg(3), 0x7FFFFFFFu);
+}
+
+TEST_F(RtlBench, E5JalDoesNotChangePc) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.jal_no_pc_update = true;
+  makeCore(cfg);
+  const iss::RetireInfo r = stepOne(enc::jal(1, 64));
+  EXPECT_EQ(r.next_pc->constantValue(), kResetPc + 4);  // not +64
+  EXPECT_EQ(reg(1), kResetPc + 4);                      // link still written
+}
+
+TEST_F(RtlBench, E6BneBehavesAsBeq) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.bne_behaves_as_beq = true;
+  makeCore(cfg);
+  setReg(1, 5);
+  setReg(2, 5);
+  const iss::RetireInfo r = stepOne(enc::bne(1, 2, 16));
+  EXPECT_EQ(r.next_pc->constantValue(), kResetPc + 16);  // wrongly taken
+}
+
+TEST_F(RtlBench, E7LbuEndiannessFlip) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.lbu_endianness_flip = true;
+  makeCore(cfg);
+  setMemByte(0x100, 0x11);
+  setMemByte(0x103, 0x44);
+  setReg(1, 0x100);
+  stepOne(enc::lbu(3, 1, 0));  // should read 0x11, reads lane 3 instead
+  EXPECT_EQ(reg(3), 0x44u);
+}
+
+TEST_F(RtlBench, E8LbMissingSignExtension) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.lb_no_sign_extend = true;
+  makeCore(cfg);
+  setMemByte(0x100, 0x80);
+  setReg(1, 0x100);
+  stepOne(enc::lb(3, 1, 0));
+  EXPECT_EQ(reg(3), 0x80u);  // not 0xFFFFFF80
+}
+
+TEST_F(RtlBench, E9LwLoadsOnlyLowerHalf) {
+  RtlConfig cfg = fixedRtlConfig();
+  cfg.faults.lw_low_half_only = true;
+  makeCore(cfg);
+  for (unsigned i = 0; i < 4; ++i)
+    setMemByte(0x100 + i, static_cast<std::uint8_t>(0x11 * (i + 1)));
+  setReg(1, 0x100);
+  stepOne(enc::lw(3, 1, 0));
+  EXPECT_EQ(reg(3), 0x2211u);
+}
+
+TEST_F(RtlBench, FaultsAreInertWhenDisabled) {
+  makeCore(fixedRtlConfig());
+  setReg(1, 2);
+  stepOne(enc::addi(3, 1, 1));
+  EXPECT_EQ(reg(3), 3u);
+  setMemByte(0x200, 0x80);
+  setReg(1, 0x200);
+  stepOne(enc::lb(4, 1, 0));
+  EXPECT_EQ(reg(4), 0xFFFFFF80u);
+}
+
+// --- Trap state ------------------------------------------------------------------------------
+
+TEST_F(RtlBench, EcallSetsTrapCsrs) {
+  makeCore();
+  setReg(1, 0x80002000);
+  stepOne(enc::csrrw(0, csr::kMtvec, 1));
+  const iss::RetireInfo r = stepOne(enc::ecall());
+  EXPECT_TRUE(r.trap);
+  EXPECT_EQ(constantPc(), 0x80002000u);
+  stepOne(enc::csrrs(2, csr::kMepc, 0));
+  EXPECT_EQ(reg(2), kResetPc + 4);
+  stepOne(enc::csrrs(2, csr::kMcause, 0));
+  EXPECT_EQ(reg(2), static_cast<std::uint32_t>(Cause::EcallFromM));
+}
+
+}  // namespace
+}  // namespace rvsym::rtl

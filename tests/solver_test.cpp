@@ -1,0 +1,407 @@
+// Tests for the CDCL SAT solver, the bit-blaster and the PathSolver
+// query layer. The central property: for random expressions, any model
+// the solver produces must satisfy the expression under the reference
+// evaluator, and brute-force satisfiability at small widths must agree
+// with the solver's verdict.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "expr/builder.hpp"
+#include "expr/eval.hpp"
+#include "solver/bitblast.hpp"
+#include "solver/sat.hpp"
+#include "solver/solver.hpp"
+
+namespace rvsym::solver {
+namespace {
+
+using expr::Assignment;
+using expr::ExprBuilder;
+using expr::ExprRef;
+using expr::Kind;
+
+// --- Raw SAT ------------------------------------------------------------------
+
+TEST(Sat, TrivialSatAndUnsat) {
+  SatSolver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  EXPECT_TRUE(s.addClause(mkLit(a), mkLit(b)));
+  EXPECT_EQ(s.solve(), SatSolver::Result::Sat);
+
+  EXPECT_TRUE(s.addClause(~mkLit(a)));
+  // (a|b) with a=false propagates b=true; asserting ~b is a level-0
+  // conflict, which addClause reports by returning false.
+  EXPECT_FALSE(s.addClause(~mkLit(b)));
+  EXPECT_EQ(s.solve(), SatSolver::Result::Unsat);
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(Sat, UnitPropagationChain) {
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) v.push_back(s.newVar());
+  for (int i = 0; i + 1 < 20; ++i)
+    s.addClause(~mkLit(v[static_cast<size_t>(i)]),
+                mkLit(v[static_cast<size_t>(i + 1)]));
+  s.addClause(mkLit(v[0]));
+  ASSERT_EQ(s.solve(), SatSolver::Result::Sat);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(s.modelValue(v[static_cast<size_t>(i)]), LBool::True);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 4 pigeons into 3 holes: classic small UNSAT requiring real search.
+  SatSolver s;
+  const int P = 4, H = 3;
+  std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+  for (int p = 0; p < P; ++p)
+    for (int h = 0; h < H; ++h) x[static_cast<size_t>(p)][static_cast<size_t>(h)] = s.newVar();
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(mkLit(x[static_cast<size_t>(p)][static_cast<size_t>(h)]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.addClause(~mkLit(x[static_cast<size_t>(p1)][static_cast<size_t>(h)]),
+                    ~mkLit(x[static_cast<size_t>(p2)][static_cast<size_t>(h)]));
+  EXPECT_EQ(s.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, AssumptionsDoNotPoisonSolver) {
+  SatSolver s;
+  const Var a = s.newVar();
+  s.addClause(mkLit(a));
+  EXPECT_EQ(s.solve({~mkLit(a)}), SatSolver::Result::Unsat);
+  EXPECT_TRUE(s.okay());  // only the assumption failed
+  EXPECT_EQ(s.solve({mkLit(a)}), SatSolver::Result::Sat);
+  EXPECT_EQ(s.solve(), SatSolver::Result::Sat);
+}
+
+TEST(Sat, IncrementalAddAfterSolve) {
+  SatSolver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(mkLit(a), mkLit(b));
+  ASSERT_EQ(s.solve(), SatSolver::Result::Sat);
+  s.addClause(~mkLit(a));
+  ASSERT_EQ(s.solve(), SatSolver::Result::Sat);
+  EXPECT_EQ(s.modelValue(b), LBool::True);
+  s.addClause(~mkLit(b));
+  EXPECT_EQ(s.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  // Large pigeonhole with a tiny conflict budget must hit the budget.
+  SatSolver s;
+  const int P = 9, H = 8;
+  std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+  for (auto& row : x)
+    for (Var& v : row) v = s.newVar();
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(mkLit(x[static_cast<size_t>(p)][static_cast<size_t>(h)]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.addClause(~mkLit(x[static_cast<size_t>(p1)][static_cast<size_t>(h)]),
+                    ~mkLit(x[static_cast<size_t>(p2)][static_cast<size_t>(h)]));
+  EXPECT_EQ(s.solve({}, 10), SatSolver::Result::Unknown);
+}
+
+// --- Randomized CNF: CDCL vs brute force --------------------------------------
+
+TEST(Sat, RandomCnfAgreesWithBruteForce) {
+  std::mt19937 rng(0xC0F1);
+  for (int round = 0; round < 60; ++round) {
+    const int num_vars = 4 + static_cast<int>(rng() % 9);   // 4..12
+    const int num_clauses = num_vars * (2 + static_cast<int>(rng() % 3));
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<Lit> clause;
+      const int len = 1 + static_cast<int>(rng() % 3);
+      for (int k = 0; k < len; ++k)
+        clause.push_back(mkLit(static_cast<Var>(rng() % static_cast<unsigned>(num_vars)),
+                               (rng() & 1) != 0));
+      clauses.push_back(std::move(clause));
+    }
+
+    // Brute force.
+    bool expected_sat = false;
+    for (std::uint32_t m = 0; m < (1u << num_vars) && !expected_sat; ++m) {
+      bool all = true;
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (Lit l : clause)
+          if ((((m >> var(l)) & 1) != 0) != sign(l)) any = true;
+        if (!any) { all = false; break; }
+      }
+      expected_sat = all;
+    }
+
+    // CDCL.
+    SatSolver s;
+    for (int v = 0; v < num_vars; ++v) s.newVar();
+    bool trivially_unsat = false;
+    for (const auto& clause : clauses)
+      if (!s.addClause(clause)) trivially_unsat = true;
+    const auto result = s.solve();
+    EXPECT_EQ(result == SatSolver::Result::Sat, expected_sat)
+        << "round " << round;
+    if (trivially_unsat) {
+      EXPECT_FALSE(expected_sat);
+    }
+    if (result == SatSolver::Result::Sat) {
+      // The model must satisfy every clause.
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (Lit l : clause)
+          if (s.modelValueBool(l)) any = true;
+        EXPECT_TRUE(any) << "model violates a clause, round " << round;
+      }
+    }
+  }
+}
+
+// --- Bit-blasting: random-expression property ------------------------------------
+
+/// Builds a random expression over two variables, depth-bounded.
+ExprRef randomExpr(ExprBuilder& eb, std::mt19937_64& rng, unsigned width,
+                   int depth) {
+  const ExprRef x = eb.variable("x", width);
+  const ExprRef y = eb.variable("y", width);
+  if (depth == 0) {
+    switch (rng() % 3) {
+      case 0: return x;
+      case 1: return y;
+      default: return eb.constant(rng(), width);
+    }
+  }
+  const auto sub = [&] { return randomExpr(eb, rng, width, depth - 1); };
+  switch (rng() % 14) {
+    case 0: return eb.add(sub(), sub());
+    case 1: return eb.sub(sub(), sub());
+    case 2: return eb.mul(sub(), sub());
+    case 3: return eb.andOp(sub(), sub());
+    case 4: return eb.orOp(sub(), sub());
+    case 5: return eb.xorOp(sub(), sub());
+    case 6: return eb.notOp(sub());
+    case 7: return eb.neg(sub());
+    case 8: return eb.shl(sub(), sub());
+    case 9: return eb.lshr(sub(), sub());
+    case 10: return eb.ashr(sub(), sub());
+    case 11: return eb.udiv(sub(), sub());
+    case 12: return eb.urem(sub(), sub());
+    default:
+      return eb.ite(eb.eq(sub(), sub()), sub(), sub());
+  }
+}
+
+class BlastProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BlastProperty, ModelsSatisfyExpressions) {
+  const unsigned width = GetParam();
+  for (int round = 0; round < 30; ++round) {
+    ExprBuilder eb;
+    std::mt19937_64 rng(0xB1A57 + static_cast<unsigned>(round) * 977 + width);
+    const ExprRef e = randomExpr(eb, rng, width, 3);
+    const ExprRef target = eb.constant(rng() & expr::widthMask(width), width);
+    const ExprRef cond = eb.eq(e, target);
+
+    // Brute force over both variables (widths are small).
+    const ExprRef x = eb.variable("x", width);
+    const ExprRef y = eb.variable("y", width);
+    bool expected_sat = false;
+    for (std::uint64_t a = 0; a <= expr::widthMask(width) && !expected_sat; ++a)
+      for (std::uint64_t b = 0; b <= expr::widthMask(width); ++b) {
+        Assignment asg;
+        asg.set(x->variableId(), a);
+        asg.set(y->variableId(), b);
+        if (evaluate(cond, asg) == 1) {
+          expected_sat = true;
+          break;
+        }
+      }
+
+    SatSolver sat;
+    BitBlaster bb(sat, eb);
+    ASSERT_TRUE(bb.assertTrue(cond) || !expected_sat);
+    const auto result = sat.solve();
+    if (expected_sat) {
+      ASSERT_EQ(result, SatSolver::Result::Sat) << "round " << round;
+      Assignment model;
+      model.set(x->variableId(), bb.modelValue(x));
+      model.set(y->variableId(), bb.modelValue(y));
+      EXPECT_EQ(evaluate(cond, model), 1u)
+          << "model does not satisfy expression, round " << round;
+      EXPECT_EQ(bb.modelValue(e), target->constantValue());
+    } else {
+      EXPECT_EQ(result, SatSolver::Result::Unsat) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, BlastProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// --- Bit-blasting: targeted 32-bit cases ------------------------------------------
+
+struct Blast32 : ::testing::Test {
+  ExprBuilder eb;
+  SatSolver sat;
+  BitBlaster bb{sat, eb};
+
+  /// Checks that `cond` is satisfiable and returns x's model value.
+  std::uint64_t solveFor(const ExprRef& cond, const ExprRef& x) {
+    EXPECT_TRUE(bb.assertTrue(cond));
+    EXPECT_EQ(sat.solve(), SatSolver::Result::Sat);
+    return bb.modelValue(x);
+  }
+};
+
+TEST_F(Blast32, SolvesAdditionInverse) {
+  auto x = eb.variable("x", 32);
+  const std::uint64_t v =
+      solveFor(eb.eq(eb.add(x, eb.constant(100, 32)), eb.constant(7, 32)), x);
+  EXPECT_EQ(v, (7u - 100u) & 0xFFFFFFFFu);
+}
+
+TEST_F(Blast32, SolvesMultiplicationFactor) {
+  auto x = eb.variable("x", 32);
+  const std::uint64_t v = solveFor(
+      eb.eq(eb.mul(x, eb.constant(3, 32)), eb.constant(51, 32)), x);
+  EXPECT_EQ((v * 3) & 0xFFFFFFFFu, 51u);
+}
+
+TEST_F(Blast32, SolvesShiftAmount) {
+  auto x = eb.variable("x", 32);   // value
+  auto s = eb.variable("s", 32);   // amount
+  auto cond = eb.boolAnd(
+      eb.eq(eb.shl(x, s), eb.constant(0x100, 32)),
+      eb.boolAnd(eb.eq(x, eb.constant(1, 32)), eb.ult(s, eb.constant(32, 32))));
+  EXPECT_TRUE(bb.assertTrue(cond));
+  ASSERT_EQ(sat.solve(), SatSolver::Result::Sat);
+  EXPECT_EQ(bb.modelValue(s), 8u);
+}
+
+TEST_F(Blast32, ShiftOverflowYieldsZero) {
+  auto x = eb.variable("x", 32);
+  // shl by >= width is 0 for every x, so asserting the negation is a
+  // level-0 conflict (assertTrue reports false) and the solver is unsat.
+  auto cond = eb.ne(eb.shl(x, eb.constant(32, 32)), eb.constant(0, 32));
+  EXPECT_FALSE(bb.assertTrue(cond));
+  EXPECT_EQ(sat.solve(), SatSolver::Result::Unsat);
+}
+
+TEST_F(Blast32, AshrFillsSign) {
+  auto x = eb.variable("x", 32);
+  auto cond = eb.boolAnd(
+      eb.eq(eb.ashr(x, eb.constant(31, 32)), eb.constant(0xFFFFFFFFu, 32)),
+      eb.ult(x, eb.constant(0x80000001u, 32)));
+  const std::uint64_t v = solveFor(cond, x);
+  EXPECT_EQ(v, 0x80000000u);
+}
+
+TEST_F(Blast32, DivisionRiscvConventions) {
+  auto x = eb.variable("x", 32);
+  // x / 0 must be all ones for every x: the negation is unsat.
+  auto bad = eb.ne(eb.udiv(x, eb.constant(0, 32)), eb.constant(0xFFFFFFFFu, 32));
+  EXPECT_TRUE(bb.assertTrue(eb.notOp(bad)));
+  auto is_bad_possible = eb.eq(eb.udiv(x, eb.constant(0, 32)),
+                               eb.constant(0xFFFFFFFFu, 32));
+  EXPECT_TRUE(bb.assertTrue(is_bad_possible));
+  EXPECT_EQ(sat.solve(), SatSolver::Result::Sat);
+}
+
+TEST_F(Blast32, SignedDivisionOverflowCase) {
+  auto x = eb.variable("x", 32);
+  auto cond = eb.eq(eb.sdiv(eb.constant(0x80000000u, 32),
+                            eb.constant(0xFFFFFFFFu, 32)),
+                    x);
+  const std::uint64_t v = solveFor(cond, x);
+  EXPECT_EQ(v, 0x80000000u);
+}
+
+TEST_F(Blast32, SignedComparisonCrossesZero) {
+  auto x = eb.variable("x", 32);
+  auto cond = eb.boolAnd(eb.slt(x, eb.constant(0, 32)),
+                         eb.ult(eb.constant(0x7FFFFFFFu, 32), x));
+  EXPECT_TRUE(bb.assertTrue(cond));
+  ASSERT_EQ(sat.solve(), SatSolver::Result::Sat);
+  EXPECT_GE(bb.modelValue(x), 0x80000000u);
+}
+
+// --- PathSolver -----------------------------------------------------------------
+
+TEST(PathSolver, IncrementalNarrowing) {
+  ExprBuilder eb;
+  PathSolver ps(eb);
+  auto x = eb.variable("x", 32);
+
+  EXPECT_EQ(ps.check(eb.eqConst(x, 5)), CheckResult::Sat);
+  ASSERT_TRUE(ps.addConstraint(eb.ult(x, eb.constant(10, 32))));
+  EXPECT_EQ(ps.check(eb.eqConst(x, 5)), CheckResult::Sat);
+  EXPECT_EQ(ps.check(eb.eqConst(x, 15)), CheckResult::Unsat);
+  ASSERT_TRUE(ps.addConstraint(eb.ugt(x, eb.constant(8, 32))));
+  EXPECT_EQ(ps.check(eb.eqConst(x, 9)), CheckResult::Sat);
+  EXPECT_EQ(ps.check(eb.eqConst(x, 5)), CheckResult::Unsat);
+
+  auto m = ps.model();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get(x->variableId()), 9u);
+}
+
+TEST(PathSolver, ModelCoversAllVariables) {
+  ExprBuilder eb;
+  PathSolver ps(eb);
+  auto x = eb.variable("x", 32);
+  auto y = eb.variable("y", 8);   // never constrained
+  ASSERT_TRUE(ps.addConstraint(eb.eqConst(x, 42)));
+  auto m = ps.model();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get(x->variableId()), 42u);
+  EXPECT_TRUE(m->contains(y->variableId()));
+}
+
+TEST(PathSolver, ConstantFastPath) {
+  ExprBuilder eb;
+  PathSolver ps(eb);
+  EXPECT_EQ(ps.check(eb.trueExpr()), CheckResult::Sat);
+  EXPECT_EQ(ps.check(eb.falseExpr()), CheckResult::Unsat);
+  EXPECT_GE(ps.stats().constant_fastpath, 2u);
+}
+
+TEST(PathSolver, UnsatPathStaysUnsat) {
+  ExprBuilder eb;
+  PathSolver ps(eb);
+  auto x = eb.variable("x", 8);
+  ASSERT_TRUE(ps.addConstraint(eb.eqConst(x, 1)));
+  EXPECT_FALSE(ps.addConstraint(eb.eqConst(x, 2)) &&
+               ps.checkPath() != CheckResult::Unsat);
+  EXPECT_EQ(ps.check(eb.eqConst(x, 1)), CheckResult::Unsat);
+  EXPECT_FALSE(ps.model().has_value());
+}
+
+TEST(PathSolver, ModelWithAssumptionDoesNotPersist) {
+  ExprBuilder eb;
+  PathSolver ps(eb);
+  auto x = eb.variable("x", 32);
+  ASSERT_TRUE(ps.addConstraint(eb.ult(x, eb.constant(100, 32))));
+  auto m1 = ps.model(eb.eqConst(x, 77));
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(m1->get(x->variableId()), 77u);
+  // The assumption must not have become permanent.
+  EXPECT_EQ(ps.check(eb.eqConst(x, 3)), CheckResult::Sat);
+}
+
+}  // namespace
+}  // namespace rvsym::solver

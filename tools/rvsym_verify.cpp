@@ -1,0 +1,209 @@
+// rvsym-verify — the command-line front end of the verification flow:
+// the tool a downstream user runs instead of writing C++ against the
+// library. It wires scenario selection, fault injection, engine
+// configuration, finding classification, coverage reporting and test-
+// vector export into one binary.
+//
+//   rvsym-verify                         # audit the authentic MicroRV32/VP pair
+//   rvsym-verify --fault E5              # hunt one injected error (fixed DUT)
+//   rvsym-verify --mode fuzz --fault E3  # random-testing baseline
+//   rvsym-verify --mode hybrid --fault X0
+//   rvsym-verify --scenario system --limit 2 --paths 3000
+//   rvsym-verify --ktest-dir out/       # export the generated test set
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "core/session.hpp"
+#include "expr/builder.hpp"
+#include "fault/faults.hpp"
+#include "fuzz/hybrid.hpp"
+#include "rv32/instr.hpp"
+#include "symex/ktest.hpp"
+
+namespace {
+
+using namespace rvsym;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --mode MODE        symbolic | fuzz | hybrid      (default symbolic)\n"
+      "  --fault ID         inject E0..E9 / X0..X1 into a fixed DUT\n"
+      "  --scenario S       all | rv32i | system | opcode=0xNN | csr=0xNNN\n"
+      "  --limit N          instruction limit              (default 1)\n"
+      "  --regs N           symbolic registers             (default 2)\n"
+      "  --paths N          path budget                    (default 2000)\n"
+      "  --seconds S        wall-clock budget              (default 60)\n"
+      "  --searcher S       dfs | bfs | random             (default dfs)\n"
+      "  --stop-on-error    stop at the first mismatch\n"
+      "  --monitor          enable the RVFI self-consistency monitor\n"
+      "  --ktest-dir DIR    export every test vector\n"
+      "  --coverage         print test-set coverage\n"
+      "  --help\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "symbolic";
+  std::string fault_id;
+  std::string scenario = "all";
+  std::string searcher = "dfs";
+  std::string ktest_dir;
+  unsigned limit = 1, regs = 2;
+  std::uint64_t paths = 2000;
+  double seconds = 60;
+  bool stop_on_error = false;
+  bool want_coverage = false;
+  bool monitor = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--mode") mode = value();
+    else if (arg == "--fault") fault_id = value();
+    else if (arg == "--scenario") scenario = value();
+    else if (arg == "--limit") limit = static_cast<unsigned>(std::atoi(value()));
+    else if (arg == "--regs") regs = static_cast<unsigned>(std::atoi(value()));
+    else if (arg == "--paths") paths = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (arg == "--seconds") seconds = std::atof(value());
+    else if (arg == "--searcher") searcher = value();
+    else if (arg == "--ktest-dir") ktest_dir = value();
+    else if (arg == "--stop-on-error") stop_on_error = true;
+    else if (arg == "--coverage") want_coverage = true;
+    else if (arg == "--monitor") monitor = true;
+    else if (arg == "--help") { usage(argv[0]); return 0; }
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // --- Build the co-simulation configuration ------------------------------
+  core::CosimConfig cfg;
+  if (!fault_id.empty()) {
+    cfg.rtl = rtl::fixedRtlConfig();
+    cfg.iss.csr = iss::CsrConfig::specCorrect();
+    try {
+      fault::errorById(fault_id).apply(cfg);
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    stop_on_error = true;
+  }
+  cfg.instr_limit = limit;
+  cfg.num_symbolic_regs = regs;
+  cfg.enable_rvfi_monitor = monitor;
+
+  if (scenario == "rv32i" || !fault_id.empty())
+    cfg.instr_constraint = core::CoSimulation::blockSystemInstructions();
+  else if (scenario == "system")
+    cfg.instr_constraint = core::CoSimulation::onlySystemInstructions();
+  else if (scenario.rfind("opcode=", 0) == 0)
+    cfg.instr_constraint = core::CoSimulation::onlyMajorOpcode(
+        static_cast<std::uint32_t>(std::strtoul(scenario.c_str() + 7, nullptr, 0)));
+  else if (scenario.rfind("csr=", 0) == 0)
+    cfg.instr_constraint = core::CoSimulation::onlyCsrAddress(
+        static_cast<std::uint16_t>(std::strtoul(scenario.c_str() + 4, nullptr, 0)));
+  else if (scenario != "all") {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+
+  // --- Fuzz / hybrid modes ---------------------------------------------------
+  if (mode == "fuzz") {
+    fuzz::FuzzOptions fopts;
+    fopts.max_seconds = seconds;
+    fopts.max_tests = 0;
+    fopts.instr_limit = limit;
+    fuzz::CosimFuzzer fuzzer;
+    const fuzz::FuzzReport r = fuzzer.run(cfg, fopts);
+    std::printf("fuzzing: %llu tests in %.2fs — %s\n",
+                static_cast<unsigned long long>(r.tests), r.seconds,
+                r.found ? "MISMATCH FOUND" : "no mismatch");
+    if (r.found)
+      std::printf("  %s\n  witness: %s\n", r.mismatch_message.c_str(),
+                  rv32::disassemble(r.witness_instr).c_str());
+    return r.found ? 0 : 1;
+  }
+  if (mode == "hybrid") {
+    expr::ExprBuilder eb;
+    fuzz::HybridOptions hopts;
+    hopts.symex.max_seconds = seconds;
+    hopts.symex.max_paths = paths;
+    const fuzz::HybridReport r = fuzz::runHybrid(eb, cfg, hopts);
+    std::printf("hybrid: fuzz %llu tests (%.2fs), symex %llu paths (%.2fs)\n",
+                static_cast<unsigned long long>(r.fuzz_tests), r.fuzz_seconds,
+                static_cast<unsigned long long>(r.symex_paths),
+                r.symex_seconds);
+    switch (r.found_by) {
+      case fuzz::HybridReport::FoundBy::Fuzzing:
+        std::printf("MISMATCH FOUND by fuzzing phase: %s\n", r.message.c_str());
+        break;
+      case fuzz::HybridReport::FoundBy::Symbolic:
+        std::printf("MISMATCH FOUND by symbolic phase: %s\n",
+                    r.message.c_str());
+        break;
+      case fuzz::HybridReport::FoundBy::None:
+        std::printf("no mismatch within budget\n");
+        break;
+    }
+    return r.found() ? 0 : 1;
+  }
+  if (mode != "symbolic") {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  // --- Symbolic verification session -------------------------------------------
+  expr::ExprBuilder eb;
+  core::SessionOptions options;
+  options.cosim = cfg;
+  options.engine.max_paths = paths;
+  options.engine.max_seconds = seconds;
+  options.engine.stop_on_error = stop_on_error;
+  if (searcher == "bfs")
+    options.engine.searcher = symex::EngineOptions::Searcher::Bfs;
+  else if (searcher == "random")
+    options.engine.searcher = symex::EngineOptions::Searcher::Random;
+  else if (searcher != "dfs") {
+    std::fprintf(stderr, "unknown searcher '%s'\n", searcher.c_str());
+    return 2;
+  }
+
+  core::VerificationSession session(eb, options);
+  const core::SessionReport report = session.run();
+
+  std::printf("explored %llu paths (%llu completed, %llu partial) — "
+              "%llu instructions, %.2fs, %llu test vectors\n",
+              static_cast<unsigned long long>(report.engine.totalPaths()),
+              static_cast<unsigned long long>(report.engine.completed_paths),
+              static_cast<unsigned long long>(report.engine.partialPaths()),
+              static_cast<unsigned long long>(report.engine.instructions),
+              report.engine.seconds,
+              static_cast<unsigned long long>(report.engine.test_vectors));
+
+  if (!report.findings.empty())
+    std::printf("\n%s\n", core::renderFindingsTable(report.findings).c_str());
+  else
+    std::printf("no mismatches found\n");
+
+  if (want_coverage) {
+    core::CoverageCollector cov;
+    cov.addReport(report.engine);
+    std::printf("\n%s", cov.summary().c_str());
+  }
+  if (!ktest_dir.empty()) {
+    const std::size_t n =
+        symex::exportReportVectors(report.engine, ktest_dir);
+    std::printf("\nexported %zu test vectors to %s/\n", n, ktest_dir.c_str());
+  }
+  return fault_id.empty() ? 0 : (report.engine.error_paths > 0 ? 0 : 1);
+}
