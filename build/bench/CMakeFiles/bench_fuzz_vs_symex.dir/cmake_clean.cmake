@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzz_vs_symex.dir/bench_fuzz_vs_symex.cpp.o"
+  "CMakeFiles/bench_fuzz_vs_symex.dir/bench_fuzz_vs_symex.cpp.o.d"
+  "bench_fuzz_vs_symex"
+  "bench_fuzz_vs_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzz_vs_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concrete_trace.dir/concrete_trace.cpp.o"
+  "CMakeFiles/concrete_trace.dir/concrete_trace.cpp.o.d"
+  "concrete_trace"
+  "concrete_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concrete_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

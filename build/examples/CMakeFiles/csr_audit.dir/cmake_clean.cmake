@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_audit.dir/csr_audit.cpp.o"
+  "CMakeFiles/csr_audit.dir/csr_audit.cpp.o.d"
+  "csr_audit"
+  "csr_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

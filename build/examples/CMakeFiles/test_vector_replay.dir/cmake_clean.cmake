@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_replay.dir/test_vector_replay.cpp.o"
+  "CMakeFiles/test_vector_replay.dir/test_vector_replay.cpp.o.d"
+  "test_vector_replay"
+  "test_vector_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/rvsym_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/cosim.cpp" "src/core/CMakeFiles/rvsym_core.dir/cosim.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/cosim.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/rvsym_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/rvsym_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/procconfig.cpp" "src/core/CMakeFiles/rvsym_core.dir/procconfig.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/procconfig.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/rvsym_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/symmem.cpp" "src/core/CMakeFiles/rvsym_core.dir/symmem.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/symmem.cpp.o.d"
+  "/root/repo/src/core/voter.cpp" "src/core/CMakeFiles/rvsym_core.dir/voter.cpp.o" "gcc" "src/core/CMakeFiles/rvsym_core.dir/voter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iss/CMakeFiles/rvsym_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/rvsym_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/rvsym_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/rvsym_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rvsym_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rvsym_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

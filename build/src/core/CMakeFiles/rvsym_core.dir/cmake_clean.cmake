@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_core.dir/classify.cpp.o"
+  "CMakeFiles/rvsym_core.dir/classify.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/cosim.cpp.o"
+  "CMakeFiles/rvsym_core.dir/cosim.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/coverage.cpp.o"
+  "CMakeFiles/rvsym_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/monitor.cpp.o"
+  "CMakeFiles/rvsym_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/procconfig.cpp.o"
+  "CMakeFiles/rvsym_core.dir/procconfig.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/session.cpp.o"
+  "CMakeFiles/rvsym_core.dir/session.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/symmem.cpp.o"
+  "CMakeFiles/rvsym_core.dir/symmem.cpp.o.d"
+  "CMakeFiles/rvsym_core.dir/voter.cpp.o"
+  "CMakeFiles/rvsym_core.dir/voter.cpp.o.d"
+  "librvsym_core.a"
+  "librvsym_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

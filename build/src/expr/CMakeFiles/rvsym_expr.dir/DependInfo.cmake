@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/builder.cpp" "src/expr/CMakeFiles/rvsym_expr.dir/builder.cpp.o" "gcc" "src/expr/CMakeFiles/rvsym_expr.dir/builder.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/expr/CMakeFiles/rvsym_expr.dir/eval.cpp.o" "gcc" "src/expr/CMakeFiles/rvsym_expr.dir/eval.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/expr/CMakeFiles/rvsym_expr.dir/expr.cpp.o" "gcc" "src/expr/CMakeFiles/rvsym_expr.dir/expr.cpp.o.d"
+  "/root/repo/src/expr/print.cpp" "src/expr/CMakeFiles/rvsym_expr.dir/print.cpp.o" "gcc" "src/expr/CMakeFiles/rvsym_expr.dir/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_expr.dir/builder.cpp.o"
+  "CMakeFiles/rvsym_expr.dir/builder.cpp.o.d"
+  "CMakeFiles/rvsym_expr.dir/eval.cpp.o"
+  "CMakeFiles/rvsym_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/rvsym_expr.dir/expr.cpp.o"
+  "CMakeFiles/rvsym_expr.dir/expr.cpp.o.d"
+  "CMakeFiles/rvsym_expr.dir/print.cpp.o"
+  "CMakeFiles/rvsym_expr.dir/print.cpp.o.d"
+  "librvsym_expr.a"
+  "librvsym_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

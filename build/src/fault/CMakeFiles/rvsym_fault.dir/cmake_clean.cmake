@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_fault.dir/faults.cpp.o"
+  "CMakeFiles/rvsym_fault.dir/faults.cpp.o.d"
+  "librvsym_fault.a"
+  "librvsym_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librvsym_fault.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/fuzzer.cpp" "src/fuzz/CMakeFiles/rvsym_fuzz.dir/fuzzer.cpp.o" "gcc" "src/fuzz/CMakeFiles/rvsym_fuzz.dir/fuzzer.cpp.o.d"
+  "/root/repo/src/fuzz/hybrid.cpp" "src/fuzz/CMakeFiles/rvsym_fuzz.dir/hybrid.cpp.o" "gcc" "src/fuzz/CMakeFiles/rvsym_fuzz.dir/hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rvsym_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/rvsym_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/rvsym_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/rvsym_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rvsym_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/rvsym_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rvsym_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_fuzz.dir/fuzzer.cpp.o"
+  "CMakeFiles/rvsym_fuzz.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/rvsym_fuzz.dir/hybrid.cpp.o"
+  "CMakeFiles/rvsym_fuzz.dir/hybrid.cpp.o.d"
+  "librvsym_fuzz.a"
+  "librvsym_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_iss.dir/csrfile.cpp.o"
+  "CMakeFiles/rvsym_iss.dir/csrfile.cpp.o.d"
+  "CMakeFiles/rvsym_iss.dir/iss.cpp.o"
+  "CMakeFiles/rvsym_iss.dir/iss.cpp.o.d"
+  "librvsym_iss.a"
+  "librvsym_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

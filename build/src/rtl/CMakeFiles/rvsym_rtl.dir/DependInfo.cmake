@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/core.cpp" "src/rtl/CMakeFiles/rvsym_rtl.dir/core.cpp.o" "gcc" "src/rtl/CMakeFiles/rvsym_rtl.dir/core.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/rvsym_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/rvsym_rtl.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iss/CMakeFiles/rvsym_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/rvsym_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rvsym_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv32/CMakeFiles/rvsym_rv32.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rvsym_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_rtl.dir/core.cpp.o"
+  "CMakeFiles/rvsym_rtl.dir/core.cpp.o.d"
+  "CMakeFiles/rvsym_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/rvsym_rtl.dir/vcd.cpp.o.d"
+  "librvsym_rtl.a"
+  "librvsym_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rv32/csr.cpp" "src/rv32/CMakeFiles/rvsym_rv32.dir/csr.cpp.o" "gcc" "src/rv32/CMakeFiles/rvsym_rv32.dir/csr.cpp.o.d"
+  "/root/repo/src/rv32/instr.cpp" "src/rv32/CMakeFiles/rvsym_rv32.dir/instr.cpp.o" "gcc" "src/rv32/CMakeFiles/rvsym_rv32.dir/instr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/rvsym_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

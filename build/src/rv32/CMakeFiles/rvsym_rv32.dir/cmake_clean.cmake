@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_rv32.dir/csr.cpp.o"
+  "CMakeFiles/rvsym_rv32.dir/csr.cpp.o.d"
+  "CMakeFiles/rvsym_rv32.dir/instr.cpp.o"
+  "CMakeFiles/rvsym_rv32.dir/instr.cpp.o.d"
+  "librvsym_rv32.a"
+  "librvsym_rv32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_rv32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

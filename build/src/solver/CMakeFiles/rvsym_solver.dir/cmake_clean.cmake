@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_solver.dir/bitblast.cpp.o"
+  "CMakeFiles/rvsym_solver.dir/bitblast.cpp.o.d"
+  "CMakeFiles/rvsym_solver.dir/sat.cpp.o"
+  "CMakeFiles/rvsym_solver.dir/sat.cpp.o.d"
+  "CMakeFiles/rvsym_solver.dir/solver.cpp.o"
+  "CMakeFiles/rvsym_solver.dir/solver.cpp.o.d"
+  "librvsym_solver.a"
+  "librvsym_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symex/engine.cpp" "src/symex/CMakeFiles/rvsym_symex.dir/engine.cpp.o" "gcc" "src/symex/CMakeFiles/rvsym_symex.dir/engine.cpp.o.d"
+  "/root/repo/src/symex/knownbits.cpp" "src/symex/CMakeFiles/rvsym_symex.dir/knownbits.cpp.o" "gcc" "src/symex/CMakeFiles/rvsym_symex.dir/knownbits.cpp.o.d"
+  "/root/repo/src/symex/ktest.cpp" "src/symex/CMakeFiles/rvsym_symex.dir/ktest.cpp.o" "gcc" "src/symex/CMakeFiles/rvsym_symex.dir/ktest.cpp.o.d"
+  "/root/repo/src/symex/state.cpp" "src/symex/CMakeFiles/rvsym_symex.dir/state.cpp.o" "gcc" "src/symex/CMakeFiles/rvsym_symex.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/rvsym_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rvsym_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym_symex.dir/engine.cpp.o"
+  "CMakeFiles/rvsym_symex.dir/engine.cpp.o.d"
+  "CMakeFiles/rvsym_symex.dir/knownbits.cpp.o"
+  "CMakeFiles/rvsym_symex.dir/knownbits.cpp.o.d"
+  "CMakeFiles/rvsym_symex.dir/ktest.cpp.o"
+  "CMakeFiles/rvsym_symex.dir/ktest.cpp.o.d"
+  "CMakeFiles/rvsym_symex.dir/state.cpp.o"
+  "CMakeFiles/rvsym_symex.dir/state.cpp.o.d"
+  "librvsym_symex.a"
+  "librvsym_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

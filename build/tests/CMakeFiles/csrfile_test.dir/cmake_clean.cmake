@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csrfile_test.dir/csrfile_test.cpp.o"
+  "CMakeFiles/csrfile_test.dir/csrfile_test.cpp.o.d"
+  "csrfile_test"
+  "csrfile_test.pdb"
+  "csrfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csrfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_test.dir/interrupt_test.cpp.o"
+  "CMakeFiles/interrupt_test.dir/interrupt_test.cpp.o.d"
+  "interrupt_test"
+  "interrupt_test.pdb"
+  "interrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktest_test.dir/ktest_test.cpp.o"
+  "CMakeFiles/ktest_test.dir/ktest_test.cpp.o.d"
+  "ktest_test"
+  "ktest_test.pdb"
+  "ktest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

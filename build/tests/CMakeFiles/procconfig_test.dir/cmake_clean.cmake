@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procconfig_test.dir/procconfig_test.cpp.o"
+  "CMakeFiles/procconfig_test.dir/procconfig_test.cpp.o.d"
+  "procconfig_test"
+  "procconfig_test.pdb"
+  "procconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

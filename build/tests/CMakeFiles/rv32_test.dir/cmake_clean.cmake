@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rv32_test.dir/rv32_test.cpp.o"
+  "CMakeFiles/rv32_test.dir/rv32_test.cpp.o.d"
+  "rv32_test"
+  "rv32_test.pdb"
+  "rv32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rv32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voter_test.dir/voter_test.cpp.o"
+  "CMakeFiles/voter_test.dir/voter_test.cpp.o.d"
+  "voter_test"
+  "voter_test.pdb"
+  "voter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/symex_test[1]_include.cmake")
+include("/root/repo/build/tests/rv32_test[1]_include.cmake")
+include("/root/repo/build/tests/iss_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/cosim_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/ktest_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/interrupt_test[1]_include.cmake")
+include("/root/repo/build/tests/csrfile_test[1]_include.cmake")
+include("/root/repo/build/tests/voter_test[1]_include.cmake")
+include("/root/repo/build/tests/procconfig_test[1]_include.cmake")

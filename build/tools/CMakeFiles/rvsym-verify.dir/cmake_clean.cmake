@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvsym-verify.dir/rvsym_verify.cpp.o"
+  "CMakeFiles/rvsym-verify.dir/rvsym_verify.cpp.o.d"
+  "rvsym-verify"
+  "rvsym-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvsym-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
