@@ -12,17 +12,22 @@
 // ADD wrong only for rs2 == 0xCAFEBABE; X1: BLT wrong only for
 // rs1 == INT32_MIN), which the symbolic engine solves for directly.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/cosim.hpp"
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
 #include "fuzz/fuzzer.hpp"
-#include "symex/engine.hpp"
+#include "symex/parallel.hpp"
 
 namespace {
 
 using namespace rvsym;
+
+unsigned g_jobs = 1;  // --jobs N: workers for the symbolic side
 
 core::CosimConfig configFor(const fault::InjectedError& error) {
   core::CosimConfig cfg;
@@ -36,10 +41,15 @@ core::CosimConfig configFor(const fault::InjectedError& error) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+  }
   std::printf("FUZZING BASELINE vs SYMBOLIC EXECUTION\n");
   std::printf("(identical co-simulation testbench; budget: 60s or 300k "
-              "random tests per error)\n\n");
+              "random tests per error; symbolic workers: %u)\n\n",
+              g_jobs);
   std::printf("%-5s %-42s | %-9s %9s %9s | %-9s %9s %9s\n", "", "", "fuzzing",
               "tests", "time[s]", "symbolic", "paths", "time[s]");
   std::printf("%s\n", std::string(110, '-').c_str());
@@ -61,14 +71,17 @@ int main() {
     const fuzz::FuzzReport fr = fuzzer.run(cfg, fopts);
     fuzz_found += fr.found ? 1 : 0;
 
-    // Symbolic engine.
-    expr::ExprBuilder eb;
-    symex::EngineOptions sopts;
+    // Symbolic engine (one co-sim harness per worker).
+    symex::ParallelEngineOptions sopts;
     sopts.stop_on_error = true;
     sopts.max_seconds = 60;
-    core::CoSimulation cosim(eb, cfg);
-    symex::Engine engine(eb, sopts);
-    const symex::EngineReport sr = engine.run(cosim.program());
+    sopts.jobs = g_jobs;
+    symex::ParallelEngine engine(sopts);
+    const symex::EngineReport sr =
+        engine.run([&cfg](symex::WorkerContext& ctx) {
+          auto cosim = std::make_shared<core::CoSimulation>(ctx.builder, cfg);
+          return [cosim](symex::ExecState& st) { cosim->runPath(st); };
+        });
     symex_found += sr.error_paths > 0 ? 1 : 0;
 
     std::printf("%-5s %-42s | %-9s %9llu %9.2f | %-9s %9llu %9.3f\n",

@@ -13,6 +13,9 @@
 #include "rv32/encode.hpp"
 #include "solver/solver.hpp"
 #include "symex/engine.hpp"
+#include "symex/parallel.hpp"
+
+#include <memory>
 
 namespace {
 
@@ -179,6 +182,33 @@ void BM_KnownBitsAblation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnownBitsAblation)->Arg(1)->Arg(0);
+
+void BM_ParallelExplorationJobs(benchmark::State& state) {
+  // Jobs-scaling: the same bounded exploration on range(0) workers.
+  // The committer hands out path prefixes in sequential searcher order,
+  // so path/instruction counts are identical for every jobs value; only
+  // wall-clock and cache traffic change.
+  const unsigned jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    core::CosimConfig cfg;
+    cfg.instr_limit = 1;
+    symex::ParallelEngineOptions opts;
+    opts.stop_on_error = false;
+    opts.max_paths = 100;
+    opts.collect_test_vectors = false;
+    opts.jobs = jobs;
+    symex::ParallelEngine engine(opts);
+    const auto report = engine.run([&cfg](symex::WorkerContext& ctx) {
+      auto cosim = std::make_shared<core::CoSimulation>(ctx.builder, cfg);
+      return [cosim](symex::ExecState& st) { cosim->runPath(st); };
+    });
+    state.counters["paths"] =
+        benchmark::Counter(static_cast<double>(report.totalPaths()));
+    state.counters["qcache_hits"] =
+        benchmark::Counter(static_cast<double>(report.qcache_hits));
+  }
+}
+BENCHMARK(BM_ParallelExplorationJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -16,6 +16,8 @@
 // Findings are merged, deduplicated and checked against the expected
 // paper rows.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <vector>
@@ -31,6 +33,8 @@ using core::CosimConfig;
 using core::CoSimulation;
 using core::Finding;
 
+unsigned g_jobs = 1;  // --jobs N: parallel exploration workers per pass
+
 std::vector<Finding> runPass(const char* label, CosimConfig cfg,
                              std::uint64_t max_paths, double max_seconds,
                              symex::EngineReport* stats_out) {
@@ -40,6 +44,7 @@ std::vector<Finding> runPass(const char* label, CosimConfig cfg,
   options.engine.max_paths = max_paths;
   options.engine.max_seconds = max_seconds;
   options.engine.max_stored_paths = 1;  // keep memory flat; errors always kept
+  options.engine.jobs = g_jobs;
   core::VerificationSession session(eb, options);
   core::SessionReport report = session.run();
   std::printf(
@@ -55,9 +60,14 @@ std::vector<Finding> runPass(const char* label, CosimConfig cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+  }
   std::printf("TABLE I — CO-SIMULATION RESULTS (R): ERRORS (E) AND "
-              "MISMATCHES (M) IN MICRORV32 AND THE VP (E*)\n\n");
+              "MISMATCHES (M) IN MICRORV32 AND THE VP (E*)\n");
+  std::printf("(exploration workers: %u)\n\n", g_jobs);
 
   std::vector<Finding> all;
   std::set<std::string> seen;

@@ -11,16 +11,21 @@
 // 24-hour wall-clock limit on a Xeon server.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/cosim.hpp"
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
-#include "symex/engine.hpp"
+#include "symex/parallel.hpp"
 
 namespace {
 
 using namespace rvsym;
+
+unsigned g_jobs = 1;  // --jobs N: parallel exploration workers per hunt
 
 struct RunResult {
   bool found = false;
@@ -28,10 +33,11 @@ struct RunResult {
   double seconds = 0;
   std::uint64_t partial_paths = 0;
   std::uint64_t paths = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
-  expr::ExprBuilder eb;
   core::CosimConfig cfg;
   cfg.rtl = rtl::fixedRtlConfig();
   cfg.iss.csr = iss::CsrConfig::specCorrect();
@@ -39,14 +45,20 @@ RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
   cfg.instr_constraint = core::CoSimulation::blockSystemInstructions();
   error.apply(cfg);
 
-  symex::EngineOptions opts;
+  symex::ParallelEngineOptions opts;
   opts.stop_on_error = true;  // Table II measures time-to-first-error
   opts.max_seconds = 300;     // scaled-down stand-in for the 24 h limit
   opts.max_paths = 200000;
+  opts.jobs = g_jobs;
 
-  core::CoSimulation cosim(eb, cfg);
-  symex::Engine engine(eb, opts);
-  const symex::EngineReport report = engine.run(cosim.program());
+  // Same driver path as core::Session at jobs > 1: one harness per
+  // worker. At --jobs 1 this reproduces the sequential hunt exactly.
+  symex::ParallelEngine engine(opts);
+  const symex::EngineReport report =
+      engine.run([&cfg](symex::WorkerContext& ctx) {
+        auto cosim = std::make_shared<core::CoSimulation>(ctx.builder, cfg);
+        return [cosim](symex::ExecState& st) { cosim->runPath(st); };
+      });
 
   RunResult r;
   r.found = report.error_paths > 0;
@@ -54,6 +66,8 @@ RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
   r.seconds = report.seconds;
   r.partial_paths = report.partialPaths();
   r.paths = report.completed_paths;
+  r.cache_hits = report.qcache_hits;
+  r.cache_misses = report.qcache_misses;
   return r;
 }
 
@@ -71,8 +85,12 @@ double medianD(std::vector<double> v) {
 
 }  // namespace
 
-int main() {
-  std::printf("TABLE II — INJECTED ERROR RESULTS\n");
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+  }
+  std::printf("TABLE II — INJECTED ERROR RESULTS (workers: %u)\n", g_jobs);
   std::printf(
       "(shape reproduction: absolute numbers are smaller than the paper's "
       "Xeon/KLEE runs;\n the claims to check are: all errors found, and "
@@ -89,6 +107,7 @@ int main() {
 
   struct Totals {
     std::uint64_t instr = 0, partial = 0, paths = 0;
+    std::uint64_t cache_hits = 0, cache_misses = 0;
     double time = 0;
     int found = 0;
     std::vector<std::uint64_t> instr_v, partial_v, paths_v;
@@ -97,6 +116,8 @@ int main() {
       instr += r.instructions;
       partial += r.partial_paths;
       paths += r.paths;
+      cache_hits += r.cache_hits;
+      cache_misses += r.cache_misses;
       time += r.seconds;
       found += r.found ? 1 : 0;
       instr_v.push_back(r.instructions);
@@ -142,6 +163,19 @@ int main() {
       static_cast<unsigned long long>(median(t2.instr_v)), medianD(t2.time_v),
       static_cast<unsigned long long>(median(t2.partial_v)),
       static_cast<unsigned long long>(median(t2.paths_v)));
+
+  const auto hitRate = [](const Totals& t) {
+    const std::uint64_t q = t.cache_hits + t.cache_misses;
+    return q == 0 ? 0.0 : 100.0 * static_cast<double>(t.cache_hits) /
+                              static_cast<double>(q);
+  };
+  std::printf(
+      "\nquery cache: limit-1 %llu hits / %llu misses (%.1f%%), "
+      "limit-2 %llu hits / %llu misses (%.1f%%)\n",
+      static_cast<unsigned long long>(t1.cache_hits),
+      static_cast<unsigned long long>(t1.cache_misses), hitRate(t1),
+      static_cast<unsigned long long>(t2.cache_hits),
+      static_cast<unsigned long long>(t2.cache_misses), hitRate(t2));
 
   std::printf(
       "\npaper shape check: all found = %s/%s; limit-1 total time <= "

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
 namespace rvsym::core {
@@ -10,10 +11,21 @@ VerificationSession::VerificationSession(expr::ExprBuilder& eb,
     : eb_(eb), options_(std::move(options)) {}
 
 SessionReport VerificationSession::run() {
-  CoSimulation cosim(eb_, options_.cosim);
-  symex::Engine engine(eb_, options_.engine);
   SessionReport report;
-  report.engine = engine.run(cosim.program());
+  if (options_.engine.jobs > 1) {
+    // Parallel exploration: one co-sim harness per worker, each built
+    // against the worker's private builder.
+    symex::ParallelEngine engine(options_.engine);
+    const CosimConfig& cfg = options_.cosim;
+    report.engine = engine.run([&cfg](symex::WorkerContext& ctx) {
+      auto cosim = std::make_shared<CoSimulation>(ctx.builder, cfg);
+      return [cosim](symex::ExecState& st) { cosim->runPath(st); };
+    });
+  } else {
+    CoSimulation cosim(eb_, options_.cosim);
+    symex::Engine engine(eb_, options_.engine);
+    report.engine = engine.run(cosim.program());
+  }
   report.findings = classifyReport(report.engine);
   return report;
 }

@@ -10,12 +10,19 @@
 #include "core/classify.hpp"
 #include "core/cosim.hpp"
 #include "symex/engine.hpp"
+#include "symex/parallel.hpp"
 
 namespace rvsym::core {
 
 struct SessionOptions {
   CosimConfig cosim;
-  symex::EngineOptions engine;
+  /// Engine configuration. `engine.jobs > 1` explores on that many
+  /// worker threads (one co-sim harness per worker); the report is
+  /// deterministic and count-identical to a single-threaded run. Any
+  /// CosimConfig hooks (instr_constraint, post_init_hook) are then
+  /// invoked concurrently from multiple workers and must be
+  /// re-entrant — the built-in scenario constraints all are.
+  symex::ParallelEngineOptions engine;
 
   SessionOptions() {
     // Verification sweeps want every mismatch, not just the first.

@@ -1,0 +1,127 @@
+#include "solver/querycache.hpp"
+
+#include <string>
+
+namespace rvsym::solver {
+
+namespace {
+
+// splitmix64 finalizer — strong mixing so set-sums stay collision-free.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hashString(const std::string& s, std::uint64_t seed) {
+  // FNV-1a seeded per lane.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+CanonHash leafHash(const expr::Expr& e) {
+  const std::uint64_t kind = static_cast<std::uint64_t>(e.kind());
+  const std::uint64_t width = e.width();
+  CanonHash h;
+  if (e.isVariable()) {
+    // Variables hash by name: ids are a per-builder accident.
+    h.lo = mix64(hashString(e.name(), 0x11) ^ mix64(kind ^ (width << 8)));
+    h.hi = mix64(hashString(e.name(), 0x22) + mix64(width ^ (kind << 8)));
+  } else {
+    // Constant bits, or the Extract low-bit index; 0 for other kinds.
+    const std::uint64_t value = e.rawValue();
+    h.lo = mix64(mix64(kind ^ (width << 8)) ^ mix64(value));
+    h.hi = mix64(mix64(width ^ (kind << 8)) + mix64(value ^ 0x5bd1e995ULL));
+  }
+  return h;
+}
+
+}  // namespace
+
+CanonHash canonQueryKey(const CanonHash& constraint_set,
+                        const CanonHash& assumption) {
+  CanonHash key;
+  key.lo = mix64(mix64(constraint_set.lo) ^ mix64(assumption.lo ^ 0xa5a5a5a5ULL));
+  key.hi = mix64(mix64(constraint_set.hi) + mix64(assumption.hi ^ 0x3c3c3c3cULL));
+  return key;
+}
+
+CanonHash CanonicalHasher::hash(const expr::ExprRef& e) {
+  // Iterative post-order walk: deep ITE chains (symbolic memories) must
+  // not overflow the native stack.
+  stack_.clear();
+  stack_.push_back(e.get());
+  while (!stack_.empty()) {
+    const expr::Expr* node = stack_.back();
+    if (memo_.count(node) != 0) {
+      stack_.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (int i = 0; i < node->numOperands(); ++i) {
+      const expr::Expr* op = node->operand(i).get();
+      if (memo_.count(op) == 0) {
+        if (ready) ready = false;
+        stack_.push_back(op);
+      }
+    }
+    if (!ready) continue;
+    stack_.pop_back();
+
+    CanonHash h = leafHash(*node);
+    for (int i = 0; i < node->numOperands(); ++i) {
+      const CanonHash& oh = memo_.at(node->operand(i).get());
+      // Order-sensitive fold (operand position matters).
+      h.lo = mix64(h.lo ^ oh.lo);
+      h.hi = mix64(h.hi + oh.hi + 0x9e3779b97f4a7c15ULL);
+    }
+    memo_.emplace(node, h);
+  }
+  return memo_.at(e.get());
+}
+
+QueryCache::QueryCache(unsigned shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+std::optional<bool> QueryCache::lookup(const CanonHash& key) {
+  Shard& shard = shardFor(key);
+  std::optional<bool> result;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) result = it->second;
+  }
+  if (result)
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  else
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void QueryCache::insert(const CanonHash& key, bool sat) {
+  Shard& shard = shardFor(key);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.map[key] = sat;
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(const_cast<Shard&>(shard).mu);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+}  // namespace rvsym::solver

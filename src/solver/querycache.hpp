@@ -1,0 +1,120 @@
+// Cross-path query cache — shares fork-feasibility verdicts between
+// execution paths (and between the worker threads of the parallel
+// engine, KLEE's "query cache" adapted to the replay-based design).
+//
+// A query is identified by a canonical structural hash of its
+// (path-constraint set, assumption) pair. The hash is *builder
+// independent*: variables are hashed by name, never by pointer or id,
+// so two worker threads that build the same decoder constraint in their
+// private ExprBuilders produce the same key. The constraint-set
+// component is combined commutatively, matching conjunction semantics.
+//
+// Only definitive verdicts (Sat/Unsat) are stored; Unknown results from
+// conflict-budgeted solves are budget-dependent and never cached. A
+// cached verdict is a semantic fact about the query, so a hit is valid
+// regardless of which path, worker or solver instance produced it.
+//
+// Thread safety: QueryCache is sharded behind per-shard mutexes and is
+// safe for concurrent use. CanonicalHasher is NOT thread-safe — each
+// worker owns one (its memo keys on the worker's interned Expr nodes,
+// which the owning ExprBuilder keeps alive).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace rvsym::solver {
+
+/// 128-bit canonical structural hash (two independently mixed 64-bit
+/// lanes, so accidental collisions across millions of queries are
+/// vanishingly unlikely).
+struct CanonHash {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const CanonHash&, const CanonHash&) = default;
+};
+
+/// Order-independent accumulation of a set member (conjunction semantics:
+/// {a, b} and {b, a} produce the same set hash).
+inline CanonHash canonSetAdd(CanonHash set, const CanonHash& member) {
+  set.lo += member.lo;
+  set.hi += member.hi;
+  return set;
+}
+
+/// Combines a constraint-set hash with an assumption hash into the final
+/// query key (order-sensitive: the assumption is not a set member).
+CanonHash canonQueryKey(const CanonHash& constraint_set,
+                        const CanonHash& assumption);
+
+/// Memoized builder-independent structural hasher. One per worker.
+class CanonicalHasher {
+ public:
+  CanonHash hash(const expr::ExprRef& e);
+
+  std::size_t memoSize() const { return memo_.size(); }
+
+ private:
+  // Keyed on interned node pointers; valid for the lifetime of the
+  // ExprBuilder that produced them (builders retain every node).
+  std::unordered_map<const expr::Expr*, CanonHash> memo_;
+  std::vector<const expr::Expr*> stack_;
+};
+
+/// The shared verdict store.
+class QueryCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t entries = 0;
+
+    double hitRate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  explicit QueryCache(unsigned shards = 16);
+
+  /// Cached verdict for `key`: true = Sat, false = Unsat. Counts a hit
+  /// or miss.
+  std::optional<bool> lookup(const CanonHash& key);
+
+  /// Stores a definitive verdict. Last writer wins (identical keys carry
+  /// identical verdicts, so races are benign).
+  void insert(const CanonHash& key, bool sat);
+
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CanonHash& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<CanonHash, bool, KeyHash> map;
+  };
+
+  Shard& shardFor(const CanonHash& key) {
+    return shards_[static_cast<std::size_t>(key.hi) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace rvsym::solver

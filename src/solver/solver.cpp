@@ -7,6 +7,9 @@ PathSolver::PathSolver(expr::ExprBuilder& eb)
 
 bool PathSolver::addConstraint(const expr::ExprRef& cond) {
   constraints_.push_back(cond);
+  if (cache_)
+    constraint_set_hash_ =
+        canonSetAdd(constraint_set_hash_, hasher_->hash(cond));
   if (cond->isConstant()) return cond->constantValue() != 0;
   return blaster_.assertTrue(cond);
 }
@@ -26,16 +29,34 @@ CheckResult PathSolver::check(const expr::ExprRef& assumption,
     ++stats_.unsat;
     return CheckResult::Unsat;
   }
+
+  // Cross-path cache: the verdict for (constraint set, assumption) is a
+  // semantic fact — any prior path or worker that solved the same query
+  // answers this one for free.
+  CanonHash key;
+  if (cache_) {
+    key = canonQueryKey(constraint_set_hash_, hasher_->hash(assumption));
+    if (const std::optional<bool> hit = cache_->lookup(key)) {
+      ++stats_.cache_hits;
+      ++(*hit ? stats_.sat : stats_.unsat);
+      return *hit ? CheckResult::Sat : CheckResult::Unsat;
+    }
+    ++stats_.cache_misses;
+  }
+
   const Lit a = blaster_.blastBool(assumption);
   switch (sat_.solve({a}, max_conflicts)) {
     case SatSolver::Result::Sat:
       ++stats_.sat;
+      if (cache_) cache_->insert(key, true);
       return CheckResult::Sat;
     case SatSolver::Result::Unsat:
       ++stats_.unsat;
+      if (cache_) cache_->insert(key, false);
       return CheckResult::Unsat;
     case SatSolver::Result::Unknown:
       ++stats_.unknown;
+      // Budget-dependent — never cached.
       return CheckResult::Unknown;
   }
   return CheckResult::Unknown;
@@ -64,21 +85,32 @@ std::optional<expr::Assignment> PathSolver::model(
     const expr::ExprRef& assumption) {
   ++stats_.model_queries;
   if (!sat_.okay()) return std::nullopt;
+  if (assumption && assumption->isConstant() && assumption->constantValue() == 0)
+    return std::nullopt;
 
-  std::vector<Lit> assumptions;
-  if (assumption) {
-    if (assumption->isConstant()) {
-      if (assumption->constantValue() == 0) return std::nullopt;
-    } else {
-      assumptions.push_back(blaster_.blastBool(assumption));
+  // Canonical model: a fresh solver over the constraint set alone, so the
+  // assignment depends only on (constraint set, assumption) — never on
+  // the feasibility checks (or cache hits) that preceded it. This keeps
+  // concretized values and test vectors deterministic across worker
+  // counts, schedules and cache states.
+  SatSolver fresh;
+  BitBlaster fresh_blaster(fresh, eb_);
+  for (const expr::ExprRef& c : constraints_) {
+    if (c->isConstant()) {
+      if (c->constantValue() == 0) return std::nullopt;
+      continue;
     }
+    if (!fresh_blaster.assertTrue(c)) return std::nullopt;
   }
-  if (sat_.solve(assumptions) != SatSolver::Result::Sat) return std::nullopt;
+  std::vector<Lit> assumptions;
+  if (assumption && !assumption->isConstant())
+    assumptions.push_back(fresh_blaster.blastBool(assumption));
+  if (fresh.solve(assumptions) != SatSolver::Result::Sat) return std::nullopt;
 
   expr::Assignment asg;
   for (std::uint64_t id = 0; id < eb_.numVariables(); ++id) {
     const expr::ExprRef& v = eb_.variableById(id);
-    asg.set(id, blaster_.modelValue(v));
+    asg.set(id, fresh_blaster.modelValue(v));
   }
   return asg;
 }

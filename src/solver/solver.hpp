@@ -6,6 +6,18 @@
 // feasibility checks are solved under a single assumption literal, which
 // lets the underlying CDCL solver reuse everything it has learned on this
 // path so far.
+//
+// With an attached cross-path QueryCache (querycache.hpp), feasibility
+// checks first consult the shared verdict store; decoder branches recur
+// with identical constraint prefixes on almost every path, so most of
+// the solver traffic collapses into cache hits.
+//
+// model() deliberately solves on a *fresh* solver built from the
+// constraint set alone: the returned assignment is a pure function of
+// (constraint set, assumption), independent of which feasibility checks
+// ran — or were answered by the cache — beforehand. Concretizations and
+// test vectors therefore stay byte-identical across worker counts and
+// cache states.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +28,7 @@
 #include "expr/eval.hpp"
 #include "expr/expr.hpp"
 #include "solver/bitblast.hpp"
+#include "solver/querycache.hpp"
 #include "solver/sat.hpp"
 
 namespace rvsym::solver {
@@ -29,11 +42,21 @@ struct QueryStats {
   std::uint64_t unknown = 0;
   std::uint64_t constant_fastpath = 0;
   std::uint64_t model_queries = 0;
+  std::uint64_t cache_hits = 0;    ///< checks answered by the shared cache
+  std::uint64_t cache_misses = 0;  ///< checks that had to run the SAT solver
 };
 
 class PathSolver {
  public:
   explicit PathSolver(expr::ExprBuilder& eb);
+
+  /// Attaches the shared cross-path verdict cache. `hasher` must be
+  /// owned by the same thread as this solver (it is not thread-safe)
+  /// and must outlive it; `cache` may be shared across threads.
+  void attachCache(QueryCache* cache, CanonicalHasher* hasher) {
+    cache_ = cache;
+    hasher_ = hasher;
+  }
 
   /// Permanently conjoins `cond` (width 1) to the path condition.
   /// Returns false if the path condition became syntactically unsat.
@@ -63,6 +86,9 @@ class PathSolver {
   BitBlaster blaster_;
   std::vector<expr::ExprRef> constraints_;
   QueryStats stats_;
+  QueryCache* cache_ = nullptr;
+  CanonicalHasher* hasher_ = nullptr;
+  CanonHash constraint_set_hash_;  ///< running canonical set hash
 };
 
 }  // namespace rvsym::solver

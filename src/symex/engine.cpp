@@ -16,28 +16,7 @@ Engine::Engine(expr::ExprBuilder& eb, EngineOptions options)
 
 std::vector<bool> Engine::popNext() {
   assert(!worklist_.empty());
-  std::vector<bool> item;
-  switch (options_.searcher) {
-    case EngineOptions::Searcher::Dfs:
-      item = std::move(worklist_.back());
-      worklist_.pop_back();
-      break;
-    case EngineOptions::Searcher::Bfs:
-      item = std::move(worklist_.front());
-      worklist_.pop_front();
-      break;
-    case EngineOptions::Searcher::Random: {
-      // xorshift32; deterministic for a fixed seed.
-      rng_state_ ^= rng_state_ << 13;
-      rng_state_ ^= rng_state_ >> 17;
-      rng_state_ ^= rng_state_ << 5;
-      const std::size_t i = rng_state_ % worklist_.size();
-      item = std::move(worklist_[i]);
-      worklist_.erase(worklist_.begin() + static_cast<long>(i));
-      break;
-    }
-  }
-  return item;
+  return detail::popNextItem(worklist_, options_.searcher, rng_state_);
 }
 
 EngineReport Engine::run(const std::function<void(ExecState&)>& program) {

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "expr/builder.hpp"
@@ -73,6 +74,11 @@ struct EngineReport {
   std::uint64_t knownbits_decided = 0;
   std::uint64_t solver_decided = 0;
   std::uint64_t solver_checks = 0;
+  /// Cross-path query-cache traffic (ParallelEngine only; totals include
+  /// speculatively executed paths, so — like `seconds` — they are exact
+  /// but timing-dependent, unlike every other counter here).
+  std::uint64_t qcache_hits = 0;
+  std::uint64_t qcache_misses = 0;
   bool stopped_early = false;
 
   std::vector<PathRecord> paths;
@@ -88,6 +94,43 @@ struct EngineReport {
   /// First Error record, if any.
   const PathRecord* firstError() const;
 };
+
+namespace detail {
+
+/// Pops the next worklist item under the searcher policy. Shared by
+/// Engine and ParallelEngine so both commit paths in the identical,
+/// deterministic order. Random removal is O(1): swap the chosen item
+/// with the back and pop (still a fixed permutation for a fixed seed).
+template <typename Deque>
+typename Deque::value_type popNextItem(Deque& worklist,
+                                       EngineOptions::Searcher searcher,
+                                       std::uint32_t& rng_state) {
+  typename Deque::value_type item;
+  switch (searcher) {
+    case EngineOptions::Searcher::Dfs:
+      item = std::move(worklist.back());
+      worklist.pop_back();
+      break;
+    case EngineOptions::Searcher::Bfs:
+      item = std::move(worklist.front());
+      worklist.pop_front();
+      break;
+    case EngineOptions::Searcher::Random: {
+      // xorshift32; deterministic for a fixed seed.
+      rng_state ^= rng_state << 13;
+      rng_state ^= rng_state >> 17;
+      rng_state ^= rng_state << 5;
+      const std::size_t i = rng_state % worklist.size();
+      if (i != worklist.size() - 1) std::swap(worklist[i], worklist.back());
+      item = std::move(worklist.back());
+      worklist.pop_back();
+      break;
+    }
+  }
+  return item;
+}
+
+}  // namespace detail
 
 class Engine {
  public:

@@ -1,0 +1,289 @@
+#include "symex/parallel.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "symex/state.hpp"
+
+namespace rvsym::symex {
+
+namespace {
+
+/// Everything one committed path contributes to the report.
+struct PathOutcome {
+  PathRecord record;
+  std::vector<std::vector<bool>> forks;
+  PathStats stats;
+  std::uint64_t solver_checks = 0;
+};
+
+struct Task {
+  enum class Status { Pending, Claimed, Done };
+
+  explicit Task(std::vector<bool> p) : prefix(std::move(p)) {}
+
+  std::vector<bool> prefix;
+  Status status = Status::Pending;
+  PathOutcome outcome;
+  std::exception_ptr error;
+};
+
+using TaskRef = std::shared_ptr<Task>;
+
+/// State shared between the committer and the workers. The worklist is
+/// policy-ordered and only the committer removes from it; workers claim
+/// entries in place (status Pending -> Claimed) and leave them for the
+/// committer to pop.
+struct Shared {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers: a new fork or stop
+  std::condition_variable done_cv;  ///< committer: a task finished
+  std::deque<TaskRef> worklist;
+  bool stop = false;
+};
+
+/// One worker's private harness.
+struct WorkerState {
+  std::unique_ptr<expr::ExprBuilder> builder;
+  std::unique_ptr<solver::CanonicalHasher> hasher;
+  PathProgram program;
+  ExecState::Limits limits;
+};
+
+PathOutcome executePath(const PathProgram& program, expr::ExprBuilder& eb,
+                        std::vector<bool> prefix,
+                        const ExecState::Limits& limits,
+                        const EngineOptions& options) {
+  ExecState state(eb, std::move(prefix), limits);
+  PathOutcome out;
+  try {
+    program(state);
+    out.record.end = PathEnd::Completed;
+  } catch (const PathTerminated& t) {
+    out.record.end = t.end;
+    out.record.message = t.message;
+  }
+  out.record.instructions = state.stats().instructions;
+  out.record.decisions = state.decisions();
+  out.forks = state.pendingForks();
+  out.stats = state.stats();
+  out.solver_checks = state.solverStats().checks;
+  if (options.collect_test_vectors &&
+      (out.record.end == PathEnd::Completed ||
+       out.record.end == PathEnd::Error)) {
+    if (std::optional<TestVector> tv = state.solveTestVector()) {
+      out.record.test = std::move(*tv);
+      out.record.has_test = true;
+    }
+  }
+  return out;
+}
+
+/// Picks a speculation target: the Pending entry nearest the end the
+/// committer pops from (DFS: back; BFS: front; Random: back — any entry
+/// is equally likely to be popped, so recency is as good a bet as any).
+/// Claimed entries cluster at the scanned end, so the scan is O(jobs).
+TaskRef claimTarget(Shared& sh, EngineOptions::Searcher searcher) {
+  const bool from_back = searcher != EngineOptions::Searcher::Bfs;
+  const std::size_t n = sh.worklist.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    TaskRef& t = sh.worklist[from_back ? n - 1 - k : k];
+    if (t->status == Task::Status::Pending) {
+      t->status = Task::Status::Claimed;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void workerMain(Shared& sh, WorkerState& ws, const EngineOptions& options) {
+  std::unique_lock<std::mutex> lk(sh.mu);
+  for (;;) {
+    if (sh.stop) return;
+    TaskRef task = claimTarget(sh, options.searcher);
+    if (!task) {
+      sh.work_cv.wait(lk);
+      continue;
+    }
+    lk.unlock();
+    PathOutcome out;
+    std::exception_ptr error;
+    try {
+      out = executePath(ws.program, *ws.builder, task->prefix, ws.limits,
+                        options);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lk.lock();
+    task->outcome = std::move(out);
+    task->error = error;
+    task->status = Task::Status::Done;
+    sh.done_cv.notify_all();
+  }
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(ParallelEngineOptions options)
+    : options_(std::move(options)) {}
+
+EngineReport ParallelEngine::run(const PathProgram& program) {
+  return run([&program](WorkerContext&) { return program; });
+}
+
+EngineReport ParallelEngine::run(const ProgramFactory& factory) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  EngineReport report;
+  const unsigned jobs = options_.jobs == 0 ? 1 : options_.jobs;
+
+  // A budgeted Unknown is not a semantic fact, so conflict-budgeted runs
+  // forgo the cache (verdict reuse could turn an Unknown into Sat/Unsat
+  // and desynchronize limited-path counts across schedules).
+  const bool use_cache =
+      options_.enable_query_cache && options_.solver_max_conflicts == 0;
+  std::unique_ptr<solver::QueryCache> cache;
+  if (use_cache)
+    cache = std::make_unique<solver::QueryCache>(options_.cache_shards);
+
+  std::vector<WorkerState> workers(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    workers[i].builder = std::make_unique<expr::ExprBuilder>();
+    workers[i].hasher = std::make_unique<solver::CanonicalHasher>();
+    WorkerContext ctx{i, *workers[i].builder};
+    workers[i].program = factory(ctx);
+    workers[i].limits =
+        ExecState::Limits{options_.max_decisions_per_path,
+                          options_.solver_max_conflicts,
+                          options_.take_true_first,
+                          options_.use_known_bits,
+                          cache.get(),
+                          cache ? workers[i].hasher.get() : nullptr};
+  }
+
+  Shared sh;
+  sh.worklist.push_back(std::make_shared<Task>(std::vector<bool>{}));
+  std::uint32_t rng_state =
+      options_.random_seed == 0 ? 1 : options_.random_seed;
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (unsigned i = 1; i < jobs; ++i)
+    threads.emplace_back([&sh, &workers, this, i] {
+      workerMain(sh, workers[i], options_);
+    });
+  const auto shutdown = [&] {
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.stop = true;
+    }
+    sh.work_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+  };
+
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  try {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    while (!sh.worklist.empty()) {
+      // Budget checks — identical to Engine::run, applied in commit
+      // order, so the report is exact for any worker count.
+      if (options_.max_paths != 0 &&
+          report.totalPaths() - report.unexplored_forks >=
+              options_.max_paths) {
+        report.stopped_early = true;
+        break;
+      }
+      if (options_.max_seconds != 0 && elapsed() >= options_.max_seconds) {
+        report.stopped_early = true;
+        break;
+      }
+      if (options_.max_instructions != 0 &&
+          report.instructions >= options_.max_instructions) {
+        report.stopped_early = true;
+        break;
+      }
+
+      TaskRef task =
+          detail::popNextItem(sh.worklist, options_.searcher, rng_state);
+      if (task->status == Task::Status::Pending) {
+        // No worker got to it — the committer doubles as worker 0.
+        task->status = Task::Status::Claimed;
+        lk.unlock();
+        PathOutcome out;
+        std::exception_ptr error;
+        try {
+          out = executePath(workers[0].program, *workers[0].builder,
+                            task->prefix, workers[0].limits, options_);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        lk.lock();
+        task->outcome = std::move(out);
+        task->error = error;
+        task->status = Task::Status::Done;
+      } else if (task->status == Task::Status::Claimed) {
+        sh.done_cv.wait(lk, [&] { return task->status == Task::Status::Done; });
+      }
+      if (task->error) std::rethrow_exception(task->error);
+
+      // --- Commit (mirrors the sequential engine exactly) ---------------
+      PathOutcome& out = task->outcome;
+      const bool had_forks = !out.forks.empty();
+      for (std::vector<bool>& alt : out.forks)
+        sh.worklist.push_back(std::make_shared<Task>(std::move(alt)));
+      if (had_forks) sh.work_cv.notify_all();
+
+      report.instructions += out.stats.instructions;
+      report.branches += out.stats.branches;
+      report.const_decided += out.stats.const_decided;
+      report.knownbits_decided += out.stats.knownbits_decided;
+      report.solver_decided += out.stats.solver_decided;
+      report.solver_checks += out.solver_checks;
+
+      switch (out.record.end) {
+        case PathEnd::Completed: ++report.completed_paths; break;
+        case PathEnd::Error: ++report.error_paths; break;
+        case PathEnd::Infeasible: ++report.infeasible_paths; break;
+        case PathEnd::SolverLimit:
+        case PathEnd::Budget: ++report.limited_paths; break;
+      }
+      if (out.record.has_test) ++report.test_vectors;
+
+      const bool is_error = out.record.end == PathEnd::Error;
+      const bool store = is_error || options_.max_stored_paths == 0 ||
+                         report.paths.size() < options_.max_stored_paths;
+      if (store) report.paths.push_back(std::move(out.record));
+
+      if (is_error && options_.stop_on_error) {
+        report.stopped_early = true;
+        break;
+      }
+    }
+    report.unexplored_forks = sh.worklist.size();
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+  shutdown();
+
+  report.seconds = elapsed();
+  if (cache) {
+    const solver::QueryCache::Stats cs = cache->stats();
+    report.qcache_hits = cs.hits;
+    report.qcache_misses = cs.misses;
+  }
+  return report;
+}
+
+}  // namespace rvsym::symex

@@ -1,0 +1,97 @@
+// ParallelEngine — multi-threaded path exploration with sequential
+// semantics.
+//
+// The replay-based forking design makes every path an independent
+// re-execution from reset, so paths are embarrassingly parallel. The
+// engine exploits that with *speculative execution under ordered
+// commit*:
+//
+//  * N workers, each owning a private ExprBuilder / PathSolver / DUT
+//    harness (the program is a factory: it is instantiated once per
+//    worker against the worker's builder);
+//  * a shared worklist of decision prefixes. Workers claim prefixes the
+//    committer has not popped yet (DFS workers steal from the back, BFS
+//    from the front) and execute them speculatively;
+//  * a single committer (the caller's thread, which doubles as worker
+//    0) pops prefixes in exactly the order the sequential Engine would,
+//    commits finished results in that order — pushing newly discovered
+//    forks, aggregating counters and enforcing the path / instruction /
+//    time budgets — and executes any popped prefix no worker has
+//    claimed yet.
+//
+// Because a path's outcome is a pure function of its decision prefix
+// (canonical solver models, builder-independent expressions), a
+// speculatively executed path commits the same result the committer
+// would have produced — so for any worker count the report is
+// byte-identical to the sequential Engine's, except for `seconds` and
+// the cache-traffic counters. In an exhaustive run every worklist entry
+// is eventually committed, so speculation wastes no work; under
+// stop-on-error or a budget, at most `jobs` in-flight paths are
+// discarded.
+//
+// The cross-path query cache (solver/querycache.hpp) is shared by all
+// workers: fork-feasibility verdicts are keyed by a canonical
+// structural hash of (constraint set, assumption), so the decoder
+// cascade that every path replays is solved once, fleet-wide. Verdicts
+// are semantic facts — hits change which solve calls run, never their
+// answers — so determinism is unaffected. The cache is disabled
+// automatically when a solver conflict budget is set (a budgeted
+// Unknown is not a semantic fact).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "expr/builder.hpp"
+#include "solver/querycache.hpp"
+#include "symex/engine.hpp"
+
+namespace rvsym::symex {
+
+/// Per-worker execution context handed to the program factory.
+struct WorkerContext {
+  unsigned worker_id = 0;      ///< 0 = the committer thread
+  expr::ExprBuilder& builder;  ///< worker-private; build the DUT against it
+};
+
+using PathProgram = std::function<void(ExecState&)>;
+
+/// Instantiates one worker's path program (ISS + RTL co-sim harness,
+/// synthetic test program, ...). Called once per worker, against the
+/// worker's private builder, before exploration starts. The returned
+/// callable runs one path and must depend only on the prefix replayed
+/// through ExecState (any state it touches must be per-worker).
+using ProgramFactory = std::function<PathProgram(WorkerContext&)>;
+
+struct ParallelEngineOptions : EngineOptions {
+  /// Worker count (committer included). 1 = sequential exploration on
+  /// the calling thread, byte-identical to Engine::run.
+  unsigned jobs = 1;
+  /// Cross-path query cache (shared across workers). Auto-disabled when
+  /// solver_max_conflicts != 0.
+  bool enable_query_cache = true;
+  /// Lock shards of the query cache.
+  unsigned cache_shards = 16;
+};
+
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(ParallelEngineOptions options);
+
+  /// Explores every path of the per-worker programs built by `factory`.
+  /// Non-PathTerminated exceptions thrown by a program are re-thrown on
+  /// the calling thread.
+  EngineReport run(const ProgramFactory& factory);
+
+  /// Convenience wrapper for programs without per-worker state: every
+  /// worker shares the same callable (it must then be thread-safe and
+  /// builder-agnostic — prefer a real factory for anything stateful).
+  EngineReport run(const PathProgram& program);
+
+  const ParallelEngineOptions& options() const { return options_; }
+
+ private:
+  ParallelEngineOptions options_;
+};
+
+}  // namespace rvsym::symex

@@ -26,10 +26,24 @@ std::optional<std::uint64_t> TestVector::lookup(const std::string& name) const {
 ExecState::ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
                      Limits limits)
     : eb_(eb), solver_(eb), forced_(std::move(forced_decisions)),
-      limits_(limits) {}
+      limits_(limits) {
+  if (limits_.query_cache && limits_.query_hasher)
+    solver_.attachCache(limits_.query_cache, limits_.query_hasher);
+}
 
 ExprRef ExecState::makeSymbolic(const std::string& name, unsigned width) {
-  return eb_.variable(name, width);
+  ExprRef v = eb_.variable(name, width);
+  // Track first-creation order for this path: the test vector covers
+  // exactly these inputs, independent of what other paths (or other
+  // workers' builders) have created.
+  bool seen = false;
+  for (const ExprRef& s : symbolics_)
+    if (s.get() == v.get()) {
+      seen = true;
+      break;
+    }
+  if (!seen) symbolics_.push_back(v);
+  return v;
 }
 
 void ExecState::addConstraintChecked(const ExprRef& cond) {
@@ -157,10 +171,8 @@ std::optional<TestVector> ExecState::solveTestVector() {
   std::optional<expr::Assignment> m = solver_.model();
   if (!m) return std::nullopt;
   TestVector tv;
-  for (std::uint64_t id = 0; id < eb_.numVariables(); ++id) {
-    const ExprRef& v = eb_.variableById(id);
-    tv.values.push_back(TestValue{v->name(), v->width(), m->get(id)});
-  }
+  for (const ExprRef& v : symbolics_)
+    tv.values.push_back(TestValue{v->name(), v->width(), m->get(v->variableId())});
   return tv;
 }
 

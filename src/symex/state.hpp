@@ -80,6 +80,10 @@ class ExecState {
     bool take_true_first = true;
     /// Disables the known-bits fast path (ablation benchmarking only).
     bool use_known_bits = true;
+    /// Optional cross-path query cache (shared, thread-safe) plus the
+    /// owning worker's canonical hasher (thread-private). Both or none.
+    solver::QueryCache* query_cache = nullptr;
+    solver::CanonicalHasher* query_hasher = nullptr;
   };
 
   ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
@@ -128,7 +132,8 @@ class ExecState {
   const std::vector<std::vector<bool>>& pendingForks() const {
     return pending_forks_;
   }
-  /// Solves the final path constraints into a test vector.
+  /// Solves the final path constraints into a test vector covering the
+  /// symbolic inputs created on *this* path (the KLEE ktest object set).
   std::optional<TestVector> solveTestVector();
   const solver::QueryStats& solverStats() const { return solver_.stats(); }
   const std::vector<expr::ExprRef>& constraints() const {
@@ -141,6 +146,7 @@ class ExecState {
   expr::ExprBuilder& eb_;
   solver::PathSolver solver_;
   KnownBitsTracker known_;
+  std::vector<expr::ExprRef> symbolics_;  ///< makeSymbolic calls, this path
   std::vector<bool> forced_;
   std::size_t cursor_ = 0;
   std::vector<bool> decisions_;

@@ -37,6 +37,7 @@ void usage(const char* argv0) {
       "  --paths N          path budget                    (default 2000)\n"
       "  --seconds S        wall-clock budget              (default 60)\n"
       "  --searcher S       dfs | bfs | random             (default dfs)\n"
+      "  --jobs N           parallel exploration workers   (default 1)\n"
       "  --stop-on-error    stop at the first mismatch\n"
       "  --monitor          enable the RVFI self-consistency monitor\n"
       "  --ktest-dir DIR    export every test vector\n"
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
   std::string scenario = "all";
   std::string searcher = "dfs";
   std::string ktest_dir;
-  unsigned limit = 1, regs = 2;
+  unsigned limit = 1, regs = 2, jobs = 1;
   std::uint64_t paths = 2000;
   double seconds = 60;
   bool stop_on_error = false;
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
     else if (arg == "--paths") paths = static_cast<std::uint64_t>(std::atoll(value()));
     else if (arg == "--seconds") seconds = std::atof(value());
     else if (arg == "--searcher") searcher = value();
+    else if (arg == "--jobs") jobs = static_cast<unsigned>(std::atoi(value()));
     else if (arg == "--ktest-dir") ktest_dir = value();
     else if (arg == "--stop-on-error") stop_on_error = true;
     else if (arg == "--coverage") want_coverage = true;
@@ -169,6 +171,7 @@ int main(int argc, char** argv) {
   options.engine.max_paths = paths;
   options.engine.max_seconds = seconds;
   options.engine.stop_on_error = stop_on_error;
+  options.engine.jobs = jobs == 0 ? 1 : jobs;
   if (searcher == "bfs")
     options.engine.searcher = symex::EngineOptions::Searcher::Bfs;
   else if (searcher == "random")
@@ -189,6 +192,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.engine.instructions),
               report.engine.seconds,
               static_cast<unsigned long long>(report.engine.test_vectors));
+  if (jobs > 1)
+    std::printf("workers: %u — query cache: %llu hits / %llu misses\n", jobs,
+                static_cast<unsigned long long>(report.engine.qcache_hits),
+                static_cast<unsigned long long>(report.engine.qcache_misses));
 
   if (!report.findings.empty())
     std::printf("\n%s\n", core::renderFindingsTable(report.findings).c_str());
