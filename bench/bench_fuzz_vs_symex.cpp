@@ -15,12 +15,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cosim.hpp"
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "obs/json.hpp"
 #include "symex/parallel.hpp"
 
 namespace {
@@ -42,9 +44,12 @@ core::CosimConfig configFor(const fault::InjectedError& error) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
   }
   std::printf("FUZZING BASELINE vs SYMBOLIC EXECUTION\n");
   std::printf("(identical co-simulation testbench; budget: 60s or 300k "
@@ -58,6 +63,11 @@ int main(int argc, char** argv) {
   std::vector<const fault::InjectedError*> errors;
   for (const auto& e : fault::allErrors()) errors.push_back(&e);
   for (const auto& e : fault::extensionErrors()) errors.push_back(&e);
+
+  obs::JsonWriter w;  // --out: one row per error, shared serializer
+  w.beginObject();
+  w.field("jobs", g_jobs);
+  w.key("rows").beginArray();
 
   for (const fault::InjectedError* error : errors) {
     ++total;
@@ -90,7 +100,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fr.tests), fr.seconds,
                 sr.error_paths > 0 ? "found" : "MISSED",
                 static_cast<unsigned long long>(sr.totalPaths()), sr.seconds);
+
+    w.beginObject();
+    w.field("error", error->id);
+    w.field("description", error->description);
+    w.key("fuzz").beginObject();
+    w.field("found", fr.found);
+    w.field("tests", fr.tests);
+    w.field("seconds", fr.seconds);
+    w.endObject();
+    w.key("symex").beginObject();
+    w.field("found", sr.error_paths > 0);
+    w.key("report").rawValue(symex::reportToJson(sr));
+    w.endObject();
+    w.endObject();
   }
+  w.endArray();
+  w.endObject();
 
   std::printf("%s\n", std::string(110, '-').c_str());
   std::printf("found: fuzzing %d/%d, symbolic %d/%d\n", fuzz_found, total,
@@ -99,5 +125,16 @@ int main(int argc, char** argv) {
       "\npaper claim checked: the random baseline misses the single-value\n"
       "corner-case faults (X0, X1) within its budget while the symbolic\n"
       "engine finds every fault, corner cases included.\n");
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    } else {
+      std::fprintf(f, "%s\n", w.str().c_str());
+      std::fclose(f);
+      std::printf("wrote %d rows to %s\n", total, out_path.c_str());
+    }
+  }
   return symex_found == total ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 
 #include "core/cosim.hpp"
 #include "fault/faults.hpp"
+#include "obs/json.hpp"
 #include "symex/parallel.hpp"
 
 namespace {
@@ -63,23 +64,25 @@ Sample runWorkload(const std::string& name, const core::CosimConfig& cfg,
 }
 
 void writeJson(const std::string& path, const std::vector<Sample>& samples) {
+  obs::JsonWriter w;
+  w.beginArray();
+  for (const Sample& s : samples) {
+    w.beginObject();
+    w.field("workload", s.workload);
+    w.field("jobs", s.jobs);
+    w.field("seconds", s.seconds);
+    w.field("paths", s.paths);
+    w.field("cache_hits", s.cache_hits);
+    w.field("found", s.found);
+    w.endObject();
+  }
+  w.endArray();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(f,
-                 "  {\"workload\": \"%s\", \"jobs\": %u, \"seconds\": %.6f, "
-                 "\"paths\": %llu, \"cache_hits\": %llu}%s\n",
-                 s.workload.c_str(), s.jobs, s.seconds,
-                 static_cast<unsigned long long>(s.paths),
-                 static_cast<unsigned long long>(s.cache_hits),
-                 i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "%s\n", w.str().c_str());
   std::fclose(f);
   std::printf("\nwrote %zu samples to %s\n", samples.size(), path.c_str());
 }

@@ -20,10 +20,12 @@
 #include <cstring>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/session.hpp"
 #include "expr/builder.hpp"
+#include "obs/json.hpp"
 #include "rv32/csr.hpp"
 
 namespace {
@@ -61,9 +63,12 @@ std::vector<Finding> runPass(const char* label, CosimConfig cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
   }
   std::printf("TABLE I — CO-SIMULATION RESULTS (R): ERRORS (E) AND "
               "MISMATCHES (M) IN MICRORV32 AND THE VP (E*)\n");
@@ -184,6 +189,45 @@ int main(int argc, char** argv) {
     std::printf("  MISSING: %-18s %s\n", row->subject, row->description);
   const int extras = static_cast<int>(all.size()) - reproduced;
   std::printf("additional findings beyond the paper's rows: %d\n", extras);
+
+  if (!out_path.empty()) {
+    // Machine-readable dump of the merged findings (shared serializer —
+    // subjects/descriptions can contain arbitrary text and stay valid).
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("jobs", g_jobs);
+    w.field("paper_rows_reproduced", static_cast<std::uint64_t>(reproduced));
+    w.field("paper_rows_expected",
+            static_cast<std::uint64_t>(expected.size()));
+    w.key("findings").beginArray();
+    for (const Finding& f : all) {
+      w.beginObject();
+      w.field("subject", f.subject);
+      w.field("example", f.example);
+      w.field("description", f.description);
+      w.field("class", f.r_class);
+      w.field("voter_field", f.voter_field);
+      w.endObject();
+    }
+    w.endArray();
+    w.key("missing").beginArray();
+    for (const ExpectedRow* row : missing) {
+      w.beginObject();
+      w.field("subject", row->subject);
+      w.field("description", row->description);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    } else {
+      std::fprintf(f, "%s\n", w.str().c_str());
+      std::fclose(f);
+      std::printf("wrote %zu findings to %s\n", all.size(), out_path.c_str());
+    }
+  }
 
   return missing.empty() ? 0 : 1;
 }

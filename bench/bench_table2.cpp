@@ -14,11 +14,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cosim.hpp"
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
+#include "obs/json.hpp"
 #include "symex/parallel.hpp"
 
 namespace {
@@ -35,6 +37,7 @@ struct RunResult {
   std::uint64_t paths = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::string report_json;  ///< full EngineReport (shared serializer)
 };
 
 RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
@@ -68,6 +71,7 @@ RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
   r.paths = report.completed_paths;
   r.cache_hits = report.qcache_hits;
   r.cache_misses = report.qcache_misses;
+  r.report_json = symex::reportToJson(report);
   return r;
 }
 
@@ -86,9 +90,12 @@ double medianD(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
   }
   std::printf("TABLE II — INJECTED ERROR RESULTS (workers: %u)\n", g_jobs);
   std::printf(
@@ -127,11 +134,18 @@ int main(int argc, char** argv) {
     }
   } t1, t2;
 
+  struct ErrorRuns {
+    const char* id;
+    RunResult r1, r2;
+  };
+  std::vector<ErrorRuns> runs;
+
   for (const fault::InjectedError& error : fault::allErrors()) {
     const RunResult r1 = runHunt(error, 1);
     const RunResult r2 = runHunt(error, 2);
     t1.add(r1);
     t2.add(r2);
+    runs.push_back(ErrorRuns{error.id, r1, r2});
     std::printf(
         "%-6s | %-6s %12llu %9.3f %9llu %7llu | %-6s %12llu %9.3f %9llu "
         "%7llu\n",
@@ -182,5 +196,35 @@ int main(int argc, char** argv) {
       "limit-2 total time = %s\n",
       t1.found == 10 ? "yes" : "NO", t2.found == 10 ? "yes" : "NO",
       t1.time <= t2.time ? "yes" : "NO");
+
+  if (!out_path.empty()) {
+    // Machine-readable dump: the full EngineReport per hunt, nested via
+    // the shared serializer (same schema as rvsym-verify --metrics-out).
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("jobs", g_jobs);
+    w.key("hunts").beginArray();
+    for (const ErrorRuns& er : runs) {
+      for (const auto* r : {&er.r1, &er.r2}) {
+        w.beginObject();
+        w.field("error", er.id);
+        w.field("instr_limit", r == &er.r1 ? 1u : 2u);
+        w.field("found", r->found);
+        w.key("report").rawValue(r->report_json);
+        w.endObject();
+      }
+    }
+    w.endArray();
+    w.endObject();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    } else {
+      std::fprintf(f, "%s\n", w.str().c_str());
+      std::fclose(f);
+      std::printf("wrote %zu hunt reports to %s\n", runs.size() * 2,
+                  out_path.c_str());
+    }
+  }
   return (t1.found == 10 && t2.found == 10) ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "core/cosim.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,7 +12,12 @@ using expr::ExprRef;
 using symex::ExecState;
 
 CoSimulation::CoSimulation(expr::ExprBuilder& eb, CosimConfig config)
-    : eb_(eb), config_(std::move(config)) {}
+    : eb_(eb), config_(std::move(config)) {
+  if (config_.metrics) {
+    rtl_instr_us_ = &config_.metrics->histogram("cosim.rtl_instr_us");
+    iss_step_us_ = &config_.metrics->histogram("cosim.iss_step_us");
+  }
+}
 
 std::string formatMismatchMessage(const Mismatch& m, std::uint32_t pc) {
   char buf[16];
@@ -91,6 +97,12 @@ void CoSimulation::runPath(ExecState& st) {
   }
 
   if (config_.post_init_hook) config_.post_init_hook(st);
+  if (config_.on_core_built) config_.on_core_built(core);
+
+  using ObsClock = std::chrono::steady_clock;
+  // Accumulated RTL time since the last retirement: the RTL side of a
+  // "per-instruction step" spans several clock ticks.
+  std::uint64_t rtl_accum_us = 0;
 
   unsigned retired = 0;
   const unsigned waits = config_.bus_wait_states;
@@ -109,7 +121,16 @@ void CoSimulation::runPath(ExecState& st) {
       iss.csrs().setInterruptLine(static_cast<unsigned>(config_.irq_line),
                                   true);
     }
-    core.tick(st);
+    if (rtl_instr_us_) {
+      const auto t0 = ObsClock::now();
+      core.tick(st);
+      rtl_accum_us += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              ObsClock::now() - t0)
+              .count());
+    } else {
+      core.tick(st);
+    }
 
     // --- IBus protocol: answer a fetch, hold ready for one cycle. ---------
     if (core.ibus.fetch_enable && !core.ibus.instruction_ready) {
@@ -147,7 +168,19 @@ void CoSimulation::runPath(ExecState& st) {
     // --- Voter: on RTL retirement, step the ISS and compare. ---------------
     if (core.rvfi.valid) {
       st.countInstruction();
+      if (rtl_instr_us_) {
+        rtl_instr_us_->record(rtl_accum_us);
+        rtl_accum_us = 0;
+      }
+      const auto iss_t0 =
+          iss_step_us_ ? ObsClock::now() : ObsClock::time_point{};
       const iss::RetireInfo iss_result = iss.step(st);
+      if (iss_step_us_)
+        iss_step_us_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                ObsClock::now() - iss_t0)
+                .count()));
+      if (config_.on_retire) config_.on_retire(st, core.rvfi.info, iss_result);
       if (config_.enable_rvfi_monitor) {
         if (auto v = rtl_monitor.check(st, core.rvfi.info))
           st.fail("rvfi monitor (rtl): " + *v);
@@ -159,10 +192,21 @@ void CoSimulation::runPath(ExecState& st) {
         std::uint32_t pc = 0;
         if (core.rvfi.info.pc && core.rvfi.info.pc->isConstant())
           pc = static_cast<std::uint32_t>(core.rvfi.info.pc->constantValue());
+        char pc_buf[16];
+        std::snprintf(pc_buf, sizeof pc_buf, "%08x", pc);
+        RVSYM_TRACE_PATH(st, obs::TraceEvent("voter")
+                                 .str("verdict", "mismatch")
+                                 .str("field", m->field)
+                                 .str("pc", pc_buf)
+                                 .str("detail", m->detail));
         st.fail(formatMismatchMessage(*m, pc));
       }
-      if (++retired >= config_.instr_limit) return;  // execution controller
+      if (++retired >= config_.instr_limit) {  // execution controller
+        if (config_.on_cycle) config_.on_cycle();  // sample the last cycle
+        return;
+      }
     }
+    if (config_.on_cycle) config_.on_cycle();
   }
   // Clock-cycle limit reached: also a normal path end (§IV-D).
 }

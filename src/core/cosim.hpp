@@ -17,6 +17,7 @@
 #include "core/voter.hpp"
 #include "expr/builder.hpp"
 #include "iss/iss.hpp"
+#include "obs/metrics.hpp"
 #include "rtl/core.hpp"
 #include "symex/engine.hpp"
 
@@ -68,6 +69,24 @@ struct CosimConfig {
     unsigned bit;
   };
   std::vector<DecodeDontCare> decode_dont_cares;
+
+  // --- Observability --------------------------------------------------------
+  /// Per-instruction step-time histograms ("cosim.rtl_instr_us": RTL
+  /// clock cycles between retirements; "cosim.iss_step_us": one ISS
+  /// step). nullptr keeps the hot loop free of clock reads.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Recording hooks for concrete replay (mismatch-repro bundles attach
+  /// a VCD writer and RVFI recorders here). All optional; each costs one
+  /// branch per use site when unset. They run on the worker executing
+  /// the path, so anything they touch must be per-harness state.
+  std::function<void(const rtl::MicroRv32Core&)> on_core_built;
+  /// After testbench bus servicing, once per clock cycle (VCD sampling).
+  std::function<void()> on_cycle;
+  /// At every voter invocation, with both retirement records — called
+  /// before the comparison, so the mismatching retirement is captured.
+  std::function<void(symex::ExecState&, const iss::RetireInfo& rtl,
+                     const iss::RetireInfo& iss)>
+      on_retire;
 };
 
 class CoSimulation {
@@ -100,6 +119,10 @@ class CoSimulation {
  private:
   expr::ExprBuilder& eb_;
   CosimConfig config_;
+  // Histogram handles resolved once per harness (registry look-ups are
+  // mutex-guarded; the hot loop must not pay for them per path).
+  obs::Histogram* rtl_instr_us_ = nullptr;
+  obs::Histogram* iss_step_us_ = nullptr;
 };
 
 /// Formats the voter-mismatch message so the classifier can recover the

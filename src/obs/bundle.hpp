@@ -1,0 +1,84 @@
+// Mismatch-repro bundles — the "attach everything to the bug report"
+// artifact of the observability subsystem. On a voter mismatch the
+// verification flow dumps one self-contained directory:
+//
+//   bundle/
+//     manifest.json    configuration + recorded verdict (format v1)
+//     test.rvtest      the mismatch test vector (symex/ktest format)
+//     instrs.txt       concretized instruction stream, disassembled
+//     rvfi_rtl.jsonl   RTL retirement records of the concrete replay
+//     rvfi_iss.jsonl   ISS retirement records of the concrete replay
+//     trace.vcd        RTL waveform of the concrete replay (GTKWave)
+//
+// The RVFI records and the VCD are produced by re-running the recorded
+// vector CONCRETELY (inputs pinned, recorder hooks attached), so bundle
+// writing never perturbs the symbolic hot path. `replayBundle` is the
+// other half: rvsym-verify --replay <dir> reconstructs the DUT
+// configuration from the manifest, re-runs the vector and checks that
+// the recorded voter verdict reproduces on the same channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/cosim.hpp"
+#include "symex/engine.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::obs {
+
+/// Bundle format version (manifest "bundle_version").
+inline constexpr int kBundleVersion = 1;
+
+/// Everything needed to rebuild the co-simulation configuration at
+/// replay time. Scenario hooks are not serialized: replay pins every
+/// symbolic input to the recorded vector, which subsumes any generation
+/// constraint, but the scenario string is kept so the replay applies the
+/// same structural assumptions (and for the human reading the manifest).
+struct BundleDescriptor {
+  std::string fault_id;    ///< "" = authentic MicroRV32/VP pair
+  std::string scenario = "all";
+  unsigned instr_limit = 1;
+  unsigned num_symbolic_regs = 2;
+  std::string message;     ///< the PathTerminated mismatch message
+};
+
+struct ReplayResult {
+  bool reproduced = false;       ///< replay hit a voter mismatch
+  bool verdict_matches = false;  ///< ...on the recorded channel and PC
+  std::string recorded_field;    ///< voter channel from the manifest
+  std::string field;             ///< voter channel seen on replay
+  std::string message;           ///< replay mismatch message
+};
+
+/// Writes a mismatch-repro bundle into `dir` (created if needed) for an
+/// error path carrying test vector `test`. Returns false on I/O failure
+/// or when the concrete replay cannot rediscover the error path (the
+/// partial bundle is left behind for inspection either way).
+bool writeMismatchBundle(const std::string& dir, const BundleDescriptor& desc,
+                         const symex::TestVector& test);
+
+/// Writes one bundle per error path of `report` that carries a test
+/// vector, into dir/bundle-000, dir/bundle-001, ... `base` supplies the
+/// configuration fields; the per-path message is filled in. Returns the
+/// number of bundles written.
+std::size_t writeReportBundles(const std::string& dir,
+                               const BundleDescriptor& base,
+                               const symex::EngineReport& report);
+
+/// Loads dir/manifest.json; nullopt when missing or unreadable.
+std::optional<BundleDescriptor> loadBundleManifest(const std::string& dir);
+
+/// Re-runs the bundle's test vector concretely against the manifest's
+/// DUT configuration. nullopt when the bundle cannot be loaded.
+std::optional<ReplayResult> replayBundle(const std::string& dir);
+
+/// Maps a scenario string ("all" | "rv32i" | "system" | "opcode=0xNN" |
+/// "csr=0xNNN") to its instruction constraint; nullopt on unknown
+/// scenarios. Shared by rvsym-verify and bundle replay so both sides
+/// agree on the vocabulary.
+std::optional<core::InstrConstraint> scenarioConstraint(
+    const std::string& scenario);
+
+}  // namespace rvsym::obs

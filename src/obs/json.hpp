@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer — the single serializer every JSON
+// emitter in the repo shares (EngineReport, the metrics registry, the
+// JSONL trace sink, the bench output files, mismatch-bundle manifests).
+// Replaces the hand-rolled fprintf emitters that silently produced
+// invalid JSON for strings containing quotes or control characters.
+//
+// The writer is strictly streaming (no DOM): begin/end object/array,
+// key(), value(). Structural commas and escaping are handled here so a
+// caller can never emit a syntactically invalid document by forgetting
+// either. Doubles are rendered with enough precision to round-trip and
+// non-finite values degrade to null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvsym::obs {
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not
+/// included). Handles ", \, and all control characters (as \uXXXX).
+std::string jsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& nullValue();
+  /// Splices a pre-rendered JSON fragment as one value (caller
+  /// guarantees validity — used to nest documents).
+  JsonWriter& rawValue(std::string_view json);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The rendered document. Valid once every begin has been ended.
+  const std::string& str() const { return out_; }
+
+ private:
+  void beforeValue();
+
+  std::string out_;
+  // One frame per open container: true once a first element was written
+  // (a comma is needed before the next one).
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rvsym::obs

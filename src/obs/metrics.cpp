@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace rvsym::obs {
+
+namespace {
+
+template <typename Map>
+auto& getOrCreate(std::mutex& mu, Map& map, const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(name, std::make_unique<
+                               typename Map::mapped_type::element_type>())
+             .first;
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return getOrCreate(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return getOrCreate(mu_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return getOrCreate(mu_, histograms_, name);
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w;
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, c] : counters_) w.field(name, c->get());
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).beginObject();
+    w.field("value", g->get());
+    w.field("max", g->max());
+    w.endObject();
+  }
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).beginObject();
+    w.field("count", h->count());
+    w.field("sum_us", h->sumMicros());
+    w.key("buckets").beginArray();
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      w.beginObject();
+      w.field("ge_us", Histogram::bucketLowerBound(i));
+      w.field("n", n);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace rvsym::obs

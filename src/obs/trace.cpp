@@ -1,0 +1,60 @@
+#include "obs/trace.hpp"
+
+namespace rvsym::obs {
+
+std::string TraceEvent::toJsonl() const {
+  std::string line = "{\"ev\":\"" + jsonEscape(type) + "\"";
+  for (const auto& [k, v] : fields) {
+    line += ",\"";
+    line += jsonEscape(k);
+    line += "\":";
+    line += v;
+  }
+  line += '}';
+  return line;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")), owned_(true) {}
+
+JsonlTraceSink::JsonlTraceSink(std::FILE* borrowed)
+    : file_(borrowed), owned_(false) {}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (file_ && owned_) std::fclose(file_);
+}
+
+void JsonlTraceSink::emit(const TraceEvent& ev) {
+  if (!file_) return;
+  const std::string line = ev.toJsonl();
+  std::lock_guard<std::mutex> lk(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonlTraceSink::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (file_) std::fflush(file_);
+}
+
+void BufferTraceSink::emit(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  lines_.push_back(ev.toJsonl());
+}
+
+std::vector<std::string> BufferTraceSink::lines() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lines_;
+}
+
+std::string BufferTraceSink::joined() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const std::string& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rvsym::obs

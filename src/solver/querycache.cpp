@@ -88,6 +88,12 @@ CanonHash CanonicalHasher::hash(const expr::ExprRef& e) {
 QueryCache::QueryCache(unsigned shards)
     : shards_(shards == 0 ? 1 : shards) {}
 
+void QueryCache::attachMetrics(obs::MetricsRegistry& registry) {
+  metric_hits_ = &registry.counter("qcache.hits");
+  metric_misses_ = &registry.counter("qcache.misses");
+  metric_insertions_ = &registry.counter("qcache.insertions");
+}
+
 std::optional<bool> QueryCache::lookup(const CanonHash& key) {
   Shard& shard = shardFor(key);
   std::optional<bool> result;
@@ -96,10 +102,13 @@ std::optional<bool> QueryCache::lookup(const CanonHash& key) {
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) result = it->second;
   }
-  if (result)
+  if (result) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-  else
+    if (metric_hits_) metric_hits_->add();
+  } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_misses_) metric_misses_->add();
+  }
   return result;
 }
 
@@ -110,6 +119,7 @@ void QueryCache::insert(const CanonHash& key, bool sat) {
     shard.map[key] = sat;
   }
   insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_insertions_) metric_insertions_->add();
 }
 
 QueryCache::Stats QueryCache::stats() const {

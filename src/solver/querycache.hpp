@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "expr/expr.hpp"
+#include "obs/metrics.hpp"
 
 namespace rvsym::solver {
 
@@ -86,6 +87,13 @@ class QueryCache {
 
   explicit QueryCache(unsigned shards = 16);
 
+  /// Mirrors cache traffic into the registry counters "qcache.hits",
+  /// "qcache.misses" and "qcache.insertions" as it happens, so live
+  /// consumers (heartbeat, --metrics-out) see the same aggregation the
+  /// final EngineReport carries. These counters are timing-dependent:
+  /// which worker wins the race to solve a query decides hit vs. miss.
+  void attachMetrics(obs::MetricsRegistry& registry);
+
   /// Cached verdict for `key`: true = Sat, false = Unsat. Counts a hit
   /// or miss.
   std::optional<bool> lookup(const CanonHash& key);
@@ -115,6 +123,9 @@ class QueryCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_insertions_ = nullptr;
 };
 
 }  // namespace rvsym::solver

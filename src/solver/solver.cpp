@@ -45,6 +45,7 @@ CheckResult PathSolver::check(const expr::ExprRef& assumption,
   }
 
   const Lit a = blaster_.blastBool(assumption);
+  const obs::ScopedTimer timer(check_latency_);
   switch (sat_.solve({a}, max_conflicts)) {
     case SatSolver::Result::Sat:
       ++stats_.sat;
@@ -67,6 +68,7 @@ CheckResult PathSolver::checkPath(std::uint64_t max_conflicts) {
     ++stats_.unsat;
     return CheckResult::Unsat;
   }
+  const obs::ScopedTimer timer(check_latency_);
   switch (sat_.solve({}, max_conflicts)) {
     case SatSolver::Result::Sat:
       ++stats_.sat;

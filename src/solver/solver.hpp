@@ -27,6 +27,7 @@
 #include "expr/builder.hpp"
 #include "expr/eval.hpp"
 #include "expr/expr.hpp"
+#include "obs/metrics.hpp"
 #include "solver/bitblast.hpp"
 #include "solver/querycache.hpp"
 #include "solver/sat.hpp"
@@ -56,6 +57,13 @@ class PathSolver {
   void attachCache(QueryCache* cache, CanonicalHasher* hasher) {
     cache_ = cache;
     hasher_ = hasher;
+  }
+
+  /// Attaches a latency histogram that every SAT solve performed by
+  /// check()/checkPath() records into (microseconds). Cache hits and
+  /// constant fast paths never reach the solver and are not recorded.
+  void attachMetrics(obs::Histogram* check_latency) {
+    check_latency_ = check_latency;
   }
 
   /// Permanently conjoins `cond` (width 1) to the path condition.
@@ -88,6 +96,7 @@ class PathSolver {
   QueryStats stats_;
   QueryCache* cache_ = nullptr;
   CanonicalHasher* hasher_ = nullptr;
+  obs::Histogram* check_latency_ = nullptr;
   CanonHash constraint_set_hash_;  ///< running canonical set hash
 };
 

@@ -2,8 +2,41 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+
+#include "obs/json.hpp"
 
 namespace rvsym::symex {
+
+namespace detail {
+
+const char* searcherName(EngineOptions::Searcher s) {
+  switch (s) {
+    case EngineOptions::Searcher::Dfs: return "dfs";
+    case EngineOptions::Searcher::Bfs: return "bfs";
+    case EngineOptions::Searcher::Random: return "random";
+  }
+  return "?";
+}
+
+void emitHeartbeat(const EngineReport& report, double elapsed_s,
+                   std::size_t worklist_depth) {
+  std::fprintf(stderr,
+               "[rvsym] t=%.1fs paths=%llu (completed=%llu errors=%llu "
+               "partial=%llu) worklist=%zu instr=%llu\n",
+               elapsed_s,
+               static_cast<unsigned long long>(report.totalPaths() -
+                                               report.unexplored_forks),
+               static_cast<unsigned long long>(report.completed_paths),
+               static_cast<unsigned long long>(report.error_paths),
+               static_cast<unsigned long long>(
+                   report.error_paths + report.infeasible_paths +
+                   report.limited_paths),
+               worklist_depth,
+               static_cast<unsigned long long>(report.instructions));
+}
+
+}  // namespace detail
 
 const PathRecord* EngineReport::firstError() const {
   for (const PathRecord& p : paths)
@@ -11,10 +44,40 @@ const PathRecord* EngineReport::firstError() const {
   return nullptr;
 }
 
+std::string reportToJson(const EngineReport& report) {
+  obs::JsonWriter w;
+  w.beginObject();
+  // Deterministic counters (see the contract in engine.hpp).
+  w.field("completed_paths", report.completed_paths);
+  w.field("error_paths", report.error_paths);
+  w.field("infeasible_paths", report.infeasible_paths);
+  w.field("limited_paths", report.limited_paths);
+  w.field("unexplored_forks", report.unexplored_forks);
+  w.field("partial_paths", report.partialPaths());
+  w.field("total_paths", report.totalPaths());
+  w.field("instructions", report.instructions);
+  w.field("test_vectors", report.test_vectors);
+  w.field("branches", report.branches);
+  w.field("const_decided", report.const_decided);
+  w.field("knownbits_decided", report.knownbits_decided);
+  w.field("solver_decided", report.solver_decided);
+  w.field("solver_checks", report.solver_checks);
+  w.field("stopped_early", report.stopped_early);
+  // Timing-dependent fields, grouped so consumers diffing reports across
+  // worker counts can drop them wholesale.
+  w.key("timing").beginObject();
+  w.field("seconds", report.seconds);
+  w.field("qcache_hits", report.qcache_hits);
+  w.field("qcache_misses", report.qcache_misses);
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
 Engine::Engine(expr::ExprBuilder& eb, EngineOptions options)
     : eb_(eb), options_(options) {}
 
-std::vector<bool> Engine::popNext() {
+Engine::WorkItem Engine::popNext() {
   assert(!worklist_.empty());
   return detail::popNextItem(worklist_, options_.searcher, rng_state_);
 }
@@ -26,16 +89,29 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
   rng_state_ = options_.random_seed == 0 ? 1 : options_.random_seed;
 
   worklist_.clear();
-  worklist_.push_back({});
+  worklist_.push_back(WorkItem{0, {}});
+  std::uint64_t next_path_id = 1;
 
-  const ExecState::Limits limits{options_.max_decisions_per_path,
-                                 options_.solver_max_conflicts,
-                                 options_.take_true_first,
-                                 options_.use_known_bits};
+  ExecState::Limits limits{options_.max_decisions_per_path,
+                           options_.solver_max_conflicts,
+                           options_.take_true_first,
+                           options_.use_known_bits,
+                           nullptr,
+                           nullptr,
+                           options_.metrics,
+                           options_.trace != nullptr};
 
   auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
+  double next_heartbeat = options_.heartbeat_seconds;
+
+  RVSYM_TRACE(options_.trace,
+              obs::TraceEvent("run_start")
+                  .str("searcher", detail::searcherName(options_.searcher))
+                  .num("jobs", std::uint64_t{1})
+                  .num("trace_version",
+                       static_cast<std::uint64_t>(obs::kTraceVersion)));
 
   while (!worklist_.empty()) {
     if (options_.max_paths != 0 &&
@@ -52,8 +128,19 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
       report.stopped_early = true;
       break;
     }
+    if (options_.heartbeat_seconds > 0 && elapsed() >= next_heartbeat) {
+      detail::emitHeartbeat(report, elapsed(), worklist_.size());
+      next_heartbeat = elapsed() + options_.heartbeat_seconds;
+    }
 
-    ExecState state(eb_, popNext(), limits);
+    const WorkItem item = popNext();
+    RVSYM_TRACE(options_.trace,
+                obs::TraceEvent("schedule")
+                    .num("path", item.id)
+                    .num("depth", static_cast<std::uint64_t>(
+                                      item.prefix.size())));
+
+    ExecState state(eb_, item.prefix, limits);
     PathRecord record;
     try {
       program(state);
@@ -65,10 +152,27 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
     record.instructions = state.stats().instructions;
     record.decisions = state.decisions();
 
+    // Flush events the program buffered while executing this path (e.g.
+    // voter verdicts), stamped with the path id.
+    if (options_.trace != nullptr) {
+      for (obs::TraceEvent& ev : state.traceEvents()) {
+        ev.fields.insert(ev.fields.begin(),
+                         {"path", std::to_string(item.id)});
+        options_.trace->emit(ev);
+      }
+    }
+
     // Schedule forks discovered on this path (even if it later aborted:
     // each fork was feasible at discovery time).
-    for (const std::vector<bool>& alt : state.pendingForks())
-      worklist_.push_back(alt);
+    for (const std::vector<bool>& alt : state.pendingForks()) {
+      const std::uint64_t child_id = next_path_id++;
+      RVSYM_TRACE(options_.trace,
+                  obs::TraceEvent("fork")
+                      .num("path", child_id)
+                      .num("parent", item.id)
+                      .num("depth", static_cast<std::uint64_t>(alt.size())));
+      worklist_.push_back(WorkItem{child_id, alt});
+    }
 
     // Aggregate.
     report.instructions += state.stats().instructions;
@@ -95,6 +199,20 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
       }
     }
 
+    RVSYM_TRACE(options_.trace,
+                obs::TraceEvent("path_end")
+                    .num("path", item.id)
+                    .str("end", pathEndName(record.end))
+                    .num("instr", record.instructions)
+                    .num("decisions", static_cast<std::uint64_t>(
+                                          record.decisions.size()))
+                    .num("forks", state.stats().forks)
+                    .num("solver_checks", state.solverStats().checks)
+                    .boolean("has_test", record.has_test)
+                    .str("msg", record.message));
+    if (options_.metrics)
+      options_.metrics->counter("engine.paths_committed").add();
+
     const bool is_error = record.end == PathEnd::Error;
     const bool store =
         is_error || options_.max_stored_paths == 0 ||
@@ -109,6 +227,15 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
 
   report.unexplored_forks = worklist_.size();
   report.seconds = elapsed();
+  RVSYM_TRACE(options_.trace,
+              obs::TraceEvent("run_end")
+                  .num("paths", report.totalPaths())
+                  .num("completed", report.completed_paths)
+                  .num("errors", report.error_paths)
+                  .num("unexplored", report.unexplored_forks)
+                  .num("instr", report.instructions)
+                  .num("t_s", report.seconds));
+  if (options_.trace) options_.trace->flush();
   return report;
 }
 

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "expr/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "symex/state.hpp"
 
 namespace rvsym::symex {
@@ -46,6 +48,20 @@ struct EngineOptions {
   /// Keep at most this many non-error path records in the report
   /// (counters are exact regardless). 0 = keep all.
   std::uint64_t max_stored_paths = 0;
+
+  // --- Observability (all optional; the engine owns none of them) ---------
+  /// Structured JSONL event sink for the path lifecycle (see obs/trace.hpp
+  /// for the schema and determinism contract). nullptr disables tracing at
+  /// zero cost beyond one branch per event site.
+  obs::TraceSink* trace = nullptr;
+  /// Metrics registry: solver check-latency histogram, per-instruction
+  /// step-time histograms (when the program records them), worklist-depth
+  /// gauge and query-cache counters.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Emit a progress heartbeat line on stderr every this many seconds
+  /// (0 = off). Wall-clock driven, so inherently timing-dependent; it
+  /// never goes into the trace.
+  double heartbeat_seconds = 0;
 };
 
 struct PathRecord {
@@ -57,6 +73,21 @@ struct PathRecord {
   std::vector<bool> decisions;
 };
 
+// Determinism contract, field by field. For a fixed workload and
+// EngineOptions, every field below is byte-identical across worker
+// counts (--jobs N), schedules and query-cache states — the speculative
+// parallel engine commits in sequential order and solver models are
+// canonical — EXCEPT:
+//   * `seconds`           — wall clock;
+//   * `qcache_hits`,
+//     `qcache_misses`     — which worker wins the race to solve a query
+//                           decides hit vs. miss, and totals include
+//                           speculatively executed paths that a budget
+//                           or stop-on-error run later discards.
+// Everything else (path counts, instructions, branches, decision-stage
+// counters, solver_checks, test_vectors, the per-path records including
+// their test vectors) is deterministic; tests and the scaling bench
+// compare them across jobs values directly.
 struct EngineReport {
   // Paper-facing counters.
   std::uint64_t completed_paths = 0;  ///< "Paths" in Table II
@@ -95,7 +126,20 @@ struct EngineReport {
   const PathRecord* firstError() const;
 };
 
+/// Renders the report as a JSON object through the shared obs serializer
+/// — the one emitter rvsym-verify --metrics-out and all benches reuse.
+/// Deterministic fields come first; the timing-dependent ones (see the
+/// contract above) are grouped under a "timing" sub-object.
+std::string reportToJson(const EngineReport& report);
+
 namespace detail {
+
+/// Lower-case searcher name for trace events ("dfs" / "bfs" / "random").
+const char* searcherName(EngineOptions::Searcher s);
+
+/// One stderr progress line; shared by both engines' heartbeats.
+void emitHeartbeat(const EngineReport& report, double elapsed_s,
+                   std::size_t worklist_depth);
 
 /// Pops the next worklist item under the searcher policy. Shared by
 /// Engine and ParallelEngine so both commit paths in the identical,
@@ -143,11 +187,19 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
  private:
-  std::vector<bool> popNext();
+  /// One scheduled path: a decision prefix plus its stable trace id
+  /// (assigned in discovery order; the root path is 0). The id stream is
+  /// deterministic because forks are pushed in commit order.
+  struct WorkItem {
+    std::uint64_t id = 0;
+    std::vector<bool> prefix;
+  };
+
+  WorkItem popNext();
 
   expr::ExprBuilder& eb_;
   EngineOptions options_;
-  std::deque<std::vector<bool>> worklist_;
+  std::deque<WorkItem> worklist_;
   std::uint32_t rng_state_ = 0;
 };
 

@@ -22,13 +22,25 @@ struct PathOutcome {
   std::vector<std::vector<bool>> forks;
   PathStats stats;
   std::uint64_t solver_checks = 0;
+  /// Per-path query-cache traffic (timing-dependent: depends on what
+  /// other workers solved first).
+  std::uint64_t qc_hits = 0;
+  std::uint64_t qc_misses = 0;
+  /// Events buffered during (speculative) execution; the committer
+  /// flushes them in commit order so the trace stays deterministic.
+  std::vector<obs::TraceEvent> trace_events;
 };
 
 struct Task {
   enum class Status { Pending, Claimed, Done };
 
-  explicit Task(std::vector<bool> p) : prefix(std::move(p)) {}
+  Task(std::uint64_t path_id, std::vector<bool> p)
+      : id(path_id), prefix(std::move(p)) {}
 
+  /// Stable trace id: assigned at push time in commit order, so it is
+  /// identical across worker counts and already known when a worker
+  /// claims the task speculatively.
+  std::uint64_t id;
   std::vector<bool> prefix;
   Status status = Status::Pending;
   PathOutcome outcome;
@@ -75,6 +87,9 @@ PathOutcome executePath(const PathProgram& program, expr::ExprBuilder& eb,
   out.forks = state.pendingForks();
   out.stats = state.stats();
   out.solver_checks = state.solverStats().checks;
+  out.qc_hits = state.solverStats().cache_hits;
+  out.qc_misses = state.solverStats().cache_misses;
+  out.trace_events = std::move(state.traceEvents());
   if (options.collect_test_vectors &&
       (out.record.end == PathEnd::Completed ||
        out.record.end == PathEnd::Error)) {
@@ -150,8 +165,13 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
   const bool use_cache =
       options_.enable_query_cache && options_.solver_max_conflicts == 0;
   std::unique_ptr<solver::QueryCache> cache;
-  if (use_cache)
+  if (use_cache) {
     cache = std::make_unique<solver::QueryCache>(options_.cache_shards);
+    // The registry is the live aggregation point for cache traffic: the
+    // cache bumps "qcache.hits"/"qcache.misses" as lookups happen, and
+    // the same totals land in report.qcache_* after the run.
+    if (options_.metrics) cache->attachMetrics(*options_.metrics);
+  }
 
   std::vector<WorkerState> workers(jobs);
   for (unsigned i = 0; i < jobs; ++i) {
@@ -165,13 +185,30 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                           options_.take_true_first,
                           options_.use_known_bits,
                           cache.get(),
-                          cache ? workers[i].hasher.get() : nullptr};
+                          cache ? workers[i].hasher.get() : nullptr,
+                          options_.metrics,
+                          options_.trace != nullptr};
   }
 
   Shared sh;
-  sh.worklist.push_back(std::make_shared<Task>(std::vector<bool>{}));
+  sh.worklist.push_back(std::make_shared<Task>(0, std::vector<bool>{}));
+  std::uint64_t next_path_id = 1;
   std::uint32_t rng_state =
       options_.random_seed == 0 ? 1 : options_.random_seed;
+
+  obs::Gauge* depth_gauge =
+      options_.metrics ? &options_.metrics->gauge("engine.worklist_depth")
+                       : nullptr;
+  obs::Counter* committed_counter =
+      options_.metrics ? &options_.metrics->counter("engine.paths_committed")
+                       : nullptr;
+
+  RVSYM_TRACE(options_.trace,
+              obs::TraceEvent("run_start")
+                  .str("searcher", detail::searcherName(options_.searcher))
+                  .num("jobs", static_cast<std::uint64_t>(jobs))
+                  .num("trace_version",
+                       static_cast<std::uint64_t>(obs::kTraceVersion)));
 
   std::vector<std::thread> threads;
   threads.reserve(jobs - 1);
@@ -192,6 +229,7 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
   const auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
+  double next_heartbeat = options_.heartbeat_seconds;
 
   try {
     std::unique_lock<std::mutex> lk(sh.mu);
@@ -213,9 +251,23 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
         report.stopped_early = true;
         break;
       }
+      if (options_.heartbeat_seconds > 0 && elapsed() >= next_heartbeat) {
+        detail::emitHeartbeat(report, elapsed(), sh.worklist.size());
+        next_heartbeat = elapsed() + options_.heartbeat_seconds;
+      }
+      if (depth_gauge) {
+        const auto depth = static_cast<std::int64_t>(sh.worklist.size());
+        depth_gauge->set(depth);
+        depth_gauge->sampleMax(depth);
+      }
 
       TaskRef task =
           detail::popNextItem(sh.worklist, options_.searcher, rng_state);
+      RVSYM_TRACE(options_.trace,
+                  obs::TraceEvent("schedule")
+                      .num("path", task->id)
+                      .num("depth", static_cast<std::uint64_t>(
+                                        task->prefix.size())));
       if (task->status == Task::Status::Pending) {
         // No worker got to it — the committer doubles as worker 0.
         task->status = Task::Status::Claimed;
@@ -239,9 +291,29 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
 
       // --- Commit (mirrors the sequential engine exactly) ---------------
       PathOutcome& out = task->outcome;
+
+      // Flush events buffered during (possibly speculative) execution —
+      // only here, on the committer, so the trace order is the commit
+      // order for any worker count.
+      if (options_.trace != nullptr) {
+        for (obs::TraceEvent& ev : out.trace_events) {
+          ev.fields.insert(ev.fields.begin(),
+                           {"path", std::to_string(task->id)});
+          options_.trace->emit(ev);
+        }
+      }
+
       const bool had_forks = !out.forks.empty();
-      for (std::vector<bool>& alt : out.forks)
-        sh.worklist.push_back(std::make_shared<Task>(std::move(alt)));
+      for (std::vector<bool>& alt : out.forks) {
+        const std::uint64_t child_id = next_path_id++;
+        RVSYM_TRACE(options_.trace,
+                    obs::TraceEvent("fork")
+                        .num("path", child_id)
+                        .num("parent", task->id)
+                        .num("depth", static_cast<std::uint64_t>(
+                                          alt.size())));
+        sh.worklist.push_back(std::make_shared<Task>(child_id, std::move(alt)));
+      }
       if (had_forks) sh.work_cv.notify_all();
 
       report.instructions += out.stats.instructions;
@@ -259,6 +331,22 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
         case PathEnd::Budget: ++report.limited_paths; break;
       }
       if (out.record.has_test) ++report.test_vectors;
+
+      RVSYM_TRACE(options_.trace,
+                  obs::TraceEvent("path_end")
+                      .num("path", task->id)
+                      .str("end", pathEndName(out.record.end))
+                      .num("instr", out.record.instructions)
+                      .num("decisions", static_cast<std::uint64_t>(
+                                            out.record.decisions.size()))
+                      .num("forks", out.stats.forks)
+                      .num("solver_checks", out.solver_checks)
+                      .boolean("has_test", out.record.has_test)
+                      .str("msg", out.record.message)
+                      // qc_* fields are timing-dependent (see trace.hpp).
+                      .num("qc_hits", out.qc_hits)
+                      .num("qc_misses", out.qc_misses));
+      if (committed_counter) committed_counter->add();
 
       const bool is_error = out.record.end == PathEnd::Error;
       const bool store = is_error || options_.max_stored_paths == 0 ||
@@ -283,6 +371,17 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
     report.qcache_hits = cs.hits;
     report.qcache_misses = cs.misses;
   }
+  RVSYM_TRACE(options_.trace,
+              obs::TraceEvent("run_end")
+                  .num("paths", report.totalPaths())
+                  .num("completed", report.completed_paths)
+                  .num("errors", report.error_paths)
+                  .num("unexplored", report.unexplored_forks)
+                  .num("instr", report.instructions)
+                  .num("t_s", report.seconds)
+                  .num("qc_hits", report.qcache_hits)
+                  .num("qc_misses", report.qcache_misses));
+  if (options_.trace) options_.trace->flush();
   return report;
 }
 

@@ -29,6 +29,8 @@ ExecState::ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
       limits_(limits) {
   if (limits_.query_cache && limits_.query_hasher)
     solver_.attachCache(limits_.query_cache, limits_.query_hasher);
+  if (limits_.metrics)
+    solver_.attachMetrics(&limits_.metrics->histogram("solver.check_us"));
 }
 
 ExprRef ExecState::makeSymbolic(const std::string& name, unsigned width) {

@@ -23,6 +23,8 @@
 #include "expr/builder.hpp"
 #include "expr/eval.hpp"
 #include "expr/expr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/solver.hpp"
 #include "symex/knownbits.hpp"
 
@@ -84,6 +86,12 @@ class ExecState {
     /// owning worker's canonical hasher (thread-private). Both or none.
     solver::QueryCache* query_cache = nullptr;
     solver::CanonicalHasher* query_hasher = nullptr;
+    /// Optional metrics registry (shared, thread-safe): attaches the
+    /// solver check-latency histogram to this path's solver.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Buffer path-local trace events (see traceEvent below). Set by the
+    /// engines iff a trace sink is configured.
+    bool trace_path_events = false;
   };
 
   ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
@@ -125,6 +133,21 @@ class ExecState {
   void countInstruction(std::uint64_t n = 1) { stats_.instructions += n; }
   const PathStats& stats() const { return stats_; }
 
+  // --- Observability ----------------------------------------------------------
+  /// True iff the engine wants path-local trace events buffered. Use the
+  /// RVSYM_TRACE_PATH macro rather than calling traceEvent directly so
+  /// event construction is skipped when tracing is off (and compiled out
+  /// entirely under RVSYM_OBS_NO_TRACING).
+  bool tracingEnabled() const { return limits_.trace_path_events; }
+  /// Buffers an event produced while executing this path (e.g. a voter
+  /// verdict). The engine flushes the buffer to the trace sink at commit
+  /// time, in deterministic commit order, with the path id attached —
+  /// never from the (possibly speculative) executing thread.
+  void traceEvent(obs::TraceEvent ev) {
+    trace_events_.push_back(std::move(ev));
+  }
+  std::vector<obs::TraceEvent>& traceEvents() { return trace_events_; }
+
   // --- Engine internals -------------------------------------------------------
   const std::vector<bool>& decisions() const { return decisions_; }
   /// Pending forks discovered on this path: full decision prefixes for the
@@ -153,6 +176,21 @@ class ExecState {
   std::vector<std::vector<bool>> pending_forks_;
   Limits limits_;
   PathStats stats_;
+  std::vector<obs::TraceEvent> trace_events_;
 };
 
 }  // namespace rvsym::symex
+
+/// Buffers a path-local trace event iff the engine enabled tracing for
+/// this run; `event_expr` is not evaluated otherwise. Compiled out by
+/// RVSYM_OBS_NO_TRACING.
+#ifdef RVSYM_OBS_NO_TRACING
+#define RVSYM_TRACE_PATH(state, event_expr) ((void)0)
+#else
+#define RVSYM_TRACE_PATH(state, event_expr)              \
+  do {                                                   \
+    if ((state).tracingEnabled()) {                      \
+      (state).traceEvent(event_expr);                    \
+    }                                                    \
+  } while (0)
+#endif

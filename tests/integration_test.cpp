@@ -2,11 +2,13 @@
 // experiments driven through the public VerificationSession API.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "core/session.hpp"
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
+#include "obs/bundle.hpp"
 
 namespace rvsym {
 namespace {
@@ -88,6 +90,59 @@ TEST(TableTwo, FindsDecoderAndDatapathFaults) {
       EXPECT_GT(report.partialPaths(), 0u);
     }
   }
+}
+
+// --- Mismatch-repro bundles ----------------------------------------------------------
+
+TEST(ReproBundle, WriteAndReplayRoundTrip) {
+  // Hunt one injected error, dump a repro bundle for the mismatch, then
+  // replay the bundle from disk alone and expect the same voter verdict.
+  expr::ExprBuilder eb;
+  CosimConfig cfg;
+  cfg.rtl = rtl::fixedRtlConfig();
+  cfg.iss.csr = iss::CsrConfig::specCorrect();
+  cfg.instr_limit = 1;
+  cfg.instr_constraint = CoSimulation::blockSystemInstructions();
+  fault::errorById("E5").apply(cfg);
+
+  symex::EngineOptions opts;
+  opts.stop_on_error = true;
+  opts.max_paths = 4000;
+  opts.max_seconds = 120;
+  CoSimulation cosim(eb, cfg);
+  symex::Engine engine(eb, opts);
+  const auto report = engine.run(cosim.program());
+  ASSERT_GT(report.error_paths, 0u);
+
+  const std::string dir = testing::TempDir() + "/rvsym_bundle_test";
+  std::filesystem::remove_all(dir);
+  obs::BundleDescriptor base;
+  base.fault_id = "E5";
+  base.scenario = "rv32i";
+  base.instr_limit = 1;
+  base.num_symbolic_regs = 2;
+  ASSERT_EQ(obs::writeReportBundles(dir, base, report), 1u);
+
+  const std::string bundle = dir + "/bundle-000";
+  for (const char* file : {"manifest.json", "test.rvtest", "instrs.txt",
+                           "rvfi_rtl.jsonl", "rvfi_iss.jsonl", "trace.vcd"}) {
+    EXPECT_TRUE(std::filesystem::exists(bundle + "/" + file)) << file;
+    EXPECT_GT(std::filesystem::file_size(bundle + "/" + file), 0u) << file;
+  }
+
+  const auto manifest = obs::loadBundleManifest(bundle);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->fault_id, "E5");
+  EXPECT_EQ(manifest->scenario, "rv32i");
+  EXPECT_EQ(manifest->instr_limit, 1u);
+  EXPECT_NE(manifest->message.find("voter mismatch"), std::string::npos);
+
+  const auto replay = obs::replayBundle(bundle);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->reproduced);
+  EXPECT_TRUE(replay->verdict_matches)
+      << "recorded " << replay->recorded_field << " got " << replay->field;
+  std::filesystem::remove_all(dir);
 }
 
 // --- Cross-experiment sanity ---------------------------------------------------------

@@ -10,8 +10,12 @@
 //   rvsym-verify --mode hybrid --fault X0
 //   rvsym-verify --scenario system --limit 2 --paths 3000
 //   rvsym-verify --ktest-dir out/       # export the generated test set
+//   rvsym-verify --fault E5 --repro-dir out/ --trace-out run.jsonl
+//   rvsym-verify --replay out/bundle-000   # re-run a mismatch bundle
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/coverage.hpp"
@@ -19,6 +23,10 @@
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
 #include "fuzz/hybrid.hpp"
+#include "obs/bundle.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rv32/instr.hpp"
 #include "symex/ktest.hpp"
 
@@ -42,8 +50,44 @@ void usage(const char* argv0) {
       "  --monitor          enable the RVFI self-consistency monitor\n"
       "  --ktest-dir DIR    export every test vector\n"
       "  --coverage         print test-set coverage\n"
+      "  --trace-out FILE   JSONL path-lifecycle event trace\n"
+      "  --metrics-out FILE engine report + metrics registry as JSON\n"
+      "  --heartbeat S      stderr progress line every S seconds\n"
+      "  --repro-dir DIR    dump a repro bundle per voter mismatch\n"
+      "  --replay BUNDLE    re-run a repro bundle concretely and exit\n"
       "  --help\n",
       argv0);
+}
+
+/// --replay mode: everything the run needs is inside the bundle.
+int runReplay(const std::string& bundle_dir) {
+  const auto manifest = obs::loadBundleManifest(bundle_dir);
+  if (!manifest) {
+    std::fprintf(stderr, "cannot load bundle manifest in %s\n",
+                 bundle_dir.c_str());
+    return 2;
+  }
+  std::printf("replaying %s (fault=%s scenario=%s limit=%u regs=%u)\n",
+              bundle_dir.c_str(),
+              manifest->fault_id.empty() ? "-" : manifest->fault_id.c_str(),
+              manifest->scenario.c_str(), manifest->instr_limit,
+              manifest->num_symbolic_regs);
+  std::printf("recorded: %s\n", manifest->message.c_str());
+
+  const auto result = obs::replayBundle(bundle_dir);
+  if (!result) {
+    std::fprintf(stderr, "cannot replay bundle (missing test.rvtest?)\n");
+    return 2;
+  }
+  if (!result->reproduced) {
+    std::printf("replay:   no mismatch — NOT reproduced\n");
+    return 1;
+  }
+  std::printf("replay:   %s\n", result->message.c_str());
+  std::printf("verdict:  %s\n", result->verdict_matches
+                                    ? "reproduced on the recorded channel"
+                                    : "mismatch on a DIFFERENT channel");
+  return result->verdict_matches ? 0 : 1;
 }
 
 }  // namespace
@@ -54,9 +98,11 @@ int main(int argc, char** argv) {
   std::string scenario = "all";
   std::string searcher = "dfs";
   std::string ktest_dir;
+  std::string trace_out, metrics_out, repro_dir, replay_dir;
   unsigned limit = 1, regs = 2, jobs = 1;
   std::uint64_t paths = 2000;
   double seconds = 60;
+  double heartbeat = 0;
   bool stop_on_error = false;
   bool want_coverage = false;
   bool monitor = false;
@@ -76,6 +122,11 @@ int main(int argc, char** argv) {
     else if (arg == "--searcher") searcher = value();
     else if (arg == "--jobs") jobs = static_cast<unsigned>(std::atoi(value()));
     else if (arg == "--ktest-dir") ktest_dir = value();
+    else if (arg == "--trace-out") trace_out = value();
+    else if (arg == "--metrics-out") metrics_out = value();
+    else if (arg == "--heartbeat") heartbeat = std::atof(value());
+    else if (arg == "--repro-dir") repro_dir = value();
+    else if (arg == "--replay") replay_dir = value();
     else if (arg == "--stop-on-error") stop_on_error = true;
     else if (arg == "--coverage") want_coverage = true;
     else if (arg == "--monitor") monitor = true;
@@ -86,6 +137,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (!replay_dir.empty()) return runReplay(replay_dir);
 
   // --- Build the co-simulation configuration ------------------------------
   core::CosimConfig cfg;
@@ -164,14 +217,31 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --- Observability ------------------------------------------------------
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_out);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open --trace-out file '%s'\n",
+                   trace_out.c_str());
+      return 2;
+    }
+  }
+  const bool want_metrics = !metrics_out.empty();
+
   // --- Symbolic verification session -------------------------------------------
   expr::ExprBuilder eb;
   core::SessionOptions options;
   options.cosim = cfg;
+  if (want_metrics) options.cosim.metrics = &registry;
   options.engine.max_paths = paths;
   options.engine.max_seconds = seconds;
   options.engine.stop_on_error = stop_on_error;
   options.engine.jobs = jobs == 0 ? 1 : jobs;
+  options.engine.trace = trace_sink.get();
+  if (want_metrics) options.engine.metrics = &registry;
+  options.engine.heartbeat_seconds = heartbeat;
   if (searcher == "bfs")
     options.engine.searcher = symex::EngineOptions::Searcher::Bfs;
   else if (searcher == "random")
@@ -211,6 +281,34 @@ int main(int argc, char** argv) {
     const std::size_t n =
         symex::exportReportVectors(report.engine, ktest_dir);
     std::printf("\nexported %zu test vectors to %s/\n", n, ktest_dir.c_str());
+  }
+
+  if (want_metrics) {
+    // One document, one serializer: the engine report plus the registry.
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("report").rawValue(symex::reportToJson(report.engine));
+    w.key("metrics").rawValue(registry.toJson());
+    w.endObject();
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << w.str() << "\n";
+    if (!out)
+      std::fprintf(stderr, "cannot write --metrics-out file '%s'\n",
+                   metrics_out.c_str());
+  }
+
+  if (!repro_dir.empty()) {
+    obs::BundleDescriptor base;
+    base.fault_id = fault_id;
+    // The fault path forces the RV32I scenario above; record what the
+    // run actually constrained, not what was asked for.
+    base.scenario = fault_id.empty() ? scenario : "rv32i";
+    base.instr_limit = limit;
+    base.num_symbolic_regs = regs;
+    const std::size_t n =
+        obs::writeReportBundles(repro_dir, base, report.engine);
+    std::printf("wrote %zu repro bundle%s to %s/\n", n, n == 1 ? "" : "s",
+                repro_dir.c_str());
   }
   return fault_id.empty() ? 0 : (report.engine.error_paths > 0 ? 0 : 1);
 }
