@@ -21,6 +21,7 @@
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "symex/parallel.hpp"
 
 namespace {
@@ -28,6 +29,9 @@ namespace {
 using namespace rvsym;
 
 unsigned g_jobs = 1;  // --jobs N: parallel exploration workers per hunt
+// --trace-dir DIR: write one JSONL lifecycle trace per hunt
+// (DIR/<error>_limit<k>.jsonl) for offline analysis with rvsym-report.
+std::string g_trace_dir;
 
 struct RunResult {
   bool found = false;
@@ -53,6 +57,15 @@ RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
   opts.max_seconds = 300;     // scaled-down stand-in for the 24 h limit
   opts.max_paths = 200000;
   opts.jobs = g_jobs;
+
+  std::unique_ptr<obs::JsonlTraceSink> trace;
+  if (!g_trace_dir.empty()) {
+    const std::string path = g_trace_dir + "/" + error.id + "_limit" +
+                             std::to_string(instr_limit) + ".jsonl";
+    trace = std::make_unique<obs::JsonlTraceSink>(path);
+    if (trace->ok()) opts.trace = trace.get();
+    else std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+  }
 
   // Same driver path as core::Session at jobs > 1: one harness per
   // worker. At --jobs 1 this reproduces the sequential hunt exactly.
@@ -96,6 +109,8 @@ int main(int argc, char** argv) {
       g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc)
+      g_trace_dir = argv[++i];
   }
   std::printf("TABLE II — INJECTED ERROR RESULTS (workers: %u)\n", g_jobs);
   std::printf(

@@ -1,0 +1,88 @@
+// Offline trace analysis end to end, entirely in-process: run a Table I
+// style scenario (SYSTEM instructions against the buggy-by-default CSR
+// file) with the JSONL lifecycle trace captured in memory, then feed
+// the trace to the analysis layer — reconstruct the exploration tree,
+// attribute solver/RTL/ISS time, rebuild the decoder-space coverage
+// map, and check jobs=1 vs jobs=2 determinism with the run differ.
+//
+// The same flow works across processes via files:
+//
+//   rvsym-verify --scenario system --limit 1 --trace-out run/trace.jsonl
+//   rvsym-report tree run/trace.jsonl
+//   rvsym-report coverage run/trace.jsonl --html coverage.html
+//   rvsym-report diff runA/ runB/
+#include <cstdio>
+#include <memory>
+
+#include "core/coverage.hpp"
+#include "core/session.hpp"
+#include "obs/analyze/coverage_map.hpp"
+#include "obs/analyze/diff.hpp"
+#include "obs/analyze/path_tree.hpp"
+#include "obs/trace.hpp"
+
+int main() {
+  using namespace rvsym;
+  namespace analyze = rvsym::obs::analyze;
+
+  // --- 1. Run the scenario twice (jobs=1, jobs=2), tracing both. ----------
+  auto runScenario = [](unsigned jobs, obs::BufferTraceSink& sink) {
+    expr::ExprBuilder eb;
+    core::SessionOptions opts;
+    // Default RtlConfig = the authentic MicroRV32 with its Table I
+    // deviations, so mismatches are genuinely found.
+    opts.cosim.instr_limit = 1;
+    opts.cosim.instr_constraint =
+        core::CoSimulation::onlySystemInstructions();
+    opts.engine.max_paths = 120;
+    opts.engine.jobs = jobs;
+    opts.engine.trace = &sink;
+    core::VerificationSession session(eb, opts);
+    return session.run();
+  };
+
+  obs::BufferTraceSink trace1, trace2;
+  const core::SessionReport report = runScenario(1, trace1);
+  runScenario(2, trace2);
+  std::printf("engine: %llu paths, %llu mismatches found\n",
+              static_cast<unsigned long long>(report.engine.totalPaths()),
+              static_cast<unsigned long long>(report.engine.error_paths));
+
+  // --- 2. Reconstruct the exploration tree from the trace alone. ----------
+  std::string err;
+  std::optional<analyze::PathTree> tree =
+      analyze::PathTree::fromTraceLines(trace1.lines(), &err);
+  if (!tree) {
+    std::fprintf(stderr, "tree reconstruction failed: %s\n", err.c_str());
+    return 1;
+  }
+  // Round trip: the tree's verdict counts must equal the engine's.
+  const analyze::TreeCounts counts = tree->counts();
+  if (counts.error != report.engine.error_paths ||
+      counts.total() != report.engine.totalPaths()) {
+    std::fprintf(stderr, "round-trip mismatch: tree disagrees with engine\n");
+    return 1;
+  }
+  std::printf("\n%s", tree->renderReport(3).c_str());
+
+  // --- 3. Coverage map from the embedded test vectors and tags. -----------
+  const core::CoverageCollector cov = analyze::coverageFromTree(*tree);
+  std::printf("\n%s", cov.summary().c_str());
+
+  // --- 4. Determinism check: jobs=1 vs jobs=2 must be identical. ----------
+  std::optional<analyze::PathTree> tree2 =
+      analyze::PathTree::fromTraceLines(trace2.lines(), &err);
+  if (!tree2) {
+    std::fprintf(stderr, "tree reconstruction (jobs=2) failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  analyze::RunArtifacts a, b;
+  a.tree = std::move(*tree);
+  a.coverage = cov;
+  b.tree = std::move(*tree2);
+  b.coverage = analyze::coverageFromTree(b.tree);
+  const analyze::DiffResult diff = analyze::diffRuns(a, b);
+  std::printf("\njobs=1 vs jobs=2: %s", diff.render().c_str());
+  return diff.identical() ? 0 : 1;
+}

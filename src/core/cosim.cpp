@@ -101,7 +101,10 @@ void CoSimulation::runPath(ExecState& st) {
 
   using ObsClock = std::chrono::steady_clock;
   // Accumulated RTL time since the last retirement: the RTL side of a
-  // "per-instruction step" spans several clock ticks.
+  // "per-instruction step" spans several clock ticks. Timed when either
+  // consumer wants it: the registry histograms, or the trace sink (the
+  // per-path t_rtl_us / t_iss_us attribution fields at path_end).
+  const bool time_steps = rtl_instr_us_ != nullptr || st.tracingEnabled();
   std::uint64_t rtl_accum_us = 0;
 
   unsigned retired = 0;
@@ -121,7 +124,7 @@ void CoSimulation::runPath(ExecState& st) {
       iss.csrs().setInterruptLine(static_cast<unsigned>(config_.irq_line),
                                   true);
     }
-    if (rtl_instr_us_) {
+    if (time_steps) {
       const auto t0 = ObsClock::now();
       core.tick(st);
       rtl_accum_us += static_cast<std::uint64_t>(
@@ -168,18 +171,26 @@ void CoSimulation::runPath(ExecState& st) {
     // --- Voter: on RTL retirement, step the ISS and compare. ---------------
     if (core.rvfi.valid) {
       st.countInstruction();
-      if (rtl_instr_us_) {
-        rtl_instr_us_->record(rtl_accum_us);
+      if (time_steps) {
+        if (rtl_instr_us_) rtl_instr_us_->record(rtl_accum_us);
+        st.addTime("rtl", rtl_accum_us);
         rtl_accum_us = 0;
       }
       const auto iss_t0 =
-          iss_step_us_ ? ObsClock::now() : ObsClock::time_point{};
+          time_steps ? ObsClock::now() : ObsClock::time_point{};
       const iss::RetireInfo iss_result = iss.step(st);
-      if (iss_step_us_)
-        iss_step_us_->record(static_cast<std::uint64_t>(
+      if (time_steps) {
+        const auto iss_us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 ObsClock::now() - iss_t0)
-                .count()));
+                .count());
+        if (iss_step_us_) iss_step_us_->record(iss_us);
+        st.addTime("iss", iss_us);
+      }
+      // Trap-cause coverage: the ISS's trap decision is concrete control
+      // state, so the tag is deterministic across jobs.
+      if (iss_result.trap)
+        st.addTag("trap:" + std::to_string(iss_result.cause));
       if (config_.on_retire) config_.on_retire(st, core.rvfi.info, iss_result);
       if (config_.enable_rvfi_monitor) {
         if (auto v = rtl_monitor.check(st, core.rvfi.info))

@@ -1,10 +1,115 @@
 #include "core/coverage.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
+
+#include "obs/json.hpp"
 
 namespace rvsym::core {
 
 using rv32::Opcode;
+
+namespace {
+
+constexpr std::uint32_t kF3FieldMask = 0x00007000;
+constexpr std::uint32_t kF7FieldMask = 0xFE000000;
+constexpr std::uint32_t kRs2FieldMask = 0x01F00000;
+
+/// Canonical cell of one decode-table row: a selector dimension is
+/// meaningful only where the pattern's mask constrains all of its bits
+/// (e.g. ADDI's funct7 bits belong to the immediate, so funct7 = kWild).
+/// The rs2-field dimension is constrained only by the full-match SYSTEM
+/// rows — without it ECALL and EBREAK (same opcode/funct3/funct7,
+/// different imm) would collapse into one cell.
+DecoderCell cellOfPattern(const rv32::DecodePattern& p) {
+  DecoderCell c;
+  c.opcode7 = static_cast<std::uint8_t>(p.match & 0x7F);
+  if ((p.mask & kF3FieldMask) == kF3FieldMask)
+    c.funct3 = static_cast<std::uint8_t>((p.match >> 12) & 0x7);
+  if ((p.mask & kF7FieldMask) == kF7FieldMask)
+    c.funct7 = static_cast<std::uint8_t>((p.match >> 25) & 0x7F);
+  if ((p.mask & kRs2FieldMask) == kRs2FieldMask)
+    c.rs2field = static_cast<std::uint8_t>((p.match >> 20) & 0x1F);
+  return c;
+}
+
+std::string cellJson(const DecoderCell& c) {
+  obs::JsonWriter w;
+  w.beginObject();
+  if (c.opcode7 == DecoderCell::kWild) w.key("op").nullValue();
+  else w.field("op", static_cast<std::uint64_t>(c.opcode7));
+  if (c.funct3 == DecoderCell::kWild) w.key("f3").nullValue();
+  else w.field("f3", static_cast<std::uint64_t>(c.funct3));
+  if (c.funct7 == DecoderCell::kWild) w.key("f7").nullValue();
+  else w.field("f7", static_cast<std::uint64_t>(c.funct7));
+  if (c.rs2field != DecoderCell::kWild)
+    w.field("rs2", static_cast<std::uint64_t>(c.rs2field));
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace
+
+std::string DecoderCell::describe() const {
+  char buf[64];
+  char f3s[8] = "*";
+  char f7s[8] = "*";
+  if (funct3 != kWild) std::snprintf(f3s, sizeof f3s, "%u", funct3);
+  if (funct7 != kWild) std::snprintf(f7s, sizeof f7s, "0x%02x", funct7);
+  std::snprintf(buf, sizeof buf, "op=0x%02x f3=%s f7=%s", opcode7, f3s, f7s);
+  std::string out = buf;
+  if (rs2field != kWild) {
+    std::snprintf(buf, sizeof buf, " rs2=%u", rs2field);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<DecoderCell> legalDecoderCells() {
+  std::vector<DecoderCell> cells;
+  cells.reserve(rv32::decodeTable().size());
+  for (const rv32::DecodePattern& p : rv32::decodeTable())
+    cells.push_back(cellOfPattern(p));
+  return cells;
+}
+
+DecoderCell decoderCellOf(std::uint32_t word) {
+  for (const rv32::DecodePattern& p : rv32::decodeTable())
+    if ((word & p.mask) == p.match) return cellOfPattern(p);
+  // Illegal word: keep the raw selector fields so the illegal-space map
+  // shows which decoder corner was probed.
+  DecoderCell c;
+  c.opcode7 = static_cast<std::uint8_t>(word & 0x7F);
+  c.funct3 = static_cast<std::uint8_t>((word >> 12) & 0x7);
+  c.funct7 = static_cast<std::uint8_t>((word >> 25) & 0x7F);
+  return c;
+}
+
+const char* csrBinName(std::uint16_t addr) {
+  if (addr >= 0xF11 && addr <= 0xF14) return "machine-info";
+  if (addr >= 0x300 && addr <= 0x306) return "trap-setup";
+  if (addr >= 0x320 && addr <= 0x33F) return "counter-setup";
+  if (addr >= 0x340 && addr <= 0x344) return "trap-handling";
+  if (addr >= 0xB00 && addr <= 0xB9F) return "machine-counters";
+  if (addr >= 0xC00 && addr <= 0xC9F) return "user-counters";
+  return "other";
+}
+
+const std::vector<std::string>& csrBinNames() {
+  static const std::vector<std::string> names{
+      "machine-info",     "trap-setup",       "counter-setup",
+      "trap-handling",    "machine-counters", "user-counters"};
+  return names;
+}
+
+const std::vector<std::string>& voterChannelNames() {
+  static const std::vector<std::string> names{"trap", "pc", "next_pc", "rd",
+                                              "mem"};
+  return names;
+}
 
 void CoverageCollector::addTestVector(const symex::TestVector& vector) {
   for (const symex::TestValue& v : vector.values) {
@@ -15,22 +120,37 @@ void CoverageCollector::addTestVector(const symex::TestVector& vector) {
     const rv32::Decoded d = rv32::decode(word);
     if (d.op == Opcode::Illegal) {
       ++illegal_words_;
+      illegal_cells_.insert(decoderCellOf(word));
       continue;
     }
     opcodes_.insert(d.op);
     ++per_opcode_count_[d.op];
+    const DecoderCell cell = decoderCellOf(word);
+    legal_cells_.insert(cell);
+    ++legal_cell_count_[cell.key()];
     if (rv32::isCsrOp(d.op)) csrs_.insert(d.csr);
   }
 }
 
+void CoverageCollector::addPathRecord(const symex::PathRecord& record) {
+  if (record.has_test) addTestVector(record.test);
+  for (const std::string& tag : record.tags) {
+    if (tag.rfind("trap:", 0) == 0) {
+      noteTrapCause(
+          static_cast<std::uint32_t>(std::strtoul(tag.c_str() + 5, nullptr, 10)));
+    } else if (tag.rfind("voter:", 0) == 0) {
+      noteVoterChannel(tag.substr(6));
+    }
+  }
+}
+
 void CoverageCollector::addReport(const symex::EngineReport& report) {
-  for (const symex::PathRecord& p : report.paths)
-    if (p.has_test) addTestVector(p.test);
+  for (const symex::PathRecord& p : report.paths) addPathRecord(p);
 }
 
 double CoverageCollector::opcodeCoveragePercent() const {
   return 100.0 * static_cast<double>(opcodes_.size()) /
-         static_cast<double>(rv32::decodeTable().size());
+         static_cast<double>(rv32::kLegalOpcodeCount);
 }
 
 std::set<Opcode> CoverageCollector::uncoveredOpcodes() const {
@@ -40,13 +160,149 @@ std::set<Opcode> CoverageCollector::uncoveredOpcodes() const {
   return missing;
 }
 
+std::vector<DecoderCell> CoverageCollector::uncoveredCells() const {
+  std::vector<DecoderCell> missing;
+  for (const DecoderCell& c : legalDecoderCells())
+    if (legal_cells_.count(c) == 0) missing.push_back(c);
+  return missing;
+}
+
+double CoverageCollector::cellCoveragePercent() const {
+  return 100.0 * static_cast<double>(legal_cells_.size()) /
+         static_cast<double>(rv32::decodeTable().size());
+}
+
+std::set<std::string> CoverageCollector::coveredCsrBins() const {
+  std::set<std::string> bins;
+  for (std::uint16_t addr : csrs_) bins.insert(csrBinName(addr));
+  return bins;
+}
+
+std::vector<std::string> CoverageCollector::uncoveredCsrBins() const {
+  const std::set<std::string> covered = coveredCsrBins();
+  std::vector<std::string> missing;
+  for (const std::string& name : csrBinNames())
+    if (covered.count(name) == 0) missing.push_back(name);
+  return missing;
+}
+
+std::vector<std::uint32_t> CoverageCollector::uncoveredTrapCauses() const {
+  static const rv32::Cause kAll[] = {
+      rv32::Cause::MisalignedFetch, rv32::Cause::FetchAccess,
+      rv32::Cause::IllegalInstr,    rv32::Cause::Breakpoint,
+      rv32::Cause::MisalignedLoad,  rv32::Cause::LoadAccess,
+      rv32::Cause::MisalignedStore, rv32::Cause::StoreAccess,
+      rv32::Cause::EcallFromU,      rv32::Cause::EcallFromM};
+  std::vector<std::uint32_t> missing;
+  for (rv32::Cause c : kAll) {
+    const auto v = static_cast<std::uint32_t>(c);
+    if (trap_causes_.count(v) == 0) missing.push_back(v);
+  }
+  return missing;
+}
+
+std::vector<std::string> CoverageCollector::uncoveredVoterChannels() const {
+  std::vector<std::string> missing;
+  for (const std::string& name : voterChannelNames())
+    if (voter_channels_.count(name) == 0) missing.push_back(name);
+  return missing;
+}
+
+std::string CoverageCollector::toJson() const {
+  obs::JsonWriter w;
+  w.beginObject();
+
+  w.key("opcodes").beginObject();
+  w.field("covered", static_cast<std::uint64_t>(opcodes_.size()));
+  w.field("total", static_cast<std::uint64_t>(rv32::kLegalOpcodeCount));
+  w.field("percent", opcodeCoveragePercent());
+  w.key("counts").beginObject();
+  for (const auto& [op, count] : per_opcode_count_)
+    w.field(rv32::opcodeName(op), count);
+  w.endObject();
+  w.key("uncovered").beginArray();
+  for (Opcode op : uncoveredOpcodes()) w.value(rv32::opcodeName(op));
+  w.endArray();
+  w.endObject();
+
+  // The decoder-space map: one entry per legal cell in decode-table
+  // order, each with its opcode, class, cell coordinates and hit count.
+  w.key("cells").beginObject();
+  w.field("total", static_cast<std::uint64_t>(rv32::decodeTable().size()));
+  w.field("covered", static_cast<std::uint64_t>(legal_cells_.size()));
+  w.field("percent", cellCoveragePercent());
+  w.key("map").beginArray();
+  {
+    const std::vector<DecoderCell> cells = legalDecoderCells();
+    const auto table = rv32::decodeTable();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      w.beginObject();
+      w.field("opcode", rv32::opcodeName(table[i].op));
+      w.field("class", rv32::opcodeClass(table[i].op));
+      w.key("cell").rawValue(cellJson(cells[i]));
+      const auto it = legal_cell_count_.find(cells[i].key());
+      w.field("hits", it == legal_cell_count_.end() ? std::uint64_t{0}
+                                                    : it->second);
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.key("illegal_probed").beginArray();
+  for (const DecoderCell& c : illegal_cells_) w.rawValue(cellJson(c));
+  w.endArray();
+  w.endObject();
+
+  w.key("csr").beginObject();
+  w.key("addresses").beginArray();
+  for (std::uint16_t addr : csrs_) w.value(static_cast<std::uint64_t>(addr));
+  w.endArray();
+  w.key("bins").beginObject();
+  w.key("covered").beginArray();
+  for (const std::string& b : coveredCsrBins()) w.value(b);
+  w.endArray();
+  w.key("uncovered").beginArray();
+  for (const std::string& b : uncoveredCsrBins()) w.value(b);
+  w.endArray();
+  w.endObject();
+  w.endObject();
+
+  w.key("trap_causes").beginObject();
+  w.key("covered").beginArray();
+  for (std::uint32_t c : trap_causes_) w.value(static_cast<std::uint64_t>(c));
+  w.endArray();
+  w.key("uncovered").beginArray();
+  for (std::uint32_t c : uncoveredTrapCauses())
+    w.value(static_cast<std::uint64_t>(c));
+  w.endArray();
+  w.endObject();
+
+  w.key("voter_channels").beginObject();
+  w.key("covered").beginArray();
+  for (const std::string& ch : voter_channels_) w.value(ch);
+  w.endArray();
+  w.key("uncovered").beginArray();
+  for (const std::string& ch : uncoveredVoterChannels()) w.value(ch);
+  w.endArray();
+  w.endObject();
+
+  w.key("words").beginObject();
+  w.field("distinct", static_cast<std::uint64_t>(words_.size()));
+  w.field("total", total_words_);
+  w.field("illegal", illegal_words_);
+  w.endObject();
+
+  w.endObject();
+  return w.str();
+}
+
 std::string CoverageCollector::summary() const {
   std::ostringstream os;
   os << "test-set coverage: " << opcodes_.size() << "/"
-     << rv32::decodeTable().size() << " opcodes ("
+     << rv32::kLegalOpcodeCount << " opcodes ("
      << static_cast<int>(opcodeCoveragePercent() + 0.5) << "%), "
-     << csrs_.size() << " CSR addresses, " << words_.size()
-     << " distinct instruction words, illegal encodings "
+     << legal_cells_.size() << "/" << rv32::decodeTable().size()
+     << " decoder cells, " << csrs_.size() << " CSR addresses, "
+     << words_.size() << " distinct instruction words, illegal encodings "
      << (illegal_words_ > 0 ? "covered" : "NOT covered") << "\n";
   const std::set<Opcode> missing = uncoveredOpcodes();
   if (!missing.empty()) {
@@ -54,7 +310,72 @@ std::string CoverageCollector::summary() const {
     for (Opcode op : missing) os << " " << rv32::opcodeName(op);
     os << "\n";
   }
+  if (!trap_causes_.empty() || !voter_channels_.empty()) {
+    os << "run coverage: " << trap_causes_.size() << " trap causes, "
+       << voter_channels_.size() << "/" << voterChannelNames().size()
+       << " voter channels\n";
+  }
   return os.str();
+}
+
+std::string CoverageCollector::holeReport() const {
+  std::ostringstream os;
+  for (const DecoderCell& c : uncoveredCells()) {
+    // Recover the opcode owning this cell for a readable hole line.
+    const auto cells = legalDecoderCells();
+    const auto table = rv32::decodeTable();
+    const char* name = "?";
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i] == c) {
+        name = rv32::opcodeName(table[i].op);
+        break;
+      }
+    os << "hole: decoder cell " << c.describe() << " (" << name << ")\n";
+  }
+  for (const std::string& b : uncoveredCsrBins())
+    os << "hole: csr bin " << b << "\n";
+  for (std::uint32_t c : uncoveredTrapCauses())
+    os << "hole: trap cause " << c << " ("
+       << rv32::causeName(static_cast<rv32::Cause>(c)) << ")\n";
+  for (const std::string& ch : uncoveredVoterChannels())
+    os << "hole: voter channel " << ch << "\n";
+  return os.str();
+}
+
+std::function<std::vector<std::string>(const symex::PathRecord&)>
+instrClassTagger() {
+  return [](const symex::PathRecord& record) {
+    std::vector<std::string> tags;
+    if (!record.has_test) return tags;
+    for (const symex::TestValue& v : record.test.values) {
+      if (v.name.rfind("instr@", 0) != 0) continue;
+      const rv32::Decoded d =
+          rv32::decode(static_cast<std::uint32_t>(v.value));
+      tags.push_back(std::string("class:") + rv32::opcodeClass(d.op));
+      if (d.op != Opcode::Illegal)
+        tags.push_back(std::string("op:") + rv32::opcodeName(d.op));
+    }
+    return tags;
+  };
+}
+
+std::function<std::string(const symex::EngineReport&)> coverageHeartbeat() {
+  struct State {
+    CoverageCollector cov;
+    std::size_t consumed = 0;
+  };
+  auto state = std::make_shared<State>();
+  return [state](const symex::EngineReport& report) {
+    // Incremental: records only ever get appended, so consume the tail.
+    for (; state->consumed < report.paths.size(); ++state->consumed)
+      state->cov.addPathRecord(report.paths[state->consumed]);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "cov=%.1f%% (%zu/%zu ops)",
+                  state->cov.opcodeCoveragePercent(),
+                  state->cov.opcodesCovered(),
+                  static_cast<std::size_t>(rv32::kLegalOpcodeCount));
+    return std::string(buf);
+  };
 }
 
 }  // namespace rvsym::core

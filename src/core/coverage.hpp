@@ -2,22 +2,77 @@
 //
 // The paper's flow "generate[s] test vectors in order to find bugs and
 // create a high coverage test set". This collector quantifies that
-// second output: given the emitted test vectors, it measures which parts
-// of the instruction space the set exercises — opcode coverage over all
-// 48 RV32I+Zicsr+priv encodings, CSR-address coverage for the system
-// instructions, illegal-encoding coverage, and branch-direction/
-// alignment diversity recoverable from the vectors.
+// second output at two granularities: coarse opcode coverage over all
+// legal RV32I+Zicsr+priv encodings (rv32::kLegalOpcodeCount of them),
+// and a fine-grained decoder-space map of (opcode7, funct3, funct7)
+// cells — legal cells from the decode table plus the illegal neighbor
+// cells the set probed. On top of the instruction-word view it tracks
+// the run-level coverage signals the analysis layer feeds back from
+// path tags: CSR-address bins, exercised trap causes and voter
+// comparison channels.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "rv32/instr.hpp"
 #include "symex/engine.hpp"
 
 namespace rvsym::core {
+
+/// One cell of the decoder space: the major opcode plus the funct3 /
+/// funct7 / rs2-field selectors. A dimension the decode pattern leaves
+/// unconstrained (e.g. funct7 of ADDI, where those bits belong to the
+/// immediate) is kWild, so every concrete word of an opcode
+/// canonicalizes to the same legal cell. The rs2 field matters only for
+/// the full-match SYSTEM encodings, where it is what separates ECALL /
+/// EBREAK / MRET / WFI. Words that decode to Illegal keep their raw
+/// selector values — they chart which corners of the illegal space were
+/// probed.
+struct DecoderCell {
+  static constexpr std::uint8_t kWild = 0xFF;
+
+  std::uint8_t opcode7 = 0;
+  std::uint8_t funct3 = kWild;
+  std::uint8_t funct7 = kWild;
+  std::uint8_t rs2field = kWild;
+
+  std::uint32_t key() const {
+    return static_cast<std::uint32_t>(opcode7) |
+           (static_cast<std::uint32_t>(funct3) << 8) |
+           (static_cast<std::uint32_t>(funct7) << 16) |
+           (static_cast<std::uint32_t>(rs2field) << 24);
+  }
+  bool operator<(const DecoderCell& o) const { return key() < o.key(); }
+  bool operator==(const DecoderCell& o) const { return key() == o.key(); }
+
+  /// "op=0x33 f3=5 f7=0x20" with wildcard dims rendered as "*" (the rs2
+  /// field is shown only when constrained).
+  std::string describe() const;
+};
+
+/// The canonical legal cell of each decode-table row, in table order.
+std::vector<DecoderCell> legalDecoderCells();
+
+/// Canonical cell of a concrete instruction word (legal words collapse
+/// unconstrained dims to kWild; illegal words keep raw selectors).
+DecoderCell decoderCellOf(std::uint32_t word);
+
+/// Architectural CSR address bin ("machine-info", "trap-setup",
+/// "trap-handling", "counter-setup", "machine-counters",
+/// "user-counters", "other").
+const char* csrBinName(std::uint16_t addr);
+/// All bin names, in a stable reporting order.
+const std::vector<std::string>& csrBinNames();
+
+/// The voter's comparison channels, in reporting order: "trap", "pc",
+/// "next_pc", "rd", "mem". The voter tags each path with the channels
+/// it exercised ("voter:<channel>").
+const std::vector<std::string>& voterChannelNames();
 
 class CoverageCollector {
  public:
@@ -25,13 +80,24 @@ class CoverageCollector {
   /// named "instr@...").
   void addTestVector(const symex::TestVector& vector);
 
-  /// Accounts every test vector of a report (completed + error paths).
+  /// Accounts a path record: its test vector plus the run-level tags
+  /// ("trap:<cause>" -> trap-cause coverage, "voter:<channel>" ->
+  /// voter-channel coverage).
+  void addPathRecord(const symex::PathRecord& record);
+
+  /// Accounts every path of a report (completed + error paths).
   void addReport(const symex::EngineReport& report);
+
+  void noteTrapCause(std::uint32_t cause) { trap_causes_.insert(cause); }
+  void noteVoterChannel(const std::string& channel) {
+    voter_channels_.insert(channel);
+  }
 
   // --- Metrics -------------------------------------------------------------
   /// Distinct decoded opcodes exercised (Illegal counts separately).
   std::size_t opcodesCovered() const { return opcodes_.size(); }
-  /// Fraction of the 48 legal opcodes exercised, in percent.
+  /// Fraction of the rv32::kLegalOpcodeCount legal opcodes exercised, in
+  /// percent.
   double opcodeCoveragePercent() const;
   bool covers(rv32::Opcode op) const { return opcodes_.count(op) != 0; }
   /// Illegal/reserved encodings exercised?
@@ -45,16 +111,70 @@ class CoverageCollector {
   /// Opcodes NOT yet covered (for coverage-hole reporting).
   std::set<rv32::Opcode> uncoveredOpcodes() const;
 
+  // --- Decoder-space map ---------------------------------------------------
+  /// Legal decoder cells exercised / missing.
+  std::set<DecoderCell> coveredCells() const { return legal_cells_; }
+  std::vector<DecoderCell> uncoveredCells() const;
+  double cellCoveragePercent() const;
+  /// Illegal-space cells the set probed (raw selectors of words that
+  /// decode to Illegal).
+  const std::set<DecoderCell>& illegalCellsProbed() const {
+    return illegal_cells_;
+  }
+
+  // --- Run-level coverage (fed from path tags) -----------------------------
+  const std::set<std::uint16_t>& csrAddresses() const { return csrs_; }
+  /// CSR bins with at least one touched address / still empty.
+  std::set<std::string> coveredCsrBins() const;
+  std::vector<std::string> uncoveredCsrBins() const;
+  const std::set<std::uint32_t>& trapCauses() const { return trap_causes_; }
+  std::vector<std::uint32_t> uncoveredTrapCauses() const;
+  const std::set<std::string>& voterChannels() const {
+    return voter_channels_;
+  }
+  std::vector<std::string> uncoveredVoterChannels() const;
+
+  /// Per-opcode exercise counts (heatmap intensity).
+  const std::map<rv32::Opcode, std::uint64_t>& perOpcodeCounts() const {
+    return per_opcode_count_;
+  }
+
+  /// Full coverage map as one JSON object (shared obs::JsonWriter):
+  /// counters, per-cell status, holes, CSR bins, trap causes and voter
+  /// channels — the document the HTML report embeds and diff consumes.
+  std::string toJson() const;
+
   /// Multi-line human-readable summary.
   std::string summary() const;
+  /// Human-readable hole list (uncovered cells / bins / channels /
+  /// causes), one per line.
+  std::string holeReport() const;
 
  private:
   std::set<rv32::Opcode> opcodes_;
   std::set<std::uint16_t> csrs_;
   std::set<std::uint32_t> words_;
   std::map<rv32::Opcode, std::uint64_t> per_opcode_count_;
+  std::set<DecoderCell> legal_cells_;
+  std::map<std::uint32_t, std::uint64_t> legal_cell_count_;  ///< key -> hits
+  std::set<DecoderCell> illegal_cells_;
+  std::set<std::uint32_t> trap_causes_;
+  std::set<std::string> voter_channels_;
   std::uint64_t illegal_words_ = 0;
   std::uint64_t total_words_ = 0;
 };
+
+/// EngineOptions::path_tagger that decodes the test vector's
+/// instruction words into deterministic workload tags: "op:<name>" and
+/// "class:<class>" per word ("class:illegal" for reserved encodings).
+/// The trace analyzer keys its solver-time attribution on these.
+std::function<std::vector<std::string>(const symex::PathRecord&)>
+instrClassTagger();
+
+/// EngineOptions::heartbeat_annotator that reports live test-set
+/// coverage ("cov=87.5% (42/48 ops)") over the committed paths so far.
+/// Stateful and incremental: each call consumes only the records
+/// appended since the last one.
+std::function<std::string(const symex::EngineReport&)> coverageHeartbeat();
 
 }  // namespace rvsym::core

@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "core/coverage.hpp"
+
 namespace rvsym::core {
 
 VerificationSession::VerificationSession(expr::ExprBuilder& eb,
@@ -11,6 +13,15 @@ VerificationSession::VerificationSession(expr::ExprBuilder& eb,
     : eb_(eb), options_(std::move(options)) {}
 
 SessionReport VerificationSession::run() {
+  // Session-level observability defaults: tag every path with the
+  // instruction classes its test vector exercises (the analyzer's
+  // attribution keys), and let heartbeats report live coverage.
+  if (!options_.engine.path_tagger)
+    options_.engine.path_tagger = instrClassTagger();
+  if (options_.engine.heartbeat_seconds > 0 &&
+      !options_.engine.heartbeat_annotator)
+    options_.engine.heartbeat_annotator = coverageHeartbeat();
+
   SessionReport report;
   if (options_.engine.jobs > 1) {
     // Parallel exploration: one co-sim harness per worker, each built

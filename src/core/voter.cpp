@@ -22,6 +22,7 @@ std::optional<Mismatch> Voter::compare(ExecState& st,
                                        const iss::RetireInfo& rtl,
                                        const iss::RetireInfo& iss) {
   // Trap presence is concrete control state in both models.
+  st.addTag("voter:trap");
   if (rtl.trap != iss.trap) {
     std::ostringstream os;
     os << "rtl " << (rtl.trap ? "traps" : "does not trap") << " (cause "
@@ -35,8 +36,10 @@ std::optional<Mismatch> Voter::compare(ExecState& st,
     return Mismatch{"trap_cause", os.str()};
   }
 
+  st.addTag("voter:pc");
   if (mayDiffer(st, rtl.pc, iss.pc))
     return Mismatch{"pc", "retired PC differs"};
+  st.addTag("voter:next_pc");
   if (mayDiffer(st, rtl.next_pc, iss.next_pc))
     return Mismatch{"next_pc", "next PC differs"};
 
@@ -48,6 +51,7 @@ std::optional<Mismatch> Voter::compare(ExecState& st,
                            : "iss writes a register, rtl does not"};
   }
   if (rtl_rd) {
+    st.addTag("voter:rd");
     if (mayDiffer(st, rtl.rd_index, iss.rd_index))
       return Mismatch{"rd_index", "destination register differs"};
     if (mayDiffer(st, rtl.rd_value, iss.rd_value))
@@ -60,6 +64,7 @@ std::optional<Mismatch> Voter::compare(ExecState& st,
                                   : "iss accesses memory, rtl does not"};
   }
   if (rtl.mem_valid) {
+    st.addTag("voter:mem");
     if (rtl.mem_is_store != iss.mem_is_store)
       return Mismatch{"mem_dir", "load/store direction differs"};
     if (rtl.mem_size != iss.mem_size)

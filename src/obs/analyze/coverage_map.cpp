@@ -1,0 +1,124 @@
+#include "obs/analyze/coverage_map.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace rvsym::obs::analyze {
+
+std::optional<symex::TestVector> parseSerializedTest(const std::string& s) {
+  symex::TestVector tv;
+  std::istringstream in(s);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    const std::size_t colon = token.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos || eq == 0)
+      return std::nullopt;
+    symex::TestValue v;
+    v.name = token.substr(0, eq);
+    char* end = nullptr;
+    v.width = static_cast<unsigned>(
+        std::strtoul(token.c_str() + eq + 1, &end, 10));
+    if (end != token.c_str() + colon) return std::nullopt;
+    v.value = std::strtoull(token.c_str() + colon + 1, &end, 16);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    tv.values.push_back(std::move(v));
+  }
+  return tv;
+}
+
+core::CoverageCollector coverageFromTree(const PathTree& tree) {
+  core::CoverageCollector cov;
+  for (const auto& [id, n] : tree.nodes()) {
+    if (!n.ended) continue;
+    // Reassemble the record shape the collector consumes: vector + tags.
+    symex::PathRecord record;
+    record.tags = n.tags;
+    if (n.has_test && !n.test.empty()) {
+      if (std::optional<symex::TestVector> tv = parseSerializedTest(n.test)) {
+        record.test = std::move(*tv);
+        record.has_test = true;
+      }
+    }
+    cov.addPathRecord(record);
+  }
+  return cov;
+}
+
+std::string renderHtmlReport(const core::CoverageCollector& coverage,
+                             const PathTree* tree, const std::string& title) {
+  // Headline numbers rendered server-side; the decoder grid client-side
+  // from the embedded JSON (a <script type="application/json"> island —
+  // self-contained, no external assets, works from file://).
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>" << obs::jsonEscape(title) << "</title>\n"
+     << "<style>\n"
+        "body{font-family:system-ui,sans-serif;margin:2em;color:#222}\n"
+        "h1{font-size:1.4em}\n"
+        ".grid{display:grid;grid-template-columns:repeat(8,1fr);gap:4px;"
+        "max-width:64em}\n"
+        ".cell{padding:6px;border-radius:4px;font-size:0.8em;"
+        "text-align:center;border:1px solid #ccc}\n"
+        ".hit{background:#2e7d32;color:#fff}\n"
+        ".hot{background:#1b5e20;color:#fff}\n"
+        ".miss{background:#ffcdd2}\n"
+        ".section{margin-top:1.5em}\n"
+        "td,th{padding:2px 10px;text-align:left}\n"
+        "</style>\n</head>\n<body>\n"
+     << "<h1>" << obs::jsonEscape(title) << "</h1>\n";
+
+  os << "<div class=\"section\"><pre>" << coverage.summary() << "</pre></div>\n";
+  if (tree) {
+    const TreeCounts c = tree->counts();
+    os << "<div class=\"section\"><pre>paths=" << c.total()
+       << " errors=" << c.error << " tests=" << c.tests
+       << " solver_us=" << tree->totalUs("solver") << "</pre></div>\n";
+  }
+
+  const std::string holes = coverage.holeReport();
+  if (!holes.empty())
+    os << "<div class=\"section\"><h2>Holes</h2><pre>" << holes
+       << "</pre></div>\n";
+
+  os << "<div class=\"section\"><h2>Decoder-space heatmap</h2>\n"
+     << "<div class=\"grid\" id=\"grid\"></div></div>\n";
+
+  // The full coverage map, embedded verbatim for both the script below
+  // and downstream tooling (extract with one grep).
+  os << "<script type=\"application/json\" id=\"coverage-data\">\n"
+     << coverage.toJson() << "\n</script>\n";
+
+  os << "<script>\n"
+        "const data = JSON.parse("
+        "document.getElementById('coverage-data').textContent);\n"
+        "const grid = document.getElementById('grid');\n"
+        "let max = 1;\n"
+        "for (const e of data.cells.map) max = Math.max(max, e.hits);\n"
+        "for (const e of data.cells.map) {\n"
+        "  const d = document.createElement('div');\n"
+        "  const cls = e.hits === 0 ? 'miss' : (e.hits >= max / 2 ? 'hot' : "
+        "'hit');\n"
+        "  d.className = 'cell ' + cls;\n"
+        "  d.title = e.class + ' — op=' + e.cell.op + ' f3=' + e.cell.f3 + "
+        "' f7=' + e.cell.f7 + ' hits=' + e.hits;\n"
+        "  d.textContent = e.opcode + (e.hits ? ' (' + e.hits + ')' : '');\n"
+        "  grid.appendChild(d);\n"
+        "}\n"
+        "</script>\n</body>\n</html>\n";
+  return os.str();
+}
+
+bool writeHtmlReport(const std::string& path,
+                     const core::CoverageCollector& coverage,
+                     const PathTree* tree, const std::string& title) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << renderHtmlReport(coverage, tree, title);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,41 @@
+// Coverage reconstruction and rendering for the analysis layer.
+//
+// A path_end trace line carries everything coverage needs: the
+// serialized test vector ("name=width:hexvalue") and the run-level tags
+// ("trap:<cause>", "voter:<channel>"). This module replays those into a
+// core::CoverageCollector — so a coverage map can be produced from the
+// JSONL trace alone, with no ktest directory — and renders the
+// collector as a self-contained single-file HTML heatmap (the coverage
+// JSON embedded verbatim, a small inline script drawing the
+// decoder-space grid; no external assets).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "obs/analyze/path_tree.hpp"
+#include "symex/state.hpp"
+
+namespace rvsym::obs::analyze {
+
+/// Parses a path_end "test" field back into a TestVector. Returns
+/// nullopt on malformed input.
+std::optional<symex::TestVector> parseSerializedTest(const std::string& s);
+
+/// Replays every ended path of the tree into a coverage collector.
+core::CoverageCollector coverageFromTree(const PathTree& tree);
+
+/// Renders the collector (and, when given, tree headline numbers) as a
+/// self-contained HTML document. Returns the document text.
+std::string renderHtmlReport(const core::CoverageCollector& coverage,
+                             const PathTree* tree = nullptr,
+                             const std::string& title = "rvsym coverage");
+
+/// Writes renderHtmlReport output to `path`; false on I/O failure.
+bool writeHtmlReport(const std::string& path,
+                     const core::CoverageCollector& coverage,
+                     const PathTree* tree = nullptr,
+                     const std::string& title = "rvsym coverage");
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,168 @@
+#include "obs/analyze/diff.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "obs/analyze/coverage_map.hpp"
+
+namespace rvsym::obs::analyze {
+
+namespace fs = std::filesystem;
+
+std::optional<RunArtifacts> loadRun(const std::string& path,
+                                    std::string* error) {
+  std::string trace_path = path;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    trace_path.clear();
+    for (const char* name : {"trace.jsonl", "run.jsonl"}) {
+      const fs::path candidate = fs::path(path) / name;
+      if (fs::exists(candidate, ec)) {
+        trace_path = candidate.string();
+        break;
+      }
+    }
+    if (trace_path.empty()) {
+      // Fall back to the only .jsonl file in the directory.
+      for (const fs::directory_entry& e : fs::directory_iterator(path, ec)) {
+        if (e.path().extension() == ".jsonl") {
+          if (!trace_path.empty()) {
+            if (error)
+              *error = path + ": multiple .jsonl files, name one explicitly";
+            return std::nullopt;
+          }
+          trace_path = e.path().string();
+        }
+      }
+    }
+    if (trace_path.empty()) {
+      if (error) *error = path + ": no trace (.jsonl) found";
+      return std::nullopt;
+    }
+  }
+
+  std::optional<PathTree> tree = PathTree::fromFile(trace_path, error);
+  if (!tree) return std::nullopt;
+  RunArtifacts run;
+  run.trace_path = trace_path;
+  run.tree = std::move(*tree);
+  run.coverage = coverageFromTree(run.tree);
+  return run;
+}
+
+namespace {
+
+std::string joinTags(const std::vector<std::string>& tags) {
+  std::string out;
+  for (const std::string& t : tags) {
+    if (!out.empty()) out += ',';
+    out += t;
+  }
+  return out;
+}
+
+void diffTrees(const PathTree& a, const PathTree& b,
+               std::vector<std::string>& out) {
+  if (a.size() != b.size())
+    out.push_back("path count differs: " + std::to_string(a.size()) + " vs " +
+                  std::to_string(b.size()));
+
+  for (const auto& [id, na] : a.nodes()) {
+    const PathNode* nb = b.node(id);
+    const std::string where = "path " + std::to_string(id);
+    if (!nb) {
+      out.push_back(where + " only in first run");
+      continue;
+    }
+    if (na.parent != nb->parent) {
+      out.push_back(where + " parent differs");
+      continue;
+    }
+    if (na.children != nb->children)
+      out.push_back(where + " children differ");
+    if (na.ended != nb->ended) {
+      out.push_back(where + (na.ended ? " ended only in first run"
+                                      : " ended only in second run"));
+      continue;
+    }
+    if (!na.ended) continue;
+    if (na.end != nb->end)
+      out.push_back(where + " end differs: " + na.end + " vs " + nb->end);
+    if (na.message != nb->message)
+      out.push_back(where + " message differs");
+    if (na.instructions != nb->instructions)
+      out.push_back(where + " instructions differ: " +
+                    std::to_string(na.instructions) + " vs " +
+                    std::to_string(nb->instructions));
+    if (na.decisions != nb->decisions)
+      out.push_back(where + " decisions differ");
+    if (na.forks != nb->forks) out.push_back(where + " forks differ");
+    if (na.solver_checks != nb->solver_checks)
+      out.push_back(where + " solver checks differ");
+    if (na.has_test != nb->has_test)
+      out.push_back(where + " test presence differs");
+    else if (na.test != nb->test)
+      out.push_back(where + " test vector differs");
+    if (na.tags != nb->tags)
+      out.push_back(where + " tags differ: [" + joinTags(na.tags) + "] vs [" +
+                    joinTags(nb->tags) + "]");
+  }
+  for (const auto& [id, nb] : b.nodes())
+    if (!a.node(id))
+      out.push_back("path " + std::to_string(id) + " only in second run");
+}
+
+template <typename Set, typename Render>
+void diffSets(const Set& a, const Set& b, const std::string& what,
+              Render render, std::vector<std::string>& out) {
+  for (const auto& v : a)
+    if (b.count(v) == 0)
+      out.push_back(what + " " + render(v) + " only in first run");
+  for (const auto& v : b)
+    if (a.count(v) == 0)
+      out.push_back(what + " " + render(v) + " only in second run");
+}
+
+void diffCoverage(const core::CoverageCollector& a,
+                  const core::CoverageCollector& b,
+                  std::vector<std::string>& out) {
+  const auto opName = [](rv32::Opcode op) {
+    return std::string(rv32::opcodeName(op));
+  };
+  // Reconstruct opcode sets from uncovered (the covered set has no
+  // direct getter; uncovered against the fixed universe is equivalent).
+  std::set<rv32::Opcode> ua = a.uncoveredOpcodes(), ub = b.uncoveredOpcodes();
+  diffSets(ub, ua, "opcode", opName, out);  // in b's holes but not a's = a covers
+
+  const auto cellName = [](const core::DecoderCell& c) { return c.describe(); };
+  diffSets(a.coveredCells(), b.coveredCells(), "decoder cell", cellName, out);
+  diffSets(a.illegalCellsProbed(), b.illegalCellsProbed(),
+           "illegal cell", cellName, out);
+
+  const auto numName = [](auto v) { return std::to_string(v); };
+  diffSets(a.csrAddresses(), b.csrAddresses(), "csr address", numName, out);
+  diffSets(a.trapCauses(), b.trapCauses(), "trap cause", numName, out);
+
+  const auto strName = [](const std::string& s) { return s; };
+  diffSets(a.voterChannels(), b.voterChannels(), "voter channel", strName,
+           out);
+}
+
+}  // namespace
+
+std::string DiffResult::render() const {
+  if (identical()) return "runs identical (deterministic content)\n";
+  std::ostringstream os;
+  os << differences.size() << " difference(s):\n";
+  for (const std::string& d : differences) os << "  " << d << "\n";
+  return os.str();
+}
+
+DiffResult diffRuns(const RunArtifacts& a, const RunArtifacts& b) {
+  DiffResult result;
+  diffTrees(a.tree, b.tree, result.differences);
+  diffCoverage(a.coverage, b.coverage, result.differences);
+  return result;
+}
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,51 @@
+// Run diffing — the determinism checker built on the analysis layer.
+//
+// The trace contract promises that for a fixed workload everything but
+// the t_*/qc_* fields is byte-identical across --jobs values. This
+// module turns that promise into a checkable artifact: load two runs
+// (trace + optional metrics), reconstruct both path trees and coverage
+// maps, and report every structural difference — used in CI to assert
+// jobs=1 vs jobs=N parity, and by hand to compare runs across code
+// revisions or fault configurations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "obs/analyze/path_tree.hpp"
+
+namespace rvsym::obs::analyze {
+
+/// One loaded run: the reconstructed tree plus its coverage replay.
+struct RunArtifacts {
+  std::string trace_path;
+  PathTree tree;
+  core::CoverageCollector coverage;
+};
+
+/// Loads a run from `path`: either a trace file itself, or a directory
+/// containing one (tried in order: trace.jsonl, run.jsonl, the only
+/// *.jsonl file). Returns nullopt with a reason on failure.
+std::optional<RunArtifacts> loadRun(const std::string& path,
+                                    std::string* error = nullptr);
+
+struct DiffResult {
+  /// Human-readable differences, one per entry; empty means the two
+  /// runs are identical in every deterministic dimension.
+  std::vector<std::string> differences;
+
+  bool identical() const { return differences.empty(); }
+  std::string render() const;
+};
+
+/// Compares the deterministic content of two runs: tree shape (per-id
+/// parent/children), per-path verdicts, instruction counts, decisions,
+/// tags, test vectors and messages — the t_*/qc_* fields are excluded
+/// by construction since PathNode keeps them separately — plus the
+/// coverage maps (opcode, decoder-cell, CSR, trap-cause and
+/// voter-channel sets).
+DiffResult diffRuns(const RunArtifacts& a, const RunArtifacts& b);
+
+}  // namespace rvsym::obs::analyze

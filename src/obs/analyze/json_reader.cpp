@@ -1,0 +1,318 @@
+#include "obs/analyze/json_reader.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace rvsym::obs::analyze {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = members_.find(std::string(key));
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> JsonValue::getNumber(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v || !v->isNumber()) return std::nullopt;
+  return v->asDouble();
+}
+
+std::optional<std::uint64_t> JsonValue::getU64(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v || !v->isNumber()) return std::nullopt;
+  return v->asU64();
+}
+
+std::optional<std::string> JsonValue::getString(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v || !v->isString()) return std::nullopt;
+  return v->asString();
+}
+
+std::optional<bool> JsonValue::getBool(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v || !v->isBool()) return std::nullopt;
+  return v->asBool();
+}
+
+JsonValue JsonValue::makeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::makeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.num_ = d;
+  return v;
+}
+JsonValue JsonValue::makeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::makeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+JsonValue JsonValue::makeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    std::optional<JsonValue> v = parseValue();
+    if (!v) return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* why) {
+    if (error_ && error_->empty())
+      *error_ = std::string(why) + " at byte " + std::to_string(pos_);
+  }
+
+  bool atEnd() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!atEnd()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (atEnd() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parseValue() {
+    if (atEnd()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        std::optional<std::string> s = parseString();
+        if (!s) return std::nullopt;
+        return JsonValue::makeString(std::move(*s));
+      }
+      case 't':
+        if (consumeLiteral("true")) return JsonValue::makeBool(true);
+        fail("bad literal");
+        return std::nullopt;
+      case 'f':
+        if (consumeLiteral("false")) return JsonValue::makeBool(false);
+        fail("bad literal");
+        return std::nullopt;
+      case 'n':
+        if (consumeLiteral("null")) return JsonValue::makeNull();
+        fail("bad literal");
+        return std::nullopt;
+      default: return parseNumber();
+    }
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (!atEnd() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                        peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                        peek() == '-'))
+      ++pos_;
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    // strtod needs a NUL-terminated buffer; numbers are short.
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return JsonValue::makeNumber(d);
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (atEnd()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (atEnd()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::optional<unsigned> cp = parseHex4();
+          if (!cp) return std::nullopt;
+          unsigned code = *cp;
+          // Surrogate pair → one code point.
+          if (code >= 0xD800 && code <= 0xDBFF && consumeLiteral("\\u")) {
+            std::optional<unsigned> low = parseHex4();
+            if (!low) return std::nullopt;
+            if (*low >= 0xDC00 && *low <= 0xDFFF)
+              code = 0x10000 + ((code - 0xD800) << 10) + (*low - 0xDC00);
+          }
+          appendUtf8(out, code);
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<unsigned> parseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        fail("bad \\u escape");
+        return std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  static void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<JsonValue> parseArray() {
+    consume('[');
+    std::vector<JsonValue> items;
+    skipWs();
+    if (consume(']')) return JsonValue::makeArray(std::move(items));
+    while (true) {
+      skipWs();
+      std::optional<JsonValue> v = parseValue();
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skipWs();
+      if (consume(']')) return JsonValue::makeArray(std::move(items));
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parseObject() {
+    consume('{');
+    std::map<std::string, JsonValue> members;
+    skipWs();
+    if (consume('}')) return JsonValue::makeObject(std::move(members));
+    while (true) {
+      skipWs();
+      std::optional<std::string> key = parseString();
+      if (!key) return std::nullopt;
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      skipWs();
+      std::optional<JsonValue> v = parseValue();
+      if (!v) return std::nullopt;
+      members[std::move(*key)] = std::move(*v);
+      skipWs();
+      if (consume('}')) return JsonValue::makeObject(std::move(members));
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parseJson(std::string_view text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,76 @@
+// Minimal JSON reader for the offline analysis layer.
+//
+// The runtime side of the observability stack is strictly streaming
+// (obs::JsonWriter renders, JsonlTraceSink appends); the analysis side
+// needs the inverse: parse the JSONL trace lines, --metrics-out
+// documents and coverage maps back into a DOM it can query. This is a
+// small recursive-descent parser over the JSON subset those emitters
+// produce (which is all of JSON minus extensions: no comments, no
+// trailing commas, no NaN literals).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvsym::obs::analyze {
+
+/// One parsed JSON value. Objects preserve nothing about key order (the
+/// consumers key by name); duplicate keys keep the last occurrence, as
+/// most JSON libraries do.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  bool asBool() const { return bool_; }
+  double asDouble() const { return num_; }
+  std::uint64_t asU64() const { return static_cast<std::uint64_t>(num_); }
+  std::int64_t asI64() const { return static_cast<std::int64_t>(num_); }
+  const std::string& asString() const { return str_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed convenience lookups (nullopt when the member is absent or has
+  // the wrong type) — the idiom every trace-event consumer uses.
+  std::optional<double> getNumber(std::string_view key) const;
+  std::optional<std::uint64_t> getU64(std::string_view key) const;
+  std::optional<std::string> getString(std::string_view key) const;
+  std::optional<bool> getBool(std::string_view key) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool b);
+  static JsonValue makeNumber(double d);
+  static JsonValue makeString(std::string s);
+  static JsonValue makeArray(std::vector<JsonValue> items);
+  static JsonValue makeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Parses one JSON document. Returns nullopt on any syntax error
+/// (optionally reporting a human-readable reason and byte offset).
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* error = nullptr);
+
+}  // namespace rvsym::obs::analyze

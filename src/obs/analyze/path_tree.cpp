@@ -1,0 +1,267 @@
+#include "obs/analyze/path_tree.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "obs/analyze/json_reader.hpp"
+
+namespace rvsym::obs::analyze {
+
+bool PathNode::hasTag(const std::string& tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+namespace {
+
+void splitCsv(const std::string& s, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      return;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::optional<PathTree> PathTree::fromTraceLines(
+    const std::vector<std::string>& lines, std::string* error) {
+  auto fail = [error](std::string why) -> std::optional<PathTree> {
+    if (error) *error = std::move(why);
+    return std::nullopt;
+  };
+
+  PathTree tree;
+  bool saw_run_start = false;
+  tree.nodes_[0] = PathNode{};  // the root is implicit: path id 0
+
+  std::size_t lineno = 0;
+  for (const std::string& line : lines) {
+    ++lineno;
+    // Tolerate non-trace content (blank lines, interleaved logs): a
+    // trace line is a JSON object carrying an "ev" member.
+    if (line.find("\"ev\"") == std::string::npos) continue;
+    std::string jerr;
+    std::optional<JsonValue> v = parseJson(line, &jerr);
+    if (!v || !v->isObject())
+      return fail("line " + std::to_string(lineno) + ": " +
+                  (jerr.empty() ? "not a JSON object" : jerr));
+    const std::optional<std::string> ev = v->getString("ev");
+    if (!ev) continue;
+
+    if (*ev == "run_start") {
+      saw_run_start = true;
+      tree.jobs_ = v->getU64("jobs").value_or(1);
+      tree.searcher_ = v->getString("searcher").value_or("");
+    } else if (*ev == "fork") {
+      const std::optional<std::uint64_t> id = v->getU64("path");
+      const std::optional<std::uint64_t> parent = v->getU64("parent");
+      if (!id || !parent)
+        return fail("line " + std::to_string(lineno) + ": malformed fork");
+      if (tree.nodes_.count(*parent) == 0)
+        return fail("line " + std::to_string(lineno) + ": fork from unknown parent " +
+                    std::to_string(*parent));
+      PathNode& n = tree.nodes_[*id];
+      n.id = *id;
+      n.parent = *parent;
+      n.fork_depth = v->getU64("depth").value_or(0);
+      tree.nodes_[*parent].children.push_back(*id);
+    } else if (*ev == "path_end") {
+      const std::optional<std::uint64_t> id = v->getU64("path");
+      if (!id)
+        return fail("line " + std::to_string(lineno) + ": malformed path_end");
+      if (tree.nodes_.count(*id) == 0)
+        return fail("line " + std::to_string(lineno) + ": path_end for unknown path " +
+                    std::to_string(*id));
+      PathNode& n = tree.nodes_[*id];
+      n.id = *id;
+      n.ended = true;
+      n.end = v->getString("end").value_or("");
+      n.message = v->getString("msg").value_or("");
+      n.instructions = v->getU64("instr").value_or(0);
+      n.decisions = v->getU64("decisions").value_or(0);
+      n.forks = v->getU64("forks").value_or(0);
+      n.solver_checks = v->getU64("solver_checks").value_or(0);
+      n.has_test = v->getBool("has_test").value_or(false);
+      n.test = v->getString("test").value_or("");
+      if (std::optional<std::string> tags = v->getString("tags"))
+        splitCsv(*tags, n.tags);
+      // Every numeric t_<key>_us member is a time accumulator.
+      for (const auto& [key, val] : v->members()) {
+        if (key.size() > 5 && key.rfind("t_", 0) == 0 &&
+            key.compare(key.size() - 3, 3, "_us") == 0 && val.isNumber())
+          n.times_us[key.substr(2, key.size() - 5)] = val.asU64();
+      }
+    }
+    // schedule / voter / run_end and future event types carry no tree
+    // structure; the reconstruction ignores them.
+  }
+
+  if (!saw_run_start) return fail("no run_start event found");
+  return tree;
+}
+
+std::optional<PathTree> PathTree::fromFile(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return fromTraceLines(lines, error);
+}
+
+const PathNode* PathTree::node(std::uint64_t id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+TreeCounts PathTree::counts() const {
+  TreeCounts c;
+  for (const auto& [id, n] : nodes_) {
+    if (!n.ended) {
+      ++c.unexplored;
+      continue;
+    }
+    if (n.end == "completed") ++c.completed;
+    else if (n.end == "error") ++c.error;
+    else if (n.end == "infeasible") ++c.infeasible;
+    else ++c.limited;  // "solver-limit" / "budget"
+    c.instructions += n.instructions;
+    if (n.has_test) ++c.tests;
+  }
+  return c;
+}
+
+SubtreeStats PathTree::subtree(std::uint64_t id) const {
+  SubtreeStats s;
+  // Iterative DFS (traces can be deep under DFS search).
+  std::vector<std::uint64_t> stack{id};
+  while (!stack.empty()) {
+    const std::uint64_t cur = stack.back();
+    stack.pop_back();
+    const PathNode* n = node(cur);
+    if (!n) continue;
+    if (n->ended) {
+      ++s.paths;
+      s.instructions += n->instructions;
+      s.solver_checks += n->solver_checks;
+      for (const auto& [key, us] : n->times_us) s.times_us[key] += us;
+    }
+    for (std::uint64_t child : n->children) stack.push_back(child);
+  }
+  return s;
+}
+
+std::uint64_t PathTree::totalUs(const std::string& key) const {
+  std::uint64_t total = 0;
+  for (const auto& [id, n] : nodes_) total += n.timeUs(key);
+  return total;
+}
+
+std::vector<const PathNode*> PathTree::topPaths(std::size_t k,
+                                                const std::string& key) const {
+  std::vector<const PathNode*> ended;
+  for (const auto& [id, n] : nodes_)
+    if (n.ended) ended.push_back(&n);
+  std::sort(ended.begin(), ended.end(),
+            [&key](const PathNode* a, const PathNode* b) {
+              const std::uint64_t ua = a->timeUs(key), ub = b->timeUs(key);
+              if (ua != ub) return ua > ub;
+              return a->id < b->id;
+            });
+  if (ended.size() > k) ended.resize(k);
+  return ended;
+}
+
+std::vector<std::pair<std::uint64_t, SubtreeStats>> PathTree::topSubtrees(
+    std::size_t k, const std::string& key) const {
+  std::vector<std::pair<std::uint64_t, SubtreeStats>> subs;
+  const PathNode* r = node(0);
+  if (!r) return subs;
+  for (std::uint64_t child : r->children)
+    subs.emplace_back(child, subtree(child));
+  std::sort(subs.begin(), subs.end(), [&key](const auto& a, const auto& b) {
+    const auto ua = a.second.times_us.count(key) ? a.second.times_us.at(key)
+                                                 : std::uint64_t{0};
+    const auto ub = b.second.times_us.count(key) ? b.second.times_us.at(key)
+                                                 : std::uint64_t{0};
+    if (ua != ub) return ua > ub;
+    return a.first < b.first;
+  });
+  if (subs.size() > k) subs.resize(k);
+  return subs;
+}
+
+std::map<std::string, std::uint64_t> PathTree::timeByTag(
+    const std::string& prefix, const std::string& key) const {
+  std::map<std::string, std::uint64_t> by_tag;
+  for (const auto& [id, n] : nodes_) {
+    if (!n.ended) continue;
+    const std::uint64_t us = n.timeUs(key);
+    for (const std::string& tag : n.tags)
+      if (tag.rfind(prefix, 0) == 0) by_tag[tag] += us;
+  }
+  return by_tag;
+}
+
+std::string PathTree::renderReport(std::size_t top_k) const {
+  std::ostringstream os;
+  const TreeCounts c = counts();
+  os << "exploration tree: " << c.total() << " paths (completed="
+     << c.completed << " errors=" << c.error << " infeasible=" << c.infeasible
+     << " limited=" << c.limited << " unexplored=" << c.unexplored
+     << "), instr=" << c.instructions << ", tests=" << c.tests
+     << ", jobs=" << jobs_ << ", searcher=" << searcher_ << "\n";
+  os << "solver time total: " << totalUs("solver") << " us";
+  if (totalUs("rtl") || totalUs("iss"))
+    os << " (rtl " << totalUs("rtl") << " us, iss " << totalUs("iss")
+       << " us)";
+  os << "\n";
+
+  os << "top paths by solver time:\n";
+  for (const PathNode* n : topPaths(top_k, "solver")) {
+    os << "  path " << n->id << ": " << n->solverUs() << " us, "
+       << n->instructions << " instr, end=" << n->end;
+    std::string classes;
+    for (const std::string& tag : n->tags)
+      if (tag.rfind("class:", 0) == 0)
+        classes += (classes.empty() ? "" : ",") + tag.substr(6);
+    if (!classes.empty()) os << ", classes=" << classes;
+    os << "\n";
+  }
+
+  const auto subs = topSubtrees(top_k, "solver");
+  if (!subs.empty()) {
+    os << "top root subtrees by solver time:\n";
+    for (const auto& [id, s] : subs)
+      os << "  subtree @" << id << ": " << s.solverUs() << " us across "
+         << s.paths << " paths (" << s.solver_checks << " checks)\n";
+  }
+
+  const auto by_class = timeByTag("class:", "solver");
+  if (!by_class.empty()) {
+    // Dominating instruction classes, most expensive first.
+    std::vector<std::pair<std::string, std::uint64_t>> sorted(
+        by_class.begin(), by_class.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    os << "solver time by instruction class (paths touching the class):\n";
+    for (const auto& [tag, us] : sorted)
+      os << "  " << tag.substr(6) << ": " << us << " us\n";
+  }
+  return os.str();
+}
+
+}  // namespace rvsym::obs::analyze

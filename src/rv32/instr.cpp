@@ -78,15 +78,22 @@ constexpr std::array<DecodePattern, 47> kDecodeTable{{
 // stays in sync with the initializer count.
 constexpr DecodePattern kCsrrci{Opcode::Csrrci, kF3Mask, f3(0x73, 7)};
 
-std::array<DecodePattern, 48> buildFullTable() {
-  std::array<DecodePattern, 48> t{};
+// The decode table and the Opcode enum describe the same legal
+// instruction set; a row added to one without the other is a bug every
+// coverage denominator would silently inherit.
+static_assert(kDecodeTable.size() + 1 == kLegalOpcodeCount,
+              "decode table out of sync with rv32::Opcode");
+
+std::array<DecodePattern, kLegalOpcodeCount> buildFullTable() {
+  std::array<DecodePattern, kLegalOpcodeCount> t{};
   for (std::size_t i = 0; i < kDecodeTable.size(); ++i) t[i] = kDecodeTable[i];
-  t[47] = kCsrrci;
+  t[kDecodeTable.size()] = kCsrrci;
   return t;
 }
 
-const std::array<DecodePattern, 48>& fullTable() {
-  static const std::array<DecodePattern, 48> table = buildFullTable();
+const std::array<DecodePattern, kLegalOpcodeCount>& fullTable() {
+  static const std::array<DecodePattern, kLegalOpcodeCount> table =
+      buildFullTable();
   return table;
 }
 
@@ -145,6 +152,61 @@ const char* opcodeName(Opcode op) {
     case Opcode::Csrrci: return "csrrci";
     case Opcode::Mret: return "mret";
     case Opcode::Wfi: return "wfi";
+  }
+  return "?";
+}
+
+const char* opcodeClass(Opcode op) {
+  switch (op) {
+    case Opcode::Illegal: return "illegal";
+    case Opcode::Lui:
+    case Opcode::Auipc: return "alu";
+    case Opcode::Jal:
+    case Opcode::Jalr: return "jump";
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge:
+    case Opcode::Bltu:
+    case Opcode::Bgeu: return "branch";
+    case Opcode::Lb:
+    case Opcode::Lh:
+    case Opcode::Lw:
+    case Opcode::Lbu:
+    case Opcode::Lhu: return "load";
+    case Opcode::Sb:
+    case Opcode::Sh:
+    case Opcode::Sw: return "store";
+    case Opcode::Addi:
+    case Opcode::Slti:
+    case Opcode::Sltiu:
+    case Opcode::Xori:
+    case Opcode::Ori:
+    case Opcode::Andi:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Slt:
+    case Opcode::Sltu:
+    case Opcode::Xor:
+    case Opcode::Or:
+    case Opcode::And: return "alu";
+    case Opcode::Slli:
+    case Opcode::Srli:
+    case Opcode::Srai:
+    case Opcode::Sll:
+    case Opcode::Srl:
+    case Opcode::Sra: return "shift";
+    case Opcode::Fence: return "fence";
+    case Opcode::Ecall:
+    case Opcode::Ebreak:
+    case Opcode::Mret:
+    case Opcode::Wfi: return "system";
+    case Opcode::Csrrw:
+    case Opcode::Csrrs:
+    case Opcode::Csrrc:
+    case Opcode::Csrrwi:
+    case Opcode::Csrrsi:
+    case Opcode::Csrrci: return "csr";
   }
   return "?";
 }

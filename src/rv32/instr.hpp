@@ -8,6 +8,7 @@
 // clearing a bit in DecodePattern::mask.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -31,7 +32,20 @@ enum class Opcode : std::uint8_t {
   Mret, Wfi,
 };
 
+/// Number of legal (non-Illegal) opcodes. The enum lists Illegal first
+/// and the legal encodings contiguously after it, so the last
+/// enumerator's value IS the legal count; instr.cpp statically asserts
+/// the decode table matches. Coverage denominators derive from this
+/// instead of repeating the literal 48.
+inline constexpr std::size_t kLegalOpcodeCount =
+    static_cast<std::size_t>(Opcode::Wfi);
+
 const char* opcodeName(Opcode op);
+
+/// Coarse instruction class for workload attribution ("alu", "shift",
+/// "branch", "jump", "load", "store", "fence", "system", "csr";
+/// Illegal -> "illegal").
+const char* opcodeClass(Opcode op);
 
 /// Is this a CSR access instruction (Zicsr)?
 bool isCsrOp(Opcode op);

@@ -1,6 +1,41 @@
 #include "solver/solver.hpp"
 
+#include <chrono>
+
 namespace rvsym::solver {
+
+namespace {
+
+/// Times one SAT solve into the per-path stats and (when attached) the
+/// shared latency histogram. The identical microsecond value goes to
+/// both, so per-path solve_us totals sum to the registry histogram's
+/// total exactly.
+class SolveTimer {
+ public:
+  SolveTimer(bool enabled, QueryStats& stats, obs::Histogram* h)
+      : enabled_(enabled), stats_(stats), h_(h) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  ~SolveTimer() {
+    if (!enabled_) return;
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    stats_.solve_us += us;
+    if (h_) h_->record(us);
+  }
+  SolveTimer(const SolveTimer&) = delete;
+  SolveTimer& operator=(const SolveTimer&) = delete;
+
+ private:
+  bool enabled_;
+  QueryStats& stats_;
+  obs::Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 PathSolver::PathSolver(expr::ExprBuilder& eb)
     : eb_(eb), blaster_(sat_, eb) {}
@@ -45,7 +80,7 @@ CheckResult PathSolver::check(const expr::ExprRef& assumption,
   }
 
   const Lit a = blaster_.blastBool(assumption);
-  const obs::ScopedTimer timer(check_latency_);
+  const SolveTimer timer(timing_, stats_, check_latency_);
   switch (sat_.solve({a}, max_conflicts)) {
     case SatSolver::Result::Sat:
       ++stats_.sat;
@@ -68,7 +103,7 @@ CheckResult PathSolver::checkPath(std::uint64_t max_conflicts) {
     ++stats_.unsat;
     return CheckResult::Unsat;
   }
-  const obs::ScopedTimer timer(check_latency_);
+  const SolveTimer timer(timing_, stats_, check_latency_);
   switch (sat_.solve({}, max_conflicts)) {
     case SatSolver::Result::Sat:
       ++stats_.sat;

@@ -45,6 +45,11 @@ struct QueryStats {
   std::uint64_t model_queries = 0;
   std::uint64_t cache_hits = 0;    ///< checks answered by the shared cache
   std::uint64_t cache_misses = 0;  ///< checks that had to run the SAT solver
+  /// Wall time spent inside SAT solves of check()/checkPath(), in
+  /// microseconds — the same population the solver.check_us histogram
+  /// records, so per-path totals sum to the registry's total exactly.
+  /// Zero unless timing is enabled (enableTiming / attachMetrics).
+  std::uint64_t solve_us = 0;
 };
 
 class PathSolver {
@@ -62,9 +67,17 @@ class PathSolver {
   /// Attaches a latency histogram that every SAT solve performed by
   /// check()/checkPath() records into (microseconds). Cache hits and
   /// constant fast paths never reach the solver and are not recorded.
+  /// Implies enableTiming(true).
   void attachMetrics(obs::Histogram* check_latency) {
     check_latency_ = check_latency;
+    timing_ = timing_ || check_latency != nullptr;
   }
+
+  /// Accumulates stats().solve_us across SAT solves (one clock pair per
+  /// solve). Off by default so untimed hot paths never read the clock;
+  /// the engines switch it on when a trace sink wants per-path
+  /// solver-time attribution.
+  void enableTiming(bool on) { timing_ = timing_ || on; }
 
   /// Permanently conjoins `cond` (width 1) to the path condition.
   /// Returns false if the path condition became syntactically unsat.
@@ -97,6 +110,7 @@ class PathSolver {
   QueryCache* cache_ = nullptr;
   CanonicalHasher* hasher_ = nullptr;
   obs::Histogram* check_latency_ = nullptr;
+  bool timing_ = false;
   CanonHash constraint_set_hash_;  ///< running canonical set hash
 };
 

@@ -1,7 +1,9 @@
 #include "symex/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 
 #include "obs/json.hpp"
@@ -20,10 +22,10 @@ const char* searcherName(EngineOptions::Searcher s) {
 }
 
 void emitHeartbeat(const EngineReport& report, double elapsed_s,
-                   std::size_t worklist_depth) {
+                   std::size_t worklist_depth, const std::string& extra) {
   std::fprintf(stderr,
                "[rvsym] t=%.1fs paths=%llu (completed=%llu errors=%llu "
-               "partial=%llu) worklist=%zu instr=%llu\n",
+               "partial=%llu) worklist=%zu instr=%llu%s%s\n",
                elapsed_s,
                static_cast<unsigned long long>(report.totalPaths() -
                                                report.unexplored_forks),
@@ -33,7 +35,68 @@ void emitHeartbeat(const EngineReport& report, double elapsed_s,
                    report.error_paths + report.infeasible_paths +
                    report.limited_paths),
                worklist_depth,
-               static_cast<unsigned long long>(report.instructions));
+               static_cast<unsigned long long>(report.instructions),
+               extra.empty() ? "" : " ", extra.c_str());
+  // Heartbeats exist to be watched; stderr is unbuffered on a tty but
+  // block-buffered under redirection, so flush explicitly.
+  std::fflush(stderr);
+}
+
+void finalizeRecordTags(PathRecord& record,
+                        const std::vector<std::string>& state_tags,
+                        const EngineOptions& options) {
+  record.tags = state_tags;
+  if (options.path_tagger) {
+    std::vector<std::string> derived = options.path_tagger(record);
+    record.tags.insert(record.tags.end(),
+                       std::make_move_iterator(derived.begin()),
+                       std::make_move_iterator(derived.end()));
+  }
+  std::sort(record.tags.begin(), record.tags.end());
+  record.tags.erase(std::unique(record.tags.begin(), record.tags.end()),
+                    record.tags.end());
+}
+
+obs::TraceEvent makePathEndEvent(
+    std::uint64_t path_id, const PathRecord& record, std::uint64_t forks,
+    std::uint64_t solver_checks,
+    const std::vector<std::pair<std::string, std::uint64_t>>& times) {
+  obs::TraceEvent ev("path_end");
+  ev.num("path", path_id)
+      .str("end", pathEndName(record.end))
+      .num("instr", record.instructions)
+      .num("decisions", static_cast<std::uint64_t>(record.decisions.size()))
+      .num("forks", forks)
+      .num("solver_checks", solver_checks)
+      .boolean("has_test", record.has_test)
+      .str("msg", record.message);
+  // Deterministic enrichment for the offline analyzer: workload tags and
+  // the solved test vector ("name=width:hexvalue", space-joined —
+  // canonical solver models make this byte-identical across jobs).
+  if (!record.tags.empty()) {
+    std::string joined;
+    for (const std::string& t : record.tags) {
+      if (!joined.empty()) joined += ',';
+      joined += t;
+    }
+    ev.str("tags", joined);
+  }
+  if (record.has_test) {
+    std::string test;
+    char buf[32];
+    for (const TestValue& v : record.test.values) {
+      if (!test.empty()) test += ' ';
+      std::snprintf(buf, sizeof buf, "=%u:%" PRIx64, v.width, v.value);
+      test += v.name;
+      test += buf;
+    }
+    ev.str("test", test);
+  }
+  // Timing-dependent attribution fields (t_ prefix per the trace
+  // contract): SAT solve time plus any program-side accumulators.
+  ev.num("t_solver_us", record.solver_us);
+  for (const auto& [key, us] : times) ev.num("t_" + key + "_us", us);
+  return ev;
 }
 
 }  // namespace detail
@@ -129,7 +192,10 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
       break;
     }
     if (options_.heartbeat_seconds > 0 && elapsed() >= next_heartbeat) {
-      detail::emitHeartbeat(report, elapsed(), worklist_.size());
+      detail::emitHeartbeat(report, elapsed(), worklist_.size(),
+                            options_.heartbeat_annotator
+                                ? options_.heartbeat_annotator(report)
+                                : std::string());
       next_heartbeat = elapsed() + options_.heartbeat_seconds;
     }
 
@@ -151,6 +217,7 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
     }
     record.instructions = state.stats().instructions;
     record.decisions = state.decisions();
+    record.solver_us = state.solverStats().solve_us;
 
     // Flush events the program buffered while executing this path (e.g.
     // voter verdicts), stamped with the path id.
@@ -199,17 +266,11 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
       }
     }
 
+    detail::finalizeRecordTags(record, state.tags(), options_);
     RVSYM_TRACE(options_.trace,
-                obs::TraceEvent("path_end")
-                    .num("path", item.id)
-                    .str("end", pathEndName(record.end))
-                    .num("instr", record.instructions)
-                    .num("decisions", static_cast<std::uint64_t>(
-                                          record.decisions.size()))
-                    .num("forks", state.stats().forks)
-                    .num("solver_checks", state.solverStats().checks)
-                    .boolean("has_test", record.has_test)
-                    .str("msg", record.message));
+                detail::makePathEndEvent(item.id, record, state.stats().forks,
+                                         state.solverStats().checks,
+                                         state.times()));
     if (options_.metrics)
       options_.metrics->counter("engine.paths_committed").add();
 

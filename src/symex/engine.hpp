@@ -62,6 +62,17 @@ struct EngineOptions {
   /// (0 = off). Wall-clock driven, so inherently timing-dependent; it
   /// never goes into the trace.
   double heartbeat_seconds = 0;
+  /// Optional extra heartbeat text computed from the committed report so
+  /// far (e.g. live test-set coverage percent). Called on the committer
+  /// under its lock — keep it cheap.
+  std::function<std::string(const struct EngineReport&)> heartbeat_annotator;
+  /// Derives deterministic workload tags from a committed path record
+  /// (e.g. instruction classes decoded from the test vector). Merged
+  /// with the tags the program added via ExecState::addTag, sorted and
+  /// deduplicated, stored on the record and emitted at path_end. Must be
+  /// a pure function of the record so traces stay identical across
+  /// worker counts.
+  std::function<std::vector<std::string>(const struct PathRecord&)> path_tagger;
 };
 
 struct PathRecord {
@@ -71,6 +82,13 @@ struct PathRecord {
   bool has_test = false;
   std::uint64_t instructions = 0;
   std::vector<bool> decisions;
+  /// Sorted, deduplicated workload tags (program ExecState tags plus
+  /// EngineOptions::path_tagger output). Deterministic.
+  std::vector<std::string> tags;
+  /// Wall time this path spent inside SAT solves (timing-dependent;
+  /// emitted as the t_solver_us path_end field). Populated only when a
+  /// trace sink or metrics registry is configured.
+  std::uint64_t solver_us = 0;
 };
 
 // Determinism contract, field by field. For a fixed workload and
@@ -137,9 +155,28 @@ namespace detail {
 /// Lower-case searcher name for trace events ("dfs" / "bfs" / "random").
 const char* searcherName(EngineOptions::Searcher s);
 
-/// One stderr progress line; shared by both engines' heartbeats.
+/// One stderr progress line; shared by both engines' heartbeats. `extra`
+/// (annotator output, query-cache hit rate) is appended verbatim; the
+/// line is flushed explicitly so it appears promptly under output
+/// redirection.
 void emitHeartbeat(const EngineReport& report, double elapsed_s,
-                   std::size_t worklist_depth);
+                   std::size_t worklist_depth, const std::string& extra);
+
+/// Merges the program's ExecState tags with the options tagger's output
+/// into record.tags, sorted and deduplicated (the deterministic tag
+/// contract of the path_end event).
+void finalizeRecordTags(PathRecord& record,
+                        const std::vector<std::string>& state_tags,
+                        const EngineOptions& options);
+
+/// Builds the path_end trace event shared by both engines: lifecycle
+/// counters, deterministic enrichment (`tags`, serialized `test`) and
+/// the timing-dependent attribution fields (`t_solver_us`, one
+/// `t_<key>_us` per ExecState time accumulator).
+obs::TraceEvent makePathEndEvent(
+    std::uint64_t path_id, const PathRecord& record, std::uint64_t forks,
+    std::uint64_t solver_checks,
+    const std::vector<std::pair<std::string, std::uint64_t>>& times);
 
 /// Pops the next worklist item under the searcher policy. Shared by
 /// Engine and ParallelEngine so both commit paths in the identical,

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -29,6 +30,9 @@ struct PathOutcome {
   /// Events buffered during (speculative) execution; the committer
   /// flushes them in commit order so the trace stays deterministic.
   std::vector<obs::TraceEvent> trace_events;
+  /// Program-side time accumulators (ExecState::addTime), emitted as
+  /// t_<key>_us path_end fields.
+  std::vector<std::pair<std::string, std::uint64_t>> times;
 };
 
 struct Task {
@@ -84,12 +88,14 @@ PathOutcome executePath(const PathProgram& program, expr::ExprBuilder& eb,
   }
   out.record.instructions = state.stats().instructions;
   out.record.decisions = state.decisions();
+  out.record.solver_us = state.solverStats().solve_us;
   out.forks = state.pendingForks();
   out.stats = state.stats();
   out.solver_checks = state.solverStats().checks;
   out.qc_hits = state.solverStats().cache_hits;
   out.qc_misses = state.solverStats().cache_misses;
   out.trace_events = std::move(state.traceEvents());
+  out.times = state.times();
   if (options.collect_test_vectors &&
       (out.record.end == PathEnd::Completed ||
        out.record.end == PathEnd::Error)) {
@@ -98,6 +104,9 @@ PathOutcome executePath(const PathProgram& program, expr::ExprBuilder& eb,
       out.record.has_test = true;
     }
   }
+  // Tag merge on the worker: the tagger is a pure function of the
+  // record, so speculative execution commits identical tags.
+  detail::finalizeRecordTags(out.record, state.tags(), options);
   return out;
 }
 
@@ -252,7 +261,21 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
         break;
       }
       if (options_.heartbeat_seconds > 0 && elapsed() >= next_heartbeat) {
-        detail::emitHeartbeat(report, elapsed(), sh.worklist.size());
+        std::string extra = options_.heartbeat_annotator
+                                ? options_.heartbeat_annotator(report)
+                                : std::string();
+        if (cache) {
+          // Live cross-path cache traffic (thread-safe sharded totals).
+          const solver::QueryCache::Stats cs = cache->stats();
+          char buf[64];
+          std::snprintf(buf, sizeof buf, "qcache=%.0f%% (%llu/%llu)",
+                        100.0 * cs.hitRate(),
+                        static_cast<unsigned long long>(cs.hits),
+                        static_cast<unsigned long long>(cs.hits + cs.misses));
+          if (!extra.empty()) extra += ' ';
+          extra += buf;
+        }
+        detail::emitHeartbeat(report, elapsed(), sh.worklist.size(), extra);
         next_heartbeat = elapsed() + options_.heartbeat_seconds;
       }
       if (depth_gauge) {
@@ -333,16 +356,9 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
       if (out.record.has_test) ++report.test_vectors;
 
       RVSYM_TRACE(options_.trace,
-                  obs::TraceEvent("path_end")
-                      .num("path", task->id)
-                      .str("end", pathEndName(out.record.end))
-                      .num("instr", out.record.instructions)
-                      .num("decisions", static_cast<std::uint64_t>(
-                                            out.record.decisions.size()))
-                      .num("forks", out.stats.forks)
-                      .num("solver_checks", out.solver_checks)
-                      .boolean("has_test", out.record.has_test)
-                      .str("msg", out.record.message)
+                  detail::makePathEndEvent(task->id, out.record,
+                                           out.stats.forks, out.solver_checks,
+                                           out.times)
                       // qc_* fields are timing-dependent (see trace.hpp).
                       .num("qc_hits", out.qc_hits)
                       .num("qc_misses", out.qc_misses));

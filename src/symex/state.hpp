@@ -148,6 +148,34 @@ class ExecState {
   }
   std::vector<obs::TraceEvent>& traceEvents() { return trace_events_; }
 
+  /// Tags this path with a deterministic workload annotation (e.g.
+  /// "voter:rd", "trap:2"). Tags are deduplicated and sorted by the
+  /// engine, stored on the PathRecord and emitted with the path_end
+  /// trace event — the offline analyzer's attribution keys. Cheap
+  /// enough to record unconditionally (a handful per path).
+  void addTag(std::string tag) {
+    for (const std::string& t : tags_)
+      if (t == tag) return;
+    tags_.push_back(std::move(tag));
+  }
+  const std::vector<std::string>& tags() const { return tags_; }
+
+  /// Accumulates wall time under a short key; the engine emits each
+  /// accumulator as a "t_<key>_us" path_end field (timing-dependent by
+  /// the trace contract). Used by the co-simulation for per-path RTL
+  /// and ISS step-time attribution.
+  void addTime(std::string_view key, std::uint64_t us) {
+    for (auto& [k, v] : times_)
+      if (k == key) {
+        v += us;
+        return;
+      }
+    times_.emplace_back(std::string(key), us);
+  }
+  const std::vector<std::pair<std::string, std::uint64_t>>& times() const {
+    return times_;
+  }
+
   // --- Engine internals -------------------------------------------------------
   const std::vector<bool>& decisions() const { return decisions_; }
   /// Pending forks discovered on this path: full decision prefixes for the
@@ -177,6 +205,8 @@ class ExecState {
   Limits limits_;
   PathStats stats_;
   std::vector<obs::TraceEvent> trace_events_;
+  std::vector<std::string> tags_;
+  std::vector<std::pair<std::string, std::uint64_t>> times_;
 };
 
 }  // namespace rvsym::symex

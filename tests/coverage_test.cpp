@@ -67,6 +67,96 @@ TEST(Coverage, PercentAndHoles) {
   EXPECT_NE(cov.summary().find("1/48"), std::string::npos);
 }
 
+TEST(Coverage, DenominatorDerivesFromOpcodeEnum) {
+  // The coverage denominator must come from the enum (statically tied to
+  // the decode table in instr.cpp), not a hardcoded literal.
+  EXPECT_EQ(kLegalOpcodeCount, decodeTable().size());
+  core::CoverageCollector cov;
+  for (const DecodePattern& p : decodeTable())
+    cov.addTestVector(vectorWith({p.match}));
+  EXPECT_EQ(cov.opcodesCovered(), kLegalOpcodeCount);
+  EXPECT_DOUBLE_EQ(cov.opcodeCoveragePercent(), 100.0);
+  EXPECT_TRUE(cov.uncoveredOpcodes().empty());
+  EXPECT_TRUE(cov.uncoveredCells().empty());
+  EXPECT_DOUBLE_EQ(cov.cellCoveragePercent(), 100.0);
+}
+
+TEST(Coverage, UncoveredOpcodesReportHoles) {
+  core::CoverageCollector cov;
+  cov.addTestVector(vectorWith({enc::add(1, 2, 3)}));
+  const std::set<Opcode> missing = cov.uncoveredOpcodes();
+  EXPECT_EQ(missing.size(), kLegalOpcodeCount - 1);
+  EXPECT_TRUE(missing.count(Opcode::Lw));
+  EXPECT_FALSE(missing.count(Opcode::Add));
+  // The hole report names each uncovered decoder cell with its opcode.
+  const std::string holes = cov.holeReport();
+  EXPECT_NE(holes.find("(lw)"), std::string::npos);
+  EXPECT_EQ(holes.find("(add)"), std::string::npos);
+}
+
+TEST(Coverage, DecoderCellsDistinguishSelectorFields) {
+  // ADD and SUB share opcode7/funct3 and differ only in funct7; ECALL
+  // and EBREAK differ only in the rs2 field. Each must get its own cell.
+  core::CoverageCollector cov;
+  cov.addTestVector(vectorWith({enc::add(1, 2, 3)}));
+  EXPECT_EQ(cov.coveredCells().size(), 1u);
+  cov.addTestVector(vectorWith({enc::sub(1, 2, 3)}));
+  EXPECT_EQ(cov.coveredCells().size(), 2u);
+  cov.addTestVector(vectorWith({enc::ecall(), enc::ebreak()}));
+  EXPECT_EQ(cov.coveredCells().size(), 4u);
+  // An immediate change must NOT create a new cell: funct7 of ADDI is
+  // immediate bits, canonicalized to the wildcard.
+  cov.addTestVector(vectorWith({enc::addi(1, 2, 1), enc::addi(1, 2, -1)}));
+  EXPECT_EQ(cov.coveredCells().size(), 5u);
+}
+
+TEST(Coverage, IllegalCellsChartProbedSpace) {
+  core::CoverageCollector cov;
+  cov.addTestVector(vectorWith({0xFFFFFFFF}));
+  EXPECT_EQ(cov.illegalCellsProbed().size(), 1u);
+  EXPECT_TRUE(cov.coveredCells().empty());
+  const core::DecoderCell& c = *cov.illegalCellsProbed().begin();
+  EXPECT_EQ(c.opcode7, 0x7F);
+  EXPECT_EQ(c.funct3, 7);
+}
+
+TEST(Coverage, CsrBinsTrapCausesAndVoterChannels) {
+  core::CoverageCollector cov;
+  EXPECT_EQ(cov.uncoveredCsrBins().size(), core::csrBinNames().size());
+  EXPECT_EQ(cov.uncoveredVoterChannels().size(),
+            core::voterChannelNames().size());
+
+  cov.addTestVector(vectorWith({enc::csrrw(1, csr::kMstatus, 2)}));
+  EXPECT_EQ(cov.coveredCsrBins(), std::set<std::string>{"trap-setup"});
+  EXPECT_EQ(std::string(core::csrBinName(csr::kMcycle)), "machine-counters");
+  EXPECT_EQ(std::string(core::csrBinName(csr::kMepc)), "trap-handling");
+  EXPECT_EQ(std::string(core::csrBinName(0x7C0)), "other");
+
+  // Tags feed run-level coverage through addPathRecord.
+  symex::PathRecord record;
+  record.tags = {"trap:2", "voter:pc", "voter:rd", "class:alu"};
+  cov.addPathRecord(record);
+  EXPECT_EQ(cov.trapCauses(), std::set<std::uint32_t>{2});
+  EXPECT_EQ(cov.voterChannels(), (std::set<std::string>{"pc", "rd"}));
+  EXPECT_EQ(cov.uncoveredVoterChannels().size(),
+            core::voterChannelNames().size() - 2);
+  const std::string holes = cov.holeReport();
+  EXPECT_NE(holes.find("voter channel mem"), std::string::npos);
+  EXPECT_NE(holes.find("csr bin machine-info"), std::string::npos);
+}
+
+TEST(Coverage, JsonMapShape) {
+  core::CoverageCollector cov;
+  cov.addTestVector(vectorWith({enc::add(1, 2, 3)}));
+  const std::string json = cov.toJson();
+  EXPECT_NE(json.find("\"opcodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\":48"), std::string::npos);
+  EXPECT_NE(json.find("\"opcode\":\"add\""), std::string::npos);
+  EXPECT_NE(json.find("\"voter_channels\""), std::string::npos);
+  EXPECT_NE(json.find("\"trap_causes\""), std::string::npos);
+}
+
 TEST(Coverage, SymbolicExplorationBuildsHighCoverage) {
   // The paper's claim: the generated test set has high coverage. A free
   // exploration of a few hundred paths must cover most opcodes.

@@ -59,8 +59,38 @@ TEST(JsonWriter, NonFiniteDoublesDegradeToNull) {
   w.value(1.5);
   w.value(std::nan(""));
   w.value(HUGE_VAL);
+  w.value(-HUGE_VAL);
   w.endArray();
-  EXPECT_EQ(w.str(), "[1.5,null,null]");
+  EXPECT_EQ(w.str(), "[1.5,null,null,null]");
+}
+
+TEST(JsonWriter, Utf8PassesThroughUnmangled) {
+  // Multi-byte UTF-8 is legal inside JSON strings and must survive
+  // byte-for-byte: escaping applies to ", \ and control characters only.
+  const std::string utf8 = "caf\xC3\xA9 \xE2\x86\x92 \xF0\x9F\x98\x80";
+  EXPECT_EQ(jsonEscape(utf8), utf8);
+  JsonWriter w;
+  w.beginObject();
+  w.field("s", utf8);
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"" + utf8 + "\"}");
+}
+
+TEST(JsonWriter, EscapesEveryControlCharacter) {
+  // All of 0x00-0x1F must render as an escape; the named short forms
+  // for the common ones, \u00XX for the rest.
+  EXPECT_EQ(jsonEscape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(jsonEscape("\b"), "\\b");
+  EXPECT_EQ(jsonEscape("\f"), "\\f");
+  EXPECT_EQ(jsonEscape("\r"), "\\r");
+  EXPECT_EQ(jsonEscape("\x1F"), "\\u001f");
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = jsonEscape(std::string(1, static_cast<char>(c)));
+    EXPECT_GE(escaped.size(), 2u) << "control char " << c << " not escaped";
+    EXPECT_EQ(escaped[0], '\\');
+  }
+  // DEL (0x7F) and high bytes are not control characters in JSON terms.
+  EXPECT_EQ(jsonEscape("\x7F"), "\x7F");
 }
 
 // --- Histogram ------------------------------------------------------------

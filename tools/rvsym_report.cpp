@@ -1,0 +1,184 @@
+// rvsym-report — offline analysis of rvsym-verify run artifacts.
+//
+//   rvsym-report tree <trace.jsonl> [--top K] [--json]
+//       Reconstruct the exploration path tree from the JSONL lifecycle
+//       trace and print the solver/RTL/ISS time attribution: top-K most
+//       expensive paths and root subtrees, dominating instruction
+//       classes, verdict counts.
+//
+//   rvsym-report coverage <trace.jsonl> [--html FILE] [--json] [--holes]
+//       Replay the per-path test vectors and tags into the
+//       decoder-space coverage map ((opcode, funct3, funct7) cells, CSR
+//       bins, trap causes, voter channels); print the summary, or emit
+//       the full map as JSON / a self-contained HTML heatmap.
+//
+//   rvsym-report diff <runA> <runB>
+//       Compare two runs (trace files or directories containing one)
+//       in every deterministic dimension: tree shape, verdicts, tags,
+//       test vectors and coverage sets. Exit 0 when identical, 1 when
+//       different — CI asserts jobs=1 vs jobs=N parity with this.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/coverage_map.hpp"
+#include "obs/analyze/diff.hpp"
+#include "obs/analyze/path_tree.hpp"
+
+namespace {
+
+using namespace rvsym;
+using namespace rvsym::obs::analyze;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rvsym-report tree <trace.jsonl> [--top K] [--json]\n"
+      "       rvsym-report coverage <trace.jsonl> [--html FILE] [--json] "
+      "[--holes]\n"
+      "       rvsym-report diff <runA> <runB>\n"
+      "\n"
+      "Consumes the artifacts a run of `rvsym-verify --trace-out ...`\n"
+      "produces. `diff` accepts trace files or run directories and exits\n"
+      "0 when the runs' deterministic content is identical, 1 otherwise.\n");
+  return 2;
+}
+
+std::optional<PathTree> loadTree(const std::string& path) {
+  std::string err;
+  std::optional<PathTree> tree = PathTree::fromFile(path, &err);
+  if (!tree) std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+  return tree;
+}
+
+int cmdTree(const std::vector<std::string>& args) {
+  std::string trace;
+  std::size_t top_k = 5;
+  bool json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top_k = static_cast<std::size_t>(std::strtoul(args[++i].c_str(),
+                                                    nullptr, 10));
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (trace.empty() && args[i][0] != '-') {
+      trace = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (trace.empty()) return usage();
+  std::optional<PathTree> tree = loadTree(trace);
+  if (!tree) return 1;
+
+  if (json) {
+    // Counters + attribution as one JSON object (shared serializer).
+    obs::JsonWriter w;
+    const TreeCounts c = tree->counts();
+    w.beginObject();
+    w.field("paths", c.total());
+    w.field("completed", c.completed);
+    w.field("errors", c.error);
+    w.field("infeasible", c.infeasible);
+    w.field("limited", c.limited);
+    w.field("unexplored", c.unexplored);
+    w.field("instructions", c.instructions);
+    w.field("tests", c.tests);
+    w.field("jobs", tree->jobs());
+    w.key("timing").beginObject();
+    w.field("t_solver_us", tree->totalUs("solver"));
+    w.field("t_rtl_us", tree->totalUs("rtl"));
+    w.field("t_iss_us", tree->totalUs("iss"));
+    w.endObject();
+    w.key("by_class").beginObject();
+    for (const auto& [tag, us] : tree->timeByTag("class:", "solver"))
+      w.field(tag.substr(6), us);
+    w.endObject();
+    w.key("top_paths").beginArray();
+    for (const PathNode* n : tree->topPaths(top_k, "solver")) {
+      w.beginObject();
+      w.field("path", n->id);
+      w.field("end", n->end);
+      w.field("instr", n->instructions);
+      w.field("t_solver_us", n->solverUs());
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::fputs(tree->renderReport(top_k).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdCoverage(const std::vector<std::string>& args) {
+  std::string trace, html;
+  bool json = false, holes = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--html" && i + 1 < args.size()) {
+      html = args[++i];
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--holes") {
+      holes = true;
+    } else if (trace.empty() && args[i][0] != '-') {
+      trace = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (trace.empty()) return usage();
+  std::optional<PathTree> tree = loadTree(trace);
+  if (!tree) return 1;
+  const core::CoverageCollector cov = coverageFromTree(*tree);
+
+  if (!html.empty()) {
+    if (!writeHtmlReport(html, cov, &*tree)) {
+      std::fprintf(stderr, "rvsym-report: cannot write %s\n", html.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", html.c_str());
+  }
+  if (json) {
+    std::printf("%s\n", cov.toJson().c_str());
+  } else {
+    std::fputs(cov.summary().c_str(), stdout);
+    if (holes) std::fputs(cov.holeReport().c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  std::string err;
+  std::optional<RunArtifacts> a = loadRun(args[0], &err);
+  if (!a) {
+    std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+    return 2;
+  }
+  std::optional<RunArtifacts> b = loadRun(args[1], &err);
+  if (!b) {
+    std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+    return 2;
+  }
+  const DiffResult result = diffRuns(*a, *b);
+  std::fputs(result.render().c_str(), stdout);
+  return result.identical() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  if (cmd == "tree") return cmdTree(args);
+  if (cmd == "coverage") return cmdCoverage(args);
+  if (cmd == "diff") return cmdDiff(args);
+  return usage();
+}
