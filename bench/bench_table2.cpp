@@ -4,11 +4,16 @@
 // partially explored paths and completely explored paths — plus the Sum
 // and Median rows.
 //
-// The co-simulation is configured exactly as §V-B describes: RV32I only
-// (assumptions block SYSTEM-instruction generation, filtering the known
-// Table I CSR mismatches), the fixed DUT configuration (no Table I bugs)
-// with one injected error, and a per-run budget in place of the paper's
-// 24-hour wall-clock limit on a Xeon server.
+// The ten errors are the ten named points of the enumerated mutation
+// space (mut::paperMutants()), and each hunt is one mut::judgeMutant
+// call with the instruction limit pinned — the same judging path
+// rvsym-mutate campaigns use, so there is exactly one fault-fan-out
+// implementation in the tree. The co-simulation is configured exactly
+// as §V-B describes: RV32I only (assumptions block SYSTEM-instruction
+// generation, filtering the known Table I CSR mismatches), the fixed
+// DUT configuration (no Table I bugs) with one injected error, and a
+// per-run budget in place of the paper's 24-hour wall-clock limit on a
+// Xeon server.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -17,76 +22,14 @@
 #include <string>
 #include <vector>
 
-#include "core/cosim.hpp"
-#include "expr/builder.hpp"
-#include "fault/faults.hpp"
+#include "mut/campaign.hpp"
+#include "mut/journal.hpp"
 #include "obs/json.hpp"
-#include "obs/trace.hpp"
-#include "symex/parallel.hpp"
+#include "solver/solver.hpp"
 
 namespace {
 
 using namespace rvsym;
-
-unsigned g_jobs = 1;  // --jobs N: parallel exploration workers per hunt
-// --trace-dir DIR: write one JSONL lifecycle trace per hunt
-// (DIR/<error>_limit<k>.jsonl) for offline analysis with rvsym-report.
-std::string g_trace_dir;
-
-struct RunResult {
-  bool found = false;
-  std::uint64_t instructions = 0;
-  double seconds = 0;
-  std::uint64_t partial_paths = 0;
-  std::uint64_t paths = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::string report_json;  ///< full EngineReport (shared serializer)
-};
-
-RunResult runHunt(const fault::InjectedError& error, unsigned instr_limit) {
-  core::CosimConfig cfg;
-  cfg.rtl = rtl::fixedRtlConfig();
-  cfg.iss.csr = iss::CsrConfig::specCorrect();
-  cfg.instr_limit = instr_limit;
-  cfg.instr_constraint = core::CoSimulation::blockSystemInstructions();
-  error.apply(cfg);
-
-  symex::ParallelEngineOptions opts;
-  opts.stop_on_error = true;  // Table II measures time-to-first-error
-  opts.max_seconds = 300;     // scaled-down stand-in for the 24 h limit
-  opts.max_paths = 200000;
-  opts.jobs = g_jobs;
-
-  std::unique_ptr<obs::JsonlTraceSink> trace;
-  if (!g_trace_dir.empty()) {
-    const std::string path = g_trace_dir + "/" + error.id + "_limit" +
-                             std::to_string(instr_limit) + ".jsonl";
-    trace = std::make_unique<obs::JsonlTraceSink>(path);
-    if (trace->ok()) opts.trace = trace.get();
-    else std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-  }
-
-  // Same driver path as core::Session at jobs > 1: one harness per
-  // worker. At --jobs 1 this reproduces the sequential hunt exactly.
-  symex::ParallelEngine engine(opts);
-  const symex::EngineReport report =
-      engine.run([&cfg](symex::WorkerContext& ctx) {
-        auto cosim = std::make_shared<core::CoSimulation>(ctx.builder, cfg);
-        return [cosim](symex::ExecState& st) { cosim->runPath(st); };
-      });
-
-  RunResult r;
-  r.found = report.error_paths > 0;
-  r.instructions = report.instructions;
-  r.seconds = report.seconds;
-  r.partial_paths = report.partialPaths();
-  r.paths = report.completed_paths;
-  r.cache_hits = report.qcache_hits;
-  r.cache_misses = report.qcache_misses;
-  r.report_json = symex::reportToJson(report);
-  return r;
-}
 
 std::uint64_t median(std::vector<std::uint64_t> v) {
   std::sort(v.begin(), v.end());
@@ -104,15 +47,25 @@ double medianD(std::vector<double> v) {
 
 int main(int argc, char** argv) {
   std::string out_path;
+  unsigned jobs = 1;
+  mut::CampaignOptions opts;
+  opts.max_paths_per_hunt = 200000;
+  opts.max_seconds_per_hunt = 300;  // scaled-down stand-in for the 24 h limit
+  // Table II hunts the error at each limit; the decode pre-check would
+  // reclassify nothing here (E0-E2 are behaviour-changing) but costs a
+  // solver call per decoder error, so keep the measurement pure.
+  opts.check_decode_equivalence = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc)
-      g_trace_dir = argv[++i];
+      opts.trace_dir = argv[++i];
   }
-  std::printf("TABLE II — INJECTED ERROR RESULTS (workers: %u)\n", g_jobs);
+  opts.engine_jobs = jobs;  // --jobs N: exploration workers per hunt
+
+  std::printf("TABLE II — INJECTED ERROR RESULTS (workers: %u)\n", jobs);
   std::printf(
       "(shape reproduction: absolute numbers are smaller than the paper's "
       "Xeon/KLEE runs;\n the claims to check are: all errors found, and "
@@ -134,14 +87,14 @@ int main(int argc, char** argv) {
     int found = 0;
     std::vector<std::uint64_t> instr_v, partial_v, paths_v;
     std::vector<double> time_v;
-    void add(const RunResult& r) {
+    void add(const mut::MutantResult& r) {
       instr += r.instructions;
       partial += r.partial_paths;
       paths += r.paths;
-      cache_hits += r.cache_hits;
-      cache_misses += r.cache_misses;
+      cache_hits += r.qcache_hits;
+      cache_misses += r.qcache_misses;
       time += r.seconds;
-      found += r.found ? 1 : 0;
+      found += r.verdict == mut::Verdict::Killed ? 1 : 0;
       instr_v.push_back(r.instructions);
       partial_v.push_back(r.partial_paths);
       paths_v.push_back(r.paths);
@@ -151,27 +104,34 @@ int main(int argc, char** argv) {
 
   struct ErrorRuns {
     const char* id;
-    RunResult r1, r2;
+    mut::MutantResult r1, r2;
   };
   std::vector<ErrorRuns> runs;
 
-  for (const fault::InjectedError& error : fault::allErrors()) {
-    const RunResult r1 = runHunt(error, 1);
-    const RunResult r2 = runHunt(error, 2);
+  // One query cache across every hunt, as campaigns share it: the ten
+  // errors replay near-identical decode cascades.
+  solver::QueryCache cache(16);
+
+  for (const mut::PaperMutant& pm : mut::paperMutants()) {
+    // One judgeMutant per table column, instruction limit pinned.
+    opts.min_instr_limit = opts.max_instr_limit = 1;
+    const mut::MutantResult r1 = mut::judgeMutant(pm.mutant, opts, &cache, {});
+    opts.min_instr_limit = opts.max_instr_limit = 2;
+    const mut::MutantResult r2 = mut::judgeMutant(pm.mutant, opts, &cache, {});
     t1.add(r1);
     t2.add(r2);
-    runs.push_back(ErrorRuns{error.id, r1, r2});
     std::printf(
         "%-6s | %-6s %12llu %9.3f %9llu %7llu | %-6s %12llu %9.3f %9llu "
         "%7llu\n",
-        error.id, r1.found ? "found" : "MISS",
+        pm.paper_id, r1.verdict == mut::Verdict::Killed ? "found" : "MISS",
         static_cast<unsigned long long>(r1.instructions), r1.seconds,
         static_cast<unsigned long long>(r1.partial_paths),
         static_cast<unsigned long long>(r1.paths),
-        r2.found ? "found" : "MISS",
+        r2.verdict == mut::Verdict::Killed ? "found" : "MISS",
         static_cast<unsigned long long>(r2.instructions), r2.seconds,
         static_cast<unsigned long long>(r2.partial_paths),
         static_cast<unsigned long long>(r2.paths));
+    runs.push_back(ErrorRuns{pm.paper_id, r1, r2});
   }
 
   std::printf("%s\n", std::string(118, '-').c_str());
@@ -213,19 +173,19 @@ int main(int argc, char** argv) {
       t1.time <= t2.time ? "yes" : "NO");
 
   if (!out_path.empty()) {
-    // Machine-readable dump: the full EngineReport per hunt, nested via
-    // the shared serializer (same schema as rvsym-verify --metrics-out).
+    // Machine-readable dump: one journal-format record per hunt (same
+    // schema rvsym-mutate writes, nested under the paper error id).
     obs::JsonWriter w;
     w.beginObject();
-    w.field("jobs", g_jobs);
+    w.field("jobs", jobs);
     w.key("hunts").beginArray();
     for (const ErrorRuns& er : runs) {
       for (const auto* r : {&er.r1, &er.r2}) {
         w.beginObject();
         w.field("error", er.id);
         w.field("instr_limit", r == &er.r1 ? 1u : 2u);
-        w.field("found", r->found);
-        w.key("report").rawValue(r->report_json);
+        w.field("found", r->verdict == mut::Verdict::Killed);
+        w.key("result").rawValue(mut::journalLine(*r));
         w.endObject();
       }
     }
@@ -241,5 +201,6 @@ int main(int argc, char** argv) {
                   out_path.c_str());
     }
   }
+  // Parity assertion: every paper error must be killed at both limits.
   return (t1.found == 10 && t2.found == 10) ? 0 : 1;
 }

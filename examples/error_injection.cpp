@@ -1,66 +1,68 @@
 // Error-injection hunt — the Table II §V-B workflow on one chosen
-// fault: inject it into the (otherwise fixed) RTL core, run the
-// symbolic co-simulation until the voter finds the divergence, and
-// print the concrete reproducing stimulus KLEE-style (instruction
-// words, register values, memory bytes).
+// mutant: inject it into the (otherwise fixed) RTL core, judge it with
+// the same mut::judgeMutant path rvsym-mutate campaigns use, and print
+// the concrete reproducing stimulus KLEE-style (instruction words,
+// register values, memory bytes).
 //
-// Usage: error_injection [E0..E9]   (default: E7, the LBU endianness flip)
+// Usage: error_injection [E0..E9 | mutant id]
+//   error_injection E7                 # paper error (LBU endianness flip)
+//   error_injection dec:jal:b2         # any point of the mutation space
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
-#include "core/cosim.hpp"
-#include "core/symmem.hpp"
-#include "expr/builder.hpp"
 #include "fault/faults.hpp"
+#include "mut/campaign.hpp"
 #include "rv32/instr.hpp"
-#include "symex/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace rvsym;
 
   const char* id = argc > 1 ? argv[1] : "E7";
-  const fault::InjectedError* error;
+  mut::Mutant mutant;
   try {
-    error = &fault::errorById(id);
+    // Paper ids (E0..E9, X0..X1) resolve through the fault registry;
+    // anything else is parsed as a mutation-space id.
+    mutant = fault::errorById(id).mutant();
   } catch (const std::out_of_range&) {
-    std::fprintf(stderr, "unknown error id '%s' (use E0..E9)\n", id);
-    return 2;
+    try {
+      mutant = mut::mutantById(id);
+    } catch (const std::out_of_range&) {
+      std::fprintf(stderr,
+                   "unknown mutant '%s' (use E0..E9 or a mutation-space id "
+                   "from `rvsym-mutate list`)\n",
+                   id);
+      return 2;
+    }
   }
 
-  std::printf("hunting injected error %s: %s (%s)\n\n", error->id,
-              error->description, error->target);
+  std::printf("hunting injected mutant %s: %s\n\n", mutant.id().c_str(),
+              mutant.description().c_str());
 
-  expr::ExprBuilder eb;
-  core::CosimConfig cfg;
-  cfg.rtl = rtl::fixedRtlConfig();
-  cfg.iss.csr = iss::CsrConfig::specCorrect();
-  cfg.instr_limit = 1;
-  cfg.instr_constraint = core::CoSimulation::blockSystemInstructions();
-  error->apply(cfg);
-
-  symex::EngineOptions opts;
-  opts.stop_on_error = true;
-  opts.max_seconds = 120;
-  core::CoSimulation cosim(eb, cfg);
-  symex::Engine engine(eb, opts);
-  const symex::EngineReport report = engine.run(cosim.program());
+  mut::CampaignOptions opts;
+  opts.max_instr_limit = 2;
+  opts.max_seconds_per_hunt = 120;
+  const mut::MutantResult r = mut::judgeMutant(mutant, opts, nullptr, {});
 
   std::printf("explored %llu paths (%llu partial), %llu instructions, "
               "%.3fs\n",
-              static_cast<unsigned long long>(report.totalPaths()),
-              static_cast<unsigned long long>(report.partialPaths()),
-              static_cast<unsigned long long>(report.instructions),
-              report.seconds);
+              static_cast<unsigned long long>(r.paths + r.partial_paths),
+              static_cast<unsigned long long>(r.partial_paths),
+              static_cast<unsigned long long>(r.instructions), r.seconds);
 
-  const symex::PathRecord* err = report.firstError();
-  if (!err) {
+  if (r.verdict == mut::Verdict::Equivalent) {
+    std::printf("mutant is provably equivalent to the unmutated decoder — "
+                "nothing to hunt\n");
+    return 0;
+  }
+  if (r.verdict != mut::Verdict::Killed) {
     std::printf("error NOT found within budget\n");
     return 1;
   }
 
-  std::printf("\n%s\n\nreproducing test vector:\n", err->message.c_str());
-  if (err->has_test) {
-    for (const symex::TestValue& v : err->test.values) {
+  std::printf("\n%s\n\nreproducing test vector:\n", r.kill_message.c_str());
+  if (r.has_kill_test) {
+    for (const symex::TestValue& v : r.kill_test.values) {
       if (v.name.rfind("instr@", 0) == 0) {
         std::printf("  %-16s = 0x%08llx   %s\n", v.name.c_str(),
                     static_cast<unsigned long long>(v.value),
@@ -75,7 +77,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("\nverdict: %s exposed by a single symbolic instruction.\n",
-              error->id);
+  std::printf("\nverdict: %s killed at instruction limit %u.\n",
+              mutant.id().c_str(), r.kill_instr_limit);
   return 0;
 }

@@ -5,50 +5,39 @@
 
 namespace rvsym::fault {
 
-using core::CosimConfig;
-using rtl::ExecFaults;
-using rv32::Opcode;
-
-void InjectedError::apply(CosimConfig& config) const {
-  if (has_dont_care) config.decode_dont_cares.push_back(dont_care);
-  if (flag) config.faults.*flag = true;
-}
-
 namespace {
 
 // Bit 25 is the "7th highest bit" of the encoding: the low bit of
 // funct7, which separates SLLI/SRLI/SRAI from the reserved RV64-adjacent
 // encodings the paper describes for E0-E2.
-constexpr unsigned kFunct7LowBit = 25;
-
 const std::array<InjectedError, 10> kErrors{{
     {"E0", "SLLI", "don't-care bit in SLLI decoding (bit 25)",
-     true, {Opcode::Slli, kFunct7LowBit}, nullptr},
+     "dec:slli:b25"},
     {"E1", "SRLI", "don't-care bit in SRLI decoding (bit 25)",
-     true, {Opcode::Srli, kFunct7LowBit}, nullptr},
+     "dec:srli:b25"},
     {"E2", "SRAI", "don't-care bit in SRAI decoding (bit 25)",
-     true, {Opcode::Srai, kFunct7LowBit}, nullptr},
+     "dec:srai:b25"},
     {"E3", "ADDI", "stuck-at-0 fault at lowest result bit of ADDI",
-     false, {}, &ExecFaults::addi_result_bit0_stuck0},
+     "stuck:addi:b0=0"},
     {"E4", "SUB", "stuck-at-0 fault at highest result bit of SUB",
-     false, {}, &ExecFaults::sub_result_bit31_stuck0},
+     "stuck:sub:b31=0"},
     {"E5", "JAL", "JAL does not change the PC",
-     false, {}, &ExecFaults::jal_no_pc_update},
+     "flag:jal_no_pc_update"},
     {"E6", "BNE", "BNE behaves as BEQ",
-     false, {}, &ExecFaults::bne_behaves_as_beq},
+     "swap:bne:beq"},
     {"E7", "LBU", "endianness of LBU memory access flipped",
-     false, {}, &ExecFaults::lbu_endianness_flip},
+     "mem:lbu:endian"},
     {"E8", "LB", "sign extension removed from LB",
-     false, {}, &ExecFaults::lb_no_sign_extend},
+     "mem:lb:signflip"},
     {"E9", "LW", "LW loads only the lower 16 bits",
-     false, {}, &ExecFaults::lw_low_half_only},
+     "mem:lw:lowhalf"},
 }};
 
 const std::array<InjectedError, 2> kExtensionErrors{{
     {"X0", "ADD", "ADD result corrupted only when rs2 == 0xCAFEBABE",
-     false, {}, &ExecFaults::add_wrong_on_magic},
+     "flag:add_wrong_on_magic"},
     {"X1", "BLT", "BLT decides wrongly only when rs1 == INT32_MIN",
-     false, {}, &ExecFaults::blt_wrong_at_int_min},
+     "flag:blt_wrong_at_int_min"},
 }};
 
 }  // namespace

@@ -1,10 +1,12 @@
 // The injected-error set E0-E9 of the paper's performance evaluation
 // (§V-B), as a registry the Table II bench and the examples share.
 //
-// E0-E2 are decoder faults ("mark a bit as don't care in the decode
-// table"), realized by clearing a mask bit of the instruction's decode
-// pattern; E3-E9 are datapath faults realized by ExecFaults switches in
-// the RTL core.
+// Each error is a named point of the machine-enumerated mutation space
+// (src/mut): E0-E2 are decoder faults ("mark a bit as don't care in the
+// decode table"), E3-E9 datapath faults from the parameterized
+// ExecFaults families. The registry adds the paper's naming and prose;
+// injection itself delegates to mut::Mutant::apply so there is exactly
+// one fault-injection code path.
 //
 // Note on E2: the paper's text names SRLI for both E1 and E2; we read E2
 // as the arithmetic right shift SRAI (the same funct7 bit), which keeps
@@ -14,7 +16,7 @@
 #include <span>
 #include <string>
 
-#include "core/cosim.hpp"
+#include "mut/space.hpp"
 
 namespace rvsym::fault {
 
@@ -22,16 +24,18 @@ struct InjectedError {
   const char* id;           ///< "E0" .. "E9"
   const char* target;       ///< affected instruction
   const char* description;  ///< paper's description
+  const char* mutant_id;    ///< the mutation-space point, e.g. "dec:slli:b25"
 
-  /// Decoder fault (E0-E2): clear this mask bit of the target's pattern.
-  bool has_dont_care = false;
-  core::CosimConfig::DecodeDontCare dont_care{};
+  /// This error as a mutation-space point.
+  mut::Mutant mutant() const { return mut::mutantById(mutant_id); }
 
-  /// Datapath fault (E3-E9).
-  bool rtl::ExecFaults::*flag = nullptr;
+  /// Decoder fault (E0-E2) vs. datapath fault (E3-E9)?
+  bool isDecoderFault() const {
+    return mutant().kind == mut::MutantKind::DecodeBit;
+  }
 
   /// Applies this error to a co-simulation configuration.
-  void apply(core::CosimConfig& config) const;
+  void apply(core::CosimConfig& config) const { mutant().apply(config); }
 };
 
 /// All ten errors, in paper order.

@@ -1,0 +1,114 @@
+#include "mut/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/analyze/json_reader.hpp"
+#include "obs/json.hpp"
+
+namespace rvsym::mut {
+
+std::string serializeTest(const symex::TestVector& test) {
+  std::string out;
+  char buf[32];
+  for (const symex::TestValue& v : test.values) {
+    if (!out.empty()) out += ' ';
+    std::snprintf(buf, sizeof buf, "=%u:%" PRIx64, v.width, v.value);
+    out += v.name;
+    out += buf;
+  }
+  return out;
+}
+
+std::string journalHeader(const CampaignOptions& options,
+                          std::size_t num_mutants) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("rvsym_mutation_campaign", 1u);
+  w.field("scenario", options.scenario);
+  w.field("max_instr_limit", options.max_instr_limit);
+  w.field("max_paths_per_hunt", options.max_paths_per_hunt);
+  w.field("max_seconds_per_hunt", options.max_seconds_per_hunt);
+  w.field("num_symbolic_regs", options.num_symbolic_regs);
+  w.field("mutants", static_cast<std::uint64_t>(num_mutants));
+  w.endObject();
+  return w.str();
+}
+
+std::string journalLine(const MutantResult& r) {
+  obs::JsonWriter w;
+  w.beginObject();
+  // Deterministic fields first; timing-dependent ones carry the t_/qc_
+  // prefix so canonicalization can strip them (the trace-field contract).
+  w.field("mutant", r.mutant.id());
+  w.field("kind", mutantKindName(r.mutant.kind));
+  w.field("op", rv32::opcodeName(r.mutant.op));
+  w.field("verdict", verdictName(r.verdict));
+  if (r.verdict == Verdict::Killed) {
+    w.field("kill_instr_limit", r.kill_instr_limit);
+    w.field("kill_message", r.kill_message);
+    if (r.has_kill_test) w.field("kill_test", serializeTest(r.kill_test));
+  }
+  w.field("instructions", r.instructions);
+  w.field("paths", r.paths);
+  w.field("partial_paths", r.partial_paths);
+  w.field("solver_checks", r.solver_checks);
+  w.field("t_seconds", r.seconds);
+  w.field("t_solver_us", r.solver_us);
+  w.field("qc_hits", r.qcache_hits);
+  w.field("qc_misses", r.qcache_misses);
+  w.endObject();
+  return w.str();
+}
+
+std::vector<std::string> judgedMutantIds(const std::string& path) {
+  std::vector<std::string> ids;
+  std::ifstream in(path);
+  if (!in) return ids;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = obs::analyze::parseJson(line);
+    if (!doc) continue;  // a torn trailing line from a killed campaign
+    const auto id = doc->getString("mutant");
+    const auto verdict = doc->getString("verdict");
+    if (id && verdict) ids.push_back(*id);
+  }
+  return ids;
+}
+
+std::string fileSafeId(const std::string& id) {
+  std::string name = id;
+  for (char& c : name)
+    if (c == ':' || c == '=') c = '-';
+  return name;
+}
+
+bool writeSurvivorManifest(const std::string& dir, const MutantResult& r,
+                           const CampaignOptions& options) {
+  const std::string path = dir + "/" + fileSafeId(r.mutant.id()) + ".json";
+
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("mutant", r.mutant.id());
+  w.field("description", r.mutant.description());
+  w.field("verdict", verdictName(r.verdict));
+  w.field("scenario", options.scenario);
+  w.field("max_instr_limit", options.max_instr_limit);
+  w.field("max_paths_per_hunt", options.max_paths_per_hunt);
+  w.field("max_seconds_per_hunt", options.max_seconds_per_hunt);
+  w.field("instructions", r.instructions);
+  w.field("paths", r.paths);
+  w.field("partial_paths", r.partial_paths);
+  w.field("solver_checks", r.solver_checks);
+  w.endObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "%s\n", w.str().c_str());
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace rvsym::mut

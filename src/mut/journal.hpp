@@ -1,0 +1,54 @@
+// Campaign journal — the resumable JSONL record of a mutation campaign.
+//
+// Line 1 is a header object; every further line is one judged mutant,
+// flushed in enumeration order as soon as the verdict commits, so an
+// interrupted campaign leaves a valid prefix. Re-running with resume
+// reads the judged ids back and skips them.
+//
+// Determinism contract (the PR1/PR2 trace precedent): every field is
+// byte-identical across --jobs values except the wall-clock and
+// cache-traffic fields, which carry the `t_` / `qc_` prefix;
+// obs::analyze::canonicalizeMutationJournal strips those, and tests/CI
+// compare the canonical forms across worker counts directly. One
+// caveat: a survivor whose hunts end on the wall-clock budget (rather
+// than a kill, the path budget or worklist exhaustion) has
+// time-dependent exploration counters — campaigns that must be
+// byte-reproducible should bound hunts by --max-paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mut/campaign.hpp"
+
+namespace rvsym::mut {
+
+/// The header line (no trailing newline).
+std::string journalHeader(const CampaignOptions& options,
+                          std::size_t num_mutants);
+
+/// One judged-mutant line (no trailing newline). Deterministic fields
+/// first; timing fields carry the t_/qc_ prefix.
+std::string journalLine(const MutantResult& result);
+
+/// Serializes a test vector the way path_end trace events do
+/// ("name=width:hexvalue", space-joined) so
+/// obs::analyze::parseSerializedTest round-trips it.
+std::string serializeTest(const symex::TestVector& test);
+
+/// A mutant id as a filename component: ':' and '=' become '-'
+/// ("dec:slli:b25" -> "dec-slli-b25"). Survivor manifests, repro
+/// bundles and per-hunt traces all name their files with this.
+std::string fileSafeId(const std::string& id);
+
+/// Mutant ids already judged in an existing journal file (empty when the
+/// file is missing or unreadable — a fresh campaign).
+std::vector<std::string> judgedMutantIds(const std::string& path);
+
+/// Writes `dir/<id>.json` (id with ':'/'=' replaced by '-') describing a
+/// surviving mutant and the budgets it survived — the lightweight repro
+/// manifest the campaign leaves for every survivor. False on I/O error.
+bool writeSurvivorManifest(const std::string& dir, const MutantResult& result,
+                           const CampaignOptions& options);
+
+}  // namespace rvsym::mut

@@ -1,0 +1,357 @@
+#include "mut/space.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "rv32/fields.hpp"
+#include "solver/solver.hpp"
+
+namespace rvsym::mut {
+
+using rtl::ExecFaults;
+using rtl::MemFaultKind;
+using rv32::Opcode;
+
+const char* mutantKindName(MutantKind k) {
+  switch (k) {
+    case MutantKind::DecodeBit: return "dec";
+    case MutantKind::StuckBit: return "stuck";
+    case MutantKind::BranchSwap: return "swap";
+    case MutantKind::MemFault: return "mem";
+    case MutantKind::CtrlFlag: return "flag";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* memFaultKindName(MemFaultKind k) {
+  switch (k) {
+    case MemFaultKind::EndianFlip: return "endian";
+    case MemFaultKind::SignFlip: return "signflip";
+    case MemFaultKind::LowHalf: return "lowhalf";
+  }
+  return "?";
+}
+
+Opcode opcodeByName(const std::string& name) {
+  for (std::size_t i = 0; i <= rv32::kLegalOpcodeCount; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (name == rv32::opcodeName(op)) return op;
+  }
+  throw std::out_of_range("unknown opcode name: " + name);
+}
+
+/// The ops whose result goes through the ALU write-back masking hook.
+constexpr Opcode kAluOps[] = {
+    Opcode::Lui,  Opcode::Auipc, Opcode::Addi, Opcode::Slti, Opcode::Sltiu,
+    Opcode::Xori, Opcode::Ori,   Opcode::Andi, Opcode::Slli, Opcode::Srli,
+    Opcode::Srai, Opcode::Add,   Opcode::Sub,  Opcode::Sll,  Opcode::Slt,
+    Opcode::Sltu, Opcode::Xor,   Opcode::Srl,  Opcode::Sra,  Opcode::Or,
+    Opcode::And,
+};
+
+constexpr Opcode kBranchOps[] = {
+    Opcode::Beq, Opcode::Bne,  Opcode::Blt,
+    Opcode::Bge, Opcode::Bltu, Opcode::Bgeu,
+};
+
+/// Meaningful (non-identity) mem-fault points. An endian flip on a
+/// one-byte store is the identity (the single data byte maps to itself),
+/// so SB is excluded; a one-byte *load* still flips the byte lane read
+/// from the bus word, so LB/LBU stay in.
+struct MemPoint {
+  MemFaultKind kind;
+  Opcode op;
+};
+constexpr MemPoint kMemPoints[] = {
+    {MemFaultKind::EndianFlip, Opcode::Lb},
+    {MemFaultKind::EndianFlip, Opcode::Lh},
+    {MemFaultKind::EndianFlip, Opcode::Lw},
+    {MemFaultKind::EndianFlip, Opcode::Lbu},
+    {MemFaultKind::EndianFlip, Opcode::Lhu},
+    {MemFaultKind::EndianFlip, Opcode::Sh},
+    {MemFaultKind::EndianFlip, Opcode::Sw},
+    {MemFaultKind::SignFlip, Opcode::Lb},
+    {MemFaultKind::SignFlip, Opcode::Lh},
+    {MemFaultKind::SignFlip, Opcode::Lbu},
+    {MemFaultKind::SignFlip, Opcode::Lhu},
+    {MemFaultKind::LowHalf, Opcode::Lw},
+    {MemFaultKind::LowHalf, Opcode::Sw},
+};
+
+bool wantKind(const SpaceFilter& f, MutantKind k) {
+  if (f.kinds.empty()) return true;
+  for (MutantKind want : f.kinds)
+    if (want == k) return true;
+  return false;
+}
+
+bool wantOp(const SpaceFilter& f, Opcode op) {
+  if (f.ops.empty()) return true;
+  for (Opcode want : f.ops)
+    if (want == op) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string Mutant::id() const {
+  char buf[64];
+  switch (kind) {
+    case MutantKind::DecodeBit:
+      std::snprintf(buf, sizeof buf, "dec:%s:b%u", rv32::opcodeName(op), bit);
+      break;
+    case MutantKind::StuckBit:
+      std::snprintf(buf, sizeof buf, "stuck:%s:b%u=%d", rv32::opcodeName(op),
+                    bit, stuck_value ? 1 : 0);
+      break;
+    case MutantKind::BranchSwap:
+      std::snprintf(buf, sizeof buf, "swap:%s:%s", rv32::opcodeName(op),
+                    rv32::opcodeName(behaves_as));
+      break;
+    case MutantKind::MemFault:
+      std::snprintf(buf, sizeof buf, "mem:%s:%s", rv32::opcodeName(op),
+                    memFaultKindName(mem_kind));
+      break;
+    case MutantKind::CtrlFlag:
+      std::snprintf(buf, sizeof buf, "flag:%s",
+                    rtl::execFaultFlagTable()[flag].name);
+      break;
+  }
+  return buf;
+}
+
+std::string Mutant::description() const {
+  char buf[128];
+  switch (kind) {
+    case MutantKind::DecodeBit:
+      std::snprintf(buf, sizeof buf,
+                    "don't-care bit %u in the decode pattern of %s", bit,
+                    rv32::opcodeName(op));
+      break;
+    case MutantKind::StuckBit:
+      std::snprintf(buf, sizeof buf, "result bit %u of %s stuck at %d", bit,
+                    rv32::opcodeName(op), stuck_value ? 1 : 0);
+      break;
+    case MutantKind::BranchSwap:
+      std::snprintf(buf, sizeof buf, "%s evaluates the %s comparator",
+                    rv32::opcodeName(op), rv32::opcodeName(behaves_as));
+      break;
+    case MutantKind::MemFault:
+      switch (mem_kind) {
+        case MemFaultKind::EndianFlip:
+          std::snprintf(buf, sizeof buf, "byte lanes of %s reversed",
+                        rv32::opcodeName(op));
+          break;
+        case MemFaultKind::SignFlip:
+          std::snprintf(buf, sizeof buf, "extension polarity of %s inverted",
+                        rv32::opcodeName(op));
+          break;
+        case MemFaultKind::LowHalf:
+          std::snprintf(buf, sizeof buf, "only the low 16 bits of %s take effect",
+                        rv32::opcodeName(op));
+          break;
+      }
+      break;
+    case MutantKind::CtrlFlag:
+      return rtl::execFaultFlagTable()[flag].description;
+  }
+  return buf;
+}
+
+void Mutant::apply(core::CosimConfig& config) const {
+  switch (kind) {
+    case MutantKind::DecodeBit:
+      config.decode_dont_cares.push_back({op, bit});
+      break;
+    case MutantKind::StuckBit:
+      config.faults.stuck_bits.push_back({op, bit, stuck_value});
+      break;
+    case MutantKind::BranchSwap:
+      config.faults.branch_swaps.push_back({op, behaves_as});
+      break;
+    case MutantKind::MemFault:
+      config.faults.mem_faults.push_back({op, mem_kind});
+      break;
+    case MutantKind::CtrlFlag:
+      config.faults.setFlag(flag);
+      break;
+  }
+}
+
+std::vector<Mutant> enumerateSpace(const SpaceFilter& filter) {
+  std::vector<Mutant> out;
+  if (wantKind(filter, MutantKind::DecodeBit)) {
+    for (const rv32::DecodePattern& p : rv32::decodeTable()) {
+      if (!wantOp(filter, p.op)) continue;
+      for (unsigned b = 0; b < 32; ++b) {
+        if (!(p.mask & (1u << b))) continue;
+        Mutant m;
+        m.kind = MutantKind::DecodeBit;
+        m.op = p.op;
+        m.bit = static_cast<std::uint8_t>(b);
+        out.push_back(m);
+      }
+    }
+  }
+  if (wantKind(filter, MutantKind::StuckBit)) {
+    for (Opcode op : kAluOps) {
+      if (!wantOp(filter, op)) continue;
+      for (unsigned b = 0; b < 32; ++b)
+        for (bool v : {false, true}) {
+          Mutant m;
+          m.kind = MutantKind::StuckBit;
+          m.op = op;
+          m.bit = static_cast<std::uint8_t>(b);
+          m.stuck_value = v;
+          out.push_back(m);
+        }
+    }
+  }
+  if (wantKind(filter, MutantKind::BranchSwap)) {
+    for (Opcode op : kBranchOps) {
+      if (!wantOp(filter, op)) continue;
+      for (Opcode as : kBranchOps) {
+        if (as == op) continue;
+        Mutant m;
+        m.kind = MutantKind::BranchSwap;
+        m.op = op;
+        m.behaves_as = as;
+        out.push_back(m);
+      }
+    }
+  }
+  if (wantKind(filter, MutantKind::MemFault)) {
+    for (const MemPoint& p : kMemPoints) {
+      if (!wantOp(filter, p.op)) continue;
+      Mutant m;
+      m.kind = MutantKind::MemFault;
+      m.op = p.op;
+      m.mem_kind = p.kind;
+      out.push_back(m);
+    }
+  }
+  if (wantKind(filter, MutantKind::CtrlFlag)) {
+    const auto table = rtl::execFaultFlagTable();
+    for (unsigned i = 0; i < table.size(); ++i) {
+      if (!wantOp(filter, table[i].target)) continue;
+      Mutant m;
+      m.kind = MutantKind::CtrlFlag;
+      m.op = table[i].target;
+      m.flag = static_cast<ExecFaults::Flag>(i);
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+Mutant mutantById(const std::string& id) {
+  const auto bad = [&]() -> std::out_of_range {
+    return std::out_of_range("unknown mutant id: " + id);
+  };
+  const std::size_t c1 = id.find(':');
+  if (c1 == std::string::npos) throw bad();
+  const std::string kind = id.substr(0, c1);
+  const std::string rest = id.substr(c1 + 1);
+
+  Mutant m;
+  if (kind == "flag") {
+    const auto table = rtl::execFaultFlagTable();
+    for (unsigned i = 0; i < table.size(); ++i)
+      if (rest == table[i].name) {
+        m.kind = MutantKind::CtrlFlag;
+        m.flag = static_cast<ExecFaults::Flag>(i);
+        m.op = table[i].target;
+        return m;
+      }
+    throw bad();
+  }
+
+  const std::size_t c2 = rest.find(':');
+  if (c2 == std::string::npos) throw bad();
+  const std::string op_name = rest.substr(0, c2);
+  const std::string param = rest.substr(c2 + 1);
+  m.op = opcodeByName(op_name);  // throws on unknown names
+
+  if (kind == "dec" || kind == "stuck") {
+    if (param.empty() || param[0] != 'b') throw bad();
+    unsigned bit = 0;
+    int value = -1;
+    if (kind == "dec") {
+      if (std::sscanf(param.c_str(), "b%u", &bit) != 1) throw bad();
+      m.kind = MutantKind::DecodeBit;
+    } else {
+      if (std::sscanf(param.c_str(), "b%u=%d", &bit, &value) != 2 ||
+          (value != 0 && value != 1))
+        throw bad();
+      m.kind = MutantKind::StuckBit;
+      m.stuck_value = value == 1;
+    }
+    if (bit >= 32) throw bad();
+    m.bit = static_cast<std::uint8_t>(bit);
+    return m;
+  }
+  if (kind == "swap") {
+    m.kind = MutantKind::BranchSwap;
+    m.behaves_as = opcodeByName(param);
+    return m;
+  }
+  if (kind == "mem") {
+    m.kind = MutantKind::MemFault;
+    if (param == "endian") m.mem_kind = MemFaultKind::EndianFlip;
+    else if (param == "signflip") m.mem_kind = MemFaultKind::SignFlip;
+    else if (param == "lowhalf") m.mem_kind = MemFaultKind::LowHalf;
+    else throw bad();
+    return m;
+  }
+  throw bad();
+}
+
+std::vector<PaperMutant> paperMutants() {
+  // E2 read as SRAI (same funct7 bit as E1's SRLI) keeps the ten errors
+  // distinct — the same reading src/fault documents.
+  return {
+      {"E0", mutantById("dec:slli:b25")},
+      {"E1", mutantById("dec:srli:b25")},
+      {"E2", mutantById("dec:srai:b25")},
+      {"E3", mutantById("stuck:addi:b0=0")},
+      {"E4", mutantById("stuck:sub:b31=0")},
+      {"E5", mutantById("flag:jal_no_pc_update")},
+      {"E6", mutantById("swap:bne:beq")},
+      {"E7", mutantById("mem:lbu:endian")},
+      {"E8", mutantById("mem:lb:signflip")},
+      {"E9", mutantById("mem:lw:lowhalf")},
+  };
+}
+
+bool decodeBitIsEquivalent(const Mutant& m) {
+  if (m.kind != MutantKind::DecodeBit) return false;
+  expr::ExprBuilder eb;
+  const expr::ExprRef word = eb.variable("instr", 32);
+
+  // First-match-wins decode as an ite cascade yielding the opcode code;
+  // non-matching words fall through to Illegal (code 0).
+  const auto cascade = [&](bool mutated) {
+    expr::ExprRef result = eb.constant(0, 8);
+    const auto table = rv32::decodeTable();
+    for (std::size_t i = table.size(); i-- > 0;) {
+      rv32::DecodePattern p = table[i];
+      // Mirror the real injection (core/cosim.cpp) exactly: only the
+      // mask bit is cleared, match stays. Clearing a bit whose match
+      // value is 1 therefore kills the row (it can never equal match
+      // again), which is a behaviour change too — the cascade models
+      // both widening and dead-row mutants correctly.
+      if (mutated && p.op == m.op) p.mask &= ~(1u << m.bit);
+      result = eb.ite(rv32::sym::matches(eb, word, p),
+                      eb.constant(static_cast<std::uint64_t>(p.op), 8), result);
+    }
+    return result;
+  };
+
+  solver::PathSolver solver(eb);
+  return solver.check(eb.ne(cascade(false), cascade(true))) ==
+         solver::CheckResult::Unsat;
+}
+
+}  // namespace rvsym::mut

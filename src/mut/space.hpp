@@ -1,0 +1,95 @@
+// MutationSpace — machine enumeration of RTL mutants.
+//
+// The paper's Table II evaluates ten hand-injected errors E0-E9. This
+// module generalizes each of them into a parameterized operator family
+// and enumerates the full cross product against the rv32 opcode set:
+//
+//   dec:<op>:b<bit>        clear one decode-table mask bit (E0-E2 family)
+//   stuck:<op>:b<bit>=<v>  stuck-at-v fault on one ALU result bit (E3/E4)
+//   swap:<op>:<op2>        branch comparator swap (E6 family)
+//   mem:<op>:<kind>        load/store lane fault: endian / signflip /
+//                          lowhalf (E7-E9 family)
+//   flag:<name>            parameterless switch from the ExecFaults flag
+//                          table (E5 + the X* corner-case bugs)
+//
+// The id strings above are the stable mutant identifiers used by the
+// campaign journal, the CLI and repro-bundle manifests; id() and
+// mutantById() round-trip them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cosim.hpp"
+
+namespace rvsym::mut {
+
+enum class MutantKind : std::uint8_t {
+  DecodeBit,   ///< clear one mask bit of one decode pattern
+  StuckBit,    ///< stuck-at-0/1 on one ALU result bit
+  BranchSwap,  ///< branch evaluates another branch's comparator
+  MemFault,    ///< load/store lane fault (rtl::MemFaultKind)
+  CtrlFlag,    ///< one ExecFaults::Flag switch
+};
+
+/// The id prefix of a kind ("dec", "stuck", "swap", "mem", "flag").
+const char* mutantKindName(MutantKind k);
+
+/// One point of the mutation space. Only the fields of the active kind
+/// are meaningful; the rest keep their defaults.
+struct Mutant {
+  MutantKind kind = MutantKind::DecodeBit;
+  /// Target instruction (for CtrlFlag: the flag's target, informational).
+  rv32::Opcode op = rv32::Opcode::Illegal;
+  std::uint8_t bit = 0;     ///< DecodeBit: mask bit; StuckBit: result bit
+  bool stuck_value = false; ///< StuckBit: stuck-at-1 when true
+  rv32::Opcode behaves_as = rv32::Opcode::Illegal;  ///< BranchSwap
+  rtl::MemFaultKind mem_kind = rtl::MemFaultKind::EndianFlip;
+  rtl::ExecFaults::Flag flag = rtl::ExecFaults::kJalNoPcUpdate;
+
+  /// Stable identifier, e.g. "dec:slli:b25" (see header grammar).
+  std::string id() const;
+  /// Human-readable description for reports.
+  std::string description() const;
+  /// Injects this mutant into a co-simulation configuration.
+  void apply(core::CosimConfig& config) const;
+};
+
+/// Enumeration filter; empty vectors select everything.
+struct SpaceFilter {
+  std::vector<MutantKind> kinds;
+  std::vector<rv32::Opcode> ops;
+};
+
+/// Enumerates the mutation space in a fixed, documented order (decode
+/// bits in decode-table order then bit index; stuck bits in opcode order
+/// then bit then value; swaps in opcode-pair order; mem faults in kind
+/// then opcode order; flags in enum order). Identity mutants — points
+/// whose injection provably cannot change behaviour by construction,
+/// like an endian flip on a one-byte store — are excluded.
+std::vector<Mutant> enumerateSpace(const SpaceFilter& filter = {});
+
+/// Inverse of Mutant::id(). Throws std::out_of_range on unknown ids.
+Mutant mutantById(const std::string& id);
+
+/// The paper's Table II errors as named points of the space, in paper
+/// order E0..E9.
+struct PaperMutant {
+  const char* paper_id;  ///< "E0".."E9"
+  Mutant mutant;
+};
+std::vector<PaperMutant> paperMutants();
+
+/// Solver-backed decode-equivalence check for a DecodeBit mutant: builds
+/// the original and mutated first-match-wins decode cascades over a free
+/// symbolic instruction word and asks the SAT solver whether any word
+/// decodes differently. Clearing a mask bit widens one row's match set,
+/// but when an earlier row already captures every newly matching word
+/// (e.g. SRAI bit 30: those words hit SRLI first) the decode function —
+/// and hence the core's behaviour — is unchanged, and the mutant is
+/// reported `equivalent` without spending a co-simulation on it.
+/// Returns false for non-DecodeBit mutants.
+bool decodeBitIsEquivalent(const Mutant& m);
+
+}  // namespace rvsym::mut

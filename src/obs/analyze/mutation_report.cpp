@@ -1,0 +1,271 @@
+#include "obs/analyze/mutation_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/analyze/json_reader.hpp"
+#include "obs/json.hpp"
+
+namespace rvsym::obs::analyze {
+
+namespace {
+
+MutationEntry entryFromJson(const JsonValue& v) {
+  MutationEntry e;
+  e.mutant = v.getString("mutant").value_or("");
+  e.kind = v.getString("kind").value_or("");
+  e.op = v.getString("op").value_or("");
+  e.verdict = v.getString("verdict").value_or("");
+  e.kill_instr_limit =
+      static_cast<unsigned>(v.getU64("kill_instr_limit").value_or(0));
+  e.kill_message = v.getString("kill_message").value_or("");
+  e.kill_test = v.getString("kill_test").value_or("");
+  e.instructions = v.getU64("instructions").value_or(0);
+  e.paths = v.getU64("paths").value_or(0);
+  e.partial_paths = v.getU64("partial_paths").value_or(0);
+  e.solver_checks = v.getU64("solver_checks").value_or(0);
+  e.t_seconds = v.getNumber("t_seconds").value_or(0);
+  e.qc_hits = v.getU64("qc_hits").value_or(0);
+  e.qc_misses = v.getU64("qc_misses").value_or(0);
+  return e;
+}
+
+bool isTimingKey(const std::string& key) {
+  return key.rfind("t_", 0) == 0 || key.rfind("qc_", 0) == 0;
+}
+
+/// Re-serializes a parsed value with object members in sorted key order
+/// (JsonValue::members() is a std::map) and timing keys dropped.
+void emitCanonical(const JsonValue& v, JsonWriter& w, bool strip_timing) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: w.nullValue(); break;
+    case JsonValue::Kind::Bool: w.value(v.asBool()); break;
+    case JsonValue::Kind::Number: w.value(v.asDouble()); break;
+    case JsonValue::Kind::String: w.value(v.asString()); break;
+    case JsonValue::Kind::Array:
+      w.beginArray();
+      for (const JsonValue& item : v.items())
+        emitCanonical(item, w, strip_timing);
+      w.endArray();
+      break;
+    case JsonValue::Kind::Object:
+      w.beginObject();
+      for (const auto& [key, member] : v.members()) {
+        if (strip_timing && isTimingKey(key)) continue;
+        w.key(key);
+        emitCanonical(member, w, strip_timing);
+      }
+      w.endObject();
+      break;
+  }
+}
+
+}  // namespace
+
+std::optional<MutationJournal> loadMutationJournal(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error) *error = path + " is empty";
+    return std::nullopt;
+  }
+  const auto header = parseJson(line);
+  if (!header || !header->find("rvsym_mutation_campaign")) {
+    if (error) *error = path + " is not a mutation-campaign journal";
+    return std::nullopt;
+  }
+  MutationJournal j;
+  j.scenario = header->getString("scenario").value_or("");
+  j.max_instr_limit =
+      static_cast<unsigned>(header->getU64("max_instr_limit").value_or(0));
+  j.declared_mutants = header->getU64("mutants").value_or(0);
+  std::set<std::string> seen;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto v = parseJson(line);
+    if (!v || !v->getString("mutant")) continue;  // torn trailing line
+    MutationEntry e = entryFromJson(*v);
+    // Two campaigns racing one journal can duplicate entries; the first
+    // committed verdict wins, as it would have in a single campaign.
+    if (!seen.insert(e.mutant).second) continue;
+    j.entries.push_back(std::move(e));
+  }
+  return j;
+}
+
+MutationSummary summarizeMutationJournal(const MutationJournal& journal) {
+  MutationSummary s;
+  for (const MutationEntry& e : journal.entries) {
+    MutationSummary::Cell* cells[] = {
+        &s.by_op_kind[e.op][e.kind],
+        &s.by_op_kind[e.op][""],
+        &s.by_op_kind[""][e.kind],
+    };
+    for (MutationSummary::Cell* c : cells) {
+      if (e.verdict == "killed") ++c->killed;
+      else if (e.verdict == "survived") ++c->survived;
+      else if (e.verdict == "equivalent") ++c->equivalent;
+    }
+    if (e.verdict == "killed") ++s.killed;
+    else if (e.verdict == "survived") ++s.survived;
+    else if (e.verdict == "equivalent") ++s.equivalent;
+  }
+  return s;
+}
+
+std::string canonicalizeMutationJournal(const std::string& text) {
+  std::istringstream in(text);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto v = parseJson(line);
+    if (!v) {
+      out += line;  // keep corruption visible
+    } else {
+      JsonWriter w;
+      emitCanonical(*v, w, /*strip_timing=*/true);
+      out += w.str();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> diffMutationJournals(const MutationJournal& a,
+                                              const MutationJournal& b) {
+  std::vector<std::string> diffs;
+  std::map<std::string, const MutationEntry*> bm;
+  for (const MutationEntry& e : b.entries) bm[e.mutant] = &e;
+  std::map<std::string, const MutationEntry*> am;
+  for (const MutationEntry& e : a.entries) am[e.mutant] = &e;
+
+  for (const MutationEntry& ea : a.entries) {
+    const auto it = bm.find(ea.mutant);
+    if (it == bm.end()) {
+      diffs.push_back(ea.mutant + ": only in first journal");
+      continue;
+    }
+    const MutationEntry& eb = *it->second;
+    const auto field = [&](const char* name, auto va, auto vb) {
+      if (va != vb) {
+        std::ostringstream os;
+        os << ea.mutant << ": " << name << " " << va << " != " << vb;
+        diffs.push_back(os.str());
+      }
+    };
+    field("verdict", ea.verdict, eb.verdict);
+    field("kill_instr_limit", ea.kill_instr_limit, eb.kill_instr_limit);
+    field("kill_test", ea.kill_test, eb.kill_test);
+    field("instructions", ea.instructions, eb.instructions);
+    field("paths", ea.paths, eb.paths);
+    field("partial_paths", ea.partial_paths, eb.partial_paths);
+    field("solver_checks", ea.solver_checks, eb.solver_checks);
+  }
+  for (const MutationEntry& eb : b.entries)
+    if (!am.count(eb.mutant))
+      diffs.push_back(eb.mutant + ": only in second journal");
+  return diffs;
+}
+
+std::string renderMutationHtml(const MutationJournal& journal,
+                               const std::string& title) {
+  const MutationSummary s = summarizeMutationJournal(journal);
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>" << obs::jsonEscape(title) << "</title>\n"
+     << "<style>\n"
+        "body{font-family:system-ui,sans-serif;margin:2em;color:#222}\n"
+        "h1{font-size:1.4em}\n"
+        ".section{margin-top:1.5em}\n"
+        "td,th{padding:2px 10px;text-align:left}\n"
+        ".k{background:#2e7d32;color:#fff}\n"
+        ".s{background:#c62828;color:#fff}\n"
+        ".e{background:#9e9e9e;color:#fff}\n"
+        ".mix{background:#f9a825}\n"
+        ".cell{padding:4px 8px;border-radius:4px;font-size:0.85em;"
+        "text-align:center;border:1px solid #ccc}\n"
+        "</style>\n</head>\n<body>\n"
+     << "<h1>" << obs::jsonEscape(title) << "</h1>\n";
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "mutation score %.1f%% — %llu killed / %llu survived / "
+                "%llu equivalent (scenario %s, instruction limit %u)",
+                100.0 * s.mutationScore(),
+                static_cast<unsigned long long>(s.killed),
+                static_cast<unsigned long long>(s.survived),
+                static_cast<unsigned long long>(s.equivalent),
+                journal.scenario.c_str(), journal.max_instr_limit);
+  os << "<div class=\"section\"><pre>" << line << "</pre></div>\n";
+
+  // Survivors first — they are the campaign's finding.
+  os << "<div class=\"section\"><h2>Survivors</h2>\n";
+  bool any = false;
+  for (const MutationEntry& e : journal.entries) {
+    if (e.verdict != "survived") continue;
+    if (!any) os << "<table><tr><th>mutant</th><th>paths</th>"
+                    "<th>instructions</th></tr>\n";
+    any = true;
+    os << "<tr><td>" << obs::jsonEscape(e.mutant) << "</td><td>" << e.paths
+       << "</td><td>" << e.instructions << "</td></tr>\n";
+  }
+  os << (any ? "</table>\n" : "<p>none — every non-equivalent mutant was "
+                              "killed.</p>\n")
+     << "</div>\n";
+
+  // The op x kind heatmap: one row per target opcode, shaded by verdict
+  // mix (all killed = green, any survivor = amber/red).
+  os << "<div class=\"section\"><h2>Survivor heatmap (op &times; kind)"
+        "</h2>\n<table>\n<tr><th></th>";
+  std::vector<std::string> kinds;
+  if (const auto it = s.by_op_kind.find(""); it != s.by_op_kind.end())
+    for (const auto& [kind, cell] : it->second)
+      if (!kind.empty()) kinds.push_back(kind);
+  for (const std::string& k : kinds) os << "<th>" << k << "</th>";
+  os << "</tr>\n";
+  for (const auto& [op, row] : s.by_op_kind) {
+    if (op.empty()) continue;
+    os << "<tr><th>" << obs::jsonEscape(op) << "</th>";
+    for (const std::string& k : kinds) {
+      const auto it = row.find(k);
+      if (it == row.end() ||
+          (it->second.killed + it->second.survived + it->second.equivalent) ==
+              0) {
+        os << "<td></td>";
+        continue;
+      }
+      const MutationSummary::Cell& c = it->second;
+      const char* cls = c.survived == 0 ? (c.killed > 0 ? "k" : "e")
+                        : c.killed == 0 ? "s"
+                                        : "mix";
+      os << "<td class=\"cell " << cls << "\">" << c.killed << "/"
+         << (c.killed + c.survived);
+      if (c.equivalent) os << " (+" << c.equivalent << "eq)";
+      os << "</td>";
+    }
+    os << "</tr>\n";
+  }
+  os << "</table>\n<p>cells are killed/(killed+survived); green = all "
+        "killed, red = all survived, grey = equivalent only.</p>\n"
+        "</div>\n</body>\n</html>\n";
+  return os.str();
+}
+
+bool writeMutationHtml(const std::string& path, const MutationJournal& journal,
+                       const std::string& title) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string html = renderMutationHtml(journal, title);
+  const bool ok = std::fwrite(html.data(), 1, html.size(), f) == html.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,94 @@
+// Mutation-campaign journal analysis — the offline consumer of the
+// JSONL journals rvsym-mutate writes (src/mut/journal.hpp documents the
+// format). Pure JSON layer: it deliberately does not link src/mut, so
+// the analysis tools can read journals from any build.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rvsym::obs::analyze {
+
+/// One judged mutant, as recorded in the journal.
+struct MutationEntry {
+  std::string mutant;   ///< stable id, e.g. "dec:slli:b25"
+  std::string kind;     ///< "dec" / "stuck" / "swap" / "mem" / "flag"
+  std::string op;       ///< target opcode name
+  std::string verdict;  ///< "killed" / "survived" / "equivalent"
+  unsigned kill_instr_limit = 0;
+  std::string kill_message;
+  std::string kill_test;  ///< parseSerializedTest format
+  std::uint64_t instructions = 0;
+  std::uint64_t paths = 0;
+  std::uint64_t partial_paths = 0;
+  std::uint64_t solver_checks = 0;
+  double t_seconds = 0;
+  std::uint64_t qc_hits = 0;
+  std::uint64_t qc_misses = 0;
+};
+
+struct MutationJournal {
+  std::string scenario;
+  unsigned max_instr_limit = 0;
+  std::uint64_t declared_mutants = 0;  ///< header "mutants" count
+  std::vector<MutationEntry> entries;
+};
+
+/// Parses a journal file. Returns nullopt (with a reason) only when the
+/// file is unreadable or the header is missing/foreign; torn trailing
+/// lines from an interrupted campaign are skipped silently, and
+/// duplicated mutant entries (two campaigns racing one journal) keep
+/// the first verdict.
+std::optional<MutationJournal> loadMutationJournal(
+    const std::string& path, std::string* error = nullptr);
+
+/// Aggregated verdict counts with the kill/survive breakdown per
+/// operator and per mutation kind (the heatmap's data).
+struct MutationSummary {
+  std::uint64_t killed = 0;
+  std::uint64_t survived = 0;
+  std::uint64_t equivalent = 0;
+  struct Cell {
+    std::uint64_t killed = 0;
+    std::uint64_t survived = 0;
+    std::uint64_t equivalent = 0;
+  };
+  /// (op, kind) -> verdicts; ops and kinds also appear aggregated under
+  /// the "" key of the other dimension.
+  std::map<std::string, std::map<std::string, Cell>> by_op_kind;
+
+  double mutationScore() const {
+    const std::uint64_t denom = killed + survived;
+    return denom == 0 ? 0.0 : static_cast<double>(killed) /
+                                  static_cast<double>(denom);
+  }
+};
+
+MutationSummary summarizeMutationJournal(const MutationJournal& journal);
+
+/// Canonical form of a journal's text for determinism comparison:
+/// every line parsed, the timing-dependent fields (t_* / qc_* keys)
+/// dropped, members re-serialized in sorted key order. Two campaigns of
+/// the same mutant set must canonicalize byte-identically regardless of
+/// --jobs (the journal analog of the trace determinism contract).
+/// Unparseable lines are kept verbatim so corruption stays visible.
+std::string canonicalizeMutationJournal(const std::string& text);
+
+/// Human-readable differences between two journals' deterministic
+/// content (verdicts, kill limits, kill tests, counters); empty = equal.
+std::vector<std::string> diffMutationJournals(const MutationJournal& a,
+                                              const MutationJournal& b);
+
+/// Self-contained HTML report: mutation score headline, survivor list
+/// and an op x kind heatmap shaded by kill ratio (the analog of the
+/// coverage heatmap; survivors glow, killed cells fade).
+std::string renderMutationHtml(const MutationJournal& journal,
+                               const std::string& title = "rvsym mutation");
+bool writeMutationHtml(const std::string& path,
+                       const MutationJournal& journal,
+                       const std::string& title = "rvsym mutation");
+
+}  // namespace rvsym::obs::analyze

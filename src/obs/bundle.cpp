@@ -14,6 +14,7 @@
 #include "expr/builder.hpp"
 #include "expr/eval.hpp"
 #include "fault/faults.hpp"
+#include "mut/space.hpp"
 #include "obs/json.hpp"
 #include "rtl/vcd.hpp"
 #include "rv32/instr.hpp"
@@ -56,10 +57,17 @@ bool buildReplayConfig(const BundleDescriptor& desc,
   if (!desc.fault_id.empty()) {
     cfg.rtl = rtl::fixedRtlConfig();
     cfg.iss.csr = iss::CsrConfig::specCorrect();
+    // Mutation-space ids ("dec:slli:b25") first — campaign bundles name
+    // mutants directly; the paper's "E0".."E9" registry names resolve
+    // through the fault registry (which delegates to the same space).
     try {
-      fault::errorById(desc.fault_id).apply(cfg);
+      mut::mutantById(desc.fault_id).apply(cfg);
     } catch (const std::out_of_range&) {
-      return false;
+      try {
+        fault::errorById(desc.fault_id).apply(cfg);
+      } catch (const std::out_of_range&) {
+        return false;
+      }
     }
   }
   cfg.instr_limit = desc.instr_limit;

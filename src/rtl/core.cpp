@@ -11,6 +11,28 @@ using rv32::Cause;
 using rv32::Opcode;
 using symex::ExecState;
 
+namespace {
+
+// One row per ExecFaults::Flag, in enum order. Extending the Flag enum
+// without describing the new switch here is a compile error — the
+// OR-combine in ExecFaults::operator| iterates the array, so the only
+// way to "forget" a flag is to forget this table, and the assert below
+// catches that.
+constexpr ExecFaultFlagInfo kFlagTable[] = {
+    {"jal_no_pc_update", "JAL does not change the PC", Opcode::Jal},
+    {"jalr_no_pc_update", "JALR does not change the PC", Opcode::Jalr},
+    {"add_wrong_on_magic", "ADD result corrupted only when rs2 == 0xCAFEBABE",
+     Opcode::Add},
+    {"blt_wrong_at_int_min", "BLT decides wrongly only when rs1 == INT32_MIN",
+     Opcode::Blt},
+};
+static_assert(std::size(kFlagTable) == ExecFaults::kNumFlags,
+              "every ExecFaults::Flag needs a descriptor row");
+
+}  // namespace
+
+std::span<const ExecFaultFlagInfo> execFaultFlagTable() { return kFlagTable; }
+
 RtlConfig fixedRtlConfig() {
   RtlConfig c;
   c.csr = iss::CsrConfig::specCorrect();
@@ -82,11 +104,18 @@ void MicroRv32Core::issueTxn(const Txn& txn) {
   dbus.strobe = txn.strobe;
   if (dbus.write) {
     // Place the store bytes on their lanes; unselected lanes are zero.
+    // A store-side EndianFlip fault places the data bytes in reversed
+    // order (lane selection is unchanged, so the fault is invisible on
+    // the store channel and only a load-back can expose it).
+    const bool flip =
+        config_.faults.hasMemFault(mem_op_, MemFaultKind::EndianFlip);
     ExprRef word = eb_.constant(0, 32);
     for (unsigned i = 0; i < txn.num_bytes; ++i) {
       const unsigned byte_index = txn.first_byte + i;
       const unsigned lane = (mem_addr_c_ + byte_index) & 3;
-      const ExprRef byte = eb_.extract(store_data_, byte_index * 8, 8);
+      const unsigned src =
+          flip ? mem_bytes_ - 1 - byte_index : byte_index;
+      const ExprRef byte = eb_.extract(store_data_, src * 8, 8);
       word = eb_.orOp(
           word, eb_.shl(eb_.zext(byte, 32), eb_.constant(lane * 8, 32)));
     }
@@ -173,11 +202,12 @@ void MicroRv32Core::tick(ExecState& st) {
       if (dbus.data_ready) {
         const Txn& txn = txns_[txn_index_];
         if (!dbus.write) {
+          const bool lane_flip =  // E7 generalized: any load, lane xor 3
+              config_.faults.hasMemFault(mem_op_, MemFaultKind::EndianFlip);
           for (unsigned i = 0; i < txn.num_bytes; ++i) {
             const unsigned byte_index = txn.first_byte + i;
             unsigned lane = (mem_addr_c_ + byte_index) & 3;
-            if (config_.faults.lbu_endianness_flip && mem_op_ == Opcode::Lbu)
-              lane ^= 3;  // E7
+            if (lane_flip) lane ^= 3;
             load_bytes_[byte_index] = eb_.extract(dbus.rdata, lane * 8, 8);
           }
         }
@@ -215,23 +245,21 @@ void MicroRv32Core::finishLoad(ExecState&) {
       break;
   }
 
+  // E8 generalized: inverted extension polarity on any sub-word load.
+  const bool sign_flip =
+      config_.faults.hasMemFault(mem_op_, MemFaultKind::SignFlip);
   ExprRef value;
   switch (mem_op_) {
     case Opcode::Lb:
-      value = config_.faults.lb_no_sign_extend ? eb_.zext(raw, 32)   // E8
-                                               : eb_.sext(raw, 32);
+    case Opcode::Lh:
+      value = sign_flip ? eb_.zext(raw, 32) : eb_.sext(raw, 32);
       break;
     case Opcode::Lbu:
-      value = eb_.zext(raw, 32);
-      break;
-    case Opcode::Lh:
-      value = eb_.sext(raw, 32);
-      break;
     case Opcode::Lhu:
-      value = eb_.zext(raw, 32);
+      value = sign_flip ? eb_.sext(raw, 32) : eb_.zext(raw, 32);
       break;
     default:  // Lw
-      if (config_.faults.lw_low_half_only)  // E9
+      if (config_.faults.hasMemFault(mem_op_, MemFaultKind::LowHalf))  // E9
         value = eb_.zext(eb_.extract(raw, 0, 16), 32);
       else
         value = raw;
@@ -259,6 +287,21 @@ void MicroRv32Core::execute(ExecState& st) {
   const ExprRef rd_idx = rv32::sym::rd(eb_, instr);
   const ExprRef rs1_val = regs_.read(eb_, rv32::sym::rs1(eb_, instr));
   const ExprRef rs2_val = regs_.read(eb_, rv32::sym::rs2(eb_, instr));
+
+  // ALU write-back with stuck-at result-bit faults applied (E3/E4
+  // generalized: any bit of any ALU result, stuck at either value). The
+  // empty-table check keeps the fault-free hot path mask-free.
+  const auto setAluResult = [&](const ExprRef& v0) {
+    ExprRef v = v0;
+    if (!config_.faults.stuck_bits.empty()) {
+      const std::uint32_t and_mask = config_.faults.resultAndMask(op);
+      const std::uint32_t or_mask = config_.faults.resultOrMask(op);
+      if (and_mask != 0xFFFFFFFFu)
+        v = eb_.andOp(v, eb_.constant(and_mask, 32));
+      if (or_mask != 0) v = eb_.orOp(v, eb_.constant(or_mask, 32));
+    }
+    setRdChannel(rd_idx, v);
+  };
 
   const auto fetchMisaligned = [&](const ExprRef& target) {
     return st.branch(eb_.ne(eb_.andOp(target, eb_.constant(3, 32)),
@@ -293,10 +336,10 @@ void MicroRv32Core::execute(ExecState& st) {
 
   switch (op) {
     case Opcode::Lui:
-      setRdChannel(rd_idx, rv32::sym::immU(eb_, instr));
+      setAluResult(rv32::sym::immU(eb_, instr));
       break;
     case Opcode::Auipc:
-      setRdChannel(rd_idx, eb_.add(pc_, rv32::sym::immU(eb_, instr)));
+      setAluResult(eb_.add(pc_, rv32::sym::immU(eb_, instr)));
       break;
     case Opcode::Jal: {
       const ExprRef target = eb_.add(pc_, rv32::sym::immJ(eb_, instr));
@@ -305,7 +348,7 @@ void MicroRv32Core::execute(ExecState& st) {
         return;
       }
       setRdChannel(rd_idx, eb_.add(pc_, word4));
-      if (!config_.faults.jal_no_pc_update)  // E5 keeps pc+4
+      if (!config_.faults.flag(ExecFaults::kJalNoPcUpdate))  // E5 keeps pc+4
         pending_.next_pc = target;
       break;
     }
@@ -318,7 +361,8 @@ void MicroRv32Core::execute(ExecState& st) {
         return;
       }
       setRdChannel(rd_idx, eb_.add(pc_, word4));
-      pending_.next_pc = target;
+      if (!config_.faults.flag(ExecFaults::kJalrNoPcUpdate))
+        pending_.next_pc = target;
       break;
     }
     case Opcode::Beq:
@@ -327,24 +371,22 @@ void MicroRv32Core::execute(ExecState& st) {
     case Opcode::Bge:
     case Opcode::Bltu:
     case Opcode::Bgeu: {
+      // E6 generalized: a comparator swap makes `op` evaluate the
+      // condition of another branch.
+      const Opcode cmp = config_.faults.branchBehavesAs(op);
       ExprRef cond;
-      switch (op) {
+      switch (cmp) {
         case Opcode::Beq: cond = eb_.eq(rs1_val, rs2_val); break;
-        case Opcode::Bne:
-          cond = config_.faults.bne_behaves_as_beq
-                     ? eb_.eq(rs1_val, rs2_val)  // E6
-                     : eb_.ne(rs1_val, rs2_val);
-          break;
-        case Opcode::Blt:
-          cond = eb_.slt(rs1_val, rs2_val);
-          if (config_.faults.blt_wrong_at_int_min)  // X1: INT_MIN corner case
-            cond = eb_.ite(eb_.eqConst(rs1_val, 0x80000000u),
-                           eb_.notOp(cond), cond);
-          break;
+        case Opcode::Bne: cond = eb_.ne(rs1_val, rs2_val); break;
+        case Opcode::Blt: cond = eb_.slt(rs1_val, rs2_val); break;
         case Opcode::Bge: cond = eb_.sge(rs1_val, rs2_val); break;
         case Opcode::Bltu: cond = eb_.ult(rs1_val, rs2_val); break;
         default: cond = eb_.uge(rs1_val, rs2_val); break;
       }
+      if (op == Opcode::Blt &&
+          config_.faults.flag(ExecFaults::kBltWrongAtIntMin))  // X1
+        cond = eb_.ite(eb_.eqConst(rs1_val, 0x80000000u), eb_.notOp(cond),
+                       cond);
       if (st.branch(cond)) {
         const ExprRef target = eb_.add(pc_, rv32::sym::immB(eb_, instr));
         if (fetchMisaligned(target)) {
@@ -374,6 +416,8 @@ void MicroRv32Core::execute(ExecState& st) {
     case Opcode::Sw: {
       const unsigned bytes = op == Opcode::Sw ? 4 : op == Opcode::Sh ? 2 : 1;
       store_data_ = eb_.extract(rs2_val, 0, bytes * 8);
+      if (config_.faults.hasMemFault(op, MemFaultKind::LowHalf))  // SW width
+        store_data_ = eb_.zext(eb_.extract(rs2_val, 0, 16), 32);
       const ExprRef addr_e = eb_.add(rs1_val, rv32::sym::immS(eb_, instr));
       if (!startMem(addr_e, bytes, op)) return;
       pending_.mem_valid = true;
@@ -383,83 +427,70 @@ void MicroRv32Core::execute(ExecState& st) {
       pending_.mem_data = eb_.zext(store_data_, 32);
       return;
     }
-    case Opcode::Addi: {
-      ExprRef v = eb_.add(rs1_val, rv32::sym::immI(eb_, instr));
-      if (config_.faults.addi_result_bit0_stuck0)  // E3
-        v = eb_.andOp(v, eb_.constant(~1u, 32));
-      setRdChannel(rd_idx, v);
+    case Opcode::Addi:
+      setAluResult(eb_.add(rs1_val, rv32::sym::immI(eb_, instr)));
       break;
-    }
     case Opcode::Slti:
-      setRdChannel(rd_idx,
-                   eb_.zext(eb_.slt(rs1_val, rv32::sym::immI(eb_, instr)), 32));
+      setAluResult(eb_.zext(eb_.slt(rs1_val, rv32::sym::immI(eb_, instr)), 32));
       break;
     case Opcode::Sltiu:
-      setRdChannel(rd_idx,
-                   eb_.zext(eb_.ult(rs1_val, rv32::sym::immI(eb_, instr)), 32));
+      setAluResult(eb_.zext(eb_.ult(rs1_val, rv32::sym::immI(eb_, instr)), 32));
       break;
     case Opcode::Xori:
-      setRdChannel(rd_idx, eb_.xorOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      setAluResult(eb_.xorOp(rs1_val, rv32::sym::immI(eb_, instr)));
       break;
     case Opcode::Ori:
-      setRdChannel(rd_idx, eb_.orOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      setAluResult(eb_.orOp(rs1_val, rv32::sym::immI(eb_, instr)));
       break;
     case Opcode::Andi:
-      setRdChannel(rd_idx, eb_.andOp(rs1_val, rv32::sym::immI(eb_, instr)));
+      setAluResult(eb_.andOp(rs1_val, rv32::sym::immI(eb_, instr)));
       break;
     case Opcode::Slli:
-      setRdChannel(rd_idx, eb_.shl(rs1_val,
-                                   eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      setAluResult(eb_.shl(rs1_val,
+                           eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
       break;
     case Opcode::Srli:
-      setRdChannel(rd_idx, eb_.lshr(rs1_val,
-                                    eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      setAluResult(eb_.lshr(rs1_val,
+                            eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
       break;
     case Opcode::Srai:
-      setRdChannel(rd_idx, eb_.ashr(rs1_val,
-                                    eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
+      setAluResult(eb_.ashr(rs1_val,
+                            eb_.zext(rv32::sym::shamt(eb_, instr), 32)));
       break;
     case Opcode::Add: {
       ExprRef v = eb_.add(rs1_val, rs2_val);
-      if (config_.faults.add_wrong_on_magic)  // X0: single-value corner case
+      if (config_.faults.flag(ExecFaults::kAddWrongOnMagic))  // X0
         v = eb_.ite(eb_.eqConst(rs2_val, 0xCAFEBABE),
                     eb_.xorOp(v, eb_.constant(1, 32)), v);
-      setRdChannel(rd_idx, v);
+      setAluResult(v);
       break;
     }
-    case Opcode::Sub: {
-      ExprRef v = eb_.sub(rs1_val, rs2_val);
-      if (config_.faults.sub_result_bit31_stuck0)  // E4
-        v = eb_.andOp(v, eb_.constant(0x7FFFFFFFu, 32));
-      setRdChannel(rd_idx, v);
+    case Opcode::Sub:
+      setAluResult(eb_.sub(rs1_val, rs2_val));
       break;
-    }
     case Opcode::Sll:
-      setRdChannel(rd_idx,
-                   eb_.shl(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      setAluResult(eb_.shl(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
       break;
     case Opcode::Slt:
-      setRdChannel(rd_idx, eb_.zext(eb_.slt(rs1_val, rs2_val), 32));
+      setAluResult(eb_.zext(eb_.slt(rs1_val, rs2_val), 32));
       break;
     case Opcode::Sltu:
-      setRdChannel(rd_idx, eb_.zext(eb_.ult(rs1_val, rs2_val), 32));
+      setAluResult(eb_.zext(eb_.ult(rs1_val, rs2_val), 32));
       break;
     case Opcode::Xor:
-      setRdChannel(rd_idx, eb_.xorOp(rs1_val, rs2_val));
+      setAluResult(eb_.xorOp(rs1_val, rs2_val));
       break;
     case Opcode::Srl:
-      setRdChannel(rd_idx,
-                   eb_.lshr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      setAluResult(eb_.lshr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
       break;
     case Opcode::Sra:
-      setRdChannel(rd_idx,
-                   eb_.ashr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
+      setAluResult(eb_.ashr(rs1_val, eb_.zext(eb_.extract(rs2_val, 0, 5), 32)));
       break;
     case Opcode::Or:
-      setRdChannel(rd_idx, eb_.orOp(rs1_val, rs2_val));
+      setAluResult(eb_.orOp(rs1_val, rs2_val));
       break;
     case Opcode::And:
-      setRdChannel(rd_idx, eb_.andOp(rs1_val, rs2_val));
+      setAluResult(eb_.andOp(rs1_val, rs2_val));
       break;
     case Opcode::Fence:
       break;

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "expr/builder.hpp"
@@ -38,39 +39,130 @@
 
 namespace rvsym::rtl {
 
-/// Datapath fault switches for the injected errors E3-E9 (§V-B), plus
-/// two corner-case extension faults (X0, X1) used by the fuzzing
-/// comparison: bugs that only trigger on a single input value, which
-/// random testing essentially never hits but symbolic execution solves
-/// for directly (the paper's motivating claim).
+/// Kinds of parameterized load/store-lane faults (generalizing the
+/// paper's E7-E9 to every memory operation).
+enum class MemFaultKind : std::uint8_t {
+  /// Byte lanes selected/placed in reversed order (E7 on LBU).
+  EndianFlip,
+  /// Extension polarity inverted: LB/LH zero-extend (E8 on LB),
+  /// LBU/LHU sign-extend.
+  SignFlip,
+  /// Only the low 16 bits of a word access take effect (E9 on LW; on
+  /// SW the upper half of the store data is zeroed).
+  LowHalf,
+};
+
+/// Datapath fault model for the injected errors of §V-B and the mutation
+/// campaign engine built on top of them. The paper's fixed list E3-E9 is
+/// generalized into three table-driven parameterized families (stuck-at
+/// result bits, branch-comparator swaps, load/store-lane faults) plus a
+/// small set of parameterless switches.
+///
+/// The parameterless switches are backed by an enum-indexed array so
+/// operator| can never silently drop a field: adding a Flag without
+/// extending the descriptor table breaks the static_assert in core.cpp,
+/// and the OR-combine loops over the array instead of naming members.
 struct ExecFaults {
-  bool addi_result_bit0_stuck0 = false;  ///< E3
-  bool sub_result_bit31_stuck0 = false;  ///< E4
-  bool jal_no_pc_update = false;         ///< E5
-  bool bne_behaves_as_beq = false;       ///< E6
-  bool lbu_endianness_flip = false;      ///< E7
-  bool lb_no_sign_extend = false;        ///< E8
-  bool lw_low_half_only = false;         ///< E9
-  /// X0: ADD result corrupted only when rs2 == 0xCAFEBABE.
-  bool add_wrong_on_magic = false;
-  /// X1: BLT decides wrongly only when rs1 == INT32_MIN.
-  bool blt_wrong_at_int_min = false;
+  /// Parameterless switches. kJalNoPcUpdate is the paper's E5; the X*
+  /// flags are single-value corner-case bugs used by the fuzzing
+  /// comparison: random testing essentially never hits them but symbolic
+  /// execution solves for them directly (the paper's motivating claim).
+  enum Flag : unsigned {
+    kJalNoPcUpdate = 0,   ///< E5: JAL does not change the PC
+    kJalrNoPcUpdate,      ///< E5 generalized to JALR
+    kAddWrongOnMagic,     ///< X0: ADD corrupted only when rs2 == 0xCAFEBABE
+    kBltWrongAtIntMin,    ///< X1: BLT wrong only when rs1 == INT32_MIN
+    kNumFlags,
+  };
+  std::array<bool, kNumFlags> flags{};
+
+  /// Stuck-at fault on one bit of an instruction's ALU result
+  /// (generalizing E3/E4 to every result bit of every ALU op).
+  struct StuckBit {
+    rv32::Opcode op;
+    std::uint8_t bit;  ///< 0..31
+    bool value;        ///< stuck-at-1 when true, stuck-at-0 when false
+  };
+  std::vector<StuckBit> stuck_bits;
+
+  /// Branch comparator swap: `op` evaluates the condition of
+  /// `behaves_as` (generalizing E6 to every ordered branch pair).
+  struct BranchSwap {
+    rv32::Opcode op;
+    rv32::Opcode behaves_as;
+  };
+  std::vector<BranchSwap> branch_swaps;
+
+  /// Load/store-lane fault on one memory operation.
+  struct MemFault {
+    rv32::Opcode op;
+    MemFaultKind kind;
+  };
+  std::vector<MemFault> mem_faults;
+
+  bool flag(Flag f) const { return flags[f]; }
+  void setFlag(Flag f, bool v = true) { flags[f] = v; }
+
+  bool any() const {
+    for (bool b : flags)
+      if (b) return true;
+    return !stuck_bits.empty() || !branch_swaps.empty() ||
+           !mem_faults.empty();
+  }
+
+  /// AND mask clearing every bit of `op`'s result stuck at 0.
+  std::uint32_t resultAndMask(rv32::Opcode op) const {
+    std::uint32_t m = 0xFFFFFFFFu;
+    for (const StuckBit& s : stuck_bits)
+      if (s.op == op && !s.value) m &= ~(1u << s.bit);
+    return m;
+  }
+  /// OR mask setting every bit of `op`'s result stuck at 1.
+  std::uint32_t resultOrMask(rv32::Opcode op) const {
+    std::uint32_t m = 0;
+    for (const StuckBit& s : stuck_bits)
+      if (s.op == op && s.value) m |= 1u << s.bit;
+    return m;
+  }
+  /// The comparator `op` actually evaluates (itself when unswapped).
+  rv32::Opcode branchBehavesAs(rv32::Opcode op) const {
+    for (const BranchSwap& b : branch_swaps)
+      if (b.op == op) return b.behaves_as;
+    return op;
+  }
+  bool hasMemFault(rv32::Opcode op, MemFaultKind kind) const {
+    for (const MemFault& m : mem_faults)
+      if (m.op == op && m.kind == kind) return true;
+    return false;
+  }
 
   /// Combines two fault sets (a fault is active if set in either).
   ExecFaults operator|(const ExecFaults& o) const {
-    ExecFaults r;
-    r.addi_result_bit0_stuck0 = addi_result_bit0_stuck0 || o.addi_result_bit0_stuck0;
-    r.sub_result_bit31_stuck0 = sub_result_bit31_stuck0 || o.sub_result_bit31_stuck0;
-    r.jal_no_pc_update = jal_no_pc_update || o.jal_no_pc_update;
-    r.bne_behaves_as_beq = bne_behaves_as_beq || o.bne_behaves_as_beq;
-    r.lbu_endianness_flip = lbu_endianness_flip || o.lbu_endianness_flip;
-    r.lb_no_sign_extend = lb_no_sign_extend || o.lb_no_sign_extend;
-    r.lw_low_half_only = lw_low_half_only || o.lw_low_half_only;
-    r.add_wrong_on_magic = add_wrong_on_magic || o.add_wrong_on_magic;
-    r.blt_wrong_at_int_min = blt_wrong_at_int_min || o.blt_wrong_at_int_min;
+    ExecFaults r = *this;
+    for (unsigned i = 0; i < kNumFlags; ++i)
+      r.flags[i] = flags[i] || o.flags[i];
+    r.stuck_bits.insert(r.stuck_bits.end(), o.stuck_bits.begin(),
+                        o.stuck_bits.end());
+    r.branch_swaps.insert(r.branch_swaps.end(), o.branch_swaps.begin(),
+                          o.branch_swaps.end());
+    r.mem_faults.insert(r.mem_faults.end(), o.mem_faults.begin(),
+                        o.mem_faults.end());
     return r;
   }
 };
+
+/// Static descriptor of one ExecFaults::Flag — the name is the stable
+/// identifier used in mutant ids, journals and bundle manifests.
+struct ExecFaultFlagInfo {
+  const char* name;
+  const char* description;
+  /// The instruction the switch targets (campaign reporting).
+  rv32::Opcode target;
+};
+
+/// One entry per ExecFaults::Flag, in enum order; core.cpp statically
+/// asserts the table covers every flag.
+std::span<const ExecFaultFlagInfo> execFaultFlagTable();
 
 struct RtlConfig {
   iss::CsrConfig csr = iss::CsrConfig::microrv32();

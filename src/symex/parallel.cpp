@@ -171,15 +171,24 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
   // A budgeted Unknown is not a semantic fact, so conflict-budgeted runs
   // forgo the cache (verdict reuse could turn an Unknown into Sat/Unsat
   // and desynchronize limited-path counts across schedules).
-  const bool use_cache =
-      options_.enable_query_cache && options_.solver_max_conflicts == 0;
-  std::unique_ptr<solver::QueryCache> cache;
-  if (use_cache) {
-    cache = std::make_unique<solver::QueryCache>(options_.cache_shards);
-    // The registry is the live aggregation point for cache traffic: the
-    // cache bumps "qcache.hits"/"qcache.misses" as lookups happen, and
-    // the same totals land in report.qcache_* after the run.
-    if (options_.metrics) cache->attachMetrics(*options_.metrics);
+  std::unique_ptr<solver::QueryCache> owned_cache;
+  solver::QueryCache* cache = nullptr;
+  solver::QueryCache::Stats cache_start{};
+  if (options_.solver_max_conflicts == 0) {
+    if (options_.shared_cache) {
+      // Campaign-owned cache: metrics attachment (if any) is the
+      // owner's call, and qcache_* must report this run's traffic, so
+      // snapshot the counters now and delta at the end.
+      cache = options_.shared_cache;
+      cache_start = cache->stats();
+    } else if (options_.enable_query_cache) {
+      owned_cache = std::make_unique<solver::QueryCache>(options_.cache_shards);
+      // The registry is the live aggregation point for cache traffic: the
+      // cache bumps "qcache.hits"/"qcache.misses" as lookups happen, and
+      // the same totals land in report.qcache_* after the run.
+      if (options_.metrics) owned_cache->attachMetrics(*options_.metrics);
+      cache = owned_cache.get();
+    }
   }
 
   std::vector<WorkerState> workers(jobs);
@@ -193,7 +202,7 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                           options_.solver_max_conflicts,
                           options_.take_true_first,
                           options_.use_known_bits,
-                          cache.get(),
+                          cache,
                           cache ? workers[i].hasher.get() : nullptr,
                           options_.metrics,
                           options_.trace != nullptr};
@@ -384,8 +393,8 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
   report.seconds = elapsed();
   if (cache) {
     const solver::QueryCache::Stats cs = cache->stats();
-    report.qcache_hits = cs.hits;
-    report.qcache_misses = cs.misses;
+    report.qcache_hits = cs.hits - cache_start.hits;
+    report.qcache_misses = cs.misses - cache_start.misses;
   }
   RVSYM_TRACE(options_.trace,
               obs::TraceEvent("run_end")

@@ -72,6 +72,14 @@ struct ParallelEngineOptions : EngineOptions {
   bool enable_query_cache = true;
   /// Lock shards of the query cache.
   unsigned cache_shards = 16;
+  /// Externally owned cache shared beyond this run (the mutation
+  /// campaign hands one cache to every per-mutant engine). Verdicts are
+  /// semantic facts keyed by canonical structural hashes, so reuse
+  /// across runs changes which solves execute, never their answers.
+  /// When set it replaces the run-private cache (enable_query_cache and
+  /// cache_shards are ignored; a solver conflict budget still disables
+  /// caching) and report.qcache_* counts this run's traffic only.
+  solver::QueryCache* shared_cache = nullptr;
 };
 
 class ParallelEngine {

@@ -372,7 +372,8 @@ TEST(BusWaitStates, FaultsStillFoundOnSlowBuses) {
   cfg.bus_wait_states = 2;
   cfg.instr_constraint = CoSimulation::onlyMajorOpcode(0x03);  // loads
   CosimConfig buggy = cfg;
-  buggy.rtl.faults.lb_no_sign_extend = true;  // E8
+  buggy.rtl.faults.mem_faults.push_back(
+      {rv32::Opcode::Lb, rtl::MemFaultKind::SignFlip});  // E8
   symex::EngineOptions opts;
   opts.max_paths = 400;
   const auto report = explore(eb, buggy, opts);

@@ -43,14 +43,26 @@ TEST(Registry, HasTenDistinctErrors) {
 
 TEST(Registry, DecoderFaultsTargetDistinctPatterns) {
   const auto errors = allErrors();
-  EXPECT_TRUE(errors[0].has_dont_care);
-  EXPECT_TRUE(errors[1].has_dont_care);
-  EXPECT_TRUE(errors[2].has_dont_care);
-  EXPECT_NE(errors[0].dont_care.op, errors[1].dont_care.op);
-  EXPECT_NE(errors[1].dont_care.op, errors[2].dont_care.op);
-  for (int i = 3; i < 10; ++i) {
-    EXPECT_FALSE(errors[static_cast<std::size_t>(i)].has_dont_care);
-    EXPECT_NE(errors[static_cast<std::size_t>(i)].flag, nullptr);
+  EXPECT_TRUE(errors[0].isDecoderFault());
+  EXPECT_TRUE(errors[1].isDecoderFault());
+  EXPECT_TRUE(errors[2].isDecoderFault());
+  EXPECT_NE(errors[0].mutant().op, errors[1].mutant().op);
+  EXPECT_NE(errors[1].mutant().op, errors[2].mutant().op);
+  for (int i = 3; i < 10; ++i)
+    EXPECT_FALSE(errors[static_cast<std::size_t>(i)].isDecoderFault());
+}
+
+TEST(Registry, EveryErrorIsAnEnumeratedMutant) {
+  // The registry names points of the machine-enumerated space — each id
+  // must resolve, and the enumeration must contain it.
+  const auto space = mut::enumerateSpace();
+  for (const InjectedError& e : allErrors()) {
+    const mut::Mutant m = e.mutant();
+    EXPECT_EQ(m.id(), e.mutant_id);
+    bool found = false;
+    for (const mut::Mutant& s : space) found |= s.id() == m.id();
+    EXPECT_TRUE(found) << e.id << " (" << e.mutant_id
+                       << ") not in the enumerated space";
   }
 }
 
@@ -58,15 +70,13 @@ TEST(Registry, ApplySetsExactlyOneFault) {
   for (const InjectedError& e : allErrors()) {
     CosimConfig cfg;
     e.apply(cfg);
-    const int decoder = cfg.decode_dont_cares.empty() ? 0 : 1;
-    int flags = 0;
     const rtl::ExecFaults& f = cfg.faults;
-    for (bool b : {f.addi_result_bit0_stuck0, f.sub_result_bit31_stuck0,
-                   f.jal_no_pc_update, f.bne_behaves_as_beq,
-                   f.lbu_endianness_flip, f.lb_no_sign_extend,
-                   f.lw_low_half_only})
-      flags += b ? 1 : 0;
-    EXPECT_EQ(decoder + flags, 1) << e.id;
+    int set = static_cast<int>(cfg.decode_dont_cares.size() +
+                               f.stuck_bits.size() + f.branch_swaps.size() +
+                               f.mem_faults.size());
+    for (int i = 0; i < rtl::ExecFaults::kNumFlags; ++i)
+      set += f.flag(static_cast<rtl::ExecFaults::Flag>(i)) ? 1 : 0;
+    EXPECT_EQ(set, 1) << e.id;
   }
 }
 
@@ -104,7 +114,7 @@ TEST_P(SymbolicHunt, FindsInjectedError) {
   // E3-E9 witnesses decode to the faulty instruction.
   std::string mnemonic = rv32::opcodeName(d.op);
   for (char& c : mnemonic) c = static_cast<char>(std::toupper(c));
-  if (error.has_dont_care) {
+  if (error.isDecoderFault()) {
     EXPECT_EQ(d.op, rv32::Opcode::Illegal)
         << rv32::disassemble(instr);
   } else {

@@ -1,0 +1,294 @@
+// Tests for the mutation-testing subsystem: space enumeration and id
+// round-trips, the solver-backed decode-equivalence pre-check, campaign
+// verdicts on a golden mutant subset, journal determinism across worker
+// counts, resume semantics, and replay of killed-mutant test vectors
+// through the repro-bundle machinery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fault/faults.hpp"
+#include "mut/campaign.hpp"
+#include "mut/journal.hpp"
+#include "mut/space.hpp"
+#include "obs/analyze/coverage_map.hpp"
+#include "obs/analyze/mutation_report.hpp"
+#include "obs/bundle.hpp"
+
+namespace rvsym::mut {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --- Space enumeration --------------------------------------------------------------------
+
+TEST(Space, EnumeratesEveryFamilyDeterministically) {
+  const auto space = enumerateSpace();
+  std::size_t dec = 0, stuck = 0, swap = 0, mem = 0, flag = 0;
+  for (const Mutant& m : space) {
+    switch (m.kind) {
+      case MutantKind::DecodeBit: ++dec; break;
+      case MutantKind::StuckBit: ++stuck; break;
+      case MutantKind::BranchSwap: ++swap; break;
+      case MutantKind::MemFault: ++mem; break;
+      case MutantKind::CtrlFlag: ++flag; break;
+    }
+  }
+  // One mutant per clearable pattern bit, 2 per ALU result bit, every
+  // ordered branch pair, the load/store lane faults, the control flags.
+  EXPECT_EQ(dec, 650u);
+  EXPECT_EQ(stuck, 21u * 32u * 2u);
+  EXPECT_EQ(swap, 6u * 5u);
+  EXPECT_EQ(mem, 13u);
+  EXPECT_EQ(flag, 4u);
+  EXPECT_EQ(space.size(), dec + stuck + swap + mem + flag);
+
+  // Enumeration order is part of the journal contract.
+  const auto again = enumerateSpace();
+  ASSERT_EQ(again.size(), space.size());
+  for (std::size_t i = 0; i < space.size(); ++i)
+    EXPECT_EQ(again[i].id(), space[i].id());
+}
+
+TEST(Space, IdsRoundTripAndAreUnique) {
+  const auto space = enumerateSpace();
+  std::set<std::string> seen;
+  for (const Mutant& m : space) {
+    EXPECT_TRUE(seen.insert(m.id()).second) << "duplicate id " << m.id();
+    const Mutant back = mutantById(m.id());
+    EXPECT_EQ(back.id(), m.id());
+    EXPECT_EQ(back.kind, m.kind);
+    EXPECT_EQ(back.op, m.op);
+  }
+  EXPECT_THROW(mutantById("dec:slli:b99"), std::out_of_range);
+  EXPECT_THROW(mutantById("bogus"), std::out_of_range);
+}
+
+TEST(Space, FiltersSelectSubsets) {
+  SpaceFilter f;
+  f.kinds = {MutantKind::BranchSwap};
+  f.ops = {rv32::Opcode::Bne};
+  const auto subset = enumerateSpace(f);
+  ASSERT_EQ(subset.size(), 5u);
+  for (const Mutant& m : subset) {
+    EXPECT_EQ(m.kind, MutantKind::BranchSwap);
+    EXPECT_EQ(m.op, rv32::Opcode::Bne);
+  }
+}
+
+TEST(Space, PaperMutantsAreTenDistinctSpacePoints) {
+  const auto paper = paperMutants();
+  ASSERT_EQ(paper.size(), 10u);
+  const auto space = enumerateSpace();
+  std::set<std::string> ids;
+  for (const PaperMutant& pm : paper) {
+    EXPECT_TRUE(ids.insert(pm.mutant.id()).second);
+    bool found = false;
+    for (const Mutant& s : space) found |= s.id() == pm.mutant.id();
+    EXPECT_TRUE(found) << pm.paper_id << " = " << pm.mutant.id();
+  }
+  EXPECT_STREQ(paper[0].paper_id, "E0");
+  EXPECT_EQ(paper[0].mutant.id(), "dec:slli:b25");
+}
+
+// --- Decode equivalence -------------------------------------------------------------------
+
+TEST(DecodeEquivalence, ClassifiesKnownBits) {
+  // Clearing SRAI's bit 13 widens its pattern onto words an earlier row
+  // (ANDI, funct3 111) already captures -> provably equivalent.
+  EXPECT_TRUE(decodeBitIsEquivalent(mutantById("dec:srai:b13")));
+  // E0: SLLI accepts the reserved funct7 bit -> behaviour change.
+  EXPECT_FALSE(decodeBitIsEquivalent(mutantById("dec:slli:b25")));
+  // Bit 12 is set in SRAI's own match, so clearing the mask kills the
+  // row for its own encodings (dead row) -> behaviour change.
+  EXPECT_FALSE(decodeBitIsEquivalent(mutantById("dec:srai:b12")));
+}
+
+// --- Judging ------------------------------------------------------------------------------
+
+TEST(Judge, PaperErrorsAreKilledAtLimitOne) {
+  CampaignOptions opts;
+  opts.max_instr_limit = 2;
+  // E5 (JAL no PC update) and E6 (BNE behaves as BEQ) are cheap hunts.
+  for (const char* paper_id : {"E5", "E6"}) {
+    const Mutant m = fault::errorById(paper_id).mutant();
+    const MutantResult r = judgeMutant(m, opts, nullptr, {});
+    EXPECT_EQ(r.verdict, Verdict::Killed) << paper_id;
+    EXPECT_EQ(r.kill_instr_limit, 1u) << paper_id;
+    EXPECT_TRUE(r.has_kill_test) << paper_id;
+    EXPECT_FALSE(r.kill_message.empty()) << paper_id;
+  }
+}
+
+TEST(Judge, MinInstrLimitPinsTheHunt) {
+  CampaignOptions opts;
+  opts.min_instr_limit = opts.max_instr_limit = 2;
+  const Mutant m = mutantById("swap:bne:beq");
+  const MutantResult r = judgeMutant(m, opts, nullptr, {});
+  EXPECT_EQ(r.verdict, Verdict::Killed);
+  EXPECT_EQ(r.kill_instr_limit, 2u);  // limit-1 hunt skipped
+}
+
+/// The golden subset: one equivalent decoder bit, one behaviour-changing
+/// decoder bit, a branch swap and a stuck ALU bit — every verdict source
+/// except survival (no mutant in the space survives these budgets
+/// cheaply enough to pin in a unit test).
+std::vector<Mutant> goldenSubset() {
+  return {mutantById("dec:srai:b13"), mutantById("dec:srai:b12"),
+          mutantById("swap:bne:beq"), mutantById("stuck:addi:b0=0")};
+}
+
+TEST(Campaign, GoldenSubsetVerdicts) {
+  CampaignOptions opts;
+  CampaignRunner runner(opts);
+  const CampaignReport report = runner.run(goldenSubset());
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_EQ(report.results[0].verdict, Verdict::Equivalent);
+  EXPECT_EQ(report.results[1].verdict, Verdict::Killed);
+  EXPECT_EQ(report.results[2].verdict, Verdict::Killed);
+  EXPECT_EQ(report.results[3].verdict, Verdict::Killed);
+  EXPECT_EQ(report.killed, 3u);
+  EXPECT_EQ(report.survived, 0u);
+  EXPECT_EQ(report.equivalent, 1u);
+  EXPECT_DOUBLE_EQ(report.mutationScore(), 1.0);
+  // Killed mutants carry a replayable test vector and the minimum limit.
+  EXPECT_TRUE(report.results[2].has_kill_test);
+  EXPECT_EQ(report.results[2].kill_instr_limit, 1u);
+}
+
+// --- Journal determinism and resume -------------------------------------------------------
+
+TEST(Campaign, JournalIsCanonicallyIdenticalAcrossJobs) {
+  const std::string dir = ::testing::TempDir();
+  const std::string j1 = dir + "/mut_jobs1.jsonl";
+  const std::string j4 = dir + "/mut_jobs4.jsonl";
+
+  CampaignOptions opts;
+  opts.journal_path = j1;
+  CampaignRunner(opts).run(goldenSubset());
+  opts.journal_path = j4;
+  opts.jobs = 4;
+  CampaignRunner(opts).run(goldenSubset());
+
+  const std::string c1 = obs::analyze::canonicalizeMutationJournal(slurp(j1));
+  const std::string c4 = obs::analyze::canonicalizeMutationJournal(slurp(j4));
+  EXPECT_FALSE(c1.empty());
+  EXPECT_EQ(c1, c4);
+
+  // And the structured differ agrees.
+  const auto a = obs::analyze::loadMutationJournal(j1);
+  const auto b = obs::analyze::loadMutationJournal(j4);
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(obs::analyze::diffMutationJournals(*a, *b).empty());
+}
+
+TEST(Campaign, ResumeSkipsJudgedMutantsAndCompletedIsNoOp) {
+  const std::string path = ::testing::TempDir() + "/mut_resume.jsonl";
+
+  // Full campaign, then resume: everything skipped, journal unchanged.
+  CampaignOptions opts;
+  opts.journal_path = path;
+  CampaignRunner(opts).run(goldenSubset());
+  const std::string before = slurp(path);
+
+  opts.resume = true;
+  const CampaignReport resumed = CampaignRunner(opts).run(goldenSubset());
+  EXPECT_EQ(resumed.skipped, 4u);
+  EXPECT_TRUE(resumed.results.empty());
+  EXPECT_EQ(slurp(path), before);
+
+  // Truncate to header + first verdict: resume judges only the rest.
+  std::istringstream in(before);
+  std::string header, first, line;
+  std::getline(in, header);
+  std::getline(in, first);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << header << '\n' << first << '\n';
+  }
+  const CampaignReport partial = CampaignRunner(opts).run(goldenSubset());
+  EXPECT_EQ(partial.skipped, 1u);
+  EXPECT_EQ(partial.results.size(), 3u);
+  EXPECT_EQ(obs::analyze::canonicalizeMutationJournal(slurp(path)),
+            obs::analyze::canonicalizeMutationJournal(before));
+}
+
+// --- Journal format -----------------------------------------------------------------------
+
+TEST(Journal, KillTestRoundTripsThroughParseSerializedTest) {
+  CampaignOptions opts;
+  const MutantResult r = judgeMutant(mutantById("swap:bne:beq"), opts,
+                                     nullptr, {});
+  ASSERT_EQ(r.verdict, Verdict::Killed);
+  ASSERT_TRUE(r.has_kill_test);
+  const std::string s = serializeTest(r.kill_test);
+  const auto parsed = obs::analyze::parseSerializedTest(s);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->values.size(), r.kill_test.values.size());
+  for (std::size_t i = 0; i < parsed->values.size(); ++i) {
+    EXPECT_EQ(parsed->values[i].name, r.kill_test.values[i].name);
+    EXPECT_EQ(parsed->values[i].value, r.kill_test.values[i].value);
+    EXPECT_EQ(parsed->values[i].width, r.kill_test.values[i].width);
+  }
+}
+
+TEST(Journal, LoaderReadsWhatTheCampaignWrites) {
+  const std::string path = ::testing::TempDir() + "/mut_load.jsonl";
+  CampaignOptions opts;
+  opts.journal_path = path;
+  CampaignRunner(opts).run(goldenSubset());
+
+  std::string err;
+  const auto journal = obs::analyze::loadMutationJournal(path, &err);
+  ASSERT_TRUE(journal.has_value()) << err;
+  EXPECT_EQ(journal->scenario, "rv32i");
+  EXPECT_EQ(journal->declared_mutants, 4u);
+  ASSERT_EQ(journal->entries.size(), 4u);
+  EXPECT_EQ(journal->entries[0].verdict, "equivalent");
+  EXPECT_EQ(journal->entries[2].mutant, "swap:bne:beq");
+  EXPECT_EQ(journal->entries[2].verdict, "killed");
+  const auto s = obs::analyze::summarizeMutationJournal(*journal);
+  EXPECT_EQ(s.killed, 3u);
+  EXPECT_EQ(s.equivalent, 1u);
+  EXPECT_DOUBLE_EQ(s.mutationScore(), 1.0);
+  // The HTML report renders without survivors.
+  const std::string html = obs::analyze::renderMutationHtml(*journal);
+  EXPECT_NE(html.find("mutation score 100.0%"), std::string::npos);
+  EXPECT_NE(html.find("every non-equivalent mutant was killed"),
+            std::string::npos);
+}
+
+// --- Killed-mutant replay through the repro-bundle machinery ------------------------------
+
+TEST(Replay, KilledMutantTestVectorReproduces) {
+  CampaignOptions opts;
+  const Mutant m = mutantById("swap:bne:beq");
+  const MutantResult r = judgeMutant(m, opts, nullptr, {});
+  ASSERT_EQ(r.verdict, Verdict::Killed);
+  ASSERT_TRUE(r.has_kill_test);
+
+  obs::BundleDescriptor desc;
+  desc.fault_id = m.id();  // bundle replay resolves mutation-space ids
+  desc.scenario = opts.scenario;
+  desc.instr_limit = r.kill_instr_limit;
+  desc.num_symbolic_regs = opts.num_symbolic_regs;
+  desc.message = r.kill_message;
+
+  const std::string dir = ::testing::TempDir() + "/mut_bundle";
+  ASSERT_TRUE(obs::writeMismatchBundle(dir, desc, r.kill_test));
+  const auto replay = obs::replayBundle(dir);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->reproduced) << replay->message;
+  EXPECT_TRUE(replay->verdict_matches)
+      << replay->recorded_field << " vs " << replay->field;
+}
+
+}  // namespace
+}  // namespace rvsym::mut

@@ -276,7 +276,7 @@ TEST_F(RtlBench, E0ReservedEncodingDecodesAsSlli) {
 
 TEST_F(RtlBench, E3AddiLowBitStuckAtZero) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.addi_result_bit0_stuck0 = true;
+  cfg.faults.stuck_bits.push_back({Opcode::Addi, 0, false});
   makeCore(cfg);
   setReg(1, 2);
   stepOne(enc::addi(3, 1, 1));  // 3 -> faulty 2
@@ -285,7 +285,7 @@ TEST_F(RtlBench, E3AddiLowBitStuckAtZero) {
 
 TEST_F(RtlBench, E4SubHighBitStuckAtZero) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.sub_result_bit31_stuck0 = true;
+  cfg.faults.stuck_bits.push_back({Opcode::Sub, 31, false});
   makeCore(cfg);
   setReg(1, 0);
   setReg(2, 1);
@@ -295,7 +295,7 @@ TEST_F(RtlBench, E4SubHighBitStuckAtZero) {
 
 TEST_F(RtlBench, E5JalDoesNotChangePc) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.jal_no_pc_update = true;
+  cfg.faults.setFlag(ExecFaults::kJalNoPcUpdate);
   makeCore(cfg);
   const iss::RetireInfo r = stepOne(enc::jal(1, 64));
   EXPECT_EQ(r.next_pc->constantValue(), kResetPc + 4);  // not +64
@@ -304,7 +304,7 @@ TEST_F(RtlBench, E5JalDoesNotChangePc) {
 
 TEST_F(RtlBench, E6BneBehavesAsBeq) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.bne_behaves_as_beq = true;
+  cfg.faults.branch_swaps.push_back({Opcode::Bne, Opcode::Beq});
   makeCore(cfg);
   setReg(1, 5);
   setReg(2, 5);
@@ -314,7 +314,7 @@ TEST_F(RtlBench, E6BneBehavesAsBeq) {
 
 TEST_F(RtlBench, E7LbuEndiannessFlip) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.lbu_endianness_flip = true;
+  cfg.faults.mem_faults.push_back({Opcode::Lbu, MemFaultKind::EndianFlip});
   makeCore(cfg);
   setMemByte(0x100, 0x11);
   setMemByte(0x103, 0x44);
@@ -325,7 +325,7 @@ TEST_F(RtlBench, E7LbuEndiannessFlip) {
 
 TEST_F(RtlBench, E8LbMissingSignExtension) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.lb_no_sign_extend = true;
+  cfg.faults.mem_faults.push_back({Opcode::Lb, MemFaultKind::SignFlip});
   makeCore(cfg);
   setMemByte(0x100, 0x80);
   setReg(1, 0x100);
@@ -335,7 +335,7 @@ TEST_F(RtlBench, E8LbMissingSignExtension) {
 
 TEST_F(RtlBench, E9LwLoadsOnlyLowerHalf) {
   RtlConfig cfg = fixedRtlConfig();
-  cfg.faults.lw_low_half_only = true;
+  cfg.faults.mem_faults.push_back({Opcode::Lw, MemFaultKind::LowHalf});
   makeCore(cfg);
   for (unsigned i = 0; i < 4; ++i)
     setMemByte(0x100 + i, static_cast<std::uint8_t>(0x11 * (i + 1)));

@@ -38,7 +38,8 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
       "  --mode MODE        symbolic | fuzz | hybrid      (default symbolic)\n"
-      "  --fault ID         inject E0..E9 / X0..X1 into a fixed DUT\n"
+      "  --fault ID         inject E0..E9 / X0..X1 or a mutation-space id\n"
+      "                     (e.g. dec:slli:b25, see rvsym-mutate list)\n"
       "  --scenario S       all | rv32i | system | opcode=0xNN | csr=0xNNN\n"
       "  --limit N          instruction limit              (default 1)\n"
       "  --regs N           symbolic registers             (default 2)\n"
@@ -146,10 +147,16 @@ int main(int argc, char** argv) {
     cfg.rtl = rtl::fixedRtlConfig();
     cfg.iss.csr = iss::CsrConfig::specCorrect();
     try {
+      // Paper ids resolve through the registry, anything else as a
+      // mutation-space id — the same vocabulary bundle replay accepts.
       fault::errorById(fault_id).apply(cfg);
-    } catch (const std::out_of_range& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 2;
+    } catch (const std::out_of_range&) {
+      try {
+        mut::mutantById(fault_id).apply(cfg);
+      } catch (const std::out_of_range& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     }
     stop_on_error = true;
   }
