@@ -9,10 +9,13 @@
 //           --> co-simulation binding --> symbolic execution engine --> test vectors
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/cosim.hpp"
 #include "core/session.hpp"
 #include "expr/builder.hpp"
+#include "harness/reporter.hpp"
 #include "rv32/encode.hpp"
 
 namespace {
@@ -26,7 +29,12 @@ double secondsSince(Clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig1_flow");
+  std::string out_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
   std::printf("FIG. 1 — TOOL-FLOW STAGES (substitute flow, per-stage cost)\n\n");
 
   // Stage 1: processor configuration description.
@@ -114,5 +122,18 @@ int main() {
   std::printf("%-44s %10llu\n", "emitted test vectors",
               static_cast<unsigned long long>(report.test_vectors));
 
-  return report.error_paths > 0 ? 0 : 1;  // the buggy core must yield findings
+  const bool ok = report.error_paths > 0;  // the buggy core must yield findings
+  if (!out_path.empty()) {
+    reporter.metric("config_s", t_config)
+        .metric("rtl_elaboration_s", t_rtl)
+        .metric("iss_elaboration_s", t_iss)
+        .metric("cosim_binding_s", t_bind)
+        .metric("symex_s", t_symex)
+        .counter("paths", report.totalPaths())
+        .counter("error_paths", report.error_paths)
+        .counter("test_vectors", report.test_vectors)
+        .ok(ok);
+    reporter.writeFile(out_path);
+  }
+  return ok ? 0 : 1;
 }

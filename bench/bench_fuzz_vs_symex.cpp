@@ -22,6 +22,7 @@
 #include "expr/builder.hpp"
 #include "fault/faults.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "harness/reporter.hpp"
 #include "obs/json.hpp"
 #include "symex/parallel.hpp"
 
@@ -44,6 +45,7 @@ core::CosimConfig configFor(const fault::InjectedError& error) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Reporter reporter("fuzz_vs_symex");
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
@@ -64,9 +66,8 @@ int main(int argc, char** argv) {
   for (const auto& e : fault::allErrors()) errors.push_back(&e);
   for (const auto& e : fault::extensionErrors()) errors.push_back(&e);
 
-  obs::JsonWriter w;  // --out: one row per error, shared serializer
+  obs::JsonWriter w;  // --out payload: one row per error
   w.beginObject();
-  w.field("jobs", g_jobs);
   w.key("rows").beginArray();
 
   for (const fault::InjectedError* error : errors) {
@@ -127,14 +128,13 @@ int main(int argc, char** argv) {
       "engine finds every fault, corner cases included.\n");
 
   if (!out_path.empty()) {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-    } else {
-      std::fprintf(f, "%s\n", w.str().c_str());
-      std::fclose(f);
-      std::printf("wrote %d rows to %s\n", total, out_path.c_str());
-    }
+    reporter.param("jobs", g_jobs)
+        .counter("errors", static_cast<std::uint64_t>(total))
+        .counter("fuzz_found", static_cast<std::uint64_t>(fuzz_found))
+        .counter("symex_found", static_cast<std::uint64_t>(symex_found))
+        .ok(symex_found == total)
+        .payload(w.str());
+    reporter.writeFile(out_path);
   }
   return symex_found == total ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 
 #include "core/cosim.hpp"
 #include "fault/faults.hpp"
+#include "harness/reporter.hpp"
 #include "obs/json.hpp"
 #include "symex/parallel.hpp"
 
@@ -63,9 +64,10 @@ Sample runWorkload(const std::string& name, const core::CosimConfig& cfg,
   return s;
 }
 
-void writeJson(const std::string& path, const std::vector<Sample>& samples) {
+std::string samplesJson(const std::vector<Sample>& samples) {
   obs::JsonWriter w;
-  w.beginArray();
+  w.beginObject();
+  w.key("samples").beginArray();
   for (const Sample& s : samples) {
     w.beginObject();
     w.field("workload", s.workload);
@@ -77,19 +79,14 @@ void writeJson(const std::string& path, const std::vector<Sample>& samples) {
     w.endObject();
   }
   w.endArray();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "%s\n", w.str().c_str());
-  std::fclose(f);
-  std::printf("\nwrote %zu samples to %s\n", samples.size(), path.c_str());
+  w.endObject();
+  return w.str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Reporter reporter("scaling");
   std::vector<unsigned> jobs_list{1, 2, 4, 8};
   std::string out_path = "bench_scaling.json";
   for (int i = 1; i < argc; ++i) {
@@ -184,6 +181,16 @@ int main(int argc, char** argv) {
   std::printf("\npath counts identical across all worker counts: %s\n",
               deterministic ? "yes" : "NO");
   if (!deterministic) rc = 1;
-  writeJson(out_path, samples);
+  {
+    std::string jl;
+    for (unsigned j : jobs_list)
+      jl += (jl.empty() ? "" : ",") + std::to_string(j);
+    reporter.param("jobs_list", jl)
+        .counter("samples", static_cast<std::uint64_t>(samples.size()))
+        .param("deterministic", deterministic)
+        .ok(rc == 0)
+        .payload(samplesJson(samples));
+    reporter.writeFile(out_path);
+  }
   return rc;
 }

@@ -25,6 +25,7 @@
 
 #include "core/session.hpp"
 #include "expr/builder.hpp"
+#include "harness/reporter.hpp"
 #include "obs/json.hpp"
 #include "rv32/csr.hpp"
 
@@ -63,6 +64,7 @@ std::vector<Finding> runPass(const char* label, CosimConfig cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Reporter reporter("table1");
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
@@ -191,14 +193,10 @@ int main(int argc, char** argv) {
   std::printf("additional findings beyond the paper's rows: %d\n", extras);
 
   if (!out_path.empty()) {
-    // Machine-readable dump of the merged findings (shared serializer —
+    // Machine-readable dump of the merged findings (shared schema —
     // subjects/descriptions can contain arbitrary text and stay valid).
     obs::JsonWriter w;
     w.beginObject();
-    w.field("jobs", g_jobs);
-    w.field("paper_rows_reproduced", static_cast<std::uint64_t>(reproduced));
-    w.field("paper_rows_expected",
-            static_cast<std::uint64_t>(expected.size()));
     w.key("findings").beginArray();
     for (const Finding& f : all) {
       w.beginObject();
@@ -219,14 +217,14 @@ int main(int argc, char** argv) {
     }
     w.endArray();
     w.endObject();
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-    } else {
-      std::fprintf(f, "%s\n", w.str().c_str());
-      std::fclose(f);
-      std::printf("wrote %zu findings to %s\n", all.size(), out_path.c_str());
-    }
+    reporter.param("jobs", g_jobs)
+        .counter("paper_rows_reproduced", static_cast<std::uint64_t>(reproduced))
+        .counter("paper_rows_expected",
+                 static_cast<std::uint64_t>(expected.size()))
+        .counter("findings", static_cast<std::uint64_t>(all.size()))
+        .ok(missing.empty())
+        .payload(w.str());
+    reporter.writeFile(out_path);
   }
 
   return missing.empty() ? 0 : 1;

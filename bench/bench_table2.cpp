@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/reporter.hpp"
 #include "mut/campaign.hpp"
 #include "mut/journal.hpp"
 #include "obs/json.hpp"
@@ -46,6 +47,7 @@ double medianD(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Reporter reporter("table2");
   std::string out_path;
   unsigned jobs = 1;
   mut::CampaignOptions opts;
@@ -177,7 +179,6 @@ int main(int argc, char** argv) {
     // schema rvsym-mutate writes, nested under the paper error id).
     obs::JsonWriter w;
     w.beginObject();
-    w.field("jobs", jobs);
     w.key("hunts").beginArray();
     for (const ErrorRuns& er : runs) {
       for (const auto* r : {&er.r1, &er.r2}) {
@@ -191,15 +192,20 @@ int main(int argc, char** argv) {
     }
     w.endArray();
     w.endObject();
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-    } else {
-      std::fprintf(f, "%s\n", w.str().c_str());
-      std::fclose(f);
-      std::printf("wrote %zu hunt reports to %s\n", runs.size() * 2,
-                  out_path.c_str());
-    }
+    reporter.param("jobs", jobs)
+        .counter("found_limit1", static_cast<std::uint64_t>(t1.found))
+        .counter("found_limit2", static_cast<std::uint64_t>(t2.found))
+        .counter("instructions_limit1", t1.instr)
+        .counter("instructions_limit2", t2.instr)
+        .counter("paths_limit1", t1.paths)
+        .counter("paths_limit2", t2.paths)
+        .counter("qcache_hits", t1.cache_hits + t2.cache_hits)
+        .counter("qcache_misses", t1.cache_misses + t2.cache_misses)
+        .metric("seconds_limit1", t1.time)
+        .metric("seconds_limit2", t2.time)
+        .ok(t1.found == 10 && t2.found == 10)
+        .payload(w.str());
+    reporter.writeFile(out_path);
   }
   // Parity assertion: every paper error must be killed at both limits.
   return (t1.found == 10 && t2.found == 10) ? 0 : 1;

@@ -1,0 +1,100 @@
+#include "harness/reporter.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace rvsym::bench {
+
+Reporter::Reporter(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+Reporter& Reporter::param(const std::string& key, const std::string& value) {
+  params_.push_back({key, ParamKind::String, value, 0, false});
+  return *this;
+}
+
+Reporter& Reporter::param(const std::string& key, const char* value) {
+  return param(key, std::string(value));
+}
+
+Reporter& Reporter::param(const std::string& key, std::uint64_t value) {
+  params_.push_back({key, ParamKind::U64, {}, value, false});
+  return *this;
+}
+
+Reporter& Reporter::param(const std::string& key, bool value) {
+  params_.push_back({key, ParamKind::Bool, {}, 0, value});
+  return *this;
+}
+
+Reporter& Reporter::counter(const std::string& key, std::uint64_t value) {
+  counters_.emplace_back(key, value);
+  return *this;
+}
+
+Reporter& Reporter::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+  return *this;
+}
+
+Reporter& Reporter::payload(std::string json) {
+  payload_ = std::move(json);
+  has_payload_ = true;
+  return *this;
+}
+
+Reporter& Reporter::ok(bool value) {
+  ok_ = value;
+  return *this;
+}
+
+std::string Reporter::toJson() const {
+  const auto elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("schema", "rvsym-bench-v1");
+  w.field("name", name_);
+  w.field("ok", ok_);
+  // One in-process measurement: the harness overrides these with a real
+  // multi-repeat aggregate at the run-document level.
+  w.field("repeats", std::uint64_t{1});
+  w.field("median_us", elapsed);
+  w.field("min_us", elapsed);
+  w.field("max_us", elapsed);
+  w.key("params").beginObject();
+  for (const Param& p : params_) {
+    switch (p.kind) {
+      case ParamKind::String: w.field(p.key, p.str); break;
+      case ParamKind::U64: w.field(p.key, p.u64); break;
+      case ParamKind::Bool: w.field(p.key, p.b); break;
+    }
+  }
+  w.endObject();
+  w.key("counters").beginObject();
+  for (const auto& [k, v] : counters_) w.field(k, v);
+  w.endObject();
+  w.key("metrics").beginObject();
+  for (const auto& [k, v] : metrics_) w.field(k, v);
+  w.endObject();
+  if (has_payload_) w.key("payload").rawValue(payload_);
+  w.endObject();
+  return w.str();
+}
+
+bool Reporter::writeFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", toJson().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace rvsym::bench

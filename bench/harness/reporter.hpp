@@ -1,0 +1,95 @@
+// bench::Reporter — the one JSON emitter every bench main shares.
+//
+// Before this existed each bench_*.cpp hand-rolled its own --out format
+// (different top-level shapes, duplicated fopen/fprintf boilerplate, no
+// common fields), which made cross-bench tooling impossible. The
+// Reporter fixes the schema:
+//
+//   {"schema": "rvsym-bench-v1",
+//    "name": "<bench name>",
+//    "ok": <did every claim the bench checks hold>,
+//    "repeats": 1,
+//    "median_us": E, "min_us": E, "max_us": E,   // E = wall-clock since
+//                                                //     Reporter creation
+//    "params":   {...},    // the configuration the bench ran with
+//    "counters": {...},    // integer results (paths, instructions, ...)
+//    "metrics":  {...},    // floating-point results (seconds, rates)
+//    "payload":  ...}      // optional bench-specific document, verbatim
+//
+// A bench process times itself exactly once, so its own emission always
+// has repeats = 1 and median == min == max. rvsym-bench re-runs the
+// binary N times and aggregates the subprocess wall clocks into a
+// proper median/min/max at the run-document level — the per-bench
+// fields exist so a single `bench_table1 --out x.json` invocation is
+// already a complete, comparable document.
+//
+// Rendering goes through obs::JsonWriter (the repo-wide serializer), so
+// escaping and comma placement can never be wrong here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rvsym::bench {
+
+class Reporter {
+ public:
+  /// Starts the wall clock. `name` is the canonical bench name
+  /// ("table1", "scaling", ...), not the binary name.
+  explicit Reporter(std::string name);
+
+  // Configuration the bench ran with (insertion order preserved).
+  Reporter& param(const std::string& key, const std::string& value);
+  Reporter& param(const std::string& key, const char* value);
+  Reporter& param(const std::string& key, std::uint64_t value);
+  Reporter& param(const std::string& key, unsigned value) {
+    return param(key, static_cast<std::uint64_t>(value));
+  }
+  Reporter& param(const std::string& key, bool value);
+
+  /// Integer result (paths explored, instructions, cache hits, ...).
+  Reporter& counter(const std::string& key, std::uint64_t value);
+  /// Floating-point result (seconds, rates, percentages).
+  Reporter& metric(const std::string& key, double value);
+
+  /// Bench-specific document spliced verbatim under "payload" (must be
+  /// valid JSON — render it with obs::JsonWriter).
+  Reporter& payload(std::string json);
+
+  /// Records whether the bench's claim checks held. Defaults to true;
+  /// benches set this from the same predicate that drives their exit
+  /// code so the JSON is self-contained.
+  Reporter& ok(bool value);
+
+  /// The rvsym-bench-v1 document. Reads the wall clock, so call it once
+  /// when the bench is done.
+  std::string toJson() const;
+
+  /// toJson() + newline to `path`. Prints a confirmation line on
+  /// success, a diagnostic to stderr on failure.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  enum class ParamKind { String, U64, Bool };
+  struct Param {
+    std::string key;
+    ParamKind kind;
+    std::string str;
+    std::uint64_t u64 = 0;
+    bool b = false;
+  };
+
+  std::string name_;
+  bool ok_ = true;
+  std::vector<Param> params_;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::string payload_;
+  bool has_payload_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rvsym::bench

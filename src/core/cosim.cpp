@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/phase.hpp"
+
 #include "rv32/fields.hpp"
 
 namespace rvsym::core {
@@ -124,15 +126,18 @@ void CoSimulation::runPath(ExecState& st) {
       iss.csrs().setInterruptLine(static_cast<unsigned>(config_.irq_line),
                                   true);
     }
-    if (time_steps) {
-      const auto t0 = ObsClock::now();
-      core.tick(st);
-      rtl_accum_us += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              ObsClock::now() - t0)
-              .count());
-    } else {
-      core.tick(st);
+    {
+      const obs::PhaseTimer rtl_phase(st.profiler(), "rtl");
+      if (time_steps) {
+        const auto t0 = ObsClock::now();
+        core.tick(st);
+        rtl_accum_us += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                ObsClock::now() - t0)
+                .count());
+      } else {
+        core.tick(st);
+      }
     }
 
     // --- IBus protocol: answer a fetch, hold ready for one cycle. ---------
@@ -178,7 +183,10 @@ void CoSimulation::runPath(ExecState& st) {
       }
       const auto iss_t0 =
           time_steps ? ObsClock::now() : ObsClock::time_point{};
-      const iss::RetireInfo iss_result = iss.step(st);
+      const iss::RetireInfo iss_result = [&] {
+        const obs::PhaseTimer iss_phase(st.profiler(), "iss");
+        return iss.step(st);
+      }();
       if (time_steps) {
         const auto iss_us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -198,8 +206,12 @@ void CoSimulation::runPath(ExecState& st) {
         if (auto v = iss_monitor.check(st, iss_result))
           st.fail("rvfi monitor (iss): " + *v);
       }
-      if (std::optional<Mismatch> m =
-              voter.compare(st, core.rvfi.info, iss_result)) {
+      std::optional<Mismatch> mismatch;
+      {
+        const obs::PhaseTimer voter_phase(st.profiler(), "voter");
+        mismatch = voter.compare(st, core.rvfi.info, iss_result);
+      }
+      if (std::optional<Mismatch>& m = mismatch; m) {
         std::uint32_t pc = 0;
         if (core.rvfi.info.pc && core.rvfi.info.pc->isConstant())
           pc = static_cast<std::uint32_t>(core.rvfi.info.pc->constantValue());

@@ -92,6 +92,9 @@ std::optional<PathTree> PathTree::fromTraceLines(
       n.test = v->getString("test").value_or("");
       if (std::optional<std::string> tags = v->getString("tags"))
         splitCsv(*tags, n.tags);
+      n.qc_hits = v->getU64("qc_hits").value_or(0);
+      n.qc_misses = v->getU64("qc_misses").value_or(0);
+      n.qc_worker = v->getU64("qc_worker").value_or(0);
       // Every numeric t_<key>_us member is a time accumulator.
       for (const auto& [key, val] : v->members()) {
         if (key.size() > 5 && key.rfind("t_", 0) == 0 &&
@@ -214,6 +217,18 @@ std::map<std::string, std::uint64_t> PathTree::timeByTag(
   return by_tag;
 }
 
+std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+PathTree::qcacheByWorker() const {
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> by_worker;
+  for (const auto& [id, n] : nodes_) {
+    if (!n.ended || (n.qc_hits == 0 && n.qc_misses == 0)) continue;
+    auto& [hits, misses] = by_worker[n.qc_worker];
+    hits += n.qc_hits;
+    misses += n.qc_misses;
+  }
+  return by_worker;
+}
+
 std::string PathTree::renderReport(std::size_t top_k) const {
   std::ostringstream os;
   const TreeCounts c = counts();
@@ -246,6 +261,23 @@ std::string PathTree::renderReport(std::size_t top_k) const {
     for (const auto& [id, s] : subs)
       os << "  subtree @" << id << ": " << s.solverUs() << " us across "
          << s.paths << " paths (" << s.solver_checks << " checks)\n";
+  }
+
+  const auto by_worker = qcacheByWorker();
+  if (!by_worker.empty()) {
+    os << "query cache by worker (committed paths):\n";
+    std::uint64_t th = 0, tm = 0;
+    for (const auto& [worker, hm] : by_worker) {
+      const std::uint64_t lookups = hm.first + hm.second;
+      os << "  worker " << worker << ": " << hm.first << " hits / "
+         << hm.second << " misses";
+      if (lookups)
+        os << " (" << (100 * hm.first / lookups) << "% hit)";
+      os << "\n";
+      th += hm.first;
+      tm += hm.second;
+    }
+    os << "  total: " << th << " hits / " << tm << " misses\n";
   }
 
   const auto by_class = timeByTag("class:", "solver");

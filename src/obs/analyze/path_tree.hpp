@@ -15,6 +15,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rvsym::obs::analyze {
@@ -46,6 +47,12 @@ struct PathNode {
   /// Per-path wall-time attribution in µs, keyed by the t_<key>_us field
   /// name stem ("solver", "rtl", "iss", ...). Timing-dependent.
   std::map<std::string, std::uint64_t> times_us;
+  /// Query-cache traffic issued while executing this path, attributed to
+  /// the worker that ran it (qc_worker). Timing-dependent under a shared
+  /// campaign cache: what counts as a hit depends on solve order.
+  std::uint64_t qc_hits = 0;
+  std::uint64_t qc_misses = 0;
+  std::uint64_t qc_worker = 0;
 
   std::uint64_t solverUs() const { return timeUs("solver"); }
   std::uint64_t timeUs(const std::string& key) const {
@@ -133,6 +140,13 @@ class PathTree {
   /// solver time did paths involving class X cost", not a partition.
   std::map<std::string, std::uint64_t> timeByTag(
       const std::string& prefix, const std::string& key) const;
+
+  /// Query-cache traffic summed per executing worker ({hits, misses}
+  /// pairs keyed by qc_worker). Only committed paths contribute — the
+  /// per-worker sums therefore add up to the run_end qc_hits/qc_misses
+  /// totals, which count committed outcomes (parallel.cpp).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+  qcacheByWorker() const;
 
   /// Multi-line human-readable report: counts, top paths, top subtrees
   /// and per-class attribution.

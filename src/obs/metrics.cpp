@@ -51,6 +51,14 @@ std::string MetricsRegistry::toJson() const {
     w.key(name).beginObject();
     w.field("count", h->count());
     w.field("sum_us", h->sumMicros());
+    // Derived latency summaries (bucket-resolution, see
+    // Histogram::quantileLowerBound). Elided when empty so old readers
+    // see no spurious zeros.
+    if (h->count() != 0) {
+      w.field("p50_ge_us", h->quantileLowerBound(0.50));
+      w.field("p90_ge_us", h->quantileLowerBound(0.90));
+      w.field("p99_ge_us", h->quantileLowerBound(0.99));
+    }
     w.key("buckets").beginArray();
     for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket(i);

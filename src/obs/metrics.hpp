@@ -89,6 +89,26 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Approximate quantile from the power-of-2 buckets: the inclusive
+  /// lower bound of the bucket holding the q-th sample (q in [0,1]).
+  /// Resolution is the bucket width — good enough to tell a 100µs p99
+  /// from a 10ms one, which is what the summaries are for. Returns 0
+  /// for an empty histogram.
+  std::uint64_t quantileLowerBound(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    // Rank of the q-th sample, clamped to [1, total].
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      seen += bucket(i);
+      if (seen >= rank) return bucketLowerBound(i);
+    }
+    return bucketLowerBound(kBuckets - 1);
+  }
+
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
   std::atomic<std::uint64_t> count_{0};

@@ -1,0 +1,83 @@
+// PhaseProfiler — scoped wall-time attribution across engine phases.
+//
+// Worker threads push named phases with RAII PhaseTimer guards
+// ("path" → "rtl" → "solver", ...); the profiler aggregates *self* time
+// per distinct phase stack and renders the result in flamegraph folded
+// format — one "path;rtl;solver <self_us>" line per stack, directly
+// consumable by flamegraph.pl / speedscope.
+//
+// Determinism: which stacks exist is a structural property of the
+// workload, but the value column is wall time — timing-dependent like
+// the trace's t_* fields. canonicalizeFolded() zeroes the values so
+// profiles from --jobs 1 and --jobs N compare byte-identically, the
+// same convention rvsym-report diff applies to t_*/qc_* trace fields.
+//
+// Thread safety: enter()/exit() touch only thread-local stack state
+// plus one mutex-guarded map update per exit; a null profiler pointer
+// in PhaseTimer is a no-op costing one branch and no clock read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvsym::obs {
+
+class PhaseProfiler {
+ public:
+  /// Pushes phase `name` onto the calling thread's phase stack. `name`
+  /// must outlive the profiler (string literals in practice).
+  void enter(const char* name);
+
+  /// Pops the current phase, attributing its self time (elapsed minus
+  /// time spent in nested phases) to the full stack.
+  void exit();
+
+  /// Folded-stack rendering: one "a;b;c <self_us>" line per distinct
+  /// stack, sorted lexicographically by stack name.
+  std::string folded() const;
+
+  /// Replaces the value column of a folded() document with 0, leaving
+  /// only the structural stack set — byte-comparable across worker
+  /// counts and runs.
+  static std::string canonicalizeFolded(std::string_view text);
+
+  std::uint64_t distinctStacks() const;
+
+ private:
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t self_us = 0;
+  };
+  struct Frame {
+    const char* name;
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t child_us = 0;
+  };
+  std::vector<Frame>& threadStack();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Agg> stacks_;
+};
+
+/// RAII phase guard. Null profiler = no-op.
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseProfiler* p, const char* name) : p_(p) {
+    if (p_) p_->enter(name);
+  }
+  ~PhaseTimer() {
+    if (p_) p_->exit();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  PhaseProfiler* p_;
+};
+
+}  // namespace rvsym::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
 
 namespace rvsym::solver {
 
@@ -471,6 +473,37 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit>& assumptions,
   cancelUntil(0);
   if (r == Result::Unsat && assumptions.empty()) ok_ = false;
   return r;
+}
+
+std::size_t SatSolver::numProblemClauses() const {
+  std::size_t n = 0;
+  for (const Clause& c : clauses_)
+    if (!c.learnt && !c.deleted) ++n;
+  return n;
+}
+
+std::string SatSolver::exportDimacs(const std::vector<Lit>& assumptions) const {
+  const auto dimacsLit = [](Lit l) {
+    return sign(l) ? -(var(l) + 1) : var(l) + 1;
+  };
+  std::string out;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "p cnf %d %zu\n", numVars(),
+                numProblemClauses() + assumptions.size());
+  out += buf;
+  for (const Clause& c : clauses_) {
+    if (c.learnt || c.deleted) continue;
+    for (const Lit l : c.lits) {
+      std::snprintf(buf, sizeof buf, "%d ", dimacsLit(l));
+      out += buf;
+    }
+    out += "0\n";
+  }
+  for (const Lit l : assumptions) {
+    std::snprintf(buf, sizeof buf, "%d 0\n", dimacsLit(l));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace rvsym::solver

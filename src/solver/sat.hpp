@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace rvsym::solver {
@@ -81,6 +82,15 @@ class SatSolver {
 
   bool okay() const { return ok_; }
   const Stats& stats() const { return stats_; }
+
+  /// Number of live problem (non-learnt) clauses.
+  std::size_t numProblemClauses() const;
+
+  /// Renders the problem clauses (plus `assumptions` as unit clauses) in
+  /// DIMACS CNF format — the exchange format the slow-query corpus pairs
+  /// with each serialized expression query. Learnt clauses are implied
+  /// and deliberately omitted so the export is solver-state independent.
+  std::string exportDimacs(const std::vector<Lit>& assumptions = {}) const;
 
  private:
   struct Clause {

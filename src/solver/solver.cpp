@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "solver/corpus.hpp"
+#include "solver/telemetry.hpp"
+
 namespace rvsym::solver {
 
 namespace {
@@ -42,9 +45,9 @@ PathSolver::PathSolver(expr::ExprBuilder& eb)
 
 bool PathSolver::addConstraint(const expr::ExprRef& cond) {
   constraints_.push_back(cond);
-  if (cache_)
+  if (hashingConstraints())
     constraint_set_hash_ =
-        canonSetAdd(constraint_set_hash_, hasher_->hash(cond));
+        canonSetAdd(constraint_set_hash_, activeHasher()->hash(cond));
   if (cond->isConstant()) return cond->constantValue() != 0;
   return blaster_.assertTrue(cond);
 }
@@ -58,8 +61,11 @@ CheckResult PathSolver::check(const expr::ExprRef& assumption,
       ++stats_.unsat;
       return CheckResult::Unsat;
     }
+    // Delegates before opening the "solver" phase so the profiler never
+    // sees a nested solver;solver stack.
     return checkPath(max_conflicts);
   }
+  const obs::PhaseTimer phase(profiler_, "solver");
   if (!sat_.okay()) {
     ++stats_.unsat;
     return CheckResult::Unsat;
@@ -69,57 +75,126 @@ CheckResult PathSolver::check(const expr::ExprRef& assumption,
   // semantic fact — any prior path or worker that solved the same query
   // answers this one for free.
   CanonHash key;
+  if (hashingConstraints())
+    key = canonQueryKey(constraint_set_hash_, activeHasher()->hash(assumption));
   if (cache_) {
-    key = canonQueryKey(constraint_set_hash_, hasher_->hash(assumption));
     if (const std::optional<bool> hit = cache_->lookup(key)) {
       ++stats_.cache_hits;
       ++(*hit ? stats_.sat : stats_.unsat);
+      if (telemetry_) {
+        SolverTelemetry::Query q;
+        q.hash = key;
+        q.expr_nodes = countUniqueNodes({assumption});
+        q.verdict = *hit ? CheckResult::Sat : CheckResult::Unsat;
+        q.disposition = SolverTelemetry::Disposition::Hit;
+        telemetry_->record(q);
+      }
       return *hit ? CheckResult::Sat : CheckResult::Unsat;
     }
     ++stats_.cache_misses;
   }
 
-  const Lit a = blaster_.blastBool(assumption);
-  const SolveTimer timer(timing_, stats_, check_latency_);
-  switch (sat_.solve({a}, max_conflicts)) {
+  std::uint64_t bitblast_us = 0;
+  Lit a;
+  if (telemetry_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    a = blaster_.blastBool(assumption);
+    bitblast_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  } else {
+    a = blaster_.blastBool(assumption);
+  }
+
+  const std::uint64_t solve_us_before = stats_.solve_us;
+  SatSolver::Result sr;
+  {
+    const SolveTimer timer(timing_, stats_, check_latency_);
+    sr = sat_.solve({a}, max_conflicts);
+  }
+
+  CheckResult verdict;
+  switch (sr) {
     case SatSolver::Result::Sat:
       ++stats_.sat;
       if (cache_) cache_->insert(key, true);
-      return CheckResult::Sat;
+      verdict = CheckResult::Sat;
+      break;
     case SatSolver::Result::Unsat:
       ++stats_.unsat;
       if (cache_) cache_->insert(key, false);
-      return CheckResult::Unsat;
-    case SatSolver::Result::Unknown:
+      verdict = CheckResult::Unsat;
+      break;
+    default:
       ++stats_.unknown;
       // Budget-dependent — never cached.
-      return CheckResult::Unknown;
+      verdict = CheckResult::Unknown;
+      break;
   }
-  return CheckResult::Unknown;
+
+  if (telemetry_) {
+    SolverTelemetry::Query q;
+    q.hash = key;
+    q.expr_nodes = countUniqueNodes({assumption});
+    q.sat_vars = static_cast<std::uint64_t>(sat_.numVars());
+    q.sat_clauses = sat_.numProblemClauses();
+    q.bitblast_us = bitblast_us;
+    q.sat_us = stats_.solve_us - solve_us_before;
+    q.verdict = verdict;
+    q.disposition = cache_ ? SolverTelemetry::Disposition::Miss
+                           : SolverTelemetry::Disposition::Uncached;
+    if (telemetry_->record(q))
+      telemetry_->dump(q, constraints_, assumption, sat_.exportDimacs({a}));
+  }
+  return verdict;
 }
 
 CheckResult PathSolver::checkPath(std::uint64_t max_conflicts) {
+  const obs::PhaseTimer phase(profiler_, "solver");
   if (!sat_.okay()) {
     ++stats_.unsat;
     return CheckResult::Unsat;
   }
-  const SolveTimer timer(timing_, stats_, check_latency_);
-  switch (sat_.solve({}, max_conflicts)) {
+  const std::uint64_t solve_us_before = stats_.solve_us;
+  SatSolver::Result sr;
+  {
+    const SolveTimer timer(timing_, stats_, check_latency_);
+    sr = sat_.solve({}, max_conflicts);
+  }
+  CheckResult verdict;
+  switch (sr) {
     case SatSolver::Result::Sat:
       ++stats_.sat;
-      return CheckResult::Sat;
+      verdict = CheckResult::Sat;
+      break;
     case SatSolver::Result::Unsat:
       ++stats_.unsat;
-      return CheckResult::Unsat;
-    case SatSolver::Result::Unknown:
+      verdict = CheckResult::Unsat;
+      break;
+    default:
       ++stats_.unknown;
-      return CheckResult::Unknown;
+      verdict = CheckResult::Unknown;
+      break;
   }
-  return CheckResult::Unknown;
+  if (telemetry_) {
+    SolverTelemetry::Query q;
+    // Path-feasibility query: the key is the constraint set alone.
+    q.hash = canonQueryKey(constraint_set_hash_, CanonHash{});
+    q.expr_nodes = countUniqueNodes(constraints_);
+    q.sat_vars = static_cast<std::uint64_t>(sat_.numVars());
+    q.sat_clauses = sat_.numProblemClauses();
+    q.sat_us = stats_.solve_us - solve_us_before;
+    q.verdict = verdict;
+    if (telemetry_->record(q))
+      telemetry_->dump(q, constraints_, nullptr, sat_.exportDimacs());
+  }
+  return verdict;
 }
 
 std::optional<expr::Assignment> PathSolver::model(
     const expr::ExprRef& assumption) {
+  const obs::PhaseTimer phase(profiler_, "solver");
   ++stats_.model_queries;
   if (!sat_.okay()) return std::nullopt;
   if (assumption && assumption->isConstant() && assumption->constantValue() == 0)

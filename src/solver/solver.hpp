@@ -28,11 +28,14 @@
 #include "expr/eval.hpp"
 #include "expr/expr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "solver/bitblast.hpp"
 #include "solver/querycache.hpp"
 #include "solver/sat.hpp"
 
 namespace rvsym::solver {
+
+class SolverTelemetry;  // telemetry.hpp
 
 enum class CheckResult { Sat, Unsat, Unknown };
 
@@ -79,6 +82,21 @@ class PathSolver {
   /// solver-time attribution.
   void enableTiming(bool on) { timing_ = timing_ || on; }
 
+  /// Attaches shared per-query telemetry (telemetry.hpp): every solved
+  /// check reports hash, node/var/clause counts, split bitblast/SAT
+  /// timings, verdict and cache disposition, and slow queries are dumped
+  /// to the corpus. Must be attached before the first addConstraint()
+  /// (the running canonical set hash starts then). Implies
+  /// enableTiming(true).
+  void attachTelemetry(SolverTelemetry* telemetry) {
+    telemetry_ = telemetry;
+    timing_ = timing_ || telemetry != nullptr;
+  }
+
+  /// Attaches the phase profiler: check()/checkPath()/model() run under
+  /// a "solver" phase, nesting inside whatever phase the caller holds.
+  void attachProfiler(obs::PhaseProfiler* profiler) { profiler_ = profiler; }
+
   /// Permanently conjoins `cond` (width 1) to the path condition.
   /// Returns false if the path condition became syntactically unsat.
   bool addConstraint(const expr::ExprRef& cond);
@@ -102,6 +120,16 @@ class PathSolver {
   const SatSolver::Stats& satStats() const { return sat_.stats(); }
 
  private:
+  /// The hasher keys the cache and the telemetry; an attached cache
+  /// brings its own (worker-owned), telemetry without a cache falls back
+  /// to the solver-private one.
+  CanonicalHasher* activeHasher() {
+    return hasher_ ? hasher_ : &own_hasher_;
+  }
+  bool hashingConstraints() const {
+    return cache_ != nullptr || telemetry_ != nullptr;
+  }
+
   expr::ExprBuilder& eb_;
   SatSolver sat_;
   BitBlaster blaster_;
@@ -109,6 +137,9 @@ class PathSolver {
   QueryStats stats_;
   QueryCache* cache_ = nullptr;
   CanonicalHasher* hasher_ = nullptr;
+  CanonicalHasher own_hasher_;
+  SolverTelemetry* telemetry_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
   obs::Histogram* check_latency_ = nullptr;
   bool timing_ = false;
   CanonHash constraint_set_hash_;  ///< running canonical set hash

@@ -22,10 +22,29 @@ const char* searcherName(EngineOptions::Searcher s) {
 }
 
 void emitHeartbeat(const EngineReport& report, double elapsed_s,
-                   std::size_t worklist_depth, const std::string& extra) {
+                   std::size_t worklist_depth, const std::string& extra,
+                   obs::MetricsRegistry* metrics) {
+  // Live solver throughput from the shared registry: solves per second
+  // (cache hits and constant fastpaths never reach the histogram) plus
+  // the slow-query counter when solver telemetry is attached.
+  std::string solver_line;
+  if (metrics != nullptr && elapsed_s > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " solver_qps=%.0f",
+                  static_cast<double>(
+                      metrics->histogram("solver.check_us").count()) /
+                      elapsed_s);
+    solver_line += buf;
+    const std::uint64_t slow = metrics->counter("solver.slow_queries").get();
+    if (slow != 0) {
+      std::snprintf(buf, sizeof buf, " slow_q=%llu",
+                    static_cast<unsigned long long>(slow));
+      solver_line += buf;
+    }
+  }
   std::fprintf(stderr,
                "[rvsym] t=%.1fs paths=%llu (completed=%llu errors=%llu "
-               "partial=%llu) worklist=%zu instr=%llu%s%s\n",
+               "partial=%llu) worklist=%zu instr=%llu%s%s%s\n",
                elapsed_s,
                static_cast<unsigned long long>(report.totalPaths() -
                                                report.unexplored_forks),
@@ -36,6 +55,7 @@ void emitHeartbeat(const EngineReport& report, double elapsed_s,
                    report.limited_paths),
                worklist_depth,
                static_cast<unsigned long long>(report.instructions),
+               solver_line.c_str(),
                extra.empty() ? "" : " ", extra.c_str());
   // Heartbeats exist to be watched; stderr is unbuffered on a tty but
   // block-buffered under redirection, so flush explicitly.
@@ -162,6 +182,8 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
                            nullptr,
                            nullptr,
                            options_.metrics,
+                           options_.telemetry,
+                           options_.profiler,
                            options_.trace != nullptr};
 
   auto elapsed = [&] {
@@ -195,7 +217,8 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
       detail::emitHeartbeat(report, elapsed(), worklist_.size(),
                             options_.heartbeat_annotator
                                 ? options_.heartbeat_annotator(report)
-                                : std::string());
+                                : std::string(),
+                            options_.metrics);
       next_heartbeat = elapsed() + options_.heartbeat_seconds;
     }
 
@@ -206,6 +229,7 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
                     .num("depth", static_cast<std::uint64_t>(
                                       item.prefix.size())));
 
+    const obs::PhaseTimer path_phase(options_.profiler, "path");
     ExecState state(eb_, item.prefix, limits);
     PathRecord record;
     try {

@@ -58,6 +58,14 @@ struct EngineOptions {
   /// step-time histograms (when the program records them), worklist-depth
   /// gauge and query-cache counters.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-query solver telemetry (shared across workers): structural
+  /// hash, node/var/clause counts, bitblast/SAT timing split, and the
+  /// slow-query corpus dump (solver/telemetry.hpp).
+  solver::SolverTelemetry* telemetry = nullptr;
+  /// Phase profiler: each path runs under a "path" phase; the
+  /// co-simulation and solver nest "rtl"/"iss"/"voter"/"solver" inside
+  /// it. Folded-stack output via obs::PhaseProfiler::folded().
+  obs::PhaseProfiler* profiler = nullptr;
   /// Emit a progress heartbeat line on stderr every this many seconds
   /// (0 = off). Wall-clock driven, so inherently timing-dependent; it
   /// never goes into the trace.
@@ -158,9 +166,12 @@ const char* searcherName(EngineOptions::Searcher s);
 /// One stderr progress line; shared by both engines' heartbeats. `extra`
 /// (annotator output, query-cache hit rate) is appended verbatim; the
 /// line is flushed explicitly so it appears promptly under output
-/// redirection.
+/// redirection. With a metrics registry, appends live solver throughput
+/// (solver qps from the check-latency histogram) and — when solver
+/// telemetry is attached — the slow-query count.
 void emitHeartbeat(const EngineReport& report, double elapsed_s,
-                   std::size_t worklist_depth, const std::string& extra);
+                   std::size_t worklist_depth, const std::string& extra,
+                   obs::MetricsRegistry* metrics = nullptr);
 
 /// Merges the program's ExecState tags with the options tagger's output
 /// into record.tags, sorted and deduplicated (the deterministic tag

@@ -27,6 +27,9 @@ struct PathOutcome {
   /// other workers solved first).
   std::uint64_t qc_hits = 0;
   std::uint64_t qc_misses = 0;
+  /// Worker that executed (not committed) this path — the per-worker
+  /// attribution key for cache traffic (qc_worker path_end field).
+  unsigned worker = 0;
   /// Events buffered during (speculative) execution; the committer
   /// flushes them in commit order so the trace stays deterministic.
   std::vector<obs::TraceEvent> trace_events;
@@ -67,6 +70,7 @@ struct Shared {
 
 /// One worker's private harness.
 struct WorkerState {
+  unsigned index = 0;
   std::unique_ptr<expr::ExprBuilder> builder;
   std::unique_ptr<solver::CanonicalHasher> hasher;
   PathProgram program;
@@ -77,6 +81,7 @@ PathOutcome executePath(const PathProgram& program, expr::ExprBuilder& eb,
                         std::vector<bool> prefix,
                         const ExecState::Limits& limits,
                         const EngineOptions& options) {
+  const obs::PhaseTimer path_phase(limits.profiler, "path");
   ExecState state(eb, std::move(prefix), limits);
   PathOutcome out;
   try {
@@ -142,6 +147,7 @@ void workerMain(Shared& sh, WorkerState& ws, const EngineOptions& options) {
     try {
       out = executePath(ws.program, *ws.builder, task->prefix, ws.limits,
                         options);
+      out.worker = ws.index;
     } catch (...) {
       error = std::current_exception();
     }
@@ -193,6 +199,7 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
 
   std::vector<WorkerState> workers(jobs);
   for (unsigned i = 0; i < jobs; ++i) {
+    workers[i].index = i;
     workers[i].builder = std::make_unique<expr::ExprBuilder>();
     workers[i].hasher = std::make_unique<solver::CanonicalHasher>();
     WorkerContext ctx{i, *workers[i].builder};
@@ -205,12 +212,16 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                           cache,
                           cache ? workers[i].hasher.get() : nullptr,
                           options_.metrics,
+                          options_.telemetry,
+                          options_.profiler,
                           options_.trace != nullptr};
   }
 
   Shared sh;
   sh.worklist.push_back(std::make_shared<Task>(0, std::vector<bool>{}));
   std::uint64_t next_path_id = 1;
+  std::uint64_t committed_qc_hits = 0;
+  std::uint64_t committed_qc_misses = 0;
   std::uint32_t rng_state =
       options_.random_seed == 0 ? 1 : options_.random_seed;
 
@@ -284,7 +295,8 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
           if (!extra.empty()) extra += ' ';
           extra += buf;
         }
-        detail::emitHeartbeat(report, elapsed(), sh.worklist.size(), extra);
+        detail::emitHeartbeat(report, elapsed(), sh.worklist.size(), extra,
+                              options_.metrics);
         next_heartbeat = elapsed() + options_.heartbeat_seconds;
       }
       if (depth_gauge) {
@@ -364,13 +376,17 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
       }
       if (out.record.has_test) ++report.test_vectors;
 
+      committed_qc_hits += out.qc_hits;
+      committed_qc_misses += out.qc_misses;
       RVSYM_TRACE(options_.trace,
                   detail::makePathEndEvent(task->id, out.record,
                                            out.stats.forks, out.solver_checks,
                                            out.times)
                       // qc_* fields are timing-dependent (see trace.hpp).
                       .num("qc_hits", out.qc_hits)
-                      .num("qc_misses", out.qc_misses));
+                      .num("qc_misses", out.qc_misses)
+                      .num("qc_worker",
+                           static_cast<std::uint64_t>(out.worker)));
       if (committed_counter) committed_counter->add();
 
       const bool is_error = out.record.end == PathEnd::Error;
@@ -392,9 +408,22 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
 
   report.seconds = elapsed();
   if (cache) {
-    const solver::QueryCache::Stats cs = cache->stats();
-    report.qcache_hits = cs.hits - cache_start.hits;
-    report.qcache_misses = cs.misses - cache_start.misses;
+    if (options_.shared_cache) {
+      // Externally shared cache: concurrent runs (campaign hunts) pound
+      // the same global counters, so a start/end delta would lump other
+      // runs' traffic into this report. The per-path counters captured
+      // at execution time are attributed to the run whose solver issued
+      // the lookups — sum the committed outcomes instead.
+      report.qcache_hits = committed_qc_hits;
+      report.qcache_misses = committed_qc_misses;
+    } else {
+      // Run-private cache: the global delta additionally counts
+      // speculatively executed paths that were never committed (see the
+      // EngineReport contract).
+      const solver::QueryCache::Stats cs = cache->stats();
+      report.qcache_hits = cs.hits - cache_start.hits;
+      report.qcache_misses = cs.misses - cache_start.misses;
+    }
   }
   RVSYM_TRACE(options_.trace,
               obs::TraceEvent("run_end")

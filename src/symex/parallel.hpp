@@ -78,7 +78,10 @@ struct ParallelEngineOptions : EngineOptions {
   /// across runs changes which solves execute, never their answers.
   /// When set it replaces the run-private cache (enable_query_cache and
   /// cache_shards are ignored; a solver conflict budget still disables
-  /// caching) and report.qcache_* counts this run's traffic only.
+  /// caching) and report.qcache_* counts this run's committed traffic
+  /// only — summed from the per-path counters each worker's solver
+  /// observed, so concurrent runs sharing the cache never leak their
+  /// lookups into each other's reports.
   solver::QueryCache* shared_cache = nullptr;
 };
 

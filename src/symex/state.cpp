@@ -31,6 +31,8 @@ ExecState::ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
     solver_.attachCache(limits_.query_cache, limits_.query_hasher);
   if (limits_.metrics)
     solver_.attachMetrics(&limits_.metrics->histogram("solver.check_us"));
+  if (limits_.telemetry) solver_.attachTelemetry(limits_.telemetry);
+  if (limits_.profiler) solver_.attachProfiler(limits_.profiler);
   // A trace sink wants exact per-path solver-time attribution at
   // path_end even without a metrics registry.
   solver_.enableTiming(limits_.trace_path_events);

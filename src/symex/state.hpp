@@ -24,8 +24,10 @@
 #include "expr/eval.hpp"
 #include "expr/expr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "obs/trace.hpp"
 #include "solver/solver.hpp"
+#include "solver/telemetry.hpp"
 #include "symex/knownbits.hpp"
 
 namespace rvsym::symex {
@@ -89,6 +91,13 @@ class ExecState {
     /// Optional metrics registry (shared, thread-safe): attaches the
     /// solver check-latency histogram to this path's solver.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional per-query solver telemetry (shared, thread-safe): hash,
+    /// node/var/clause counts, bitblast/SAT split, slow-query corpus.
+    solver::SolverTelemetry* telemetry = nullptr;
+    /// Optional phase profiler (shared, thread-safe): the solver nests a
+    /// "solver" phase, the co-simulation "rtl"/"iss"/"voter", the
+    /// engines wrap each path in "path".
+    obs::PhaseProfiler* profiler = nullptr;
     /// Buffer path-local trace events (see traceEvent below). Set by the
     /// engines iff a trace sink is configured.
     bool trace_path_events = false;
@@ -139,6 +148,9 @@ class ExecState {
   /// event construction is skipped when tracing is off (and compiled out
   /// entirely under RVSYM_OBS_NO_TRACING).
   bool tracingEnabled() const { return limits_.trace_path_events; }
+  /// Phase profiler for this run (null when profiling is off) — the
+  /// co-simulation opens its "rtl"/"iss"/"voter" phases against this.
+  obs::PhaseProfiler* profiler() const { return limits_.profiler; }
   /// Buffers an event produced while executing this path (e.g. a voter
   /// verdict). The engine flushes the buffer to the trace sink at commit
   /// time, in deterministic commit order, with the path id attached —

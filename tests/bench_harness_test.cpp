@@ -1,0 +1,178 @@
+// Tests for the rvsym-bench harness library: the shared Reporter's
+// rvsym-bench-v1 schema, median aggregation, the bench registry, and
+// compareRuns' regression gate (the CI perf-smoke exit-code contract).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "harness/reporter.hpp"
+#include "obs/analyze/json_reader.hpp"
+
+namespace rvsym {
+namespace {
+
+using obs::analyze::JsonValue;
+using obs::analyze::parseJson;
+
+// --- Reporter -----------------------------------------------------------------
+
+TEST(Reporter, EmitsTheBenchV1Schema) {
+  bench::Reporter r("demo");
+  r.param("searcher", "dfs")
+      .param("jobs", std::uint64_t{4})
+      .param("deterministic", true)
+      .counter("paths", 42)
+      .metric("seconds", 1.5)
+      .payload("{\"rows\":[]}")
+      .ok(true);
+  std::string err;
+  const auto doc = parseJson(r.toJson(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->getString("schema").value_or(""), "rvsym-bench-v1");
+  EXPECT_EQ(doc->getString("name").value_or(""), "demo");
+  EXPECT_EQ(doc->getBool("ok").value_or(false), true);
+  // A standalone bench is a complete single-repeat document.
+  EXPECT_EQ(doc->getU64("repeats").value_or(0), 1u);
+  ASSERT_NE(doc->find("median_us"), nullptr);
+  const JsonValue* params = doc->find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->getString("searcher").value_or(""), "dfs");
+  EXPECT_EQ(params->getU64("jobs").value_or(0), 4u);
+  EXPECT_EQ(params->getBool("deterministic").value_or(false), true);
+  const JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->getU64("paths").value_or(0), 42u);
+  const JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->getNumber("seconds").value_or(0.0), 1.5);
+  const JsonValue* payload = doc->find("payload");
+  ASSERT_NE(payload, nullptr);
+  ASSERT_TRUE(payload->isObject());
+  ASSERT_NE(payload->find("rows"), nullptr);
+}
+
+TEST(Reporter, DefaultsToOkTrueAndNoPayload) {
+  bench::Reporter r("empty");
+  std::string err;
+  const auto doc = parseJson(r.toJson(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->getBool("ok").value_or(false), true);
+  EXPECT_EQ(doc->find("payload"), nullptr);
+}
+
+// --- Aggregation and registry -------------------------------------------------
+
+TEST(Harness, MedianU64) {
+  EXPECT_EQ(bench::medianU64({}), 0u);
+  EXPECT_EQ(bench::medianU64({7}), 7u);
+  EXPECT_EQ(bench::medianU64({3, 1, 2}), 2u);
+  EXPECT_EQ(bench::medianU64({4, 1, 3, 2}), 2u);  // (2+3)/2 floored
+  EXPECT_EQ(bench::medianU64({100, 1, 100}), 100u);
+}
+
+TEST(Harness, RegistryCoversAllNineBenchesWithSmokeSubset) {
+  const auto& benches = bench::allBenches();
+  EXPECT_EQ(benches.size(), 9u);
+  std::size_t smoke = 0;
+  for (const auto& b : benches) {
+    EXPECT_FALSE(b.name.empty());
+    EXPECT_FALSE(b.exe.empty());
+    if (b.smoke) ++smoke;
+  }
+  // Everything but the ~45s fuzz_vs_symex comparison gates CI.
+  EXPECT_EQ(smoke, 8u);
+}
+
+TEST(Harness, EnvJsonParsesAndNamesThePlatform) {
+  std::string err;
+  const auto env = parseJson(bench::envJson(), &err);
+  ASSERT_TRUE(env.has_value()) << err;
+  EXPECT_FALSE(env->getString("os").value_or("").empty());
+  EXPECT_FALSE(env->getString("arch").value_or("").empty());
+  EXPECT_GT(env->getU64("hardware_concurrency").value_or(0), 0u);
+}
+
+// --- compareRuns --------------------------------------------------------------
+
+struct FakeBench {
+  std::string name;
+  std::uint64_t median_us;
+  bool ok = true;
+};
+
+std::string writeRunDoc(const std::string& stem,
+                        const std::vector<FakeBench>& benches) {
+  std::string json =
+      "{\"schema\":\"rvsym-bench-run-v1\",\"suite\":\"smoke\","
+      "\"repeats\":1,\"warmup\":0,\"env\":{},\"benches\":[";
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    if (i) json += ",";
+    json += "{\"name\":\"" + benches[i].name + "\",\"ok\":" +
+            (benches[i].ok ? "true" : "false") +
+            ",\"wall_median_us\":" + std::to_string(benches[i].median_us) +
+            ",\"wall_us\":[" + std::to_string(benches[i].median_us) + "]}";
+  }
+  json += "]}";
+  const std::string path = testing::TempDir() + stem + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << json;
+  return path;
+}
+
+TEST(Compare, PassesWhenWithinThreshold) {
+  const std::string base =
+      writeRunDoc("cmp_base", {{"table1", 1000}, {"table2", 2000}});
+  const std::string cur =
+      writeRunDoc("cmp_cur", {{"table1", 1500}, {"table2", 1900}});
+  // +50% on table1 is inside the 100% gate.
+  EXPECT_EQ(bench::compareRuns(cur, base, 100.0), 0);
+}
+
+TEST(Compare, FailsOnRegressionBeyondThreshold) {
+  const std::string base = writeRunDoc("cmp_base_slow", {{"table1", 1000}});
+  const std::string cur = writeRunDoc("cmp_cur_slow", {{"table1", 2500}});
+  EXPECT_NE(bench::compareRuns(cur, base, 100.0), 0);
+  // The same delta passes a looser gate.
+  EXPECT_EQ(bench::compareRuns(cur, base, 200.0), 0);
+}
+
+TEST(Compare, FailsWhenABaselineBenchDisappears) {
+  const std::string base =
+      writeRunDoc("cmp_base_miss", {{"table1", 1000}, {"table2", 2000}});
+  const std::string cur = writeRunDoc("cmp_cur_miss", {{"table1", 1000}});
+  EXPECT_NE(bench::compareRuns(cur, base, 100.0), 0);
+}
+
+TEST(Compare, FailsWhenABenchFailsItsOwnClaims) {
+  const std::string base = writeRunDoc("cmp_base_ok", {{"table1", 1000}});
+  const std::string cur =
+      writeRunDoc("cmp_cur_notok", {{"table1", 900, /*ok=*/false}});
+  EXPECT_NE(bench::compareRuns(cur, base, 100.0), 0);
+}
+
+TEST(Compare, NewBenchesAreInformationalOnly) {
+  const std::string base = writeRunDoc("cmp_base_new", {{"table1", 1000}});
+  const std::string cur =
+      writeRunDoc("cmp_cur_new", {{"table1", 1000}, {"micro", 50}});
+  EXPECT_EQ(bench::compareRuns(cur, base, 100.0), 0);
+}
+
+TEST(Compare, RejectsUnreadableOrForeignDocuments) {
+  const std::string base = writeRunDoc("cmp_base_r", {{"table1", 1000}});
+  EXPECT_EQ(bench::compareRuns(testing::TempDir() + "does_not_exist.json",
+                               base, 100.0),
+            2);
+  const std::string foreign = testing::TempDir() + "cmp_foreign.json";
+  {
+    std::ofstream out(foreign, std::ios::trunc);
+    out << "{\"schema\":\"something-else\"}";
+  }
+  EXPECT_EQ(bench::compareRuns(foreign, base, 100.0), 2);
+}
+
+}  // namespace
+}  // namespace rvsym

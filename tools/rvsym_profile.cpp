@@ -1,0 +1,164 @@
+// rvsym-profile — offline tooling over the slow-query corpus that
+// solver telemetry dumps during a run (--slow-query-dir on
+// rvsym-verify; solver/corpus.hpp documents the file format).
+//
+//   rvsym-profile replay <file-or-dir>...
+//       Re-solves every q_*.query file from scratch on the current
+//       solver and compares the verdict against the one recorded when
+//       the query was dumped. Prints per-query timing (recorded vs
+//       replayed) so solver changes can be judged on the exact queries
+//       that were slow. Exit 1 when any verdict diverges (a recorded
+//       Sat/Unsat is a semantic fact — divergence means a solver bug),
+//       2 on unreadable input.
+//
+//   rvsym-profile shrink <file> [--out FILE]
+//       ddmin over the query's constraint conjuncts: finds a 1-minimal
+//       subset that still replays to the recorded verdict and writes it
+//       back in corpus format (default: <file>.min). The shrunken
+//       query keeps the original assumption and verdict, so it replays
+//       standalone.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "solver/corpus.hpp"
+
+namespace {
+
+using namespace rvsym;
+namespace fs = std::filesystem;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s replay <file-or-dir>...\n"
+               "       %s shrink <file> [--out FILE]\n",
+               argv0, argv0);
+  return 2;
+}
+
+/// Expands directories to the q_*.query files inside them.
+std::vector<std::string> collectQueryFiles(
+    const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const fs::directory_entry& e : fs::directory_iterator(arg, ec))
+        if (e.path().extension() == ".query")
+          files.push_back(e.path().string());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmdReplay(const std::vector<std::string>& args) {
+  const std::vector<std::string> files = collectQueryFiles(args);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .query files found\n");
+    return 2;
+  }
+  std::printf("%-38s %-8s %-8s %12s %12s  %s\n", "query", "recorded",
+              "replayed", "was[us]", "now[us]", "verdict");
+  int mismatches = 0, errors = 0;
+  for (const std::string& path : files) {
+    expr::ExprBuilder eb;  // fresh builder per query: no cross-talk
+    std::string err;
+    const auto q = solver::loadQueryFile(eb, path, &err);
+    const std::string base = fs::path(path).filename().string();
+    if (!q) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+      ++errors;
+      continue;
+    }
+    std::uint64_t now_us = 0;
+    const solver::CheckResult got = solver::replayQuery(eb, *q, &now_us);
+    // Unknown was never dumped by telemetry (budget artifact), so any
+    // recorded verdict is a semantic fact the replay must reproduce.
+    const bool match = got == q->verdict;
+    if (!match) ++mismatches;
+    std::printf("%-38s %-8s %-8s %12llu %12llu  %s\n", base.c_str(),
+                solver::verdictName(q->verdict), solver::verdictName(got),
+                static_cast<unsigned long long>(q->sat_us),
+                static_cast<unsigned long long>(now_us),
+                match ? "ok" : "MISMATCH");
+  }
+  std::printf("%zu queries, %d verdict mismatches, %d unreadable\n",
+              files.size(), mismatches, errors);
+  if (errors) return 2;
+  return mismatches == 0 ? 0 : 1;
+}
+
+int cmdShrink(const std::vector<std::string>& args) {
+  std::string path;
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size())
+      out_path = args[++i];
+    else if (path.empty())
+      path = args[i];
+    else {
+      std::fprintf(stderr, "unexpected argument: %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "shrink requires a query file\n");
+    return 2;
+  }
+  if (out_path.empty()) out_path = path + ".min";
+
+  expr::ExprBuilder eb;
+  std::string err;
+  const auto q = solver::loadQueryFile(eb, path, &err);
+  if (!q) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  std::uint64_t replays = 0;
+  const std::vector<expr::ExprRef> minimal =
+      solver::ddminConstraints(eb, *q, &replays);
+
+  solver::CorpusQuery reduced = *q;
+  reduced.constraints = minimal;
+  reduced.nodes = solver::countUniqueNodes([&] {
+    std::vector<expr::ExprRef> roots = minimal;
+    if (reduced.assumption) roots.push_back(reduced.assumption);
+    return roots;
+  }());
+  const std::string text = solver::formatQuery(reduced);
+  if (text.empty()) {
+    std::fprintf(stderr, "cannot serialize reduced query\n");
+    return 2;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+  out << text;
+  out.close();
+  std::printf("%s: %zu -> %zu constraints (%llu replay solves), wrote %s\n",
+              path.c_str(), q->constraints.size(), minimal.size(),
+              static_cast<unsigned long long>(replays), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "replay") return cmdReplay(args);
+  if (cmd == "shrink") return cmdShrink(args);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return usage(argv[0]);
+}

@@ -26,8 +26,10 @@
 #include "obs/bundle.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "obs/trace.hpp"
 #include "rv32/instr.hpp"
+#include "solver/telemetry.hpp"
 #include "symex/ktest.hpp"
 
 namespace {
@@ -54,6 +56,11 @@ void usage(const char* argv0) {
       "  --trace-out FILE   JSONL path-lifecycle event trace\n"
       "  --metrics-out FILE engine report + metrics registry as JSON\n"
       "  --heartbeat S      stderr progress line every S seconds\n"
+      "  --profile-out FILE flamegraph-compatible folded phase stacks\n"
+      "  --slow-query-dir D dump solver queries slower than the threshold\n"
+      "                     as a replayable corpus (see rvsym-profile)\n"
+      "  --slow-query-us N  slow-query threshold in microseconds\n"
+      "                     (default 10000)\n"
       "  --repro-dir DIR    dump a repro bundle per voter mismatch\n"
       "  --replay BUNDLE    re-run a repro bundle concretely and exit\n"
       "  --help\n",
@@ -100,8 +107,10 @@ int main(int argc, char** argv) {
   std::string searcher = "dfs";
   std::string ktest_dir;
   std::string trace_out, metrics_out, repro_dir, replay_dir;
+  std::string profile_out, slow_query_dir;
   unsigned limit = 1, regs = 2, jobs = 1;
   std::uint64_t paths = 2000;
+  std::uint64_t slow_query_us = 10000;
   double seconds = 60;
   double heartbeat = 0;
   bool stop_on_error = false;
@@ -126,6 +135,10 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--metrics-out") metrics_out = value();
     else if (arg == "--heartbeat") heartbeat = std::atof(value());
+    else if (arg == "--profile-out") profile_out = value();
+    else if (arg == "--slow-query-dir") slow_query_dir = value();
+    else if (arg == "--slow-query-us")
+      slow_query_us = static_cast<std::uint64_t>(std::atoll(value()));
     else if (arg == "--repro-dir") repro_dir = value();
     else if (arg == "--replay") replay_dir = value();
     else if (arg == "--stop-on-error") stop_on_error = true;
@@ -237,6 +250,19 @@ int main(int argc, char** argv) {
   }
   const bool want_metrics = !metrics_out.empty();
 
+  // Solver telemetry: per-query timing into the registry plus the
+  // slow-query corpus. On whenever a consumer exists (it implies
+  // per-check solver timing, so keep it off for plain runs).
+  std::unique_ptr<solver::SolverTelemetry> telemetry;
+  if (!slow_query_dir.empty() || want_metrics) {
+    solver::SolverTelemetry::Options topts;
+    topts.corpus_dir = slow_query_dir;
+    topts.slow_query_us = slow_query_us;
+    telemetry = std::make_unique<solver::SolverTelemetry>(std::move(topts));
+    if (want_metrics) telemetry->attachMetrics(registry);
+  }
+  obs::PhaseProfiler profiler;
+
   // --- Symbolic verification session -------------------------------------------
   expr::ExprBuilder eb;
   core::SessionOptions options;
@@ -249,6 +275,8 @@ int main(int argc, char** argv) {
   options.engine.trace = trace_sink.get();
   if (want_metrics) options.engine.metrics = &registry;
   options.engine.heartbeat_seconds = heartbeat;
+  options.engine.telemetry = telemetry.get();
+  if (!profile_out.empty()) options.engine.profiler = &profiler;
   if (searcher == "bfs")
     options.engine.searcher = symex::EngineOptions::Searcher::Bfs;
   else if (searcher == "random")
@@ -278,6 +306,26 @@ int main(int argc, char** argv) {
     std::printf("\n%s\n", core::renderFindingsTable(report.findings).c_str());
   else
     std::printf("no mismatches found\n");
+
+  if (telemetry && !slow_query_dir.empty())
+    std::printf("solver telemetry: %llu queries, %llu slow (> %llu us), "
+                "%llu dumped to %s/\n",
+                static_cast<unsigned long long>(telemetry->queries()),
+                static_cast<unsigned long long>(telemetry->slowQueries()),
+                static_cast<unsigned long long>(slow_query_us),
+                static_cast<unsigned long long>(telemetry->dumpedQueries()),
+                slow_query_dir.c_str());
+
+  if (!profile_out.empty()) {
+    std::ofstream out(profile_out, std::ios::binary);
+    out << profiler.folded();
+    if (!out)
+      std::fprintf(stderr, "cannot write --profile-out file '%s'\n",
+                   profile_out.c_str());
+    else
+      std::printf("wrote folded phase stacks to %s (%zu distinct stacks)\n",
+                  profile_out.c_str(), profiler.distinctStacks());
+  }
 
   if (want_coverage) {
     core::CoverageCollector cov;
