@@ -25,7 +25,8 @@ using obs::analyze::parseJson;
 const std::vector<BenchSpec>& allBenches() {
   // Smoke membership: everything that finishes in seconds (measured:
   // fig1_flow ~0.5s, searchers/slicing ~1s, table2 ~1.6s, micro ~2s at
-  // the reduced min_time, scaling ~2.4s, ablation_limit ~3s, table1
+  // the reduced min_time, scaling ~2.4s, ablation_limit ~3s,
+  // solver_stack ~4s across its six layer configurations, table1
   // ~12s). Only fuzz_vs_symex is full-suite-only (~45s): its random
   // baseline deliberately exhausts its test budget on the corner-case
   // faults, which is the point of the bench but not of a CI gate.
@@ -35,6 +36,7 @@ const std::vector<BenchSpec>& allBenches() {
       {"fig1_flow", "bench_fig1_flow", {}, {}, true, false},
       {"ablation_slicing", "bench_ablation_slicing", {}, {}, true, false},
       {"ablation_limit", "bench_ablation_limit", {}, {}, true, false},
+      {"solver_stack", "bench_solver_stack", {}, {}, true, false},
       {"micro",
        "bench_micro",
        {"--benchmark_out_format=json"},

@@ -1,0 +1,233 @@
+#include "expr/rewrite.hpp"
+
+#include <unordered_set>
+
+namespace rvsym::expr {
+
+namespace {
+
+ExprRef narrow(ExprBuilder& eb, ExprRef e);
+
+/// Splits Eq(inner, c) when `inner` is an extension or concatenation.
+ExprRef narrowEqConst(ExprBuilder& eb, const ExprRef& inner,
+                      std::uint64_t c) {
+  switch (inner->kind()) {
+    case Kind::ZExt: {
+      const ExprRef& sub = inner->operand(0);
+      if ((c & ~widthMask(sub->width())) != 0) return eb.falseExpr();
+      return narrow(eb, eb.eq(sub, eb.constant(c, sub->width())));
+    }
+    case Kind::SExt: {
+      const ExprRef& sub = inner->operand(0);
+      const std::uint64_t low = c & widthMask(sub->width());
+      const std::uint64_t expect =
+          static_cast<std::uint64_t>(signExtend(low, sub->width())) &
+          widthMask(inner->width());
+      if (c != expect) return eb.falseExpr();
+      return narrow(eb, eb.eq(sub, eb.constant(low, sub->width())));
+    }
+    case Kind::Concat: {
+      const ExprRef& hi = inner->operand(0);
+      const ExprRef& lo = inner->operand(1);
+      const std::uint64_t cl = c & widthMask(lo->width());
+      const std::uint64_t ch =
+          lo->width() >= 64 ? 0 : (c >> lo->width()) & widthMask(hi->width());
+      return eb.boolAnd(
+          narrow(eb, eb.eq(hi, eb.constant(ch, hi->width()))),
+          narrow(eb, eb.eq(lo, eb.constant(cl, lo->width()))));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// Applies one narrowing rule to `e` (already rebuilt through the
+/// builder, so constant folding has run). Returns `e` when nothing
+/// fires.
+ExprRef narrow(ExprBuilder& eb, ExprRef e) {
+  switch (e->kind()) {
+    case Kind::Eq: {
+      const ExprRef& a = e->operand(0);
+      const ExprRef& b = e->operand(1);
+      ExprRef r;
+      if (b->isConstant())
+        r = narrowEqConst(eb, a, b->constantValue());
+      else if (a->isConstant())
+        r = narrowEqConst(eb, b, a->constantValue());
+      return r ? r : e;
+    }
+    case Kind::Ult: {
+      const ExprRef& a = e->operand(0);
+      const ExprRef& b = e->operand(1);
+      if (a->kind() == Kind::ZExt && b->isConstant()) {
+        const ExprRef& sub = a->operand(0);
+        const std::uint64_t c = b->constantValue();
+        if (c == 0) return eb.falseExpr();
+        if (c > widthMask(sub->width())) return eb.trueExpr();
+        return eb.ult(sub, eb.constant(c, sub->width()));
+      }
+      if (a->isConstant() && b->kind() == Kind::ZExt) {
+        const ExprRef& sub = b->operand(0);
+        const std::uint64_t c = a->constantValue();
+        if (c >= widthMask(sub->width())) return eb.falseExpr();
+        return eb.ult(eb.constant(c, sub->width()), sub);
+      }
+      return e;
+    }
+    case Kind::Ule: {
+      const ExprRef& a = e->operand(0);
+      const ExprRef& b = e->operand(1);
+      if (a->kind() == Kind::ZExt && b->isConstant()) {
+        const ExprRef& sub = a->operand(0);
+        const std::uint64_t c = b->constantValue();
+        if (c >= widthMask(sub->width())) return eb.trueExpr();
+        return eb.ule(sub, eb.constant(c, sub->width()));
+      }
+      if (a->isConstant() && b->kind() == Kind::ZExt) {
+        const ExprRef& sub = b->operand(0);
+        const std::uint64_t c = a->constantValue();
+        if (c == 0) return eb.trueExpr();
+        if (c > widthMask(sub->width())) return eb.falseExpr();
+        return eb.ule(eb.constant(c, sub->width()), sub);
+      }
+      return e;
+    }
+    default:
+      return e;
+  }
+}
+
+/// Rebuilds one node from already-rewritten operands.
+ExprRef rebuild(ExprBuilder& eb, const Expr& n, const SubstMap& subst,
+                ExprRef a, ExprRef b, ExprRef c) {
+  switch (n.kind()) {
+    case Kind::Constant:
+      return eb.constant(n.constantValue(), n.width());
+    case Kind::Variable: {
+      const auto it = subst.find(&n);
+      if (it != subst.end()) return it->second;
+      return eb.variableById(n.variableId());
+    }
+    case Kind::Add:
+      return eb.add(std::move(a), std::move(b));
+    case Kind::Sub:
+      return eb.sub(std::move(a), std::move(b));
+    case Kind::Mul:
+      return eb.mul(std::move(a), std::move(b));
+    case Kind::UDiv:
+      return eb.udiv(std::move(a), std::move(b));
+    case Kind::SDiv:
+      return eb.sdiv(std::move(a), std::move(b));
+    case Kind::URem:
+      return eb.urem(std::move(a), std::move(b));
+    case Kind::SRem:
+      return eb.srem(std::move(a), std::move(b));
+    case Kind::And:
+      return eb.andOp(std::move(a), std::move(b));
+    case Kind::Or:
+      return eb.orOp(std::move(a), std::move(b));
+    case Kind::Xor:
+      return eb.xorOp(std::move(a), std::move(b));
+    case Kind::Not:
+      return eb.notOp(std::move(a));
+    case Kind::Neg:
+      return eb.neg(std::move(a));
+    case Kind::Shl:
+      return eb.shl(std::move(a), std::move(b));
+    case Kind::LShr:
+      return eb.lshr(std::move(a), std::move(b));
+    case Kind::AShr:
+      return eb.ashr(std::move(a), std::move(b));
+    case Kind::Eq:
+      return narrow(eb, eb.eq(std::move(a), std::move(b)));
+    case Kind::Ult:
+      return narrow(eb, eb.ult(std::move(a), std::move(b)));
+    case Kind::Ule:
+      return narrow(eb, eb.ule(std::move(a), std::move(b)));
+    case Kind::Slt:
+      return eb.slt(std::move(a), std::move(b));
+    case Kind::Sle:
+      return eb.sle(std::move(a), std::move(b));
+    case Kind::Concat:
+      return eb.concat(std::move(a), std::move(b));
+    case Kind::Extract:
+      return eb.extract(std::move(a), n.extractLow(), n.width());
+    case Kind::ZExt:
+      return eb.zext(std::move(a), n.width());
+    case Kind::SExt:
+      return eb.sext(std::move(a), n.width());
+    case Kind::Ite:
+      return eb.ite(std::move(a), std::move(b), std::move(c));
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace
+
+bool addEqualitySubst(ExprBuilder& eb, const ExprRef& c, SubstMap* subst) {
+  const auto pin = [&](const ExprRef& v, std::uint64_t value) {
+    // First pin wins; a conflicting second pin can only come from an
+    // unsatisfiable set, where any consistent rewrite is acceptable.
+    return subst->emplace(v.get(), eb.constant(value, v->width())).second;
+  };
+  if (c->kind() == Kind::Eq) {
+    const ExprRef& a = c->operand(0);
+    const ExprRef& b = c->operand(1);
+    if (a->isVariable() && b->isConstant()) return pin(a, b->constantValue());
+    if (b->isVariable() && a->isConstant()) return pin(b, a->constantValue());
+    return false;
+  }
+  if (c->isVariable() && c->width() == 1) return pin(c, 1);
+  if (c->kind() == Kind::Not && c->operand(0)->isVariable() &&
+      c->operand(0)->width() == 1)
+    return pin(c->operand(0), 0);
+  return false;
+}
+
+void collectVariableIds(const ExprRef& e, std::vector<std::uint64_t>* out) {
+  std::unordered_set<const Expr*> seen;
+  std::vector<const Expr*> stack{e.get()};
+  seen.insert(e.get());
+  while (!stack.empty()) {
+    const Expr* n = stack.back();
+    stack.pop_back();
+    if (n->isVariable()) {
+      out->push_back(n->variableId());
+      continue;
+    }
+    for (int i = 0; i < n->numOperands(); ++i) {
+      const Expr* op = n->operand(i).get();
+      if (seen.insert(op).second) stack.push_back(op);
+    }
+  }
+}
+
+ExprRef rewriteExpr(ExprBuilder& eb, const ExprRef& e, const SubstMap& subst) {
+  std::unordered_map<const Expr*, ExprRef> memo;
+  std::vector<const Expr*> stack{e.get()};
+  while (!stack.empty()) {
+    const Expr* n = stack.back();
+    if (memo.count(n) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (int i = 0; i < n->numOperands(); ++i) {
+      const Expr* op = n->operand(i).get();
+      if (memo.count(op) == 0) {
+        stack.push_back(op);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    ExprRef ops[3];
+    for (int i = 0; i < n->numOperands(); ++i)
+      ops[i] = memo.at(n->operand(i).get());
+    memo.emplace(n, rebuild(eb, *n, subst, std::move(ops[0]),
+                            std::move(ops[1]), std::move(ops[2])));
+  }
+  return memo.at(e.get());
+}
+
+}  // namespace rvsym::expr

@@ -1,0 +1,46 @@
+// Pre-bitblast rewriting (beyond ExprBuilder's local constant folding).
+//
+// Used by the solver's query-answering pipeline (DESIGN.md §10):
+// equality substitution propagates variables the constraint set pins to
+// constants, and narrowing rules shrink comparisons against
+// zero/sign-extended or concatenated terms so that assumptions which are
+// decided by the constraint set alone collapse to a constant before any
+// bit-blasting happens. All rewrites are equivalence-preserving under
+// the substitution environment: if every pinned variable holds its
+// pinned value, the rewritten expression evaluates identically to the
+// original (the single source of truth is expr::evaluate, and the
+// rewriter is differentially tested against it).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/builder.hpp"
+#include "expr/expr.hpp"
+
+namespace rvsym::expr {
+
+/// Variable node -> constant expression of the same width. Keyed by the
+/// interned node pointer, so a map is only meaningful for expressions
+/// built by the same ExprBuilder.
+using SubstMap = std::unordered_map<const Expr*, ExprRef>;
+
+/// If `c` pins a variable to a constant — `v == k` (either operand
+/// order), a bare 1-bit `v` (pins to 1), or `!v` (pins to 0) — records
+/// variable -> constant in `subst`. Returns true iff a pin was added.
+bool addEqualitySubst(ExprBuilder& eb, const ExprRef& c, SubstMap* subst);
+
+/// Appends the ids of the distinct variables reachable from `e` to
+/// `out`. Deduplicated within this call only.
+void collectVariableIds(const ExprRef& e, std::vector<std::uint64_t>* out);
+
+/// Rebuilds `e` bottom-up through `eb`, substituting pinned variables
+/// from `subst` and applying narrowing rules (Eq/Ult/Ule against
+/// ZExt/SExt/Concat operands split or shrink to the inner width). The
+/// builder's constant folding then collapses decided subtrees, so an
+/// assumption implied (or refuted) by the equality environment comes
+/// back as a constant. Pass an empty map to narrow only.
+ExprRef rewriteExpr(ExprBuilder& eb, const ExprRef& e, const SubstMap& subst);
+
+}  // namespace rvsym::expr

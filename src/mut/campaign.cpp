@@ -49,6 +49,8 @@ symex::EngineReport runHunt(const Mutant& mutant,
   opts.max_seconds = options.max_seconds_per_hunt;
   opts.jobs = options.engine_jobs;
   opts.shared_cache = shared_cache;
+  opts.solver_opt = options.solver_opt;
+  opts.shared_cex_cache = options.shared_cex_cache;
   opts.metrics = options.metrics;
   opts.heartbeat_seconds = options.heartbeat_seconds;
   if (options.heartbeat_seconds > 0) {
@@ -176,6 +178,17 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
     if (options_.metrics) cache->attachMetrics(*options_.metrics);
   }
 
+  // Campaign-wide counterexample/subsumption store: mutants replay
+  // near-identical decode cascades, so models and UNSAT cores transfer
+  // across hunts exactly like query-cache verdicts do.
+  std::unique_ptr<solver::CexCache> cex;
+  CampaignOptions run_options = options_;
+  if (options_.solver_opt.cex_cache) {
+    cex = std::make_unique<solver::CexCache>(16);
+    if (options_.metrics) cex->attachMetrics(*options_.metrics);
+    run_options.shared_cex_cache = cex.get();
+  }
+
   // Campaign progress shared with the per-hunt heartbeat annotators.
   std::atomic<std::uint64_t> judged_count{0}, killed_count{0};
   const std::size_t total = todo.size();
@@ -209,7 +222,7 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= todo.size()) return;
       MutantResult r =
-          judgeMutant(*todo[i], options_, cache.get(), heartbeat_extra);
+          judgeMutant(*todo[i], run_options, cache.get(), heartbeat_extra);
       {
         std::lock_guard<std::mutex> lk(mu);
         slots[i].result = std::move(r);
@@ -266,7 +279,7 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
     // Sequential: judge and commit inline on this thread.
     for (std::size_t i = 0; i < todo.size(); ++i) {
       MutantResult r =
-          judgeMutant(*todo[i], options_, cache.get(), heartbeat_extra);
+          judgeMutant(*todo[i], run_options, cache.get(), heartbeat_extra);
       commit(r);
     }
   } else {

@@ -86,6 +86,14 @@ struct CampaignOptions {
   bool check_decode_equivalence = true;
   /// Campaign-wide cross-path query cache shared by every hunt.
   bool use_query_cache = true;
+  /// Solver acceleration layers for every hunt (--solver-opt; DESIGN.md
+  /// §10). Verdicts are unaffected — the layers are sound — so the
+  /// mutation score and kill set are byte-identical across settings.
+  solver::SolverOptions solver_opt{};
+  /// Externally owned counterexample/subsumption store for direct
+  /// judgeMutant callers. CampaignRunner ignores this and spans its own
+  /// store across the whole campaign when the cex layer is on.
+  solver::CexCache* shared_cex_cache = nullptr;
   /// JSONL journal path ("" = none). With resume, mutants already
   /// judged in the existing file are skipped and new lines appended.
   std::string journal_path;

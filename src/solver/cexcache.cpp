@@ -1,0 +1,112 @@
+#include "solver/cexcache.hpp"
+
+#include <algorithm>
+
+namespace rvsym::solver {
+
+std::optional<std::uint64_t> CexCache::Model::get(const CanonHash& var) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), var,
+      [](const std::pair<CanonHash, std::uint64_t>& a, const CanonHash& b) {
+        return a.first.hi != b.hi ? a.first.hi < b.hi : a.first.lo < b.lo;
+      });
+  if (it == values.end() || !(it->first == var)) return std::nullopt;
+  return it->second;
+}
+
+void CexCache::Model::sort() {
+  std::sort(values.begin(), values.end(),
+            [](const std::pair<CanonHash, std::uint64_t>& a,
+               const std::pair<CanonHash, std::uint64_t>& b) {
+              return a.first.hi != b.first.hi ? a.first.hi < b.first.hi
+                                              : a.first.lo < b.first.lo;
+            });
+}
+
+CexCache::CexCache(unsigned shards) : shards_(shards == 0 ? 1 : shards) {}
+
+void CexCache::attachMetrics(obs::MetricsRegistry& registry) {
+  metric_model_hits_ = &registry.counter("cexcache.model_hits");
+  metric_core_hits_ = &registry.counter("cexcache.core_hits");
+}
+
+void CexCache::insertModel(const CanonHash& set_hash, Model model) {
+  model.sort();
+  Shard& s = shardFor(set_hash);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.map.size() >= kMaxModelsPerShard) return;
+  if (s.map.emplace(set_hash, std::move(model)).second)
+    models_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<CexCache::Model> CexCache::lookupModel(const CanonHash& set_hash) {
+  model_lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shardFor(set_hash);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(set_hash);
+  if (it == s.map.end()) return std::nullopt;
+  model_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_model_hits_) metric_model_hits_->add(1);
+  return it->second;
+}
+
+void CexCache::insertCore(std::vector<CanonHash> elems) {
+  if (elems.empty() || elems.size() > kMaxCoreElems) return;
+  // Dedup elements, then key the core by its commutative set hash.
+  std::sort(elems.begin(), elems.end(), [](const CanonHash& a,
+                                           const CanonHash& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  });
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  CanonHash key;
+  for (const CanonHash& e : elems) key = canonSetAdd(key, e);
+
+  std::lock_guard<std::mutex> lock(cores_mu_);
+  if (cores_.size() >= kMaxCores) return;
+  if (!core_keys_.emplace(key, 0).second) return;  // duplicate core
+  const auto id = static_cast<std::uint32_t>(cores_.size());
+  for (const CanonHash& e : elems) by_elem_[e].push_back(id);
+  cores_.push_back(std::move(elems));
+}
+
+bool CexCache::subsumesUnsat(const std::vector<CanonHash>& query_elems) {
+  core_lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cores_mu_);
+  if (cores_.empty()) return false;
+  // Count, per candidate core, how many of its elements the query
+  // contains; a core fully counted is a subset of the query. Query
+  // duplicates are skipped so they cannot double-count.
+  std::unordered_map<std::uint32_t, std::size_t> matched;
+  std::vector<CanonHash> seen;
+  seen.reserve(query_elems.size());
+  for (const CanonHash& e : query_elems) {
+    if (std::find(seen.begin(), seen.end(), e) != seen.end()) continue;
+    seen.push_back(e);
+    const auto it = by_elem_.find(e);
+    if (it == by_elem_.end()) continue;
+    for (const std::uint32_t id : it->second) {
+      if (++matched[id] == cores_[id].size()) {
+        core_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (metric_core_hits_) metric_core_hits_->add(1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+CexCache::Stats CexCache::stats() const {
+  Stats st;
+  st.models = models_.load(std::memory_order_relaxed);
+  st.model_hits = model_hits_.load(std::memory_order_relaxed);
+  st.model_lookups = model_lookups_.load(std::memory_order_relaxed);
+  st.core_hits = core_hits_.load(std::memory_order_relaxed);
+  st.core_lookups = core_lookups_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cores_mu_);
+    st.cores = cores_.size();
+  }
+  return st;
+}
+
+}  // namespace rvsym::solver

@@ -1,0 +1,132 @@
+// Counterexample / subsumption cache (KLEE's counterexample cache
+// adapted to the replay-based engine; DESIGN.md §10).
+//
+// Two stores, both keyed builder-independently via CanonHash so entries
+// transfer across paths and across the parallel engine's workers:
+//
+//  * Model store: satisfying assignments keyed by the canonical
+//    *constraint-set* hash. A stored model witnesses "this exact set is
+//    satisfiable"; a later query (set, assumption) over the same set is
+//    answered Sat by merely *evaluating* the assumption under the model
+//    (expr::evaluate) — a superset query's extra conjunct is checked the
+//    same way, no solving. Variables are keyed by their canonical
+//    (name-based) hash; variables absent from a model are free in the
+//    stored set and read as 0, which is exactly the extension
+//    expr::evaluate applies, so evaluation under the translated model is
+//    faithful.
+//
+//  * Core store: minimized UNSAT cores as sets of canonical conjunct
+//    hashes (the assumption, when it contributes, is just another
+//    element). A query whose element set is a *superset* of any stored
+//    core is UNSAT for free: its conjunction implies the core's
+//    conjunction. Cores come from the CDCL final conflict under
+//    selector assumptions (SatSolver::conflict()), so sibling branches
+//    that share the infeasibility's actual cause subsume even when their
+//    constraint sets diverge elsewhere.
+//
+// Verdicts answered from either store are semantic facts about the
+// query, identical to what a solver run would return — which is why the
+// cache can be shared across workers without affecting `--jobs`
+// byte-parity. Thread safety: models are sharded behind per-shard
+// mutexes; the core store uses one mutex (core insertion is rare
+// relative to lookups, and lookups must scan an inverted index anyway).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "solver/querycache.hpp"
+
+namespace rvsym::solver {
+
+class CexCache {
+ public:
+  /// A satisfying assignment, builder-independent: (canonical variable
+  /// hash, value) pairs sorted by hash for binary search.
+  struct Model {
+    std::vector<std::pair<CanonHash, std::uint64_t>> values;
+
+    std::optional<std::uint64_t> get(const CanonHash& var) const;
+    void sort();
+  };
+
+  struct Stats {
+    std::uint64_t models = 0;
+    std::uint64_t cores = 0;
+    std::uint64_t model_hits = 0;
+    std::uint64_t model_lookups = 0;
+    std::uint64_t core_hits = 0;
+    std::uint64_t core_lookups = 0;
+  };
+
+  explicit CexCache(unsigned shards = 16);
+
+  /// Mirrors traffic into "cexcache.model_hits" / "cexcache.core_hits"
+  /// registry counters (timing-dependent under --jobs, like qcache.*).
+  void attachMetrics(obs::MetricsRegistry& registry);
+
+  /// Stores a model satisfying the constraint set hashed as `set_hash`.
+  /// `model.values` need not be sorted. First writer wins: identical
+  /// keys may carry *different* (equally valid) witnesses, and keeping
+  /// the first avoids churn.
+  void insertModel(const CanonHash& set_hash, Model model);
+
+  /// The stored witness for exactly this constraint set, if any.
+  std::optional<Model> lookupModel(const CanonHash& set_hash);
+
+  /// Stores an UNSAT core as a set of canonical element hashes.
+  /// Duplicate cores and cores above the size cap are dropped.
+  void insertCore(std::vector<CanonHash> elems);
+
+  /// True iff some stored core is a subset of `query_elems` (which then
+  /// proves the query UNSAT). `query_elems` may contain duplicates.
+  bool subsumesUnsat(const std::vector<CanonHash>& query_elems);
+
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CanonHash& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<CanonHash, Model, KeyHash> map;
+  };
+
+  // Caps keep memory bounded on adversarial workloads; hit-rate loss
+  // from dropping entries is benign (a miss just means solving).
+  static constexpr std::size_t kMaxModelsPerShard = 1u << 14;
+  static constexpr std::size_t kMaxCores = 1u << 13;
+  static constexpr std::size_t kMaxCoreElems = 64;
+
+  Shard& shardFor(const CanonHash& key) {
+    return shards_[static_cast<std::size_t>(key.hi) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+
+  mutable std::mutex cores_mu_;
+  std::vector<std::vector<CanonHash>> cores_;
+  // Inverted index: element hash -> indices of cores containing it.
+  std::unordered_map<CanonHash, std::vector<std::uint32_t>, KeyHash> by_elem_;
+  // Set-hash of each stored core, for dedup.
+  std::unordered_map<CanonHash, char, KeyHash> core_keys_;
+
+  std::atomic<std::uint64_t> models_{0};
+  std::atomic<std::uint64_t> model_hits_{0};
+  std::atomic<std::uint64_t> model_lookups_{0};
+  std::atomic<std::uint64_t> core_hits_{0};
+  std::atomic<std::uint64_t> core_lookups_{0};
+  obs::Counter* metric_model_hits_ = nullptr;
+  obs::Counter* metric_core_hits_ = nullptr;
+};
+
+}  // namespace rvsym::solver

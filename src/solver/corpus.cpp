@@ -181,6 +181,35 @@ CheckResult replayQuery(expr::ExprBuilder& eb, const CorpusQuery& q,
   return r;
 }
 
+ReplayOutcome replayQueryOpt(expr::ExprBuilder& eb, const CorpusQuery& q,
+                             const ReplayOptions& opts) {
+  ReplayOutcome out;
+  PathSolver ps(eb);
+  ps.setOptions(opts.solver_opt);
+  if (opts.query_cache || opts.hasher)
+    ps.attachCache(opts.query_cache, opts.hasher);
+  if (opts.cex_cache) ps.attachCexCache(opts.cex_cache);
+  ps.enableTiming(true);
+  for (const expr::ExprRef& c : q.constraints) {
+    if (!ps.addConstraint(c)) {
+      out.verdict = CheckResult::Unsat;
+      out.via = "const";
+      return out;
+    }
+  }
+  out.verdict = q.assumption ? ps.check(q.assumption) : ps.checkPath();
+  const QueryStats& s = ps.stats();
+  out.solve_us = s.solve_us;
+  if (s.cache_hits) out.via = "exact";
+  else if (s.cex_model_hits) out.via = "cex-model";
+  else if (s.cex_core_hits) out.via = "cex-core";
+  else if (s.rewrite_decided) out.via = "rewrite";
+  else if (s.sliced_solves) out.via = "slice";
+  else if (s.sat_solves) out.via = "solve";
+  else out.via = "const";
+  return out;
+}
+
 std::vector<expr::ExprRef> ddminConstraints(expr::ExprBuilder& eb,
                                             const CorpusQuery& q,
                                             std::uint64_t* replays) {

@@ -75,6 +75,36 @@ std::optional<CorpusQuery> loadQueryFile(expr::ExprBuilder& eb,
 CheckResult replayQuery(expr::ExprBuilder& eb, const CorpusQuery& q,
                         std::uint64_t* solve_us = nullptr);
 
+/// Replay configuration for the acceleration-aware overload: which
+/// pipeline layers run (DESIGN.md §10) and, optionally, caches shared
+/// across the queries of one corpus sweep — the offline stand-in for a
+/// live run's cross-path reuse.
+struct ReplayOptions {
+  SolverOptions solver_opt = SolverOptions::none();
+  QueryCache* query_cache = nullptr;  ///< may be null
+  CexCache* cex_cache = nullptr;      ///< may be null
+  /// Canonical hasher shared across queries (single-threaded replay);
+  /// null = the solver's private hasher.
+  CanonicalHasher* hasher = nullptr;
+};
+
+struct ReplayOutcome {
+  CheckResult verdict = CheckResult::Unknown;
+  std::uint64_t solve_us = 0;  ///< SAT time of this replay
+  /// Which layer answered: "const" (constraint folding), "exact",
+  /// "cex-model", "cex-core", "rewrite", "slice", or "solve" (a full
+  /// SAT solve). Derived from the per-solver QueryStats — a fresh
+  /// solver runs exactly one check, so the attribution is unambiguous.
+  const char* via = "solve";
+};
+
+/// Acceleration-aware replay: like replayQuery but with the layered
+/// pipeline configured by `opts`, reporting where the verdict came
+/// from. Verdicts are identical to the plain replay for any
+/// configuration (the layers are sound).
+ReplayOutcome replayQueryOpt(expr::ExprBuilder& eb, const CorpusQuery& q,
+                             const ReplayOptions& opts);
+
 /// ddmin over the constraint conjuncts: returns a 1-minimal subset of
 /// q.constraints whose replay verdict still equals q.verdict. With
 /// `replays`, reports how many replay solves the search spent.

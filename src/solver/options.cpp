@@ -1,0 +1,57 @@
+#include "solver/options.hpp"
+
+namespace rvsym::solver {
+
+bool parseSolverOpt(std::string_view spec, SolverOptions* out,
+                    std::string* error) {
+  if (spec == "all" || spec.empty()) {
+    *out = SolverOptions::all();
+    return true;
+  }
+  if (spec == "none") {
+    *out = SolverOptions::none();
+    return true;
+  }
+  SolverOptions o = SolverOptions::none();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view tok =
+        spec.substr(pos, comma == std::string_view::npos ? comma : comma - pos);
+    if (tok == "cex") {
+      o.cex_cache = true;
+    } else if (tok == "cores") {
+      o.unsat_cores = true;
+    } else if (tok == "rewrite") {
+      o.rewrite = true;
+    } else if (tok == "slice") {
+      o.slicing = true;
+    } else if (!tok.empty()) {
+      if (error)
+        *error = "unknown solver-opt layer '" + std::string(tok) +
+                 "' (use all, none, or a comma list of cex,cores,rewrite,slice)";
+      return false;
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  *out = o;
+  return true;
+}
+
+std::string solverOptName(const SolverOptions& o) {
+  if (o == SolverOptions::all()) return "all";
+  if (!o.any()) return "none";
+  std::string s;
+  const auto add = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (o.cex_cache) add("cex");
+  if (o.unsat_cores) add("cores");
+  if (o.rewrite) add("rewrite");
+  if (o.slicing) add("slice");
+  return s;
+}
+
+}  // namespace rvsym::solver

@@ -1,0 +1,56 @@
+// SolverOptions — ablation toggles for the layered query-answering
+// pipeline in PathSolver::check() (see DESIGN.md §10).
+//
+// Every layer is individually switchable so benchmarks can isolate each
+// one's contribution (--solver-opt=). All layers are *sound*: they only
+// change how a verdict is obtained, never which verdict — and model()
+// stays a pure function of the constraint set — so verdicts, test
+// vectors and repro bundles are byte-identical for any combination.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rvsym::solver {
+
+struct SolverOptions {
+  /// Counterexample cache: satisfying models keyed by canonical
+  /// constraint-set hash (shared across paths/workers) plus the
+  /// path-local last model, reused by evaluating the assumption; UNSAT
+  /// entries answered by core-subset subsumption.
+  bool cex_cache = true;
+  /// UNSAT-core extraction: conjuncts are solved as assumption literals
+  /// and the CDCL final conflict is mapped back to the contributing
+  /// conjuncts, so stored UNSAT entries are minimized.
+  bool unsat_cores = true;
+  /// Pre-bitblast rewrite of the assumption: equality substitution from
+  /// the constraint set plus extract/zero-extend narrowing; assumptions
+  /// that collapse to a constant never reach the SAT solver.
+  bool rewrite = true;
+  /// Independent-constraint slicing: the conjunction is partitioned by
+  /// shared symbolic variables and only the slice connected to the
+  /// assumption is passed to the SAT solver.
+  bool slicing = true;
+
+  bool any() const { return cex_cache || unsat_cores || rewrite || slicing; }
+  /// True iff conjuncts are solved as selector assumptions instead of
+  /// asserted unit clauses (required by slicing and core extraction).
+  bool selectorMode() const { return unsat_cores || slicing; }
+
+  static SolverOptions all() { return SolverOptions{}; }
+  static SolverOptions none() { return {false, false, false, false}; }
+
+  friend bool operator==(const SolverOptions&, const SolverOptions&) = default;
+};
+
+/// Parses a --solver-opt= spec: "all", "none", or a comma-separated list
+/// of layer names from {cex, cores, rewrite, slice} (listed layers on,
+/// the rest off). Returns false (and sets *error) on an unknown token.
+bool parseSolverOpt(std::string_view spec, SolverOptions* out,
+                    std::string* error = nullptr);
+
+/// Canonical spec string for `o` ("all", "none", or the comma list) —
+/// parseSolverOpt(solverOptName(o)) round-trips.
+std::string solverOptName(const SolverOptions& o);
+
+}  // namespace rvsym::solver

@@ -443,6 +443,7 @@ SatSolver::Result SatSolver::search(const std::vector<Lit>& assumptions,
         if (value(a) == LBool::True) {
           newDecisionLevel();  // already satisfied; dummy level
         } else if (value(a) == LBool::False) {
+          analyzeFinal(a);       // which assumptions forced ~a
           return Result::Unsat;  // conflicting assumption
         } else {
           next = a;
@@ -464,9 +465,37 @@ SatSolver::Result SatSolver::search(const std::vector<Lit>& assumptions,
   }
 }
 
+void SatSolver::analyzeFinal(Lit p) {
+  // `p` is a failed assumption (value(p) == False; ~p is on the trail).
+  // Walk the trail top-down from the first decision, expanding reasons;
+  // every decision reached is an assumption literal (the trail prefix is
+  // built from assumptions before any free decision is made), and joins
+  // the core. conflict_ holds the assumption literals themselves.
+  conflict_.clear();
+  conflict_.push_back(p);
+  if (decisionLevel() == 0) return;
+  seen_[static_cast<size_t>(var(p))] = 1;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trail_lim_[0]; --i) {
+    const Var x = var(trail_[i]);
+    if (!seen_[static_cast<size_t>(x)]) continue;
+    seen_[static_cast<size_t>(x)] = 0;
+    const ClauseRef cr = reason_[static_cast<size_t>(x)];
+    if (cr == kNoReason) {
+      if (level_[static_cast<size_t>(x)] > 0) conflict_.push_back(trail_[i]);
+    } else {
+      const Clause& c = clauses_[static_cast<size_t>(cr)];
+      for (std::size_t j = 1; j < c.lits.size(); ++j)
+        if (level_[static_cast<size_t>(var(c.lits[j]))] > 0)
+          seen_[static_cast<size_t>(var(c.lits[j]))] = 1;
+    }
+  }
+  seen_[static_cast<size_t>(var(p))] = 0;
+}
+
 SatSolver::Result SatSolver::solve(const std::vector<Lit>& assumptions,
                                    std::uint64_t max_conflicts) {
   ++stats_.solves;
+  conflict_.clear();
   if (!ok_) return Result::Unsat;
   cancelUntil(0);
   const Result r = search(assumptions, max_conflicts);

@@ -83,6 +83,13 @@ class SatSolver {
   bool okay() const { return ok_; }
   const Stats& stats() const { return stats_; }
 
+  /// After solve() returned Unsat: the subset of the assumption literals
+  /// whose conjunction with the clause database is unsatisfiable (an
+  /// UNSAT core over the assumptions, MiniSat's analyzeFinal). Empty iff
+  /// the clauses alone are unsatisfiable. Not minimal, but typically far
+  /// smaller than the full assumption set.
+  const std::vector<Lit>& conflict() const { return conflict_; }
+
   /// Number of live problem (non-learnt) clauses.
   std::size_t numProblemClauses() const;
 
@@ -123,6 +130,7 @@ class SatSolver {
   bool litRedundant(Lit l, std::uint32_t abstract_levels);
   Lit pickBranchLit();
   Result search(const std::vector<Lit>& assumptions, std::uint64_t conflict_budget);
+  void analyzeFinal(Lit p);
   void reduceDB();
   void attachClause(ClauseRef cref);
 
@@ -159,6 +167,7 @@ class SatSolver {
   std::vector<char> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_toclear_;
+  std::vector<Lit> conflict_;
 
   bool ok_ = true;
   Stats stats_;

@@ -42,7 +42,15 @@ void SolverTelemetry::attachMetrics(obs::MetricsRegistry& registry) {
 bool SolverTelemetry::record(const Query& q) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (m_queries_) m_queries_->add();
-  if (q.disposition == Disposition::Hit) return false;  // never solved
+  switch (q.disposition) {
+    case Disposition::Hit:
+    case Disposition::CexModel:
+    case Disposition::CexCore:
+    case Disposition::Rewrite:
+      return false;  // answered without bit-blasting or solving
+    default:
+      break;
+  }
 
   if (m_bitblast_us_) m_bitblast_us_->record(q.bitblast_us);
   if (m_sat_us_) m_sat_us_->record(q.sat_us);
@@ -86,6 +94,26 @@ bool SolverTelemetry::dump(const Query& q,
   if (!writeFile(base + ".cnf", dimacs)) return false;
   dumped_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+const char* dispositionName(SolverTelemetry::Disposition d) {
+  switch (d) {
+    case SolverTelemetry::Disposition::Uncached:
+      return "uncached";
+    case SolverTelemetry::Disposition::Hit:
+      return "exact";
+    case SolverTelemetry::Disposition::Miss:
+      return "solve";
+    case SolverTelemetry::Disposition::CexModel:
+      return "cex-model";
+    case SolverTelemetry::Disposition::CexCore:
+      return "cex-core";
+    case SolverTelemetry::Disposition::Rewrite:
+      return "rewrite";
+    case SolverTelemetry::Disposition::Sliced:
+      return "slice";
+  }
+  return "?";
 }
 
 }  // namespace rvsym::solver

@@ -45,7 +45,15 @@ class SolverTelemetry {
     std::string corpus_dir;
   };
 
-  enum class Disposition { Uncached, Hit, Miss };
+  /// How a check was answered (DESIGN.md §10): Hit = exact-hash
+  /// QueryCache; CexModel / CexCore = counterexample cache (stored model
+  /// re-evaluated / UNSAT-core subsumption); Rewrite = assumption
+  /// collapsed to a constant pre-bitblast; Sliced = solved, but only the
+  /// constraint slice sharing variables with the assumption was passed
+  /// to the SAT solver; Miss = full solve; Uncached = solved with no
+  /// cache attached.
+  enum class Disposition { Uncached, Hit, Miss, CexModel, CexCore, Rewrite,
+                           Sliced };
 
   struct Query {
     CanonHash hash;
@@ -103,5 +111,9 @@ class SolverTelemetry {
   obs::Histogram* m_sat_us_ = nullptr;
   obs::Histogram* m_nodes_ = nullptr;
 };
+
+/// Short stable name for a disposition ("uncached", "exact", "solve",
+/// "cex-model", "cex-core", "rewrite", "slice").
+const char* dispositionName(SolverTelemetry::Disposition d);
 
 }  // namespace rvsym::solver

@@ -41,6 +41,29 @@ void emitHeartbeat(const EngineReport& report, double elapsed_s,
                     static_cast<unsigned long long>(slow));
       solver_line += buf;
     }
+    // Disposition split (ISSUE 6): where checks were actually answered —
+    // exact-hash cache, counterexample cache (model eval / core
+    // subsumption), pre-bitblast rewrite — vs. real (possibly sliced)
+    // solves, which the histogram above counts.
+    const std::uint64_t exact = metrics->counter("qcache.hits").get();
+    const std::uint64_t cexm = metrics->counter("cexcache.model_hits").get();
+    const std::uint64_t cexc = metrics->counter("cexcache.core_hits").get();
+    const std::uint64_t rw = metrics->counter("solver.rewrite_decided").get();
+    const std::uint64_t sliced = metrics->counter("solver.sliced_solves").get();
+    if (exact + cexm + cexc + rw + sliced != 0) {
+      std::snprintf(buf, sizeof buf,
+                    " answered exact=%llu cexm=%llu cexc=%llu rw=%llu",
+                    static_cast<unsigned long long>(exact),
+                    static_cast<unsigned long long>(cexm),
+                    static_cast<unsigned long long>(cexc),
+                    static_cast<unsigned long long>(rw));
+      solver_line += buf;
+      if (sliced != 0) {
+        std::snprintf(buf, sizeof buf, " sliced=%llu",
+                      static_cast<unsigned long long>(sliced));
+        solver_line += buf;
+      }
+    }
   }
   std::fprintf(stderr,
                "[rvsym] t=%.1fs paths=%llu (completed=%llu errors=%llu "
@@ -175,16 +198,27 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
   worklist_.push_back(WorkItem{0, {}});
   std::uint64_t next_path_id = 1;
 
+  // Run-scoped solver acceleration: one canonical hasher (the
+  // single-threaded engine shares one builder across paths) and a
+  // counterexample cache reused by every path of this run. The
+  // exact-hash QueryCache stays a parallel-engine feature — the cex
+  // cache covers cross-path reuse here, and report.qcache_* stays 0.
+  solver::CanonicalHasher run_hasher;
+  solver::CexCache run_cex;
+  if (options_.metrics) run_cex.attachMetrics(*options_.metrics);
+
   ExecState::Limits limits{options_.max_decisions_per_path,
                            options_.solver_max_conflicts,
                            options_.take_true_first,
                            options_.use_known_bits,
                            nullptr,
-                           nullptr,
+                           &run_hasher,
                            options_.metrics,
                            options_.telemetry,
                            options_.profiler,
-                           options_.trace != nullptr};
+                           options_.trace != nullptr,
+                           &run_cex,
+                           options_.solver_opt};
 
   auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - start).count();

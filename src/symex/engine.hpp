@@ -45,6 +45,11 @@ struct EngineOptions {
   std::uint32_t random_seed = 0x5eed5eed;
   /// Known-bits fast path (disable only for ablation benchmarks).
   bool use_known_bits = true;
+  /// Solver acceleration layers (--solver-opt=; solver/options.hpp).
+  /// Every layer is sound, so verdicts, test vectors and reports are
+  /// byte-identical across configurations; only timing fields move.
+  /// Ignored when solver_max_conflicts != 0.
+  solver::SolverOptions solver_opt{};
   /// Keep at most this many non-error path records in the report
   /// (counters are exact regardless). 0 = keep all.
   std::uint64_t max_stored_paths = 0;

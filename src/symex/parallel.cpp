@@ -27,6 +27,13 @@ struct PathOutcome {
   /// other workers solved first).
   std::uint64_t qc_hits = 0;
   std::uint64_t qc_misses = 0;
+  /// Checks answered by the cex/subsumption layers (model eval + core
+  /// subsumption) and by the rewrite layer. Timing-dependent for the
+  /// same reason as qc_hits: the shared store's contents depend on what
+  /// other workers solved first (and an exact-cache hit preempts the
+  /// later layers), hence the parity-stripped qc_ trace prefix.
+  std::uint64_t qc_cex_hits = 0;
+  std::uint64_t qc_rewrites = 0;
   /// Worker that executed (not committed) this path — the per-worker
   /// attribution key for cache traffic (qc_worker path_end field).
   unsigned worker = 0;
@@ -99,6 +106,9 @@ PathOutcome executePath(const PathProgram& program, expr::ExprBuilder& eb,
   out.solver_checks = state.solverStats().checks;
   out.qc_hits = state.solverStats().cache_hits;
   out.qc_misses = state.solverStats().cache_misses;
+  out.qc_cex_hits =
+      state.solverStats().cex_model_hits + state.solverStats().cex_core_hits;
+  out.qc_rewrites = state.solverStats().rewrite_decided;
   out.trace_events = std::move(state.traceEvents());
   out.times = state.times();
   if (options.collect_test_vectors &&
@@ -197,6 +207,22 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
     }
   }
 
+  // The counterexample/subsumption store follows the same budget rule
+  // (a budgeted Unknown is not a semantic fact, so the layers are off
+  // entirely — ExecState skips them — and attaching a store would only
+  // force canonical hashing).
+  std::unique_ptr<solver::CexCache> owned_cex;
+  solver::CexCache* cex = nullptr;
+  if (options_.solver_max_conflicts == 0 && options_.solver_opt.cex_cache) {
+    if (options_.shared_cex_cache) {
+      cex = options_.shared_cex_cache;
+    } else {
+      owned_cex = std::make_unique<solver::CexCache>(options_.cache_shards);
+      if (options_.metrics) owned_cex->attachMetrics(*options_.metrics);
+      cex = owned_cex.get();
+    }
+  }
+
   std::vector<WorkerState> workers(jobs);
   for (unsigned i = 0; i < jobs; ++i) {
     workers[i].index = i;
@@ -210,11 +236,16 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                           options_.take_true_first,
                           options_.use_known_bits,
                           cache,
-                          cache ? workers[i].hasher.get() : nullptr,
+                          // The worker hasher memoizes canonical hashes
+                          // across the worker's paths; worth attaching for
+                          // the cex store even with the query cache off.
+                          (cache || cex) ? workers[i].hasher.get() : nullptr,
                           options_.metrics,
                           options_.telemetry,
                           options_.profiler,
-                          options_.trace != nullptr};
+                          options_.trace != nullptr,
+                          cex,
+                          options_.solver_opt};
   }
 
   Shared sh;
@@ -385,6 +416,8 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                       // qc_* fields are timing-dependent (see trace.hpp).
                       .num("qc_hits", out.qc_hits)
                       .num("qc_misses", out.qc_misses)
+                      .num("qc_cex_hits", out.qc_cex_hits)
+                      .num("qc_rewrites", out.qc_rewrites)
                       .num("qc_worker",
                            static_cast<std::uint64_t>(out.worker)));
       if (committed_counter) committed_counter->add();

@@ -83,6 +83,14 @@ struct ParallelEngineOptions : EngineOptions {
   /// observed, so concurrent runs sharing the cache never leak their
   /// lookups into each other's reports.
   solver::QueryCache* shared_cache = nullptr;
+  /// Externally owned counterexample/subsumption cache shared beyond
+  /// this run (the mutation campaign spans one across every hunt —
+  /// mutants replay near-identical decode cascades, so model and core
+  /// reuse is high). Same soundness argument as shared_cache: answers
+  /// are semantic facts. When null and solver_opt.cex_cache is on, the
+  /// run owns a private store shared across its workers. Auto-disabled
+  /// when solver_max_conflicts != 0.
+  solver::CexCache* shared_cex_cache = nullptr;
 };
 
 class ParallelEngine {

@@ -27,10 +27,16 @@ ExecState::ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,
                      Limits limits)
     : eb_(eb), solver_(eb), forced_(std::move(forced_decisions)),
       limits_(limits) {
-  if (limits_.query_cache && limits_.query_hasher)
+  if (limits_.query_hasher)
     solver_.attachCache(limits_.query_cache, limits_.query_hasher);
-  if (limits_.metrics)
-    solver_.attachMetrics(&limits_.metrics->histogram("solver.check_us"));
+  if (limits_.solver_max_conflicts == 0) {
+    solver_.setOptions(limits_.solver_opt);
+    // Only attach the shared cex/subsumption store when the layer is on;
+    // attaching it would otherwise force canonical hashing for nothing.
+    solver_.attachCexCache(limits_.solver_opt.cex_cache ? limits_.cex_cache
+                                                        : nullptr);
+  }
+  if (limits_.metrics) solver_.attachMetrics(limits_.metrics);
   if (limits_.telemetry) solver_.attachTelemetry(limits_.telemetry);
   if (limits_.profiler) solver_.attachProfiler(limits_.profiler);
   // A trace sink wants exact per-path solver-time attribution at

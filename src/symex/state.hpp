@@ -101,6 +101,14 @@ class ExecState {
     /// Buffer path-local trace events (see traceEvent below). Set by the
     /// engines iff a trace sink is configured.
     bool trace_path_events = false;
+    /// Optional shared counterexample/subsumption cache (thread-safe).
+    /// Needs query_hasher (or the solver's private hasher) for canonical
+    /// keys.
+    solver::CexCache* cex_cache = nullptr;
+    /// Solver acceleration layers (DESIGN.md §10). Ignored when
+    /// solver_max_conflicts != 0: budgeted runs bypass every cache layer
+    /// anyway, so the plain incremental solver is kept.
+    solver::SolverOptions solver_opt{};
   };
 
   ExecState(expr::ExprBuilder& eb, std::vector<bool> forced_decisions,

@@ -74,9 +74,9 @@ TEST(Harness, MedianU64) {
   EXPECT_EQ(bench::medianU64({100, 1, 100}), 100u);
 }
 
-TEST(Harness, RegistryCoversAllNineBenchesWithSmokeSubset) {
+TEST(Harness, RegistryCoversAllTenBenchesWithSmokeSubset) {
   const auto& benches = bench::allBenches();
-  EXPECT_EQ(benches.size(), 9u);
+  EXPECT_EQ(benches.size(), 10u);
   std::size_t smoke = 0;
   for (const auto& b : benches) {
     EXPECT_FALSE(b.name.empty());
@@ -84,7 +84,7 @@ TEST(Harness, RegistryCoversAllNineBenchesWithSmokeSubset) {
     if (b.smoke) ++smoke;
   }
   // Everything but the ~45s fuzz_vs_symex comparison gates CI.
-  EXPECT_EQ(smoke, 8u);
+  EXPECT_EQ(smoke, 9u);
 }
 
 TEST(Harness, EnvJsonParsesAndNamesThePlatform) {

@@ -36,6 +36,7 @@
 #include "mut/space.hpp"
 #include "obs/analyze/mutation_report.hpp"
 #include "obs/bundle.hpp"
+#include "solver/options.hpp"
 
 namespace {
 
@@ -51,7 +52,7 @@ int usage() {
       "           [--max-seconds S] [--scenario S] [--survivor-dir DIR]\n"
       "           [--trace-dir DIR]\n"
       "           [--bundle-killed DIR] [--html FILE] [--heartbeat SECS]\n"
-      "           [--no-equivalence] [--no-cache]\n"
+      "           [--no-equivalence] [--no-cache] [--solver-opt S]\n"
       "       rvsym-mutate report <journal> [--html FILE]\n"
       "       rvsym-mutate diff <journalA> <journalB>\n"
       "\n"
@@ -207,6 +208,12 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
       opts.check_decode_equivalence = false;
     } else if (a == "--no-cache") {
       opts.use_query_cache = false;
+    } else if (a == "--solver-opt") {
+      std::string err;
+      if (!solver::parseSolverOpt(next(), &opts.solver_opt, &err)) {
+        std::fprintf(stderr, "--solver-opt: %s\n", err.c_str());
+        return 2;
+      }
     } else {
       return usage();
     }

@@ -2,14 +2,17 @@
 // solver telemetry dumps during a run (--slow-query-dir on
 // rvsym-verify; solver/corpus.hpp documents the file format).
 //
-//   rvsym-profile replay <file-or-dir>...
+//   rvsym-profile replay [--solver-opt S] <file-or-dir>...
 //       Re-solves every q_*.query file from scratch on the current
 //       solver and compares the verdict against the one recorded when
 //       the query was dumped. Prints per-query timing (recorded vs
 //       replayed) so solver changes can be judged on the exact queries
-//       that were slow. Exit 1 when any verdict diverges (a recorded
-//       Sat/Unsat is a semantic fact — divergence means a solver bug),
-//       2 on unreadable input.
+//       that were slow. With --solver-opt, replays through the layered
+//       acceleration pipeline (caches shared across the corpus) and
+//       reports which layer answered each query — the offline ablation
+//       console for DESIGN.md §10. Exit 1 when any verdict diverges (a
+//       recorded Sat/Unsat is a semantic fact — divergence means a
+//       solver bug), 2 on unreadable input.
 //
 //   rvsym-profile shrink <file> [--out FILE]
 //       ddmin over the query's constraint conjuncts: finds a 1-minimal
@@ -22,11 +25,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "expr/builder.hpp"
 #include "solver/corpus.hpp"
+#include "solver/options.hpp"
 
 namespace {
 
@@ -35,8 +40,13 @@ namespace fs = std::filesystem;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s replay <file-or-dir>...\n"
-               "       %s shrink <file> [--out FILE]\n",
+               "usage: %s replay [--solver-opt S] <file-or-dir>...\n"
+               "       %s shrink <file> [--out FILE]\n"
+               "\n"
+               "--solver-opt S: replay through the layered acceleration\n"
+               "pipeline (S = all | none | csv of cex,cores,rewrite,slice)\n"
+               "with caches shared across the corpus, and report which\n"
+               "layer answered each query.\n",
                argv0, argv0);
   return 2;
 }
@@ -60,16 +70,50 @@ std::vector<std::string> collectQueryFiles(
 }
 
 int cmdReplay(const std::vector<std::string>& args) {
-  const std::vector<std::string> files = collectQueryFiles(args);
+  bool accel = false;
+  solver::SolverOptions sopt = solver::SolverOptions::none();
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--solver-opt" && i + 1 < args.size()) {
+      std::string err;
+      if (!solver::parseSolverOpt(args[++i], &sopt, &err)) {
+        std::fprintf(stderr, "--solver-opt: %s\n", err.c_str());
+        return 2;
+      }
+      accel = true;
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  const std::vector<std::string> files = collectQueryFiles(inputs);
   if (files.empty()) {
     std::fprintf(stderr, "no .query files found\n");
     return 2;
   }
-  std::printf("%-38s %-8s %-8s %12s %12s  %s\n", "query", "recorded",
-              "replayed", "was[us]", "now[us]", "verdict");
+
+  // Accelerated sweep: one builder/hasher and caches shared across the
+  // whole corpus — the offline stand-in for a live run's cross-path
+  // reuse. (The hasher memoizes by node pointer, so it must share the
+  // builder's lifetime; hence one builder for all queries here, vs. the
+  // fresh-per-query builder of the plain path below.)
+  expr::ExprBuilder shared_eb;
+  solver::CanonicalHasher shared_hasher;
+  solver::QueryCache shared_qc;
+  solver::CexCache shared_cex;
+  solver::ReplayOptions ropts;
+  ropts.solver_opt = sopt;
+  ropts.query_cache = &shared_qc;
+  ropts.cex_cache = sopt.cex_cache ? &shared_cex : nullptr;
+  ropts.hasher = &shared_hasher;
+
+  std::printf("%-38s %-8s %-8s %12s %12s  %-9s %s\n", "query", "recorded",
+              "replayed", "was[us]", "now[us]", accel ? "via" : "", "verdict");
   int mismatches = 0, errors = 0;
+  std::uint64_t was_total = 0, now_total = 0;
+  std::map<std::string, int> via_counts;
   for (const std::string& path : files) {
-    expr::ExprBuilder eb;  // fresh builder per query: no cross-talk
+    expr::ExprBuilder local_eb;  // plain path: fresh builder, no cross-talk
+    expr::ExprBuilder& eb = accel ? shared_eb : local_eb;
     std::string err;
     const auto q = solver::loadQueryFile(eb, path, &err);
     const std::string base = fs::path(path).filename().string();
@@ -79,19 +123,41 @@ int cmdReplay(const std::vector<std::string>& args) {
       continue;
     }
     std::uint64_t now_us = 0;
-    const solver::CheckResult got = solver::replayQuery(eb, *q, &now_us);
+    solver::CheckResult got;
+    const char* via = "";
+    if (accel) {
+      const solver::ReplayOutcome out = solver::replayQueryOpt(eb, *q, ropts);
+      got = out.verdict;
+      now_us = out.solve_us;
+      via = out.via;
+      ++via_counts[via];
+    } else {
+      got = solver::replayQuery(eb, *q, &now_us);
+    }
     // Unknown was never dumped by telemetry (budget artifact), so any
     // recorded verdict is a semantic fact the replay must reproduce.
     const bool match = got == q->verdict;
     if (!match) ++mismatches;
-    std::printf("%-38s %-8s %-8s %12llu %12llu  %s\n", base.c_str(),
+    was_total += q->sat_us;
+    now_total += now_us;
+    std::printf("%-38s %-8s %-8s %12llu %12llu  %-9s %s\n", base.c_str(),
                 solver::verdictName(q->verdict), solver::verdictName(got),
                 static_cast<unsigned long long>(q->sat_us),
-                static_cast<unsigned long long>(now_us),
+                static_cast<unsigned long long>(now_us), via,
                 match ? "ok" : "MISMATCH");
   }
   std::printf("%zu queries, %d verdict mismatches, %d unreadable\n",
               files.size(), mismatches, errors);
+  if (accel) {
+    std::printf("solver-opt=%s: recorded %llu us, replayed %llu us;"
+                " answered via",
+                solver::solverOptName(sopt).c_str(),
+                static_cast<unsigned long long>(was_total),
+                static_cast<unsigned long long>(now_total));
+    for (const auto& [name, count] : via_counts)
+      std::printf(" %s=%d", name.c_str(), count);
+    std::printf("\n");
+  }
   if (errors) return 2;
   return mismatches == 0 ? 0 : 1;
 }

@@ -29,6 +29,7 @@
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
 #include "rv32/instr.hpp"
+#include "solver/options.hpp"
 #include "solver/telemetry.hpp"
 #include "symex/ktest.hpp"
 
@@ -49,6 +50,8 @@ void usage(const char* argv0) {
       "  --seconds S        wall-clock budget              (default 60)\n"
       "  --searcher S       dfs | bfs | random             (default dfs)\n"
       "  --jobs N           parallel exploration workers   (default 1)\n"
+      "  --solver-opt S     solver acceleration layers: all | none | csv of\n"
+      "                     cex,cores,rewrite,slice        (default all)\n"
       "  --stop-on-error    stop at the first mismatch\n"
       "  --monitor          enable the RVFI self-consistency monitor\n"
       "  --ktest-dir DIR    export every test vector\n"
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
   std::string fault_id;
   std::string scenario = "all";
   std::string searcher = "dfs";
+  std::string solver_opt_spec = "all";
   std::string ktest_dir;
   std::string trace_out, metrics_out, repro_dir, replay_dir;
   std::string profile_out, slow_query_dir;
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seconds") seconds = std::atof(value());
     else if (arg == "--searcher") searcher = value();
     else if (arg == "--jobs") jobs = static_cast<unsigned>(std::atoi(value()));
+    else if (arg == "--solver-opt") solver_opt_spec = value();
     else if (arg == "--ktest-dir") ktest_dir = value();
     else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--metrics-out") metrics_out = value();
@@ -153,6 +158,15 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_dir.empty()) return runReplay(replay_dir);
+
+  solver::SolverOptions solver_opt;
+  {
+    std::string err;
+    if (!solver::parseSolverOpt(solver_opt_spec, &solver_opt, &err)) {
+      std::fprintf(stderr, "--solver-opt: %s\n", err.c_str());
+      return 2;
+    }
+  }
 
   // --- Build the co-simulation configuration ------------------------------
   core::CosimConfig cfg;
@@ -272,6 +286,7 @@ int main(int argc, char** argv) {
   options.engine.max_seconds = seconds;
   options.engine.stop_on_error = stop_on_error;
   options.engine.jobs = jobs == 0 ? 1 : jobs;
+  options.engine.solver_opt = solver_opt;
   options.engine.trace = trace_sink.get();
   if (want_metrics) options.engine.metrics = &registry;
   options.engine.heartbeat_seconds = heartbeat;
