@@ -13,8 +13,12 @@
 #include <sstream>
 #include <thread>
 
+#include <atomic>
+
 #include "obs/analyze/json_reader.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace rvsym::bench {
 
@@ -203,6 +207,39 @@ int runSuite(const RunOptions& opts) {
   std::error_code ec;
   if (!work.empty()) fs::create_directories(work, ec);
 
+  // Live suite telemetry: the registry counts finished bench
+  // invocations; the sampler's decorate hook shapes them into the
+  // generic work section (plus the in-flight bench name) so rvsym-top
+  // gets a progress bar and ETA over the whole suite.
+  obs::MetricsRegistry registry;
+  obs::Counter& invocations = registry.counter("bench.invocations");
+  std::atomic<const BenchSpec*> in_flight{nullptr};
+  const std::uint64_t total_invocations =
+      static_cast<std::uint64_t>(selected.size()) *
+      (opts.warmup + opts.repeats);
+  obs::TimeseriesOptions ts;
+  ts.out_path = opts.timeseries_out;
+  ts.status_path = opts.status_file;
+  ts.interval_s = opts.sample_interval_s;
+  ts.kind = "bench";
+  ts.total_work = total_invocations;
+  obs::TimeseriesSampler sampler(
+      ts, registry, [&](obs::HeartbeatSnapshot& s) {
+        s.has_work = true;
+        s.work_label = "invocations";
+        s.work_done = invocations.get();
+        s.work_total = total_invocations;
+        if (const BenchSpec* spec = in_flight.load())
+          s.extra = "bench=" + spec->name;
+      });
+  if (!opts.timeseries_out.empty() || !opts.status_file.empty()) {
+    std::string err;
+    if (!sampler.start(&err)) {
+      std::fprintf(stderr, "rvsym-bench: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
   std::vector<BenchRun> runs;
   bool all_ok = true;
   for (const BenchSpec* spec : selected) {
@@ -226,6 +263,7 @@ int runSuite(const RunOptions& opts) {
     BenchRun run;
     run.name = spec->name;
     run.ok = true;
+    in_flight.store(spec);
     const unsigned total = opts.warmup + opts.repeats;
     for (unsigned i = 0; i < total; ++i) {
       const bool timed = i >= opts.warmup;
@@ -236,6 +274,7 @@ int runSuite(const RunOptions& opts) {
       std::fflush(stdout);
       std::uint64_t wall_us = 0;
       const int rc = runCommand(cmd, wall_us);
+      invocations.add(1);
       if (rc != 0) {
         std::fprintf(stderr, "[%s] exited with %d (log: %s)\n",
                      spec->name.c_str(), rc, log_file.string().c_str());
@@ -267,6 +306,7 @@ int runSuite(const RunOptions& opts) {
                 run.wall_us.size(), run.ok ? "" : "  (FAILED)");
     runs.push_back(std::move(run));
   }
+  sampler.stop();
 
   std::FILE* f = std::fopen(opts.out_path.c_str(), "w");
   if (!f) {

@@ -68,6 +68,13 @@ struct RunOptions {
   /// Scratch directory for per-bench --out files and logs. Empty =
   /// alongside out_path.
   std::string work_dir;
+  /// Live telemetry: rvsym-timeseries-v1 stream / atomically rewritten
+  /// status object sampling suite progress (kind "bench", one work unit
+  /// per bench invocation, warmups included) — `rvsym-top` renders
+  /// either while the suite runs. Empty = off.
+  std::string timeseries_out;
+  std::string status_file;
+  double sample_interval_s = 0.5;
 };
 
 /// One bench's aggregated outcome.

@@ -11,6 +11,7 @@
 
 #include "core/coverage.hpp"
 #include "mut/journal.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 
@@ -52,6 +53,8 @@ symex::EngineReport runHunt(const Mutant& mutant,
   opts.solver_opt = options.solver_opt;
   opts.shared_cex_cache = options.shared_cex_cache;
   opts.metrics = options.metrics;
+  opts.telemetry = options.telemetry;
+  opts.profiler = options.profiler;
   opts.heartbeat_seconds = options.heartbeat_seconds;
   if (options.heartbeat_seconds > 0) {
     // The usual coverage extra plus the campaign progress counters —
@@ -192,6 +195,24 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
   // Campaign progress shared with the per-hunt heartbeat annotators.
   std::atomic<std::uint64_t> judged_count{0}, killed_count{0};
   const std::size_t total = todo.size();
+
+  // Live campaign progress in the registry (commit-order updates, so the
+  // final values are deterministic): the timeseries sampler and any
+  // other registry reader see judged/killed/... move as mutants commit.
+  obs::Gauge* g_total = nullptr;
+  obs::Counter* c_judged = nullptr;
+  obs::Counter* c_killed = nullptr;
+  obs::Counter* c_survived = nullptr;
+  obs::Counter* c_equivalent = nullptr;
+  if (options_.metrics) {
+    g_total = &options_.metrics->gauge("campaign.total");
+    g_total->set(static_cast<std::int64_t>(total));
+    g_total->sampleMax(static_cast<std::int64_t>(total));
+    c_judged = &options_.metrics->counter("campaign.judged");
+    c_killed = &options_.metrics->counter("campaign.killed");
+    c_survived = &options_.metrics->counter("campaign.survived");
+    c_equivalent = &options_.metrics->counter("campaign.equivalent");
+  }
   const auto heartbeat_extra = [&]() {
     char buf[96];
     const std::uint64_t j = judged_count.load(std::memory_order_relaxed);
@@ -242,13 +263,21 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
   double next_heartbeat = options_.heartbeat_seconds;
   const auto commit = [&](MutantResult& r) {
     judged_count.fetch_add(1, std::memory_order_relaxed);
+    if (c_judged) c_judged->add();
     switch (r.verdict) {
       case Verdict::Killed:
         ++report.killed;
         killed_count.fetch_add(1, std::memory_order_relaxed);
+        if (c_killed) c_killed->add();
         break;
-      case Verdict::Survived: ++report.survived; break;
-      case Verdict::Equivalent: ++report.equivalent; break;
+      case Verdict::Survived:
+        ++report.survived;
+        if (c_survived) c_survived->add();
+        break;
+      case Verdict::Equivalent:
+        ++report.equivalent;
+        if (c_equivalent) c_equivalent->add();
+        break;
     }
     report.qcache_hits += r.qcache_hits;
     report.qcache_misses += r.qcache_misses;
@@ -260,16 +289,16 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
       writeSurvivorManifest(options_.survivor_dir, r, options_);
     if (options_.on_result) options_.on_result(r);
     if (options_.heartbeat_seconds > 0 && elapsed() >= next_heartbeat) {
-      const std::uint64_t j = judged_count.load(std::memory_order_relaxed);
-      std::fprintf(stderr,
-                   "[campaign %7.1fs] judged=%llu/%zu killed=%llu "
-                   "survived=%llu equivalent=%llu remaining=%zu\n",
-                   elapsed(), static_cast<unsigned long long>(j), total,
-                   static_cast<unsigned long long>(report.killed),
-                   static_cast<unsigned long long>(report.survived),
-                   static_cast<unsigned long long>(report.equivalent),
-                   total - static_cast<std::size_t>(j));
-      std::fflush(stderr);
+      obs::HeartbeatSnapshot s;
+      s.elapsed_s = elapsed();
+      s.has_campaign = true;
+      s.mutants_total = total;
+      s.mutants_judged = judged_count.load(std::memory_order_relaxed);
+      s.mutants_killed = report.killed;
+      s.mutants_survived = report.survived;
+      s.mutants_equivalent = report.equivalent;
+      if (options_.metrics) s.readRegistry(*options_.metrics);
+      obs::emitHeartbeatLine(s, "campaign");
       next_heartbeat = elapsed() + options_.heartbeat_seconds;
     }
     report.results.push_back(std::move(r));

@@ -108,6 +108,12 @@ struct CampaignOptions {
   /// engine heartbeats with coverage and qcache extras.
   double heartbeat_seconds = 0;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-query solver telemetry shared by every hunt (span export,
+  /// slow-query corpus). Aggregates across mutants; timing-dependent.
+  solver::SolverTelemetry* telemetry = nullptr;
+  /// Phase profiler shared by every hunt (thread-local stacks, so
+  /// concurrent hunts don't interleave spans within a track).
+  obs::PhaseProfiler* profiler = nullptr;
   /// Commit-order callback per judged mutant (CLI progress, bundles).
   std::function<void(const MutantResult&)> on_result;
 };

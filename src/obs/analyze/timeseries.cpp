@@ -1,0 +1,320 @@
+#include "obs/analyze/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace rvsym::obs::analyze {
+
+namespace {
+
+std::uint64_t u64(const JsonValue& obj, std::string_view key) {
+  return obj.getU64(key).value_or(0);
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Recursive deterministic re-serialization (members() is a std::map,
+/// so object keys come out sorted regardless of input order).
+void writeCanonical(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: w.nullValue(); break;
+    case JsonValue::Kind::Bool: w.value(v.asBool()); break;
+    case JsonValue::Kind::Number: w.value(v.asDouble()); break;
+    case JsonValue::Kind::String: w.value(v.asString()); break;
+    case JsonValue::Kind::Array:
+      w.beginArray();
+      for (const JsonValue& item : v.items()) writeCanonical(w, item);
+      w.endArray();
+      break;
+    case JsonValue::Kind::Object:
+      w.beginObject();
+      for (const auto& [key, member] : v.members()) {
+        w.key(key);
+        writeCanonical(w, member);
+      }
+      w.endObject();
+      break;
+  }
+}
+
+bool timingDependentKey(const std::string& key) {
+  return key.rfind("t_", 0) == 0 || key.rfind("qc_", 0) == 0;
+}
+
+/// One fixed-width ASCII plot row: samples bucketed into `width` time
+/// columns, each column the bucket mean scaled to a 10-glyph ramp.
+std::string sparkline(const std::vector<double>& ys, std::size_t width) {
+  static const char ramp[] = " .:-=+*#%@";
+  if (ys.empty()) return std::string(width, ' ');
+  double max = 0;
+  for (const double y : ys) max = std::max(max, y);
+  std::string out;
+  out.reserve(width);
+  for (std::size_t col = 0; col < width; ++col) {
+    const std::size_t lo = col * ys.size() / width;
+    const std::size_t hi = std::max(lo + 1, (col + 1) * ys.size() / width);
+    double sum = 0;
+    for (std::size_t i = lo; i < hi && i < ys.size(); ++i) sum += ys[i];
+    const double mean = sum / static_cast<double>(hi - lo);
+    const std::size_t level =
+        max <= 0 ? 0
+                 : std::min<std::size_t>(9, static_cast<std::size_t>(
+                                               mean / max * 9.0 + 0.5));
+    out += ramp[level];
+  }
+  return out;
+}
+
+void plotRow(std::string& out, const char* label,
+             const std::vector<double>& ys, const char* unit) {
+  double max = 0;
+  for (const double y : ys) max = std::max(max, y);
+  appendf(out, "  %-12s |%s| peak %.5g%s\n", label,
+          sparkline(ys, 50).c_str(), max, unit);
+}
+
+}  // namespace
+
+std::uint64_t TimeseriesSample::done() const {
+  if (has_campaign) return mutants_judged;
+  if (has_work) return work_done;
+  return paths_done;
+}
+
+std::uint64_t TimeseriesSample::total() const {
+  if (has_campaign) return mutants_total;
+  if (has_work) return work_total;
+  return 0;
+}
+
+TimeseriesSample parseTimeseriesSample(const JsonValue& v) {
+  TimeseriesSample s;
+  s.seq = u64(v, "seq");
+  s.t_s = v.getNumber("t_s").value_or(0);
+  if (const JsonValue* paths = v.find("paths")) {
+    s.has_paths = true;
+    s.paths_done = u64(*paths, "done");
+    s.paths_completed = u64(*paths, "completed");
+    s.paths_errors = u64(*paths, "errors");
+    s.paths_partial = u64(*paths, "partial");
+    s.worklist = u64(*paths, "worklist");
+    s.instr = u64(v, "instr");
+  }
+  if (const JsonValue* c = v.find("campaign")) {
+    s.has_campaign = true;
+    s.mutants_total = u64(*c, "total");
+    s.mutants_judged = u64(*c, "judged");
+    s.mutants_killed = u64(*c, "killed");
+    s.mutants_survived = u64(*c, "survived");
+    s.mutants_equivalent = u64(*c, "equivalent");
+  }
+  if (const JsonValue* work = v.find("work")) {
+    s.has_work = true;
+    s.work_label = work->getString("label").value_or("");
+    s.work_done = u64(*work, "done");
+    s.work_total = u64(*work, "total");
+  }
+  if (const JsonValue* sol = v.find("solver")) {
+    s.has_solver = true;
+    s.solver_qps = sol->getNumber("qps").value_or(0);
+    s.solver_solves = u64(*sol, "solves");
+    s.p50_us = u64(*sol, "p50_us");
+    s.p90_us = u64(*sol, "p90_us");
+    s.p99_us = u64(*sol, "p99_us");
+    s.slow = u64(*sol, "slow");
+    if (const JsonValue* a = sol->find("answered")) {
+      s.answered_exact = u64(*a, "exact");
+      s.answered_cexm = u64(*a, "cexm");
+      s.answered_cexc = u64(*a, "cexc");
+      s.answered_rw = u64(*a, "rw");
+      s.answered_sliced = u64(*a, "sliced");
+    }
+  }
+  if (const JsonValue* qc = v.find("qcache")) {
+    s.qcache_hits = u64(*qc, "hits");
+    s.qcache_misses = u64(*qc, "misses");
+    s.qcache_hit_rate = qc->getNumber("hit_rate").value_or(0);
+  }
+  s.extra = v.getString("extra").value_or("");
+  return s;
+}
+
+bool parseTimeseriesRecord(std::string_view line, TimeseriesRun& run,
+                           std::string* error) {
+  if (line.empty()) return true;
+  const std::optional<JsonValue> v = parseJson(line, error);
+  if (!v) return false;
+  const std::optional<std::string> ev = v->getString("ev");
+  if (!ev) return true;  // not a timeseries record; skip
+  if (*ev == "ts_header") {
+    run.header.kind = v->getString("kind").value_or("");
+    run.header.interval_s = v->getNumber("interval_s").value_or(0);
+    run.header.total_work = u64(*v, "total_work");
+    run.header.version = static_cast<int>(u64(*v, "version"));
+  } else if (*ev == "sample") {
+    run.samples.push_back(parseTimeseriesSample(*v));
+  } else if (*ev == "ts_final") {
+    run.final_record = *v;
+  } else if (*ev == "status") {
+    // A --status-file document: header fields + the latest sample in
+    // one object. Tools can feed it through the same entry point.
+    run.header.kind = v->getString("kind").value_or("");
+    run.header.interval_s = v->getNumber("interval_s").value_or(0);
+    run.header.total_work = u64(*v, "total_work");
+    run.header.version = static_cast<int>(u64(*v, "version"));
+    if (const JsonValue* sample = v->find("sample"))
+      run.samples.push_back(parseTimeseriesSample(*sample));
+  }
+  return true;
+}
+
+std::optional<TimeseriesRun> loadTimeseries(const std::string& path,
+                                            std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  TimeseriesRun run;
+  run.path = path;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string perr;
+    if (!parseTimeseriesRecord(line, run, &perr)) {
+      if (error)
+        *error = path + ":" + std::to_string(lineno) + ": " + perr;
+      return std::nullopt;
+    }
+  }
+  return run;
+}
+
+std::string canonicalFinal(const JsonValue& final_record) {
+  JsonWriter w;
+  w.beginObject();
+  for (const auto& [key, member] : final_record.members()) {
+    if (timingDependentKey(key)) continue;
+    w.key(key);
+    writeCanonical(w, member);
+  }
+  w.endObject();
+  return w.str();
+}
+
+std::string renderTimeseriesSummary(const TimeseriesRun& run) {
+  std::string out;
+  appendf(out, "timeseries %s (v%d, kind=%s, interval=%.2fs)\n",
+          run.path.c_str(), run.header.version, run.header.kind.c_str(),
+          run.header.interval_s);
+  if (run.samples.empty()) {
+    out += "  no samples\n";
+    return out;
+  }
+  const TimeseriesSample& last = run.samples.back();
+  appendf(out, "  %zu samples over %.1fs%s\n", run.samples.size(), last.t_s,
+          run.final_record ? "" : " (stream not closed — interrupted run?)");
+  if (last.has_paths)
+    appendf(out,
+            "  paths: %llu done (%llu completed, %llu errors, %llu partial), "
+            "%llu instructions\n",
+            static_cast<unsigned long long>(last.paths_done),
+            static_cast<unsigned long long>(last.paths_completed),
+            static_cast<unsigned long long>(last.paths_errors),
+            static_cast<unsigned long long>(last.paths_partial),
+            static_cast<unsigned long long>(last.instr));
+  if (last.has_campaign)
+    appendf(out,
+            "  campaign: %llu/%llu judged — %llu killed, %llu survived, "
+            "%llu equivalent\n",
+            static_cast<unsigned long long>(last.mutants_judged),
+            static_cast<unsigned long long>(last.mutants_total),
+            static_cast<unsigned long long>(last.mutants_killed),
+            static_cast<unsigned long long>(last.mutants_survived),
+            static_cast<unsigned long long>(last.mutants_equivalent));
+  if (last.has_work && !last.work_label.empty() &&
+      !(last.has_paths && last.work_label == "paths"))
+    appendf(out, "  %s: %llu/%llu\n", last.work_label.c_str(),
+            static_cast<unsigned long long>(last.work_done),
+            static_cast<unsigned long long>(last.work_total));
+  if (last.has_solver) {
+    appendf(out,
+            "  solver: %llu solves, final p50/p90/p99 = %llu/%llu/%llu us, "
+            "%llu slow\n",
+            static_cast<unsigned long long>(last.solver_solves),
+            static_cast<unsigned long long>(last.p50_us),
+            static_cast<unsigned long long>(last.p90_us),
+            static_cast<unsigned long long>(last.p99_us),
+            static_cast<unsigned long long>(last.slow));
+    const std::uint64_t no_solve = last.answered_exact + last.answered_cexm +
+                                   last.answered_cexc + last.answered_rw;
+    if (no_solve + last.solver_solves != 0)
+      appendf(out,
+              "  answered without solve: %llu (exact=%llu cexm=%llu "
+              "cexc=%llu rw=%llu) — %.0f%% of checks\n",
+              static_cast<unsigned long long>(no_solve),
+              static_cast<unsigned long long>(last.answered_exact),
+              static_cast<unsigned long long>(last.answered_cexm),
+              static_cast<unsigned long long>(last.answered_cexc),
+              static_cast<unsigned long long>(last.answered_rw),
+              100.0 * static_cast<double>(no_solve) /
+                  static_cast<double>(no_solve + last.solver_solves));
+  }
+  if (run.samples.size() >= 2) {
+    // Per-interval rates (the samples carry cumulative counts).
+    std::vector<double> done_rate, qps, p99;
+    for (std::size_t i = 1; i < run.samples.size(); ++i) {
+      const TimeseriesSample& a = run.samples[i - 1];
+      const TimeseriesSample& b = run.samples[i];
+      const double dt = std::max(1e-9, b.t_s - a.t_s);
+      done_rate.push_back(
+          static_cast<double>(b.done() - std::min(a.done(), b.done())) / dt);
+      qps.push_back(b.solver_qps);
+      p99.push_back(static_cast<double>(b.p99_us));
+    }
+    out += '\n';
+    plotRow(out, "progress/s", done_rate, "");
+    if (last.has_solver) {
+      plotRow(out, "solver qps", qps, "");
+      plotRow(out, "p99 latency", p99, "us");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> diffTimeseries(const TimeseriesRun& a,
+                                        const TimeseriesRun& b) {
+  std::vector<std::string> diffs;
+  if (a.header.kind != b.header.kind)
+    diffs.push_back("header kind: " + a.header.kind + " vs " + b.header.kind);
+  if (a.header.total_work != b.header.total_work)
+    diffs.push_back("header total_work: " +
+                    std::to_string(a.header.total_work) + " vs " +
+                    std::to_string(b.header.total_work));
+  if (a.final_record.has_value() != b.final_record.has_value()) {
+    diffs.push_back(std::string("ts_final: present in ") +
+                    (a.final_record ? "first" : "second") + " run only");
+    return diffs;
+  }
+  if (a.final_record && b.final_record) {
+    const std::string ca = canonicalFinal(*a.final_record);
+    const std::string cb = canonicalFinal(*b.final_record);
+    if (ca != cb)
+      diffs.push_back("ts_final (canonicalized): " + ca + " vs " + cb);
+  }
+  return diffs;
+}
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,109 @@
+// Offline consumption of rvsym-timeseries-v1 streams (the live JSONL
+// the TimeseriesSampler appends; see obs/timeseries.hpp for the
+// producer-side schema and determinism contract).
+//
+// Three consumers share this module:
+//  * rvsym-top tails a growing stream (or a --status-file object) and
+//    renders the live terminal view — it parses records incrementally
+//    via parseTimeseriesRecord;
+//  * `rvsym-report timeseries FILE` loads a finished stream and prints
+//    the run summary plus ASCII rate/latency plots (renderSummary);
+//  * `rvsym-report timeseries A B` diffs two finished runs on exactly
+//    the deterministic surface — header identity plus the ts_final
+//    record with every t_*/qc_*-prefixed field stripped — turning the
+//    sampler's --jobs parity promise into a checkable artifact, the
+//    same role analyze/diff.hpp plays for traces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/json_reader.hpp"
+
+namespace rvsym::obs::analyze {
+
+/// One parsed `sample` record (absent sections read as zeros; `has_*`
+/// mirrors the producer's section flags).
+struct TimeseriesSample {
+  std::uint64_t seq = 0;
+  double t_s = 0;
+
+  bool has_paths = false;
+  std::uint64_t paths_done = 0, paths_completed = 0, paths_errors = 0;
+  std::uint64_t paths_partial = 0, worklist = 0, instr = 0;
+
+  bool has_campaign = false;
+  std::uint64_t mutants_total = 0, mutants_judged = 0, mutants_killed = 0;
+  std::uint64_t mutants_survived = 0, mutants_equivalent = 0;
+
+  bool has_work = false;
+  std::string work_label;
+  std::uint64_t work_done = 0, work_total = 0;
+
+  bool has_solver = false;
+  double solver_qps = 0;
+  std::uint64_t solver_solves = 0;
+  std::uint64_t p50_us = 0, p90_us = 0, p99_us = 0;
+  std::uint64_t slow = 0;
+  std::uint64_t answered_exact = 0, answered_cexm = 0, answered_cexc = 0;
+  std::uint64_t answered_rw = 0, answered_sliced = 0;
+  std::uint64_t qcache_hits = 0, qcache_misses = 0;
+  double qcache_hit_rate = 0;
+
+  std::string extra;
+
+  /// Done-vs-total in whichever progress vocabulary the producer used
+  /// (paths, mutants, generic work units). total 0 = open-ended.
+  std::uint64_t done() const;
+  std::uint64_t total() const;
+};
+
+struct TimeseriesHeader {
+  std::string kind;
+  double interval_s = 0;
+  std::uint64_t total_work = 0;
+  int version = 0;
+};
+
+/// One whole loaded stream.
+struct TimeseriesRun {
+  std::string path;
+  TimeseriesHeader header;
+  std::vector<TimeseriesSample> samples;
+  /// The raw ts_final record, if the stream was closed cleanly.
+  std::optional<JsonValue> final_record;
+};
+
+/// Parses one sample object (already identified as ev == "sample" — or
+/// the "sample" member of a status file).
+TimeseriesSample parseTimeseriesSample(const JsonValue& v);
+
+/// Parses one JSONL line of a stream. Recognized records update `run`
+/// (header / samples / final_record); unknown `ev` values are skipped
+/// so the schema can grow. Returns false only on a JSON syntax error.
+bool parseTimeseriesRecord(std::string_view line, TimeseriesRun& run,
+                           std::string* error = nullptr);
+
+/// Loads a finished stream from disk. Accepts a stream that is missing
+/// its ts_final record (an interrupted run) — final_record stays empty.
+std::optional<TimeseriesRun> loadTimeseries(const std::string& path,
+                                            std::string* error = nullptr);
+
+/// The ts_final record with every t_*/qc_*-prefixed top-level member
+/// removed, re-serialized with sorted keys — the canonical byte string
+/// two runs of the same workload must agree on regardless of --jobs.
+std::string canonicalFinal(const JsonValue& final_record);
+
+/// Run summary plus ASCII time plots (sample rate, progress,
+/// solver qps and p99) — the offline "plot" mode of rvsym-report.
+std::string renderTimeseriesSummary(const TimeseriesRun& run);
+
+/// Diffs the deterministic surface of two runs: header kind/total_work
+/// and the canonicalized ts_final records. Each difference is one
+/// human-readable line; empty = parity holds.
+std::vector<std::string> diffTimeseries(const TimeseriesRun& a,
+                                        const TimeseriesRun& b);
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,142 @@
+#include "obs/heartbeat.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rvsym::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[160];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+void HeartbeatSnapshot::readRegistry(MetricsRegistry& registry) {
+  has_solver = true;
+  Histogram& check = registry.histogram("solver.check_us");
+  solver_solves = check.count();
+  solver_qps = elapsed_s > 0
+                   ? static_cast<double>(solver_solves) / elapsed_s
+                   : 0;
+  solver_p50_us = check.quantileMicros(0.50);
+  solver_p90_us = check.quantileMicros(0.90);
+  solver_p99_us = check.quantileMicros(0.99);
+  slow_queries = registry.counter("solver.slow_queries").get();
+  answered_exact = registry.counter("qcache.hits").get();
+  answered_cexm = registry.counter("cexcache.model_hits").get();
+  answered_cexc = registry.counter("cexcache.core_hits").get();
+  answered_rw = registry.counter("solver.rewrite_decided").get();
+  answered_sliced = registry.counter("solver.sliced_solves").get();
+  qcache_hits = registry.counter("qcache.hits").get();
+  qcache_misses = registry.counter("qcache.misses").get();
+}
+
+void HeartbeatSnapshot::readProgress(MetricsRegistry& registry) {
+  const std::uint64_t committed =
+      registry.counter("engine.paths_committed").get();
+  if (committed != 0 || has_paths) {
+    has_paths = true;
+    paths_done = committed;
+    paths_completed = registry.counter("engine.paths_completed").get();
+    paths_error = registry.counter("engine.paths_error").get();
+    paths_partial = registry.counter("engine.paths_partial").get();
+    worklist_depth = static_cast<std::uint64_t>(
+        registry.gauge("engine.worklist_depth").get());
+    instructions = registry.counter("engine.instructions").get();
+  }
+  const auto total = static_cast<std::uint64_t>(
+      registry.gauge("campaign.total").get());
+  if (total != 0 || has_campaign) {
+    has_campaign = true;
+    mutants_total = total;
+    mutants_judged = registry.counter("campaign.judged").get();
+    mutants_killed = registry.counter("campaign.killed").get();
+    mutants_survived = registry.counter("campaign.survived").get();
+    mutants_equivalent = registry.counter("campaign.equivalent").get();
+  }
+}
+
+double HeartbeatSnapshot::cacheHitRate() const {
+  const std::uint64_t answered = answeredWithoutSolve() + solver_solves;
+  return answered == 0 ? 0
+                       : static_cast<double>(answeredWithoutSolve()) /
+                             static_cast<double>(answered);
+}
+
+std::string formatHeartbeatLine(const HeartbeatSnapshot& s,
+                                const char* prefix) {
+  std::string out;
+  appendf(out, "[%s] t=%.1fs", prefix, s.elapsed_s);
+  if (s.has_paths) {
+    appendf(out,
+            " paths=%llu (completed=%llu errors=%llu partial=%llu)"
+            " worklist=%llu instr=%llu",
+            static_cast<unsigned long long>(s.paths_done),
+            static_cast<unsigned long long>(s.paths_completed),
+            static_cast<unsigned long long>(s.paths_error),
+            static_cast<unsigned long long>(s.paths_partial),
+            static_cast<unsigned long long>(s.worklist_depth),
+            static_cast<unsigned long long>(s.instructions));
+  }
+  if (s.has_campaign) {
+    appendf(out,
+            " mutants=%llu/%llu killed=%llu survived=%llu equivalent=%llu"
+            " remaining=%llu",
+            static_cast<unsigned long long>(s.mutants_judged),
+            static_cast<unsigned long long>(s.mutants_total),
+            static_cast<unsigned long long>(s.mutants_killed),
+            static_cast<unsigned long long>(s.mutants_survived),
+            static_cast<unsigned long long>(s.mutants_equivalent),
+            static_cast<unsigned long long>(
+                s.mutants_total > s.mutants_judged
+                    ? s.mutants_total - s.mutants_judged
+                    : 0));
+  }
+  if (s.has_work) {
+    appendf(out, " %s=%llu",
+            s.work_label.empty() ? "done" : s.work_label.c_str(),
+            static_cast<unsigned long long>(s.work_done));
+    if (s.work_total != 0)
+      appendf(out, "/%llu", static_cast<unsigned long long>(s.work_total));
+  }
+  if (s.has_solver) {
+    appendf(out, " solver_qps=%.0f", s.solver_qps);
+    if (s.solver_solves != 0)
+      appendf(out, " p50/p90/p99=%llu/%llu/%lluus",
+              static_cast<unsigned long long>(s.solver_p50_us),
+              static_cast<unsigned long long>(s.solver_p90_us),
+              static_cast<unsigned long long>(s.solver_p99_us));
+    if (s.slow_queries != 0)
+      appendf(out, " slow_q=%llu",
+              static_cast<unsigned long long>(s.slow_queries));
+    if (s.answeredWithoutSolve() + s.answered_sliced != 0) {
+      appendf(out, " answered exact=%llu cexm=%llu cexc=%llu rw=%llu",
+              static_cast<unsigned long long>(s.answered_exact),
+              static_cast<unsigned long long>(s.answered_cexm),
+              static_cast<unsigned long long>(s.answered_cexc),
+              static_cast<unsigned long long>(s.answered_rw));
+      if (s.answered_sliced != 0)
+        appendf(out, " sliced=%llu",
+                static_cast<unsigned long long>(s.answered_sliced));
+    }
+  }
+  if (!s.extra.empty()) {
+    out += ' ';
+    out += s.extra;
+  }
+  return out;
+}
+
+void emitHeartbeatLine(const HeartbeatSnapshot& s, const char* prefix) {
+  std::fprintf(stderr, "%s\n", formatHeartbeatLine(s, prefix).c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace rvsym::obs

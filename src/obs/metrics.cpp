@@ -76,4 +76,36 @@ std::string MetricsRegistry::toJson() const {
   return w.str();
 }
 
+std::string MetricsRegistry::toSummaryJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w;
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, c] : counters_) w.field(name, c->get());
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).beginObject();
+    w.field("value", g->get());
+    w.field("max", g->max());
+    w.endObject();
+  }
+  w.endObject();
+  w.key("hist").beginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).beginObject();
+    w.field("count", h->count());
+    w.field("sum_us", h->sumMicros());
+    if (h->count() != 0) {
+      w.field("p50_us", h->quantileMicros(0.50));
+      w.field("p90_us", h->quantileMicros(0.90));
+      w.field("p99_us", h->quantileMicros(0.99));
+    }
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
 }  // namespace rvsym::obs

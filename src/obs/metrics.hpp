@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -97,19 +98,66 @@ class Histogram {
   std::uint64_t quantileLowerBound(double q) const {
     const std::uint64_t total = count();
     if (total == 0) return 0;
-    // Rank of the q-th sample, clamped to [1, total].
-    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
-    if (rank < 1) rank = 1;
-    if (rank > total) rank = total;
     std::uint64_t seen = 0;
     for (unsigned i = 0; i < kBuckets; ++i) {
       seen += bucket(i);
-      if (seen >= rank) return bucketLowerBound(i);
+      if (seen >= quantileRank(q, total)) return bucketLowerBound(i);
+    }
+    return bucketLowerBound(kBuckets - 1);
+  }
+
+  /// Quantile estimate in microseconds with defined edge-case values
+  /// (the contract heartbeats, the timeseries sampler and rvsym-top
+  /// rely on):
+  ///  * empty histogram          -> 0;
+  ///  * every sample in ONE bucket (so also a single sample) -> the
+  ///    mean sum/count, which is exact for one sample and always lies
+  ///    inside the bucket instead of pinning to its boundary;
+  ///  * otherwise -> linear interpolation of the q-th sample's rank
+  ///    position inside its bucket's [lower, upper) range; the
+  ///    overflow bucket has no upper bound and degrades to its lower
+  ///    bound.
+  /// Concurrent recording can skew the mean-based case by the in-flight
+  /// samples — acceptable for the live summaries this feeds.
+  std::uint64_t quantileMicros(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    const std::uint64_t rank = quantileRank(q, total);
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      const std::uint64_t n = bucket(i);
+      if (n == 0) continue;
+      if (seen + n >= rank) {
+        if (n >= total) return sumMicros() / total;
+        const std::uint64_t lo = bucketLowerBound(i);
+        if (i + 1 >= kBuckets) return lo;  // open-ended overflow bucket
+        const std::uint64_t hi = 1ull << (i + 1);
+        // Midpoint convention: the k-th of n samples sits at
+        // (k - 0.5) / n of the bucket width.
+        const double pos =
+            (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(n);
+        return lo + static_cast<std::uint64_t>(
+                        pos * static_cast<double>(hi - lo));
+      }
+      seen += n;
     }
     return bucketLowerBound(kBuckets - 1);
   }
 
  private:
+  /// 1-based rank of the q-th sample: ceil(q * total) clamped to
+  /// [1, total], so q=0.5 over three samples selects the second (the
+  /// true median) instead of truncating to the first.
+  static std::uint64_t quantileRank(double q, std::uint64_t total) {
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    return rank;
+  }
+
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_micros_{0};
@@ -152,6 +200,15 @@ class MetricsRegistry {
   ///                          "buckets":[{"ge_us":B,"n":N}, ...]}, ...}}
   /// Histogram buckets with zero samples are elided.
   std::string toJson() const;
+
+  /// Compact snapshot for periodic sampling: full counters and gauges,
+  /// but histograms reduced to count/sum plus interpolated p50/p90/p99
+  /// (Histogram::quantileMicros) instead of the bucket vector — the
+  /// per-tick payload of the rvsym-timeseries-v1 stream.
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "hist": {name: {"count":N,"sum_us":S,
+  ///             "p50_us":A,"p90_us":B,"p99_us":C}, ...}}
+  std::string toSummaryJson() const;
 
  private:
   mutable std::mutex mu_;  // guards the maps only, never the instruments

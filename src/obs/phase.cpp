@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "obs/trace_events.hpp"
+
 namespace rvsym::obs {
 
 std::vector<PhaseProfiler::Frame>& PhaseProfiler::threadStack() {
@@ -30,6 +32,16 @@ void PhaseProfiler::exit() {
   const std::uint64_t self =
       elapsed >= frame.child_us ? elapsed - frame.child_us : 0;
   if (!stack.empty()) stack.back().child_us += elapsed;
+
+  if (spans_ != nullptr) {
+    Span sp;
+    sp.name = frame.name;
+    sp.cat = "phase";
+    sp.tid = spans_->threadTrack();
+    sp.ts_us = spans_->sinceEpochUs(frame.start);
+    sp.dur_us = elapsed;
+    spans_->add(std::move(sp));
+  }
 
   std::string key;
   for (const Frame& f : stack) {

@@ -27,8 +27,16 @@
 
 namespace rvsym::obs {
 
+class SpanCollector;  // obs/trace_events.hpp
+
 class PhaseProfiler {
  public:
+  /// When set, every exit() additionally records one complete span
+  /// (name, thread track, start, duration) into the collector for
+  /// Chrome-trace export. Attach before workers start; null detaches.
+  void attachSpans(SpanCollector* spans) { spans_ = spans; }
+  SpanCollector* spans() const { return spans_; }
+
   /// Pushes phase `name` onto the calling thread's phase stack. `name`
   /// must outlive the profiler (string literals in practice).
   void enter(const char* name);
@@ -62,6 +70,7 @@ class PhaseProfiler {
 
   mutable std::mutex mu_;
   std::map<std::string, Agg> stacks_;
+  SpanCollector* spans_ = nullptr;
 };
 
 /// RAII phase guard. Null profiler = no-op.

@@ -1,0 +1,145 @@
+#include "obs/trace_events.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace rvsym::obs {
+
+SpanCollector::SpanCollector(std::size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()), max_spans_(max_spans) {}
+
+std::uint32_t SpanCollector::threadTrack() {
+  // Per-(thread, collector) ids, mirroring PhaseProfiler::threadStack:
+  // tests run several collectors in one process and worker threads
+  // outlive individual runs.
+  thread_local std::unordered_map<const SpanCollector*, std::uint32_t> tracks;
+  const auto it = tracks.find(this);
+  if (it != tracks.end()) return it->second;
+  std::uint32_t id;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    id = next_track_++;
+  }
+  tracks.emplace(this, id);
+  return id;
+}
+
+std::uint64_t SpanCollector::sinceEpochUs(
+    std::chrono::steady_clock::time_point tp) const {
+  if (tp <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_)
+          .count());
+}
+
+void SpanCollector::add(Span s) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(s));
+}
+
+void SpanCollector::addEnding(
+    std::string name, const char* cat, std::uint64_t dur_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  Span s;
+  s.name = std::move(name);
+  s.cat = cat;
+  s.tid = threadTrack();
+  const std::uint64_t now = nowUs();
+  s.ts_us = now >= dur_us ? now - dur_us : 0;
+  s.dur_us = dur_us;
+  s.args = std::move(args);
+  add(std::move(s));
+}
+
+std::size_t SpanCollector::size() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+std::uint64_t SpanCollector::dropped() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::vector<Span> SpanCollector::sorted() const {
+  std::vector<Span> out;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    out = spans_;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // enclosing span first
+  });
+  return out;
+}
+
+std::string SpanCollector::toChromeTrace() const {
+  const std::vector<Span> spans = sorted();
+  std::uint64_t drops;
+  std::uint32_t tracks;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    drops = dropped_;
+    tracks = next_track_;
+  }
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  // One thread_name metadata event per track. Track 0 is whichever
+  // thread touched the collector first — the committer for engine runs.
+  for (std::uint32_t t = 0; t < tracks; ++t) {
+    w.beginObject();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::uint64_t>(t));
+    w.key("args").beginObject();
+    w.field("name", t == 0 ? std::string("worker-0 (committer)")
+                           : "worker-" + std::to_string(t));
+    w.endObject();
+    w.endObject();
+  }
+  for (const Span& s : spans) {
+    w.beginObject();
+    w.field("name", s.name);
+    w.field("cat", s.cat);
+    w.field("ph", "X");
+    w.field("ts", s.ts_us);
+    w.field("dur", s.dur_us);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::uint64_t>(s.tid));
+    if (!s.args.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [k, v] : s.args) w.key(k).rawValue(v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").beginObject();
+  w.field("producer", "rvsym");
+  w.field("dropped_spans", drops);
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+bool SpanCollector::writeChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << toChromeTrace() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace rvsym::obs

@@ -1,0 +1,92 @@
+// SpanCollector — Chrome Trace Event export for live-run spans.
+//
+// Producers append complete spans ("X" phase events in Chrome Trace
+// Event Format terms): the PhaseProfiler emits one span per phase exit
+// when a collector is attached (obs/phase.hpp), and SolverTelemetry
+// emits one span per solver query with the layer disposition
+// (exact/cexm/cexc/rw/sliced/solve) and verdict as span args
+// (solver/telemetry.hpp). toChromeTrace() renders the whole collection
+// as a {"traceEvents": [...]} document loadable in Perfetto /
+// chrome://tracing, with one track per producer thread (worker threads
+// map to distinct tids in first-use order; a thread_name metadata event
+// names each track) and events sorted by (tid, ts) so every track's
+// timestamps are monotonic.
+//
+// Timestamps are microseconds since the collector's construction — a
+// private steady-clock epoch, so spans from different components
+// attached to the same collector line up on one timeline.
+//
+// Cost model: a null collector pointer at every producer site is one
+// predicted branch (the trace null-sink convention); recording is one
+// mutex-guarded vector push. The collection is capped (default 2^20
+// spans ≈ a few hundred MB of JSON at the extreme) — beyond the cap
+// spans are counted as dropped instead of exhausting memory, and the
+// drop count lands in the trace metadata.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rvsym::obs {
+
+struct Span {
+  std::string name;
+  const char* cat = "phase";  ///< "phase" | "solver" (string literal)
+  std::uint32_t tid = 0;      ///< collector-assigned thread track
+  std::uint64_t ts_us = 0;    ///< start, µs since the collector epoch
+  std::uint64_t dur_us = 0;
+  /// Span args as (key, pre-rendered JSON value) pairs — the TraceEvent
+  /// idiom, so producers control quoting.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t max_spans = 1u << 20);
+
+  /// Stable per-(thread, collector) track id, assigned in first-use
+  /// order (the committer/main thread is track 0 in practice).
+  std::uint32_t threadTrack();
+
+  /// Microseconds since the collector epoch for `tp` / for now.
+  std::uint64_t sinceEpochUs(std::chrono::steady_clock::time_point tp) const;
+  std::uint64_t nowUs() const {
+    return sinceEpochUs(std::chrono::steady_clock::now());
+  }
+
+  /// Appends one complete span. Thread-safe; drops (and counts) spans
+  /// past the cap.
+  void add(Span s);
+
+  /// Convenience for producers that only know a duration at completion
+  /// time: a span on the calling thread's track ending now.
+  void addEnding(std::string name, const char* cat, std::uint64_t dur_us,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+  /// All spans sorted by (tid, ts_us, dur_us desc) — parents before
+  /// children at equal timestamps, per-track monotonic ts.
+  std::vector<Span> sorted() const;
+
+  /// The Chrome Trace Event Format document (JSON object form).
+  std::string toChromeTrace() const;
+
+  /// Writes toChromeTrace() to `path`. False on I/O failure.
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  const std::size_t max_spans_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::uint64_t dropped_ = 0;
+  std::uint32_t next_track_ = 0;
+};
+
+}  // namespace rvsym::obs

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/trace_events.hpp"
 #include "solver/corpus.hpp"
 
 namespace rvsym::solver {
@@ -42,6 +43,21 @@ void SolverTelemetry::attachMetrics(obs::MetricsRegistry& registry) {
 bool SolverTelemetry::record(const Query& q) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (m_queries_) m_queries_->add();
+  if (spans_ != nullptr) {
+    // The span ends now (record() runs right after the check) and
+    // covers the measured bitblast+SAT work; cache-answered queries
+    // become zero-duration markers on the worker's track.
+    spans_->addEnding(
+        dispositionName(q.disposition), "solver", q.bitblast_us + q.sat_us,
+        {{"disposition",
+          "\"" + std::string(dispositionName(q.disposition)) + "\""},
+         {"verdict", "\"" + std::string(verdictName(q.verdict)) + "\""},
+         {"expr_nodes", std::to_string(q.expr_nodes)},
+         {"sat_vars", std::to_string(q.sat_vars)},
+         {"sat_clauses", std::to_string(q.sat_clauses)},
+         {"bitblast_us", std::to_string(q.bitblast_us)},
+         {"sat_us", std::to_string(q.sat_us)}});
+  }
   switch (q.disposition) {
     case Disposition::Hit:
     case Disposition::CexModel:

@@ -29,6 +29,10 @@
 #include "obs/metrics.hpp"
 #include "solver/querycache.hpp"
 
+namespace rvsym::obs {
+class SpanCollector;  // obs/trace_events.hpp
+}
+
 namespace rvsym::solver {
 
 enum class CheckResult;  // solver.hpp
@@ -74,6 +78,14 @@ class SolverTelemetry {
   /// "solver.bitblast_us" / "solver.sat_us" / "solver.query_nodes".
   void attachMetrics(obs::MetricsRegistry& registry);
 
+  /// When set, every record() additionally emits one Chrome-trace span
+  /// on the recording thread's track, named after the disposition, with
+  /// disposition / verdict / node + SAT size counts as span args.
+  /// Cache-answered queries appear as zero-duration spans, which is the
+  /// point: Perfetto shows where solves were avoided, not just spent.
+  void attachSpans(obs::SpanCollector* spans) { spans_ = spans; }
+  obs::SpanCollector* spans() const { return spans_; }
+
   /// Records one check. Returns true iff the caller should dump() the
   /// query: it crossed the slow threshold, has a definitive verdict, a
   /// corpus dir is configured, and its hash was not dumped before.
@@ -105,6 +117,7 @@ class SolverTelemetry {
   std::unordered_set<std::uint64_t> dumped_keys_;
   bool dir_ready_ = false;
 
+  obs::SpanCollector* spans_ = nullptr;
   obs::Counter* m_queries_ = nullptr;
   obs::Counter* m_slow_ = nullptr;
   obs::Histogram* m_bitblast_us_ = nullptr;

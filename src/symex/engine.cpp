@@ -6,6 +6,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 
 namespace rvsym::symex {
@@ -24,65 +25,62 @@ const char* searcherName(EngineOptions::Searcher s) {
 void emitHeartbeat(const EngineReport& report, double elapsed_s,
                    std::size_t worklist_depth, const std::string& extra,
                    obs::MetricsRegistry* metrics) {
-  // Live solver throughput from the shared registry: solves per second
-  // (cache hits and constant fastpaths never reach the histogram) plus
-  // the slow-query counter when solver telemetry is attached.
-  std::string solver_line;
-  if (metrics != nullptr && elapsed_s > 0) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, " solver_qps=%.0f",
-                  static_cast<double>(
-                      metrics->histogram("solver.check_us").count()) /
-                      elapsed_s);
-    solver_line += buf;
-    const std::uint64_t slow = metrics->counter("solver.slow_queries").get();
-    if (slow != 0) {
-      std::snprintf(buf, sizeof buf, " slow_q=%llu",
-                    static_cast<unsigned long long>(slow));
-      solver_line += buf;
-    }
-    // Disposition split (ISSUE 6): where checks were actually answered —
-    // exact-hash cache, counterexample cache (model eval / core
-    // subsumption), pre-bitblast rewrite — vs. real (possibly sliced)
-    // solves, which the histogram above counts.
-    const std::uint64_t exact = metrics->counter("qcache.hits").get();
-    const std::uint64_t cexm = metrics->counter("cexcache.model_hits").get();
-    const std::uint64_t cexc = metrics->counter("cexcache.core_hits").get();
-    const std::uint64_t rw = metrics->counter("solver.rewrite_decided").get();
-    const std::uint64_t sliced = metrics->counter("solver.sliced_solves").get();
-    if (exact + cexm + cexc + rw + sliced != 0) {
-      std::snprintf(buf, sizeof buf,
-                    " answered exact=%llu cexm=%llu cexc=%llu rw=%llu",
-                    static_cast<unsigned long long>(exact),
-                    static_cast<unsigned long long>(cexm),
-                    static_cast<unsigned long long>(cexc),
-                    static_cast<unsigned long long>(rw));
-      solver_line += buf;
-      if (sliced != 0) {
-        std::snprintf(buf, sizeof buf, " sliced=%llu",
-                      static_cast<unsigned long long>(sliced));
-        solver_line += buf;
-      }
-    }
+  obs::HeartbeatSnapshot s;
+  s.elapsed_s = elapsed_s;
+  s.has_paths = true;
+  s.paths_done = report.totalPaths() - report.unexplored_forks;
+  s.paths_completed = report.completed_paths;
+  s.paths_error = report.error_paths;
+  s.paths_partial =
+      report.error_paths + report.infeasible_paths + report.limited_paths;
+  s.worklist_depth = worklist_depth;
+  s.instructions = report.instructions;
+  if (metrics != nullptr) s.readRegistry(*metrics);
+  s.extra = extra;
+  obs::emitHeartbeatLine(s, "rvsym");
+}
+
+ProgressInstruments::ProgressInstruments(obs::MetricsRegistry* registry,
+                                         unsigned workers) {
+  if (registry == nullptr) return;
+  committed = &registry->counter("engine.paths_committed");
+  completed = &registry->counter("engine.paths_completed");
+  error = &registry->counter("engine.paths_error");
+  partial = &registry->counter("engine.paths_partial");
+  instructions = &registry->counter("engine.instructions");
+  worklist = &registry->gauge("engine.worklist_depth");
+  per_worker.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    per_worker.push_back(&registry->counter(
+        "engine.worker" + std::to_string(i) + ".committed"));
+}
+
+void ProgressInstruments::commit(const PathRecord& record, unsigned worker) {
+  if (committed == nullptr) return;
+  committed->add();
+  instructions->add(record.instructions);
+  switch (record.end) {
+    case PathEnd::Completed:
+      completed->add();
+      break;
+    case PathEnd::Error:
+      error->add();
+      partial->add();
+      break;
+    case PathEnd::Infeasible:
+    case PathEnd::SolverLimit:
+    case PathEnd::Budget:
+      partial->add();
+      break;
   }
-  std::fprintf(stderr,
-               "[rvsym] t=%.1fs paths=%llu (completed=%llu errors=%llu "
-               "partial=%llu) worklist=%zu instr=%llu%s%s%s\n",
-               elapsed_s,
-               static_cast<unsigned long long>(report.totalPaths() -
-                                               report.unexplored_forks),
-               static_cast<unsigned long long>(report.completed_paths),
-               static_cast<unsigned long long>(report.error_paths),
-               static_cast<unsigned long long>(
-                   report.error_paths + report.infeasible_paths +
-                   report.limited_paths),
-               worklist_depth,
-               static_cast<unsigned long long>(report.instructions),
-               solver_line.c_str(),
-               extra.empty() ? "" : " ", extra.c_str());
-  // Heartbeats exist to be watched; stderr is unbuffered on a tty but
-  // block-buffered under redirection, so flush explicitly.
-  std::fflush(stderr);
+  if (worker < per_worker.size()) per_worker[worker]->add();
+}
+
+void ProgressInstruments::depth(std::size_t n) {
+  if (worklist == nullptr) return;
+  const auto depth = static_cast<std::int64_t>(n);
+  worklist->set(depth);
+  worklist->sampleMax(depth);
 }
 
 void finalizeRecordTags(PathRecord& record,
@@ -224,6 +222,7 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
   double next_heartbeat = options_.heartbeat_seconds;
+  detail::ProgressInstruments progress(options_.metrics, 1);
 
   RVSYM_TRACE(options_.trace,
               obs::TraceEvent("run_start")
@@ -255,6 +254,8 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
                             options_.metrics);
       next_heartbeat = elapsed() + options_.heartbeat_seconds;
     }
+
+    progress.depth(worklist_.size());
 
     const WorkItem item = popNext();
     RVSYM_TRACE(options_.trace,
@@ -329,8 +330,7 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
                 detail::makePathEndEvent(item.id, record, state.stats().forks,
                                          state.solverStats().checks,
                                          state.times()));
-    if (options_.metrics)
-      options_.metrics->counter("engine.paths_committed").add();
+    progress.commit(record);
 
     const bool is_error = record.end == PathEnd::Error;
     const bool store =

@@ -168,15 +168,46 @@ namespace detail {
 /// Lower-case searcher name for trace events ("dfs" / "bfs" / "random").
 const char* searcherName(EngineOptions::Searcher s);
 
-/// One stderr progress line; shared by both engines' heartbeats. `extra`
-/// (annotator output, query-cache hit rate) is appended verbatim; the
-/// line is flushed explicitly so it appears promptly under output
-/// redirection. With a metrics registry, appends live solver throughput
-/// (solver qps from the check-latency histogram) and — when solver
-/// telemetry is attached — the slow-query count.
+/// One stderr progress line; shared by both engines' heartbeats.
+/// Delegates to obs::formatHeartbeatLine — the single formatter the
+/// campaign runner and the timeseries sampler also use — after filling a
+/// HeartbeatSnapshot from the committed report. `extra` (annotator
+/// output, query-cache hit rate) is appended verbatim; with a metrics
+/// registry the snapshot gains the live solver section (qps, latency
+/// percentiles, disposition split).
 void emitHeartbeat(const EngineReport& report, double elapsed_s,
                    std::size_t worklist_depth, const std::string& extra,
                    obs::MetricsRegistry* metrics = nullptr);
+
+/// Pre-resolved registry instruments both engines bump at commit time —
+/// the race-free live-progress surface the timeseries sampler and any
+/// other registry reader observe (obs/heartbeat.hpp readProgress).
+/// Commit order is deterministic, so the final counter values are
+/// byte-identical across --jobs; only the instants they move are
+/// timing-dependent. All members stay null without a registry, making
+/// every call a no-op.
+struct ProgressInstruments {
+  ProgressInstruments() = default;
+  /// Resolves engine.paths_* / engine.instructions / the
+  /// engine.worklist_depth gauge, plus one engine.worker<N>.committed
+  /// counter per worker for execution attribution.
+  explicit ProgressInstruments(obs::MetricsRegistry* registry,
+                               unsigned workers = 1);
+
+  /// Bumps the outcome counters for one committed path; `worker` is the
+  /// index that executed (not committed) it.
+  void commit(const PathRecord& record, unsigned worker = 0);
+  /// Mirrors the live worklist depth into the gauge (value + max).
+  void depth(std::size_t n);
+
+  obs::Counter* committed = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* error = nullptr;
+  obs::Counter* partial = nullptr;
+  obs::Counter* instructions = nullptr;
+  obs::Gauge* worklist = nullptr;
+  std::vector<obs::Counter*> per_worker;
+};
 
 /// Merges the program's ExecState tags with the options tagger's output
 /// into record.tags, sorted and deduplicated (the deterministic tag

@@ -256,12 +256,7 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
   std::uint32_t rng_state =
       options_.random_seed == 0 ? 1 : options_.random_seed;
 
-  obs::Gauge* depth_gauge =
-      options_.metrics ? &options_.metrics->gauge("engine.worklist_depth")
-                       : nullptr;
-  obs::Counter* committed_counter =
-      options_.metrics ? &options_.metrics->counter("engine.paths_committed")
-                       : nullptr;
+  detail::ProgressInstruments progress(options_.metrics, jobs);
 
   RVSYM_TRACE(options_.trace,
               obs::TraceEvent("run_start")
@@ -330,11 +325,7 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                               options_.metrics);
         next_heartbeat = elapsed() + options_.heartbeat_seconds;
       }
-      if (depth_gauge) {
-        const auto depth = static_cast<std::int64_t>(sh.worklist.size());
-        depth_gauge->set(depth);
-        depth_gauge->sampleMax(depth);
-      }
+      progress.depth(sh.worklist.size());
 
       TaskRef task =
           detail::popNextItem(sh.worklist, options_.searcher, rng_state);
@@ -420,7 +411,7 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                       .num("qc_rewrites", out.qc_rewrites)
                       .num("qc_worker",
                            static_cast<std::uint64_t>(out.worker)));
-      if (committed_counter) committed_counter->add();
+      progress.commit(out.record, out.worker);
 
       const bool is_error = out.record.end == PathEnd::Error;
       const bool store = is_error || options_.max_stored_paths == 0 ||

@@ -16,9 +16,12 @@
 #include <vector>
 
 #include "expr/builder.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_events.hpp"
 #include "symex/parallel.hpp"
 #include "symex/state.hpp"
 
@@ -370,6 +373,180 @@ TEST(EngineReportJson, SharedSerializerShape) {
   EXPECT_NE(json.find("\"timing\":{\"seconds\":0.25,\"qcache_hits\":7,"
                       "\"qcache_misses\":0}"),
             std::string::npos) << json;
+}
+
+// --- Histogram quantile edge cases ----------------------------------------
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantileMicros(0.5), 0u);
+  EXPECT_EQ(h.quantileMicros(0.99), 0u);
+  EXPECT_EQ(h.quantileLowerBound(0.5), 0u);
+}
+
+TEST(HistogramQuantile, SingleSampleIsExact) {
+  // One sample puts everything in one bucket, so the mean (= the
+  // sample) is returned — not the bucket's power-of-2 lower bound.
+  Histogram h;
+  h.record(100);
+  EXPECT_EQ(h.quantileMicros(0.0), 100u);
+  EXPECT_EQ(h.quantileMicros(0.5), 100u);
+  EXPECT_EQ(h.quantileMicros(1.0), 100u);
+}
+
+TEST(HistogramQuantile, AllSamplesInOneBucketUseMean) {
+  // 70/80/90 all land in bucket [64, 128); every quantile is the mean.
+  Histogram h;
+  h.record(70);
+  h.record(80);
+  h.record(90);
+  EXPECT_EQ(h.quantileMicros(0.5), 80u);
+  EXPECT_EQ(h.quantileMicros(0.99), 80u);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinSpanningBuckets) {
+  // One sample in bucket [0,2), one in [512,1024): the midpoint
+  // convention places a bucket's only sample at its center.
+  Histogram h;
+  h.record(1);
+  h.record(1000);
+  EXPECT_EQ(h.quantileMicros(0.5), 1u);    // rank 1: 0 + 0.5 * 2
+  EXPECT_EQ(h.quantileMicros(0.99), 768u); // rank 2: 512 + 0.5 * 512
+  // q clamps to [first, last] sample rank.
+  EXPECT_EQ(h.quantileMicros(0.0), h.quantileMicros(0.5));
+  EXPECT_EQ(h.quantileMicros(1.0), h.quantileMicros(0.99));
+}
+
+TEST(HistogramQuantile, OverflowBucketDegradesToLowerBound) {
+  // The open-ended overflow bucket has no upper bound to interpolate
+  // toward; quantiles landing there pin to its lower bound.
+  Histogram h;
+  h.record(1);
+  h.record((1ull << 24) + 5);
+  h.record((1ull << 25) + 5);
+  EXPECT_EQ(h.quantileMicros(0.99), 1ull << 24);
+}
+
+TEST(MetricsRegistry, SummaryJsonShape) {
+  MetricsRegistry r;
+  r.counter("c.one").add(3);
+  r.gauge("g.depth").sampleMax(9);
+  r.histogram("h.lat").record(100);
+  r.histogram("h.empty");  // count == 0: percentile fields elided
+  const std::string json = r.toSummaryJson();
+  EXPECT_NE(json.find("\"counters\":{\"c.one\":3}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"h.lat\":{\"count\":1,\"sum_us\":100,\"p50_us\":100,"
+                      "\"p90_us\":100,\"p99_us\":100}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"h.empty\":{\"count\":0,\"sum_us\":0}"),
+            std::string::npos)
+      << json;
+}
+
+// --- Live telemetry concurrency (race-checked via the obs_tsan entry) -----
+
+TEST(TimeseriesSampler, SamplesConcurrentlyWithRegistryWriters) {
+  const std::string stream = ::testing::TempDir() + "obs_ts_stream.jsonl";
+  const std::string status = ::testing::TempDir() + "obs_ts_status.json";
+  std::remove(stream.c_str());
+  std::remove(status.c_str());
+
+  MetricsRegistry r;
+  TimeseriesOptions opts;
+  opts.out_path = stream;
+  opts.status_path = status;
+  opts.interval_s = 0.002;
+  opts.kind = "verify";
+  opts.total_work = 1000;
+  TimeseriesSampler sampler(opts, r);
+  std::string err;
+#ifdef RVSYM_OBS_NO_TRACING
+  // The compile-out contract: start() refuses and names the cause.
+  EXPECT_FALSE(sampler.start(&err));
+  EXPECT_NE(err.find("tracing compiled out"), std::string::npos) << err;
+  return;
+#endif
+  ASSERT_TRUE(sampler.start(&err)) << err;
+
+  // Writers hammer the exact instruments the sampler snapshots while it
+  // runs flat out — the race surface the TSan aggregate entry checks.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&r] {
+      for (int i = 0; i < 5000; ++i) {
+        r.counter("engine.paths_committed").add();
+        r.histogram("solver.check_us").record(
+            static_cast<std::uint64_t>(i % 200));
+        r.gauge("engine.worklist_depth").sampleMax(i);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  while (sampler.samples() < 2) std::this_thread::yield();
+  sampler.stop();
+  EXPECT_GE(sampler.samples(), 2u);
+
+  std::ifstream in(stream);
+  ASSERT_TRUE(in.good());
+  std::string line, last;
+  std::getline(in, line);
+  EXPECT_NE(line.find("\"ev\":\"ts_header\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"schema\":\"rvsym-timeseries-v1\""),
+            std::string::npos);
+  while (std::getline(in, line))
+    if (!line.empty()) last = line;
+  EXPECT_NE(last.find("\"ev\":\"ts_final\""), std::string::npos) << last;
+  // The final counter totals are deterministic (commit-order counters),
+  // so they sit in the parity-diffed section, by exact value.
+  EXPECT_NE(last.find("\"done\":20000"), std::string::npos) << last;
+
+  std::ifstream st(status);
+  ASSERT_TRUE(st.good());
+  std::string status_text((std::istreambuf_iterator<char>(st)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_NE(status_text.find("\"ev\":\"status\""), std::string::npos);
+  std::remove(stream.c_str());
+  std::remove(status.c_str());
+}
+
+TEST(SpanCollector, ConcurrentProducersGetDistinctTracks) {
+  SpanCollector spans;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&spans] {
+      for (int i = 0; i < kSpansPerThread; ++i)
+        spans.addEnding("work", "phase", 5,
+                        {{"i", std::to_string(i)}});
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(spans.dropped(), 0u);
+
+  std::set<std::uint32_t> tracks;
+  std::uint64_t last_ts = 0;
+  std::uint32_t last_tid = ~0u;
+  for (const Span& s : spans.sorted()) {
+    tracks.insert(s.tid);
+    if (s.tid == last_tid) EXPECT_GE(s.ts_us, last_ts);
+    last_tid = s.tid;
+    last_ts = s.ts_us;
+  }
+  EXPECT_EQ(tracks.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(SpanCollector, DropsPastCapInsteadOfGrowing) {
+  SpanCollector spans(/*max_spans=*/10);
+  for (int i = 0; i < 25; ++i) spans.addEnding("s", "solver", 1);
+  EXPECT_EQ(spans.size(), 10u);
+  EXPECT_EQ(spans.dropped(), 15u);
+  const std::string doc = spans.toChromeTrace();
+  EXPECT_NE(doc.find("\"dropped_spans\":15"), std::string::npos) << doc;
 }
 
 }  // namespace

@@ -6,12 +6,15 @@
 //   rvsym-bench run [--suite smoke|all] [--all] [--only NAME[,NAME...]]
 //                   [--repeats N] [--warmup N] [--bin-dir DIR]
 //                   [--out FILE] [--work-dir DIR]
+//                   [--timeseries-out FILE] [--status-file FILE]
+//                   [--sample-interval S]
 //       Runs the selected benches as subprocesses (warmup + timed
 //       repeats each), collects every bench's self-report, and writes
 //       one rvsym-bench-run-v1 document (default: BENCH_rvsym.json in
 //       the current directory — run it from the repo root to get the
 //       canonical location). Exit 0 iff every bench passed its own
-//       claim checks.
+//       claim checks. --timeseries-out / --status-file stream suite
+//       progress (kind "bench") for a concurrent `rvsym-top`.
 //
 //   rvsym-bench compare --baseline FILE [--current FILE]
 //                       [--threshold PCT]
@@ -45,6 +48,8 @@ int usage(const char* argv0) {
       "       %s run [--suite smoke|all] [--all] [--only NAME[,NAME...]]\n"
       "              [--repeats N] [--warmup N] [--bin-dir DIR]\n"
       "              [--out FILE] [--work-dir DIR]\n"
+      "              [--timeseries-out FILE] [--status-file FILE]\n"
+      "              [--sample-interval S]\n"
       "       %s compare --baseline FILE [--current FILE] "
       "[--threshold PCT]\n",
       argv0, argv0, argv0);
@@ -101,6 +106,12 @@ int cmdRun(int argc, char** argv, const char* argv0) {
       opts.out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--work-dir") == 0 && i + 1 < argc) {
       opts.work_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries-out") == 0 && i + 1 < argc) {
+      opts.timeseries_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--status-file") == 0 && i + 1 < argc) {
+      opts.status_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-interval") == 0 && i + 1 < argc) {
+      opts.sample_interval_s = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown run option: %s\n", argv[i]);
       return usage(argv0);
@@ -115,6 +126,14 @@ int cmdRun(int argc, char** argv, const char* argv0) {
     std::fprintf(stderr, "--repeats must be >= 1\n");
     return 2;
   }
+#ifdef RVSYM_OBS_NO_TRACING
+  if (!opts.timeseries_out.empty() || !opts.status_file.empty()) {
+    std::fprintf(stderr,
+                 "--timeseries-out/--status-file need tracing, which this "
+                 "build compiled out (RVSYM_DISABLE_TRACING)\n");
+    return 2;
+  }
+#endif
   return bench::runSuite(opts);
 }
 

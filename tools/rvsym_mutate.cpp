@@ -8,15 +8,23 @@
 //       Judge every selected mutant with the bounded symbolic
 //       co-simulation and print the mutation score. Writes the
 //       resumable JSONL journal, survivor manifests, killed-mutant
-//       repro bundles and the HTML survivor heatmap on request.
+//       repro bundles and the HTML survivor heatmap on request. Live
+//       telemetry rides along: --timeseries-out / --status-file stream
+//       rvsym-timeseries-v1 samples a concurrent `rvsym-top` renders,
+//       --trace-events-out dumps a Chrome trace of phase + solver
+//       spans, --metrics-out the final registry snapshot.
 //
 //   rvsym-mutate resume [same flags as run]
 //       `run` with --resume implied: mutants already judged in the
 //       journal are skipped; a completed journal makes this a no-op.
 //
-//   rvsym-mutate report <journal> [--html FILE]
+//   rvsym-mutate report <journal> [--html FILE] [--metrics-out FILE]
+//                       [--heartbeat]
 //       Offline summary of a campaign journal: score, verdict counts,
-//       survivor list; optionally the self-contained HTML heatmap.
+//       survivor list; optionally the self-contained HTML heatmap, the
+//       summary as one JSON document (--metrics-out) or as a single
+//       heartbeat line (--heartbeat) for log-grep parity with live
+//       campaign output.
 //
 //   rvsym-mutate diff <journalA> <journalB>
 //       Compare two journals' deterministic content (t_*/qc_* fields
@@ -26,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,7 +45,14 @@
 #include "mut/space.hpp"
 #include "obs/analyze/mutation_report.hpp"
 #include "obs/bundle.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_events.hpp"
 #include "solver/options.hpp"
+#include "solver/telemetry.hpp"
 
 namespace {
 
@@ -53,7 +69,11 @@ int usage() {
       "           [--trace-dir DIR]\n"
       "           [--bundle-killed DIR] [--html FILE] [--heartbeat SECS]\n"
       "           [--no-equivalence] [--no-cache] [--solver-opt S]\n"
+      "           [--timeseries-out FILE] [--status-file FILE]\n"
+      "           [--sample-interval SECS] [--trace-events-out FILE]\n"
+      "           [--metrics-out FILE]\n"
       "       rvsym-mutate report <journal> [--html FILE]\n"
+      "           [--metrics-out FILE] [--heartbeat]\n"
       "       rvsym-mutate diff <journalA> <journalB>\n"
       "\n"
       "kinds: dec stuck swap mem flag; ops: rv32 mnemonics (slli, add,\n"
@@ -153,6 +173,8 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
   mut::CampaignOptions opts;
   opts.resume = resume;
   std::string html_path, bundle_dir;
+  std::string timeseries_out, status_file, trace_events_out, metrics_out;
+  double sample_interval = 0.5;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto next = [&]() -> const std::string& {
@@ -204,6 +226,16 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
       html_path = next();
     } else if (a == "--heartbeat") {
       opts.heartbeat_seconds = std::atof(next().c_str());
+    } else if (a == "--timeseries-out") {
+      timeseries_out = next();
+    } else if (a == "--status-file") {
+      status_file = next();
+    } else if (a == "--sample-interval") {
+      sample_interval = std::atof(next().c_str());
+    } else if (a == "--trace-events-out") {
+      trace_events_out = next();
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
     } else if (a == "--no-equivalence") {
       opts.check_decode_equivalence = false;
     } else if (a == "--no-cache") {
@@ -248,6 +280,41 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
     };
   }
 
+#ifdef RVSYM_OBS_NO_TRACING
+  if (!timeseries_out.empty() || !status_file.empty() ||
+      !trace_events_out.empty()) {
+    std::fprintf(stderr,
+                 "--timeseries-out/--status-file/--trace-events-out need "
+                 "tracing, which this build compiled out "
+                 "(RVSYM_DISABLE_TRACING)\n");
+    return 2;
+  }
+#endif
+  // The live surfaces (sampler, status file) and the --metrics-out dump
+  // all read one registry; any of them turns it on.
+  const bool want_registry = !metrics_out.empty() || !timeseries_out.empty() ||
+                             !status_file.empty();
+  const bool want_spans = !trace_events_out.empty();
+  obs::MetricsRegistry registry;
+  if (want_registry) opts.metrics = &registry;
+
+  // Per-query solver telemetry (implies per-check solver timing, so only
+  // on when a consumer exists) and phase/solver span capture.
+  std::unique_ptr<solver::SolverTelemetry> telemetry;
+  if (want_registry || want_spans) {
+    telemetry = std::make_unique<solver::SolverTelemetry>(
+        solver::SolverTelemetry::Options{});
+    if (want_registry) telemetry->attachMetrics(registry);
+    opts.telemetry = telemetry.get();
+  }
+  obs::PhaseProfiler profiler;
+  obs::SpanCollector spans;
+  if (want_spans) {
+    profiler.attachSpans(&spans);
+    telemetry->attachSpans(&spans);
+    opts.profiler = &profiler;
+  }
+
   std::vector<mut::Mutant> mutants;
   try {
     mutants = selectMutants(sel);
@@ -256,8 +323,54 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
     return 2;
   }
 
+  // Live sampler: one thread snapshotting the registry into the
+  // timeseries stream / status file while the campaign runs.
+  obs::TimeseriesOptions ts;
+  ts.out_path = timeseries_out;
+  ts.status_path = status_file;
+  ts.interval_s = sample_interval;
+  ts.kind = "mutate";
+  ts.total_work = mutants.size();
+  obs::TimeseriesSampler sampler(ts, registry);
+  if (!timeseries_out.empty() || !status_file.empty()) {
+    std::string err;
+    if (!sampler.start(&err)) {
+      std::fprintf(stderr, "rvsym-mutate: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
   mut::CampaignRunner runner(opts);
   const mut::CampaignReport report = runner.run(mutants);
+  sampler.stop();
+
+  if (want_spans) {
+    if (!spans.writeChromeTrace(trace_events_out))
+      std::fprintf(stderr, "cannot write --trace-events-out file '%s'\n",
+                   trace_events_out.c_str());
+    else
+      std::printf("wrote %zu trace-event spans to %s\n", spans.size(),
+                  trace_events_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("campaign").beginObject();
+    w.field("mutants", static_cast<std::uint64_t>(mutants.size()));
+    w.field("killed", report.killed);
+    w.field("survived", report.survived);
+    w.field("equivalent", report.equivalent);
+    w.field("skipped", report.skipped);
+    w.field("score", report.mutationScore());
+    w.endObject();
+    w.key("metrics").rawValue(registry.toJson());
+    w.endObject();
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << w.str() << "\n";
+    if (!out)
+      std::fprintf(stderr, "cannot write --metrics-out file '%s'\n",
+                   metrics_out.c_str());
+  }
 
   std::printf(
       "%zu mutants: %llu killed, %llu survived, %llu equivalent, "
@@ -300,9 +413,13 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
 }
 
 int cmdReport(const std::vector<std::string>& args) {
-  std::string journal_path, html_path;
+  std::string journal_path, html_path, metrics_out;
+  bool heartbeat = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--html" && i + 1 < args.size()) html_path = args[++i];
+    else if (args[i] == "--metrics-out" && i + 1 < args.size())
+      metrics_out = args[++i];
+    else if (args[i] == "--heartbeat") heartbeat = true;
     else if (journal_path.empty() && args[i][0] != '-') journal_path = args[i];
     else return usage();
   }
@@ -329,6 +446,41 @@ int cmdReport(const std::vector<std::string>& args) {
   for (const obs::analyze::MutationEntry& e : journal->entries)
     if (e.verdict == "survived")
       std::printf("  survivor: %s\n", e.mutant.c_str());
+  if (heartbeat) {
+    // The same line a live campaign's --heartbeat prints, rebuilt from
+    // the journal — greps written against live logs work offline too.
+    obs::HeartbeatSnapshot hb;
+    hb.has_campaign = true;
+    hb.mutants_total = journal->declared_mutants;
+    hb.mutants_judged = journal->entries.size();
+    hb.mutants_killed = s.killed;
+    hb.mutants_survived = s.survived;
+    hb.mutants_equivalent = s.equivalent;
+    obs::emitHeartbeatLine(hb, "report");
+  }
+  if (!metrics_out.empty()) {
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("campaign").beginObject();
+    w.field("declared", journal->declared_mutants);
+    w.field("judged", static_cast<std::uint64_t>(journal->entries.size()));
+    w.field("killed", s.killed);
+    w.field("survived", s.survived);
+    w.field("equivalent", s.equivalent);
+    w.field("score", s.mutationScore());
+    w.field("scenario", journal->scenario);
+    w.field("max_instr_limit",
+            static_cast<std::uint64_t>(journal->max_instr_limit));
+    w.endObject();
+    w.endObject();
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << w.str() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write --metrics-out file '%s'\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
   if (!html_path.empty()) {
     if (!obs::analyze::writeMutationHtml(html_path, *journal)) {
       std::fprintf(stderr, "cannot write %s\n", html_path.c_str());

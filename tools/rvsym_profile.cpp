@@ -2,7 +2,8 @@
 // solver telemetry dumps during a run (--slow-query-dir on
 // rvsym-verify; solver/corpus.hpp documents the file format).
 //
-//   rvsym-profile replay [--solver-opt S] <file-or-dir>...
+//   rvsym-profile replay [--solver-opt S] [--metrics-out FILE]
+//                        [--heartbeat SECS] <file-or-dir>...
 //       Re-solves every q_*.query file from scratch on the current
 //       solver and compares the verdict against the one recorded when
 //       the query was dumped. Prints per-query timing (recorded vs
@@ -21,7 +22,9 @@
 //       query keeps the original assumption and verdict, so it replays
 //       standalone.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +33,9 @@
 #include <vector>
 
 #include "expr/builder.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "solver/corpus.hpp"
 #include "solver/options.hpp"
 
@@ -40,13 +46,17 @@ namespace fs = std::filesystem;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s replay [--solver-opt S] <file-or-dir>...\n"
+               "usage: %s replay [--solver-opt S] [--metrics-out FILE]\n"
+               "                 [--heartbeat SECS] <file-or-dir>...\n"
                "       %s shrink <file> [--out FILE]\n"
                "\n"
                "--solver-opt S: replay through the layered acceleration\n"
                "pipeline (S = all | none | csv of cex,cores,rewrite,slice)\n"
                "with caches shared across the corpus, and report which\n"
-               "layer answered each query.\n",
+               "layer answered each query.\n"
+               "--metrics-out: dump replay totals + the solver latency\n"
+               "histogram as one JSON document; --heartbeat: progress\n"
+               "lines on stderr during long corpus sweeps.\n",
                argv0, argv0);
   return 2;
 }
@@ -73,6 +83,8 @@ int cmdReplay(const std::vector<std::string>& args) {
   bool accel = false;
   solver::SolverOptions sopt = solver::SolverOptions::none();
   std::vector<std::string> inputs;
+  std::string metrics_out;
+  double heartbeat_s = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--solver-opt" && i + 1 < args.size()) {
       std::string err;
@@ -81,6 +93,10 @@ int cmdReplay(const std::vector<std::string>& args) {
         return 2;
       }
       accel = true;
+    } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+      metrics_out = args[++i];
+    } else if (args[i] == "--heartbeat" && i + 1 < args.size()) {
+      heartbeat_s = std::atof(args[++i].c_str());
     } else {
       inputs.push_back(args[i]);
     }
@@ -111,6 +127,16 @@ int cmdReplay(const std::vector<std::string>& args) {
   int mismatches = 0, errors = 0;
   std::uint64_t was_total = 0, now_total = 0;
   std::map<std::string, int> via_counts;
+
+  // Replay times feed the standard solver.check_us histogram so the
+  // shared heartbeat helper renders the same percentiles a live run's
+  // line shows.
+  obs::MetricsRegistry registry;
+  const auto sweep_start = std::chrono::steady_clock::now();
+  auto next_heartbeat = sweep_start + std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(heartbeat_s));
+  std::size_t replayed = 0;
   for (const std::string& path : files) {
     expr::ExprBuilder local_eb;  // plain path: fresh builder, no cross-talk
     expr::ExprBuilder& eb = accel ? shared_eb : local_eb;
@@ -145,6 +171,26 @@ int cmdReplay(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(q->sat_us),
                 static_cast<unsigned long long>(now_us), via,
                 match ? "ok" : "MISMATCH");
+
+    registry.histogram("solver.check_us").record(now_us);
+    ++replayed;
+    if (heartbeat_s > 0 &&
+        std::chrono::steady_clock::now() >= next_heartbeat) {
+      obs::HeartbeatSnapshot hb;
+      hb.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sweep_start)
+                         .count();
+      hb.has_work = true;
+      hb.work_label = "queries";
+      hb.work_done = replayed;
+      hb.work_total = files.size();
+      hb.readRegistry(registry);
+      if (mismatches) hb.extra = "MISMATCHES=" + std::to_string(mismatches);
+      obs::emitHeartbeatLine(hb, "replay");
+      next_heartbeat += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(heartbeat_s));
+    }
   }
   std::printf("%zu queries, %d verdict mismatches, %d unreadable\n",
               files.size(), mismatches, errors);
@@ -157,6 +203,31 @@ int cmdReplay(const std::vector<std::string>& args) {
     for (const auto& [name, count] : via_counts)
       std::printf(" %s=%d", name.c_str(), count);
     std::printf("\n");
+  }
+  if (!metrics_out.empty()) {
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("replay").beginObject();
+    w.field("queries", static_cast<std::uint64_t>(files.size()));
+    w.field("mismatches", static_cast<std::uint64_t>(mismatches));
+    w.field("unreadable", static_cast<std::uint64_t>(errors));
+    w.field("recorded_us", was_total);
+    w.field("replayed_us", now_total);
+    if (accel) {
+      w.field("solver_opt", solver::solverOptName(sopt));
+      w.key("via").beginObject();
+      for (const auto& [name, count] : via_counts)
+        w.field(name, static_cast<std::uint64_t>(count));
+      w.endObject();
+    }
+    w.endObject();
+    w.key("metrics").rawValue(registry.toJson());
+    w.endObject();
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << w.str() << "\n";
+    if (!out)
+      std::fprintf(stderr, "cannot write --metrics-out file '%s'\n",
+                   metrics_out.c_str());
   }
   if (errors) return 2;
   return mismatches == 0 ? 0 : 1;

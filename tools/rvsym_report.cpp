@@ -17,6 +17,12 @@
 //       in every deterministic dimension: tree shape, verdicts, tags,
 //       test vectors and coverage sets. Exit 0 when identical, 1 when
 //       different — CI asserts jobs=1 vs jobs=N parity with this.
+//
+//   rvsym-report timeseries <run.jsonl> [other.jsonl]
+//       With one file: summarize a --timeseries-out stream (progress,
+//       solver latency percentiles, cache split) with ASCII time plots.
+//       With two: diff the deterministic surface (header + ts_final
+//       minus t_*/qc_* fields) — the sampler's --jobs parity check.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +33,7 @@
 #include "obs/analyze/coverage_map.hpp"
 #include "obs/analyze/diff.hpp"
 #include "obs/analyze/path_tree.hpp"
+#include "obs/analyze/timeseries.hpp"
 
 namespace {
 
@@ -40,6 +47,7 @@ int usage() {
       "       rvsym-report coverage <trace.jsonl> [--html FILE] [--json] "
       "[--holes]\n"
       "       rvsym-report diff <runA> <runB>\n"
+      "       rvsym-report timeseries <run.jsonl> [other.jsonl]\n"
       "\n"
       "Consumes the artifacts a run of `rvsym-verify --trace-out ...`\n"
       "produces. `diff` accepts trace files or run directories and exits\n"
@@ -170,6 +178,33 @@ int cmdDiff(const std::vector<std::string>& args) {
   return result.identical() ? 0 : 1;
 }
 
+int cmdTimeseries(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  std::string err;
+  std::optional<TimeseriesRun> a = loadTimeseries(args[0], &err);
+  if (!a) {
+    std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+    return 2;
+  }
+  if (args.size() == 1) {
+    std::fputs(renderTimeseriesSummary(*a).c_str(), stdout);
+    return 0;
+  }
+  std::optional<TimeseriesRun> b = loadTimeseries(args[1], &err);
+  if (!b) {
+    std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+    return 2;
+  }
+  const std::vector<std::string> diffs = diffTimeseries(*a, *b);
+  if (diffs.empty()) {
+    std::printf("timeseries runs are identical on the deterministic "
+                "surface\n");
+    return 0;
+  }
+  for (const std::string& d : diffs) std::printf("  %s\n", d.c_str());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,5 +215,6 @@ int main(int argc, char** argv) {
   if (cmd == "tree") return cmdTree(args);
   if (cmd == "coverage") return cmdCoverage(args);
   if (cmd == "diff") return cmdDiff(args);
+  if (cmd == "timeseries") return cmdTimeseries(args);
   return usage();
 }

@@ -1,0 +1,295 @@
+// rvsym-top — live terminal monitor for a running verification or
+// mutation campaign.
+//
+// Point it at the file another rvsym tool is writing:
+//
+//   rvsym-verify --paths 100000 --timeseries-out run.jsonl &
+//   rvsym-top run.jsonl
+//
+//   rvsym-mutate run --all --status-file status.json &
+//   rvsym-top status.json
+//
+// Both file shapes are auto-detected from the first record: an
+// append-only rvsym-timeseries-v1 JSONL stream is tailed incrementally
+// (only new bytes are read each refresh), an atomically rewritten
+// --status-file object is re-read whole. The view refreshes in place
+// (ANSI home+clear per frame): throughput, solver latency percentiles,
+// cache hit rates, done-vs-remaining progress with a rate-based ETA.
+// Exits when the stream's closing ts_final record arrives, the
+// producer's file vanishes, or --once was asked.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/analyze/timeseries.hpp"
+
+namespace {
+
+using namespace rvsym::obs::analyze;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] FILE\n"
+      "  FILE               a --timeseries-out JSONL stream or a\n"
+      "                     --status-file JSON object\n"
+      "  --interval S       refresh every S seconds        (default 1)\n"
+      "  --once             render one frame and exit\n"
+      "  --no-clear         append frames instead of redrawing in place\n"
+      "  --help\n",
+      argv0);
+}
+
+std::string bar(double fraction, std::size_t width) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const auto filled = static_cast<std::size_t>(fraction * width + 0.5);
+  std::string out(filled, '#');
+  out += std::string(width - filled, '.');
+  return out;
+}
+
+std::string fmtEta(double seconds) {
+  if (seconds < 0) return "-";
+  char buf[32];
+  if (seconds < 90)
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  else if (seconds < 5400)
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60);
+  else
+    std::snprintf(buf, sizeof buf, "%.1fh", seconds / 3600);
+  return buf;
+}
+
+/// One rendered frame from everything parsed so far.
+std::string renderFrame(const TimeseriesRun& run, bool finished) {
+  std::string out;
+  char buf[256];
+  const auto add = [&](const char* line) { out += line; out += '\n'; };
+
+  if (run.samples.empty()) {
+    add("rvsym-top: waiting for samples...");
+    return out;
+  }
+  const TimeseriesSample& s = run.samples.back();
+
+  std::snprintf(buf, sizeof buf, "rvsym-top — %s  t=%.1fs  sample #%llu%s",
+                run.header.kind.empty() ? "?" : run.header.kind.c_str(),
+                s.t_s, static_cast<unsigned long long>(s.seq),
+                finished ? "  [finished]" : "");
+  add(buf);
+
+  // --- Progress + ETA ----------------------------------------------------
+  const std::uint64_t done = s.done();
+  std::uint64_t total = s.total();
+  if (total == 0) total = run.header.total_work;
+  if (total != 0) {
+    const double frac =
+        static_cast<double>(done) / static_cast<double>(total);
+    const double rate = s.t_s > 0 ? static_cast<double>(done) / s.t_s : 0;
+    const double eta =
+        rate > 0 && total > done
+            ? static_cast<double>(total - done) / rate
+            : (total > done ? -1 : 0);
+    std::snprintf(buf, sizeof buf, "  [%s] %llu/%llu (%.1f%%)  eta %s",
+                  bar(frac, 40).c_str(),
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total), 100.0 * frac,
+                  fmtEta(eta).c_str());
+    add(buf);
+  } else {
+    std::snprintf(buf, sizeof buf, "  %llu done (open-ended)",
+                  static_cast<unsigned long long>(done));
+    add(buf);
+  }
+
+  if (s.has_paths) {
+    std::snprintf(buf, sizeof buf,
+                  "  paths  %llu committed: %llu ok, %llu err, %llu partial"
+                  "  worklist %llu  instr %llu",
+                  static_cast<unsigned long long>(s.paths_done),
+                  static_cast<unsigned long long>(s.paths_completed),
+                  static_cast<unsigned long long>(s.paths_errors),
+                  static_cast<unsigned long long>(s.paths_partial),
+                  static_cast<unsigned long long>(s.worklist),
+                  static_cast<unsigned long long>(s.instr));
+    add(buf);
+  }
+  if (s.has_campaign) {
+    std::snprintf(buf, sizeof buf,
+                  "  mutants %llu/%llu judged: %llu killed, %llu survived, "
+                  "%llu equivalent",
+                  static_cast<unsigned long long>(s.mutants_judged),
+                  static_cast<unsigned long long>(s.mutants_total),
+                  static_cast<unsigned long long>(s.mutants_killed),
+                  static_cast<unsigned long long>(s.mutants_survived),
+                  static_cast<unsigned long long>(s.mutants_equivalent));
+    add(buf);
+  }
+  const std::uint64_t no_solve = s.answered_exact + s.answered_cexm +
+                                 s.answered_cexc + s.answered_rw;
+  // A registry with no solver traffic (e.g. the bench suite sampler)
+  // still reports has_solver; keep the frame to the active sections.
+  if (s.has_solver && no_solve + s.solver_solves != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  solver %.0f qps  p50/p90/p99 %llu/%llu/%llu us  "
+                  "%llu solves  %llu slow",
+                  s.solver_qps, static_cast<unsigned long long>(s.p50_us),
+                  static_cast<unsigned long long>(s.p90_us),
+                  static_cast<unsigned long long>(s.p99_us),
+                  static_cast<unsigned long long>(s.solver_solves),
+                  static_cast<unsigned long long>(s.slow));
+    add(buf);
+    const std::uint64_t checks = no_solve + s.solver_solves;
+    if (checks != 0) {
+      std::snprintf(
+          buf, sizeof buf,
+          "  cache  %.0f%% answered without solve "
+          "(exact %llu, cexm %llu, cexc %llu, rw %llu; sliced %llu)",
+          100.0 * static_cast<double>(no_solve) /
+              static_cast<double>(checks),
+          static_cast<unsigned long long>(s.answered_exact),
+          static_cast<unsigned long long>(s.answered_cexm),
+          static_cast<unsigned long long>(s.answered_cexc),
+          static_cast<unsigned long long>(s.answered_rw),
+          static_cast<unsigned long long>(s.answered_sliced));
+      add(buf);
+    }
+    if (s.qcache_hits + s.qcache_misses != 0) {
+      std::snprintf(buf, sizeof buf, "  qcache %llu hits / %llu misses",
+                    static_cast<unsigned long long>(s.qcache_hits),
+                    static_cast<unsigned long long>(s.qcache_misses));
+      add(buf);
+    }
+  }
+  if (!s.extra.empty()) {
+    std::snprintf(buf, sizeof buf, "  %s", s.extra.c_str());
+    add(buf);
+  }
+  return out;
+}
+
+/// Incremental tail state over a growing JSONL stream.
+struct Tail {
+  std::string path;
+  std::streamoff offset = 0;
+  std::string partial;  ///< trailing bytes with no newline yet
+
+  /// Reads any new complete lines into `run`. False when the file
+  /// cannot be opened (producer gone / not created yet).
+  bool poll(TimeseriesRun& run) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < offset) {
+      // Truncated — the producer restarted; start over.
+      offset = 0;
+      partial.clear();
+      run = TimeseriesRun{};
+      run.path = path;
+    }
+    if (size == offset) return true;
+    in.seekg(offset);
+    std::string chunk(static_cast<std::size_t>(size - offset), '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    offset = size;
+    partial += chunk;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = partial.find('\n', start);
+      if (nl == std::string::npos) break;
+      parseTimeseriesRecord(
+          std::string_view(partial).substr(start, nl - start), run);
+      start = nl + 1;
+    }
+    partial.erase(0, start);
+    return true;
+  }
+};
+
+/// Status-file mode: re-read the whole (atomically rewritten) object.
+bool pollStatus(const std::string& path, TimeseriesRun& run) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  TimeseriesRun fresh;
+  fresh.path = path;
+  // A status file is one record; a half-written legacy (non-atomic)
+  // file parses as an error and keeps the previous frame.
+  if (!parseTimeseriesRecord(text, fresh) || fresh.samples.empty())
+    return true;
+  run.header = fresh.header;
+  run.samples = std::move(fresh.samples);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  double interval = 1.0;
+  bool once = false;
+  bool clear = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval" && i + 1 < argc) interval = std::atof(argv[++i]);
+    else if (arg == "--once") once = true;
+    else if (arg == "--no-clear") clear = false;
+    else if (arg == "--help") { usage(argv[0]); return 0; }
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (file.empty()) file = arg;
+    else {
+      std::fprintf(stderr, "extra argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (interval <= 0) interval = 1.0;
+
+  // Mode detection: the first record of a stream is ts_header, a status
+  // file is one "status" object. Until the file exists, keep probing.
+  bool status_mode = false;
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::string first;
+    if (in && std::getline(in, first))
+      status_mode = first.find("\"ev\":\"status\"") != std::string::npos;
+  }
+
+  TimeseriesRun run;
+  run.path = file;
+  Tail tail;
+  tail.path = file;
+
+  int missing_polls = 0;
+  for (;;) {
+    const bool present =
+        status_mode ? pollStatus(file, run) : tail.poll(run);
+    if (!present && ++missing_polls > 3 && !run.samples.empty()) {
+      std::fprintf(stderr, "rvsym-top: %s disappeared\n", file.c_str());
+      return 1;
+    }
+    const bool finished = run.final_record.has_value();
+
+    const std::string frame = renderFrame(run, finished);
+    if (clear && !once) std::fputs("\x1b[H\x1b[2J", stdout);
+    std::fputs(frame.c_str(), stdout);
+    if (!clear && !once) std::fputs("\n", stdout);
+    std::fflush(stdout);
+
+    if (once || finished) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+}

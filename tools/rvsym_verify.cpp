@@ -27,7 +27,9 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_events.hpp"
 #include "rv32/instr.hpp"
 #include "solver/options.hpp"
 #include "solver/telemetry.hpp"
@@ -59,6 +61,13 @@ void usage(const char* argv0) {
       "  --trace-out FILE   JSONL path-lifecycle event trace\n"
       "  --metrics-out FILE engine report + metrics registry as JSON\n"
       "  --heartbeat S      stderr progress line every S seconds\n"
+      "  --timeseries-out F append rvsym-timeseries-v1 JSONL samples\n"
+      "                     (watch live with rvsym-top)\n"
+      "  --status-file F    atomically rewrite the latest sample as one\n"
+      "                     JSON object every interval\n"
+      "  --sample-interval S  sampling interval in seconds (default 0.5)\n"
+      "  --trace-events-out F Chrome Trace Event JSON (phase + solver\n"
+      "                     spans, one track per worker; open in Perfetto)\n"
       "  --profile-out FILE flamegraph-compatible folded phase stacks\n"
       "  --slow-query-dir D dump solver queries slower than the threshold\n"
       "                     as a replayable corpus (see rvsym-profile)\n"
@@ -112,11 +121,13 @@ int main(int argc, char** argv) {
   std::string ktest_dir;
   std::string trace_out, metrics_out, repro_dir, replay_dir;
   std::string profile_out, slow_query_dir;
+  std::string timeseries_out, status_file, trace_events_out;
   unsigned limit = 1, regs = 2, jobs = 1;
   std::uint64_t paths = 2000;
   std::uint64_t slow_query_us = 10000;
   double seconds = 60;
   double heartbeat = 0;
+  double sample_interval = 0.5;
   bool stop_on_error = false;
   bool want_coverage = false;
   bool monitor = false;
@@ -140,6 +151,10 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--metrics-out") metrics_out = value();
     else if (arg == "--heartbeat") heartbeat = std::atof(value());
+    else if (arg == "--timeseries-out") timeseries_out = value();
+    else if (arg == "--status-file") status_file = value();
+    else if (arg == "--sample-interval") sample_interval = std::atof(value());
+    else if (arg == "--trace-events-out") trace_events_out = value();
     else if (arg == "--profile-out") profile_out = value();
     else if (arg == "--slow-query-dir") slow_query_dir = value();
     else if (arg == "--slow-query-us")
@@ -156,6 +171,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+#ifdef RVSYM_OBS_NO_TRACING
+  if (!timeseries_out.empty() || !status_file.empty() ||
+      !trace_events_out.empty()) {
+    std::fprintf(stderr,
+                 "--timeseries-out/--status-file/--trace-events-out need "
+                 "tracing, which this build compiled out "
+                 "(RVSYM_DISABLE_TRACING)\n");
+    return 2;
+  }
+#endif
 
   if (!replay_dir.empty()) return runReplay(replay_dir);
 
@@ -263,35 +289,48 @@ int main(int argc, char** argv) {
     }
   }
   const bool want_metrics = !metrics_out.empty();
+  // The live surfaces (sampler, status file) read the same registry the
+  // --metrics-out dump serializes, so any of them turns it on.
+  const bool want_registry =
+      want_metrics || !timeseries_out.empty() || !status_file.empty();
+  const bool want_spans = !trace_events_out.empty();
 
   // Solver telemetry: per-query timing into the registry plus the
   // slow-query corpus. On whenever a consumer exists (it implies
   // per-check solver timing, so keep it off for plain runs).
   std::unique_ptr<solver::SolverTelemetry> telemetry;
-  if (!slow_query_dir.empty() || want_metrics) {
+  if (!slow_query_dir.empty() || want_registry || want_spans) {
     solver::SolverTelemetry::Options topts;
     topts.corpus_dir = slow_query_dir;
     topts.slow_query_us = slow_query_us;
     telemetry = std::make_unique<solver::SolverTelemetry>(std::move(topts));
-    if (want_metrics) telemetry->attachMetrics(registry);
+    if (want_registry) telemetry->attachMetrics(registry);
   }
   obs::PhaseProfiler profiler;
+  obs::SpanCollector spans;
+  if (want_spans) {
+    // Phase spans (one per profiler frame) + per-query solver spans,
+    // each on its recording thread's track.
+    profiler.attachSpans(&spans);
+    if (telemetry) telemetry->attachSpans(&spans);
+  }
 
   // --- Symbolic verification session -------------------------------------------
   expr::ExprBuilder eb;
   core::SessionOptions options;
   options.cosim = cfg;
-  if (want_metrics) options.cosim.metrics = &registry;
+  if (want_registry) options.cosim.metrics = &registry;
   options.engine.max_paths = paths;
   options.engine.max_seconds = seconds;
   options.engine.stop_on_error = stop_on_error;
   options.engine.jobs = jobs == 0 ? 1 : jobs;
   options.engine.solver_opt = solver_opt;
   options.engine.trace = trace_sink.get();
-  if (want_metrics) options.engine.metrics = &registry;
+  if (want_registry) options.engine.metrics = &registry;
   options.engine.heartbeat_seconds = heartbeat;
   options.engine.telemetry = telemetry.get();
-  if (!profile_out.empty()) options.engine.profiler = &profiler;
+  if (!profile_out.empty() || want_spans)
+    options.engine.profiler = &profiler;
   if (searcher == "bfs")
     options.engine.searcher = symex::EngineOptions::Searcher::Bfs;
   else if (searcher == "random")
@@ -301,8 +340,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::TimeseriesOptions ts_opts;
+  ts_opts.out_path = timeseries_out;
+  ts_opts.status_path = status_file;
+  ts_opts.interval_s = sample_interval;
+  ts_opts.kind = "verify";
+  ts_opts.total_work = paths;
+  obs::TimeseriesSampler sampler(ts_opts, registry);
+  if (!timeseries_out.empty() || !status_file.empty()) {
+    std::string err;
+    if (!sampler.start(&err)) {
+      std::fprintf(stderr, "timeseries sampler: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
   core::VerificationSession session(eb, options);
   const core::SessionReport report = session.run();
+  sampler.stop();
+
+  if (want_spans) {
+    if (!spans.writeChromeTrace(trace_events_out))
+      std::fprintf(stderr, "cannot write --trace-events-out file '%s'\n",
+                   trace_events_out.c_str());
+    else
+      std::printf("wrote %zu trace-event spans to %s\n", spans.size(),
+                  trace_events_out.c_str());
+  }
 
   std::printf("explored %llu paths (%llu completed, %llu partial) — "
               "%llu instructions, %.2fs, %llu test vectors\n",
