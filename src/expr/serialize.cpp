@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <unordered_map>
+#include <utility>
 
 namespace rvsym::expr {
 
@@ -83,12 +85,14 @@ ExprRef buildNode(ExprBuilder& eb, Kind kind, const ExprRef& a,
 
 }  // namespace
 
-std::optional<std::string> serializeNodes(const std::vector<ExprRef>& roots) {
+std::optional<BoundedNodes> serializeNodesBounded(
+    const std::vector<ExprRef>& roots, std::size_t max_bytes) {
   // Iterative post-order over the union DAG; each node serializes once.
   std::unordered_map<const Expr*, std::uint64_t> ids;
   std::vector<const Expr*> stack;
   std::string out;
   char buf[96];
+  bool truncated = false;
 
   const auto emit = [&](const Expr& e) -> bool {
     const std::uint64_t id = ids.size();
@@ -141,6 +145,10 @@ std::optional<std::string> serializeNodes(const std::vector<ExprRef>& roots) {
     if (!root) return std::nullopt;
     stack.push_back(root.get());
     while (!stack.empty()) {
+      if (out.size() >= max_bytes) {
+        truncated = true;
+        break;
+      }
       const Expr* node = stack.back();
       if (ids.count(node) != 0) {
         stack.pop_back();
@@ -158,12 +166,26 @@ std::optional<std::string> serializeNodes(const std::vector<ExprRef>& roots) {
       stack.pop_back();
       if (!emit(*node)) return std::nullopt;
     }
+    if (truncated) break;
   }
-  for (const ExprRef& root : roots) {
-    std::snprintf(buf, sizeof buf, "root n%" PRIu64 "\n", ids.at(root.get()));
-    out += buf;
+  if (!truncated) {
+    for (const ExprRef& root : roots) {
+      std::snprintf(buf, sizeof buf, "root n%" PRIu64 "\n", ids.at(root.get()));
+      out += buf;
+    }
   }
-  return out;
+  BoundedNodes result;
+  result.text = std::move(out);
+  result.nodes = ids.size();
+  result.truncated = truncated;
+  return result;
+}
+
+std::optional<std::string> serializeNodes(const std::vector<ExprRef>& roots) {
+  std::optional<BoundedNodes> b = serializeNodesBounded(
+      roots, std::numeric_limits<std::size_t>::max());
+  if (!b) return std::nullopt;
+  return std::move(b->text);
 }
 
 std::optional<std::vector<ExprRef>> parseNodes(ExprBuilder& eb,

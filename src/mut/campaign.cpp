@@ -11,6 +11,8 @@
 
 #include "core/coverage.hpp"
 #include "mut/journal.hpp"
+#include "obs/flightrec/crashdump.hpp"
+#include "obs/flightrec/ring.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
@@ -151,14 +153,22 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
     for (std::string& id : judgedMutantIds(options_.journal_path))
       judged.insert(std::move(id));
 
+  // `todo_enum[i]` is todo[i]'s index in the full enumeration (`mutants`).
+  // Flight-recorder events carry this index, which is stable across
+  // resume invocations with the same selection flags, so a crash bundle
+  // can be cross-referenced against a later run's mutant list.
   std::vector<const Mutant*> todo;
+  std::vector<std::size_t> todo_enum;
   todo.reserve(mutants.size());
-  for (const Mutant& m : mutants) {
+  todo_enum.reserve(mutants.size());
+  for (std::size_t mi = 0; mi < mutants.size(); ++mi) {
+    const Mutant& m = mutants[mi];
     if (judged.count(m.id())) {
       ++report.skipped;
       continue;
     }
     todo.push_back(&m);
+    todo_enum.push_back(mi);
   }
 
   std::FILE* journal = nullptr;
@@ -195,6 +205,13 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
   // Campaign progress shared with the per-hunt heartbeat annotators.
   std::atomic<std::uint64_t> judged_count{0}, killed_count{0};
   const std::size_t total = todo.size();
+
+  // Crash forensics: let dump bundles report the journal position
+  // (skipped-on-resume + committed-this-run) alongside the ring events.
+  if (!options_.journal_path.empty())
+    obs::flightrec::setForensicsJournal(
+        options_.journal_path.c_str(), &judged_count,
+        static_cast<std::uint64_t>(report.skipped));
 
   // Live campaign progress in the registry (commit-order updates, so the
   // final values are deterministic): the timeseries sampler and any
@@ -238,12 +255,28 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
   std::condition_variable done_cv;
   std::atomic<std::size_t> next{0};
 
-  const auto workerLoop = [&] {
+  // One judgement, bracketed for the flight recorder: MutantBegin before
+  // the hunt, busy stamps for the stall watchdog. The matching
+  // MutantVerdict is emitted by the committer, so a bundle with a Begin
+  // and no Verdict for a slot pinpoints the in-flight mutant.
+  const auto judgeOne = [&](std::size_t i) {
+    obs::flightrec::emit(obs::flightrec::EventKind::MutantBegin, todo_enum[i],
+                         0, 0, todo[i]->id().c_str());
+    obs::flightrec::busyBegin();
+    MutantResult r =
+        judgeMutant(*todo[i], run_options, cache.get(), heartbeat_extra);
+    obs::flightrec::busyEnd();
+    return r;
+  };
+
+  const auto workerLoop = [&](unsigned worker_index) {
+    char fr_name[16];
+    std::snprintf(fr_name, sizeof fr_name, "judge%u", worker_index);
+    const obs::flightrec::ScopedThread fr_thread(fr_name);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= todo.size()) return;
-      MutantResult r =
-          judgeMutant(*todo[i], run_options, cache.get(), heartbeat_extra);
+      MutantResult r = judgeOne(i);
       {
         std::lock_guard<std::mutex> lk(mu);
         slots[i].result = std::move(r);
@@ -257,11 +290,14 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
   std::vector<std::thread> threads;
   if (jobs > 1) {
     threads.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t) threads.emplace_back(workerLoop);
+    for (unsigned t = 0; t < jobs; ++t) threads.emplace_back(workerLoop, t);
   }
 
   double next_heartbeat = options_.heartbeat_seconds;
-  const auto commit = [&](MutantResult& r) {
+  const auto commit = [&](MutantResult& r, std::size_t enum_index) {
+    obs::flightrec::emit(obs::flightrec::EventKind::MutantVerdict, enum_index,
+                         static_cast<std::uint64_t>(r.verdict), 0,
+                         r.mutant.id().c_str());
     judged_count.fetch_add(1, std::memory_order_relaxed);
     if (c_judged) c_judged->add();
     switch (r.verdict) {
@@ -307,9 +343,8 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
   if (jobs <= 1) {
     // Sequential: judge and commit inline on this thread.
     for (std::size_t i = 0; i < todo.size(); ++i) {
-      MutantResult r =
-          judgeMutant(*todo[i], run_options, cache.get(), heartbeat_extra);
-      commit(r);
+      MutantResult r = judgeOne(i);
+      commit(r, todo_enum[i]);
     }
   } else {
     std::unique_lock<std::mutex> lk(mu);
@@ -317,13 +352,16 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
       done_cv.wait(lk, [&] { return slots[i].done; });
       MutantResult r = std::move(slots[i].result);
       lk.unlock();
-      commit(r);
+      commit(r, todo_enum[i]);
       lk.lock();
     }
   }
   for (std::thread& t : threads) t.join();
 
   if (journal) std::fclose(journal);
+  // Detach the journal position before judged_count goes out of scope.
+  if (!options_.journal_path.empty())
+    obs::flightrec::setForensicsJournal(nullptr, nullptr, 0);
   report.seconds = elapsed();
   return report;
 }

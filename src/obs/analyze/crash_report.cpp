@@ -1,0 +1,376 @@
+#include "obs/analyze/crash_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/analyze/json_reader.hpp"
+
+namespace rvsym::obs::analyze {
+namespace {
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string fmtSeconds(std::uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(us) / 1e6);
+  return buf;
+}
+
+const char* solverVerdictName(std::uint64_t v) {
+  switch (v) {
+    case 0: return "sat";
+    case 1: return "unsat";
+    case 2: return "unknown";
+  }
+  return "?";
+}
+
+const char* mutantVerdictName(std::uint64_t v) {
+  switch (v) {
+    case 0: return "killed";
+    case 1: return "survived";
+    case 2: return "equivalent";
+  }
+  return "?";
+}
+
+/// One timeline line's event-specific tail ("path 12 end=completed ...").
+std::string describeEvent(const CrashEvent& e) {
+  char buf[160];
+  if (e.ev == "path_commit") {
+    std::snprintf(buf, sizeof buf, "path %llu end=%s instr=%llu",
+                  static_cast<unsigned long long>(e.a),
+                  e.tag.empty() ? "?" : e.tag.c_str(),
+                  static_cast<unsigned long long>(e.c));
+  } else if (e.ev == "solver_begin") {
+    std::snprintf(buf, sizeof buf,
+                  "solver begin %016llx%016llx constraints=%llu kind=%s",
+                  static_cast<unsigned long long>(e.b),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.c),
+                  e.tag.empty() ? "?" : e.tag.c_str());
+  } else if (e.ev == "solver_end") {
+    std::snprintf(buf, sizeof buf, "solver end   %016llx verdict=%s in %lluus",
+                  static_cast<unsigned long long>(e.a),
+                  solverVerdictName(e.b),
+                  static_cast<unsigned long long>(e.c));
+  } else if (e.ev == "phase") {
+    std::snprintf(buf, sizeof buf, "phase %s depth=%llu",
+                  e.tag.empty() ? "?" : e.tag.c_str(),
+                  static_cast<unsigned long long>(e.a));
+  } else if (e.ev == "mutant_begin") {
+    std::snprintf(buf, sizeof buf, "mutant #%llu (%s) begin",
+                  static_cast<unsigned long long>(e.a),
+                  e.tag.empty() ? "?" : e.tag.c_str());
+  } else if (e.ev == "mutant_verdict") {
+    std::snprintf(buf, sizeof buf, "mutant #%llu (%s) %s",
+                  static_cast<unsigned long long>(e.a),
+                  e.tag.empty() ? "?" : e.tag.c_str(),
+                  mutantVerdictName(e.b));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s %llu %llu %llu %s", e.ev.c_str(),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b),
+                  static_cast<unsigned long long>(e.c), e.tag.c_str());
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::optional<CrashBundle> loadCrashBundle(const std::string& dir,
+                                           std::string* err) {
+  const auto setErr = [&](std::string msg) {
+    if (err) *err = std::move(msg);
+    return std::nullopt;
+  };
+
+  const auto manifest_text = readFile(dir + "/manifest.json");
+  if (!manifest_text)
+    return setErr("cannot read " + dir + "/manifest.json (not a bundle?)");
+  std::string perr;
+  const auto manifest = parseJson(*manifest_text, &perr);
+  if (!manifest || !manifest->isObject())
+    return setErr("malformed manifest.json: " + perr);
+  const auto schema = manifest->getString("schema");
+  if (!schema || *schema != "rvsym-crash-v1")
+    return setErr("unexpected schema '" + schema.value_or("") +
+                  "' (want rvsym-crash-v1)");
+
+  CrashBundle b;
+  b.dir = dir;
+  b.reason = manifest->getString("reason").value_or("");
+  b.tool = manifest->getString("tool").value_or("");
+  b.signal = static_cast<int>(manifest->getU64("signal").value_or(0));
+  b.signal_name = manifest->getString("signal_name").value_or("");
+  b.pid = manifest->getU64("pid").value_or(0);
+  b.t_us = manifest->getU64("t_us").value_or(0);
+  if (const JsonValue* j = manifest->find("journal"); j && j->isObject()) {
+    b.has_journal = true;
+    b.journal_path = j->getString("path").value_or("");
+    b.journal_judged = j->getU64("judged").value_or(0);
+  }
+  if (const JsonValue* threads = manifest->find("threads");
+      threads && threads->isArray()) {
+    for (const JsonValue& t : threads->items()) {
+      if (!t.isObject()) continue;
+      CrashThread th;
+      th.slot = static_cast<std::size_t>(t.getU64("slot").value_or(0));
+      th.name = t.getString("name").value_or("");
+      th.events = t.getU64("events").value_or(0);
+      th.busy = t.getBool("busy").value_or(false);
+      th.busy_us = t.getU64("busy_us").value_or(0);
+      th.idle_us = t.getU64("idle_us").value_or(0);
+      th.inflight = t.getBool("inflight").value_or(false);
+      th.stalled = t.getBool("stalled").value_or(false);
+      b.threads.push_back(std::move(th));
+    }
+  }
+
+  // Ring events: one JSON object per line; skip unparsable lines (a
+  // fatal dump may have been truncated mid-write).
+  if (const auto rings = readFile(dir + "/flightrec.jsonl")) {
+    std::istringstream in(*rings);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto v = parseJson(line);
+      if (!v || !v->isObject()) continue;
+      CrashEvent e;
+      e.slot = static_cast<std::size_t>(v->getU64("slot").value_or(0));
+      e.name = v->getString("name").value_or("");
+      e.index = v->getU64("i").value_or(0);
+      e.t_us = v->getU64("t_us").value_or(0);
+      e.ev = v->getString("ev").value_or("");
+      e.a = v->getU64("a").value_or(0);
+      e.b = v->getU64("b").value_or(0);
+      e.c = v->getU64("c").value_or(0);
+      e.tag = v->getString("tag").value_or("");
+      b.events.push_back(std::move(e));
+    }
+  }
+  std::stable_sort(b.events.begin(), b.events.end(),
+                   [](const CrashEvent& x, const CrashEvent& y) {
+                     return x.t_us < y.t_us;
+                   });
+
+  for (const CrashThread& th : b.threads) {
+    const auto q =
+        readFile(dir + "/inflight-" + std::to_string(th.slot) + ".query");
+    if (q) b.inflight[th.slot] = *q;
+  }
+  if (const auto stacks = readFile(dir + "/stacks.txt")) b.stacks = *stacks;
+  return b;
+}
+
+std::vector<QueryTimelineEntry> solverQueryTimeline(const CrashBundle& b) {
+  std::vector<QueryTimelineEntry> out;
+  // Per-slot index of the youngest unmatched begin. Solver queries do
+  // not nest within one thread, so matching the most recent open begin
+  // on the same slot is exact.
+  std::map<std::size_t, std::size_t> open;
+  for (const CrashEvent& e : b.events) {
+    if (e.ev == "solver_begin") {
+      QueryTimelineEntry q;
+      q.slot = e.slot;
+      q.thread = e.name;
+      q.t_us = e.t_us;
+      q.hash_lo = e.a;
+      q.hash_hi = e.b;
+      q.constraints = e.c;
+      q.kind = e.tag;
+      open[e.slot] = out.size();
+      out.push_back(std::move(q));
+    } else if (e.ev == "solver_end") {
+      const auto it = open.find(e.slot);
+      if (it == open.end()) continue;  // begin fell off the ring
+      QueryTimelineEntry& q = out[it->second];
+      if (q.hash_lo == e.a) {  // hash lo echoed in the end event
+        q.completed = true;
+        q.verdict = e.b;
+        q.solve_us = e.c;
+      }
+      open.erase(it);
+    }
+  }
+  return out;
+}
+
+std::vector<InFlightMutant> inFlightMutants(const CrashBundle& b) {
+  // Per slot: the last MutantBegin wins; a later MutantVerdict for the
+  // same enumeration index (on any slot — the committer emits verdicts
+  // on its own ring) retires it.
+  std::map<std::size_t, InFlightMutant> begun;
+  for (const CrashEvent& e : b.events) {
+    if (e.ev == "mutant_begin") {
+      InFlightMutant m;
+      m.enum_index = e.a;
+      m.id_prefix = e.tag;
+      m.slot = e.slot;
+      m.thread = e.name;
+      m.t_us = e.t_us;
+      begun[e.slot] = std::move(m);
+    } else if (e.ev == "mutant_verdict") {
+      for (auto it = begun.begin(); it != begun.end();) {
+        if (it->second.enum_index == e.a) it = begun.erase(it);
+        else ++it;
+      }
+    }
+  }
+  std::vector<InFlightMutant> out;
+  out.reserve(begun.size());
+  for (auto& [slot, m] : begun) out.push_back(std::move(m));
+  return out;
+}
+
+std::string renderCrashReport(const CrashBundle& b,
+                              std::size_t timeline_events,
+                              std::size_t last_queries) {
+  std::string out;
+  char buf[256];
+
+  out += "crash bundle: " + b.dir + "\n";
+  out += "  reason:  " + b.reason;
+  if (b.signal != 0) {
+    std::snprintf(buf, sizeof buf, " (signal %d %s)", b.signal,
+                  b.signal_name.c_str());
+    out += buf;
+  }
+  out += "\n";
+  std::snprintf(buf, sizeof buf, "  tool:    %s   pid %llu   t=%s\n",
+                b.tool.empty() ? "?" : b.tool.c_str(),
+                static_cast<unsigned long long>(b.pid),
+                fmtSeconds(b.t_us).c_str());
+  out += buf;
+  if (b.has_journal) {
+    std::snprintf(buf, sizeof buf, "  journal: %s — %llu mutants judged\n",
+                  b.journal_path.c_str(),
+                  static_cast<unsigned long long>(b.journal_judged));
+    out += buf;
+  }
+
+  out += "\nthreads:\n";
+  out += "  slot name              events  state\n";
+  for (const CrashThread& th : b.threads) {
+    std::string state;
+    if (th.busy) {
+      state = "busy";
+      if (th.busy_us != 0) state += " " + fmtSeconds(th.busy_us);
+    } else {
+      state = "idle";
+      if (th.idle_us != 0) state += " " + fmtSeconds(th.idle_us);
+    }
+    if (th.stalled) state += "  STALLED";
+    if (th.inflight) state += "  [query in flight]";
+    std::snprintf(buf, sizeof buf, "  %-4zu %-16s %7llu  %s\n", th.slot,
+                  th.name.c_str(), static_cast<unsigned long long>(th.events),
+                  state.c_str());
+    out += buf;
+  }
+
+  // Stall attribution: what was each stalled thread doing?
+  for (const CrashThread& th : b.threads) {
+    if (!th.stalled) continue;
+    out += "\nstall: thread " + th.name;
+    std::snprintf(buf, sizeof buf, " (slot %zu) busy %s without progress\n",
+                  th.slot, fmtSeconds(th.busy_us).c_str());
+    out += buf;
+    const CrashEvent* last = nullptr;
+    for (const CrashEvent& e : b.events)
+      if (e.slot == th.slot) last = &e;
+    if (last)
+      out += "  last event: " + describeEvent(*last) + " at t=" +
+             fmtSeconds(last->t_us) + "\n";
+    if (b.inflight.count(th.slot))
+      out += "  a solver query was in flight (see below)\n";
+  }
+
+  if (!b.events.empty()) {
+    const std::size_t n = std::min(timeline_events, b.events.size());
+    std::snprintf(buf, sizeof buf, "\ntimeline (last %zu of %zu events):\n",
+                  n, b.events.size());
+    out += buf;
+    for (std::size_t i = b.events.size() - n; i < b.events.size(); ++i) {
+      const CrashEvent& e = b.events[i];
+      std::snprintf(buf, sizeof buf, "  t=%-10s %-16s %s\n",
+                    fmtSeconds(e.t_us).c_str(), e.name.c_str(),
+                    describeEvent(e).c_str());
+      out += buf;
+    }
+  }
+
+  const std::vector<QueryTimelineEntry> queries = solverQueryTimeline(b);
+  if (!queries.empty()) {
+    const std::size_t n = std::min(last_queries, queries.size());
+    std::snprintf(buf, sizeof buf, "\nsolver queries (last %zu of %zu):\n",
+                  n, queries.size());
+    out += buf;
+    for (std::size_t i = queries.size() - n; i < queries.size(); ++i) {
+      const QueryTimelineEntry& q = queries[i];
+      if (q.completed) {
+        std::snprintf(buf, sizeof buf,
+                      "  t=%-10s %-16s %016llx%016llx %-5s %4llu "
+                      "constraints -> %s in %lluus\n",
+                      fmtSeconds(q.t_us).c_str(), q.thread.c_str(),
+                      static_cast<unsigned long long>(q.hash_hi),
+                      static_cast<unsigned long long>(q.hash_lo),
+                      q.kind.c_str(),
+                      static_cast<unsigned long long>(q.constraints),
+                      solverVerdictName(q.verdict),
+                      static_cast<unsigned long long>(q.solve_us));
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "  t=%-10s %-16s %016llx%016llx %-5s %4llu "
+                      "constraints -> IN FLIGHT\n",
+                      fmtSeconds(q.t_us).c_str(), q.thread.c_str(),
+                      static_cast<unsigned long long>(q.hash_hi),
+                      static_cast<unsigned long long>(q.hash_lo),
+                      q.kind.c_str(),
+                      static_cast<unsigned long long>(q.constraints));
+      }
+      out += buf;
+    }
+  }
+
+  const std::vector<InFlightMutant> mutants = inFlightMutants(b);
+  if (!mutants.empty()) {
+    out += "\nmutants in flight (begun, never committed):\n";
+    for (const InFlightMutant& m : mutants) {
+      std::snprintf(buf, sizeof buf,
+                    "  #%llu (%s…) on thread %s since t=%s\n",
+                    static_cast<unsigned long long>(m.enum_index),
+                    m.id_prefix.c_str(), m.thread.c_str(),
+                    fmtSeconds(m.t_us).c_str());
+      out += buf;
+    }
+  }
+
+  for (const auto& [slot, query] : b.inflight) {
+    std::string thread_name;
+    for (const CrashThread& th : b.threads)
+      if (th.slot == slot) thread_name = th.name;
+    std::snprintf(buf, sizeof buf,
+                  "\nin-flight query (slot %zu, %s) — first lines:\n", slot,
+                  thread_name.c_str());
+    out += buf;
+    std::istringstream in(query);
+    std::string line;
+    for (int i = 0; i < 10 && std::getline(in, line); ++i)
+      out += "  | " + line + "\n";
+    if (in.peek() != EOF) out += "  | ...\n";
+  }
+
+  if (!b.stacks.empty())
+    out += "\nper-thread stacks: see " + b.dir + "/stacks.txt\n";
+  return out;
+}
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,108 @@
+// Offline loader / renderer for rvsym-crash-v1 bundles (DESIGN.md §12)
+// — the analysis-side counterpart of obs/flightrec/crashdump.cpp.
+//
+// `rvsym-report crash <dir>` loads a bundle and renders the forensics
+// view: thread table with stall attribution, the interleaved per-thread
+// event timeline, the last solver queries with matched begin/end
+// durations, and the in-flight query that was on the SAT solver.
+// `rvsym-mutate resume --crash-bundle <dir>` uses the same loader to
+// cross-reference the bundle against the journal and name the mutant
+// that was being judged when the process died.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rvsym::obs::analyze {
+
+/// One row of the manifest's thread table.
+struct CrashThread {
+  std::size_t slot = 0;
+  std::string name;
+  std::uint64_t events = 0;
+  bool busy = false;
+  std::uint64_t busy_us = 0;  ///< 0 when idle / unknown
+  std::uint64_t idle_us = 0;  ///< time since last ring event
+  bool inflight = false;
+  bool stalled = false;
+};
+
+/// One flightrec.jsonl line (already joined with its thread identity).
+struct CrashEvent {
+  std::size_t slot = 0;
+  std::string name;
+  std::uint64_t index = 0;
+  std::uint64_t t_us = 0;
+  std::string ev;  ///< wire kind name ("path_commit", ...)
+  std::uint64_t a = 0, b = 0, c = 0;
+  std::string tag;
+};
+
+/// A fully loaded bundle.
+struct CrashBundle {
+  std::string dir;
+  std::string reason;
+  std::string tool;
+  int signal = 0;
+  std::string signal_name;
+  std::uint64_t pid = 0;
+  std::uint64_t t_us = 0;  ///< dump time, µs since recorder start
+
+  bool has_journal = false;
+  std::string journal_path;
+  std::uint64_t journal_judged = 0;
+
+  std::vector<CrashThread> threads;
+  std::vector<CrashEvent> events;  ///< all rings, ascending t_us
+  std::map<std::size_t, std::string> inflight;  ///< slot -> query text
+  std::string stacks;  ///< stacks.txt verbatim ("" when absent)
+};
+
+/// Loads `<dir>/manifest.json` + companions. Returns nullopt (with a
+/// human-readable *err) when the directory is not a rvsym-crash-v1
+/// bundle; missing optional sections (stacks, metrics) are tolerated.
+std::optional<CrashBundle> loadCrashBundle(const std::string& dir,
+                                           std::string* err = nullptr);
+
+/// One solver query reconstructed from SolverBegin/SolverEnd pairs.
+struct QueryTimelineEntry {
+  std::size_t slot = 0;
+  std::string thread;
+  std::uint64_t t_us = 0;  ///< begin time
+  std::uint64_t hash_lo = 0, hash_hi = 0;
+  std::uint64_t constraints = 0;
+  std::string kind;           ///< "check" | "path"
+  bool completed = false;     ///< matching SolverEnd seen
+  std::uint64_t verdict = 0;  ///< Sat=0 Unsat=1 Unknown=2 (when completed)
+  std::uint64_t solve_us = 0;
+};
+
+/// Per-thread begin/end matching over the bundle's ring events, oldest
+/// first. The final entry of a thread with completed=false is the query
+/// that was on its solver when the bundle was written.
+std::vector<QueryTimelineEntry> solverQueryTimeline(const CrashBundle& b);
+
+/// A mutant judgement that was begun but not committed: MutantBegin on
+/// a slot with no matching MutantVerdict anywhere in the bundle.
+struct InFlightMutant {
+  std::uint64_t enum_index = 0;  ///< index into the run's enumeration
+  std::string id_prefix;         ///< first 16 bytes of the mutant id
+  std::size_t slot = 0;
+  std::string thread;
+  std::uint64_t t_us = 0;  ///< when judging began
+};
+
+std::vector<InFlightMutant> inFlightMutants(const CrashBundle& b);
+
+/// The human-readable forensics view (what `rvsym-report crash`
+/// prints): header, thread table with stall attribution, interleaved
+/// timeline (last `timeline_events` across all threads), last
+/// `last_queries` solver queries, in-flight query excerpts.
+std::string renderCrashReport(const CrashBundle& b,
+                              std::size_t timeline_events = 40,
+                              std::size_t last_queries = 8);
+
+}  // namespace rvsym::obs::analyze

@@ -1,0 +1,774 @@
+#include "obs/flightrec/crashdump.hpp"
+
+#ifndef RVSYM_OBS_NO_TRACING
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#if defined(__GLIBC__) || defined(__APPLE__)
+#include <execinfo.h>
+#define RVSYM_HAVE_BACKTRACE 1
+#endif
+
+#include "obs/flightrec/sigsafe.hpp"
+#include "obs/metrics.hpp"
+
+namespace rvsym::obs::flightrec {
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+constexpr int kNumFatal = 4;
+// Stack-broadcast signal: rarely used by anything else, default-ignored,
+// so borrowing it for "write your backtrace" is low-collision.
+constexpr int kStackSignal = SIGURG;
+constexpr std::size_t kSnapBytes = 128 * 1024;
+constexpr int kMaxWriters = 8;
+constexpr int kMaxBacktrace = 64;
+constexpr std::size_t kNameMax = 160;
+
+/// All forensics state, allocated once at install. Everything the fatal
+/// handler touches is either atomic, preallocated, or pre-serialized.
+struct State {
+  char crash_dir[512] = {0};
+  char tool[64] = {0};
+  double stall_timeout_s = 0;
+  double poll_s = 0.25;
+  bool handlers_installed = false;
+  int dir_fd = -1;
+  std::atomic<std::uint32_t> bundle_seq{0};
+
+  std::atomic<MetricsRegistry*> registry{nullptr};
+
+  std::atomic<bool> journal_set{false};
+  char journal_path[512] = {0};
+  std::atomic<const std::atomic<std::uint64_t>*> journal_judged{nullptr};
+  std::atomic<std::uint64_t> journal_base{0};
+
+  // Metrics snapshot double buffer: the watchdog serializes the registry
+  // into the inactive half every poll and flips `snap_active`, so the
+  // fatal handler only ever write()s bytes that already exist.
+  struct Snap {
+    std::atomic<std::uint32_t> len{0};
+    std::unique_ptr<std::atomic<char>[]> data;
+  };
+  Snap snaps[2];
+  std::atomic<int> snap_active{-1};
+
+  struct WriterSlot {
+    std::atomic<bool> used{false};  ///< slot claimed (fn/ctx being set)
+    std::atomic<void (*)(void*, bool)> fn{nullptr};
+    std::atomic<void*> ctx{nullptr};
+  };
+  WriterSlot writers[kMaxWriters];
+
+  // All-thread stack collection: the dumping thread points stack_fd at
+  // the open stacks.txt, signals one thread at a time with kStackSignal
+  // and waits for the ack, so backtraces never interleave.
+  std::atomic<int> stack_fd{-1};
+  std::atomic<std::uint32_t> stack_ack{0};
+
+  // One stall report per (slot, busy_since) episode.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> reported;
+  std::unique_ptr<bool[]> stall_flags;  // watchdog-only scratch
+
+  std::atomic<int> fatal_entered{0};
+
+  // Dump scratch, duplicated so a fatal dump never shares buffers with
+  // a concurrent watchdog dump: [0] = normal context (under dump_mu),
+  // [1] = fatal context (single thread via fatal_entered).
+  std::unique_ptr<Event[]> ev_scratch[2];
+  std::unique_ptr<char[]> q_scratch[2];
+  std::size_t ring_cap = 0;
+  std::size_t inflight_cap = 0;
+
+  std::thread watchdog;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::atomic<bool> dump_requested{false};
+
+  struct sigaction old_fatal[kNumFatal];
+  struct sigaction old_usr1, old_stack;
+
+  std::mutex dump_mu;  // serializes normal-context dumps
+};
+
+std::atomic<State*> g_state{nullptr};
+
+// --- tiny sigsafe string building -----------------------------------------
+
+void appendStr(char* buf, std::size_t cap, std::size_t& len, const char* s) {
+  while (s && *s && len + 1 < cap) buf[len++] = *s++;
+  buf[len] = '\0';
+}
+
+void appendU64(char* buf, std::size_t cap, std::size_t& len,
+               std::uint64_t v) {
+  char tmp[24];
+  int i = sizeof tmp;
+  do {
+    tmp[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (i < static_cast<int>(sizeof tmp) && len + 1 < cap)
+    buf[len++] = tmp[i++];
+  buf[len] = '\0';
+}
+
+/// crash-<pid>-<seq>-<reason>
+void makeBundleName(State* st, const char* reason, char* buf,
+                    std::size_t cap) {
+  std::size_t len = 0;
+  appendStr(buf, cap, len, "crash-");
+  appendU64(buf, cap, len, static_cast<std::uint64_t>(::getpid()));
+  appendStr(buf, cap, len, "-");
+  appendU64(buf, cap, len,
+            st->bundle_seq.fetch_add(1, std::memory_order_relaxed));
+  appendStr(buf, cap, len, "-");
+  appendStr(buf, cap, len, reason);
+}
+
+int openBundleFile(int dfd, const char* name) {
+  return ::openat(dfd, name, O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+// --- bundle sections -------------------------------------------------------
+
+bool ringAlive(const ThreadRing* r) {
+  return r->in_use.load(std::memory_order_acquire) || r->seq() != 0;
+}
+
+void writeManifest(State* st, FlightRecorder* g, int dfd, const char* reason,
+                   int signo, const bool* stalled, std::uint64_t now_us) {
+  const int fd = openBundleFile(dfd, "manifest.json");
+  if (fd < 0) return;
+  {
+    SigsafeWriter w(fd);
+    w.str("{\"schema\":\"rvsym-crash-v1\",\"reason\":");
+    w.jsonString(reason);
+    if (signo != 0) {
+      w.str(",\"signal\":");
+      w.dec(static_cast<std::uint64_t>(signo));
+      w.str(",\"signal_name\":");
+      w.jsonString(signalName(signo));
+    }
+    w.str(",\"pid\":");
+    w.dec(static_cast<std::uint64_t>(::getpid()));
+    w.str(",\"tool\":");
+    w.jsonString(st->tool);
+    w.str(",\"t_us\":");
+    w.dec(now_us);
+    if (st->journal_set.load(std::memory_order_acquire)) {
+      w.str(",\"journal\":{\"path\":");
+      w.jsonString(st->journal_path);
+      w.str(",\"judged\":");
+      std::uint64_t judged = st->journal_base.load(std::memory_order_relaxed);
+      if (const auto* p = st->journal_judged.load(std::memory_order_acquire))
+        judged += p->load(std::memory_order_relaxed);
+      w.dec(judged);
+      w.str("}");
+    }
+    w.str(",\"threads\":[");
+    bool first = true;
+    for (std::size_t i = 0; i < g->maxThreads(); ++i) {
+      const ThreadRing* r = g->ringAt(i);
+      if (!ringAlive(r)) continue;
+      if (!first) w.ch(',');
+      first = false;
+      w.str("{\"slot\":");
+      w.dec(i);
+      w.str(",\"name\":");
+      w.jsonString(r->name, sizeof r->name);
+      w.str(",\"events\":");
+      w.dec(r->seq());
+      const std::uint64_t busy =
+          r->busy_since_us.load(std::memory_order_acquire);
+      const std::uint64_t last =
+          r->last_event_us.load(std::memory_order_acquire);
+      w.str(",\"busy\":");
+      w.str(busy != 0 ? "true" : "false");
+      if (busy != 0 && now_us > busy) {
+        w.str(",\"busy_us\":");
+        w.dec(now_us - busy);
+      }
+      if (last != 0 && now_us > last) {
+        w.str(",\"idle_us\":");
+        w.dec(now_us - last);
+      }
+      w.str(",\"inflight\":");
+      w.str(r->inflight().pendingBytes() != 0 ? "true" : "false");
+      w.str(",\"stalled\":");
+      w.str(stalled && stalled[i] ? "true" : "false");
+      w.str("}");
+    }
+    w.str("]}\n");
+  }
+  ::close(fd);
+}
+
+void writeRings(State* st, FlightRecorder* g, int dfd, bool fatal) {
+  const int fd = openBundleFile(dfd, "flightrec.jsonl");
+  if (fd < 0) return;
+  Event* scratch = st->ev_scratch[fatal ? 1 : 0].get();
+  {
+    SigsafeWriter w(fd);
+    for (std::size_t i = 0; i < g->maxThreads(); ++i) {
+      const ThreadRing* r = g->ringAt(i);
+      if (!ringAlive(r)) continue;
+      const std::size_t n = r->snapshot(scratch, st->ring_cap);
+      for (std::size_t k = 0; k < n; ++k) {
+        const Event& e = scratch[k];
+        w.str("{\"slot\":");
+        w.dec(i);
+        w.str(",\"name\":");
+        w.jsonString(r->name, sizeof r->name);
+        w.str(",\"i\":");
+        w.dec(e.index);
+        w.str(",\"t_us\":");
+        w.dec(e.t_us);
+        w.str(",\"ev\":");
+        w.jsonString(eventKindName(e.kind));
+        w.str(",\"a\":");
+        w.dec(e.a);
+        w.str(",\"b\":");
+        w.dec(e.b);
+        w.str(",\"c\":");
+        w.dec(e.c);
+        if (e.tag[0]) {
+          w.str(",\"tag\":");
+          w.jsonString(e.tag, sizeof e.tag);
+        }
+        w.str("}\n");
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void writeInflight(State* st, FlightRecorder* g, int dfd, bool fatal) {
+  char* scratch = st->q_scratch[fatal ? 1 : 0].get();
+  for (std::size_t i = 0; i < g->maxThreads(); ++i) {
+    const ThreadRing* r = g->ringAt(i);
+    if (!ringAlive(r)) continue;
+    const std::size_t n =
+        r->inflight().read(scratch, st->inflight_cap, nullptr, nullptr);
+    if (n == 0) continue;
+    char name[64];
+    std::size_t len = 0;
+    appendStr(name, sizeof name, len, "inflight-");
+    appendU64(name, sizeof name, len, i);
+    appendStr(name, sizeof name, len, ".query");
+    const int fd = openBundleFile(dfd, name);
+    if (fd < 0) continue;
+    SigsafeWriter w(fd);
+    w.strn(scratch, n);
+    w.flush();
+    ::close(fd);
+  }
+}
+
+void writeMetrics(State* st, int dfd, bool fatal) {
+  const int fd = openBundleFile(dfd, "metrics.json");
+  if (fd < 0) return;
+  {
+    SigsafeWriter w(fd);
+    bool wrote = false;
+    if (!fatal) {
+      if (MetricsRegistry* reg =
+              st->registry.load(std::memory_order_acquire)) {
+        const std::string json = reg->toJson();  // normal context: fresh
+        w.strn(json.data(), json.size());
+        w.ch('\n');
+        wrote = true;
+      }
+    }
+    if (!wrote) {
+      const int active = st->snap_active.load(std::memory_order_acquire);
+      if (active >= 0) {
+        const State::Snap& s = st->snaps[active];
+        const std::uint32_t len = s.len.load(std::memory_order_acquire);
+        for (std::uint32_t i = 0; i < len; ++i)
+          w.ch(s.data[i].load(std::memory_order_relaxed));
+        w.ch('\n');
+        wrote = true;
+      }
+    }
+    if (!wrote) w.str("{}\n");
+  }
+  ::close(fd);
+}
+
+void writeOwnBacktrace(int fd) {
+#ifdef RVSYM_HAVE_BACKTRACE
+  void* addrs[kMaxBacktrace];
+  const int n = backtrace(addrs, kMaxBacktrace);
+  backtrace_symbols_fd(addrs, n, fd);
+#else
+  SigsafeWriter w(fd);
+  w.str("(backtrace unavailable on this platform)\n");
+#endif
+}
+
+/// kStackSignal handler: append this thread's backtrace to the fd the
+/// dumper published, then ack. The dumper serializes requests, so
+/// backtraces never interleave.
+void stackSignalHandler(int) {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (!st) return;
+  const int fd = st->stack_fd.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  writeOwnBacktrace(fd);
+  st->stack_ack.fetch_add(1, std::memory_order_release);
+}
+
+void writeStacks(State* st, FlightRecorder* g, int dfd, bool fatal,
+                 int signo) {
+  const int fd = openBundleFile(dfd, "stacks.txt");
+  if (fd < 0) return;
+  {
+    SigsafeWriter w(fd);
+    w.str("--- dumping thread");
+    if (fatal) {
+      w.str(" (received ");
+      w.str(signalName(signo));
+      w.str(")");
+    }
+    w.str(" ---\n");
+    w.flush();
+  }
+  writeOwnBacktrace(fd);
+
+  if (st->handlers_installed) {
+#ifndef _WIN32
+    const pthread_t self = pthread_self();
+    for (std::size_t i = 0; i < g->maxThreads(); ++i) {
+      ThreadRing* r = g->ringAt(i);
+      if (!r->has_thread_id.load(std::memory_order_acquire)) continue;
+      if (pthread_equal(r->pthread_id, self)) continue;
+      {
+        SigsafeWriter w(fd);
+        w.str("\n--- thread ");
+        w.dec(i);
+        w.str(" ");
+        w.strn(r->name, strnlen(r->name, sizeof r->name));
+        w.str(" ---\n");
+        w.flush();
+      }
+      const std::uint32_t ack0 =
+          st->stack_ack.load(std::memory_order_acquire);
+      st->stack_fd.store(fd, std::memory_order_release);
+      if (pthread_kill(r->pthread_id, kStackSignal) == 0) {
+        // Bounded wait (~200ms) for the target to write its backtrace.
+        for (int spin = 0; spin < 100; ++spin) {
+          if (st->stack_ack.load(std::memory_order_acquire) != ack0) break;
+          timespec ts{0, 2 * 1000 * 1000};
+          nanosleep(&ts, nullptr);
+        }
+        if (st->stack_ack.load(std::memory_order_acquire) == ack0) {
+          SigsafeWriter w(fd);
+          w.str("  (thread did not respond)\n");
+        }
+      } else {
+        SigsafeWriter w(fd);
+        w.str("  (thread gone)\n");
+      }
+      st->stack_fd.store(-1, std::memory_order_release);
+    }
+#endif
+  }
+  ::close(fd);
+}
+
+void runCrashWriters(State* st, bool fatal) {
+  for (int i = 0; i < kMaxWriters; ++i) {
+    auto fn = st->writers[i].fn.load(std::memory_order_acquire);
+    if (!fn) continue;
+    fn(st->writers[i].ctx.load(std::memory_order_acquire), fatal);
+  }
+}
+
+/// The shared bundle writer. Fatal callers hold the fatal_entered gate;
+/// normal callers hold dump_mu. `out_name` (cap kNameMax) receives the
+/// bundle directory name.
+bool writeBundle(State* st, const char* reason, int signo,
+                 const bool* stalled, bool fatal, char* out_name) {
+  FlightRecorder* g = FlightRecorder::global();
+  if (!g || st->dir_fd < 0) return false;
+  char name[kNameMax];
+  makeBundleName(st, reason, name, sizeof name);
+  if (::mkdirat(st->dir_fd, name, 0775) != 0 && errno != EEXIST) return false;
+  const int dfd =
+      ::openat(st->dir_fd, name, O_DIRECTORY | O_RDONLY | O_CLOEXEC);
+  if (dfd < 0) return false;
+  const std::uint64_t now_us = g->nowMicros();
+  writeManifest(st, g, dfd, reason, signo, stalled, now_us);
+  writeRings(st, g, dfd, fatal);
+  writeInflight(st, g, dfd, fatal);
+  writeMetrics(st, dfd, fatal);
+  writeStacks(st, g, dfd, fatal, signo);
+  runCrashWriters(st, fatal);
+  ::close(dfd);
+  if (out_name) {
+    std::size_t len = 0;
+    appendStr(out_name, kNameMax, len, name);
+  }
+  return true;
+}
+
+void announceBundle(State* st, const char* what, const char* name) {
+  // stderr, via write(2): callable from signal context.
+  SigsafeWriter w(2);
+  w.str("rvsym: ");
+  w.str(what);
+  w.str(" — crash bundle: ");
+  w.str(st->crash_dir);
+  w.str("/");
+  w.str(name);
+  w.str("\n");
+}
+
+// --- signal handlers -------------------------------------------------------
+
+int fatalIndex(int sig) {
+  for (int i = 0; i < kNumFatal; ++i)
+    if (kFatalSignals[i] == sig) return i;
+  return -1;
+}
+
+void fatalSignalHandler(int sig, siginfo_t*, void*) {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (st) {
+    int expected = 0;
+    if (!st->fatal_entered.compare_exchange_strong(expected, 1)) {
+      // Another thread is writing the bundle; park so it can finish and
+      // re-raise (its signal kills the whole process).
+      for (;;) {
+        timespec ts{1, 0};
+        nanosleep(&ts, nullptr);
+      }
+    }
+    char name[kNameMax] = {0};
+    if (writeBundle(st, "signal", sig, nullptr, true, name))
+      announceBundle(st, signalName(sig), name);
+    // Restore the previous disposition so the default action (core
+    // dump, abort) still happens with the original signal.
+    const int idx = fatalIndex(sig);
+    if (idx >= 0) ::sigaction(sig, &st->old_fatal[idx], nullptr);
+  } else {
+    ::signal(sig, SIG_DFL);
+  }
+  ::raise(sig);
+}
+
+void usr1Handler(int) {
+  if (State* st = g_state.load(std::memory_order_acquire))
+    st->dump_requested.store(true, std::memory_order_release);
+}
+
+// --- watchdog --------------------------------------------------------------
+
+void refreshMetricsSnapshot(State* st) {
+  MetricsRegistry* reg = st->registry.load(std::memory_order_acquire);
+  if (!reg) return;
+  const std::string json = reg->toJson();
+  const int active = st->snap_active.load(std::memory_order_relaxed);
+  const int next = active == 0 ? 1 : 0;
+  State::Snap& s = st->snaps[next];
+  std::uint32_t len = static_cast<std::uint32_t>(
+      json.size() < kSnapBytes ? json.size() : kSnapBytes);
+  for (std::uint32_t i = 0; i < len; ++i)
+    s.data[i].store(json[i], std::memory_order_relaxed);
+  s.len.store(len, std::memory_order_release);
+  st->snap_active.store(next, std::memory_order_release);
+}
+
+void dumpFromWatchdog(State* st, const char* what, const char* reason,
+                      const bool* stalled) {
+  const std::lock_guard<std::mutex> lock(st->dump_mu);
+  char name[kNameMax] = {0};
+  if (writeBundle(st, reason, 0, stalled, false, name))
+    announceBundle(st, what, name);
+}
+
+void scanStalls(State* st, FlightRecorder* g) {
+  const std::uint64_t timeout_us =
+      static_cast<std::uint64_t>(st->stall_timeout_s * 1e6);
+  if (timeout_us == 0) return;
+  const std::uint64_t now = g->nowMicros();
+  bool any_new = false;
+  char who[128] = {0};
+  for (std::size_t i = 0; i < g->maxThreads(); ++i) {
+    st->stall_flags[i] = false;
+    const ThreadRing* r = g->ringAt(i);
+    if (!r->in_use.load(std::memory_order_acquire)) continue;
+    const std::uint64_t busy =
+        r->busy_since_us.load(std::memory_order_acquire);
+    if (busy == 0) continue;  // idle workers are not stall candidates
+    const std::uint64_t last =
+        r->last_event_us.load(std::memory_order_acquire);
+    const std::uint64_t since = busy > last ? busy : last;
+    if (now <= since || now - since < timeout_us) continue;
+    st->stall_flags[i] = true;
+    if (st->reported[i].load(std::memory_order_relaxed) != busy) {
+      st->reported[i].store(busy, std::memory_order_relaxed);
+      any_new = true;
+      std::size_t len = 0;
+      appendStr(who, sizeof who, len, r->name);
+      appendStr(who, sizeof who, len, " busy ");
+      appendU64(who, sizeof who, len, (now - since) / 1000);
+      appendStr(who, sizeof who, len, "ms without progress");
+    }
+  }
+  if (any_new) {
+    char what[192];
+    std::size_t len = 0;
+    appendStr(what, sizeof what, len, "stall detected (");
+    appendStr(what, sizeof what, len, who);
+    appendStr(what, sizeof what, len, "); run continues");
+    dumpFromWatchdog(st, what, "stall", st->stall_flags.get());
+  }
+}
+
+void watchdogMain(State* st) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(st->wd_mu);
+      st->wd_cv.wait_for(
+          lock, std::chrono::duration<double>(st->poll_s),
+          [st] { return st->wd_stop; });
+      if (st->wd_stop) return;
+    }
+    FlightRecorder* g = FlightRecorder::global();
+    if (!g) continue;
+    refreshMetricsSnapshot(st);
+    if (st->dump_requested.exchange(false, std::memory_order_acq_rel))
+      dumpFromWatchdog(st, "dump requested (SIGUSR1)", "request", nullptr);
+    scanStalls(st, g);
+  }
+}
+
+bool makeDirs(const std::string& path) {
+  std::string cur;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    cur = path.substr(0, i == path.size() ? i : i + 1);
+    if (cur.empty() || cur == "/") continue;
+    if (::mkdir(cur.c_str(), 0775) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- public API ------------------------------------------------------------
+
+bool installForensics(const ForensicsOptions& opts, std::string* err) {
+  if (g_state.load(std::memory_order_acquire)) {
+    if (err) *err = "crash forensics already installed";
+    return false;
+  }
+  if (opts.crash_dir.empty()) {
+    if (err) *err = "crash forensics needs a --crash-dir";
+    return false;
+  }
+  if (!makeDirs(opts.crash_dir)) {
+    if (err) *err = "cannot create crash dir " + opts.crash_dir;
+    return false;
+  }
+  const int dir_fd =
+      ::open(opts.crash_dir.c_str(), O_DIRECTORY | O_RDONLY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    if (err) *err = "cannot open crash dir " + opts.crash_dir;
+    return false;
+  }
+  FlightRecorder* g = FlightRecorder::installGlobal(opts.recorder);
+  if (!g) {
+    ::close(dir_fd);
+    if (err) *err = "flight recorder unavailable";
+    return false;
+  }
+
+  auto st = std::make_unique<State>();
+  std::snprintf(st->crash_dir, sizeof st->crash_dir, "%s",
+                opts.crash_dir.c_str());
+  std::snprintf(st->tool, sizeof st->tool, "%s", opts.tool.c_str());
+  st->stall_timeout_s = opts.stall_timeout_s;
+  st->poll_s = opts.poll_interval_s > 0 ? opts.poll_interval_s : 0.25;
+  // Detect a stall within 2x the timeout: poll at least twice per window.
+  if (opts.stall_timeout_s > 0 && st->poll_s > opts.stall_timeout_s / 2)
+    st->poll_s = opts.stall_timeout_s / 2;
+  st->dir_fd = dir_fd;
+  for (auto& snap : st->snaps)
+    snap.data = std::make_unique<std::atomic<char>[]>(kSnapBytes);
+  st->reported =
+      std::make_unique<std::atomic<std::uint64_t>[]>(g->maxThreads());
+  st->stall_flags = std::make_unique<bool[]>(g->maxThreads());
+  st->ring_cap = g->options().ring_capacity < 8 ? 8 : g->options().ring_capacity;
+  // Ring capacity is rounded up to a power of two inside ThreadRing;
+  // size the scratch from the real ring.
+  st->ring_cap = g->ringAt(0)->capacity();
+  st->inflight_cap = g->ringAt(0)->inflight().capacity();
+  for (int i = 0; i < 2; ++i) {
+    st->ev_scratch[i] = std::make_unique<Event[]>(st->ring_cap);
+    st->q_scratch[i] = std::make_unique<char[]>(st->inflight_cap);
+  }
+
+#ifdef RVSYM_HAVE_BACKTRACE
+  {
+    // Warm up libgcc's unwinder outside signal context (first call may
+    // allocate / dlopen).
+    void* addrs[4];
+    backtrace(addrs, 4);
+  }
+#endif
+
+  State* raw = st.release();  // leaked on purpose (signal handlers)
+  g_state.store(raw, std::memory_order_release);
+
+  if (opts.install_signal_handlers) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_sigaction = fatalSignalHandler;
+    sa.sa_flags = SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    for (int i = 0; i < kNumFatal; ++i)
+      ::sigaction(kFatalSignals[i], &sa, &raw->old_fatal[i]);
+
+    struct sigaction usr;
+    std::memset(&usr, 0, sizeof usr);
+    usr.sa_handler = usr1Handler;
+    usr.sa_flags = SA_RESTART;
+    sigemptyset(&usr.sa_mask);
+    ::sigaction(SIGUSR1, &usr, &raw->old_usr1);
+
+    struct sigaction stk;
+    std::memset(&stk, 0, sizeof stk);
+    stk.sa_handler = stackSignalHandler;
+    stk.sa_flags = SA_RESTART;
+    sigemptyset(&stk.sa_mask);
+    ::sigaction(kStackSignal, &stk, &raw->old_stack);
+    raw->handlers_installed = true;
+  }
+
+  raw->watchdog = std::thread(watchdogMain, raw);
+  return true;
+}
+
+void shutdownForensics() {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (!st) return;
+  {
+    const std::lock_guard<std::mutex> lock(st->wd_mu);
+    st->wd_stop = true;
+  }
+  st->wd_cv.notify_all();
+  if (st->watchdog.joinable()) st->watchdog.join();
+  if (st->handlers_installed) {
+    for (int i = 0; i < kNumFatal; ++i)
+      ::sigaction(kFatalSignals[i], &st->old_fatal[i], nullptr);
+    ::sigaction(SIGUSR1, &st->old_usr1, nullptr);
+    ::sigaction(kStackSignal, &st->old_stack, nullptr);
+  }
+  if (st->dir_fd >= 0) ::close(st->dir_fd);
+  // The State block itself is leaked: a racing requestDump may still
+  // hold the pointer. Handlers are restored, so nothing fatal uses it.
+  g_state.store(nullptr, std::memory_order_release);
+}
+
+bool forensicsInstalled() {
+  return g_state.load(std::memory_order_acquire) != nullptr;
+}
+
+void setForensicsMetrics(MetricsRegistry* registry) {
+  if (State* st = g_state.load(std::memory_order_acquire))
+    st->registry.store(registry, std::memory_order_release);
+}
+
+void setForensicsJournal(const char* path,
+                         const std::atomic<std::uint64_t>* judged,
+                         std::uint64_t base) {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (!st) return;
+  if (!path) {
+    st->journal_set.store(false, std::memory_order_release);
+    st->journal_judged.store(nullptr, std::memory_order_release);
+    return;
+  }
+  std::snprintf(st->journal_path, sizeof st->journal_path, "%s", path);
+  st->journal_base.store(base, std::memory_order_relaxed);
+  st->journal_judged.store(judged, std::memory_order_release);
+  st->journal_set.store(true, std::memory_order_release);
+}
+
+int addCrashWriter(CrashWriter w) {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (!st || !w.fn) return -1;
+  for (int i = 0; i < kMaxWriters; ++i) {
+    bool expected = false;
+    if (!st->writers[i].used.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+      continue;
+    st->writers[i].ctx.store(w.ctx, std::memory_order_release);
+    st->writers[i].fn.store(w.fn, std::memory_order_release);
+    return i;
+  }
+  return -1;
+}
+
+void removeCrashWriter(int id) {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (!st || id < 0 || id >= kMaxWriters) return;
+  st->writers[id].fn.store(nullptr, std::memory_order_release);
+  st->writers[id].ctx.store(nullptr, std::memory_order_release);
+  st->writers[id].used.store(false, std::memory_order_release);
+}
+
+bool requestDump(const char* reason, std::string* bundle_dir) {
+  State* st = g_state.load(std::memory_order_acquire);
+  if (!st) return false;
+  const std::lock_guard<std::mutex> lock(st->dump_mu);
+  refreshMetricsSnapshot(st);
+  char name[kNameMax] = {0};
+  if (!writeBundle(st, reason ? reason : "request", 0, nullptr, false, name))
+    return false;
+  if (bundle_dir) {
+    *bundle_dir = st->crash_dir;
+    *bundle_dir += '/';
+    *bundle_dir += name;
+  }
+  return true;
+}
+
+}  // namespace rvsym::obs::flightrec
+
+#else  // RVSYM_OBS_NO_TRACING — stubs: forensics is compiled out.
+
+namespace rvsym::obs::flightrec {
+
+bool installForensics(const ForensicsOptions&, std::string* err) {
+  if (err) *err = "crash forensics support compiled out (RVSYM_DISABLE_TRACING)";
+  return false;
+}
+void shutdownForensics() {}
+bool forensicsInstalled() { return false; }
+void setForensicsMetrics(MetricsRegistry*) {}
+void setForensicsJournal(const char*, const std::atomic<std::uint64_t>*,
+                         std::uint64_t) {}
+int addCrashWriter(CrashWriter) { return -1; }
+void removeCrashWriter(int) {}
+bool requestDump(const char*, std::string*) { return false; }
+
+}  // namespace rvsym::obs::flightrec
+
+#endif  // RVSYM_OBS_NO_TRACING

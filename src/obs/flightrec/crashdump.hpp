@@ -1,0 +1,125 @@
+// Crash forensics — the three dump triggers over the flight recorder
+// (DESIGN.md §12):
+//
+//   (a) fatal signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE): an async-signal-
+//       safe handler writes a crash bundle and re-raises;
+//   (b) a watchdog thread that declares a worker stalled when its ring
+//       stamps stop advancing for --stall-timeout and dumps the same
+//       bundle (plus all-thread stacks) WITHOUT killing the run;
+//   (c) SIGUSR1: an explicit "dump now" for live debugging, serviced by
+//       the watchdog at its next poll.
+//
+// A bundle is a directory (schema `rvsym-crash-v1`):
+//
+//   <crash-dir>/crash-<pid>-<seq>-<reason>/
+//     manifest.json     reason, signal, tool, thread table, stall
+//                       attribution, campaign journal position
+//     flightrec.jsonl   every live ring event, one JSON object per line
+//     stacks.txt        backtrace of every registered thread
+//     metrics.json      metrics-registry snapshot (pre-serialized by the
+//                       watchdog so the fatal path only write()s it)
+//     inflight-<slot>.query
+//                       the rvsym-query-v1 serialization of the query
+//                       that was on thread <slot>'s SAT solver
+//
+// The fatal path allocates nothing and calls only async-signal-safe
+// primitives; everything it writes was preallocated or pre-serialized
+// at install / watchdog-poll time. Render bundles with
+// `rvsym-report crash <dir>`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/flightrec/ring.hpp"
+
+namespace rvsym::obs {
+class MetricsRegistry;  // obs/metrics.hpp
+}
+
+namespace rvsym::obs::flightrec {
+
+struct ForensicsOptions {
+  /// Bundle output directory (created if missing). Required.
+  std::string crash_dir;
+  /// Declare a busy worker stalled after this many seconds without ring
+  /// activity and dump a bundle (the run keeps going). 0 disables stall
+  /// detection; fatal-signal and SIGUSR1 dumps stay armed.
+  double stall_timeout_s = 0;
+  /// Tool name recorded in the manifest ("rvsym-verify", ...).
+  std::string tool;
+  /// Watchdog poll cadence; clamped to stall_timeout/2 so a stall is
+  /// detected within 2x the timeout. Also bounds SIGUSR1 latency.
+  double poll_interval_s = 0.25;
+  /// Tests may run the watchdog without taking over fatal signals.
+  bool install_signal_handlers = true;
+  FlightRecorder::Options recorder;
+};
+
+/// Installs the global flight recorder, the fatal/SIGUSR1 handlers and
+/// the watchdog thread. Idempotent (second install fails). Returns
+/// false with *err set on failure — including always under
+/// RVSYM_OBS_NO_TRACING builds ("compiled out").
+bool installForensics(const ForensicsOptions& opts, std::string* err);
+
+/// Stops the watchdog and restores the previous signal dispositions.
+/// The recorder itself stays installed (rings keep recording cheaply).
+void shutdownForensics();
+
+bool forensicsInstalled();
+
+/// Registry to snapshot into bundles (nullptr detaches; detach before
+/// the registry dies). The watchdog re-serializes it every poll into a
+/// double buffer the fatal handler can write() as-is.
+void setForensicsMetrics(MetricsRegistry* registry);
+
+/// Campaign journal position for the manifest: `judged` (may be null)
+/// is read at dump time and added to `base`. Pass path=nullptr to clear
+/// before the counter dies.
+void setForensicsJournal(const char* path,
+                         const std::atomic<std::uint64_t>* judged,
+                         std::uint64_t base);
+
+/// Callback invoked while writing a bundle, e.g. the timeseries sampler
+/// flushing its final sample. `fatal` is true in signal context, where
+/// the callback must be async-signal safe. Returns a slot id (-1 when
+/// full / not installed).
+struct CrashWriter {
+  void (*fn)(void* ctx, bool fatal) = nullptr;
+  void* ctx = nullptr;
+};
+int addCrashWriter(CrashWriter w);
+void removeCrashWriter(int id);
+
+/// Writes a bundle from normal (non-signal) context — the SIGUSR1 /
+/// test path. Returns false if forensics is not installed or the dump
+/// failed; on success *bundle_dir (optional) is the bundle directory.
+bool requestDump(const char* reason, std::string* bundle_dir);
+
+/// RAII wrapper for CLIs: install on entry, shutdown + detach on exit
+/// so no dangling registry/journal pointers survive `main`.
+class ForensicsSession {
+ public:
+  ForensicsSession() = default;
+  ~ForensicsSession() {
+    if (installed_) {
+      setForensicsMetrics(nullptr);
+      setForensicsJournal(nullptr, nullptr, 0);
+      shutdownForensics();
+    }
+  }
+  ForensicsSession(const ForensicsSession&) = delete;
+  ForensicsSession& operator=(const ForensicsSession&) = delete;
+
+  bool install(const ForensicsOptions& opts, std::string* err) {
+    installed_ = installForensics(opts, err);
+    return installed_;
+  }
+  bool installed() const { return installed_; }
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace rvsym::obs::flightrec

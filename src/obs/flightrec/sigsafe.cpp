@@ -1,0 +1,120 @@
+#include "obs/flightrec/sigsafe.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <unistd.h>
+
+namespace rvsym::obs::flightrec {
+
+void SigsafeWriter::putRaw(const char* p, std::size_t n) {
+  while (n > 0) {
+    if (len_ == sizeof buf_) flush();
+    std::size_t room = sizeof buf_ - len_;
+    if (room > n) room = n;
+    for (std::size_t i = 0; i < room; ++i) buf_[len_ + i] = p[i];
+    len_ += room;
+    p += room;
+    n -= room;
+  }
+}
+
+void SigsafeWriter::flush() {
+  std::size_t off = 0;
+  while (off < len_) {
+    const ssize_t w = ::write(fd_, buf_ + off, len_ - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ok_ = false;
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  len_ = 0;
+}
+
+void SigsafeWriter::ch(char c) { putRaw(&c, 1); }
+
+void SigsafeWriter::str(const char* s) {
+  if (!s) return;
+  std::size_t n = 0;
+  while (s[n]) ++n;
+  putRaw(s, n);
+}
+
+void SigsafeWriter::strn(const char* s, std::size_t n) {
+  if (s) putRaw(s, n);
+}
+
+void SigsafeWriter::dec(std::uint64_t v) {
+  char tmp[24];
+  int i = sizeof tmp;
+  do {
+    tmp[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  putRaw(tmp + i, sizeof tmp - static_cast<std::size_t>(i));
+}
+
+void SigsafeWriter::sdec(std::int64_t v) {
+  if (v < 0) {
+    ch('-');
+    dec(static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    dec(static_cast<std::uint64_t>(v));
+  }
+}
+
+void SigsafeWriter::hex(std::uint64_t v, int width) {
+  char tmp[16];
+  int i = sizeof tmp;
+  do {
+    tmp[--i] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  while (sizeof tmp - static_cast<std::size_t>(i) <
+             static_cast<std::size_t>(width) &&
+         i > 0)
+    tmp[--i] = '0';
+  putRaw(tmp + i, sizeof tmp - static_cast<std::size_t>(i));
+}
+
+void SigsafeWriter::jsonString(const char* s, std::size_t max) {
+  ch('"');
+  for (std::size_t i = 0; s && i < max && s[i]; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"' || c == '\\') {
+      ch('\\');
+      ch(static_cast<char>(c));
+    } else if (c < 0x20) {
+      str("\\u00");
+      hex(c, 2);
+    } else {
+      ch(static_cast<char>(c));
+    }
+  }
+  ch('"');
+}
+
+const char* signalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGUSR1: return "SIGUSR1";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    default: return "SIG?";
+  }
+}
+
+std::uint64_t monotonicMicros() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+}
+
+}  // namespace rvsym::obs::flightrec

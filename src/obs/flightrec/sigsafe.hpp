@@ -1,0 +1,50 @@
+// Async-signal-safe formatting primitives for the crash-dump path.
+//
+// Everything here is callable from a fatal signal handler: no locale,
+// no malloc, no stdio — a fixed stack buffer flushed with write(2).
+// The JSON emitted through SigsafeWriter is deliberately minimal (no
+// pretty-printing, \u00XX escapes for control bytes) but parses with
+// the same obs/analyze JSON reader as the healthy-path streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rvsym::obs::flightrec {
+
+class SigsafeWriter {
+ public:
+  explicit SigsafeWriter(int fd) : fd_(fd) {}
+  ~SigsafeWriter() { flush(); }
+  SigsafeWriter(const SigsafeWriter&) = delete;
+  SigsafeWriter& operator=(const SigsafeWriter&) = delete;
+
+  void ch(char c);
+  void str(const char* s);                  ///< NUL-terminated
+  void strn(const char* s, std::size_t n);  ///< exactly n bytes
+  void dec(std::uint64_t v);
+  void sdec(std::int64_t v);
+  /// Lower-case hex; zero-padded to `width` digits when width > 0.
+  void hex(std::uint64_t v, int width = 0);
+  /// Emits `"` s `"` with JSON escaping, reading at most `max` bytes.
+  void jsonString(const char* s, std::size_t max = static_cast<std::size_t>(-1));
+  void flush();
+
+  bool ok() const { return ok_; }
+
+ private:
+  void putRaw(const char* p, std::size_t n);
+
+  int fd_;
+  bool ok_ = true;
+  std::size_t len_ = 0;
+  char buf_[4096];
+};
+
+/// "SIGSEGV" / "SIGABRT" / ... / "SIG<n>". Async-signal safe.
+const char* signalName(int sig);
+
+/// CLOCK_MONOTONIC in microseconds. Async-signal safe.
+std::uint64_t monotonicMicros();
+
+}  // namespace rvsym::obs::flightrec

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdio>
 #include <cstdint>
 #include <functional>
@@ -113,21 +114,35 @@ class TimeseriesSampler {
                                 MetricsRegistry* registry,
                                 std::uint64_t seq);
   /// The deterministic closing record (t_/qc_ fields are the only
-  /// timing-dependent ones).
+  /// timing-dependent ones). `abnormal` adds "t_abnormal":true — the
+  /// crash-flush variant, so analyze can tell a crashed stream's
+  /// salvaged footer from a clean shutdown.
   static std::string finalJson(const HeartbeatSnapshot& s,
                                const std::string& kind, double t_s,
-                               std::uint64_t samples);
+                               std::uint64_t samples, bool abnormal = false);
 
  private:
   void threadMain();
   HeartbeatSnapshot snapshotNow();
   void tick(std::uint64_t seq);
   void writeStatus(const HeartbeatSnapshot& s, std::uint64_t seq);
+  void publishCrashRecord(const HeartbeatSnapshot& s);
+  static void crashFlush(void* ctx, bool fatal);
 
   TimeseriesOptions opts_;
   MetricsRegistry& registry_;
   Decorate decorate_;
   std::FILE* stream_ = nullptr;
+  // Crash-hook flush: every tick republishes an abnormal ts_final
+  // record into crash_buf_ under a seqlock (crash_ver_ odd = writing);
+  // a flightrec crash writer appends it to stream_fd_ from signal
+  // context, so a crashed run's stream still closes with a footer.
+  int stream_fd_ = -1;
+  int crash_writer_id_ = -1;
+  std::atomic<std::uint32_t> crash_ver_{0};
+  std::atomic<std::uint32_t> crash_len_{0};
+  static constexpr std::size_t kCrashBufBytes = 4096;
+  std::atomic<char> crash_buf_[kCrashBufBytes];
   std::chrono::steady_clock::time_point start_time_;
   std::atomic<std::uint64_t> samples_{0};
   bool running_ = false;

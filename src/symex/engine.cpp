@@ -6,6 +6,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/flightrec/ring.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/json.hpp"
 
@@ -267,13 +268,18 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
     const obs::PhaseTimer path_phase(options_.profiler, "path");
     ExecState state(eb_, item.prefix, limits);
     PathRecord record;
+    obs::flightrec::busyBegin();
     try {
       program(state);
       record.end = PathEnd::Completed;
     } catch (const PathTerminated& t) {
       record.end = t.end;
       record.message = t.message;
+    } catch (...) {
+      obs::flightrec::busyEnd();
+      throw;
     }
+    obs::flightrec::busyEnd();
     record.instructions = state.stats().instructions;
     record.decisions = state.decisions();
     record.solver_us = state.solverStats().solve_us;
@@ -331,6 +337,10 @@ EngineReport Engine::run(const std::function<void(ExecState&)>& program) {
                                          state.solverStats().checks,
                                          state.times()));
     progress.commit(record);
+    obs::flightrec::emit(obs::flightrec::EventKind::PathCommit, item.id,
+                         static_cast<std::uint64_t>(record.end),
+                         state.stats().instructions,
+                         pathEndName(record.end));
 
     const bool is_error = record.end == PathEnd::Error;
     const bool store =

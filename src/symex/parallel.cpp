@@ -9,6 +9,8 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "obs/flightrec/ring.hpp"
 #include <vector>
 
 #include "symex/state.hpp"
@@ -143,6 +145,12 @@ TaskRef claimTarget(Shared& sh, EngineOptions::Searcher searcher) {
 }
 
 void workerMain(Shared& sh, WorkerState& ws, const EngineOptions& options) {
+  // Crash forensics: claim a flight-recorder ring for the thread's
+  // lifetime (released on exit so campaigns that spin engines up and
+  // down don't exhaust the slot table).
+  char fr_name[16];
+  std::snprintf(fr_name, sizeof fr_name, "exec%u", ws.index);
+  const obs::flightrec::ScopedThread fr_thread(fr_name);
   std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
     if (sh.stop) return;
@@ -154,6 +162,7 @@ void workerMain(Shared& sh, WorkerState& ws, const EngineOptions& options) {
     lk.unlock();
     PathOutcome out;
     std::exception_ptr error;
+    obs::flightrec::busyBegin();
     try {
       out = executePath(ws.program, *ws.builder, task->prefix, ws.limits,
                         options);
@@ -161,6 +170,7 @@ void workerMain(Shared& sh, WorkerState& ws, const EngineOptions& options) {
     } catch (...) {
       error = std::current_exception();
     }
+    obs::flightrec::busyEnd();
     lk.lock();
     task->outcome = std::move(out);
     task->error = error;
@@ -340,12 +350,14 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
         lk.unlock();
         PathOutcome out;
         std::exception_ptr error;
+        obs::flightrec::busyBegin();
         try {
           out = executePath(workers[0].program, *workers[0].builder,
                             task->prefix, workers[0].limits, options_);
         } catch (...) {
           error = std::current_exception();
         }
+        obs::flightrec::busyEnd();
         lk.lock();
         task->outcome = std::move(out);
         task->error = error;
@@ -412,6 +424,10 @@ EngineReport ParallelEngine::run(const ProgramFactory& factory) {
                       .num("qc_worker",
                            static_cast<std::uint64_t>(out.worker)));
       progress.commit(out.record, out.worker);
+      obs::flightrec::emit(obs::flightrec::EventKind::PathCommit, task->id,
+                           static_cast<std::uint64_t>(out.record.end),
+                           out.stats.instructions,
+                           pathEndName(out.record.end));
 
       const bool is_error = out.record.end == PathEnd::Error;
       const bool store = is_error || options_.max_stored_paths == 0 ||

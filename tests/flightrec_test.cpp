@@ -1,0 +1,614 @@
+// Tests for the flight recorder and crash forensics (DESIGN.md §12):
+// ring wraparound and torn-slot rejection, concurrent writers vs a
+// snapshotting reader (the TSan target), the seqlock'd in-flight query
+// slot, async-signal-safe formatting, busy-bracket nesting for the
+// stall watchdog, live watchdog stall detection, and — in a forked
+// child — the fatal-signal dump path end to end, parsed back with the
+// obs::analyze bundle loader.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "obs/analyze/crash_report.hpp"
+#include "obs/flightrec/crashdump.hpp"
+#include "obs/flightrec/ring.hpp"
+#include "obs/flightrec/sigsafe.hpp"
+#include "obs/timeseries.hpp"
+
+namespace rvsym::obs::flightrec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempDir(const char* stem) {
+  fs::path dir = fs::temp_directory_path() /
+                 (std::string(stem) + "." + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+#ifndef RVSYM_OBS_NO_TRACING
+
+// --- ThreadRing ------------------------------------------------------------
+
+TEST(ThreadRing, EmitAndSnapshotInOrder) {
+  ThreadRing ring(16, 256);
+  ring.emit(EventKind::PathCommit, 7, 1, 42, "ok", 100);
+  ring.emit(EventKind::SolverBegin, 0xabcd, 0x1234, 3, "check", 200);
+  ring.emit(EventKind::Phase, 2, 0, 0, "decode", 300);
+
+  Event out[16];
+  const std::size_t n = ring.snapshot(out, 16);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0].kind, EventKind::PathCommit);
+  EXPECT_EQ(out[0].index, 0u);
+  EXPECT_EQ(out[0].t_us, 100u);
+  EXPECT_EQ(out[0].a, 7u);
+  EXPECT_EQ(out[0].c, 42u);
+  EXPECT_STREQ(out[0].tag, "ok");
+  EXPECT_EQ(out[1].kind, EventKind::SolverBegin);
+  EXPECT_EQ(out[1].a, 0xabcdu);
+  EXPECT_STREQ(out[1].tag, "check");
+  EXPECT_EQ(out[2].kind, EventKind::Phase);
+  EXPECT_STREQ(out[2].tag, "decode");
+  EXPECT_EQ(ring.seq(), 3u);
+}
+
+TEST(ThreadRing, WraparoundKeepsNewestWindow) {
+  ThreadRing ring(8, 256);  // capacity rounds to 8
+  const std::size_t cap = ring.capacity();
+  const std::uint64_t total = 3 * cap + 5;
+  for (std::uint64_t i = 0; i < total; ++i)
+    ring.emit(EventKind::Mark, i, i * 2, 0, "wrap", 1000 + i);
+
+  std::vector<Event> out(cap + 4);
+  const std::size_t n = ring.snapshot(out.data(), out.size());
+  ASSERT_EQ(n, cap);
+  // Oldest-first, contiguous, ending at the last emitted event.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].index, total - cap + i);
+    EXPECT_EQ(out[i].a, total - cap + i);
+    EXPECT_EQ(out[i].t_us, 1000 + total - cap + i);
+  }
+  EXPECT_EQ(ring.seq(), total);
+}
+
+TEST(ThreadRing, SnapshotSmallerBufferTakesNewest) {
+  ThreadRing ring(16, 256);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    ring.emit(EventKind::Mark, i, 0, 0, nullptr, i);
+  Event out[4];
+  const std::size_t n = ring.snapshot(out, 4);
+  ASSERT_EQ(n, 4u);
+  EXPECT_EQ(out[0].index, 6u);
+  EXPECT_EQ(out[3].index, 9u);
+}
+
+TEST(ThreadRing, LongTagsTruncateAtSixteenBytes) {
+  ThreadRing ring(8, 256);
+  ring.emit(EventKind::Mark, 0, 0, 0, "0123456789abcdefOVERFLOW", 1);
+  Event out[1];
+  ASSERT_EQ(ring.snapshot(out, 1), 1u);
+  EXPECT_STREQ(out[0].tag, "0123456789abcdef");
+}
+
+TEST(ThreadRing, BusyBracketsNest) {
+  ThreadRing ring(8, 256);
+  EXPECT_EQ(ring.busy_since_us.load(), 0u);
+  ring.busyBegin(100);  // campaign-level bracket
+  EXPECT_EQ(ring.busy_since_us.load(), 100u);
+  ring.busyBegin(200);  // nested engine-level bracket
+  EXPECT_EQ(ring.busy_since_us.load(), 100u);  // outermost wins
+  ring.busyEnd();
+  EXPECT_EQ(ring.busy_since_us.load(), 100u);  // still busy
+  ring.busyEnd();
+  EXPECT_EQ(ring.busy_since_us.load(), 0u);  // outermost end clears
+  ring.busyEnd();                            // unbalanced: ignored
+  EXPECT_EQ(ring.busy_since_us.load(), 0u);
+  ring.busyBegin(300);
+  ring.busyBegin(400);
+  ring.busyReset();  // slot reclaim clears depth too
+  EXPECT_EQ(ring.busy_since_us.load(), 0u);
+  ring.busyBegin(500);
+  EXPECT_EQ(ring.busy_since_us.load(), 500u);  // depth really reset
+  ring.busyEnd();
+}
+
+// Concurrent single-writer emit vs a reader snapshotting the same ring
+// (the seqlock torn-slot path) plus multiple rings written in parallel —
+// the flightrec_tsan CI target runs exactly this suite under TSan.
+TEST(RingConcurrency, WriterVsSnapshotReader) {
+  ThreadRing ring(32, 256);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.emit(EventKind::Mark, i, i ^ 0x5555, 0, "spin", i);
+      ++i;
+    }
+  });
+  std::vector<Event> out(64);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  std::uint64_t snapshots = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::size_t n = ring.snapshot(out.data(), out.size());
+    // Whatever survives the tear filter must be coherent: ascending
+    // contiguous indices with the payload echoing the index.
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].a, out[i].index);
+      EXPECT_EQ(out[i].b, out[i].index ^ 0x5555);
+      if (i > 0) EXPECT_EQ(out[i].index, out[i - 1].index + 1);
+    }
+    ++snapshots;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(snapshots, 0u);
+}
+
+TEST(RingConcurrency, ManyThreadsOnPrivateRecorder) {
+  FlightRecorder::Options opts;
+  opts.ring_capacity = 64;
+  opts.max_threads = 8;
+  opts.inflight_bytes = 512;
+  FlightRecorder rec(opts);
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEvents = 2000;
+  std::vector<std::thread> threads;
+  std::vector<ThreadRing*> rings(kThreads, nullptr);
+  std::atomic<int> registered{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      char name[8];
+      std::snprintf(name, sizeof name, "w%d", t);
+      ThreadRing* ring = rec.registerThread(name);
+      ASSERT_NE(ring, nullptr);
+      rings[t] = ring;
+      registered.fetch_add(1);
+      for (std::uint64_t i = 0; i < kEvents; ++i) {
+        ring->busyBegin(i);
+        ring->emit(EventKind::PathCommit, i, 0, t, "p", i);
+        ring->inflight().set(name, std::strlen(name), i, t);
+        ring->busyEnd();
+      }
+    });
+  }
+  // Reader races against all writers.
+  std::vector<Event> out(128);
+  char q[64];
+  while (registered.load() < kThreads) std::this_thread::yield();
+  for (int pass = 0; pass < 50; ++pass)
+    for (int t = 0; t < kThreads; ++t) {
+      rings[t]->snapshot(out.data(), out.size());
+      std::uint64_t lo = 0, hi = 0;
+      rings[t]->inflight().read(q, sizeof q, &lo, &hi);
+    }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(rings[t]->seq(), kEvents);
+    const std::size_t n = rings[t]->snapshot(out.data(), out.size());
+    ASSERT_GT(n, 0u);
+    EXPECT_EQ(out[n - 1].index, kEvents - 1);
+  }
+}
+
+TEST(FlightRecorder, SlotReuseAfterRelease) {
+  FlightRecorder::Options opts;
+  opts.max_threads = 2;
+  FlightRecorder rec(opts);
+  ThreadRing* a = rec.registerThread("first");
+  ThreadRing* b = rec.registerThread("second");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(rec.registerThread("third"), nullptr);  // table full
+  a->busyBegin(10);
+  rec.releaseThread(a);
+  ThreadRing* c = rec.registerThread("fourth");
+  ASSERT_EQ(c, a);  // slot recycled
+  EXPECT_EQ(c->busy_since_us.load(), 0u);  // reclaim cleared busy state
+  EXPECT_STREQ(c->name, "fourth");
+}
+
+// --- InFlightSlot ----------------------------------------------------------
+
+TEST(InFlightSlot, RoundTripAndClear) {
+  InFlightSlot slot(128);
+  const char* query = "(set-logic QF_BV)\n(check-sat)\n";
+  slot.set(query, std::strlen(query), 0xdeadbeef, 0x1122334455667788ull);
+
+  char out[128];
+  std::uint64_t lo = 0, hi = 0;
+  const std::size_t n = slot.read(out, sizeof out, &lo, &hi);
+  ASSERT_EQ(n, std::strlen(query));
+  EXPECT_EQ(std::string(out, n), query);
+  EXPECT_EQ(lo, 0xdeadbeefu);
+  EXPECT_EQ(hi, 0x1122334455667788ull);
+
+  slot.clear();
+  EXPECT_EQ(slot.pendingBytes(), 0u);
+  EXPECT_EQ(slot.read(out, sizeof out, &lo, &hi), 0u);
+}
+
+TEST(InFlightSlot, TruncatesToCapacity) {
+  InFlightSlot slot(16);
+  const std::string big(100, 'q');
+  slot.set(big.data(), big.size(), 1, 2);
+  char out[64];
+  std::uint64_t lo = 0, hi = 0;
+  const std::size_t n = slot.read(out, sizeof out, &lo, &hi);
+  EXPECT_EQ(n, 16u);
+  EXPECT_EQ(std::string(out, n), std::string(16, 'q'));
+}
+
+// --- SigsafeWriter ---------------------------------------------------------
+
+TEST(SigsafeWriter, FormatsThroughRawFd) {
+  const std::string dir = tempDir("rvsym-sigsafe");
+  const std::string path = dir + "/out.txt";
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  {
+    SigsafeWriter w(fd);
+    w.str("n=");
+    w.dec(18446744073709551615ull);
+    w.str(" s=");
+    w.sdec(-42);
+    w.str(" h=");
+    w.hex(0xbeef, 8);
+    w.ch(' ');
+    w.jsonString("a\"b\nc");
+    ASSERT_TRUE(w.ok());
+  }
+  ::close(fd);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {0};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n),
+            "n=18446744073709551615 s=-42 h=0000beef \"a\\\"b\\u000ac\"");
+  fs::remove_all(dir);
+}
+
+TEST(SigsafeWriter, SignalNames) {
+  EXPECT_STREQ(signalName(SIGSEGV), "SIGSEGV");
+  EXPECT_STREQ(signalName(SIGABRT), "SIGABRT");
+  EXPECT_STREQ(signalName(SIGBUS), "SIGBUS");
+  EXPECT_STREQ(signalName(SIGFPE), "SIGFPE");
+}
+
+TEST(EventKindNames, StableWireNames) {
+  EXPECT_STREQ(eventKindName(EventKind::PathCommit), "path_commit");
+  EXPECT_STREQ(eventKindName(EventKind::SolverBegin), "solver_begin");
+  EXPECT_STREQ(eventKindName(EventKind::SolverEnd), "solver_end");
+  EXPECT_STREQ(eventKindName(EventKind::MutantBegin), "mutant_begin");
+  EXPECT_STREQ(eventKindName(EventKind::MutantVerdict), "mutant_verdict");
+}
+
+#ifndef _WIN32
+
+// --- Watchdog / dump path --------------------------------------------------
+
+// Helper: the watchdog-only forensics configuration (no signal
+// handlers, so a failing test cannot hijack gtest's own crash
+// reporting).
+ForensicsOptions watchdogOnly(const std::string& dir, double stall_s) {
+  ForensicsOptions o;
+  o.crash_dir = dir;
+  o.stall_timeout_s = stall_s;
+  o.poll_interval_s = 0.05;
+  o.tool = "flightrec_test";
+  o.install_signal_handlers = false;
+  return o;
+}
+
+std::vector<std::string> bundleDirs(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.is_directory() &&
+        e.path().filename().string().rfind("crash-", 0) == 0)
+      out.push_back(e.path().string());
+  return out;
+}
+
+TEST(CrashForensics, RequestDumpWritesParsableBundle) {
+  const std::string dir = tempDir("rvsym-dump");
+  std::string err;
+  ASSERT_TRUE(installForensics(watchdogOnly(dir, 0), &err)) << err;
+
+  setThreadName("dumper");
+  emit(EventKind::Phase, 1, 0, 0, "setup");
+  emit(EventKind::SolverBegin, 0x1111, 0x2222, 5, "check");
+  emit(EventKind::SolverEnd, 0x1111, 1, 123, nullptr);
+  const char* q = "rvsym-query-v1\n(check-sat)\n";
+  inflightSet(q, std::strlen(q), 0x1111, 0x2222);
+
+  std::string bundle;
+  ASSERT_TRUE(requestDump("test", &bundle));
+  inflightClear();
+  releaseCurrentThread();
+  shutdownForensics();
+
+  std::string lerr;
+  const auto b = analyze::loadCrashBundle(bundle, &lerr);
+  ASSERT_TRUE(b.has_value()) << lerr;
+  EXPECT_EQ(b->reason, "test");
+  EXPECT_EQ(b->tool, "flightrec_test");
+  EXPECT_EQ(b->signal, 0);
+
+  bool found_thread = false;
+  for (const auto& t : b->threads)
+    if (t.name == "dumper") {
+      found_thread = true;
+      EXPECT_GE(t.events, 3u);
+      EXPECT_TRUE(t.inflight);
+    }
+  EXPECT_TRUE(found_thread);
+
+  bool saw_phase = false;
+  for (const auto& e : b->events)
+    if (e.ev == "phase" && e.tag == "setup") saw_phase = true;
+  EXPECT_TRUE(saw_phase);
+
+  // The begin/end pair reconstructs as one completed unsat query.
+  const auto timeline = analyze::solverQueryTimeline(*b);
+  ASSERT_FALSE(timeline.empty());
+  const auto& qt = timeline.back();
+  EXPECT_TRUE(qt.completed);
+  EXPECT_EQ(qt.hash_lo, 0x1111u);
+  EXPECT_EQ(qt.verdict, 1u);
+  EXPECT_EQ(qt.solve_us, 123u);
+
+  bool saw_query = false;
+  for (const auto& [slot, text] : b->inflight)
+    if (text.find("rvsym-query-v1") != std::string::npos) saw_query = true;
+  EXPECT_TRUE(saw_query);
+
+  const std::string report = analyze::renderCrashReport(*b);
+  EXPECT_NE(report.find("dumper"), std::string::npos);
+  EXPECT_NE(report.find("reason"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CrashForensics, WatchdogFlagsStallWithoutKillingRun) {
+  const std::string dir = tempDir("rvsym-stall");
+  std::string err;
+  constexpr double kStall = 0.25;
+  ASSERT_TRUE(installForensics(watchdogOnly(dir, kStall), &err)) << err;
+
+  setThreadName("stuck");
+  emit(EventKind::Mark, 1, 0, 0, "before-hang");
+  busyBegin();  // ...and then never emits again: a wedged worker.
+
+  // A stall must be declared within 2x the timeout; give scheduling
+  // slack on loaded CI runners before calling it a failure.
+  std::vector<std::string> bundles;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bundles = bundleDirs(dir);
+    if (!bundles.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  busyEnd();
+  ASSERT_EQ(bundles.size(), 1u) << "watchdog never flagged the stall";
+  EXPECT_NE(bundles[0].find("-stall"), std::string::npos);
+
+  std::string lerr;
+  const auto b = analyze::loadCrashBundle(bundles[0], &lerr);
+  ASSERT_TRUE(b.has_value()) << lerr;
+  EXPECT_EQ(b->reason, "stall");
+  bool stalled_thread = false;
+  for (const auto& t : b->threads)
+    if (t.name == "stuck") stalled_thread = t.stalled;
+  EXPECT_TRUE(stalled_thread);
+  // The run itself survived (we are still here) and keeps working.
+  emit(EventKind::Mark, 2, 0, 0, "after-hang");
+  releaseCurrentThread();
+  shutdownForensics();
+  fs::remove_all(dir);
+}
+
+TEST(CrashForensics, HealthyBusyThreadDoesNotTrip) {
+  const std::string dir = tempDir("rvsym-healthy");
+  std::string err;
+  ASSERT_TRUE(installForensics(watchdogOnly(dir, 0.2), &err)) << err;
+  setThreadName("healthy");
+  busyBegin();
+  // Busy the whole time but emitting events — never a stall.
+  for (int i = 0; i < 10; ++i) {
+    emit(EventKind::Mark, static_cast<std::uint64_t>(i), 0, 0, "beat");
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  busyEnd();
+  EXPECT_TRUE(bundleDirs(dir).empty());
+  releaseCurrentThread();
+  shutdownForensics();
+  fs::remove_all(dir);
+}
+
+TEST(CrashForensics, SecondInstallFails) {
+  const std::string dir = tempDir("rvsym-twice");
+  std::string err;
+  ASSERT_TRUE(installForensics(watchdogOnly(dir, 0), &err)) << err;
+  EXPECT_FALSE(installForensics(watchdogOnly(dir, 0), &err));
+  EXPECT_NE(err.find("already installed"), std::string::npos);
+  shutdownForensics();
+  fs::remove_all(dir);
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define RVSYM_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RVSYM_TEST_UNDER_TSAN 1
+#endif
+#endif
+
+#ifndef RVSYM_TEST_UNDER_TSAN
+
+// The full fatal path: a forked child installs the signal handlers,
+// records events and an in-flight query, then dies on SIGSEGV. The
+// parent parses the bundle the handler wrote on the way down.
+// (Skipped under TSan: fork without exec is unsupported there.)
+TEST(CrashForensics, FatalSignalInChildWritesBundle) {
+  const std::string dir = tempDir("rvsym-fatal");
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child. No gtest machinery from here on; any failure path must
+    // _exit with a distinctive code instead of crashing "successfully".
+    ForensicsOptions o;
+    o.crash_dir = dir;
+    o.tool = "flightrec_test_child";
+    o.install_signal_handlers = true;
+    std::string cerr_;
+    if (!installForensics(o, &cerr_)) ::_exit(41);
+    setThreadName("victim");
+    emit(EventKind::Phase, 1, 0, 0, "child");
+    emit(EventKind::MutantBegin, 7, 0, 0, "dec:slli:b2");
+    emit(EventKind::SolverBegin, 0xfeed, 0xf00d, 9, "check");
+    const char* q = "rvsym-query-v1\n; from the child\n";
+    inflightSet(q, std::strlen(q), 0xfeed, 0xf00d);
+    busyBegin();
+    ::raise(SIGSEGV);
+    ::_exit(42);  // unreachable: the handler re-raises
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited " << WEXITSTATUS(status) << " instead of crashing";
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const auto bundles = bundleDirs(dir);
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_NE(bundles[0].find("-signal"), std::string::npos);
+
+  std::string lerr;
+  const auto b = analyze::loadCrashBundle(bundles[0], &lerr);
+  ASSERT_TRUE(b.has_value()) << lerr;
+  EXPECT_EQ(b->reason, "signal");
+  EXPECT_EQ(b->signal, SIGSEGV);
+  EXPECT_EQ(b->signal_name, "SIGSEGV");
+  EXPECT_EQ(b->tool, "flightrec_test_child");
+  EXPECT_EQ(b->pid, static_cast<std::uint64_t>(pid));
+
+  bool victim = false;
+  for (const auto& t : b->threads)
+    if (t.name == "victim") {
+      victim = true;
+      EXPECT_TRUE(t.busy);
+      EXPECT_TRUE(t.inflight);
+    }
+  EXPECT_TRUE(victim);
+
+  bool saw_mutant = false;
+  for (const auto& e : b->events)
+    if (e.ev == "mutant_begin" && e.a == 7) saw_mutant = true;
+  EXPECT_TRUE(saw_mutant);
+
+  const auto inflight = analyze::inFlightMutants(*b);
+  ASSERT_EQ(inflight.size(), 1u);
+  EXPECT_EQ(inflight[0].enum_index, 7u);
+  EXPECT_EQ(inflight[0].thread, "victim");
+
+  bool saw_query = false;
+  for (const auto& [slot, text] : b->inflight)
+    if (text.find("from the child") != std::string::npos) saw_query = true;
+  EXPECT_TRUE(saw_query);
+
+  // The interleaved renderer picks all of it up.
+  const std::string report = analyze::renderCrashReport(*b);
+  EXPECT_NE(report.find("SIGSEGV"), std::string::npos);
+  EXPECT_NE(report.find("victim"), std::string::npos);
+  EXPECT_NE(report.find("dec:slli:b2"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+// The timeseries sampler's crash hook: a child crashing mid-run still
+// leaves a stream that closes with the abnormal ts_final footer.
+TEST(CrashForensics, SamplerFlushesAbnormalFinalOnFatal) {
+  const std::string dir = tempDir("rvsym-tsflush");
+  const std::string stream = dir + "/ts.jsonl";
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ForensicsOptions o;
+    o.crash_dir = dir + "/crashes";
+    o.tool = "flightrec_test_child";
+    std::string cerr_;
+    if (!installForensics(o, &cerr_)) ::_exit(41);
+    MetricsRegistry registry;
+    TimeseriesOptions topts;
+    topts.out_path = stream;
+    topts.interval_s = 0.01;
+    topts.kind = "verify";
+    TimeseriesSampler sampler(topts, registry);
+    if (!sampler.start(&cerr_)) ::_exit(43);
+    // Let at least one tick land so the footer carries a live sample.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ::raise(SIGSEGV);
+    ::_exit(42);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited " << WEXITSTATUS(status) << " instead of crashing";
+
+  std::FILE* f = std::fopen(stream.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(content.find("\"ev\":\"ts_header\""), std::string::npos);
+  EXPECT_NE(content.find("\"ev\":\"ts_final\""), std::string::npos);
+  EXPECT_NE(content.find("\"t_abnormal\":true"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+#endif  // RVSYM_TEST_UNDER_TSAN
+#endif  // !_WIN32
+
+#else  // RVSYM_OBS_NO_TRACING — the compiled-out configuration.
+
+TEST(NoTracing, EverythingRefusesOrNoOps) {
+  EXPECT_EQ(FlightRecorder::installGlobal(), nullptr);
+  EXPECT_EQ(currentRing(), nullptr);
+  emit(EventKind::Mark, 1, 2, 3, "noop");  // must not crash
+
+  std::string err;
+  ForensicsOptions o;
+  o.crash_dir = "/tmp/never-created";
+  EXPECT_FALSE(installForensics(o, &err));
+  EXPECT_NE(err.find("compiled out"), std::string::npos);
+  EXPECT_FALSE(forensicsInstalled());
+  EXPECT_FALSE(requestDump("x", nullptr));
+  EXPECT_EQ(addCrashWriter({nullptr, nullptr}), -1);
+}
+
+#endif  // RVSYM_OBS_NO_TRACING
+
+}  // namespace
+}  // namespace rvsym::obs::flightrec

@@ -23,6 +23,13 @@
 //       solver latency percentiles, cache split) with ASCII time plots.
 //       With two: diff the deterministic surface (header + ts_final
 //       minus t_*/qc_* fields) — the sampler's --jobs parity check.
+//
+//   rvsym-report crash <bundle-dir> [--timeline N] [--queries N]
+//       Render a rvsym-crash-v1 bundle (written by --crash-dir on a
+//       fatal signal, stall, or SIGUSR1): thread table with stall
+//       attribution, interleaved per-thread event timeline, the last
+//       solver queries with durations, and the in-flight query that was
+//       on the SAT solver when the bundle was dumped.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "obs/analyze/coverage_map.hpp"
+#include "obs/analyze/crash_report.hpp"
 #include "obs/analyze/diff.hpp"
 #include "obs/analyze/path_tree.hpp"
 #include "obs/analyze/timeseries.hpp"
@@ -48,6 +56,7 @@ int usage() {
       "[--holes]\n"
       "       rvsym-report diff <runA> <runB>\n"
       "       rvsym-report timeseries <run.jsonl> [other.jsonl]\n"
+      "       rvsym-report crash <bundle-dir> [--timeline N] [--queries N]\n"
       "\n"
       "Consumes the artifacts a run of `rvsym-verify --trace-out ...`\n"
       "produces. `diff` accepts trace files or run directories and exits\n"
@@ -205,6 +214,33 @@ int cmdTimeseries(const std::vector<std::string>& args) {
   return 1;
 }
 
+int cmdCrash(const std::vector<std::string>& args) {
+  std::string dir;
+  std::size_t timeline = 40, queries = 8;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--timeline" && i + 1 < args.size()) {
+      timeline = static_cast<std::size_t>(std::strtoul(args[++i].c_str(),
+                                                       nullptr, 10));
+    } else if (args[i] == "--queries" && i + 1 < args.size()) {
+      queries = static_cast<std::size_t>(std::strtoul(args[++i].c_str(),
+                                                      nullptr, 10));
+    } else if (dir.empty() && args[i][0] != '-') {
+      dir = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+  std::string err;
+  const std::optional<CrashBundle> bundle = loadCrashBundle(dir, &err);
+  if (!bundle) {
+    std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+    return 2;
+  }
+  std::fputs(renderCrashReport(*bundle, timeline, queries).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,5 +252,6 @@ int main(int argc, char** argv) {
   if (cmd == "coverage") return cmdCoverage(args);
   if (cmd == "diff") return cmdDiff(args);
   if (cmd == "timeseries") return cmdTimeseries(args);
+  if (cmd == "crash") return cmdCrash(args);
   return usage();
 }

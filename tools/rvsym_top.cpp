@@ -17,13 +17,24 @@
 // cache hit rates, done-vs-remaining progress with a rate-based ETA.
 // Exits when the stream's closing ts_final record arrives, the
 // producer's file vanishes, or --once was asked.
+//
+// When stdout is not a terminal (piped into `tee`, a CI log, `watch`),
+// the in-place redraw degrades to one compact status line per refresh —
+// no ANSI escapes, grep-friendly. The progress bar also adapts to
+// terminals narrower than the default 80 columns.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/ioctl.h>
+#include <unistd.h>
+#endif
 
 #include "obs/analyze/timeseries.hpp"
 
@@ -39,6 +50,8 @@ void usage(const char* argv0) {
       "  --interval S       refresh every S seconds        (default 1)\n"
       "  --once             render one frame and exit\n"
       "  --no-clear         append frames instead of redrawing in place\n"
+      "  --line             one compact status line per refresh\n"
+      "                     (the default when stdout is not a terminal)\n"
       "  --help\n",
       argv0);
 }
@@ -50,6 +63,24 @@ std::string bar(double fraction, std::size_t width) {
   std::string out(filled, '#');
   out += std::string(width - filled, '.');
   return out;
+}
+
+/// Progress-bar width for the current terminal. The bar line carries
+/// ~44 columns of counts and ETA around the bar itself; keep the whole
+/// line within the terminal, with a 10-column floor so the bar stays
+/// readable even in tiny panes.
+std::size_t terminalBarWidth() {
+  long cols = 0;
+#if defined(TIOCGWINSZ) && !defined(_WIN32)
+  winsize ws{};
+  if (ioctl(fileno(stdout), TIOCGWINSZ, &ws) == 0 && ws.ws_col > 0)
+    cols = ws.ws_col;
+#endif
+  if (cols <= 0)
+    if (const char* env = std::getenv("COLUMNS")) cols = std::atol(env);
+  if (cols <= 0) cols = 80;
+  if (cols >= 84) return 40;
+  return cols > 54 ? static_cast<std::size_t>(cols - 44) : 10;
 }
 
 std::string fmtEta(double seconds) {
@@ -64,8 +95,60 @@ std::string fmtEta(double seconds) {
   return buf;
 }
 
+/// One compact status line — the non-tty / --line rendering. Everything
+/// load-bearing from the frame, greppable, no escapes.
+std::string renderLine(const TimeseriesRun& run, bool finished) {
+  std::string out = "rvsym-top";
+  char buf[192];
+  if (run.samples.empty()) return out + ": waiting for samples...";
+  const TimeseriesSample& s = run.samples.back();
+  std::snprintf(buf, sizeof buf, " %s t=%.1fs",
+                run.header.kind.empty() ? "?" : run.header.kind.c_str(),
+                s.t_s);
+  out += buf;
+  const std::uint64_t done = s.done();
+  std::uint64_t total = s.total();
+  if (total == 0) total = run.header.total_work;
+  if (total != 0) {
+    const double frac = static_cast<double>(done) / static_cast<double>(total);
+    const double rate = s.t_s > 0 ? static_cast<double>(done) / s.t_s : 0;
+    const double eta = rate > 0 && total > done
+                           ? static_cast<double>(total - done) / rate
+                           : (total > done ? -1 : 0);
+    std::snprintf(buf, sizeof buf, " %llu/%llu (%.1f%%) eta %s",
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total), 100.0 * frac,
+                  fmtEta(eta).c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, " %llu done",
+                  static_cast<unsigned long long>(done));
+  }
+  out += buf;
+  if (s.has_campaign) {
+    std::snprintf(buf, sizeof buf, " killed=%llu survived=%llu",
+                  static_cast<unsigned long long>(s.mutants_killed),
+                  static_cast<unsigned long long>(s.mutants_survived));
+    out += buf;
+  }
+  if (s.has_solver && s.solver_solves != 0) {
+    std::snprintf(buf, sizeof buf, " solver=%.0fqps p50=%lluus", s.solver_qps,
+                  static_cast<unsigned long long>(s.p50_us));
+    out += buf;
+  }
+  if (!s.extra.empty()) {
+    out += ' ';
+    out += s.extra;
+  }
+  if (finished)
+    out += run.final_record->getBool("t_abnormal").value_or(false)
+               ? " [crashed]"
+               : " [finished]";
+  return out;
+}
+
 /// One rendered frame from everything parsed so far.
-std::string renderFrame(const TimeseriesRun& run, bool finished) {
+std::string renderFrame(const TimeseriesRun& run, bool finished,
+                        std::size_t bar_width) {
   std::string out;
   char buf[256];
   const auto add = [&](const char* line) { out += line; out += '\n'; };
@@ -76,10 +159,14 @@ std::string renderFrame(const TimeseriesRun& run, bool finished) {
   }
   const TimeseriesSample& s = run.samples.back();
 
+  const char* status =
+      finished ? (run.final_record->getBool("t_abnormal").value_or(false)
+                      ? "  [crashed]"
+                      : "  [finished]")
+               : "";
   std::snprintf(buf, sizeof buf, "rvsym-top — %s  t=%.1fs  sample #%llu%s",
                 run.header.kind.empty() ? "?" : run.header.kind.c_str(),
-                s.t_s, static_cast<unsigned long long>(s.seq),
-                finished ? "  [finished]" : "");
+                s.t_s, static_cast<unsigned long long>(s.seq), status);
   add(buf);
 
   // --- Progress + ETA ----------------------------------------------------
@@ -95,7 +182,7 @@ std::string renderFrame(const TimeseriesRun& run, bool finished) {
             ? static_cast<double>(total - done) / rate
             : (total > done ? -1 : 0);
     std::snprintf(buf, sizeof buf, "  [%s] %llu/%llu (%.1f%%)  eta %s",
-                  bar(frac, 40).c_str(),
+                  bar(frac, bar_width).c_str(),
                   static_cast<unsigned long long>(done),
                   static_cast<unsigned long long>(total), 100.0 * frac,
                   fmtEta(eta).c_str());
@@ -235,12 +322,20 @@ int main(int argc, char** argv) {
   double interval = 1.0;
   bool once = false;
   bool clear = true;
+#ifndef _WIN32
+  // Piped output gets the compact one-line-per-refresh rendering by
+  // default; --no-clear still forces full appended frames.
+  bool line_mode = isatty(fileno(stdout)) == 0;
+#else
+  bool line_mode = false;
+#endif
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--interval" && i + 1 < argc) interval = std::atof(argv[++i]);
     else if (arg == "--once") once = true;
-    else if (arg == "--no-clear") clear = false;
+    else if (arg == "--no-clear") { clear = false; line_mode = false; }
+    else if (arg == "--line") line_mode = true;
     else if (arg == "--help") { usage(argv[0]); return 0; }
     else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -283,10 +378,15 @@ int main(int argc, char** argv) {
     }
     const bool finished = run.final_record.has_value();
 
-    const std::string frame = renderFrame(run, finished);
-    if (clear && !once) std::fputs("\x1b[H\x1b[2J", stdout);
-    std::fputs(frame.c_str(), stdout);
-    if (!clear && !once) std::fputs("\n", stdout);
+    if (line_mode) {
+      std::fputs((renderLine(run, finished) + "\n").c_str(), stdout);
+    } else {
+      const std::string frame =
+          renderFrame(run, finished, terminalBarWidth());
+      if (clear && !once) std::fputs("\x1b[H\x1b[2J", stdout);
+      std::fputs(frame.c_str(), stdout);
+      if (!clear && !once) std::fputs("\n", stdout);
+    }
     std::fflush(stdout);
 
     if (once || finished) return 0;
