@@ -386,6 +386,39 @@ std::optional<std::map<std::string, BenchSummary>> loadRun(
   return out;
 }
 
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Closest name to `name` among the other side's benches — a renamed
+/// bench shows up as missing+new, and the suggestion links the pair.
+std::string nearestName(const std::string& name,
+                        const std::map<std::string, BenchSummary>& pool) {
+  std::string best;
+  std::size_t best_dist = name.size();  // farther than that isn't a rename
+  for (const auto& [cand, s] : pool) {
+    (void)s;
+    const std::size_t d = editDistance(name, cand);
+    if (d < best_dist) {
+      best_dist = d;
+      best = cand;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 int compareRuns(const std::string& current_path,
@@ -399,11 +432,18 @@ int compareRuns(const std::string& current_path,
   std::printf("%s\n", std::string(68, '-').c_str());
 
   int regressions = 0;
+  std::vector<std::string> notes;
   for (const auto& [name, base] : *baseline) {
     const auto it = current->find(name);
     if (it == current->end()) {
       std::printf("%-18s %14.1f %14s %9s  MISSING\n", name.c_str(),
                   static_cast<double>(base.wall_median_us) / 1000.0, "-", "-");
+      std::string note = "'" + name + "' is in the baseline (" +
+                         baseline_path + ") but not in the current run (" +
+                         current_path + ")";
+      const std::string near = nearestName(name, *current);
+      if (!near.empty()) note += "; did you mean '" + near + "'?";
+      notes.push_back(std::move(note));
       ++regressions;
       continue;
     }
@@ -423,11 +463,19 @@ int compareRuns(const std::string& current_path,
   }
   // Benches present only in the current run are informational.
   for (const auto& [name, cur] : *current)
-    if (!baseline->count(name))
+    if (!baseline->count(name)) {
       std::printf("%-18s %14s %14.1f %9s  new\n", name.c_str(), "-",
                   static_cast<double>(cur.wall_median_us) / 1000.0, "-");
+      std::string note = "'" + name + "' is in the current run (" +
+                         current_path + ") but not in the baseline (" +
+                         baseline_path + ")";
+      const std::string near = nearestName(name, *baseline);
+      if (!near.empty()) note += "; nearest baseline name is '" + near + "'";
+      notes.push_back(std::move(note));
+    }
 
   std::printf("%s\n", std::string(68, '-').c_str());
+  for (const auto& note : notes) std::printf("note: %s\n", note.c_str());
   if (regressions == 0) {
     std::printf("no regressions (threshold %.0f%%)\n", threshold_pct);
     return 0;

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -29,6 +32,22 @@ const char* verdictName(Verdict v) {
 }
 
 namespace {
+
+/// Drops a torn partial final line so a resumed campaign's appends
+/// start on a fresh line — otherwise the first re-judged verdict would
+/// glue onto the torn bytes and be unreadable to every later reader.
+void truncateToLastNewline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t nl = text.find_last_of('\n');
+  const std::size_t keep = nl == std::string::npos ? 0 : nl + 1;
+  if (keep == text.size()) return;
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+}
 
 /// One bounded hunt for this mutant at one instruction limit.
 symex::EngineReport runHunt(const Mutant& mutant,
@@ -147,11 +166,30 @@ CampaignReport CampaignRunner::run(const std::vector<Mutant>& mutants) {
 
   CampaignReport report;
 
-  // Resume: skip mutants the existing journal already judged.
+  // Resume: skip mutants the existing journal already judged. A torn
+  // final line (the verdict a killed campaign was writing) is reported
+  // and re-judged, never silently dropped.
   std::unordered_set<std::string> judged;
-  if (options_.resume && !options_.journal_path.empty())
-    for (std::string& id : judgedMutantIds(options_.journal_path))
+  if (options_.resume && !options_.journal_path.empty()) {
+    obs::analyze::JsonlStats scan;
+    for (std::string& id : judgedMutantIds(options_.journal_path, &scan))
       judged.insert(std::move(id));
+    const std::string warn = scan.describe(options_.journal_path);
+    if (!warn.empty())
+      std::fprintf(stderr, "resume: %s%s\n", warn.c_str(),
+                   scan.torn_tail ? "; that mutant will be re-judged" : "");
+    // Repair the tail before appending: drop torn bytes, or finish a
+    // parsable-but-unterminated record with its newline, so resumed
+    // verdicts never glue onto the previous campaign's last write.
+    if (scan.torn_tail) {
+      truncateToLastNewline(options_.journal_path);
+    } else if (scan.truncated_tail) {
+      if (std::FILE* f = std::fopen(options_.journal_path.c_str(), "a")) {
+        std::fputs("\n", f);
+        std::fclose(f);
+      }
+    }
+  }
 
   // `todo_enum[i]` is todo[i]'s index in the full enumeration (`mutants`).
   // Flight-recorder events carry this index, which is stable across

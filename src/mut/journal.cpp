@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 
 #include "obs/analyze/json_reader.hpp"
 #include "obs/json.hpp"
@@ -62,19 +61,16 @@ std::string journalLine(const MutantResult& r) {
   return w.str();
 }
 
-std::vector<std::string> judgedMutantIds(const std::string& path) {
+std::vector<std::string> judgedMutantIds(const std::string& path,
+                                         obs::analyze::JsonlStats* scan) {
   std::vector<std::string> ids;
-  std::ifstream in(path);
-  if (!in) return ids;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const auto doc = obs::analyze::parseJson(line);
-    if (!doc) continue;  // a torn trailing line from a killed campaign
-    const auto id = doc->getString("mutant");
-    const auto verdict = doc->getString("verdict");
-    if (id && verdict) ids.push_back(*id);
-  }
+  const auto stats = obs::analyze::forEachJsonlValue(
+      path, [&](obs::analyze::JsonValue&& doc, std::size_t) {
+        const auto id = doc.getString("mutant");
+        const auto verdict = doc.getString("verdict");
+        if (id && verdict) ids.push_back(*id);
+      });
+  if (stats && scan) *scan = *stats;
   return ids;
 }
 

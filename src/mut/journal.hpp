@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mut/campaign.hpp"
+#include "obs/analyze/jsonl.hpp"
 
 namespace rvsym::mut {
 
@@ -42,8 +43,12 @@ std::string serializeTest(const symex::TestVector& test);
 std::string fileSafeId(const std::string& id);
 
 /// Mutant ids already judged in an existing journal file (empty when the
-/// file is missing or unreadable — a fresh campaign).
-std::vector<std::string> judgedMutantIds(const std::string& path);
+/// file is missing or unreadable — a fresh campaign). With `scan`, what
+/// the read skipped: a campaign killed mid-write leaves a torn final
+/// line whose mutant will be re-judged — resume paths must tell the
+/// user (obs::analyze::JsonlStats::describe), not drop it silently.
+std::vector<std::string> judgedMutantIds(
+    const std::string& path, obs::analyze::JsonlStats* scan = nullptr);
 
 /// Writes `dir/<id>.json` (id with ':'/'=' replaced by '-') describing a
 /// surviving mutant and the budgets it survived — the lightweight repro

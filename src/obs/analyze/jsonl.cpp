@@ -1,0 +1,135 @@
+#include "obs/analyze/jsonl.hpp"
+
+#include <fstream>
+
+namespace rvsym::obs::analyze {
+
+namespace {
+
+constexpr std::size_t kTailSnippet = 120;
+
+std::string snippet(std::string_view s) {
+  if (s.size() <= kTailSnippet) return std::string(s);
+  return std::string(s.substr(0, kTailSnippet)) + "...";
+}
+
+}  // namespace
+
+std::string JsonlStats::describe(const std::string& path) const {
+  if (clean() && !truncated_tail) return "";
+  std::string out = path + ":";
+  if (torn_tail) {
+    out += " final line torn mid-write (\"" + tail + "\"), record lost";
+  } else if (truncated_tail) {
+    out += " final line missing its newline (writer interrupted)";
+  }
+  if (malformed > 0) {
+    if (torn_tail || truncated_tail) out += ";";
+    out += " " + std::to_string(malformed) + " malformed line" +
+           (malformed == 1 ? "" : "s") + " skipped";
+    if (!first_error.empty()) out += " (first: " + first_error + ")";
+  }
+  return out;
+}
+
+void JsonlDecoder::feed(std::string_view chunk, const LineFn& fn) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = chunk.find('\n', start);
+    if (nl == std::string_view::npos) break;
+    ++lineno_;
+    ++stats_.lines;
+    ++stats_.delivered;
+    if (partial_.empty()) {
+      fn(chunk.substr(start, nl - start), lineno_, false);
+    } else {
+      partial_.append(chunk.substr(start, nl - start));
+      fn(partial_, lineno_, false);
+      partial_.clear();
+    }
+    start = nl + 1;
+  }
+  partial_.append(chunk.substr(start));
+}
+
+void JsonlDecoder::finish(const LineFn& fn) {
+  if (partial_.empty()) return;
+  ++lineno_;
+  ++stats_.delivered;
+  stats_.truncated_tail = true;
+  stats_.tail = snippet(partial_);
+  std::string tail;
+  tail.swap(partial_);
+  fn(tail, lineno_, true);
+}
+
+void JsonlDecoder::reset() {
+  partial_.clear();
+  lineno_ = 0;
+  stats_ = JsonlStats{};
+}
+
+std::optional<JsonlStats> forEachJsonlLine(const std::string& path,
+                                           const JsonlDecoder::LineFn& fn,
+                                           std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  JsonlDecoder dec;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0)
+    dec.feed(std::string_view(buf, static_cast<std::size_t>(in.gcount())),
+             fn);
+  dec.finish(fn);
+  return dec.stats();
+}
+
+std::optional<JsonlStats> forEachJsonlValue(const std::string& path,
+                                            const JsonlValueFn& fn,
+                                            JsonlMalformed policy,
+                                            std::string* error) {
+  bool failed = false;
+  std::size_t delivered = 0;
+  std::size_t malformed = 0;
+  bool torn_tail = false;
+  std::string first_error;
+  auto stats = forEachJsonlLine(
+      path,
+      [&](std::string_view line, std::size_t lineno, bool truncated) {
+        if (failed || line.empty()) return;
+        std::string perr;
+        std::optional<JsonValue> v = parseJson(line, &perr);
+        if (v) {
+          ++delivered;
+          fn(std::move(*v), lineno);
+          return;
+        }
+        if (truncated) {
+          // The record straddling the crash: its bytes are gone, so it
+          // is a torn tail for the caller to report — never malformed
+          // data and never (even under Fail) an error.
+          torn_tail = true;
+          return;
+        }
+        ++malformed;
+        if (first_error.empty())
+          first_error = "line " + std::to_string(lineno) + ": " + perr;
+        if (policy == JsonlMalformed::Fail) {
+          failed = true;
+          if (error)
+            *error = path + ": line " + std::to_string(lineno) + ": " + perr;
+        }
+      },
+      error);
+  if (!stats || failed) return std::nullopt;
+  JsonlStats out = *stats;
+  out.delivered = delivered;
+  out.malformed = malformed;
+  out.torn_tail = torn_tail;
+  out.first_error = std::move(first_error);
+  return out;
+}
+
+}  // namespace rvsym::obs::analyze

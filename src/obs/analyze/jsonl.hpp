@@ -1,0 +1,103 @@
+// One JSONL line reader for every consumer in the tree.
+//
+// Before this module, each JSONL consumer (the mutation-journal reader,
+// the timeseries loader, rvsym-top's incremental tail, the trace
+// path-tree loader) hand-rolled its own getline/partial-buffer loop,
+// and each one silently dropped a final line that a killed writer left
+// without its terminating newline. The contract here makes that state
+// explicit:
+//
+//  * complete lines (newline-terminated) are delivered in order;
+//  * a malformed complete line follows the caller's policy — counted
+//    and skipped, or a hard error;
+//  * an unterminated final line is still delivered (marked truncated)
+//    so a crash-recovery reader can *report* it instead of pretending
+//    it never existed. If it does not even parse, the value-level
+//    reader records it as a torn tail — never as ordinary malformed
+//    data, and never silently.
+//
+// JsonlDecoder is the incremental core (rvsym-top feeds it chunks of a
+// growing stream and simply never calls finish() — an unterminated
+// line is "not yet written", not truncated). forEachJsonlLine /
+// forEachJsonlValue wrap it for whole files.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/analyze/json_reader.hpp"
+
+namespace rvsym::obs::analyze {
+
+/// What a scan saw beyond the data it delivered. Callers that recover
+/// from crashes surface describe() to the user; callers that demand
+/// clean input check clean().
+struct JsonlStats {
+  std::size_t lines = 0;      ///< complete (newline-terminated) lines
+  std::size_t delivered = 0;  ///< lines handed to the callback
+  std::size_t malformed = 0;  ///< complete lines skipped as unparsable
+  /// Stream did not end in '\n' — a writer died mid-line. The tail is
+  /// still delivered (truncated=true) if it parses.
+  bool truncated_tail = false;
+  /// The unterminated tail did not parse as JSON: genuinely torn bytes
+  /// whose record is lost. Reported here, not counted as malformed.
+  bool torn_tail = false;
+  std::string tail;         ///< first bytes of the unterminated tail
+  std::string first_error;  ///< "line N: reason" of the first bad line
+
+  bool clean() const { return malformed == 0 && !torn_tail; }
+  /// One human-readable warning line ("" when nothing to report).
+  std::string describe(const std::string& path) const;
+};
+
+/// Incremental JSONL line splitter. feed() buffers a trailing partial
+/// line across calls; finish() flushes it as the truncated tail.
+class JsonlDecoder {
+ public:
+  /// `truncated` is true only for the unterminated tail finish() emits.
+  using LineFn =
+      std::function<void(std::string_view line, std::size_t lineno,
+                         bool truncated)>;
+
+  void feed(std::string_view chunk, const LineFn& fn);
+  /// End of stream: delivers a buffered unterminated line (truncated =
+  /// true) and records it in stats(). Idempotent once drained.
+  void finish(const LineFn& fn);
+  const JsonlStats& stats() const { return stats_; }
+  void reset();
+
+ private:
+  std::string partial_;
+  std::size_t lineno_ = 0;
+  JsonlStats stats_;
+};
+
+/// Policy for a *complete* line that fails to parse as JSON. The
+/// unterminated tail is exempt: it is always reported via stats, never
+/// an error (crash recovery must be able to read past it).
+enum class JsonlMalformed {
+  Skip,  ///< count it, record first_error, keep going
+  Fail,  ///< stop and report the error
+};
+
+/// Streams every line of `path` (including a truncated tail) through
+/// `fn`. Returns nullopt only when the file cannot be opened.
+std::optional<JsonlStats> forEachJsonlLine(const std::string& path,
+                                           const JsonlDecoder::LineFn& fn,
+                                           std::string* error = nullptr);
+
+/// Parsed-value variant: empty lines are skipped, parse failures follow
+/// `policy`, and an unparsable truncated tail becomes stats.torn_tail.
+/// Returns nullopt on open failure or (policy Fail) on a malformed
+/// complete line.
+using JsonlValueFn =
+    std::function<void(JsonValue&& value, std::size_t lineno)>;
+std::optional<JsonlStats> forEachJsonlValue(
+    const std::string& path, const JsonlValueFn& fn,
+    JsonlMalformed policy = JsonlMalformed::Skip,
+    std::string* error = nullptr);
+
+}  // namespace rvsym::obs::analyze

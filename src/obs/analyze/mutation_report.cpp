@@ -65,38 +65,45 @@ void emitCanonical(const JsonValue& v, JsonWriter& w, bool strip_timing) {
 }  // namespace
 
 std::optional<MutationJournal> loadMutationJournal(const std::string& path,
-                                                   std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error) *error = "cannot open " + path;
-    return std::nullopt;
-  }
-  std::string line;
-  if (!std::getline(in, line)) {
-    if (error) *error = path + " is empty";
-    return std::nullopt;
-  }
-  const auto header = parseJson(line);
-  if (!header || !header->find("rvsym_mutation_campaign")) {
-    if (error) *error = path + " is not a mutation-campaign journal";
-    return std::nullopt;
-  }
+                                                   std::string* error,
+                                                   JsonlStats* scan) {
   MutationJournal j;
-  j.scenario = header->getString("scenario").value_or("");
-  j.max_instr_limit =
-      static_cast<unsigned>(header->getU64("max_instr_limit").value_or(0));
-  j.declared_mutants = header->getU64("mutants").value_or(0);
+  bool saw_header = false;
+  bool foreign = false;
   std::set<std::string> seen;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const auto v = parseJson(line);
-    if (!v || !v->getString("mutant")) continue;  // torn trailing line
-    MutationEntry e = entryFromJson(*v);
-    // Two campaigns racing one journal can duplicate entries; the first
-    // committed verdict wins, as it would have in a single campaign.
-    if (!seen.insert(e.mutant).second) continue;
-    j.entries.push_back(std::move(e));
+  const auto stats = forEachJsonlValue(
+      path,
+      [&](JsonValue&& v, std::size_t) {
+        if (foreign) return;
+        if (!saw_header) {
+          saw_header = true;
+          if (!v.find("rvsym_mutation_campaign")) {
+            foreign = true;
+            return;
+          }
+          j.scenario = v.getString("scenario").value_or("");
+          j.max_instr_limit = static_cast<unsigned>(
+              v.getU64("max_instr_limit").value_or(0));
+          j.declared_mutants = v.getU64("mutants").value_or(0);
+          return;
+        }
+        if (!v.getString("mutant")) return;  // foreign record kind
+        MutationEntry e = entryFromJson(v);
+        // Two campaigns racing one journal can duplicate entries; the
+        // first committed verdict wins, as in a single campaign.
+        if (!seen.insert(e.mutant).second) return;
+        j.entries.push_back(std::move(e));
+      },
+      JsonlMalformed::Skip, error);
+  if (!stats) return std::nullopt;
+  if (foreign || !saw_header) {
+    if (error)
+      *error = stats->lines == 0 && !stats->truncated_tail
+                   ? path + " is empty"
+                   : path + " is not a mutation-campaign journal";
+    return std::nullopt;
   }
+  if (scan) *scan = *stats;
   return j;
 }
 
@@ -121,10 +128,9 @@ MutationSummary summarizeMutationJournal(const MutationJournal& journal) {
 }
 
 std::string canonicalizeMutationJournal(const std::string& text) {
-  std::istringstream in(text);
-  std::string out, line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  std::string out;
+  const auto emit = [&](std::string_view line, std::size_t, bool) {
+    if (line.empty()) return;
     const auto v = parseJson(line);
     if (!v) {
       out += line;  // keep corruption visible
@@ -134,7 +140,10 @@ std::string canonicalizeMutationJournal(const std::string& text) {
       out += w.str();
     }
     out += '\n';
-  }
+  };
+  JsonlDecoder dec;
+  dec.feed(text, emit);
+  dec.finish(emit);
   return out;
 }
 

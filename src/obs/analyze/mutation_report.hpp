@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/analyze/jsonl.hpp"
+
 namespace rvsym::obs::analyze {
 
 /// One judged mutant, as recorded in the journal.
@@ -38,12 +40,14 @@ struct MutationJournal {
 };
 
 /// Parses a journal file. Returns nullopt (with a reason) only when the
-/// file is unreadable or the header is missing/foreign; torn trailing
-/// lines from an interrupted campaign are skipped silently, and
-/// duplicated mutant entries (two campaigns racing one journal) keep
-/// the first verdict.
+/// file is unreadable or the header is missing/foreign. Torn trailing
+/// lines from an interrupted campaign and malformed lines are skipped
+/// but *reported* through `scan` (JsonlStats::describe renders the
+/// warning); duplicated mutant entries (two campaigns racing one
+/// journal) keep the first verdict.
 std::optional<MutationJournal> loadMutationJournal(
-    const std::string& path, std::string* error = nullptr);
+    const std::string& path, std::string* error = nullptr,
+    JsonlStats* scan = nullptr);
 
 /// Aggregated verdict counts with the kill/survive breakdown per
 /// operator and per mutation kind (the heatmap's data).

@@ -1,11 +1,11 @@
 #include "obs/analyze/path_tree.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <functional>
 #include <sstream>
 
 #include "obs/analyze/json_reader.hpp"
+#include "obs/analyze/jsonl.hpp"
 
 namespace rvsym::obs::analyze {
 
@@ -112,14 +112,14 @@ std::optional<PathTree> PathTree::fromTraceLines(
 
 std::optional<PathTree> PathTree::fromFile(const std::string& path,
                                            std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error) *error = "cannot open " + path;
-    return std::nullopt;
-  }
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  const auto stats = forEachJsonlLine(
+      path,
+      [&](std::string_view line, std::size_t, bool) {
+        lines.emplace_back(line);
+      },
+      error);
+  if (!stats) return std::nullopt;
   return fromTraceLines(lines, error);
 }
 

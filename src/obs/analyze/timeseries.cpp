@@ -181,24 +181,30 @@ bool parseTimeseriesRecord(std::string_view line, TimeseriesRun& run,
 
 std::optional<TimeseriesRun> loadTimeseries(const std::string& path,
                                             std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error) *error = "cannot open " + path;
-    return std::nullopt;
-  }
   TimeseriesRun run;
   run.path = path;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::string perr;
-    if (!parseTimeseriesRecord(line, run, &perr)) {
-      if (error)
-        *error = path + ":" + std::to_string(lineno) + ": " + perr;
-      return std::nullopt;
-    }
-  }
+  bool failed = false;
+  bool torn = false;
+  const auto stats = forEachJsonlLine(
+      path,
+      [&](std::string_view line, std::size_t lineno, bool truncated) {
+        if (failed) return;
+        std::string perr;
+        if (parseTimeseriesRecord(line, run, &perr)) return;
+        // A crash can tear the last line mid-write; that is a fact to
+        // surface (run.scan), not a reason to refuse the readable
+        // prefix of the stream.
+        if (truncated) {
+          torn = true;
+          return;
+        }
+        failed = true;
+        if (error) *error = path + ":" + std::to_string(lineno) + ": " + perr;
+      },
+      error);
+  if (!stats || failed) return std::nullopt;
+  run.scan = *stats;
+  run.scan.torn_tail = torn;
   return run;
 }
 
@@ -226,6 +232,9 @@ std::string renderTimeseriesSummary(const TimeseriesRun& run) {
   const TimeseriesSample& last = run.samples.back();
   appendf(out, "  %zu samples over %.1fs%s\n", run.samples.size(), last.t_s,
           run.final_record ? "" : " (stream not closed — interrupted run?)");
+  if (run.scan.torn_tail)
+    appendf(out, "  WARNING: final line torn mid-write (\"%s\")\n",
+            run.scan.tail.c_str());
   if (last.has_paths)
     appendf(out,
             "  paths: %llu done (%llu completed, %llu errors, %llu partial), "

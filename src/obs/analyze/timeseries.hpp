@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/analyze/json_reader.hpp"
+#include "obs/analyze/jsonl.hpp"
 
 namespace rvsym::obs::analyze {
 
@@ -74,6 +75,9 @@ struct TimeseriesRun {
   std::vector<TimeseriesSample> samples;
   /// The raw ts_final record, if the stream was closed cleanly.
   std::optional<JsonValue> final_record;
+  /// What loading saw beyond the records above — in particular a final
+  /// line torn by a killed writer, which used to fail the whole load.
+  JsonlStats scan;
 };
 
 /// Parses one sample object (already identified as ev == "sample" — or
@@ -87,7 +91,10 @@ bool parseTimeseriesRecord(std::string_view line, TimeseriesRun& run,
                            std::string* error = nullptr);
 
 /// Loads a finished stream from disk. Accepts a stream that is missing
-/// its ts_final record (an interrupted run) — final_record stays empty.
+/// its ts_final record (an interrupted run) — final_record stays empty —
+/// and a final line torn mid-write by a killed sampler, which is
+/// recorded in run.scan rather than dropped silently or failing the
+/// load. A malformed *complete* line is still a hard error.
 std::optional<TimeseriesRun> loadTimeseries(const std::string& path,
                                             std::string* error = nullptr);
 

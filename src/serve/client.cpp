@@ -1,0 +1,26 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+namespace rvsym::serve {
+
+std::optional<std::string> request(int fd, const std::string& json,
+                                   std::string* error) {
+  if (!writeFrame(fd, json, error)) return std::nullopt;
+  auto reply = readFrame(fd, error);
+  if (!reply && error && error->empty())
+    *error = "daemon closed the connection";
+  return reply;
+}
+
+std::optional<std::string> requestOnce(const Endpoint& ep,
+                                       const std::string& json,
+                                       std::string* error) {
+  const int fd = connectTo(ep, error);
+  if (fd < 0) return std::nullopt;
+  auto reply = request(fd, json, error);
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace rvsym::serve

@@ -1,0 +1,22 @@
+// Thin client-side helpers over the serve protocol: connect, one
+// request/response round trip, and typed wrappers for the common
+// commands the CLI and rvsym-top use.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/proto.hpp"
+
+namespace rvsym::serve {
+
+/// Sends one JSON request frame and reads one response frame.
+std::optional<std::string> request(int fd, const std::string& json,
+                                   std::string* error = nullptr);
+
+/// connect + one round trip + close. For one-shot commands.
+std::optional<std::string> requestOnce(const Endpoint& ep,
+                                       const std::string& json,
+                                       std::string* error = nullptr);
+
+}  // namespace rvsym::serve

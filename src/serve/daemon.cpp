@@ -1,0 +1,773 @@
+#include "serve/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "obs/bundle.hpp"
+#include "obs/json.hpp"
+#include "serve/job.hpp"
+#include "serve/jobstore.hpp"
+#include "serve/worker.hpp"
+#include "solver/cachestore.hpp"
+#include "solver/options.hpp"
+
+namespace rvsym::serve {
+
+namespace {
+
+using obs::JsonWriter;
+using obs::analyze::JsonValue;
+using obs::analyze::parseJson;
+
+std::string okReply(const std::function<void(JsonWriter&)>& fill = {}) {
+  JsonWriter w;
+  w.beginObject();
+  w.field("ok", true);
+  if (fill) fill(w);
+  w.endObject();
+  return w.str();
+}
+
+std::string errorReply(const std::string& message) {
+  JsonWriter w;
+  w.beginObject();
+  w.field("ok", false);
+  w.field("error", message);
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+  explicit Impl(DaemonOptions opts)
+      : options(std::move(opts)), store(options.state_dir),
+        sched(options.sched) {}
+
+  DaemonOptions options;
+  JobStore store;
+  Scheduler sched;
+  int listen_fd = -1;
+  bool draining = false;
+  std::uint64_t status_seq = 0;
+  std::chrono::steady_clock::time_point start_time;
+  std::chrono::steady_clock::time_point last_activity;
+  bool compacted_since_idle = false;
+  unsigned worker_seq = 0;
+
+  struct Client {
+    int fd = -1;
+    FrameDecoder dec;
+  };
+
+  struct Worker {
+    int fd = -1;
+    FrameDecoder dec;
+    std::string id;
+    pid_t pid = -1;       // process mode
+    std::thread thread;   // thread mode
+    bool ready = false;   ///< hello received
+    bool idle = false;
+  };
+
+  struct JobRec {
+    JobSpec spec;
+    std::uint64_t units_total = 0;
+    std::map<std::string, std::string> unit_records;  ///< unit -> raw line
+    bool finished = false;
+    std::string status;        ///< done / failed / cancelled
+    std::string final_record;  ///< raw final line
+  };
+
+  std::map<int, Client> clients;
+  std::map<int, std::unique_ptr<Worker>> workers;
+  std::map<std::string, JobRec> jobs;
+  std::vector<std::pair<int, std::string>> watchers;  ///< client fd -> job
+
+  // ---- lifecycle --------------------------------------------------------
+
+  bool init(std::string* error) {
+    std::signal(SIGPIPE, SIG_IGN);  // dead peers are poll events, not death
+    start_time = last_activity = std::chrono::steady_clock::now();
+    listen_fd = listenOn(options.endpoint, error);
+    if (listen_fd < 0) return false;
+
+    // Resume: every unfinished journal is re-admitted with its judged
+    // units skipped. Unit verdicts are deterministic, so the resumed
+    // job converges to the verdict set of an uninterrupted run.
+    std::vector<std::string> warnings;
+    for (LoadedJob& loaded : store.loadAll(&warnings)) {
+      JobRec rec;
+      rec.spec = loaded.spec;
+      rec.unit_records = std::move(loaded.unit_records);
+      rec.finished = loaded.finished;
+      rec.final_record = loaded.final_record;
+      rec.units_total = rec.unit_records.size();
+      if (rec.finished) {
+        if (const auto v = parseJson(rec.final_record))
+          rec.status = v->getString("status").value_or("done");
+        jobs.emplace(loaded.id, std::move(rec));
+        continue;
+      }
+      std::string err;
+      const auto units = enumerateUnits(rec.spec, &err);
+      if (!units) {
+        jobs.emplace(loaded.id, std::move(rec));
+        finalizeJob(loaded.id, "failed",
+                    "cannot re-enumerate units: " + err);
+        continue;
+      }
+      std::vector<std::string> remaining;
+      for (const std::string& u : *units)
+        if (!rec.unit_records.count(u)) remaining.push_back(u);
+      rec.units_total = units->size();
+      const std::uint64_t done = units->size() - remaining.size();
+      jobs.emplace(loaded.id, std::move(rec));
+      sched.submit(loaded.id, jobs[loaded.id].spec.max_shards,
+                   std::move(remaining), done);
+      logf("resumed %s: %llu/%llu units already judged", loaded.id.c_str(),
+           static_cast<unsigned long long>(done),
+           static_cast<unsigned long long>(units->size()));
+      maybeFinalize(loaded.id);
+    }
+    for (const std::string& wmsg : warnings)
+      std::fprintf(stderr, "rvsym-serve: %s\n", wmsg.c_str());
+
+    for (unsigned i = 0; i < std::max(1u, options.workers); ++i)
+      if (!spawnWorker(error)) return false;
+    return true;
+  }
+
+  void logf(const char* fmt, ...) {
+    if (!options.verbose) return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "rvsym-serve: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+  }
+
+  // ---- workers ----------------------------------------------------------
+
+  bool spawnWorker(std::string* error) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      if (error) *error = "socketpair failed";
+      return false;
+    }
+    auto w = std::make_unique<Worker>();
+    w->id = "w" + std::to_string(worker_seq++);
+    w->fd = sv[0];
+
+    WorkerConfig cfg;
+    cfg.cache_dir = options.cache_dir;
+    cfg.tag = w->id;
+    cfg.engine_jobs = options.engine_jobs;
+    // The fail-after hook arms only the first worker ever spawned, so a
+    // respawn after the simulated crash judges normally instead of
+    // crash-looping.
+    if (options.thread_workers && w->id == "w0")
+      cfg.fail_after_units = options.worker_fail_after_units;
+
+    if (options.thread_workers) {
+      const int worker_fd = sv[1];
+      w->thread = std::thread([worker_fd, cfg] {
+        workerMain(worker_fd, cfg);
+        ::close(worker_fd);
+      });
+    } else {
+      cfg.crash_dir = options.crash_dir;
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        if (error) *error = "fork failed";
+        ::close(sv[0]);
+        ::close(sv[1]);
+        return false;
+      }
+      if (pid == 0) {
+        // Child: drop every daemon fd except the worker socket.
+        ::close(sv[0]);
+        ::close(listen_fd);
+        for (const auto& [cfd, c] : clients) ::close(cfd);
+        for (const auto& [wfd, other] : workers) ::close(wfd);
+        const int code = workerMain(sv[1], cfg);
+        std::_Exit(code);
+      }
+      w->pid = pid;
+      ::close(sv[1]);
+    }
+    logf("spawned worker %s", w->id.c_str());
+    workers.emplace(sv[0], std::move(w));
+    return true;
+  }
+
+  void removeWorker(int fd, bool respawn) {
+    const auto it = workers.find(fd);
+    if (it == workers.end()) return;
+    std::unique_ptr<Worker> w = std::move(it->second);
+    workers.erase(it);
+    ::close(fd);
+    for (const std::string& job_id : sched.onWorkerGone(w->id)) {
+      logf("worker %s died holding a shard of %s", w->id.c_str(),
+           job_id.c_str());
+      finalizeJob(job_id, "failed",
+                  "worker " + w->id + " died while judging");
+    }
+    if (w->pid > 0) {
+      int st = 0;
+      ::waitpid(w->pid, &st, 0);
+    }
+    if (w->thread.joinable()) w->thread.join();
+    if (respawn && !draining) {
+      std::string err;
+      if (!spawnWorker(&err))
+        std::fprintf(stderr, "rvsym-serve: respawn failed: %s\n",
+                     err.c_str());
+    }
+    dispatch();
+  }
+
+  void dispatch() {
+    for (auto& [fd, w] : workers) {
+      if (!w->ready || !w->idle) continue;
+      const auto shard = sched.nextShard(w->id);
+      if (!shard) continue;
+      const JobRec& rec = jobs[shard->job_id];
+      JsonWriter msg;
+      msg.beginObject();
+      msg.field("cmd", "shard");
+      msg.field("job", shard->job_id);
+      msg.field("shard", std::uint64_t{shard->index});
+      msg.key("spec").rawValue(rec.spec.toJson());
+      msg.key("units").beginArray();
+      for (const std::string& u : shard->units) msg.value(u);
+      msg.endArray();
+      msg.endObject();
+      if (!writeFrame(fd, msg.str())) continue;  // poll will reap it
+      w->idle = false;
+      touch();
+    }
+  }
+
+  void onWorkerFrame(Worker& w, const std::string& payload) {
+    const auto v = parseJson(payload);
+    if (!v) return;
+    const std::string ev = v->getString("ev").value_or("");
+    if (ev == "hello") {
+      w.ready = true;
+      w.idle = true;
+      dispatch();
+      return;
+    }
+    if (ev == "unit") {
+      const std::string job_id = v->getString("job").value_or("");
+      const std::string unit = v->getString("unit").value_or("");
+      const auto job = jobs.find(job_id);
+      if (job == jobs.end() || unit.empty()) return;
+      // Journal first, memory second: after a kill -9 the journal is
+      // the truth the restart resumes from.
+      store.appendLine(job_id, payload);
+      job->second.unit_records.emplace(unit, payload);
+      sched.onUnitDone(job_id);
+      notifyWatchers(job_id, payload);
+      touch();
+      return;
+    }
+    if (ev == "shard_done") {
+      const std::string job_id = v->getString("job").value_or("");
+      const auto index =
+          static_cast<std::uint32_t>(v->getU64("shard").value_or(0));
+      w.idle = true;
+      sched.onShardDone(w.id, job_id, index);
+      maybeFinalize(job_id);
+      dispatch();
+      touch();
+      return;
+    }
+  }
+
+  // ---- jobs -------------------------------------------------------------
+
+  void maybeFinalize(const std::string& job_id) {
+    const auto prog = sched.progress(job_id);
+    if (!prog || prog->shards_in_flight > 0) return;
+    const auto job = jobs.find(job_id);
+    if (job == jobs.end() || job->second.finished) return;
+    switch (prog->state) {
+      case JobState::Done:
+        finalizeJob(job_id, "done", "");
+        break;
+      case JobState::Cancelled:
+        finalizeJob(job_id, "cancelled", "");
+        break;
+      case JobState::Failed:  // finalized at the failure site
+      case JobState::Queued:
+      case JobState::Running:
+        break;
+    }
+  }
+
+  void finalizeJob(const std::string& job_id, const std::string& status,
+                   const std::string& note) {
+    JobRec& rec = jobs[job_id];
+    if (rec.finished) return;
+
+    // Aggregate the unit records (recomputed identically after a
+    // restart, since the inputs are the journal lines themselves).
+    std::map<std::string, std::uint64_t> verdicts;
+    std::uint64_t errors = 0, solver_checks = 0, instructions = 0;
+    std::uint64_t qc_sat_solves = 0, qc_hits = 0, qc_misses = 0;
+    for (const auto& [unit, line] : rec.unit_records) {
+      const auto v = parseJson(line);
+      if (!v) continue;
+      if (const auto verdict = v->getString("verdict"))
+        ++verdicts[*verdict];
+      else
+        ++errors;
+      solver_checks += v->getU64("solver_checks").value_or(0);
+      instructions += v->getU64("instructions").value_or(0);
+      qc_sat_solves += v->getU64("qc_sat_solves").value_or(0);
+      qc_hits += v->getU64("qc_hits").value_or(0);
+      qc_misses += v->getU64("qc_misses").value_or(0);
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("ev", "final");
+    w.field("status", status);
+    if (!note.empty()) w.field("note", note);
+    w.field("units_total", rec.units_total);
+    w.field("units_done", std::uint64_t{rec.unit_records.size()});
+    w.key("verdicts").beginObject();
+    for (const auto& [name, count] : verdicts) w.field(name, count);
+    w.endObject();
+    if (errors != 0) w.field("unit_errors", errors);
+    w.field("solver_checks", solver_checks);
+    w.field("instructions", instructions);
+    w.field("qc_sat_solves", qc_sat_solves);
+    w.field("qc_hits", qc_hits);
+    w.field("qc_misses", qc_misses);
+    w.endObject();
+
+    rec.finished = true;
+    rec.status = status;
+    rec.final_record = w.str();
+    store.appendLine(job_id, rec.final_record);
+    logf("%s %s (%zu units)", job_id.c_str(), status.c_str(),
+         rec.unit_records.size());
+    notifyWatchers(job_id, rec.final_record);
+    // A finished job needs no watchers.
+    watchers.erase(std::remove_if(watchers.begin(), watchers.end(),
+                                  [&](const auto& p) {
+                                    return p.second == job_id;
+                                  }),
+                   watchers.end());
+  }
+
+  void notifyWatchers(const std::string& job_id,
+                      const std::string& payload) {
+    for (const auto& [fd, watched] : watchers)
+      if (watched == job_id) writeFrame(fd, payload);
+  }
+
+  // ---- clients ----------------------------------------------------------
+
+  void onClientFrame(Client& c, const std::string& payload) {
+    const auto v = parseJson(payload);
+    if (!v) {
+      writeFrame(c.fd, errorReply("unparsable request"));
+      return;
+    }
+    const std::string cmd = v->getString("cmd").value_or("");
+    if (cmd == "ping") {
+      writeFrame(c.fd, okReply([](JsonWriter& w) { w.field("ev", "pong"); }));
+      return;
+    }
+    if (cmd == "submit") {
+      handleSubmit(c, *v);
+      return;
+    }
+    if (cmd == "status") {
+      handleStatus(c, *v);
+      return;
+    }
+    if (cmd == "status_record") {
+      writeFrame(c.fd, statusRecord());
+      return;
+    }
+    if (cmd == "cancel") {
+      const std::string job_id = v->getString("job").value_or("");
+      const auto job = jobs.find(job_id);
+      if (job == jobs.end()) {
+        writeFrame(c.fd, errorReply("unknown job " + job_id));
+        return;
+      }
+      if (job->second.finished) {
+        writeFrame(c.fd,
+                   errorReply("job " + job_id + " already " +
+                              job->second.status));
+        return;
+      }
+      sched.cancel(job_id);
+      writeFrame(c.fd, okReply([&](JsonWriter& w) {
+        w.field("job", job_id);
+        w.field("state", "cancelled");
+      }));
+      maybeFinalize(job_id);  // no shards in flight -> final now
+      return;
+    }
+    if (cmd == "drain") {
+      draining = true;
+      writeFrame(c.fd, okReply([&](JsonWriter& w) {
+        w.field("draining", true);
+        w.field("active_jobs", std::uint64_t{sched.activeJobs()});
+      }));
+      return;
+    }
+    if (cmd == "watch") {
+      const std::string job_id = v->getString("job").value_or("");
+      const auto job = jobs.find(job_id);
+      if (job == jobs.end()) {
+        writeFrame(c.fd, errorReply("unknown job " + job_id));
+        return;
+      }
+      if (job->second.finished)
+        writeFrame(c.fd, job->second.final_record);
+      else
+        watchers.emplace_back(c.fd, job_id);
+      return;
+    }
+    writeFrame(c.fd, errorReply("unknown command '" + cmd + "'"));
+  }
+
+  void handleSubmit(Client& c, const JsonValue& v) {
+    if (draining) {
+      writeFrame(c.fd, errorReply("daemon is draining"));
+      return;
+    }
+    const JsonValue* spec_v = v.find("spec");
+    if (!spec_v) {
+      writeFrame(c.fd, errorReply("submit carries no spec"));
+      return;
+    }
+    std::string err;
+    const auto spec = JobSpec::fromJson(*spec_v, &err);
+    if (!spec) {
+      writeFrame(c.fd, errorReply(err));
+      return;
+    }
+    if (!obs::scenarioConstraint(spec->scenario)) {
+      writeFrame(c.fd, errorReply("unknown scenario '" + spec->scenario +
+                                  "'"));
+      return;
+    }
+    solver::SolverOptions so;
+    if (!solver::parseSolverOpt(spec->solver_opt, &so, &err)) {
+      writeFrame(c.fd, errorReply(err));
+      return;
+    }
+    const auto units = enumerateUnits(*spec, &err);
+    if (!units) {
+      writeFrame(c.fd, errorReply(err));
+      return;
+    }
+    const std::string job_id = store.nextJobId();
+    std::string why;
+    if (!sched.submit(job_id, spec->max_shards, *units, 0, &why)) {
+      writeFrame(c.fd, errorReply(why));
+      return;
+    }
+    if (!store.createJob(job_id, *spec, &err)) {
+      sched.cancel(job_id);
+      writeFrame(c.fd, errorReply(err));
+      return;
+    }
+    JobRec rec;
+    rec.spec = *spec;
+    rec.units_total = units->size();
+    jobs.emplace(job_id, std::move(rec));
+    logf("submitted %s: %s, %zu units", job_id.c_str(),
+         spec->kind.c_str(), units->size());
+    writeFrame(c.fd, okReply([&](JsonWriter& w) {
+      w.field("job", job_id);
+      w.field("units", std::uint64_t{units->size()});
+    }));
+    if (v.getBool("watch").value_or(false))
+      watchers.emplace_back(c.fd, job_id);
+    touch();
+    dispatch();
+  }
+
+  void writeJobSummary(JsonWriter& w, const std::string& id,
+                       const JobRec& rec) {
+    w.beginObject();
+    w.field("id", id);
+    w.field("kind", rec.spec.kind);
+    const auto prog = sched.progress(id);
+    if (rec.finished) {
+      w.field("state", rec.status);
+      w.field("units_done", std::uint64_t{rec.unit_records.size()});
+      w.field("units_total", rec.units_total);
+    } else if (prog) {
+      w.field("state", jobStateName(prog->state));
+      w.field("units_done", prog->units_done);
+      w.field("units_total", prog->units_total);
+      w.field("shards_in_flight", std::uint64_t{prog->shards_in_flight});
+    } else {
+      w.field("state", "unknown");
+    }
+    w.endObject();
+  }
+
+  void handleStatus(Client& c, const JsonValue& v) {
+    const std::string job_id = v.getString("job").value_or("");
+    JsonWriter w;
+    w.beginObject();
+    w.field("ok", true);
+    w.field("draining", draining);
+    if (!job_id.empty()) {
+      const auto job = jobs.find(job_id);
+      if (job == jobs.end()) {
+        writeFrame(c.fd, errorReply("unknown job " + job_id));
+        return;
+      }
+      w.key("job");
+      writeJobSummary(w, job_id, job->second);
+      std::map<std::string, std::uint64_t> verdicts;
+      for (const auto& [unit, line] : job->second.unit_records)
+        if (const auto rec = parseJson(line))
+          if (const auto verdict = rec->getString("verdict"))
+            ++verdicts[*verdict];
+      w.key("verdicts").beginObject();
+      for (const auto& [name, count] : verdicts) w.field(name, count);
+      w.endObject();
+      if (job->second.finished)
+        w.key("final").rawValue(job->second.final_record);
+    } else {
+      w.key("jobs").beginArray();
+      for (const auto& [id, rec] : jobs) writeJobSummary(w, id, rec);
+      w.endArray();
+      w.field("workers", std::uint64_t{workers.size()});
+    }
+    w.endObject();
+    writeFrame(c.fd, w.str());
+  }
+
+  /// One rvsym-timeseries-v1 `status` record — byte-compatible with a
+  /// --status-file document, so rvsym-top renders the daemon through
+  /// the exact parser it uses for files.
+  std::string statusRecord() {
+    std::uint64_t done = 0, total = 0, running = 0, queued = 0,
+                  finished = 0, failed = 0;
+    for (const auto& [id, rec] : jobs) {
+      if (rec.finished) {
+        ++finished;
+        if (rec.status == "failed") ++failed;
+        done += rec.unit_records.size();
+        total += rec.units_total;
+        continue;
+      }
+      const auto prog = sched.progress(id);
+      if (!prog) continue;
+      done += prog->units_done;
+      total += prog->units_total;
+      if (prog->state == JobState::Running)
+        ++running;
+      else if (prog->state == JobState::Queued)
+        ++queued;
+    }
+    const double t_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_time)
+                           .count();
+    char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  "jobs: %llu running, %llu queued, %llu finished "
+                  "(%llu failed); workers %zu",
+                  static_cast<unsigned long long>(running),
+                  static_cast<unsigned long long>(queued),
+                  static_cast<unsigned long long>(finished),
+                  static_cast<unsigned long long>(failed), workers.size());
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("ev", "status");
+    w.field("schema", "rvsym-timeseries-v1");
+    w.field("version", std::uint64_t{1});
+    w.field("kind", "serve");
+    w.field("interval_s", 1.0);
+    w.field("total_work", total);
+    w.key("sample").beginObject();
+    w.field("seq", status_seq++);
+    w.field("t_s", t_s);
+    w.key("work").beginObject();
+    w.field("label", "units");
+    w.field("done", done);
+    w.field("total", total);
+    w.endObject();
+    w.field("extra", extra);
+    w.endObject();
+    w.endObject();
+    return w.str();
+  }
+
+  // ---- event loop -------------------------------------------------------
+
+  void touch() {
+    last_activity = std::chrono::steady_clock::now();
+    compacted_since_idle = false;
+  }
+
+  void dropClient(int fd) {
+    clients.erase(fd);
+    watchers.erase(std::remove_if(watchers.begin(), watchers.end(),
+                                  [&](const auto& p) {
+                                    return p.first == fd;
+                                  }),
+                   watchers.end());
+    ::close(fd);
+  }
+
+  /// Idle housekeeping: compact the cache store once per idle period —
+  /// the scheduler being idle means no worker can be mid-append.
+  void maybeCompact() {
+    if (options.cache_dir.empty() || compacted_since_idle) return;
+    if (!sched.idle()) return;
+    const double idle_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              last_activity)
+                              .count();
+    if (idle_s < options.idle_compact_s) return;
+    std::string err;
+    const auto entries = solver::CacheStore::compact(options.cache_dir,
+                                                     &err);
+    if (entries)
+      logf("compacted cache store: %llu entries",
+           static_cast<unsigned long long>(*entries));
+    else
+      std::fprintf(stderr, "rvsym-serve: compaction failed: %s\n",
+                   err.c_str());
+    compacted_since_idle = true;
+  }
+
+  bool drainComplete() {
+    if (!draining) return false;
+    if (!sched.idle()) return false;
+    for (const auto& [id, rec] : jobs)
+      if (!rec.finished && sched.progress(id)) return false;
+    return true;
+  }
+
+  void shutdownWorkers() {
+    JsonWriter w;
+    w.beginObject();
+    w.field("cmd", "exit");
+    w.endObject();
+    for (auto& [fd, worker] : workers) writeFrame(fd, w.str());
+    while (!workers.empty())
+      removeWorker(workers.begin()->first, /*respawn=*/false);
+  }
+
+  int run() {
+    std::vector<pollfd> fds;
+    char buf[64 * 1024];
+    for (;;) {
+      if (options.stop_flag && *options.stop_flag) break;
+      if (drainComplete()) break;
+      maybeCompact();
+
+      fds.clear();
+      fds.push_back({listen_fd, POLLIN, 0});
+      for (const auto& [fd, c] : clients) fds.push_back({fd, POLLIN, 0});
+      for (const auto& [fd, w] : workers) fds.push_back({fd, POLLIN, 0});
+      const int n = ::poll(fds.data(), fds.size(), 200);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) continue;
+
+      for (const pollfd& p : fds) {
+        if (p.revents == 0) continue;
+        if (p.fd == listen_fd) {
+          const int cfd = ::accept(listen_fd, nullptr, nullptr);
+          if (cfd >= 0) clients[cfd].fd = cfd;
+          continue;
+        }
+        if (clients.count(p.fd)) {
+          Client& c = clients[p.fd];
+          const ssize_t got = ::recv(p.fd, buf, sizeof buf, 0);
+          if (got <= 0) {
+            dropClient(p.fd);
+            continue;
+          }
+          c.dec.feed(std::string_view(buf, static_cast<std::size_t>(got)));
+          std::string err;
+          bool drop = false;
+          while (const auto frame = c.dec.next(&err))
+            onClientFrame(c, *frame);
+          if (c.dec.corrupt()) drop = true;
+          if (drop) dropClient(p.fd);
+          continue;
+        }
+        const auto wit = workers.find(p.fd);
+        if (wit == workers.end()) continue;
+        Worker& w = *wit->second;
+        const ssize_t got = ::recv(p.fd, buf, sizeof buf, 0);
+        if (got <= 0 || (p.revents & (POLLHUP | POLLERR)) != 0) {
+          if (got > 0)
+            w.dec.feed(std::string_view(buf,
+                                        static_cast<std::size_t>(got)));
+          // Drain anything buffered before declaring the worker gone.
+          std::string err;
+          while (const auto frame = w.dec.next(&err))
+            onWorkerFrame(w, *frame);
+          removeWorker(p.fd, /*respawn=*/true);
+          continue;
+        }
+        w.dec.feed(std::string_view(buf, static_cast<std::size_t>(got)));
+        std::string err;
+        while (const auto frame = w.dec.next(&err))
+          onWorkerFrame(w, *frame);
+        if (w.dec.corrupt()) removeWorker(p.fd, /*respawn=*/true);
+      }
+    }
+
+    shutdownWorkers();
+    if (!options.cache_dir.empty()) {
+      std::string err;
+      solver::CacheStore::compact(options.cache_dir, &err);
+    }
+    for (const auto& [fd, c] : clients) ::close(fd);
+    clients.clear();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (options.endpoint.kind == Endpoint::Kind::Unix)
+      ::unlink(options.endpoint.path.c_str());
+    return 0;
+  }
+};
+
+Daemon::Daemon(DaemonOptions options) : impl_(new Impl(std::move(options))) {}
+
+Daemon::~Daemon() { delete impl_; }
+
+bool Daemon::init(std::string* error) { return impl_->init(error); }
+
+int Daemon::run() { return impl_->run(); }
+
+}  // namespace rvsym::serve

@@ -1,0 +1,210 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "mut/space.hpp"
+#include "obs/json.hpp"
+
+namespace rvsym::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void setError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+void writeStringArray(obs::JsonWriter& w, const char* key,
+                      const std::vector<std::string>& items) {
+  if (items.empty()) return;
+  w.key(key).beginArray();
+  for (const std::string& s : items) w.value(s);
+  w.endArray();
+}
+
+bool readStringArray(const obs::analyze::JsonValue& v, const char* key,
+                     std::vector<std::string>& out, std::string* error) {
+  const obs::analyze::JsonValue* arr = v.find(key);
+  if (!arr) return true;
+  if (!arr->isArray()) {
+    setError(error, std::string("spec field '") + key + "' is not an array");
+    return false;
+  }
+  for (const auto& item : arr->items()) {
+    if (!item.isString()) {
+      setError(error, std::string("spec field '") + key +
+                          "' holds a non-string element");
+      return false;
+    }
+    out.push_back(item.asString());
+  }
+  return true;
+}
+
+bool parseKindName(const std::string& name, mut::MutantKind& kind) {
+  for (mut::MutantKind k :
+       {mut::MutantKind::DecodeBit, mut::MutantKind::StuckBit,
+        mut::MutantKind::BranchSwap, mut::MutantKind::MemFault,
+        mut::MutantKind::CtrlFlag}) {
+    if (name == mut::mutantKindName(k)) {
+      kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseOpName(const std::string& name, rv32::Opcode& op) {
+  for (std::size_t i = 1; i <= rv32::kLegalOpcodeCount; ++i) {
+    const auto candidate = static_cast<rv32::Opcode>(i);
+    if (name == rv32::opcodeName(candidate)) {
+      op = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string JobSpec::toJson() const {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("kind", kind);
+  writeStringArray(w, "mutant_ids", mutant_ids);
+  writeStringArray(w, "kinds", kinds);
+  writeStringArray(w, "ops", ops);
+  if (!corpus_dir.empty()) w.field("corpus_dir", corpus_dir);
+  w.field("min_instr_limit", min_instr_limit);
+  w.field("max_instr_limit", max_instr_limit);
+  w.field("max_paths_per_hunt", max_paths_per_hunt);
+  w.field("max_seconds_per_hunt", max_seconds_per_hunt);
+  w.field("num_symbolic_regs", num_symbolic_regs);
+  w.field("scenario", scenario);
+  w.field("solver_opt", solver_opt);
+  if (max_shards != 0) w.field("max_shards", max_shards);
+  w.endObject();
+  return w.str();
+}
+
+std::optional<JobSpec> JobSpec::fromJson(const obs::analyze::JsonValue& v,
+                                         std::string* error) {
+  if (!v.isObject()) {
+    setError(error, "spec is not a JSON object");
+    return std::nullopt;
+  }
+  JobSpec spec;
+  spec.kind = v.getString("kind").value_or("mutate");
+  if (spec.kind != "mutate" && spec.kind != "verify" &&
+      spec.kind != "replay") {
+    setError(error, "unknown job kind '" + spec.kind +
+                        "' (expected mutate, verify or replay)");
+    return std::nullopt;
+  }
+  if (!readStringArray(v, "mutant_ids", spec.mutant_ids, error) ||
+      !readStringArray(v, "kinds", spec.kinds, error) ||
+      !readStringArray(v, "ops", spec.ops, error))
+    return std::nullopt;
+  spec.corpus_dir = v.getString("corpus_dir").value_or("");
+  spec.min_instr_limit = static_cast<unsigned>(
+      v.getU64("min_instr_limit").value_or(spec.min_instr_limit));
+  spec.max_instr_limit = static_cast<unsigned>(
+      v.getU64("max_instr_limit").value_or(spec.max_instr_limit));
+  spec.max_paths_per_hunt =
+      v.getU64("max_paths_per_hunt").value_or(spec.max_paths_per_hunt);
+  spec.max_seconds_per_hunt =
+      v.getNumber("max_seconds_per_hunt").value_or(spec.max_seconds_per_hunt);
+  spec.num_symbolic_regs = static_cast<unsigned>(
+      v.getU64("num_symbolic_regs").value_or(spec.num_symbolic_regs));
+  spec.scenario = v.getString("scenario").value_or(spec.scenario);
+  spec.solver_opt = v.getString("solver_opt").value_or(spec.solver_opt);
+  spec.max_shards =
+      static_cast<unsigned>(v.getU64("max_shards").value_or(0));
+  if (spec.min_instr_limit == 0 ||
+      spec.min_instr_limit > spec.max_instr_limit) {
+    setError(error, "bad instruction limit range");
+    return std::nullopt;
+  }
+  if (spec.kind == "replay" && spec.corpus_dir.empty()) {
+    setError(error, "replay job needs corpus_dir");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<JobSpec> JobSpec::fromJsonText(const std::string& text,
+                                             std::string* error) {
+  const auto v = obs::analyze::parseJson(text, error);
+  if (!v) return std::nullopt;
+  return fromJson(*v, error);
+}
+
+std::optional<std::vector<std::string>> enumerateUnits(const JobSpec& spec,
+                                                       std::string* error) {
+  std::vector<std::string> units;
+  if (spec.kind == "verify") {
+    for (const auto& pm : mut::paperMutants()) units.push_back(pm.paper_id);
+    return units;
+  }
+  if (spec.kind == "replay") {
+    std::error_code ec;
+    for (const auto& ent : fs::directory_iterator(spec.corpus_dir, ec)) {
+      if (!ent.is_regular_file()) continue;
+      if (ent.path().extension() == ".query")
+        units.push_back(ent.path().filename().string());
+    }
+    if (ec) {
+      setError(error, "cannot read corpus dir " + spec.corpus_dir + ": " +
+                          ec.message());
+      return std::nullopt;
+    }
+    std::sort(units.begin(), units.end());
+    if (units.empty()) {
+      setError(error, "no .query files in " + spec.corpus_dir);
+      return std::nullopt;
+    }
+    return units;
+  }
+  // mutate
+  if (!spec.mutant_ids.empty()) {
+    for (const std::string& id : spec.mutant_ids) {
+      try {
+        (void)mut::mutantById(id);
+      } catch (const std::out_of_range&) {
+        setError(error, "unknown mutant id '" + id + "'");
+        return std::nullopt;
+      }
+      units.push_back(id);
+    }
+    return units;
+  }
+  mut::SpaceFilter filter;
+  for (const std::string& name : spec.kinds) {
+    mut::MutantKind k;
+    if (!parseKindName(name, k)) {
+      setError(error, "unknown mutant kind '" + name + "'");
+      return std::nullopt;
+    }
+    filter.kinds.push_back(k);
+  }
+  for (const std::string& name : spec.ops) {
+    rv32::Opcode op;
+    if (!parseOpName(name, op)) {
+      setError(error, "unknown opcode '" + name + "'");
+      return std::nullopt;
+    }
+    filter.ops.push_back(op);
+  }
+  for (const mut::Mutant& m : mut::enumerateSpace(filter))
+    units.push_back(m.id());
+  if (units.empty()) {
+    setError(error, "mutant selection is empty");
+    return std::nullopt;
+  }
+  return units;
+}
+
+}  // namespace rvsym::serve

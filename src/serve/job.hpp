@@ -1,0 +1,61 @@
+// Job specifications for rvsym-serve.
+//
+// A job is the unit a client submits: a mutation campaign slice
+// ("mutate"), a Table II paper-mutant verify sweep ("verify"), or a
+// slow-query corpus replay ("replay"). The daemon expands a spec into
+// a deterministic, ordered list of *units* — individual mutant ids or
+// corpus file names — and schedules those across workers in shards.
+// Daemon and worker both derive the unit list from the same spec, so a
+// restarted daemon re-enumerates identically and resumes by skipping
+// units whose verdicts the job journal already holds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/json_reader.hpp"
+
+namespace rvsym::serve {
+
+struct JobSpec {
+  /// "mutate", "verify" or "replay".
+  std::string kind = "mutate";
+
+  // Mutate selection: explicit ids win over the kind/op filter.
+  std::vector<std::string> mutant_ids;
+  std::vector<std::string> kinds;  ///< "dec", "stuck", "swap", "mem", "flag"
+  std::vector<std::string> ops;    ///< rv32 opcode names
+
+  std::string corpus_dir;  ///< replay: directory of .query files
+
+  // Judge budgets (mutate/verify; mirrors CampaignOptions).
+  unsigned min_instr_limit = 1;
+  unsigned max_instr_limit = 2;
+  std::uint64_t max_paths_per_hunt = 200000;
+  double max_seconds_per_hunt = 60;
+  unsigned num_symbolic_regs = 2;
+  std::string scenario = "rv32i";
+  std::string solver_opt = "all";  ///< layer spec (DESIGN.md §10)
+
+  /// Per-job quota: max shards of this job in flight at once
+  /// (0 = no cap). Lets a bulk campaign coexist with small jobs.
+  unsigned max_shards = 0;
+
+  /// Rendered as one JSON object (stable field order).
+  std::string toJson() const;
+  static std::optional<JobSpec> fromJson(const obs::analyze::JsonValue& v,
+                                         std::string* error = nullptr);
+  static std::optional<JobSpec> fromJsonText(const std::string& text,
+                                             std::string* error = nullptr);
+};
+
+/// Expands a spec into its ordered unit list: mutant ids (mutate),
+/// paper ids E0..E9 (verify), or sorted corpus file names (replay).
+/// nullopt on an invalid spec (unknown mutant id / kind / opcode,
+/// unreadable corpus dir, empty selection).
+std::optional<std::vector<std::string>> enumerateUnits(
+    const JobSpec& spec, std::string* error = nullptr);
+
+}  // namespace rvsym::serve

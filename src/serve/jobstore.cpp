@@ -1,0 +1,182 @@
+#include "serve/jobstore.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/analyze/jsonl.hpp"
+#include "obs/json.hpp"
+
+namespace rvsym::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Drops torn bytes after the last complete line (same repair the
+/// campaign runner applies before resuming a journal).
+void truncateToLastNewline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t nl = text.rfind('\n');
+  const std::size_t keep = nl == std::string::npos ? 0 : nl + 1;
+  std::error_code ec;
+  fs::resize_file(path, keep, ec);
+}
+
+void completeFinalLine(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+
+JobStore::JobStore(std::string state_dir)
+    : state_dir_(std::move(state_dir)), jobs_dir_(state_dir_ + "/jobs") {
+  std::error_code ec;
+  fs::create_directories(jobs_dir_, ec);
+}
+
+std::string JobStore::journalPath(const std::string& id) const {
+  return jobs_dir_ + "/" + id + ".jsonl";
+}
+
+bool JobStore::createJob(const std::string& id, const JobSpec& spec,
+                         std::string* error) {
+  const std::string path = journalPath(id);
+  if (fs::exists(path)) {
+    if (error) *error = "job " + id + " already exists";
+    return false;
+  }
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("rvsym_serve_job", std::uint64_t{1});
+  w.field("id", id);
+  w.key("spec").rawValue(spec.toJson());
+  w.endObject();
+  return appendLine(id, w.str());
+}
+
+bool JobStore::appendLine(const std::string& id,
+                          const std::string& json_line) {
+  std::FILE* f = std::fopen(journalPath(id).c_str(), "a");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(json_line.data(), 1, json_line.size(), f) ==
+          json_line.size() &&
+      std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<LoadedJob> JobStore::loadAll(std::vector<std::string>* warnings) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(jobs_dir_, ec)) {
+    if (ent.is_regular_file() && ent.path().extension() == ".jsonl")
+      files.push_back(ent.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<LoadedJob> jobs;
+  for (const fs::path& path : files) {
+    LoadedJob job;
+    bool saw_header = false;
+    bool bad_header = false;
+    std::size_t malformed = 0;
+    bool torn = false;
+    // Line-level scan so records are kept verbatim (re-rendering parsed
+    // values would not be byte-identical).
+    const auto stats = obs::analyze::forEachJsonlLine(
+        path.string(),
+        [&](std::string_view line, std::size_t, bool truncated) {
+          if (line.empty()) return;
+          const auto v = obs::analyze::parseJson(line);
+          if (!v) {
+            // A torn tail is a writer killed mid-line, not corruption.
+            if (truncated)
+              torn = true;
+            else
+              ++malformed;
+            return;
+          }
+          if (!saw_header) {
+            saw_header = true;
+            if (!v->getU64("rvsym_serve_job").has_value()) {
+              bad_header = true;
+              return;
+            }
+            job.id = v->getString("id").value_or("");
+            const auto* spec = v->find("spec");
+            std::optional<JobSpec> parsed;
+            if (spec) parsed = JobSpec::fromJson(*spec);
+            if (parsed)
+              job.spec = std::move(*parsed);
+            else
+              bad_header = true;
+            return;
+          }
+          if (bad_header) return;
+          const auto ev = v->getString("ev");
+          if (ev == "unit") {
+            const auto unit = v->getString("unit");
+            if (!unit) return;
+            // First verdict wins — a resumed job may re-judge a unit
+            // whose record line was torn, never one already committed.
+            job.unit_records.emplace(*unit, std::string(line));
+          } else if (ev == "final") {
+            job.finished = true;
+            job.final_record = std::string(line);
+          }
+        });
+    if (!stats || bad_header || !saw_header || job.id.empty()) {
+      if (warnings)
+        warnings->push_back(path.string() +
+                            ": not a serve job journal, skipped");
+      continue;
+    }
+    obs::analyze::JsonlStats scan = *stats;
+    scan.malformed = malformed;
+    scan.torn_tail = torn;
+    const std::string note = scan.describe(path.string());
+    if (!note.empty()) {
+      job.repair_note = note;
+      if (warnings) warnings->push_back(note);
+      // Two-case tail repair before this journal is appended to again.
+      if (scan.torn_tail)
+        truncateToLastNewline(path.string());
+      else if (scan.truncated_tail)
+        completeFinalLine(path.string());
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::string JobStore::nextJobId() const {
+  std::uint64_t next = 0;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(jobs_dir_, ec)) {
+    const std::string stem = ent.path().stem().string();
+    if (stem.size() < 2 || stem[0] != 'j') continue;
+    std::uint64_t n = 0;
+    bool ok = true;
+    for (std::size_t i = 1; i < stem.size(); ++i) {
+      if (stem[i] < '0' || stem[i] > '9') {
+        ok = false;
+        break;
+      }
+      n = n * 10 + static_cast<std::uint64_t>(stem[i] - '0');
+    }
+    if (ok) next = std::max(next, n + 1);
+  }
+  return "j" + std::to_string(next);
+}
+
+}  // namespace rvsym::serve

@@ -1,0 +1,68 @@
+// JobStore — the daemon's persistent job-state store.
+//
+// Generalizes the mutation-campaign resumable journal (PR 4) into the
+// service's source of truth: every job gets one append-only JSONL file
+// under <state_dir>/jobs/<id>.jsonl —
+//
+//   {"rvsym_serve_job":1,"id":"j3","spec":{...}}      header
+//   {"ev":"unit","unit":"dec:slli:b25",...}           one per verdict
+//   {"ev":"final","status":"done",...}                terminal record
+//
+// The daemon appends a unit line the moment a worker reports it and the
+// final line when the job reaches a terminal state, so a kill -9 at any
+// instant loses at most the line being written. On restart loadAll()
+// replays every journal through the shared JSONL reader: done units are
+// skipped on resubmit, a torn final line is dropped (and that unit
+// re-judged), and an unterminated-but-parsable tail is completed with
+// its newline — the same two-case tail repair the campaign runner does.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace rvsym::serve {
+
+struct LoadedJob {
+  std::string id;
+  JobSpec spec;
+  /// unit name -> raw unit-record JSON line (first verdict wins).
+  std::map<std::string, std::string> unit_records;
+  bool finished = false;
+  std::string final_record;  ///< raw final line; empty while running
+  std::string repair_note;   ///< non-empty if the tail needed repair
+};
+
+class JobStore {
+ public:
+  /// Creates <state_dir>/jobs/ if needed.
+  explicit JobStore(std::string state_dir);
+
+  /// Writes the header line of a fresh journal. False if the id exists.
+  bool createJob(const std::string& id, const JobSpec& spec,
+                 std::string* error = nullptr);
+
+  /// Appends one pre-rendered JSON line (unit or final record), flushed
+  /// before returning so a daemon crash right after loses nothing.
+  bool appendLine(const std::string& id, const std::string& json_line);
+
+  /// Replays every journal in the store, repairing torn tails in place.
+  /// Journals that fail to parse as serve jobs are skipped with a note
+  /// in `warnings`.
+  std::vector<LoadedJob> loadAll(std::vector<std::string>* warnings = nullptr);
+
+  /// Smallest "j<N>" not used by any existing journal.
+  std::string nextJobId() const;
+
+  std::string journalPath(const std::string& id) const;
+  const std::string& stateDir() const { return state_dir_; }
+
+ private:
+  std::string state_dir_;
+  std::string jobs_dir_;
+};
+
+}  // namespace rvsym::serve

@@ -1,0 +1,271 @@
+#include "serve/proto.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rvsym::serve {
+
+namespace {
+
+void setError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+std::string errnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Writes all of `data`, riding out EINTR and partial writes.
+bool writeAll(int fd, const char* data, std::size_t size, std::string* error) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      setError(error, errnoString("write"));
+      return false;
+    }
+    if (n == 0) {
+      setError(error, "write returned 0");
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `size` bytes. Returns 1 on success, 0 on EOF before
+/// any byte (clean close), -1 on error / EOF mid-buffer.
+int readAll(int fd, char* data, std::size_t size, std::string* error) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::read(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      setError(error, errnoString("read"));
+      return -1;
+    }
+    if (n == 0) {
+      if (off == 0) return 0;
+      setError(error, "connection closed mid-frame");
+      return -1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+/// Validates a decoded length prefix.
+bool checkLength(std::uint32_t len, std::string* error) {
+  if (len == 0) {
+    setError(error, "zero-length frame");
+    return false;
+  }
+  if (len > kMaxFrameBytes) {
+    setError(error, "oversized frame (" + std::to_string(len) + " bytes, max " +
+                        std::to_string(kMaxFrameBytes) + ")");
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t decodeLength(const char* b) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(b[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b[3]));
+}
+
+}  // namespace
+
+std::string frameHeader(std::uint32_t payload_size) {
+  std::string h(4, '\0');
+  h[0] = static_cast<char>((payload_size >> 24) & 0xff);
+  h[1] = static_cast<char>((payload_size >> 16) & 0xff);
+  h[2] = static_cast<char>((payload_size >> 8) & 0xff);
+  h[3] = static_cast<char>(payload_size & 0xff);
+  return h;
+}
+
+bool writeFrame(int fd, std::string_view payload, std::string* error) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    setError(error, "refusing to send frame of " +
+                        std::to_string(payload.size()) + " bytes");
+    return false;
+  }
+  // One buffer so small frames go out in a single write (and a single
+  // packet on tcp).
+  std::string wire = frameHeader(static_cast<std::uint32_t>(payload.size()));
+  wire.append(payload);
+  return writeAll(fd, wire.data(), wire.size(), error);
+}
+
+std::optional<std::string> readFrame(int fd, std::string* error) {
+  setError(error, "");
+  char hdr[4];
+  const int got = readAll(fd, hdr, sizeof hdr, error);
+  if (got <= 0) return std::nullopt;  // clean EOF (0) or error (-1)
+  const std::uint32_t len = decodeLength(hdr);
+  if (!checkLength(len, error)) return std::nullopt;
+  std::string payload(len, '\0');
+  if (readAll(fd, payload.data(), len, error) != 1) {
+    if (error && error->empty()) setError(error, "connection closed mid-frame");
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  // Shed the consumed prefix before growing, so a long-lived connection
+  // does not accumulate every frame it ever received.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+std::optional<std::string> FrameDecoder::next(std::string* error) {
+  setError(error, "");
+  if (corrupt_) {
+    setError(error, "frame stream corrupt");
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  const std::uint32_t len = decodeLength(buf_.data() + pos_);
+  if (!checkLength(len, error)) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len))
+    return std::nullopt;
+  std::string payload = buf_.substr(pos_ + 4, len);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return payload;
+}
+
+std::string Endpoint::spec() const {
+  if (kind == Kind::Tcp) return "tcp:" + std::to_string(port);
+  return "unix:" + path;
+}
+
+std::optional<Endpoint> parseEndpoint(const std::string& spec,
+                                      std::string* error) {
+  Endpoint ep;
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::Tcp;
+    const std::string digits = spec.substr(4);
+    if (digits.empty() || digits.size() > 5) {
+      setError(error, "bad tcp port in '" + spec + "'");
+      return std::nullopt;
+    }
+    unsigned long port = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        setError(error, "bad tcp port in '" + spec + "'");
+        return std::nullopt;
+      }
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+    }
+    if (port == 0 || port > 65535) {
+      setError(error, "tcp port out of range in '" + spec + "'");
+      return std::nullopt;
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  ep.kind = Endpoint::Kind::Unix;
+  ep.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  if (ep.path.empty()) {
+    setError(error, "empty unix socket path in '" + spec + "'");
+    return std::nullopt;
+  }
+  if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    setError(error, "unix socket path too long: " + ep.path);
+    return std::nullopt;
+  }
+  return ep;
+}
+
+int listenOn(const Endpoint& ep, std::string* error) {
+  if (ep.kind == Endpoint::Kind::Unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      setError(error, errnoString("socket"));
+      return -1;
+    }
+    ::unlink(ep.path.c_str());  // stale socket from a previous daemon
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, 64) < 0) {
+      setError(error, errnoString(("bind/listen " + ep.path).c_str()));
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, errnoString("socket"));
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ep.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    setError(error, errnoString(("bind/listen port " +
+                                 std::to_string(ep.port)).c_str()));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connectTo(const Endpoint& ep, std::string* error) {
+  if (ep.kind == Endpoint::Kind::Unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      setError(error, errnoString("socket"));
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      setError(error, errnoString(("connect " + ep.path).c_str()));
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, errnoString("socket"));
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ep.port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    setError(error, errnoString(("connect port " +
+                                 std::to_string(ep.port)).c_str()));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace rvsym::serve

@@ -1,0 +1,82 @@
+// rvsym-serve-v1 wire protocol — length-prefixed JSON frames.
+//
+// Every message on a serve connection (client <-> daemon and daemon <->
+// worker alike) is one frame:
+//
+//   [4-byte big-endian payload length][payload bytes]
+//
+// The payload is one JSON object. Frames above kMaxFrameBytes are a
+// protocol violation: the receiver reports an error and drops the
+// connection rather than allocating attacker-controlled amounts of
+// memory. Length 0 is likewise invalid (there is no empty message).
+//
+// Two consumption styles:
+//  * readFrame/writeFrame — blocking, loop over partial reads/writes
+//    and EINTR; what workers and the CLI client use;
+//  * FrameDecoder — incremental, fed whatever bytes poll() delivered;
+//    what the daemon's event loop uses.
+//
+// Endpoints are spelled "unix:<path>" (a filesystem socket) or
+// "tcp:<port>" (loopback only — the daemon is not an authenticated
+// network service; remote use goes through an SSH tunnel).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rvsym::serve {
+
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Renders the 4-byte length prefix for `payload_size`.
+std::string frameHeader(std::uint32_t payload_size);
+
+/// Blocking send of one frame. False on I/O error or oversized payload.
+bool writeFrame(int fd, std::string_view payload, std::string* error = nullptr);
+
+/// Blocking receive of one frame. nullopt with empty *error = clean EOF
+/// at a frame boundary; nullopt with non-empty *error = I/O error,
+/// protocol violation (oversized/zero-length frame) or torn EOF.
+std::optional<std::string> readFrame(int fd, std::string* error = nullptr);
+
+/// Incremental frame decoder for poll()-driven loops.
+class FrameDecoder {
+ public:
+  /// Appends bytes received from the peer.
+  void feed(std::string_view bytes);
+  /// Pops the next complete frame, if any. After a protocol violation
+  /// (oversized/zero-length header) every call returns nullopt with
+  /// *error set — the caller should drop the connection.
+  std::optional<std::string> next(std::string* error = nullptr);
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool corrupt_ = false;
+};
+
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;         ///< unix socket path
+  std::uint16_t port = 0;   ///< tcp port (loopback)
+
+  std::string spec() const;  ///< back to "unix:..." / "tcp:..."
+};
+
+/// Parses "unix:<path>" / "tcp:<port>". A bare string with no scheme is
+/// taken as a unix path (the common case).
+std::optional<Endpoint> parseEndpoint(const std::string& spec,
+                                      std::string* error = nullptr);
+
+/// Bound + listening socket fd, or -1 with *error. Unix sockets unlink
+/// a stale path first; tcp binds 127.0.0.1 only.
+int listenOn(const Endpoint& ep, std::string* error = nullptr);
+
+/// Connected socket fd, or -1 with *error.
+int connectTo(const Endpoint& ep, std::string* error = nullptr);
+
+}  // namespace rvsym::serve

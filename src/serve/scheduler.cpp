@@ -1,0 +1,172 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace rvsym::serve {
+
+const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(Options options) : options_(options) {
+  if (options_.units_per_shard == 0) options_.units_per_shard = 1;
+}
+
+Scheduler::JobEntry* Scheduler::find(const std::string& job_id) {
+  const auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+bool Scheduler::submit(const std::string& job_id, unsigned max_shards,
+                       std::vector<std::string> units, std::uint64_t done,
+                       std::string* why) {
+  if (jobs_.count(job_id)) {
+    if (why) *why = "job " + job_id + " already scheduled";
+    return false;
+  }
+  if (activeJobs() >= options_.max_queued_jobs) {
+    if (why)
+      *why = "busy: " + std::to_string(activeJobs()) +
+             " jobs already queued (max " +
+             std::to_string(options_.max_queued_jobs) + ")";
+    return false;
+  }
+  JobEntry e;
+  e.prog.id = job_id;
+  e.prog.units_total = done + units.size();
+  e.prog.units_done = done;
+  e.prog.submit_seq = next_seq_++;
+  e.max_shards = max_shards;
+  std::uint32_t index = 0;
+  for (std::size_t i = 0; i < units.size();
+       i += options_.units_per_shard) {
+    Shard s;
+    s.job_id = job_id;
+    s.index = index++;
+    const std::size_t end =
+        std::min(units.size(), i + options_.units_per_shard);
+    s.units.assign(units.begin() + static_cast<std::ptrdiff_t>(i),
+                   units.begin() + static_cast<std::ptrdiff_t>(end));
+    e.queued.push_back(std::move(s));
+  }
+  // A job admitted with every unit already resumed is immediately done.
+  e.prog.state = e.queued.empty() ? JobState::Done : JobState::Queued;
+  jobs_.emplace(job_id, std::move(e));
+  return true;
+}
+
+std::optional<Shard> Scheduler::nextShard(const std::string& worker_id) {
+  JobEntry* best = nullptr;
+  for (auto& [id, e] : jobs_) {
+    if (terminal(e) || e.queued.empty()) continue;
+    if (e.max_shards != 0 && e.prog.shards_in_flight >= e.max_shards)
+      continue;  // per-job quota
+    if (!best ||
+        e.prog.shards_in_flight < best->prog.shards_in_flight ||
+        (e.prog.shards_in_flight == best->prog.shards_in_flight &&
+         e.prog.submit_seq < best->prog.submit_seq))
+      best = &e;
+  }
+  if (!best) return std::nullopt;
+  Shard s = std::move(best->queued.front());
+  best->queued.pop_front();
+  ++best->prog.shards_in_flight;
+  best->prog.state = JobState::Running;
+  held_[worker_id].emplace_back(s.job_id, s.index);
+  return s;
+}
+
+void Scheduler::onUnitDone(const std::string& job_id) {
+  if (JobEntry* e = find(job_id)) ++e->prog.units_done;
+}
+
+JobState Scheduler::onShardDone(const std::string& worker_id,
+                                const std::string& job_id,
+                                std::uint32_t index) {
+  auto held = held_.find(worker_id);
+  if (held != held_.end()) {
+    auto& shards = held->second;
+    shards.erase(std::remove(shards.begin(), shards.end(),
+                             std::make_pair(job_id, index)),
+                 shards.end());
+  }
+  JobEntry* e = find(job_id);
+  if (!e) return JobState::Failed;
+  if (e->prog.shards_in_flight > 0) --e->prog.shards_in_flight;
+  if (!terminal(*e) && e->queued.empty() &&
+      e->prog.shards_in_flight == 0)
+    e->prog.state = JobState::Done;
+  return e->prog.state;
+}
+
+std::vector<std::string> Scheduler::onWorkerGone(
+    const std::string& worker_id) {
+  std::vector<std::string> failed;
+  const auto held = held_.find(worker_id);
+  if (held == held_.end()) return failed;
+  for (const auto& [job_id, index] : held->second) {
+    (void)index;
+    JobEntry* e = find(job_id);
+    if (!e || terminal(*e)) continue;
+    e->prog.state = JobState::Failed;
+    e->queued.clear();
+    if (e->prog.shards_in_flight > 0) --e->prog.shards_in_flight;
+    failed.push_back(job_id);
+  }
+  held_.erase(held);
+  return failed;
+}
+
+bool Scheduler::cancel(const std::string& job_id) {
+  JobEntry* e = find(job_id);
+  if (!e || terminal(*e)) return false;
+  e->queued.clear();
+  e->prog.state = JobState::Cancelled;
+  return true;
+}
+
+std::optional<JobProgress> Scheduler::progress(
+    const std::string& job_id) const {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.prog;
+}
+
+std::vector<JobProgress> Scheduler::allProgress() const {
+  std::vector<JobProgress> all;
+  for (const auto& [id, e] : jobs_) all.push_back(e.prog);
+  std::sort(all.begin(), all.end(),
+            [](const JobProgress& a, const JobProgress& b) {
+              return a.submit_seq < b.submit_seq;
+            });
+  return all;
+}
+
+bool Scheduler::idle() const {
+  for (const auto& [id, e] : jobs_) {
+    if (e.prog.state == JobState::Done ||
+        e.prog.state == JobState::Failed)
+      continue;
+    if (e.prog.shards_in_flight > 0 || !e.queued.empty()) return false;
+  }
+  return true;
+}
+
+std::uint32_t Scheduler::activeJobs() const {
+  std::uint32_t n = 0;
+  for (const auto& [id, e] : jobs_)
+    if (!(e.prog.state == JobState::Done ||
+          e.prog.state == JobState::Failed ||
+          e.prog.state == JobState::Cancelled))
+      ++n;
+  return n;
+}
+
+}  // namespace rvsym::serve

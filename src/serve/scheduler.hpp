@@ -1,0 +1,126 @@
+// Scheduler — shard assignment across serve workers.
+//
+// Pure in-memory policy, no I/O: the daemon feeds it submissions and
+// worker events, it answers "what should this idle worker do next".
+//
+// Units are grouped into shards of a few units each. Dispatch is
+// pull-based: an idle worker asks for the next shard, and the scheduler
+// picks from the *eligible* job — below its per-job quota — with the
+// fewest shards in flight (ties: oldest submission). Because shards are
+// small and pulled one at a time, a worker that finishes early
+// automatically steals the remaining shards of a job another worker is
+// still chewing on; there is no static unit->worker partition to
+// rebalance.
+//
+// Backpressure: at most `max_queued_jobs` non-terminal jobs are
+// admitted; past that submit() refuses and the client sees "busy"
+// instead of the daemon buffering without bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace rvsym::serve {
+
+enum class JobState : std::uint8_t {
+  Queued,     ///< admitted, no shard dispatched yet
+  Running,    ///< at least one shard dispatched
+  Done,       ///< every unit judged
+  Failed,     ///< a worker died holding one of its shards
+  Cancelled,  ///< client cancel; in-flight shards drain, queue dropped
+};
+
+const char* jobStateName(JobState s);
+
+struct Shard {
+  std::string job_id;
+  std::uint32_t index = 0;  ///< shard number within the job
+  std::vector<std::string> units;
+};
+
+struct JobProgress {
+  std::string id;
+  JobState state = JobState::Queued;
+  std::uint64_t units_total = 0;
+  std::uint64_t units_done = 0;     ///< includes units resumed from disk
+  std::uint32_t shards_in_flight = 0;
+  std::uint64_t submit_seq = 0;     ///< admission order
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    std::uint32_t units_per_shard = 4;
+    std::uint32_t max_queued_jobs = 32;  ///< non-terminal jobs admitted
+  };
+
+  Scheduler() : Scheduler(Options()) {}
+  explicit Scheduler(Options options);
+
+  /// Admits a job whose *remaining* units are `units` (resumed units
+  /// already excluded; `done` of them count toward progress totals).
+  /// False = backpressure refusal, *why says so.
+  bool submit(const std::string& job_id, unsigned max_shards,
+              std::vector<std::string> units, std::uint64_t done = 0,
+              std::string* why = nullptr);
+
+  /// Next shard for the idle worker `worker_id`, honouring quotas and
+  /// fairness. nullopt = nothing runnable right now.
+  std::optional<Shard> nextShard(const std::string& worker_id);
+
+  /// One unit of `job_id` was judged.
+  void onUnitDone(const std::string& job_id);
+
+  /// `worker_id` finished shard `index` of `job_id`. Returns the job's
+  /// state after the event (Done once the last unit of the last shard
+  /// lands).
+  JobState onShardDone(const std::string& worker_id,
+                       const std::string& job_id, std::uint32_t index);
+
+  /// `worker_id` vanished (crash / closed fd). Every job that had a
+  /// shard on it transitions to Failed and its queue is dropped;
+  /// returns those job ids.
+  std::vector<std::string> onWorkerGone(const std::string& worker_id);
+
+  /// Cancels a job: queued shards are dropped; in-flight shards drain.
+  /// False if unknown or already terminal.
+  bool cancel(const std::string& job_id);
+
+  std::optional<JobProgress> progress(const std::string& job_id) const;
+  std::vector<JobProgress> allProgress() const;  ///< admission order
+
+  /// No shard in flight and no shard queued (terminal jobs aside) —
+  /// the daemon's cue for idle cache compaction / drain exit.
+  bool idle() const;
+  /// Non-terminal job count (backpressure accounting).
+  std::uint32_t activeJobs() const;
+
+ private:
+  struct JobEntry {
+    JobProgress prog;
+    unsigned max_shards = 0;  ///< quota, 0 = uncapped
+    std::deque<Shard> queued;
+  };
+
+  JobEntry* find(const std::string& job_id);
+  bool terminal(const JobEntry& e) const {
+    return e.prog.state == JobState::Done ||
+           e.prog.state == JobState::Failed ||
+           e.prog.state == JobState::Cancelled;
+  }
+
+  Options options_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::string, JobEntry> jobs_;
+  /// worker -> shards it currently holds (job id, shard index).
+  std::map<std::string, std::vector<std::pair<std::string, std::uint32_t>>>
+      held_;
+};
+
+}  // namespace rvsym::serve

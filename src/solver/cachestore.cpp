@@ -1,0 +1,358 @@
+#include "solver/cachestore.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <string_view>
+#include <vector>
+
+namespace rvsym::solver {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kHeader = "rvsym-cachestore-v1";
+
+CanonHash coreKey(const std::vector<CanonHash>& elems) {
+  CanonHash key;
+  for (const CanonHash& e : elems) key = canonSetAdd(key, e);
+  return key;
+}
+
+/// Pulls one whitespace-delimited token off `s`. Empty token = end.
+std::string_view nextToken(std::string_view& s) {
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == ' ') ++i;
+  std::size_t j = i;
+  while (j < s.size() && s[j] != ' ') ++j;
+  std::string_view tok = s.substr(i, j - i);
+  s.remove_prefix(j);
+  return tok;
+}
+
+bool parseHex(std::string_view tok, std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = v;
+  return true;
+}
+
+/// Parses "lo:hi" / "lo:hi:val" triples (all hex).
+bool parseHashTok(std::string_view tok, CanonHash& h) {
+  const std::size_t colon = tok.find(':');
+  if (colon == std::string_view::npos) return false;
+  return parseHex(tok.substr(0, colon), h.lo) &&
+         parseHex(tok.substr(colon + 1), h.hi);
+}
+
+bool parseModelTok(std::string_view tok, CanonHash& var, std::uint64_t& val) {
+  const std::size_t c1 = tok.find(':');
+  if (c1 == std::string_view::npos) return false;
+  const std::size_t c2 = tok.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return false;
+  return parseHex(tok.substr(0, c1), var.lo) &&
+         parseHex(tok.substr(c1 + 1, c2 - c1 - 1), var.hi) &&
+         parseHex(tok.substr(c2 + 1), val);
+}
+
+void appendHex(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIx64, v);
+  out += buf;
+}
+
+std::string formatVerdict(const CanonHash& key, bool sat) {
+  std::string line = "v ";
+  appendHex(line, key.lo);
+  line += ' ';
+  appendHex(line, key.hi);
+  line += sat ? " s" : " u";
+  return line;
+}
+
+std::string formatModel(const CanonHash& set, const CexCache::Model& m) {
+  std::string line = "m ";
+  appendHex(line, set.lo);
+  line += ' ';
+  appendHex(line, set.hi);
+  line += ' ';
+  line += std::to_string(m.values.size());
+  for (const auto& [var, val] : m.values) {
+    line += ' ';
+    appendHex(line, var.lo);
+    line += ':';
+    appendHex(line, var.hi);
+    line += ':';
+    appendHex(line, val);
+  }
+  return line;
+}
+
+std::string formatCore(const std::vector<CanonHash>& elems) {
+  std::string line = "c ";
+  line += std::to_string(elems.size());
+  for (const CanonHash& e : elems) {
+    line += ' ';
+    appendHex(line, e.lo);
+    line += ':';
+    appendHex(line, e.hi);
+  }
+  return line;
+}
+
+/// One parsed entry, dispatched to the caller.
+struct EntrySink {
+  std::function<void(const CanonHash&, bool)> verdict;
+  std::function<void(const CanonHash&, CexCache::Model&&)> model;
+  std::function<void(std::vector<CanonHash>&&)> core;
+};
+
+bool parseLine(std::string_view line, const EntrySink& sink) {
+  std::string_view rest = line;
+  const std::string_view kind = nextToken(rest);
+  if (kind == "v") {
+    CanonHash key;
+    if (!parseHex(nextToken(rest), key.lo)) return false;
+    if (!parseHex(nextToken(rest), key.hi)) return false;
+    const std::string_view v = nextToken(rest);
+    if (v != "s" && v != "u") return false;
+    sink.verdict(key, v == "s");
+    return true;
+  }
+  if (kind == "m") {
+    CanonHash set;
+    std::uint64_t n = 0;
+    if (!parseHex(nextToken(rest), set.lo)) return false;
+    if (!parseHex(nextToken(rest), set.hi)) return false;
+    const std::string_view count = nextToken(rest);
+    // The count is decimal; reuse the hex scanner only for hashes.
+    for (const char c : count)
+      if (c < '0' || c > '9') return false;
+    if (count.empty()) return false;
+    for (const char c : count) n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    CexCache::Model m;
+    m.values.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      CanonHash var;
+      std::uint64_t val = 0;
+      if (!parseModelTok(nextToken(rest), var, val)) return false;
+      m.values.emplace_back(var, val);
+    }
+    if (!nextToken(rest).empty()) return false;
+    sink.model(set, std::move(m));
+    return true;
+  }
+  if (kind == "c") {
+    std::uint64_t n = 0;
+    const std::string_view count = nextToken(rest);
+    if (count.empty()) return false;
+    for (const char c : count) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    std::vector<CanonHash> elems;
+    elems.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      CanonHash e;
+      if (!parseHashTok(nextToken(rest), e)) return false;
+      elems.push_back(e);
+    }
+    if (!nextToken(rest).empty()) return false;
+    sink.core(std::move(elems));
+    return true;
+  }
+  return false;
+}
+
+/// Reads one store file. A malformed *final* line is a torn append and
+/// silently skipped; malformed interior lines are counted.
+void readStoreFile(const fs::path& path, const EntrySink& sink,
+                   CacheStore::LoadStats& stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ++stats.files;
+  std::size_t start = 0;
+  bool first = true;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    const bool tail = nl == std::string::npos;
+    if (tail) nl = text.size();
+    const std::string_view line(text.data() + start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line != kHeader) {
+        // Foreign or pre-header-torn file: count and stop reading it.
+        ++stats.bad_lines;
+        return;
+      }
+      continue;
+    }
+    if (!parseLine(line, sink) && !tail) ++stats.bad_lines;
+  }
+}
+
+std::vector<fs::path> storeFiles(const std::string& dir) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    if (!ent.is_regular_file()) continue;
+    const fs::path& p = ent.path();
+    if (p.extension() == ".rvqc") files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+CacheStore::CacheStore(std::string dir, std::string tag)
+    : dir_(std::move(dir)), tag_(std::move(tag)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+}
+
+std::string CacheStore::segmentPath() const {
+  return dir_ + "/seg-" + tag_ + ".rvqc";
+}
+
+CacheStore::LoadStats CacheStore::load(QueryCache* qcache,
+                                       CexCache* cexcache) {
+  LoadStats stats;
+  EntrySink sink;
+  sink.verdict = [&](const CanonHash& key, bool sat) {
+    if (seen_verdicts_.insert(key).second) {
+      ++stats.verdicts;
+      if (qcache) qcache->insert(key, sat);
+    }
+  };
+  sink.model = [&](const CanonHash& set, CexCache::Model&& m) {
+    if (seen_models_.insert(set).second) {
+      ++stats.models;
+      if (cexcache) cexcache->insertModel(set, std::move(m));
+    }
+  };
+  sink.core = [&](std::vector<CanonHash>&& elems) {
+    if (seen_cores_.insert(coreKey(elems)).second) {
+      ++stats.cores;
+      if (cexcache) cexcache->insertCore(std::move(elems));
+    }
+  };
+  for (const fs::path& p : storeFiles(dir_)) readStoreFile(p, sink, stats);
+  return stats;
+}
+
+CacheStore::AbsorbStats CacheStore::absorb(QueryCache* qcache,
+                                           CexCache* cexcache) {
+  // Gather the new facts first so the file write is one short burst.
+  std::string out;
+  AbsorbStats stats;
+  if (qcache) {
+    qcache->forEach([&](const CanonHash& key, bool sat) {
+      if (!seen_verdicts_.insert(key).second) return;
+      ++stats.verdicts;
+      out += formatVerdict(key, sat);
+      out += '\n';
+    });
+  }
+  if (cexcache) {
+    cexcache->forEachModel([&](const CanonHash& set,
+                               const CexCache::Model& m) {
+      if (!seen_models_.insert(set).second) return;
+      ++stats.models;
+      out += formatModel(set, m);
+      out += '\n';
+    });
+    cexcache->forEachCore([&](const std::vector<CanonHash>& elems) {
+      if (!seen_cores_.insert(coreKey(elems)).second) return;
+      ++stats.cores;
+      out += formatCore(elems);
+      out += '\n';
+    });
+  }
+  if (out.empty()) return stats;
+
+  const std::string path = segmentPath();
+  const bool fresh = !fs::exists(path);
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return stats;
+  if (fresh) std::fprintf(f, "%s\n", kHeader);
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return stats;
+}
+
+std::optional<std::uint64_t> CacheStore::compact(const std::string& dir,
+                                                 std::string* error) {
+  // Deduplicate through a scratch handle (its seen-sets), rendering
+  // every surviving entry once.
+  CacheStore scratch(dir, "compact-scratch");
+  LoadStats stats;
+  std::string out;
+  EntrySink sink;
+  sink.verdict = [&](const CanonHash& key, bool sat) {
+    if (!scratch.seen_verdicts_.insert(key).second) return;
+    out += formatVerdict(key, sat);
+    out += '\n';
+  };
+  sink.model = [&](const CanonHash& set, CexCache::Model&& m) {
+    if (!scratch.seen_models_.insert(set).second) return;
+    out += formatModel(set, m);
+    out += '\n';
+  };
+  sink.core = [&](std::vector<CanonHash>&& elems) {
+    if (!scratch.seen_cores_.insert(coreKey(elems)).second) return;
+    out += formatCore(elems);
+    out += '\n';
+  };
+  const std::vector<fs::path> files = storeFiles(dir);
+  // main.rvqc first so its (already deduplicated) entries win.
+  for (const fs::path& p : files)
+    if (p.filename() == "main.rvqc") readStoreFile(p, sink, stats);
+  for (const fs::path& p : files)
+    if (p.filename() != "main.rvqc") readStoreFile(p, sink, stats);
+
+  const std::string tmp = dir + "/main.rvqc.tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) {
+    if (error) *error = "cannot write " + tmp;
+    return std::nullopt;
+  }
+  std::fprintf(f, "%s\n", kHeader);
+  std::fwrite(out.data(), 1, out.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!flushed) {
+    if (error) *error = "short write to " + tmp;
+    return std::nullopt;
+  }
+  std::error_code ec;
+  fs::rename(tmp, dir + "/main.rvqc", ec);
+  if (ec) {
+    if (error) *error = "rename failed: " + ec.message();
+    return std::nullopt;
+  }
+  // Rename-before-unlink: from here every entry lives in the new main,
+  // so dropping the segments cannot lose facts.
+  for (const fs::path& p : files)
+    if (p.filename() != "main.rvqc") fs::remove(p, ec);
+  return scratch.seen_verdicts_.size() + scratch.seen_models_.size() +
+         scratch.seen_cores_.size();
+}
+
+}  // namespace rvsym::solver

@@ -1,0 +1,101 @@
+// Persistent on-disk query-cache store (rvsym-cachestore-v1) — the
+// disk half of the PR 6 acceleration caches, so solver facts survive
+// process exit and warm every later job, restart and tenant.
+//
+// A store is a directory:
+//
+//   <dir>/main.rvqc        the compacted baseline (may be absent)
+//   <dir>/seg-<tag>.rvqc   one append-only segment per live writer
+//
+// Every file is line-oriented text, self-describing and torn-tail
+// tolerant (a writer killed mid-append loses at most its last line):
+//
+//   rvsym-cachestore-v1
+//   v <lo> <hi> s|u                       QueryCache verdict (hex key)
+//   m <setlo> <sethi> <n> <lo>:<hi>:<val>...   CexCache model
+//   c <n> <lo>:<hi>...                    CexCache UNSAT core
+//
+// Keys are the canonical builder-independent hashes of querycache.hpp,
+// which is what makes a store shareable: the same constraint built in
+// any worker's ExprBuilder, in any process, on any day, produces the
+// same key. Every entry is a standalone semantic fact about a query,
+// so duplicate entries across files are benign (compaction drops them)
+// and load order is irrelevant.
+//
+// Concurrency contract (the daemon enforces it):
+//  * one writer per segment file — tags embed the worker identity;
+//  * absorb() is open-append-close, so a segment is complete on disk
+//    the moment the call returns;
+//  * compact() may only run when no segment writer is active. It
+//    rewrites main.rvqc via tmp+rename *before* unlinking segments, so
+//    a crash mid-compaction never loses entries — at worst it leaves
+//    both the new main and an already-merged segment, which is just
+//    duplication.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "solver/cexcache.hpp"
+#include "solver/querycache.hpp"
+
+namespace rvsym::solver {
+
+/// One process's handle on a store directory: loads everything present,
+/// then appends the facts its caches learned to a private segment.
+class CacheStore {
+ public:
+  struct LoadStats {
+    std::uint64_t files = 0;
+    std::uint64_t verdicts = 0;
+    std::uint64_t models = 0;
+    std::uint64_t cores = 0;
+    std::uint64_t bad_lines = 0;  ///< malformed non-tail lines skipped
+  };
+  struct AbsorbStats {
+    std::uint64_t verdicts = 0;
+    std::uint64_t models = 0;
+    std::uint64_t cores = 0;
+  };
+
+  /// `tag` names this writer's segment (seg-<tag>.rvqc); it must be
+  /// unique among live writers. Creates `dir` on first use.
+  CacheStore(std::string dir, std::string tag);
+
+  /// Reads every *.rvqc file in the directory into the caches and
+  /// records the keys seen, so absorb() appends only new facts.
+  /// Null caches skip that entry kind (still recorded as seen).
+  LoadStats load(QueryCache* qcache, CexCache* cexcache);
+
+  /// Appends cache entries not yet known to this handle to the segment
+  /// file. Open-append-close per call; safe to call repeatedly.
+  AbsorbStats absorb(QueryCache* qcache, CexCache* cexcache);
+
+  const std::string& dir() const { return dir_; }
+  std::string segmentPath() const;
+
+  /// Merges main.rvqc plus every segment into a fresh deduplicated
+  /// main.rvqc (tmp+rename), then unlinks the segments. Caller must
+  /// guarantee no writer is mid-absorb. Returns the entry count of the
+  /// new main, nullopt on I/O failure.
+  static std::optional<std::uint64_t> compact(const std::string& dir,
+                                              std::string* error = nullptr);
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CanonHash& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  using KeySet = std::unordered_set<CanonHash, KeyHash>;
+
+  std::string dir_;
+  std::string tag_;
+  KeySet seen_verdicts_;
+  KeySet seen_models_;  ///< by constraint-set hash
+  KeySet seen_cores_;   ///< by canonSetAdd over the core's elements
+};
+
+}  // namespace rvsym::solver

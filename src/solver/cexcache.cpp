@@ -109,4 +109,18 @@ CexCache::Stats CexCache::stats() const {
   return st;
 }
 
+void CexCache::forEachModel(
+    const std::function<void(const CanonHash&, const Model&)>& fn) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [key, model] : shard.map) fn(key, model);
+  }
+}
+
+void CexCache::forEachCore(
+    const std::function<void(const std::vector<CanonHash>&)>& fn) {
+  std::lock_guard<std::mutex> lock(cores_mu_);
+  for (const std::vector<CanonHash>& core : cores_) fn(core);
+}
+
 }  // namespace rvsym::solver

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -89,6 +90,14 @@ class CexCache {
   bool subsumesUnsat(const std::vector<CanonHash>& query_elems);
 
   Stats stats() const;
+
+  /// Enumerates stored models / cores for the persistent cache store,
+  /// one lock at a time (see QueryCache::forEach for the snapshot and
+  /// reentrancy caveats).
+  void forEachModel(
+      const std::function<void(const CanonHash&, const Model&)>& fn);
+  void forEachCore(
+      const std::function<void(const std::vector<CanonHash>&)>& fn);
 
  private:
   struct KeyHash {

@@ -134,4 +134,12 @@ QueryCache::Stats QueryCache::stats() const {
   return s;
 }
 
+void QueryCache::forEach(
+    const std::function<void(const CanonHash&, bool)>& fn) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [key, sat] : shard.map) fn(key, sat);
+  }
+}
+
 }  // namespace rvsym::solver

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -103,6 +104,13 @@ class QueryCache {
   void insert(const CanonHash& key, bool sat);
 
   Stats stats() const;
+
+  /// Enumerates every cached (key, verdict) pair, one shard lock at a
+  /// time (concurrent inserts may or may not be seen — fine for the
+  /// persistent cache store, whose entries are standalone semantic
+  /// facts). Do not call lookup/insert from `fn`: it would deadlock on
+  /// the held shard.
+  void forEach(const std::function<void(const CanonHash&, bool)>& fn);
 
  private:
   struct KeyHash {

@@ -1,0 +1,213 @@
+// Tests for the persistent query-cache store (rvsym-cachestore-v1):
+// round-trip through load/absorb, cross-handle warm start, torn-tail
+// tolerance, and the compaction invariants (dedup, rename-before-unlink
+// leaving a single main.rvqc, idempotence).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "solver/cachestore.hpp"
+#include "solver/cexcache.hpp"
+#include "solver/querycache.hpp"
+
+namespace rvsym::solver {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rvsym_cachestore_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+CanonHash h(std::uint64_t lo, std::uint64_t hi) { return CanonHash{lo, hi}; }
+
+CexCache::Model model(std::initializer_list<
+                      std::pair<CanonHash, std::uint64_t>> values) {
+  CexCache::Model m;
+  for (const auto& [var, val] : values) m.values.emplace_back(var, val);
+  m.sort();
+  return m;
+}
+
+std::vector<std::string> storeFileNames(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& ent : fs::directory_iterator(dir))
+    names.push_back(ent.path().filename().string());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TEST_F(CacheStoreTest, AbsorbThenLoadRoundTrips) {
+  QueryCache qc;
+  CexCache cex;
+  qc.insert(h(1, 2), true);
+  qc.insert(h(3, 4), false);
+  cex.insertModel(h(5, 6), model({{h(10, 11), 0xdeadbeefULL}, {h(12, 13), 7}}));
+  cex.insertCore({h(20, 21), h(22, 23)});
+
+  CacheStore writer(dir(), "w0");
+  const auto absorbed = writer.absorb(&qc, &cex);
+  EXPECT_EQ(absorbed.verdicts, 2u);
+  EXPECT_EQ(absorbed.models, 1u);
+  EXPECT_EQ(absorbed.cores, 1u);
+
+  // A fresh handle (fresh process) loads everything back.
+  QueryCache qc2;
+  CexCache cex2;
+  CacheStore reader(dir(), "w1");
+  const auto loaded = reader.load(&qc2, &cex2);
+  EXPECT_EQ(loaded.verdicts, 2u);
+  EXPECT_EQ(loaded.models, 1u);
+  EXPECT_EQ(loaded.cores, 1u);
+  EXPECT_EQ(loaded.bad_lines, 0u);
+
+  EXPECT_EQ(qc2.lookup(h(1, 2)), std::optional<bool>(true));
+  EXPECT_EQ(qc2.lookup(h(3, 4)), std::optional<bool>(false));
+  const auto m = cex2.lookupModel(h(5, 6));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get(h(10, 11)), std::optional<std::uint64_t>(0xdeadbeefULL));
+  EXPECT_EQ(m->get(h(12, 13)), std::optional<std::uint64_t>(7));
+  // Superset of the stored core subsumes.
+  EXPECT_TRUE(cex2.subsumesUnsat({h(20, 21), h(22, 23), h(99, 99)}));
+}
+
+TEST_F(CacheStoreTest, AbsorbAppendsOnlyNewFacts) {
+  QueryCache qc;
+  qc.insert(h(1, 2), true);
+  CacheStore writer(dir(), "w0");
+  EXPECT_EQ(writer.absorb(&qc, nullptr).verdicts, 1u);
+  // Same cache again: nothing new.
+  EXPECT_EQ(writer.absorb(&qc, nullptr).verdicts, 0u);
+  qc.insert(h(3, 4), false);
+  EXPECT_EQ(writer.absorb(&qc, nullptr).verdicts, 1u);
+
+  // Entries loaded at start are known and never re-appended.
+  QueryCache qc2;
+  CacheStore second(dir(), "w1");
+  EXPECT_EQ(second.load(&qc2, nullptr).verdicts, 2u);
+  EXPECT_EQ(second.absorb(&qc2, nullptr).verdicts, 0u);
+}
+
+TEST_F(CacheStoreTest, TornTailIsSkippedSilently) {
+  QueryCache qc;
+  qc.insert(h(1, 2), true);
+  qc.insert(h(3, 4), false);
+  CacheStore writer(dir(), "w0");
+  writer.absorb(&qc, nullptr);
+
+  // Simulate a writer killed mid-append: chop bytes off the last line.
+  const std::string seg = writer.segmentPath();
+  const auto size = fs::file_size(seg);
+  fs::resize_file(seg, size - 3);
+
+  QueryCache qc2;
+  CacheStore reader(dir(), "w1");
+  const auto loaded = reader.load(&qc2, nullptr);
+  EXPECT_EQ(loaded.verdicts, 1u);
+  EXPECT_EQ(loaded.bad_lines, 0u);  // torn tail, not corruption
+
+  // An *interior* malformed line is corruption and is counted.
+  {
+    std::ofstream out(dir() + "/seg-bad.rvqc");
+    out << "rvsym-cachestore-v1\n"
+        << "v zz zz s\n"
+        << "v 5 6 s\n";
+  }
+  QueryCache qc3;
+  CacheStore reader2(dir(), "w2");
+  const auto loaded2 = reader2.load(&qc3, nullptr);
+  EXPECT_EQ(loaded2.bad_lines, 1u);
+  EXPECT_EQ(qc3.lookup(h(5, 6)), std::optional<bool>(true));
+}
+
+TEST_F(CacheStoreTest, CompactMergesDedupesAndDropsSegments) {
+  // Two writers with overlapping facts.
+  QueryCache qc_a, qc_b;
+  qc_a.insert(h(1, 2), true);
+  qc_a.insert(h(3, 4), false);
+  qc_b.insert(h(3, 4), false);  // duplicate fact
+  qc_b.insert(h(5, 6), true);
+  CacheStore a(dir(), "wa"), b(dir(), "wb");
+  a.absorb(&qc_a, nullptr);
+  b.absorb(&qc_b, nullptr);
+  ASSERT_EQ(storeFileNames(dir()).size(), 2u);
+
+  std::string err;
+  const auto entries = CacheStore::compact(dir(), &err);
+  ASSERT_TRUE(entries.has_value()) << err;
+  EXPECT_EQ(*entries, 3u);
+  EXPECT_EQ(storeFileNames(dir()),
+            std::vector<std::string>{"main.rvqc"});
+
+  // Everything is still loadable, exactly once.
+  QueryCache qc2;
+  CacheStore reader(dir(), "w1");
+  EXPECT_EQ(reader.load(&qc2, nullptr).verdicts, 3u);
+  EXPECT_EQ(qc2.lookup(h(1, 2)), std::optional<bool>(true));
+  EXPECT_EQ(qc2.lookup(h(3, 4)), std::optional<bool>(false));
+  EXPECT_EQ(qc2.lookup(h(5, 6)), std::optional<bool>(true));
+
+  // Idempotent: compacting a compacted store changes nothing.
+  const auto again = CacheStore::compact(dir(), &err);
+  ASSERT_TRUE(again.has_value()) << err;
+  EXPECT_EQ(*again, 3u);
+}
+
+TEST_F(CacheStoreTest, CompactEmptyDirProducesEmptyMain) {
+  fs::create_directories(dir());
+  std::string err;
+  const auto entries = CacheStore::compact(dir(), &err);
+  ASSERT_TRUE(entries.has_value()) << err;
+  EXPECT_EQ(*entries, 0u);
+  QueryCache qc;
+  CacheStore reader(dir(), "w0");
+  EXPECT_EQ(reader.load(&qc, nullptr).verdicts, 0u);
+}
+
+TEST_F(CacheStoreTest, ModelAndCoreRoundTripThroughCompaction) {
+  CexCache cex;
+  cex.insertModel(h(5, 6), model({{h(10, 11), 42}}));
+  cex.insertCore({h(20, 21)});
+  CacheStore writer(dir(), "w0");
+  writer.absorb(nullptr, &cex);
+  std::string err;
+  ASSERT_TRUE(CacheStore::compact(dir(), &err).has_value()) << err;
+
+  CexCache cex2;
+  CacheStore reader(dir(), "w1");
+  const auto loaded = reader.load(nullptr, &cex2);
+  EXPECT_EQ(loaded.models, 1u);
+  EXPECT_EQ(loaded.cores, 1u);
+  const auto m = cex2.lookupModel(h(5, 6));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->get(h(10, 11)), std::optional<std::uint64_t>(42));
+  EXPECT_TRUE(cex2.subsumesUnsat({h(20, 21), h(1, 1)}));
+}
+
+TEST_F(CacheStoreTest, LoadMissingDirIsEmpty) {
+  QueryCache qc;
+  CacheStore reader(dir() + "/nonexistent-sub", "w0");
+  const auto loaded = reader.load(&qc, nullptr);
+  EXPECT_EQ(loaded.verdicts, 0u);
+}
+
+}  // namespace
+}  // namespace rvsym::solver

@@ -398,9 +398,13 @@ int cmdRun(const std::vector<std::string>& args, bool resume) {
       return 2;
     }
     std::unordered_set<std::string> journal_judged;
-    if (!opts.journal_path.empty())
-      for (std::string& id : mut::judgedMutantIds(opts.journal_path))
+    if (!opts.journal_path.empty()) {
+      obs::analyze::JsonlStats scan;
+      for (std::string& id : mut::judgedMutantIds(opts.journal_path, &scan))
         journal_judged.insert(std::move(id));
+      const std::string warn = scan.describe(opts.journal_path);
+      if (!warn.empty()) std::printf("  %s\n", warn.c_str());
+    }
     std::printf("crash bundle %s: %s, %llu mutants judged at dump time\n",
                 crash_bundle.c_str(),
                 bundle->reason.empty() ? "?" : bundle->reason.c_str(),

@@ -36,7 +36,9 @@
 #include <unistd.h>
 #endif
 
+#include "obs/analyze/jsonl.hpp"
 #include "obs/analyze/timeseries.hpp"
+#include "serve/client.hpp"
 
 namespace {
 
@@ -45,15 +47,18 @@ using namespace rvsym::obs::analyze;
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options] FILE\n"
+      "       %s [options] --connect EP\n"
       "  FILE               a --timeseries-out JSONL stream or a\n"
       "                     --status-file JSON object\n"
+      "  --connect EP       poll a running rvsym-serve daemon instead\n"
+      "                     (EP is unix:<path> or tcp:<port>)\n"
       "  --interval S       refresh every S seconds        (default 1)\n"
       "  --once             render one frame and exit\n"
       "  --no-clear         append frames instead of redrawing in place\n"
       "  --line             one compact status line per refresh\n"
       "                     (the default when stdout is not a terminal)\n"
       "  --help\n",
-      argv0);
+      argv0, argv0);
 }
 
 std::string bar(double fraction, std::size_t width) {
@@ -259,11 +264,14 @@ std::string renderFrame(const TimeseriesRun& run, bool finished,
   return out;
 }
 
-/// Incremental tail state over a growing JSONL stream.
+/// Incremental tail state over a growing JSONL stream. The decoder
+/// buffers a trailing partial line across polls; finish() is never
+/// called — on a live stream an unterminated line is "not written
+/// yet", not truncated.
 struct Tail {
   std::string path;
   std::streamoff offset = 0;
-  std::string partial;  ///< trailing bytes with no newline yet
+  JsonlDecoder decoder;
 
   /// Reads any new complete lines into `run`. False when the file
   /// cannot be opened (producer gone / not created yet).
@@ -275,7 +283,7 @@ struct Tail {
     if (size < offset) {
       // Truncated — the producer restarted; start over.
       offset = 0;
-      partial.clear();
+      decoder.reset();
       run = TimeseriesRun{};
       run.path = path;
     }
@@ -284,19 +292,28 @@ struct Tail {
     std::string chunk(static_cast<std::size_t>(size - offset), '\0');
     in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
     offset = size;
-    partial += chunk;
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = partial.find('\n', start);
-      if (nl == std::string::npos) break;
-      parseTimeseriesRecord(
-          std::string_view(partial).substr(start, nl - start), run);
-      start = nl + 1;
-    }
-    partial.erase(0, start);
+    decoder.feed(chunk, [&](std::string_view line, std::size_t, bool) {
+      parseTimeseriesRecord(line, run);
+    });
     return true;
   }
 };
+
+/// Daemon mode: ask a running rvsym-serve for one status record. The
+/// reply is byte-compatible with a --status-file document, so it flows
+/// through the same parser and renderers as the file modes.
+bool pollDaemon(const rvsym::serve::Endpoint& ep, TimeseriesRun& run) {
+  const auto reply =
+      rvsym::serve::requestOnce(ep, "{\"cmd\":\"status_record\"}");
+  if (!reply) return false;
+  TimeseriesRun fresh;
+  fresh.path = ep.spec();
+  if (!parseTimeseriesRecord(*reply, fresh) || fresh.samples.empty())
+    return true;
+  run.header = fresh.header;
+  run.samples = std::move(fresh.samples);
+  return true;
+}
 
 /// Status-file mode: re-read the whole (atomically rewritten) object.
 bool pollStatus(const std::string& path, TimeseriesRun& run) {
@@ -330,9 +347,11 @@ int main(int argc, char** argv) {
   bool line_mode = false;
 #endif
 
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--interval" && i + 1 < argc) interval = std::atof(argv[++i]);
+    else if (arg == "--connect" && i + 1 < argc) connect = argv[++i];
     else if (arg == "--once") once = true;
     else if (arg == "--no-clear") { clear = false; line_mode = false; }
     else if (arg == "--line") line_mode = true;
@@ -347,16 +366,27 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (file.empty()) {
+  if (file.empty() == connect.empty()) {  // exactly one source
     usage(argv[0]);
     return 2;
   }
   if (interval <= 0) interval = 1.0;
 
+  rvsym::serve::Endpoint ep;
+  if (!connect.empty()) {
+    std::string err;
+    const auto parsed = rvsym::serve::parseEndpoint(connect, &err);
+    if (!parsed) {
+      std::fprintf(stderr, "rvsym-top: %s\n", err.c_str());
+      return 2;
+    }
+    ep = *parsed;
+  }
+
   // Mode detection: the first record of a stream is ts_header, a status
   // file is one "status" object. Until the file exists, keep probing.
   bool status_mode = false;
-  {
+  if (connect.empty()) {
     std::ifstream in(file, std::ios::binary);
     std::string first;
     if (in && std::getline(in, first))
@@ -364,16 +394,19 @@ int main(int argc, char** argv) {
   }
 
   TimeseriesRun run;
-  run.path = file;
+  run.path = connect.empty() ? file : ep.spec();
   Tail tail;
   tail.path = file;
 
   int missing_polls = 0;
   for (;;) {
-    const bool present =
-        status_mode ? pollStatus(file, run) : tail.poll(run);
+    const bool present = !connect.empty()
+                             ? pollDaemon(ep, run)
+                             : status_mode ? pollStatus(file, run)
+                                           : tail.poll(run);
     if (!present && ++missing_polls > 3 && !run.samples.empty()) {
-      std::fprintf(stderr, "rvsym-top: %s disappeared\n", file.c_str());
+      std::fprintf(stderr, "rvsym-top: %s disappeared\n",
+                   connect.empty() ? file.c_str() : connect.c_str());
       return 1;
     }
     const bool finished = run.final_record.has_value();
