@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/json.hpp"
+
 namespace rvsym::obs::analyze {
 
 const JsonValue* JsonValue::find(std::string_view key) const {
@@ -313,6 +315,36 @@ class Parser {
 std::optional<JsonValue> parseJson(std::string_view text, std::string* error) {
   if (error) error->clear();
   return Parser(text, error).run();
+}
+
+void writeJson(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null:
+      w.nullValue();
+      break;
+    case JsonValue::Kind::Bool:
+      w.value(v.asBool());
+      break;
+    case JsonValue::Kind::Number:
+      w.value(v.asDouble());
+      break;
+    case JsonValue::Kind::String:
+      w.value(v.asString());
+      break;
+    case JsonValue::Kind::Array:
+      w.beginArray();
+      for (const JsonValue& item : v.items()) writeJson(w, item);
+      w.endArray();
+      break;
+    case JsonValue::Kind::Object:
+      w.beginObject();
+      for (const auto& [key, val] : v.members()) {
+        w.key(key);
+        writeJson(w, val);
+      }
+      w.endObject();
+      break;
+  }
 }
 
 }  // namespace rvsym::obs::analyze

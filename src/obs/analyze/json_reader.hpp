@@ -17,6 +17,10 @@
 #include <string_view>
 #include <vector>
 
+namespace rvsym::obs {
+class JsonWriter;  // obs/json.hpp
+}
+
 namespace rvsym::obs::analyze {
 
 /// One parsed JSON value. Objects preserve nothing about key order (the
@@ -72,5 +76,11 @@ class JsonValue {
 /// (optionally reporting a human-readable reason and byte offset).
 std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string* error = nullptr);
+
+/// Re-renders a parsed value through the streaming writer, as one value
+/// (object members in map order — parsing does not preserve insertion
+/// order). The round-trip tool for consumers that rewrite documents
+/// they parsed, e.g. the chrome-trace merger.
+void writeJson(JsonWriter& w, const JsonValue& v);
 
 }  // namespace rvsym::obs::analyze

@@ -1,0 +1,104 @@
+#include "obs/fleet/aggregate.hpp"
+
+#include <algorithm>
+
+namespace rvsym::obs::fleet {
+
+std::optional<RegistrySnapshot> RegistrySnapshot::fromJson(
+    const analyze::JsonValue& doc) {
+  if (!doc.isObject()) return std::nullopt;
+  RegistrySnapshot snap;
+  if (const analyze::JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, v] : counters->members())
+      if (v.isNumber()) snap.counters[name] = v.asU64();
+  }
+  if (const analyze::JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (!v.isObject()) continue;
+      GaugeSnapshot g;
+      g.value = static_cast<std::int64_t>(v.getNumber("value").value_or(0));
+      g.max = static_cast<std::int64_t>(v.getNumber("max").value_or(0));
+      snap.gauges[name] = g;
+    }
+  }
+  if (const analyze::JsonValue* hists = doc.find("histograms")) {
+    for (const auto& [name, v] : hists->members()) {
+      if (!v.isObject()) continue;
+      HistogramSnapshot h;
+      h.count = v.getU64("count").value_or(0);
+      h.sum_us = v.getU64("sum_us").value_or(0);
+      if (const analyze::JsonValue* buckets = v.find("buckets")) {
+        for (const analyze::JsonValue& b : buckets->items()) {
+          const auto ge = b.getU64("ge_us");
+          const auto n = b.getU64("n");
+          if (!ge || !n) continue;
+          // ge_us is the inclusive lower bound 2^i (0 for bucket 0), so
+          // bucketFor() maps it straight back to the bucket index.
+          h.buckets[Histogram::bucketFor(*ge)] += *n;
+        }
+      }
+      snap.histograms[name] = h;
+    }
+  }
+  return snap;
+}
+
+std::optional<RegistrySnapshot> RegistrySnapshot::fromJsonText(
+    std::string_view text) {
+  const auto doc = analyze::parseJson(text);
+  if (!doc) return std::nullopt;
+  return fromJson(*doc);
+}
+
+RegistrySnapshot RegistrySnapshot::of(const MetricsRegistry& reg) {
+  auto snap = fromJsonText(reg.toJson());
+  return snap ? std::move(*snap) : RegistrySnapshot{};
+}
+
+std::unique_ptr<Histogram> toHistogram(const HistogramSnapshot& h) {
+  auto out = std::make_unique<Histogram>();
+  for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+    if (h.buckets[i] != 0) out->addRaw(i, h.buckets[i], 0);
+  // The per-bucket sample split of the sum is not recorded on the wire;
+  // attach the total so mean-based quantile math stays exact.
+  out->addRaw(0, 0, h.sum_us);
+  return out;
+}
+
+HistogramSnapshot toSnapshot(const Histogram& h) {
+  HistogramSnapshot out;
+  for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+    out.buckets[i] = h.bucket(i);
+  out.count = h.count();
+  out.sum_us = h.sumMicros();
+  return out;
+}
+
+void FleetAggregator::update(const std::string& source,
+                             RegistrySnapshot snap) {
+  sources_[source] = std::move(snap);
+}
+
+RegistrySnapshot FleetAggregator::merged() const {
+  RegistrySnapshot out;
+  std::map<std::string, std::unique_ptr<Histogram>> hists;
+  for (const auto& [source, snap] : sources_) {
+    for (const auto& [name, v] : snap.counters) out.counters[name] += v;
+    for (const auto& [name, g] : snap.gauges) {
+      GaugeSnapshot& dst = out.gauges[name];
+      dst.value += g.value;
+      dst.max = std::max(dst.max, g.max);
+    }
+    for (const auto& [name, h] : snap.histograms) {
+      const auto it = hists.find(name);
+      if (it == hists.end())
+        hists.emplace(name, toHistogram(h));
+      else
+        it->second->merge(*toHistogram(h));
+    }
+  }
+  for (const auto& [name, h] : hists) out.histograms[name] = toSnapshot(*h);
+  return out;
+}
+
+}  // namespace rvsym::obs::fleet

@@ -1,0 +1,154 @@
+#include "obs/fleet/exposition.hpp"
+
+#include <cstdio>
+
+namespace rvsym::obs::fleet {
+
+namespace {
+
+void appendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void appendI64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void typeLine(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string promEscapeLabel(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string promMetricName(std::string_view name) {
+  std::string out = "rvsym_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string renderExposition(const ExpositionInput& in) {
+  std::string out;
+  out.reserve(4096);
+  out += "# rvsym-serve fleet metrics (Prometheus text format 0.0.4).\n";
+  out +=
+      "# Counters and histograms aggregate over every worker ever spawned "
+      "plus the daemon; gauges are per-source.\n";
+
+  for (const auto& [name, v] : in.fleet.counters) {
+    const std::string metric = promMetricName(name) + "_total";
+    typeLine(out, metric, "counter");
+    out += metric;
+    out += ' ';
+    appendU64(out, v);
+    out += '\n';
+  }
+
+  // Gauge series keyed by source. Collect the full name set first so a
+  // gauge one source never reported still renders for the others under
+  // one # TYPE header.
+  std::map<std::string, bool> gauge_names;
+  for (const auto& [source, snap] : in.workers)
+    for (const auto& [name, g] : snap.gauges) gauge_names[name] = true;
+  for (const auto& [name, unused] : gauge_names) {
+    (void)unused;
+    const std::string metric = promMetricName(name);
+    typeLine(out, metric, "gauge");
+    for (const auto& [source, snap] : in.workers) {
+      const auto it = snap.gauges.find(name);
+      if (it == snap.gauges.end()) continue;
+      out += metric;
+      out += "{worker=\"";
+      out += promEscapeLabel(source);
+      out += "\"} ";
+      appendI64(out, it->second.value);
+      out += '\n';
+    }
+  }
+
+  for (const auto& [name, h] : in.fleet.histograms) {
+    const std::string metric = promMetricName(name);
+    typeLine(out, metric, "histogram");
+    std::uint64_t cum = 0;
+    // Buckets 0..kBuckets-2 have upper bound 2^(i+1) µs; the overflow
+    // bucket folds into +Inf.
+    for (unsigned i = 0; i + 1 < Histogram::kBuckets; ++i) {
+      cum += h.buckets[i];
+      out += metric;
+      out += "_bucket{le=\"";
+      appendU64(out, 1ull << (i + 1));
+      out += "\"} ";
+      appendU64(out, cum);
+      out += '\n';
+    }
+    out += metric;
+    out += "_bucket{le=\"+Inf\"} ";
+    appendU64(out, h.count);
+    out += '\n';
+    out += metric;
+    out += "_sum ";
+    appendU64(out, h.sum_us);
+    out += '\n';
+    out += metric;
+    out += "_count ";
+    appendU64(out, h.count);
+    out += '\n';
+  }
+
+  if (!in.jobs.empty()) {
+    typeLine(out, "rvsym_job_units_done", "gauge");
+    for (const JobSeries& j : in.jobs) {
+      out += "rvsym_job_units_done{job=\"" + promEscapeLabel(j.id) +
+             "\",kind=\"" + promEscapeLabel(j.kind) + "\"} ";
+      appendU64(out, j.units_done);
+      out += '\n';
+    }
+    typeLine(out, "rvsym_job_units_total", "gauge");
+    for (const JobSeries& j : in.jobs) {
+      out += "rvsym_job_units_total{job=\"" + promEscapeLabel(j.id) +
+             "\",kind=\"" + promEscapeLabel(j.kind) + "\"} ";
+      appendU64(out, j.units_total);
+      out += '\n';
+    }
+    typeLine(out, "rvsym_job_state", "gauge");
+    for (const JobSeries& j : in.jobs) {
+      out += "rvsym_job_state{job=\"" + promEscapeLabel(j.id) +
+             "\",state=\"" + promEscapeLabel(j.state) + "\"} 1\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rvsym::obs::fleet

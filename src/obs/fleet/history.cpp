@@ -1,0 +1,302 @@
+#include "obs/fleet/history.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/analyze/jsonl.hpp"
+#include "obs/json.hpp"
+
+namespace rvsym::obs::fleet {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Same two-case tail repair as serve::JobStore: a torn tail (writer
+// killed mid-line, bytes unparsable) is dropped back to the last
+// complete line; a parsable-but-unterminated tail just needs its
+// newline so the next append starts a fresh line.
+void truncateToLastNewline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t nl = text.rfind('\n');
+  const std::size_t keep = nl == std::string::npos ? 0 : nl + 1;
+  std::error_code ec;
+  fs::resize_file(path, keep, ec);
+}
+
+void completeFinalLine(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+
+std::string runEnvJson() {
+  JsonWriter w;
+  w.beginObject();
+#if defined(__linux__)
+  w.field("os", "linux");
+#elif defined(__APPLE__)
+  w.field("os", "darwin");
+#else
+  w.field("os", "unknown");
+#endif
+#if defined(__x86_64__)
+  w.field("arch", "x86_64");
+#elif defined(__aarch64__)
+  w.field("arch", "aarch64");
+#else
+  w.field("arch", "unknown");
+#endif
+#if defined(__clang__)
+  w.field("compiler", "clang " + std::to_string(__clang_major__) + "." +
+                          std::to_string(__clang_minor__));
+#elif defined(__GNUC__)
+  w.field("compiler", "gcc " + std::to_string(__GNUC__) + "." +
+                          std::to_string(__GNUC_MINOR__));
+#else
+  w.field("compiler", "unknown");
+#endif
+  w.field("hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  w.field("assertions", false);
+#else
+  w.field("assertions", true);
+#endif
+  w.endObject();
+  return w.str();
+}
+
+std::string RunRecord::toJsonLine() const {
+  JsonWriter w;
+  w.beginObject();
+  w.field("schema", "rvsym-runs-v1");
+  w.field("job", job);
+  w.field("kind", kind);
+  w.field("scenario", scenario);
+  w.field("solver_opt", solver_opt);
+  w.field("status", status);
+  w.field("units_total", units_total);
+  w.field("units_done", units_done);
+  w.field("unit_errors", unit_errors);
+  w.key("verdicts").beginObject();
+  for (const auto& [name, n] : verdicts) w.field(name, n);
+  w.endObject();
+  w.field("solver_checks", solver_checks);
+  w.field("instructions", instructions);
+  w.field("qc_sat_solves", qc_sat_solves);
+  w.field("qc_hits", qc_hits);
+  w.field("qc_misses", qc_misses);
+  w.field("t_wall_s", wall_s);
+  w.key("env").rawValue(env_json.empty() ? "{}" : env_json);
+  w.endObject();
+  return w.str();
+}
+
+std::optional<RunRecord> RunRecord::fromJson(const analyze::JsonValue& v) {
+  if (!v.isObject()) return std::nullopt;
+  if (v.getString("schema").value_or("") != "rvsym-runs-v1")
+    return std::nullopt;
+  RunRecord r;
+  r.job = v.getString("job").value_or("");
+  if (r.job.empty()) return std::nullopt;
+  r.kind = v.getString("kind").value_or("");
+  r.scenario = v.getString("scenario").value_or("");
+  r.solver_opt = v.getString("solver_opt").value_or("");
+  r.status = v.getString("status").value_or("");
+  r.units_total = v.getU64("units_total").value_or(0);
+  r.units_done = v.getU64("units_done").value_or(0);
+  r.unit_errors = v.getU64("unit_errors").value_or(0);
+  if (const analyze::JsonValue* verdicts = v.find("verdicts")) {
+    for (const auto& [name, n] : verdicts->members())
+      if (n.isNumber()) r.verdicts[name] = n.asU64();
+  }
+  r.solver_checks = v.getU64("solver_checks").value_or(0);
+  r.instructions = v.getU64("instructions").value_or(0);
+  r.qc_sat_solves = v.getU64("qc_sat_solves").value_or(0);
+  r.qc_hits = v.getU64("qc_hits").value_or(0);
+  r.qc_misses = v.getU64("qc_misses").value_or(0);
+  r.wall_s = v.getNumber("t_wall_s").value_or(0);
+  if (const analyze::JsonValue* env = v.find("env")) {
+    JsonWriter w;
+    w.beginObject();
+    for (const auto& [name, val] : env->members()) {
+      if (val.isString())
+        w.field(name, val.asString());
+      else if (val.isBool())
+        w.field(name, val.asBool());
+      else if (val.isNumber())
+        w.field(name, val.asU64());
+    }
+    w.endObject();
+    r.env_json = w.str();
+  }
+  return r;
+}
+
+bool RunHistory::append(const RunRecord& r) {
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (!f) return false;
+  const std::string line = r.toJsonLine();
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+      std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<RunRecord> RunHistory::loadAll(
+    std::vector<std::string>* warnings) {
+  std::vector<RunRecord> runs;
+  std::error_code ec;
+  if (!fs::exists(path_, ec)) return runs;
+
+  std::size_t malformed = 0;
+  bool torn = false;
+  const auto stats = analyze::forEachJsonlLine(
+      path_, [&](std::string_view line, std::size_t, bool truncated) {
+        if (line.empty()) return;
+        const auto v = analyze::parseJson(line);
+        if (!v) {
+          if (truncated)
+            torn = true;
+          else
+            ++malformed;
+          return;
+        }
+        auto r = RunRecord::fromJson(*v);
+        if (r)
+          runs.push_back(std::move(*r));
+        else
+          ++malformed;
+      });
+  if (!stats) {
+    if (warnings) warnings->push_back(path_ + ": unreadable");
+    return runs;
+  }
+  analyze::JsonlStats scan = *stats;
+  scan.malformed = malformed;
+  scan.torn_tail = torn;
+  const std::string note = scan.describe(path_);
+  if (!note.empty()) {
+    if (warnings) warnings->push_back(note);
+    if (scan.torn_tail)
+      truncateToLastNewline(path_);
+    else if (scan.truncated_tail)
+      completeFinalLine(path_);
+  }
+  return runs;
+}
+
+std::string renderHistoryList(const std::vector<RunRecord>& runs) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-8s %-8s %-10s %9s %9s %12s %10s\n",
+                "job", "kind", "status", "units", "killed", "solver_chk",
+                "t_wall_s");
+  out << line;
+  for (const RunRecord& r : runs) {
+    const auto killed = r.verdicts.find("killed");
+    std::snprintf(line, sizeof(line),
+                  "%-8s %-8s %-10s %4llu/%-4llu %9llu %12llu %10.2f\n",
+                  r.job.c_str(), r.kind.c_str(), r.status.c_str(),
+                  static_cast<unsigned long long>(r.units_done),
+                  static_cast<unsigned long long>(r.units_total),
+                  static_cast<unsigned long long>(
+                      killed == r.verdicts.end() ? 0 : killed->second),
+                  static_cast<unsigned long long>(r.solver_checks), r.wall_s);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string renderHistoryShow(const RunRecord& r) {
+  std::ostringstream out;
+  out << "job:           " << r.job << "\n"
+      << "kind:          " << r.kind << "\n"
+      << "scenario:      " << r.scenario << "\n"
+      << "solver_opt:    " << r.solver_opt << "\n"
+      << "status:        " << r.status << "\n"
+      << "units:         " << r.units_done << "/" << r.units_total << "\n"
+      << "unit_errors:   " << r.unit_errors << "\n";
+  out << "verdicts:     ";
+  if (r.verdicts.empty()) out << " (none)";
+  for (const auto& [name, n] : r.verdicts) out << " " << name << "=" << n;
+  out << "\n";
+  out << "solver_checks: " << r.solver_checks << "\n"
+      << "instructions:  " << r.instructions << "\n"
+      << "qc_sat_solves: " << r.qc_sat_solves << "\n"
+      << "qcache:        " << r.qc_hits << " hits / " << r.qc_misses
+      << " misses\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", r.wall_s);
+  out << "t_wall_s:      " << buf << "\n"
+      << "env:           " << (r.env_json.empty() ? "{}" : r.env_json)
+      << "\n";
+  return out.str();
+}
+
+std::optional<std::vector<RegressFinding>> flagRegressions(
+    const std::vector<RunRecord>& runs, const std::string& baseline_path,
+    const RegressOptions& opts, std::string* error) {
+  std::ifstream in(baseline_path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot read baseline " + baseline_path;
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto doc = analyze::parseJson(text);
+  if (!doc || doc->getString("schema").value_or("") != "rvsym-bench-run-v1") {
+    if (error)
+      *error = baseline_path + ": not an rvsym-bench-run-v1 document";
+    return std::nullopt;
+  }
+  // table2 is the mutant-hunt bench: one hunt judges one mutant, the
+  // same unit of work a serve campaign shards out, so its median wall
+  // time per hunt is the natural per-unit budget anchor.
+  const analyze::JsonValue* benches = doc->find("benches");
+  double budget_us = 0;
+  if (benches) {
+    for (const analyze::JsonValue& b : benches->items()) {
+      if (b.getString("name").value_or("") != "table2") continue;
+      const double wall = b.getNumber("wall_median_us").value_or(0);
+      std::uint64_t hunts = 0;
+      if (const analyze::JsonValue* report = b.find("report"))
+        if (const analyze::JsonValue* payload = report->find("payload"))
+          if (const analyze::JsonValue* hlist = payload->find("hunts"))
+            hunts = hlist->items().size();
+      if (wall > 0 && hunts > 0)
+        budget_us = wall / static_cast<double>(hunts);
+      break;
+    }
+  }
+  if (budget_us <= 0) {
+    if (error)
+      *error = baseline_path + ": no usable table2 bench (wall_median_us "
+               "and payload.hunts required)";
+    return std::nullopt;
+  }
+  budget_us *= 1.0 + opts.slack_pct / 100.0;
+
+  std::vector<RegressFinding> findings;
+  for (const RunRecord& r : runs) {
+    if (r.units_done == 0) continue;
+    const double per_unit = r.wall_s * 1e6 / static_cast<double>(r.units_done);
+    if (per_unit > budget_us)
+      findings.push_back({r.job, per_unit, budget_us});
+  }
+  return findings;
+}
+
+}  // namespace rvsym::obs::fleet

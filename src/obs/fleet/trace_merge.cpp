@@ -1,0 +1,154 @@
+#include "obs/fleet/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/analyze/json_reader.hpp"
+#include "obs/json.hpp"
+
+namespace rvsym::obs::fleet {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct InputTrace {
+  std::string name;  ///< file stem, used as the process name
+  std::uint64_t epoch_us = 0;
+  bool has_epoch = false;
+  analyze::JsonValue doc;
+};
+
+}  // namespace
+
+std::optional<TraceMergeStats> mergeChromeTraces(
+    const std::vector<std::string>& inputs, const std::string& out_path,
+    std::string* error) {
+  TraceMergeStats stats;
+  std::vector<InputTrace> traces;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ++stats.skipped;
+      continue;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto doc = analyze::parseJson(text);
+    if (!doc || !doc->isObject() || !doc->find("traceEvents") ||
+        !doc->find("traceEvents")->isArray()) {
+      ++stats.skipped;
+      continue;
+    }
+    InputTrace t;
+    t.name = fs::path(path).stem().string();
+    // "worker-w0.trace" stem -> drop the inner .trace too.
+    if (t.name.size() > 6 && t.name.rfind(".trace") == t.name.size() - 6)
+      t.name.resize(t.name.size() - 6);
+    if (const analyze::JsonValue* other = doc->find("otherData")) {
+      if (const auto epoch = other->getU64("epoch_us")) {
+        t.epoch_us = *epoch;
+        t.has_epoch = true;
+      }
+      if (const auto name = other->getString("process_name")) t.name = *name;
+    }
+    t.doc = std::move(*doc);
+    traces.push_back(std::move(t));
+  }
+  if (traces.empty()) {
+    if (error) *error = "no chrome-trace inputs found";
+    return std::nullopt;
+  }
+
+  std::uint64_t min_epoch = UINT64_MAX;
+  for (const InputTrace& t : traces)
+    if (t.has_epoch) min_epoch = std::min(min_epoch, t.epoch_us);
+  if (min_epoch == UINT64_MAX) min_epoch = 0;
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    const InputTrace& t = traces[k];
+    const std::uint64_t pid = k + 1;
+    const std::uint64_t shift = t.has_epoch ? t.epoch_us - min_epoch : 0;
+
+    w.beginObject();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", std::uint64_t{0});
+    w.key("args").beginObject();
+    w.field("name", t.name);
+    w.endObject();
+    w.endObject();
+    ++stats.events;
+
+    for (const analyze::JsonValue& ev : t.doc.find("traceEvents")->items()) {
+      if (!ev.isObject()) continue;
+      w.beginObject();
+      const bool metadata = ev.getString("ph").value_or("") == "M";
+      for (const auto& [key, val] : ev.members()) {
+        if (key == "pid") {
+          w.field("pid", pid);
+        } else if (key == "ts" && !metadata && val.isNumber()) {
+          w.field("ts", val.asU64() + shift);
+        } else {
+          w.key(key);
+          analyze::writeJson(w, val);
+        }
+      }
+      w.endObject();
+      ++stats.events;
+    }
+    ++stats.files;
+  }
+  w.endArray();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").beginObject();
+  w.field("producer", "rvsym-trace-merge");
+  w.field("files", static_cast<std::uint64_t>(stats.files));
+  w.endObject();
+  w.endObject();
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot write " + out_path;
+    return std::nullopt;
+  }
+  out << w.str() << "\n";
+  if (!out) {
+    if (error) *error = "write failed: " + out_path;
+    return std::nullopt;
+  }
+  return stats;
+}
+
+std::optional<TraceMergeStats> mergeChromeTraceDir(const std::string& dir,
+                                                   const std::string& out_path,
+                                                   std::string* error) {
+  std::vector<std::string> inputs;
+  std::error_code ec;
+  const fs::path out_abs = fs::weakly_canonical(out_path, ec);
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    if (!ent.is_regular_file() || ent.path().extension() != ".json") continue;
+    std::error_code ec2;
+    if (!out_abs.empty() && fs::weakly_canonical(ent.path(), ec2) == out_abs)
+      continue;
+    inputs.push_back(ent.path().string());
+  }
+  if (ec) {
+    if (error) *error = "cannot list " + dir;
+    return std::nullopt;
+  }
+  std::sort(inputs.begin(), inputs.end());
+  if (inputs.empty()) {
+    if (error) *error = "no .json files under " + dir;
+    return std::nullopt;
+  }
+  return mergeChromeTraces(inputs, out_path, error);
+}
+
+}  // namespace rvsym::obs::fleet

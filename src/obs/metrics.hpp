@@ -90,6 +90,30 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Bucket-wise add of `other` into this histogram — the fleet
+  /// aggregation primitive (DESIGN.md §14). Power-of-2 buckets are
+  /// identical across histograms, so merging is exact at bucket
+  /// resolution: quantiles of the merged histogram match quantiles of
+  /// the pooled samples to within one bucket. Safe against concurrent
+  /// record() on either side; the merged totals are a snapshot.
+  void merge(const Histogram& other) {
+    for (unsigned i = 0; i < kBuckets; ++i)
+      buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_micros_.fetch_add(other.sumMicros(), std::memory_order_relaxed);
+  }
+
+  /// Raw accumulation for rebuilding a histogram from a serialized
+  /// snapshot (a metrics_report frame): adds `n` samples to bucket `i`
+  /// and `sum_us` microseconds to the sum. Out-of-range buckets clamp
+  /// to the overflow bucket.
+  void addRaw(unsigned i, std::uint64_t n, std::uint64_t sum_us) {
+    if (i >= kBuckets) i = kBuckets - 1;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_micros_.fetch_add(sum_us, std::memory_order_relaxed);
+  }
+
   /// Approximate quantile from the power-of-2 buckets: the inclusive
   /// lower bound of the bucket holding the q-th sample (q in [0,1]).
   /// Resolution is the bucket width — good enough to tell a 100µs p99

@@ -58,6 +58,20 @@ void SpanCollector::addEnding(
   add(std::move(s));
 }
 
+std::uint64_t SpanCollector::epochSteadyUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          epoch_.time_since_epoch())
+          .count());
+}
+
+std::vector<Span> SpanCollector::drain() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Span> out;
+  out.swap(spans_);
+  return out;
+}
+
 std::size_t SpanCollector::size() const {
   const std::lock_guard<std::mutex> lk(mu_);
   return spans_.size();

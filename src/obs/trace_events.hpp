@@ -58,6 +58,13 @@ class SpanCollector {
     return sinceEpochUs(std::chrono::steady_clock::now());
   }
 
+  /// The collector epoch on the steady clock's own timebase, in
+  /// microseconds. steady_clock is CLOCK_MONOTONIC on Linux — one
+  /// timebase per boot shared by every process — which is what lets the
+  /// trace merger (obs/fleet/trace_merge.hpp) align collections from
+  /// the daemon and its forked workers on a single timeline.
+  std::uint64_t epochSteadyUs() const;
+
   /// Appends one complete span. Thread-safe; drops (and counts) spans
   /// past the cap.
   void add(Span s);
@@ -69,6 +76,12 @@ class SpanCollector {
 
   std::size_t size() const;
   std::uint64_t dropped() const;
+
+  /// Moves out every recorded span in insertion order; the epoch, track
+  /// assignments and drop count stay. Producers that batch spans over a
+  /// wire (the serve worker's spans_report frames) call this once per
+  /// shipment.
+  std::vector<Span> drain();
 
   /// All spans sorted by (tid, ts_us, dur_us desc) — parents before
   /// children at equal timestamps, per-track monotonic ts.

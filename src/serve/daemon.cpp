@@ -11,15 +11,23 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "obs/bundle.hpp"
+#include "obs/fleet/aggregate.hpp"
+#include "obs/fleet/exposition.hpp"
+#include "obs/fleet/history.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_events.hpp"
 #include "serve/job.hpp"
 #include "serve/jobstore.hpp"
 #include "serve/worker.hpp"
@@ -27,6 +35,8 @@
 #include "solver/options.hpp"
 
 namespace rvsym::serve {
+
+namespace fleet = obs::fleet;
 
 namespace {
 
@@ -70,6 +80,26 @@ struct Daemon::Impl {
   bool compacted_since_idle = false;
   unsigned worker_seq = 0;
 
+  // ---- fleet observability (DESIGN.md §14) ------------------------------
+
+  obs::MetricsRegistry self;   ///< the daemon's own instruments
+  fleet::FleetAggregator agg;  ///< worker id -> latest shipped snapshot
+  std::unique_ptr<fleet::RunHistory> history;
+  std::string env_json = fleet::runEnvJson();
+  /// Daemon-side spans (job lifecycle); drained into traces["daemon"].
+  obs::SpanCollector self_spans;
+  /// One pending chrome-trace file per process (daemon + workers):
+  /// events pre-rendered with pid 1, re-pidded by the merge tool.
+  struct ProcTrace {
+    std::uint64_t epoch_us = 0;
+    std::set<std::uint32_t> tids;
+    std::vector<std::string> events;  ///< rendered trace-event objects
+  };
+  std::map<std::string, ProcTrace> traces;
+  int metrics_fd = -1;  ///< --metrics-listen socket (-1 = off)
+  /// Scrape connections: tiny HTTP/1.0 exchanges served inline.
+  std::map<int, std::string> scrapes;  ///< fd -> buffered request bytes
+
   struct Client {
     int fd = -1;
     FrameDecoder dec;
@@ -92,6 +122,8 @@ struct Daemon::Impl {
     bool finished = false;
     std::string status;        ///< done / failed / cancelled
     std::string final_record;  ///< raw final line
+    /// Submit (or resume) instant — the daemon-side job span's start.
+    std::chrono::steady_clock::time_point started;
   };
 
   std::map<int, Client> clients;
@@ -106,6 +138,29 @@ struct Daemon::Impl {
     start_time = last_activity = std::chrono::steady_clock::now();
     listen_fd = listenOn(options.endpoint, error);
     if (listen_fd < 0) return false;
+    if (options.metrics_listen) {
+      metrics_fd = listenOn(*options.metrics_listen, error);
+      if (metrics_fd < 0) return false;
+    }
+    if (options.history) {
+      history = std::make_unique<fleet::RunHistory>(options.state_dir +
+                                                    "/runs.rvhx");
+      // Load once at startup purely for the tail repair: an append
+      // after a kill -9 must start on a fresh line.
+      std::vector<std::string> repair;
+      history->loadAll(&repair);
+      for (const std::string& msg : repair)
+        std::fprintf(stderr, "rvsym-serve: %s\n", msg.c_str());
+    }
+    if (!options.trace_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.trace_dir, ec);
+      if (ec) {
+        if (error) *error = "cannot create " + options.trace_dir;
+        return false;
+      }
+      flushDaemonTrace();  // daemon.trace.json exists from the start
+    }
 
     // Resume: every unfinished journal is re-admitted with its judged
     // units skipped. Unit verdicts are deterministic, so the resumed
@@ -113,6 +168,7 @@ struct Daemon::Impl {
     std::vector<std::string> warnings;
     for (LoadedJob& loaded : store.loadAll(&warnings)) {
       JobRec rec;
+      rec.started = start_time;
       rec.spec = loaded.spec;
       rec.unit_records = std::move(loaded.unit_records);
       rec.finished = loaded.finished;
@@ -213,6 +269,7 @@ struct Daemon::Impl {
       ::close(sv[1]);
     }
     logf("spawned worker %s", w->id.c_str());
+    self.counter("serve.workers_spawned").add(1);
     workers.emplace(sv[0], std::move(w));
     return true;
   }
@@ -223,6 +280,7 @@ struct Daemon::Impl {
     std::unique_ptr<Worker> w = std::move(it->second);
     workers.erase(it);
     ::close(fd);
+    if (respawn) self.counter("serve.worker_deaths").add(1);
     for (const std::string& job_id : sched.onWorkerGone(w->id)) {
       logf("worker %s died holding a shard of %s", w->id.c_str(),
            job_id.c_str());
@@ -284,9 +342,20 @@ struct Daemon::Impl {
       // the truth the restart resumes from.
       store.appendLine(job_id, payload);
       job->second.unit_records.emplace(unit, payload);
+      self.counter("serve.units_recorded").add(1);
       sched.onUnitDone(job_id);
       notifyWatchers(job_id, payload);
       touch();
+      return;
+    }
+    if (ev == "metrics_report") {
+      if (const JsonValue* reg = v->find("registry"))
+        if (auto snap = fleet::RegistrySnapshot::fromJson(*reg))
+          agg.update(w.id, std::move(*snap));
+      return;
+    }
+    if (ev == "spans_report") {
+      if (!options.trace_dir.empty()) absorbSpansReport(w.id, *v);
       return;
     }
     if (ev == "shard_done") {
@@ -300,6 +369,100 @@ struct Daemon::Impl {
       touch();
       return;
     }
+  }
+
+  // ---- fleet traces -----------------------------------------------------
+
+  /// Buffers one spans_report batch and rewrites the worker's trace
+  /// file (files are per-process small; a full rewrite keeps them valid
+  /// JSON at every instant for a mid-campaign merge).
+  void absorbSpansReport(const std::string& worker_id, const JsonValue& v) {
+    ProcTrace& t = traces[worker_id];
+    t.epoch_us = v.getU64("epoch_us").value_or(t.epoch_us);
+    const JsonValue* spans = v.find("spans");
+    if (!spans || !spans->isArray()) return;
+    for (const JsonValue& s : spans->items()) {
+      if (!s.isObject()) continue;
+      const auto tid = s.getU64("tid").value_or(0);
+      t.tids.insert(static_cast<std::uint32_t>(tid));
+      JsonWriter e;
+      e.beginObject();
+      e.field("name", s.getString("name").value_or(""));
+      e.field("cat", s.getString("cat").value_or("phase"));
+      e.field("ph", "X");
+      e.field("ts", s.getU64("ts_us").value_or(0));
+      e.field("dur", s.getU64("dur_us").value_or(0));
+      e.field("pid", std::uint64_t{1});
+      e.field("tid", tid);
+      if (const JsonValue* args = s.find("args")) {
+        e.key("args");
+        obs::analyze::writeJson(e, *args);
+      }
+      e.endObject();
+      t.events.push_back(e.str());
+    }
+    writeProcTrace(worker_id);
+  }
+
+  /// Moves the daemon's own spans into traces["daemon"] and rewrites
+  /// daemon.trace.json.
+  void flushDaemonTrace() {
+    ProcTrace& t = traces["daemon"];
+    t.epoch_us = self_spans.epochSteadyUs();
+    for (const obs::Span& s : self_spans.drain()) {
+      t.tids.insert(s.tid);
+      JsonWriter e;
+      e.beginObject();
+      e.field("name", s.name);
+      e.field("cat", s.cat);
+      e.field("ph", "X");
+      e.field("ts", s.ts_us);
+      e.field("dur", s.dur_us);
+      e.field("pid", std::uint64_t{1});
+      e.field("tid", static_cast<std::uint64_t>(s.tid));
+      if (!s.args.empty()) {
+        e.key("args").beginObject();
+        for (const auto& [k, val] : s.args) e.key(k).rawValue(val);
+        e.endObject();
+      }
+      e.endObject();
+      t.events.push_back(e.str());
+    }
+    writeProcTrace("daemon");
+  }
+
+  void writeProcTrace(const std::string& id) {
+    const ProcTrace& t = traces[id];
+    const std::string pname =
+        id == "daemon" ? std::string("rvsym-serve daemon") : "worker " + id;
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const std::uint32_t tid : t.tids) {
+      w.beginObject();
+      w.field("name", "thread_name");
+      w.field("ph", "M");
+      w.field("pid", std::uint64_t{1});
+      w.field("tid", static_cast<std::uint64_t>(tid));
+      w.key("args").beginObject();
+      w.field("name", pname + " t" + std::to_string(tid));
+      w.endObject();
+      w.endObject();
+    }
+    for (const std::string& e : t.events) w.rawValue(e);
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.key("otherData").beginObject();
+    w.field("producer", "rvsym-serve");
+    w.field("process_name", pname);
+    w.field("epoch_us", t.epoch_us);
+    w.endObject();
+    w.endObject();
+    const std::string path =
+        options.trace_dir + "/" +
+        (id == "daemon" ? "daemon.trace.json" : "worker-" + id + ".trace.json");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) out << w.str() << "\n";
   }
 
   // ---- jobs -------------------------------------------------------------
@@ -333,6 +496,7 @@ struct Daemon::Impl {
     std::map<std::string, std::uint64_t> verdicts;
     std::uint64_t errors = 0, solver_checks = 0, instructions = 0;
     std::uint64_t qc_sat_solves = 0, qc_hits = 0, qc_misses = 0;
+    double wall_s = 0;
     for (const auto& [unit, line] : rec.unit_records) {
       const auto v = parseJson(line);
       if (!v) continue;
@@ -345,6 +509,7 @@ struct Daemon::Impl {
       qc_sat_solves += v->getU64("qc_sat_solves").value_or(0);
       qc_hits += v->getU64("qc_hits").value_or(0);
       qc_misses += v->getU64("qc_misses").value_or(0);
+      wall_s += v->getNumber("t_seconds").value_or(0);
     }
 
     JsonWriter w;
@@ -369,6 +534,42 @@ struct Daemon::Impl {
     rec.status = status;
     rec.final_record = w.str();
     store.appendLine(job_id, rec.final_record);
+    self.counter("serve.jobs_" + status).add(1);
+    if (history) {
+      fleet::RunRecord run;
+      run.job = job_id;
+      run.kind = rec.spec.kind;
+      run.scenario = rec.spec.scenario;
+      run.solver_opt = rec.spec.solver_opt;
+      run.status = status;
+      run.units_total = rec.units_total;
+      run.units_done = rec.unit_records.size();
+      run.unit_errors = errors;
+      run.verdicts = verdicts;
+      run.solver_checks = solver_checks;
+      run.instructions = instructions;
+      run.qc_sat_solves = qc_sat_solves;
+      run.qc_hits = qc_hits;
+      run.qc_misses = qc_misses;
+      run.wall_s = wall_s;
+      run.env_json = env_json;
+      if (!history->append(run))
+        std::fprintf(stderr, "rvsym-serve: cannot append %s\n",
+                     history->path().c_str());
+    }
+    if (!options.trace_dir.empty()) {
+      obs::Span s;
+      s.name = "job " + job_id;
+      s.cat = "phase";
+      s.tid = self_spans.threadTrack();
+      s.ts_us = self_spans.sinceEpochUs(rec.started);
+      s.dur_us = self_spans.nowUs() - s.ts_us;
+      s.args = {{"kind", "\"" + obs::jsonEscape(rec.spec.kind) + "\""},
+                {"status", "\"" + obs::jsonEscape(status) + "\""},
+                {"units", std::to_string(rec.unit_records.size())}};
+      self_spans.add(std::move(s));
+      flushDaemonTrace();
+    }
     logf("%s %s (%zu units)", job_id.c_str(), status.c_str(),
          rec.unit_records.size());
     notifyWatchers(job_id, rec.final_record);
@@ -396,7 +597,61 @@ struct Daemon::Impl {
     }
     const std::string cmd = v->getString("cmd").value_or("");
     if (cmd == "ping") {
-      writeFrame(c.fd, okReply([](JsonWriter& w) { w.field("ev", "pong"); }));
+      writeFrame(c.fd, okReply([&](JsonWriter& w) {
+        w.field("ev", "pong");
+        w.field("workers", std::uint64_t{workers.size()});
+        w.field("jobs", std::uint64_t{jobs.size()});
+        w.field("draining", draining);
+      }));
+      return;
+    }
+    if (cmd == "metrics") {
+      writeFrame(c.fd, okReply([&](JsonWriter& w) {
+        w.field("exposition", renderMetricsText());
+      }));
+      return;
+    }
+    if (cmd == "workers") {
+      writeFrame(c.fd, okReply([&](JsonWriter& w) {
+        std::set<std::string> live;
+        for (const auto& [fd, worker] : workers) live.insert(worker->id);
+        w.key("workers").beginArray();
+        std::set<std::string> reported;
+        for (const auto& [id, snap] : agg.sources()) {
+          if (id == "daemon") continue;
+          reported.insert(id);
+          w.beginObject();
+          w.field("id", id);
+          w.field("connected", live.count(id) != 0);
+          const auto counter = [&](const char* name) -> std::uint64_t {
+            const auto it = snap.counters.find(name);
+            return it == snap.counters.end() ? 0 : it->second;
+          };
+          w.field("units", counter("serve.units"));
+          w.field("solver_queries", counter("solver.queries"));
+          w.field("qc_hits", counter("qcache.hits"));
+          w.field("qc_misses", counter("qcache.misses"));
+          const auto hit = snap.histograms.find("solver.check_us");
+          if (hit != snap.histograms.end()) {
+            const auto h = fleet::toHistogram(hit->second);
+            w.field("sat_solves", h->count());
+            w.field("check_p50_us", h->quantileMicros(0.5));
+            w.field("check_p90_us", h->quantileMicros(0.9));
+          } else {
+            w.field("sat_solves", std::uint64_t{0});
+          }
+          w.endObject();
+        }
+        // Live workers that have not shipped a snapshot yet still show.
+        for (const std::string& id : live) {
+          if (reported.count(id)) continue;
+          w.beginObject();
+          w.field("id", id);
+          w.field("connected", true);
+          w.endObject();
+        }
+        w.endArray();
+      }));
       return;
     }
     if (cmd == "submit") {
@@ -501,7 +756,9 @@ struct Daemon::Impl {
     JobRec rec;
     rec.spec = *spec;
     rec.units_total = units->size();
+    rec.started = std::chrono::steady_clock::now();
     jobs.emplace(job_id, std::move(rec));
+    self.counter("serve.jobs_submitted").add(1);
     logf("submitted %s: %s, %zu units", job_id.c_str(),
          spec->kind.c_str(), units->size());
     writeFrame(c.fd, okReply([&](JsonWriter& w) {
@@ -626,6 +883,66 @@ struct Daemon::Impl {
     return w.str();
   }
 
+  /// The Prometheus text exposition: fleet aggregate (workers + the
+  /// daemon's own registry), per-worker gauge series, per-job series.
+  /// Gauges are set here, at render time, from daemon state — they are
+  /// the only non-monotone values and stay stable while idle, so two
+  /// idle scrapes are byte-identical.
+  std::string renderMetricsText() {
+    self.gauge("serve.workers").set(
+        static_cast<std::int64_t>(workers.size()));
+    std::int64_t active = 0;
+    for (const auto& [id, rec] : jobs)
+      if (!rec.finished) ++active;
+    self.gauge("serve.jobs_active").set(active);
+
+    fleet::ExpositionInput in;
+    in.workers = agg.sources();
+    in.workers["daemon"] = fleet::RegistrySnapshot::of(self);
+    fleet::FleetAggregator all = agg;
+    all.update("daemon", fleet::RegistrySnapshot::of(self));
+    in.fleet = all.merged();
+    for (const auto& [id, rec] : jobs) {
+      fleet::JobSeries js;
+      js.id = id;
+      js.kind = rec.spec.kind;
+      if (rec.finished) {
+        js.state = rec.status;
+        js.units_done = rec.unit_records.size();
+        js.units_total = rec.units_total;
+      } else if (const auto prog = sched.progress(id)) {
+        js.state = jobStateName(prog->state);
+        js.units_done = prog->units_done;
+        js.units_total = prog->units_total;
+      } else {
+        js.state = "unknown";
+        js.units_done = rec.unit_records.size();
+        js.units_total = rec.units_total;
+      }
+      in.jobs.push_back(std::move(js));
+    }
+    return fleet::renderExposition(in);
+  }
+
+  /// Serves one buffered HTTP scrape once the blank line arrives. The
+  /// exchange is deliberately minimal: any request gets the exposition
+  /// (a scraper that GETs /metrics and one that GETs / both succeed).
+  void serveScrape(int fd) {
+    const std::string body = renderMetricsText();
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n\r\n" + body;
+    std::size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t put = ::send(fd, resp.data() + off, resp.size() - off,
+                                 MSG_NOSIGNAL);
+      if (put <= 0) break;
+      off += static_cast<std::size_t>(put);
+    }
+  }
+
   // ---- event loop -------------------------------------------------------
 
   void touch() {
@@ -693,6 +1010,8 @@ struct Daemon::Impl {
 
       fds.clear();
       fds.push_back({listen_fd, POLLIN, 0});
+      if (metrics_fd >= 0) fds.push_back({metrics_fd, POLLIN, 0});
+      for (const auto& [fd, req] : scrapes) fds.push_back({fd, POLLIN, 0});
       for (const auto& [fd, c] : clients) fds.push_back({fd, POLLIN, 0});
       for (const auto& [fd, w] : workers) fds.push_back({fd, POLLIN, 0});
       const int n = ::poll(fds.data(), fds.size(), 200);
@@ -707,6 +1026,28 @@ struct Daemon::Impl {
         if (p.fd == listen_fd) {
           const int cfd = ::accept(listen_fd, nullptr, nullptr);
           if (cfd >= 0) clients[cfd].fd = cfd;
+          continue;
+        }
+        if (metrics_fd >= 0 && p.fd == metrics_fd) {
+          const int sfd = ::accept(metrics_fd, nullptr, nullptr);
+          if (sfd >= 0) scrapes[sfd];
+          continue;
+        }
+        if (const auto sit = scrapes.find(p.fd); sit != scrapes.end()) {
+          const ssize_t got = ::recv(p.fd, buf, sizeof buf, 0);
+          if (got > 0)
+            sit->second.append(buf, static_cast<std::size_t>(got));
+          // End of request headers, connection closed, or a request far
+          // past any sane GET line: answer (or give up) and close.
+          const bool complete =
+              sit->second.find("\r\n\r\n") != std::string::npos ||
+              sit->second.find("\n\n") != std::string::npos;
+          if (complete)
+            serveScrape(p.fd);
+          else if (got > 0 && sit->second.size() < 8192)
+            continue;
+          ::close(p.fd);
+          scrapes.erase(sit);
           continue;
         }
         if (clients.count(p.fd)) {
@@ -749,12 +1090,16 @@ struct Daemon::Impl {
     }
 
     shutdownWorkers();
+    if (!options.trace_dir.empty()) flushDaemonTrace();
     if (!options.cache_dir.empty()) {
       std::string err;
       solver::CacheStore::compact(options.cache_dir, &err);
     }
     for (const auto& [fd, c] : clients) ::close(fd);
     clients.clear();
+    for (const auto& [fd, req] : scrapes) ::close(fd);
+    scrapes.clear();
+    if (metrics_fd >= 0) ::close(metrics_fd);
     if (listen_fd >= 0) ::close(listen_fd);
     if (options.endpoint.kind == Endpoint::Kind::Unix)
       ::unlink(options.endpoint.path.c_str());

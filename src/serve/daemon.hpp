@@ -23,6 +23,7 @@
 
 #include <csignal>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "serve/proto.hpp"
@@ -35,6 +36,17 @@ struct DaemonOptions {
   std::string state_dir;          ///< job store root (required)
   std::string cache_dir;          ///< persistent cache store ("" = none)
   std::string crash_dir;          ///< workers' forensics bundles ("" = off)
+  /// Optional second listen endpoint answering plain HTTP GETs with the
+  /// Prometheus text exposition, so external scrapers never need the
+  /// frame protocol. Unset = off.
+  std::optional<Endpoint> metrics_listen;
+  /// When set, the daemon maintains Chrome-trace files here —
+  /// daemon.trace.json plus worker-<id>.trace.json from shipped
+  /// spans_report batches — for `rvsym-report trace-events --merge`.
+  std::string trace_dir;
+  /// Append one rvsym-runs-v1 record per finalized job to
+  /// <state_dir>/runs.rvhx (DESIGN.md §14).
+  bool history = true;
   unsigned workers = 2;
   unsigned engine_jobs = 1;       ///< exploration threads per hunt
   Scheduler::Options sched{};

@@ -17,6 +17,7 @@
 #include "obs/flightrec/crashdump.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_events.hpp"
 #include "serve/job.hpp"
 #include "serve/proto.hpp"
 #include "solver/cachestore.hpp"
@@ -24,6 +25,7 @@
 #include "solver/corpus.hpp"
 #include "solver/options.hpp"
 #include "solver/querycache.hpp"
+#include "solver/telemetry.hpp"
 
 namespace rvsym::serve {
 
@@ -36,6 +38,11 @@ struct WorkerState {
   solver::QueryCache qcache;
   solver::CexCache cexcache;
   std::unique_ptr<solver::CacheStore> store;
+  /// Solver-query spans only (attachSpans, never attachMetrics: the
+  /// fleet solver-query counter is shipped journal-aligned below so the
+  /// scraped total provably equals the per-job journal sums).
+  solver::SolverTelemetry telemetry;
+  obs::SpanCollector spans;
 };
 
 /// Maps a job spec onto campaign options for judgeMutant. The scenario
@@ -58,6 +65,7 @@ mut::CampaignOptions campaignOptionsFor(const JobSpec& spec,
   solver::parseSolverOpt(spec.solver_opt, &opts.solver_opt);
   opts.shared_cex_cache = &state.cexcache;
   opts.metrics = &state.registry;
+  opts.telemetry = &state.telemetry;
   return opts;
 }
 
@@ -138,10 +146,65 @@ void runUnit(const JobSpec& spec, const std::string& unit,
   w.field("paths", r.paths);
   w.field("partial_paths", r.partial_paths);
   w.field("solver_checks", r.solver_checks);
+  // Mirror the journal field into the registry so the fleet-wide
+  // rvsym_solver_queries_total exposition equals the journal sums
+  // exactly (telemetry's own counter also covers checks the cache
+  // layers absorbed, which the journal does not — hence the mirror).
+  state.registry.counter("solver.queries").add(r.solver_checks);
   w.field("t_seconds", r.seconds);
   w.field("qc_sat_solves", check_us.count() - solves_before);
   w.field("qc_hits", qc_hits.get() - hits_before);
   w.field("qc_misses", qc_misses.get() - misses_before);
+}
+
+/// One metrics_report frame: the full registry snapshot (cumulative
+/// over the worker's lifetime — the daemon keeps the latest per worker
+/// and sums across workers, DESIGN.md §14).
+bool sendMetricsReport(int fd, WorkerState& state, const WorkerConfig& config,
+                       const std::string& job, std::uint64_t shard) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("ev", "metrics_report");
+  w.field("tag", config.tag);
+  w.field("job", job);
+  w.field("shard", shard);
+  w.key("registry").rawValue(state.registry.toJson());
+  w.endObject();
+  return writeFrame(fd, w.str());
+}
+
+/// One spans_report frame: drains the collector. epoch_us anchors the
+/// batch on the machine-wide steady clock so the daemon-side trace
+/// files merge onto one timeline.
+bool sendSpansReport(int fd, WorkerState& state, const WorkerConfig& config,
+                     const std::string& job, std::uint64_t shard) {
+  const std::vector<obs::Span> batch = state.spans.drain();
+  if (batch.empty()) return true;
+  obs::JsonWriter w;
+  w.beginObject();
+  w.field("ev", "spans_report");
+  w.field("tag", config.tag);
+  w.field("job", job);
+  w.field("shard", shard);
+  w.field("epoch_us", state.spans.epochSteadyUs());
+  w.key("spans").beginArray();
+  for (const obs::Span& s : batch) {
+    w.beginObject();
+    w.field("name", s.name);
+    w.field("cat", s.cat);
+    w.field("tid", static_cast<std::uint64_t>(s.tid));
+    w.field("ts_us", s.ts_us);
+    w.field("dur_us", s.dur_us);
+    if (!s.args.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [k, v] : s.args) w.key(k).rawValue(v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return writeFrame(fd, w.str());
 }
 
 }  // namespace
@@ -150,6 +213,7 @@ int workerMain(int fd, const WorkerConfig& config) {
   WorkerState state;
   state.qcache.attachMetrics(state.registry);
   state.cexcache.attachMetrics(state.registry);
+  state.telemetry.attachSpans(&state.spans);
 
   solver::CacheStore::LoadStats loaded;
   if (!config.cache_dir.empty()) {
@@ -222,7 +286,9 @@ int workerMain(int fd, const WorkerConfig& config) {
       for (const auto& u : arr->items())
         if (u.isString()) units.push_back(u.asString());
 
+    const std::uint64_t shard_t0 = state.spans.nowUs();
     for (const std::string& unit : units) {
+      const std::uint64_t unit_t0 = state.spans.nowUs();
       obs::JsonWriter w;
       w.beginObject();
       w.field("ev", "unit");
@@ -235,6 +301,21 @@ int workerMain(int fd, const WorkerConfig& config) {
         w.field("error", "shard carried no parsable spec");
       w.endObject();
       if (!writeFrame(fd, w.str())) return 1;
+      state.registry.counter("serve.units").add(1);
+      {
+        obs::Span s;
+        s.name = "unit " + unit;
+        s.cat = "phase";
+        s.tid = state.spans.threadTrack();
+        s.ts_us = unit_t0;
+        s.dur_us = state.spans.nowUs() - unit_t0;
+        s.args = {{"job", "\"" + obs::jsonEscape(job) + "\""},
+                  {"shard", std::to_string(shard)}};
+        state.spans.add(std::move(s));
+      }
+      // Per-unit shipping keeps the daemon's aggregate current: when a
+      // job finalizes, every one of its units' counters has landed.
+      if (!sendMetricsReport(fd, state, config, job, shard)) return 1;
       ++units_done;
       if (crash_after != 0 && units_done >= crash_after) {
         // Deterministic mid-shard death for the resilience tests: a
@@ -252,6 +333,32 @@ int workerMain(int fd, const WorkerConfig& config) {
     solver::CacheStore::AbsorbStats absorbed;
     if (state.store)
       absorbed = state.store->absorb(&state.qcache, &state.cexcache);
+    // Job and shard envelope spans over the whole judging interval:
+    // added parent-first at the same (tid, ts), so the sorted trace —
+    // and the cross-process merge — nests job -> shard -> unit ->
+    // solver-query on this worker's track.
+    {
+      const std::uint64_t now = state.spans.nowUs();
+      obs::Span js;
+      js.name = "job " + job;
+      js.cat = "phase";
+      js.tid = state.spans.threadTrack();
+      js.ts_us = shard_t0;
+      js.dur_us = now - shard_t0;
+      js.args = {{"job", "\"" + obs::jsonEscape(job) + "\""}};
+      obs::Span ss;
+      ss.name = "shard " + job + "/" + std::to_string(shard);
+      ss.cat = "phase";
+      ss.tid = js.tid;
+      ss.ts_us = shard_t0;
+      ss.dur_us = js.dur_us;
+      ss.args = {{"job", "\"" + obs::jsonEscape(job) + "\""},
+                 {"shard", std::to_string(shard)},
+                 {"units", std::to_string(units.size())}};
+      state.spans.add(std::move(js));
+      state.spans.add(std::move(ss));
+    }
+    if (!sendSpansReport(fd, state, config, job, shard)) return 1;
     obs::JsonWriter w;
     w.beginObject();
     w.field("ev", "shard_done");

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include "obs/analyze/json_reader.hpp"
+#include "obs/fleet/history.hpp"
+#include "obs/fleet/trace_merge.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "serve/job.hpp"
@@ -769,6 +772,164 @@ TEST(ServeE2E, CancelQueuedJobFinalizesCancelled) {
   const std::string status = final_rec->getString("status").value_or("");
   EXPECT_TRUE(status == "cancelled" || status == "done") << status;
   EXPECT_TRUE(requestOnce(d.endpoint(), "{\"cmd\":\"ping\"}").has_value());
+}
+
+// --- Fleet observability (DESIGN.md §14) --------------------------------------------------
+
+TEST(ServeE2E, MetricsExpositionMatchesJournalAndIsByteStable) {
+  DaemonHarness d;
+  d.opts.trace_dir = d.dir.path + "/traces";
+  ASSERT_TRUE(d.start(d.dir.path + "/state", "", /*workers=*/2));
+
+  std::string j0, j1;
+  const auto f0 = submitAndWait(
+      d.endpoint(), quickMutateSpec({"dec:srai:b13", "swap:bne:beq"}), &j0);
+  const auto f1 =
+      submitAndWait(d.endpoint(), quickMutateSpec({"stuck:addi:b0=0"}), &j1);
+  ASSERT_TRUE(f0.has_value());
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_EQ(f0->getString("status").value_or(""), "done");
+  ASSERT_EQ(f1->getString("status").value_or(""), "done");
+
+  const auto scrape = [&]() -> std::string {
+    const auto reply = requestOnce(d.endpoint(), "{\"cmd\":\"metrics\"}");
+    EXPECT_TRUE(reply.has_value());
+    if (!reply) return "";
+    const auto v = parseJson(*reply);
+    EXPECT_TRUE(v.has_value() && v->getBool("ok").value_or(false));
+    return v ? v->getString("exposition").value_or("") : "";
+  };
+  const std::string text = scrape();
+
+  // The acceptance identity: the fleet-wide solver-query counter at
+  // quiescence equals the journal solver_checks sums exactly (the
+  // worker mirrors the journal field per unit, so no telemetry-vs-
+  // journal drift can creep in).
+  std::uint64_t journal_checks = 0;
+  for (const auto& job : JobStore(d.dir.path + "/state").loadAll())
+    for (const auto& [unit, line] : job.unit_records)
+      if (const auto v = parseJson(line))
+        journal_checks += v->getU64("solver_checks").value_or(0);
+  ASSERT_GT(journal_checks, 0u);
+  const std::string needle =
+      "rvsym_solver_queries_total " + std::to_string(journal_checks) + "\n";
+  EXPECT_NE(text.find(needle), std::string::npos)
+      << "journal sum " << journal_checks << " not in exposition:\n"
+      << text;
+
+  // Per-job series for both jobs, with their terminal state.
+  EXPECT_NE(text.find("rvsym_job_state{job=\"" + j0 + "\",state=\"done\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rvsym_job_state{job=\"" + j1 + "\",state=\"done\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rvsym_serve_units_recorded_total 3"),
+            std::string::npos);
+
+  // No time-derived values render: an idle daemon scrapes byte-stable.
+  EXPECT_EQ(text, scrape());
+
+  // The workers request summarizes the same per-source snapshots.
+  const auto wreply = requestOnce(d.endpoint(), "{\"cmd\":\"workers\"}");
+  ASSERT_TRUE(wreply.has_value());
+  const auto wv = parseJson(*wreply);
+  ASSERT_TRUE(wv.has_value());
+  ASSERT_TRUE(wv->getBool("ok").value_or(false));
+  const JsonValue* wlist = wv->find("workers");
+  ASSERT_NE(wlist, nullptr);
+  EXPECT_GE(wlist->items().size(), 2u);
+  std::uint64_t worker_units = 0;
+  for (const auto& w : wlist->items())
+    worker_units += w.getU64("units").value_or(0);
+  EXPECT_EQ(worker_units, 3u);
+}
+
+TEST(ServeE2E, RunHistoryAppendsPerFinalizedJob) {
+  const std::string state_dir = makeTempDir();
+  std::string j0, j1;
+  {
+    DaemonHarness d;
+    ASSERT_TRUE(d.start(state_dir, "", /*workers=*/2));
+    const auto f0 = submitAndWait(
+        d.endpoint(), quickMutateSpec({"dec:srai:b13", "swap:bne:beq"}), &j0);
+    const auto f1 = submitAndWait(d.endpoint(),
+                                  quickMutateSpec({"stuck:addi:b0=0"}), &j1);
+    ASSERT_TRUE(f0.has_value());
+    ASSERT_TRUE(f1.has_value());
+  }
+  rvsym::obs::fleet::RunHistory store(state_dir + "/runs.rvhx");
+  std::vector<std::string> warnings;
+  const auto runs = store.loadAll(&warnings);
+  EXPECT_TRUE(warnings.empty());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].job, j0);
+  EXPECT_EQ(runs[0].status, "done");
+  EXPECT_EQ(runs[0].units_done, 2u);
+  EXPECT_GT(runs[0].solver_checks, 0u);
+  EXPECT_GT(runs[0].wall_s, 0.0);
+  EXPECT_EQ(runs[1].job, j1);
+  EXPECT_EQ(runs[1].units_done, 1u);
+  // The journal's verdict mix lands in the record.
+  std::uint64_t verdict_total = 0;
+  for (const auto& [name, n] : runs[0].verdicts) verdict_total += n;
+  EXPECT_EQ(verdict_total, 2u);
+  fs::remove_all(state_dir);
+}
+
+TEST(ServeE2E, TraceDirYieldsMergeableChromeTraces) {
+  DaemonHarness d;
+  d.opts.trace_dir = d.dir.path + "/traces";
+  ASSERT_TRUE(d.start(d.dir.path + "/state", "", /*workers=*/2));
+  std::string job_id;
+  const auto final_rec = submitAndWait(
+      d.endpoint(), quickMutateSpec({"dec:srai:b13", "swap:bne:beq"}),
+      &job_id);
+  ASSERT_TRUE(final_rec.has_value());
+  d.drainAndJoin();
+
+  // The daemon trace always exists; at least one worker judged units.
+  EXPECT_TRUE(fs::exists(d.opts.trace_dir + "/daemon.trace.json"));
+  std::size_t worker_traces = 0;
+  for (const auto& ent : fs::directory_iterator(d.opts.trace_dir))
+    if (ent.path().filename().string().rfind("worker-", 0) == 0)
+      ++worker_traces;
+  ASSERT_GE(worker_traces, 1u);
+
+  const std::string out = d.opts.trace_dir + "/merged.trace.json";
+  std::string err;
+  const auto stats =
+      rvsym::obs::fleet::mergeChromeTraceDir(d.opts.trace_dir, out, &err);
+  ASSERT_TRUE(stats.has_value()) << err;
+  EXPECT_EQ(stats->files, 1u + worker_traces);
+
+  // The merged timeline holds the job -> shard -> unit containment
+  // within the worker's pid.
+  const std::ifstream in(out, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = parseJson(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::optional<JsonValue> job_span, shard_span;
+  for (const auto& ev : events->items()) {
+    if (ev.getString("ph").value_or("") != "X") continue;
+    const std::string name = ev.getString("name").value_or("");
+    // The worker-side job envelope (the daemon also emits one under its
+    // own pid; the worker's carries the shard).
+    if (name == "job " + job_id && ev.getU64("pid").value_or(0) != 1)
+      job_span = ev;
+    if (name == "shard " + job_id + "/0") shard_span = ev;
+  }
+  ASSERT_TRUE(job_span.has_value());
+  ASSERT_TRUE(shard_span.has_value());
+  EXPECT_EQ(job_span->getU64("pid").value_or(0),
+            shard_span->getU64("pid").value_or(0));
+  const std::uint64_t jts = job_span->getU64("ts").value_or(0);
+  const std::uint64_t jdur = job_span->getU64("dur").value_or(0);
+  const std::uint64_t sts = shard_span->getU64("ts").value_or(0);
+  const std::uint64_t sdur = shard_span->getU64("dur").value_or(0);
+  EXPECT_LE(jts, sts);
+  EXPECT_LE(sts + sdur, jts + jdur);
 }
 
 }  // namespace

@@ -30,9 +30,25 @@
 //       attribution, interleaved per-thread event timeline, the last
 //       solver queries with durations, and the in-flight query that was
 //       on the SAT solver when the bundle was dumped.
+//
+//   rvsym-report trace-events --merge <dir> [--out FILE]
+//       Stitch the per-process Chrome traces a campaign daemon writes
+//       with --trace-events-dir (daemon.trace.json + one file per
+//       worker) into a single timeline: each file gets a distinct pid,
+//       timestamps are aligned on the shared steady-clock epoch, and
+//       the job -> shard -> unit -> solver-query span nesting survives.
+//
+//   rvsym-report history list <runs.rvhx|state-dir>
+//   rvsym-report history show <runs.rvhx|state-dir> <job>
+//   rvsym-report history regress <runs.rvhx|state-dir> --baseline FILE
+//       [--slack PCT]
+//       Query the durable run-history store the daemon appends per
+//       finalized job. `regress` exits 1 when any run's mean per-unit
+//       judging time exceeds the baseline-derived budget.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +58,8 @@
 #include "obs/analyze/diff.hpp"
 #include "obs/analyze/path_tree.hpp"
 #include "obs/analyze/timeseries.hpp"
+#include "obs/fleet/history.hpp"
+#include "obs/fleet/trace_merge.hpp"
 
 namespace {
 
@@ -57,6 +75,11 @@ int usage() {
       "       rvsym-report diff <runA> <runB>\n"
       "       rvsym-report timeseries <run.jsonl> [other.jsonl]\n"
       "       rvsym-report crash <bundle-dir> [--timeline N] [--queries N]\n"
+      "       rvsym-report trace-events --merge <dir> [--out FILE]\n"
+      "       rvsym-report history list <runs.rvhx|state-dir>\n"
+      "       rvsym-report history show <runs.rvhx|state-dir> <job>\n"
+      "       rvsym-report history regress <runs.rvhx|state-dir>\n"
+      "           --baseline FILE [--slack PCT]\n"
       "\n"
       "Consumes the artifacts a run of `rvsym-verify --trace-out ...`\n"
       "produces. `diff` accepts trace files or run directories and exits\n"
@@ -241,6 +264,111 @@ int cmdCrash(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmdTraceEvents(const std::vector<std::string>& args) {
+  std::string dir, out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--merge" && i + 1 < args.size()) {
+      dir = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+#ifdef RVSYM_OBS_NO_TRACING
+  std::fprintf(stderr,
+               "trace-events needs tracing, which this build compiled out "
+               "(RVSYM_DISABLE_TRACING)\n");
+  return 2;
+#else
+  if (out.empty()) out = dir + "/merged.trace.json";
+  std::string err;
+  const auto stats = obs::fleet::mergeChromeTraceDir(dir, out, &err);
+  if (!stats) {
+    std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("merged %llu files, %llu events -> %s",
+              static_cast<unsigned long long>(stats->files),
+              static_cast<unsigned long long>(stats->events), out.c_str());
+  if (stats->skipped)
+    std::printf(" (%llu inputs skipped)",
+                static_cast<unsigned long long>(stats->skipped));
+  std::printf("\n");
+  return 0;
+#endif
+}
+
+/// `runs.rvhx` or the state dir holding it both address the store.
+std::string historyPath(const std::string& arg) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(arg, ec)) return arg + "/runs.rvhx";
+  return arg;
+}
+
+int cmdHistory(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string verb = args[0];
+  std::string store_arg, job, baseline;
+  obs::fleet::RegressOptions ropts;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--baseline" && i + 1 < args.size()) {
+      baseline = args[++i];
+    } else if (args[i] == "--slack" && i + 1 < args.size()) {
+      ropts.slack_pct = std::atof(args[++i].c_str());
+    } else if (store_arg.empty() && args[i][0] != '-') {
+      store_arg = args[i];
+    } else if (job.empty() && args[i][0] != '-') {
+      job = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (store_arg.empty()) return usage();
+  obs::fleet::RunHistory store(historyPath(store_arg));
+  std::vector<std::string> warnings;
+  const std::vector<obs::fleet::RunRecord> runs = store.loadAll(&warnings);
+  for (const std::string& w : warnings)
+    std::fprintf(stderr, "rvsym-report: %s\n", w.c_str());
+
+  if (verb == "list") {
+    if (!job.empty()) return usage();
+    std::fputs(obs::fleet::renderHistoryList(runs).c_str(), stdout);
+    return 0;
+  }
+  if (verb == "show") {
+    if (job.empty()) return usage();
+    for (const auto& r : runs) {
+      if (r.job != job) continue;
+      std::fputs(obs::fleet::renderHistoryShow(r).c_str(), stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "rvsym-report: no run record for job '%s'\n",
+                 job.c_str());
+    return 1;
+  }
+  if (verb == "regress") {
+    if (baseline.empty() || !job.empty()) return usage();
+    std::string err;
+    const auto findings =
+        obs::fleet::flagRegressions(runs, baseline, ropts, &err);
+    if (!findings) {
+      std::fprintf(stderr, "rvsym-report: %s\n", err.c_str());
+      return 2;
+    }
+    if (findings->empty()) {
+      std::printf("no regressions: %zu runs within budget\n", runs.size());
+      return 0;
+    }
+    for (const auto& f : *findings)
+      std::printf("REGRESSION %s: %.0f us/unit exceeds budget %.0f us/unit\n",
+                  f.job.c_str(), f.us_per_unit, f.budget_us);
+    return 1;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,5 +381,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmdDiff(args);
   if (cmd == "timeseries") return cmdTimeseries(args);
   if (cmd == "crash") return cmdCrash(args);
+  if (cmd == "trace-events") return cmdTraceEvents(args);
+  if (cmd == "history") return cmdHistory(args);
   return usage();
 }

@@ -21,7 +21,11 @@
 //   rvsym-serve status --socket EP [--job ID] [--json]
 //   rvsym-serve cancel --socket EP --job ID
 //   rvsym-serve drain  --socket EP [--wait]
-//   rvsym-serve ping   --socket EP
+//   rvsym-serve ping   --socket EP [--json]
+//   rvsym-serve scrape --socket EP
+//       Fetch the fleet-wide Prometheus text exposition (DESIGN.md §14)
+//       over the frame protocol and print it verbatim. The same text is
+//       served as plain HTTP on the daemon's --metrics-listen endpoint.
 #include <unistd.h>
 
 #include <chrono>
@@ -56,6 +60,8 @@ int usage() {
       "           [--cache-dir DIR] [--workers N] [--engine-jobs N]\n"
       "           [--units-per-shard N] [--max-queued-jobs N]\n"
       "           [--idle-compact SECS] [--crash-dir DIR]\n"
+      "           [--metrics-listen EP] [--trace-events-dir DIR]\n"
+      "           [--no-history]\n"
       "           [--thread-workers] [--fail-after-units N] [--verbose]\n"
       "       rvsym-serve submit --socket EP\n"
       "           (--mutate | --verify | --replay DIR)\n"
@@ -66,7 +72,8 @@ int usage() {
       "       rvsym-serve status --socket EP [--job ID] [--json]\n"
       "       rvsym-serve cancel --socket EP --job ID\n"
       "       rvsym-serve drain --socket EP [--wait]\n"
-      "       rvsym-serve ping --socket EP\n"
+      "       rvsym-serve ping --socket EP [--json]\n"
+      "       rvsym-serve scrape --socket EP\n"
       "\n"
       "EP is unix:<path> or tcp:<port> (loopback only).\n");
   return 2;
@@ -139,6 +146,17 @@ int runDaemon(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       opts.idle_compact_s = std::atof(v);
+    } else if (arg == "--metrics-listen") {
+      const char* v = next();
+      serve::Endpoint mep;
+      if (!v || !parseEndpointArg(v, mep)) return 2;
+      opts.metrics_listen = mep;
+    } else if (arg == "--trace-events-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      opts.trace_dir = v;
+    } else if (arg == "--no-history") {
+      opts.history = false;
     } else if (arg == "--thread-workers") {
       opts.thread_workers = true;
     } else if (arg == "--fail-after-units") {
@@ -152,6 +170,14 @@ int runDaemon(int argc, char** argv) {
     }
   }
   if (!have_socket || opts.state_dir.empty()) return usage();
+#ifdef RVSYM_OBS_NO_TRACING
+  if (!opts.trace_dir.empty()) {
+    std::fprintf(stderr,
+                 "--trace-events-dir needs tracing, which this build "
+                 "compiled out (RVSYM_DISABLE_TRACING)\n");
+    return 2;
+  }
+#endif
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
   opts.stop_flag = &g_stop;
@@ -337,6 +363,63 @@ int runSimple(const serve::Endpoint& ep, const char* cmd,
   return 0;
 }
 
+int runPing(const serve::Endpoint& ep, bool raw_json) {
+  JsonWriter w;
+  w.beginObject();
+  w.field("cmd", "ping");
+  w.endObject();
+  std::string err;
+  const auto reply = serve::requestOnce(ep, w.str(), &err);
+  if (!reply) {
+    std::fprintf(stderr, "rvsym-serve: %s\n", err.c_str());
+    return 1;
+  }
+  const auto v = parseJson(*reply);
+  if (!v || !v->getBool("ok").value_or(false)) {
+    std::fprintf(stderr, "rvsym-serve: %s\n",
+                 v ? v->getString("error").value_or("?").c_str()
+                   : "unparsable reply");
+    return 1;
+  }
+  if (raw_json) {
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  std::printf("pong: %llu workers, %llu jobs%s\n",
+              static_cast<unsigned long long>(
+                  v->getU64("workers").value_or(0)),
+              static_cast<unsigned long long>(v->getU64("jobs").value_or(0)),
+              v->getBool("draining").value_or(false) ? " (draining)" : "");
+  return 0;
+}
+
+int runScrape(const serve::Endpoint& ep) {
+  JsonWriter w;
+  w.beginObject();
+  w.field("cmd", "metrics");
+  w.endObject();
+  std::string err;
+  const auto reply = serve::requestOnce(ep, w.str(), &err);
+  if (!reply) {
+    std::fprintf(stderr, "rvsym-serve: %s\n", err.c_str());
+    return 1;
+  }
+  const auto v = parseJson(*reply);
+  if (!v || !v->getBool("ok").value_or(false)) {
+    std::fprintf(stderr, "rvsym-serve: %s\n",
+                 v ? v->getString("error").value_or("?").c_str()
+                   : "unparsable reply");
+    return 1;
+  }
+  const auto text = v->getString("exposition");
+  if (!text) {
+    std::fprintf(stderr, "rvsym-serve: metrics reply has no exposition\n");
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
 /// Blocks until the daemon's endpoint stops accepting connections.
 int waitForExit(const serve::Endpoint& ep) {
   for (;;) {
@@ -451,6 +534,7 @@ int main(int argc, char** argv) {
     if (rc != 0 || !wait) return rc;
     return waitForExit(ep);
   }
-  if (mode == "ping") return runSimple(ep, "ping", "");
+  if (mode == "ping") return runPing(ep, raw_json);
+  if (mode == "scrape") return runScrape(ep);
   return usage();
 }

@@ -102,10 +102,13 @@ std::string fmtEta(double seconds) {
 
 /// One compact status line — the non-tty / --line rendering. Everything
 /// load-bearing from the frame, greppable, no escapes.
-std::string renderLine(const TimeseriesRun& run, bool finished) {
+std::string renderLine(const TimeseriesRun& run, bool finished,
+                       bool reconnecting) {
   std::string out = "rvsym-top";
   char buf[192];
-  if (run.samples.empty()) return out + ": waiting for samples...";
+  if (run.samples.empty())
+    return out + (reconnecting ? ": [reconnecting]"
+                               : ": waiting for samples...");
   const TimeseriesSample& s = run.samples.back();
   std::snprintf(buf, sizeof buf, " %s t=%.1fs",
                 run.header.kind.empty() ? "?" : run.header.kind.c_str(),
@@ -148,27 +151,32 @@ std::string renderLine(const TimeseriesRun& run, bool finished) {
     out += run.final_record->getBool("t_abnormal").value_or(false)
                ? " [crashed]"
                : " [finished]";
+  if (reconnecting) out += " [reconnecting]";
   return out;
 }
 
 /// One rendered frame from everything parsed so far.
 std::string renderFrame(const TimeseriesRun& run, bool finished,
-                        std::size_t bar_width) {
+                        std::size_t bar_width, bool reconnecting) {
   std::string out;
   char buf[256];
   const auto add = [&](const char* line) { out += line; out += '\n'; };
 
   if (run.samples.empty()) {
-    add("rvsym-top: waiting for samples...");
+    add(reconnecting ? "rvsym-top: [reconnecting]"
+                     : "rvsym-top: waiting for samples...");
     return out;
   }
   const TimeseriesSample& s = run.samples.back();
 
   const char* status =
-      finished ? (run.final_record->getBool("t_abnormal").value_or(false)
-                      ? "  [crashed]"
-                      : "  [finished]")
-               : "";
+      reconnecting
+          ? "  [reconnecting]"
+          : finished
+                ? (run.final_record->getBool("t_abnormal").value_or(false)
+                       ? "  [crashed]"
+                       : "  [finished]")
+                : "";
   std::snprintf(buf, sizeof buf, "rvsym-top — %s  t=%.1fs  sample #%llu%s",
                 run.header.kind.empty() ? "?" : run.header.kind.c_str(),
                 s.t_s, static_cast<unsigned long long>(s.seq), status);
@@ -399,23 +407,32 @@ int main(int argc, char** argv) {
   tail.path = file;
 
   int missing_polls = 0;
+  // Daemon mode never gives up on a dead endpoint: a campaign server
+  // restart (crash, upgrade, kill -9 + resume) is routine, so the
+  // monitor renders [reconnecting] and retries with capped exponential
+  // backoff instead of exiting like the file modes do.
+  unsigned backoff_exp = 0;
+  constexpr double kMaxBackoffS = 30.0;
   for (;;) {
     const bool present = !connect.empty()
                              ? pollDaemon(ep, run)
                              : status_mode ? pollStatus(file, run)
                                            : tail.poll(run);
-    if (!present && ++missing_polls > 3 && !run.samples.empty()) {
-      std::fprintf(stderr, "rvsym-top: %s disappeared\n",
-                   connect.empty() ? file.c_str() : connect.c_str());
+    if (!present && connect.empty() && ++missing_polls > 3 &&
+        !run.samples.empty()) {
+      std::fprintf(stderr, "rvsym-top: %s disappeared\n", file.c_str());
       return 1;
     }
+    const bool reconnecting = !present && !connect.empty();
+    if (present) backoff_exp = 0;
     const bool finished = run.final_record.has_value();
 
     if (line_mode) {
-      std::fputs((renderLine(run, finished) + "\n").c_str(), stdout);
+      std::fputs((renderLine(run, finished, reconnecting) + "\n").c_str(),
+                 stdout);
     } else {
       const std::string frame =
-          renderFrame(run, finished, terminalBarWidth());
+          renderFrame(run, finished, terminalBarWidth(), reconnecting);
       if (clear && !once) std::fputs("\x1b[H\x1b[2J", stdout);
       std::fputs(frame.c_str(), stdout);
       if (!clear && !once) std::fputs("\n", stdout);
@@ -423,6 +440,12 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     if (once || finished) return 0;
-    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    double sleep_s = interval;
+    if (reconnecting) {
+      sleep_s = interval * static_cast<double>(1u << backoff_exp);
+      if (sleep_s < kMaxBackoffS && backoff_exp < 16) ++backoff_exp;
+      if (sleep_s > kMaxBackoffS) sleep_s = kMaxBackoffS;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
   }
 }
